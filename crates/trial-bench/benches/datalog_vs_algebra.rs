@@ -1,0 +1,36 @@
+//! Proposition 2 / Theorem 2 in practice: evaluating a query as a
+//! ReachTripleDatalog¬ program vs. as the equivalent TriAL\* expression.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trial_core::builder::queries;
+use trial_datalog::{evaluate_program, expr_to_program};
+use trial_eval::{Engine, SmartEngine};
+use trial_workloads::{transport_network, TransportConfig};
+
+fn bench_datalog(c: &mut Criterion) {
+    let store = transport_network(&TransportConfig {
+        cities: 30,
+        operators: 6,
+        companies: 3,
+        services: 90,
+        ownership_depth: 2,
+        seed: 8,
+    });
+    let expr = queries::same_company_reachability("E");
+    let rels: Vec<&str> = store.relation_names().collect();
+    let program = expr_to_program(&expr, &rels).unwrap();
+    let engine = SmartEngine::new();
+    let mut group = c.benchmark_group("datalog_vs_algebra_query_q");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::from_parameter("algebra"), &store, |b, s| {
+        b.iter(|| black_box(engine.run(&expr, s).unwrap()))
+    });
+    group.bench_with_input(BenchmarkId::from_parameter("datalog"), &store, |b, s| {
+        b.iter(|| black_box(evaluate_program(&program, s).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datalog);
+criterion_main!(benches);

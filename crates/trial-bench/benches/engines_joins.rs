@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the physical join operators (nested loop vs. hash)
+//! across join shapes with and without hashable equality keys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trial_core::{output, Conditions, Expr, Pos};
+use trial_eval::{Engine, NaiveEngine, SmartEngine};
+use trial_workloads::{random_store, RandomStoreConfig};
+
+fn bench_joins(c: &mut Criterion) {
+    let store = random_store(&RandomStoreConfig {
+        objects: 150,
+        triples: 500,
+        distinct_values: 8,
+        seed: 3,
+    });
+    // Equality join (hashable), inequality join (not hashable), data join.
+    let eq_join = Expr::rel("E").join(
+        Expr::rel("E"),
+        output(Pos::L1, Pos::L2, Pos::R3),
+        Conditions::new().obj_eq(Pos::L3, Pos::R1),
+    );
+    let neq_join = Expr::rel("E").join(
+        Expr::rel("E"),
+        output(Pos::L1, Pos::L2, Pos::R3),
+        Conditions::new()
+            .obj_neq(Pos::L1, Pos::R1)
+            .obj_eq(Pos::L2, Pos::R2),
+    );
+    let data_join = Expr::rel("E").join(
+        Expr::rel("E"),
+        output(Pos::L1, Pos::L2, Pos::R3),
+        Conditions::new()
+            .obj_eq(Pos::L3, Pos::R1)
+            .data_eq(Pos::L1, Pos::R3),
+    );
+    let naive = NaiveEngine::new();
+    let smart = SmartEngine::new();
+    let mut group = c.benchmark_group("join_operators");
+    group.sample_size(10);
+    for (qname, query) in [("eq", &eq_join), ("neq", &neq_join), ("data", &data_join)] {
+        for (ename, engine) in [
+            ("naive", &naive as &dyn Engine),
+            ("smart", &smart as &dyn Engine),
+        ] {
+            group.bench_with_input(BenchmarkId::new(qname, ename), &store, |b, store| {
+                b.iter(|| black_box(engine.run(query, store).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_joins);
+criterion_main!(benches);

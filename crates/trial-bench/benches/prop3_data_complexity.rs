@@ -1,0 +1,34 @@
+//! Proposition 3: data complexity — the fixed query Q over growing
+//! transport networks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trial_core::builder::queries;
+use trial_eval::{Engine, SmartEngine};
+use trial_workloads::{transport_network, TransportConfig};
+
+fn bench_prop3(c: &mut Criterion) {
+    let smart = SmartEngine::new();
+    let query = queries::same_company_reachability("E");
+    let mut group = c.benchmark_group("prop3_query_q_data_complexity");
+    group.sample_size(10);
+    for scale in [1usize, 2, 4] {
+        let store = transport_network(&TransportConfig {
+            cities: 20 * scale,
+            operators: 4 * scale,
+            companies: 3,
+            services: 60 * scale,
+            ownership_depth: 2,
+            seed: 13,
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(store.triple_count()),
+            &store,
+            |b, store| b.iter(|| black_box(smart.run(&query, store).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prop3);
+criterion_main!(benches);

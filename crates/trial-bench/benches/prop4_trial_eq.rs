@@ -1,0 +1,35 @@
+//! Proposition 4: TriAL⁼ (equality-only) joins — hash join vs. nested loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trial_core::builder::queries;
+use trial_eval::{Engine, NaiveEngine, SmartEngine};
+use trial_workloads::{random_store, RandomStoreConfig};
+
+fn bench_prop4(c: &mut Criterion) {
+    let naive = NaiveEngine::new();
+    let smart = SmartEngine::new();
+    let query = queries::example2("E");
+    for (name, engine) in [
+        ("naive_nested_loop", &naive as &dyn Engine),
+        ("smart_hash_join", &smart as &dyn Engine),
+    ] {
+        let mut group = c.benchmark_group(format!("prop4_{name}"));
+        group.sample_size(10);
+        for triples in [200usize, 400, 800] {
+            let store = random_store(&RandomStoreConfig {
+                objects: triples / 2,
+                triples,
+                distinct_values: 5,
+                seed: 4,
+            });
+            group.bench_with_input(BenchmarkId::from_parameter(triples), &store, |b, store| {
+                b.iter(|| black_box(engine.run(&query, store).unwrap()))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_prop4);
+criterion_main!(benches);

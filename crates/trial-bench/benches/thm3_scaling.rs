@@ -1,0 +1,42 @@
+//! Theorem 3: naive-engine QueryComputation scaling.
+//!
+//! Joins should scale ≈|T|², Kleene stars up to ≈|T|³ in the worst case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trial_core::builder::queries;
+use trial_eval::{Engine, NaiveEngine};
+use trial_workloads::{chain_store, random_store, RandomStoreConfig};
+
+fn bench_thm3(c: &mut Criterion) {
+    let naive = NaiveEngine::new();
+    let mut group = c.benchmark_group("thm3_naive_join");
+    group.sample_size(10);
+    for triples in [100usize, 200, 400] {
+        let store = random_store(&RandomStoreConfig {
+            objects: triples / 2,
+            triples,
+            distinct_values: 5,
+            seed: 9,
+        });
+        let query = queries::example2("E");
+        group.bench_with_input(BenchmarkId::from_parameter(triples), &store, |b, store| {
+            b.iter(|| black_box(naive.run(&query, store).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("thm3_naive_star_chain");
+    group.sample_size(10);
+    for len in [25usize, 50, 100] {
+        let store = chain_store(len);
+        let query = queries::reach_forward("E");
+        group.bench_with_input(BenchmarkId::from_parameter(len), &store, |b, store| {
+            b.iter(|| black_box(naive.run(&query, store).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thm3);
+criterion_main!(benches);

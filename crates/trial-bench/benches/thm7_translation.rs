@@ -1,0 +1,45 @@
+//! Theorem 7 / Corollary 2: evaluating graph queries natively vs. through
+//! their TriAL\* translations over the triplestore encoding.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trial_eval::{Engine, SmartEngine};
+use trial_graph::gxpath::{evaluate_path, NodeExpr, PathExpr};
+use trial_graph::nre::{evaluate_nre, Nre};
+use trial_graph::{graph_to_triplestore, nre_to_trial, path_to_trial};
+use trial_workloads::random_graph;
+
+fn bench_thm7(c: &mut Criterion) {
+    let engine = SmartEngine::new();
+    let nre = Nre::label("l0").then(Nre::label("l1").test()).star();
+    let gxpath = PathExpr::label("l0")
+        .then(PathExpr::test(NodeExpr::exists(PathExpr::label("l1")).not()))
+        .or(PathExpr::label("l2"))
+        .star();
+    for nodes in [10usize, 20, 40] {
+        let graph = random_graph(nodes, nodes * 3, 3, 17);
+        let store = graph_to_triplestore(&graph);
+        let mut group = c.benchmark_group(format!("thm7_nodes_{nodes}"));
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("nre_native", nodes), &graph, |b, g| {
+            b.iter(|| black_box(evaluate_nre(g, &nre)))
+        });
+        let nre_expr = nre_to_trial(&nre);
+        group.bench_with_input(BenchmarkId::new("nre_translated", nodes), &store, |b, s| {
+            b.iter(|| black_box(engine.run(&nre_expr, s).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("gxpath_native", nodes), &graph, |b, g| {
+            b.iter(|| black_box(evaluate_path(g, &gxpath)))
+        });
+        let gx_expr = path_to_trial(&gxpath);
+        group.bench_with_input(
+            BenchmarkId::new("gxpath_translated", nodes),
+            &store,
+            |b, s| b.iter(|| black_box(engine.run(&gx_expr, s).unwrap())),
+        );
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_thm7);
+criterion_main!(benches);

@@ -1,0 +1,418 @@
+//! The TriAL / TriAL\* expression AST (Section 3 of the paper).
+//!
+//! [`Expr`] represents expressions of the recursive Triple Algebra:
+//!
+//! * relation names and the definable constants `U` (universal relation) and
+//!   `∅`;
+//! * selections `σ_{θ,η}(e)`;
+//! * the set operations `∪`, `−` and the definable `∩` and complement;
+//! * triple joins `e1 ✶^{i,j,k}_{θ,η} e2`;
+//! * the right and left Kleene closures `(e ✶^{i,j,k}_{θ,η})^*` and
+//!   `(✶^{i,j,k}_{θ,η} e)^*` that make the algebra recursive (TriAL\*).
+//!
+//! The AST is engine-agnostic; evaluation lives in `trial-eval`. The
+//! [`Display`](std::fmt::Display) rendering is the concrete syntax accepted
+//! by `trial-parser`, so `parse(expr.to_string()) == expr` round-trips.
+
+use crate::condition::Conditions;
+use crate::error::{Error, Result};
+use crate::position::OutputSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Whether a Kleene closure folds the join to the right or to the left.
+///
+/// Triple joins are not associative (Example 3 of the paper), so the two
+/// closures differ: the right closure iterates `((e ✶ e) ✶ e) ✶ …` while the
+/// left closure iterates `e ✶ (e ✶ (e ✶ …))`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StarDirection {
+    /// `(e ✶^{i,j,k}_{θ,η})^*` — the accumulated result is the *left*
+    /// argument of each new join.
+    Right,
+    /// `(✶^{i,j,k}_{θ,η} e)^*` — the accumulated result is the *right*
+    /// argument of each new join.
+    Left,
+}
+
+/// A TriAL or TriAL\* expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Expr {
+    /// A relation name `E` of the triplestore.
+    Rel(String),
+    /// The universal relation `U` over the active domain (definable in the
+    /// algebra — see Section 3 — but provided as a constant for convenience
+    /// and for complements).
+    Universe,
+    /// The empty relation `∅`.
+    Empty,
+    /// Selection `σ_{θ,η}(e)`; conditions may only use unprimed positions.
+    Select {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Selection conditions.
+        cond: Conditions,
+    },
+    /// Union `e1 ∪ e2`.
+    Union(Box<Expr>, Box<Expr>),
+    /// Difference `e1 − e2`.
+    Diff(Box<Expr>, Box<Expr>),
+    /// Intersection `e1 ∩ e2` (definable: `e1 ✶^{1,2,3}_{1=1',2=2',3=3'} e2`).
+    Intersect(Box<Expr>, Box<Expr>),
+    /// Complement `eᶜ = U − e` (definable).
+    Complement(Box<Expr>),
+    /// Triple join `e1 ✶^{i,j,k}_{θ,η} e2`.
+    Join {
+        /// Left argument.
+        left: Box<Expr>,
+        /// Right argument.
+        right: Box<Expr>,
+        /// Output specification `(i, j, k)`.
+        output: OutputSpec,
+        /// Join conditions `(θ, η)`.
+        cond: Conditions,
+    },
+    /// Kleene closure of a join over `e`, in the given direction.
+    Star {
+        /// The expression being iterated.
+        input: Box<Expr>,
+        /// Output specification of the iterated join.
+        output: OutputSpec,
+        /// Conditions of the iterated join.
+        cond: Conditions,
+        /// Right (`(e ✶)^*`) or left (`(✶ e)^*`) closure.
+        direction: StarDirection,
+    },
+}
+
+impl Expr {
+    /// A relation reference.
+    pub fn rel(name: impl Into<String>) -> Expr {
+        Expr::Rel(name.into())
+    }
+
+    /// Selection `σ_{θ,η}(self)`.
+    pub fn select(self, cond: Conditions) -> Expr {
+        Expr::Select {
+            input: Box::new(self),
+            cond,
+        }
+    }
+
+    /// Union `self ∪ other`.
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Difference `self − other`.
+    pub fn minus(self, other: Expr) -> Expr {
+        Expr::Diff(Box::new(self), Box::new(other))
+    }
+
+    /// Intersection `self ∩ other`.
+    pub fn intersect(self, other: Expr) -> Expr {
+        Expr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// Complement `selfᶜ = U − self`.
+    pub fn complement(self) -> Expr {
+        Expr::Complement(Box::new(self))
+    }
+
+    /// Triple join `self ✶^{output}_{cond} other`.
+    pub fn join(self, other: Expr, output: OutputSpec, cond: Conditions) -> Expr {
+        Expr::Join {
+            left: Box::new(self),
+            right: Box::new(other),
+            output,
+            cond,
+        }
+    }
+
+    /// Right Kleene closure `(self ✶^{output}_{cond})^*`.
+    pub fn right_star(self, output: OutputSpec, cond: Conditions) -> Expr {
+        Expr::Star {
+            input: Box::new(self),
+            output,
+            cond,
+            direction: StarDirection::Right,
+        }
+    }
+
+    /// Left Kleene closure `(✶^{output}_{cond} self)^*`.
+    pub fn left_star(self, output: OutputSpec, cond: Conditions) -> Expr {
+        Expr::Star {
+            input: Box::new(self),
+            output,
+            cond,
+            direction: StarDirection::Left,
+        }
+    }
+
+    /// Immediate sub-expressions.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Rel(_) | Expr::Universe | Expr::Empty => vec![],
+            Expr::Select { input, .. } | Expr::Complement(input) | Expr::Star { input, .. } => {
+                vec![input]
+            }
+            Expr::Union(a, b) | Expr::Diff(a, b) | Expr::Intersect(a, b) => vec![a, b],
+            Expr::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// All sub-expressions (including `self`), pre-order.
+    pub fn subexpressions(&self) -> Vec<&Expr> {
+        let mut out = vec![self];
+        let mut stack: Vec<&Expr> = self.children();
+        while let Some(e) = stack.pop() {
+            out.push(e);
+            stack.extend(e.children());
+        }
+        out
+    }
+
+    /// The size `|e|` of the expression: number of AST nodes plus condition
+    /// atoms. This is the `|e|` factor of the paper's complexity bounds.
+    pub fn size(&self) -> usize {
+        let own_cond = match self {
+            Expr::Select { cond, .. } | Expr::Join { cond, .. } | Expr::Star { cond, .. } => {
+                cond.len()
+            }
+            _ => 0,
+        };
+        1 + own_cond + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// Depth of the expression tree.
+    pub fn depth(&self) -> usize {
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.depth())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Names of all relations referenced by the expression, sorted and
+    /// deduplicated.
+    pub fn relations(&self) -> Vec<&str> {
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for e in self.subexpressions() {
+            if let Expr::Rel(name) = e {
+                names.insert(name.as_str());
+            }
+        }
+        names.into_iter().collect()
+    }
+
+    /// Returns `true` if the expression uses a Kleene closure (i.e. it is a
+    /// TriAL\* expression rather than plain TriAL).
+    pub fn is_recursive(&self) -> bool {
+        self.subexpressions()
+            .iter()
+            .any(|e| matches!(e, Expr::Star { .. }))
+    }
+
+    /// Returns `true` if the expression uses the universal relation, either
+    /// explicitly or through a complement.
+    pub fn uses_universe(&self) -> bool {
+        self.subexpressions()
+            .iter()
+            .any(|e| matches!(e, Expr::Universe | Expr::Complement(_)))
+    }
+
+    /// Structural validation:
+    ///
+    /// * selection conditions must only mention unprimed positions;
+    /// * (joins and stars may mention any of the six positions, so nothing to
+    ///   check there).
+    pub fn validate(&self) -> Result<()> {
+        for e in self.subexpressions() {
+            if let Expr::Select { cond, .. } = e {
+                if !cond.is_left_only() {
+                    let offending = cond
+                        .theta
+                        .iter()
+                        .map(|a| a.to_string())
+                        .chain(cond.eta.iter().map(|a| a.to_string()))
+                        .find(|_| true)
+                        .unwrap_or_default();
+                    return Err(Error::SelectionUsesRightPosition { atom: offending });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Rel(name) => write!(f, "{name}"),
+            Expr::Universe => write!(f, "U"),
+            Expr::Empty => write!(f, "EMPTY"),
+            Expr::Select { input, cond } => write!(f, "SELECT[{cond}]({input})"),
+            Expr::Union(a, b) => write!(f, "({a} UNION {b})"),
+            Expr::Diff(a, b) => write!(f, "({a} MINUS {b})"),
+            Expr::Intersect(a, b) => write!(f, "({a} INTERSECT {b})"),
+            Expr::Complement(e) => write!(f, "COMPL({e})"),
+            Expr::Join {
+                left,
+                right,
+                output,
+                cond,
+            } => {
+                if cond.is_empty() {
+                    write!(f, "({left} JOIN[{output}] {right})")
+                } else {
+                    write!(f, "({left} JOIN[{output} | {cond}] {right})")
+                }
+            }
+            Expr::Star {
+                input,
+                output,
+                cond,
+                direction,
+            } => {
+                let cond_part = if cond.is_empty() {
+                    format!("[{output}]")
+                } else {
+                    format!("[{output} | {cond}]")
+                };
+                match direction {
+                    StarDirection::Right => write!(f, "STAR({input} JOIN{cond_part})"),
+                    StarDirection::Left => write!(f, "STAR(JOIN{cond_part} {input})"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::position::Pos;
+
+    fn out(i: Pos, j: Pos, k: Pos) -> OutputSpec {
+        OutputSpec::new(i, j, k)
+    }
+
+    /// Example 2 of the paper: `E ✶^{1,3',3}_{2=1'} E`.
+    fn example2() -> Expr {
+        Expr::rel("E").join(
+            Expr::rel("E"),
+            out(Pos::L1, Pos::R3, Pos::L3),
+            Conditions::new().obj_eq(Pos::L2, Pos::R1),
+        )
+    }
+
+    #[test]
+    fn display_example2() {
+        assert_eq!(example2().to_string(), "(E JOIN[1,3',3 | 2=1'] E)");
+    }
+
+    #[test]
+    fn display_reachability_queries() {
+        // Reach→ = (E ✶^{1,2,3'}_{3=1'})^*   (Example 4)
+        let reach_fwd = Expr::rel("E").right_star(
+            out(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new().obj_eq(Pos::L3, Pos::R1),
+        );
+        assert_eq!(reach_fwd.to_string(), "STAR(E JOIN[1,2,3' | 3=1'])");
+        // Reach⇓ = (✶^{1',2',3}_{1=2'} E)^*   (Example 4)
+        let reach_down = Expr::rel("E").left_star(
+            out(Pos::R1, Pos::R2, Pos::L3),
+            Conditions::new().obj_eq(Pos::L1, Pos::R2),
+        );
+        assert_eq!(reach_down.to_string(), "STAR(JOIN[1',2',3 | 1=2'] E)");
+    }
+
+    #[test]
+    fn display_set_ops_and_select() {
+        let e = Expr::rel("A")
+            .union(Expr::rel("B"))
+            .minus(Expr::rel("C").intersect(Expr::Universe))
+            .complement();
+        assert_eq!(e.to_string(), "COMPL(((A UNION B) MINUS (C INTERSECT U)))");
+        let s = Expr::rel("E").select(Conditions::new().obj_eq_const(Pos::L2, "part_of"));
+        assert_eq!(s.to_string(), "SELECT[2='part_of'](E)");
+        assert_eq!(Expr::Empty.to_string(), "EMPTY");
+    }
+
+    #[test]
+    fn size_depth_relations() {
+        let e = example2();
+        // join node + cond atom + two Rel nodes = 4
+        assert_eq!(e.size(), 4);
+        assert_eq!(e.depth(), 2);
+        assert_eq!(e.relations(), vec!["E"]);
+        let e2 = Expr::rel("A").union(Expr::rel("B").minus(Expr::rel("A")));
+        assert_eq!(e2.relations(), vec!["A", "B"]);
+        assert_eq!(e2.size(), 5);
+        assert_eq!(e2.depth(), 3);
+    }
+
+    #[test]
+    fn recursion_and_universe_detection() {
+        assert!(!example2().is_recursive());
+        let star = example2().right_star(
+            out(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new().obj_eq(Pos::L3, Pos::R1),
+        );
+        assert!(star.is_recursive());
+        assert!(!example2().uses_universe());
+        assert!(Expr::Universe.uses_universe());
+        assert!(Expr::rel("E").complement().uses_universe());
+    }
+
+    #[test]
+    fn subexpressions_preorder_contains_all_nodes() {
+        let e = example2().union(Expr::rel("F"));
+        let subs = e.subexpressions();
+        assert_eq!(subs.len(), 5); // union, join, E, E, F
+        assert!(matches!(subs[0], Expr::Union(_, _)));
+    }
+
+    #[test]
+    fn validation_rejects_primed_selection() {
+        let bad = Expr::rel("E").select(Conditions::new().obj_eq(Pos::L1, Pos::R1));
+        assert!(matches!(
+            bad.validate(),
+            Err(Error::SelectionUsesRightPosition { .. })
+        ));
+        let good = Expr::rel("E").select(Conditions::new().obj_eq(Pos::L1, Pos::L3));
+        assert!(good.validate().is_ok());
+        // Nested: validation recurses into sub-expressions.
+        let nested_bad = Expr::rel("A").union(bad);
+        assert!(nested_bad.validate().is_err());
+    }
+
+    #[test]
+    fn display_star_without_conditions() {
+        let e = Expr::rel("E").right_star(out(Pos::L1, Pos::L2, Pos::R3), Conditions::new());
+        assert_eq!(e.to_string(), "STAR(E JOIN[1,2,3'])");
+        let j = Expr::rel("E").join(Expr::rel("E"), out(Pos::L1, Pos::L2, Pos::R3), Conditions::new());
+        assert_eq!(j.to_string(), "(E JOIN[1,2,3'] E)");
+    }
+
+    #[test]
+    fn example4_same_company_query_displays() {
+        // ((E ✶^{1,3',3}_{2=1'})^* ✶^{1,2,3'}_{3=1', 2=2'})^*  — the query Q
+        let inner = Expr::rel("E").right_star(
+            out(Pos::L1, Pos::R3, Pos::L3),
+            Conditions::new().obj_eq(Pos::L2, Pos::R1),
+        );
+        let q = inner.right_star(
+            out(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new().obj_eq(Pos::L3, Pos::R1).obj_eq(Pos::L2, Pos::R2),
+        );
+        assert_eq!(
+            q.to_string(),
+            "STAR(STAR(E JOIN[1,3',3 | 2=1']) JOIN[1,2,3' | 3=1',2=2'])"
+        );
+        assert!(q.is_recursive());
+        assert_eq!(q.depth(), 3);
+    }
+}

@@ -1,0 +1,259 @@
+//! Convenience constructors for common TriAL expressions.
+//!
+//! The paper repeatedly uses a handful of query shapes: the navigational
+//! reachability joins `Reach→` and `Reach⇓` of the introduction, the
+//! "travel with one company" query `Q`, composition-style joins, and the
+//! definable operations (intersection via join, complement via the universal
+//! relation). This module packages them so that examples, tests and
+//! benchmarks can refer to them by name.
+
+use crate::algebra::Expr;
+use crate::condition::Conditions;
+use crate::position::{OutputSpec, Pos};
+
+/// Builds an [`OutputSpec`] from three positions. Shorthand used throughout
+/// the crates: `output(Pos::L1, Pos::R3, Pos::L3)` is the paper's `1,3',3`.
+pub fn output(i: Pos, j: Pos, k: Pos) -> OutputSpec {
+    OutputSpec::new(i, j, k)
+}
+
+/// Extension trait adding the paper's named query shapes to [`Expr`].
+pub trait ExprBuilderExt: Sized {
+    /// `Reach→` over this expression: `(e ✶^{1,2,3'}_{3=1'})^*`.
+    ///
+    /// Finds triples `(x, y, z)` such that `z` is reachable from the
+    /// endpoint of an `e`-triple starting at `x` by following third-to-first
+    /// component steps — the natural "follow the edges" reachability
+    /// (introduction and Example 4).
+    fn reach_forward(self) -> Expr;
+
+    /// Label-preserving reachability: `(e ✶^{1,2,3'}_{3=1', 2=2'})^*`.
+    ///
+    /// Like [`ExprBuilderExt::reach_forward`] but each step must carry the
+    /// same middle element (the second restricted star allowed in reachTA⁼,
+    /// Proposition 5).
+    fn reach_same_label(self) -> Expr;
+
+    /// `Reach⇓` over this expression: `(✶^{1',2',3}_{1=2'} e)^*`.
+    ///
+    /// The "branching downwards" reachability of the introduction, where the
+    /// source of one triple is the middle element of the next (Example 4).
+    fn reach_down(self) -> Expr;
+
+    /// Example 2's composition join: `e ✶^{1,3',3}_{2=1'} e2`.
+    ///
+    /// Joins a travel triple `(x, op, y)` with an operator triple
+    /// `(op, part_of, company)` producing `(x, company, y)`.
+    fn compose_via_middle(self, other: Expr) -> Expr;
+
+    /// The star of Example 4's interior join: `(e ✶^{1,3',3}_{2=1'})^*`,
+    /// which lifts the middle element through arbitrarily long `part_of`
+    /// chains.
+    fn lift_middle(self) -> Expr;
+
+    /// The paper's query `Q` (Theorem 1 / Example 4): pairs of cities
+    /// connected by a chain of services all operated by the same company,
+    /// `((e ✶^{1,3',3}_{2=1'})^* ✶^{1,2,3'}_{3=1', 2=2'})^*`.
+    fn same_company_reachability(self) -> Expr;
+
+    /// Intersection expressed through a join,
+    /// `e ✶^{1,2,3}_{1=1', 2=2', 3=3'} e2` — used to verify the definability
+    /// claim of Section 3.
+    fn intersect_via_join(self, other: Expr) -> Expr;
+}
+
+impl ExprBuilderExt for Expr {
+    fn reach_forward(self) -> Expr {
+        self.right_star(
+            output(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new().obj_eq(Pos::L3, Pos::R1),
+        )
+    }
+
+    fn reach_same_label(self) -> Expr {
+        self.right_star(
+            output(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new()
+                .obj_eq(Pos::L3, Pos::R1)
+                .obj_eq(Pos::L2, Pos::R2),
+        )
+    }
+
+    fn reach_down(self) -> Expr {
+        self.left_star(
+            output(Pos::R1, Pos::R2, Pos::L3),
+            Conditions::new().obj_eq(Pos::L1, Pos::R2),
+        )
+    }
+
+    fn compose_via_middle(self, other: Expr) -> Expr {
+        self.join(
+            other,
+            output(Pos::L1, Pos::R3, Pos::L3),
+            Conditions::new().obj_eq(Pos::L2, Pos::R1),
+        )
+    }
+
+    fn lift_middle(self) -> Expr {
+        self.right_star(
+            output(Pos::L1, Pos::R3, Pos::L3),
+            Conditions::new().obj_eq(Pos::L2, Pos::R1),
+        )
+    }
+
+    fn same_company_reachability(self) -> Expr {
+        self.lift_middle().right_star(
+            output(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new()
+                .obj_eq(Pos::L3, Pos::R1)
+                .obj_eq(Pos::L2, Pos::R2),
+        )
+    }
+
+    fn intersect_via_join(self, other: Expr) -> Expr {
+        self.join(
+            other,
+            OutputSpec::IDENTITY,
+            Conditions::new()
+                .obj_eq(Pos::L1, Pos::R1)
+                .obj_eq(Pos::L2, Pos::R2)
+                .obj_eq(Pos::L3, Pos::R3),
+        )
+    }
+}
+
+/// Named query shapes as free functions over a relation name, mirroring the
+/// paper's examples. These are thin wrappers over [`ExprBuilderExt`].
+pub mod queries {
+    use super::*;
+
+    /// `Reach→` on relation `rel` (introduction / Example 4).
+    pub fn reach_forward(rel: &str) -> Expr {
+        Expr::rel(rel).reach_forward()
+    }
+
+    /// `Reach⇓` on relation `rel` (introduction / Example 4).
+    pub fn reach_down(rel: &str) -> Expr {
+        Expr::rel(rel).reach_down()
+    }
+
+    /// Label-preserving reachability on relation `rel`.
+    pub fn reach_same_label(rel: &str) -> Expr {
+        Expr::rel(rel).reach_same_label()
+    }
+
+    /// Example 2: travel information joined with the operator's parent
+    /// company, `E ✶^{1,3',3}_{2=1'} E`.
+    pub fn example2(rel: &str) -> Expr {
+        Expr::rel(rel).compose_via_middle(Expr::rel(rel))
+    }
+
+    /// Example 2, second expression: `e ∪ (e ✶^{1,3',3}_{2=1'} E)`.
+    pub fn example2_extended(rel: &str) -> Expr {
+        let e = example2(rel);
+        e.clone().union(e.compose_via_middle(Expr::rel(rel)))
+    }
+
+    /// The query `Q` of Theorem 1 / Example 4 on relation `rel`.
+    pub fn same_company_reachability(rel: &str) -> Expr {
+        Expr::rel(rel).same_company_reachability()
+    }
+
+    /// The TriAL expression of Theorem 4's proof detecting at least four
+    /// distinct objects: `U ✶^{1,2,3}_{θ} U` with `θ` requiring
+    /// `1, 2, 3, 1'` pairwise distinct.
+    pub fn at_least_four_objects() -> Expr {
+        Expr::Universe.join(
+            Expr::Universe,
+            OutputSpec::IDENTITY,
+            Conditions::new()
+                .obj_neq(Pos::L1, Pos::L2)
+                .obj_neq(Pos::L1, Pos::L3)
+                .obj_neq(Pos::L1, Pos::R1)
+                .obj_neq(Pos::L2, Pos::L3)
+                .obj_neq(Pos::L2, Pos::R1)
+                .obj_neq(Pos::L3, Pos::R1),
+        )
+    }
+
+    /// The TriAL expression of Theorem 4's proof detecting at least six
+    /// distinct objects: `U ✶^{1,2,3}_{θ} U` with `θ` requiring all six join
+    /// positions pairwise distinct.
+    pub fn at_least_six_objects() -> Expr {
+        let mut cond = Conditions::new();
+        let all = Pos::ALL;
+        for (idx, &a) in all.iter().enumerate() {
+            for &b in &all[idx + 1..] {
+                cond = cond.obj_neq(a, b);
+            }
+        }
+        Expr::Universe.join(Expr::Universe, OutputSpec::IDENTITY, cond)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queries;
+    use super::*;
+
+    #[test]
+    fn output_helper() {
+        assert_eq!(
+            output(Pos::L1, Pos::R2, Pos::L3),
+            OutputSpec::new(Pos::L1, Pos::R2, Pos::L3)
+        );
+    }
+
+    #[test]
+    fn reach_shapes_match_paper_notation() {
+        assert_eq!(
+            queries::reach_forward("E").to_string(),
+            "STAR(E JOIN[1,2,3' | 3=1'])"
+        );
+        assert_eq!(
+            queries::reach_down("E").to_string(),
+            "STAR(JOIN[1',2',3 | 1=2'] E)"
+        );
+        assert_eq!(
+            queries::reach_same_label("E").to_string(),
+            "STAR(E JOIN[1,2,3' | 3=1',2=2'])"
+        );
+    }
+
+    #[test]
+    fn example_queries_match_paper_notation() {
+        assert_eq!(
+            queries::example2("E").to_string(),
+            "(E JOIN[1,3',3 | 2=1'] E)"
+        );
+        assert_eq!(
+            queries::same_company_reachability("E").to_string(),
+            "STAR(STAR(E JOIN[1,3',3 | 2=1']) JOIN[1,2,3' | 3=1',2=2'])"
+        );
+        let ext = queries::example2_extended("E");
+        assert!(ext.to_string().starts_with("((E JOIN[1,3',3 | 2=1'] E) UNION"));
+    }
+
+    #[test]
+    fn intersect_via_join_shape() {
+        let e = Expr::rel("A").intersect_via_join(Expr::rel("B"));
+        assert_eq!(e.to_string(), "(A JOIN[1,2,3 | 1=1',2=2',3=3'] B)");
+    }
+
+    #[test]
+    fn cardinality_detectors() {
+        let four = queries::at_least_four_objects();
+        let six = queries::at_least_six_objects();
+        // 6 inequalities for "four distinct", 15 for "six distinct".
+        match &four {
+            Expr::Join { cond, .. } => assert_eq!(cond.theta.len(), 6),
+            _ => panic!("expected a join"),
+        }
+        match &six {
+            Expr::Join { cond, .. } => assert_eq!(cond.theta.len(), 15),
+            _ => panic!("expected a join"),
+        }
+        assert!(four.uses_universe());
+        assert!(!four.is_recursive());
+    }
+}

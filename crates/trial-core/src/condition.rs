@@ -1,0 +1,524 @@
+//! Join and selection conditions `θ` (objects) and `η` (data values).
+//!
+//! A join `R ✶^{i,j,k}_{θ,η} R'` carries two condition sets:
+//!
+//! * `θ` — (in)equalities between elements of `{1, 1', 2, 2', 3, 3'} ∪ O`,
+//!   i.e. between positions of the joined triples and object constants;
+//! * `η` — (in)equalities between elements of
+//!   `{ρ(1), …, ρ(3')} ∪ D`, i.e. between the *data values* of positions and
+//!   data-value constants.
+//!
+//! Selections `σ_{θ,η}(e)` use the same conditions restricted to the unprimed
+//! positions. [`Conditions`] bundles both sets and offers a small fluent API
+//! used by the builder and the parser.
+
+use crate::position::Pos;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Comparison operator: equality or inequality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Cmp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Neq,
+}
+
+impl Cmp {
+    /// Applies the comparison to two values of any `Eq` type.
+    #[inline]
+    pub fn apply<T: Eq>(self, a: &T, b: &T) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Neq => a != b,
+        }
+    }
+
+    /// The negated comparison.
+    pub fn negate(self) -> Cmp {
+        match self {
+            Cmp::Eq => Cmp::Neq,
+            Cmp::Neq => Cmp::Eq,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cmp::Eq => write!(f, "="),
+            Cmp::Neq => write!(f, "!="),
+        }
+    }
+}
+
+/// Right-hand side of an object condition: another position or an object
+/// constant (referenced by name and resolved against the triplestore at
+/// evaluation time).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjOperand {
+    /// A join position.
+    Pos(Pos),
+    /// An object constant, referenced by its name in the triplestore.
+    Const(String),
+}
+
+impl fmt::Display for ObjOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjOperand::Pos(p) => write!(f, "{p}"),
+            ObjOperand::Const(name) => write!(f, "'{name}'"),
+        }
+    }
+}
+
+/// A single `θ` atom: `lhs cmp rhs` where `lhs` is a position and `rhs` is a
+/// position or an object constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ObjAtom {
+    /// Left-hand position.
+    pub lhs: Pos,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand operand.
+    pub rhs: ObjOperand,
+}
+
+impl ObjAtom {
+    /// Returns `true` if the atom only mentions unprimed positions, so it is
+    /// legal inside a selection.
+    pub fn is_left_only(&self) -> bool {
+        self.lhs.is_left()
+            && match &self.rhs {
+                ObjOperand::Pos(p) => p.is_left(),
+                ObjOperand::Const(_) => true,
+            }
+    }
+
+    /// Returns `true` if the atom is an equality (not an inequality).
+    pub fn is_equality(&self) -> bool {
+        self.cmp == Cmp::Eq
+    }
+
+    /// Returns the positions mentioned by the atom.
+    pub fn positions(&self) -> Vec<Pos> {
+        let mut ps = vec![self.lhs];
+        if let ObjOperand::Pos(p) = &self.rhs {
+            ps.push(*p);
+        }
+        ps
+    }
+}
+
+impl fmt::Display for ObjAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}{}", self.lhs, self.cmp, self.rhs)
+    }
+}
+
+/// Right-hand side of a data condition: the data value of another position or
+/// a data-value constant.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataOperand {
+    /// The data value `ρ(p)` of a join position `p`.
+    Pos(Pos),
+    /// A data-value constant.
+    Const(Value),
+}
+
+impl fmt::Display for DataOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataOperand::Pos(p) => write!(f, "rho({p})"),
+            DataOperand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A single `η` atom: `ρ(lhs) cmp rhs` where `rhs` is `ρ(pos)` or a constant
+/// data value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DataAtom {
+    /// Position whose data value is compared.
+    pub lhs: Pos,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand operand.
+    pub rhs: DataOperand,
+}
+
+impl DataAtom {
+    /// Returns `true` if the atom only mentions unprimed positions.
+    pub fn is_left_only(&self) -> bool {
+        self.lhs.is_left()
+            && match &self.rhs {
+                DataOperand::Pos(p) => p.is_left(),
+                DataOperand::Const(_) => true,
+            }
+    }
+
+    /// Returns `true` if the atom is an equality (not an inequality).
+    pub fn is_equality(&self) -> bool {
+        self.cmp == Cmp::Eq
+    }
+
+    /// Returns the positions mentioned by the atom.
+    pub fn positions(&self) -> Vec<Pos> {
+        let mut ps = vec![self.lhs];
+        if let DataOperand::Pos(p) = &self.rhs {
+            ps.push(*p);
+        }
+        ps
+    }
+}
+
+impl fmt::Display for DataAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rho({}){}{}", self.lhs, self.cmp, self.rhs)
+    }
+}
+
+/// A pair of condition sets `(θ, η)` attached to a join or a selection.
+///
+/// The empty condition set is always satisfied.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Conditions {
+    /// Object conditions `θ`.
+    pub theta: Vec<ObjAtom>,
+    /// Data-value conditions `η`.
+    pub eta: Vec<DataAtom>,
+}
+
+impl Conditions {
+    /// Creates an empty (always-true) condition set.
+    pub fn new() -> Self {
+        Conditions::default()
+    }
+
+    /// Returns `true` if both `θ` and `η` are empty.
+    pub fn is_empty(&self) -> bool {
+        self.theta.is_empty() && self.eta.is_empty()
+    }
+
+    /// Total number of atoms.
+    pub fn len(&self) -> usize {
+        self.theta.len() + self.eta.len()
+    }
+
+    /// Adds an object equality `a = b` between two positions.
+    pub fn obj_eq(mut self, a: Pos, b: Pos) -> Self {
+        self.theta.push(ObjAtom {
+            lhs: a,
+            cmp: Cmp::Eq,
+            rhs: ObjOperand::Pos(b),
+        });
+        self
+    }
+
+    /// Adds an object inequality `a ≠ b` between two positions.
+    pub fn obj_neq(mut self, a: Pos, b: Pos) -> Self {
+        self.theta.push(ObjAtom {
+            lhs: a,
+            cmp: Cmp::Neq,
+            rhs: ObjOperand::Pos(b),
+        });
+        self
+    }
+
+    /// Adds an equality between a position and an object constant.
+    pub fn obj_eq_const(mut self, a: Pos, name: impl Into<String>) -> Self {
+        self.theta.push(ObjAtom {
+            lhs: a,
+            cmp: Cmp::Eq,
+            rhs: ObjOperand::Const(name.into()),
+        });
+        self
+    }
+
+    /// Adds an inequality between a position and an object constant.
+    pub fn obj_neq_const(mut self, a: Pos, name: impl Into<String>) -> Self {
+        self.theta.push(ObjAtom {
+            lhs: a,
+            cmp: Cmp::Neq,
+            rhs: ObjOperand::Const(name.into()),
+        });
+        self
+    }
+
+    /// Adds a data equality `ρ(a) = ρ(b)`.
+    pub fn data_eq(mut self, a: Pos, b: Pos) -> Self {
+        self.eta.push(DataAtom {
+            lhs: a,
+            cmp: Cmp::Eq,
+            rhs: DataOperand::Pos(b),
+        });
+        self
+    }
+
+    /// Adds a data inequality `ρ(a) ≠ ρ(b)`.
+    pub fn data_neq(mut self, a: Pos, b: Pos) -> Self {
+        self.eta.push(DataAtom {
+            lhs: a,
+            cmp: Cmp::Neq,
+            rhs: DataOperand::Pos(b),
+        });
+        self
+    }
+
+    /// Adds a data equality against a constant value `ρ(a) = v`.
+    pub fn data_eq_const(mut self, a: Pos, v: impl Into<Value>) -> Self {
+        self.eta.push(DataAtom {
+            lhs: a,
+            cmp: Cmp::Eq,
+            rhs: DataOperand::Const(v.into()),
+        });
+        self
+    }
+
+    /// Adds a data inequality against a constant value `ρ(a) ≠ v`.
+    pub fn data_neq_const(mut self, a: Pos, v: impl Into<Value>) -> Self {
+        self.eta.push(DataAtom {
+            lhs: a,
+            cmp: Cmp::Neq,
+            rhs: DataOperand::Const(v.into()),
+        });
+        self
+    }
+
+    /// Appends a pre-built object atom.
+    pub fn with_obj_atom(mut self, atom: ObjAtom) -> Self {
+        self.theta.push(atom);
+        self
+    }
+
+    /// Appends a pre-built data atom.
+    pub fn with_data_atom(mut self, atom: DataAtom) -> Self {
+        self.eta.push(atom);
+        self
+    }
+
+    /// Merges another condition set into this one (conjunction).
+    pub fn and(mut self, other: Conditions) -> Self {
+        self.theta.extend(other.theta);
+        self.eta.extend(other.eta);
+        self
+    }
+
+    /// Returns `true` if every atom only mentions unprimed positions, so the
+    /// condition set is valid for a selection.
+    pub fn is_left_only(&self) -> bool {
+        self.theta.iter().all(ObjAtom::is_left_only)
+            && self.eta.iter().all(DataAtom::is_left_only)
+    }
+
+    /// Returns `true` if every atom is an equality (no inequalities).
+    ///
+    /// This is the defining restriction of the fragments TriAL⁼ and reachTA⁼
+    /// (Section 5 and Theorem 5).
+    pub fn equalities_only(&self) -> bool {
+        self.theta.iter().all(ObjAtom::is_equality) && self.eta.iter().all(DataAtom::is_equality)
+    }
+
+    /// Returns `true` if any atom references an object or data constant.
+    pub fn has_constants(&self) -> bool {
+        self.theta
+            .iter()
+            .any(|a| matches!(a.rhs, ObjOperand::Const(_)))
+            || self
+                .eta
+                .iter()
+                .any(|a| matches!(a.rhs, DataOperand::Const(_)))
+    }
+
+    /// All positions mentioned anywhere in the condition set.
+    pub fn positions(&self) -> Vec<Pos> {
+        let mut ps: Vec<Pos> = self
+            .theta
+            .iter()
+            .flat_map(|a| a.positions())
+            .chain(self.eta.iter().flat_map(|a| a.positions()))
+            .collect();
+        ps.sort();
+        ps.dedup();
+        ps
+    }
+
+    /// The object equality atoms that link a left position to a right
+    /// position, returned as `(left, right)` pairs.
+    ///
+    /// These are the atoms a hash join can use as its key ("θ⋈" in the
+    /// proof of Proposition 4).
+    pub fn cross_equalities(&self) -> Vec<(Pos, Pos)> {
+        let mut out = Vec::new();
+        for atom in &self.theta {
+            if atom.cmp != Cmp::Eq {
+                continue;
+            }
+            if let ObjOperand::Pos(rhs) = atom.rhs {
+                match (atom.lhs.is_left(), rhs.is_left()) {
+                    (true, false) => out.push((atom.lhs, rhs)),
+                    (false, true) => out.push((rhs, atom.lhs)),
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Conditions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for atom in &self.theta {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{atom}")?;
+            first = false;
+        }
+        for atom in &self.eta {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{atom}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_apply_and_negate() {
+        assert!(Cmp::Eq.apply(&1, &1));
+        assert!(!Cmp::Eq.apply(&1, &2));
+        assert!(Cmp::Neq.apply(&1, &2));
+        assert_eq!(Cmp::Eq.negate(), Cmp::Neq);
+        assert_eq!(Cmp::Neq.negate(), Cmp::Eq);
+        assert_eq!(Cmp::Eq.to_string(), "=");
+        assert_eq!(Cmp::Neq.to_string(), "!=");
+    }
+
+    #[test]
+    fn fluent_construction_and_display() {
+        let c = Conditions::new()
+            .obj_eq(Pos::L2, Pos::R1)
+            .obj_neq_const(Pos::L1, "Edinburgh")
+            .data_eq(Pos::L3, Pos::R3)
+            .data_eq_const(Pos::L1, Value::int(7));
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(
+            c.to_string(),
+            "2=1',1!='Edinburgh',rho(3)=rho(3'),rho(1)=7"
+        );
+    }
+
+    #[test]
+    fn empty_conditions() {
+        let c = Conditions::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.is_left_only());
+        assert!(c.equalities_only());
+        assert!(!c.has_constants());
+        assert_eq!(c.to_string(), "");
+    }
+
+    #[test]
+    fn left_only_detection() {
+        let sel = Conditions::new()
+            .obj_eq(Pos::L1, Pos::L2)
+            .data_eq_const(Pos::L3, "x");
+        assert!(sel.is_left_only());
+        let join = Conditions::new().obj_eq(Pos::L3, Pos::R1);
+        assert!(!join.is_left_only());
+        let join_data = Conditions::new().data_eq(Pos::L1, Pos::R2);
+        assert!(!join_data.is_left_only());
+    }
+
+    #[test]
+    fn equality_only_detection() {
+        assert!(Conditions::new()
+            .obj_eq(Pos::L1, Pos::R1)
+            .data_eq(Pos::L2, Pos::R2)
+            .equalities_only());
+        assert!(!Conditions::new()
+            .obj_neq(Pos::L1, Pos::R1)
+            .equalities_only());
+        assert!(!Conditions::new()
+            .data_neq(Pos::L1, Pos::R1)
+            .equalities_only());
+    }
+
+    #[test]
+    fn constants_detection() {
+        assert!(Conditions::new()
+            .obj_eq_const(Pos::L1, "a")
+            .has_constants());
+        assert!(Conditions::new()
+            .data_neq_const(Pos::L1, Value::Null)
+            .has_constants());
+        assert!(!Conditions::new().obj_eq(Pos::L1, Pos::R1).has_constants());
+    }
+
+    #[test]
+    fn positions_collected_and_deduped() {
+        let c = Conditions::new()
+            .obj_eq(Pos::L2, Pos::R1)
+            .obj_eq(Pos::L2, Pos::L3)
+            .data_eq(Pos::R1, Pos::R3);
+        assert_eq!(c.positions(), vec![Pos::L2, Pos::L3, Pos::R1, Pos::R3]);
+    }
+
+    #[test]
+    fn cross_equalities_are_oriented() {
+        let c = Conditions::new()
+            .obj_eq(Pos::L3, Pos::R1) // left-to-right
+            .obj_eq(Pos::R2, Pos::L2) // right-to-left, must be flipped
+            .obj_eq(Pos::L1, Pos::L2) // same side: not a cross equality
+            .obj_neq(Pos::L1, Pos::R1) // inequality: ignored
+            .obj_eq_const(Pos::L1, "c"); // constant: ignored
+        assert_eq!(
+            c.cross_equalities(),
+            vec![(Pos::L3, Pos::R1), (Pos::L2, Pos::R2)]
+        );
+    }
+
+    #[test]
+    fn and_merges_both_sets() {
+        let a = Conditions::new().obj_eq(Pos::L1, Pos::R1);
+        let b = Conditions::new().data_neq(Pos::L2, Pos::R2);
+        let c = a.and(b);
+        assert_eq!(c.theta.len(), 1);
+        assert_eq!(c.eta.len(), 1);
+    }
+
+    #[test]
+    fn atom_helpers() {
+        let atom = ObjAtom {
+            lhs: Pos::L1,
+            cmp: Cmp::Eq,
+            rhs: ObjOperand::Const("x".into()),
+        };
+        assert!(atom.is_left_only());
+        assert!(atom.is_equality());
+        assert_eq!(atom.positions(), vec![Pos::L1]);
+        assert_eq!(atom.to_string(), "1='x'");
+
+        let datom = DataAtom {
+            lhs: Pos::R2,
+            cmp: Cmp::Neq,
+            rhs: DataOperand::Pos(Pos::L1),
+        };
+        assert!(!datom.is_left_only());
+        assert!(!datom.is_equality());
+        assert_eq!(datom.positions(), vec![Pos::R2, Pos::L1]);
+        assert_eq!(datom.to_string(), "rho(2')!=rho(1)");
+    }
+}

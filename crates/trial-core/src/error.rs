@@ -1,0 +1,96 @@
+//! Error types shared by the TriAL crates.
+
+use std::fmt;
+
+/// Convenience result alias used throughout the TriAL crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while constructing or validating triplestores and
+/// algebra expressions.
+///
+/// Evaluation-time errors (unknown relations, unresolvable constants, …) are
+/// also reported through this type so that downstream crates can share a
+/// single error channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A relation name was referenced that does not exist in the triplestore.
+    UnknownRelation(String),
+    /// An object name was referenced (e.g. as a constant in a condition) that
+    /// does not exist in the triplestore.
+    UnknownObject(String),
+    /// A selection condition mentioned a right-hand-side position (`1'`, `2'`,
+    /// `3'`), which is only meaningful inside a join.
+    SelectionUsesRightPosition {
+        /// Rendering of the offending condition atom.
+        atom: String,
+    },
+    /// An expression failed structural validation.
+    InvalidExpression(String),
+    /// A parse error, reported by `trial-parser` or `trial-datalog`.
+    Parse {
+        /// Human-readable message.
+        message: String,
+        /// Byte offset into the input where the error was detected.
+        offset: usize,
+    },
+    /// The evaluation engine does not support the given expression
+    /// (used by restricted engines such as the reachTA⁼ fast path).
+    Unsupported(String),
+    /// A resource limit (configured by the caller) was exceeded during
+    /// evaluation, e.g. the materialised universal relation would be too big.
+    LimitExceeded(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+            Error::UnknownObject(name) => write!(f, "unknown object `{name}`"),
+            Error::SelectionUsesRightPosition { atom } => write!(
+                f,
+                "selection condition `{atom}` uses a primed position; primed positions are only valid in joins"
+            ),
+            Error::InvalidExpression(msg) => write!(f, "invalid expression: {msg}"),
+            Error::Parse { message, offset } => {
+                write!(f, "parse error at offset {offset}: {message}")
+            }
+            Error::Unsupported(msg) => write!(f, "unsupported expression: {msg}"),
+            Error::LimitExceeded(msg) => write!(f, "resource limit exceeded: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_relation() {
+        let e = Error::UnknownRelation("E".into());
+        assert_eq!(e.to_string(), "unknown relation `E`");
+    }
+
+    #[test]
+    fn display_parse_error() {
+        let e = Error::Parse {
+            message: "unexpected token".into(),
+            offset: 17,
+        };
+        assert!(e.to_string().contains("offset 17"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn display_selection_uses_right_position() {
+        let e = Error::SelectionUsesRightPosition { atom: "1'=2".into() };
+        assert!(e.to_string().contains("1'=2"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_std_error<E: std::error::Error>() {}
+        assert_std_error::<Error>();
+    }
+}

@@ -1,0 +1,328 @@
+//! Fragment analysis: TriAL, TriAL\*, TriAL⁼ and reachTA⁼.
+//!
+//! Section 5 of the paper identifies two fragments with lower evaluation
+//! complexity:
+//!
+//! * **TriAL⁼** — conditions in joins and selections use *equalities only*
+//!   (no `≠`). QueryComputation drops from `O(|e|·|T|²)` to
+//!   `O(|e|·|O|·|T|)` (Proposition 4).
+//! * **reachTA⁼** — TriAL⁼ plus Kleene stars restricted to the two
+//!   reachability shapes `(R ✶^{1,2,3'}_{3=1'})^*` and
+//!   `(R ✶^{1,2,3'}_{3=1', 2=2'})^*`. QueryComputation stays
+//!   `O(|e|·|O|·|T|)` (Proposition 5).
+//!
+//! The analysis here is purely syntactic and is used by `trial-eval`'s
+//! planner to route expressions to the cheapest applicable engine, and by
+//! the benchmarks to label workloads.
+
+use crate::algebra::{Expr, StarDirection};
+use crate::condition::Conditions;
+use crate::position::{OutputSpec, Pos};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The smallest fragment of the paper's hierarchy that syntactically
+/// contains a given expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Fragment {
+    /// Non-recursive, equalities only (TriAL⁼).
+    TriAlEq,
+    /// Non-recursive, with inequalities (full TriAL).
+    TriAl,
+    /// Recursive, equalities only, all stars are reachability stars
+    /// (reachTA⁼).
+    ReachTaEq,
+    /// Recursive, equalities only, but with general stars (TriAL⁼ + stars).
+    TriAlStarEq,
+    /// Full recursive algebra (TriAL\*).
+    TriAlStar,
+}
+
+impl Fragment {
+    /// `true` for the recursive fragments.
+    pub fn is_recursive(self) -> bool {
+        matches!(
+            self,
+            Fragment::ReachTaEq | Fragment::TriAlStarEq | Fragment::TriAlStar
+        )
+    }
+
+    /// `true` for the equality-only fragments.
+    pub fn equalities_only(self) -> bool {
+        !matches!(self, Fragment::TriAl | Fragment::TriAlStar)
+    }
+
+    /// The asymptotic QueryComputation bound the paper proves for this
+    /// fragment, as a human-readable string (used in benchmark reports).
+    pub fn paper_bound(self) -> &'static str {
+        match self {
+            Fragment::TriAlEq => "O(|e|·|O|·|T|)   (Proposition 4)",
+            Fragment::TriAl => "O(|e|·|T|^2)      (Theorem 3)",
+            Fragment::ReachTaEq => "O(|e|·|O|·|T|)   (Proposition 5)",
+            Fragment::TriAlStarEq => "O(|e|·|O|·|T|^2) (Section 5 remark)",
+            Fragment::TriAlStar => "O(|e|·|T|^3)      (Theorem 3)",
+        }
+    }
+}
+
+impl fmt::Display for Fragment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fragment::TriAlEq => write!(f, "TriAL="),
+            Fragment::TriAl => write!(f, "TriAL"),
+            Fragment::ReachTaEq => write!(f, "reachTA="),
+            Fragment::TriAlStarEq => write!(f, "TriAL*="),
+            Fragment::TriAlStar => write!(f, "TriAL*"),
+        }
+    }
+}
+
+/// Detailed syntactic facts about an expression, from which the fragment is
+/// derived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FragmentReport {
+    /// The expression contains at least one Kleene star.
+    pub recursive: bool,
+    /// Every condition in the expression uses equalities only.
+    pub equalities_only: bool,
+    /// Every Kleene star in the expression is one of the two reachability
+    /// stars admitted by reachTA⁼.
+    pub stars_are_reachability: bool,
+    /// Number of join operators.
+    pub join_count: usize,
+    /// Number of Kleene stars.
+    pub star_count: usize,
+    /// Number of condition atoms across the whole expression.
+    pub condition_atoms: usize,
+    /// The expression mentions the universal relation (directly or via
+    /// complement), which may be expensive to materialise.
+    pub uses_universe: bool,
+}
+
+impl FragmentReport {
+    /// Classifies the report into the smallest containing [`Fragment`].
+    pub fn fragment(&self) -> Fragment {
+        match (self.recursive, self.equalities_only) {
+            (false, true) => Fragment::TriAlEq,
+            (false, false) => Fragment::TriAl,
+            (true, true) => {
+                if self.stars_are_reachability {
+                    Fragment::ReachTaEq
+                } else {
+                    Fragment::TriAlStarEq
+                }
+            }
+            (true, false) => Fragment::TriAlStar,
+        }
+    }
+}
+
+/// Returns `true` if a star with this output/condition/direction is one of
+/// the two reachability stars of Proposition 5:
+/// `(R ✶^{1,2,3'}_{3=1'})^*` or `(R ✶^{1,2,3'}_{3=1', 2=2'})^*`.
+///
+/// Only right stars qualify (the paper defines the fragment with the right
+/// Kleene closure), conditions must have no data atoms and no constants.
+pub fn is_reachability_star(
+    output: &OutputSpec,
+    cond: &Conditions,
+    direction: StarDirection,
+) -> bool {
+    if direction != StarDirection::Right {
+        return false;
+    }
+    if *output != OutputSpec::new(Pos::L1, Pos::L2, Pos::R3) {
+        return false;
+    }
+    if !cond.eta.is_empty() || cond.has_constants() || !cond.equalities_only() {
+        return false;
+    }
+    let mut pairs: Vec<(Pos, Pos)> = cond.cross_equalities();
+    pairs.sort();
+    pairs.dedup();
+    // All theta atoms must be cross equalities (no same-side equalities).
+    if pairs.len() != cond.theta.len() {
+        let mut unique_atoms: Vec<_> = cond.theta.clone();
+        unique_atoms.sort_by_key(|a| format!("{a}"));
+        unique_atoms.dedup();
+        if pairs.len() != unique_atoms.len() {
+            return false;
+        }
+    }
+    pairs == vec![(Pos::L3, Pos::R1)] || pairs == vec![(Pos::L2, Pos::R2), (Pos::L3, Pos::R1)]
+}
+
+/// Analyses an expression and produces a [`FragmentReport`].
+pub fn analyze(expr: &Expr) -> FragmentReport {
+    let mut report = FragmentReport {
+        recursive: false,
+        equalities_only: true,
+        stars_are_reachability: true,
+        join_count: 0,
+        star_count: 0,
+        condition_atoms: 0,
+        uses_universe: false,
+    };
+    for e in expr.subexpressions() {
+        match e {
+            Expr::Universe | Expr::Complement(_) => report.uses_universe = true,
+            Expr::Select { cond, .. } => {
+                report.condition_atoms += cond.len();
+                report.equalities_only &= cond.equalities_only();
+            }
+            Expr::Join { cond, .. } => {
+                report.join_count += 1;
+                report.condition_atoms += cond.len();
+                report.equalities_only &= cond.equalities_only();
+            }
+            Expr::Star {
+                cond,
+                output,
+                direction,
+                ..
+            } => {
+                report.recursive = true;
+                report.star_count += 1;
+                report.condition_atoms += cond.len();
+                report.equalities_only &= cond.equalities_only();
+                report.stars_are_reachability &=
+                    is_reachability_star(output, cond, *direction);
+            }
+            _ => {}
+        }
+    }
+    if !report.recursive {
+        // "All stars are reachability stars" is vacuously true but
+        // irrelevant for non-recursive expressions; normalise it to true.
+        report.stars_are_reachability = true;
+    }
+    report
+}
+
+/// Convenience: classify an expression directly.
+pub fn classify(expr: &Expr) -> Fragment {
+    analyze(expr).fragment()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{queries, ExprBuilderExt};
+    use crate::condition::Conditions;
+    use crate::position::Pos;
+
+    #[test]
+    fn classify_nonrecursive() {
+        assert_eq!(classify(&queries::example2("E")), Fragment::TriAlEq);
+        assert_eq!(classify(&queries::at_least_four_objects()), Fragment::TriAl);
+        assert_eq!(classify(&Expr::rel("E")), Fragment::TriAlEq);
+        assert_eq!(classify(&Expr::Universe), Fragment::TriAlEq);
+    }
+
+    #[test]
+    fn classify_reachability_stars() {
+        assert_eq!(classify(&queries::reach_forward("E")), Fragment::ReachTaEq);
+        assert_eq!(
+            classify(&queries::reach_same_label("E")),
+            Fragment::ReachTaEq
+        );
+        // Reach⇓ is a left star with a different output: not a reachTA= star.
+        assert_eq!(classify(&queries::reach_down("E")), Fragment::TriAlStarEq);
+        // Query Q contains the non-reach star (E ✶^{1,3',3}_{2=1'})^*.
+        assert_eq!(
+            classify(&queries::same_company_reachability("E")),
+            Fragment::TriAlStarEq
+        );
+    }
+
+    #[test]
+    fn classify_star_with_inequality() {
+        let e = Expr::rel("E").right_star(
+            OutputSpec::new(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new().obj_eq(Pos::L3, Pos::R1).obj_neq(Pos::L1, Pos::R3),
+        );
+        assert_eq!(classify(&e), Fragment::TriAlStar);
+    }
+
+    #[test]
+    fn reachability_star_shape_checks() {
+        let out = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
+        let plain = Conditions::new().obj_eq(Pos::L3, Pos::R1);
+        let labelled = Conditions::new().obj_eq(Pos::L3, Pos::R1).obj_eq(Pos::L2, Pos::R2);
+        assert!(is_reachability_star(&out, &plain, StarDirection::Right));
+        assert!(is_reachability_star(&out, &labelled, StarDirection::Right));
+        // Wrong direction.
+        assert!(!is_reachability_star(&out, &plain, StarDirection::Left));
+        // Wrong output spec.
+        let wrong_out = OutputSpec::new(Pos::L1, Pos::R3, Pos::L3);
+        assert!(!is_reachability_star(&wrong_out, &plain, StarDirection::Right));
+        // Extra data condition.
+        let with_data = Conditions::new()
+            .obj_eq(Pos::L3, Pos::R1)
+            .data_eq(Pos::L1, Pos::R1);
+        assert!(!is_reachability_star(&out, &with_data, StarDirection::Right));
+        // Constant condition.
+        let with_const = Conditions::new()
+            .obj_eq(Pos::L3, Pos::R1)
+            .obj_eq_const(Pos::L2, "part_of");
+        assert!(!is_reachability_star(&out, &with_const, StarDirection::Right));
+        // Wrong equality pair.
+        let wrong_pair = Conditions::new().obj_eq(Pos::L1, Pos::R1);
+        assert!(!is_reachability_star(&out, &wrong_pair, StarDirection::Right));
+        // Empty condition (cartesian-style star) is not a reachability star.
+        assert!(!is_reachability_star(&out, &Conditions::new(), StarDirection::Right));
+    }
+
+    #[test]
+    fn report_counts() {
+        let q = queries::same_company_reachability("E");
+        let report = analyze(&q);
+        assert!(report.recursive);
+        assert_eq!(report.star_count, 2);
+        assert_eq!(report.join_count, 0);
+        assert_eq!(report.condition_atoms, 3);
+        assert!(report.equalities_only);
+        assert!(!report.uses_universe);
+        assert!(!report.stars_are_reachability);
+
+        let four = queries::at_least_four_objects();
+        let report = analyze(&four);
+        assert!(!report.recursive);
+        assert!(report.uses_universe);
+        assert!(!report.equalities_only);
+        assert_eq!(report.join_count, 1);
+        assert_eq!(report.condition_atoms, 6);
+    }
+
+    #[test]
+    fn fragment_properties() {
+        assert!(Fragment::ReachTaEq.is_recursive());
+        assert!(!Fragment::TriAlEq.is_recursive());
+        assert!(Fragment::TriAlEq.equalities_only());
+        assert!(!Fragment::TriAlStar.equalities_only());
+        for f in [
+            Fragment::TriAlEq,
+            Fragment::TriAl,
+            Fragment::ReachTaEq,
+            Fragment::TriAlStarEq,
+            Fragment::TriAlStar,
+        ] {
+            assert!(!f.paper_bound().is_empty());
+            assert!(!f.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn selection_with_inequality_is_full_trial() {
+        let e = Expr::rel("E").select(Conditions::new().obj_neq(Pos::L1, Pos::L3));
+        assert_eq!(classify(&e), Fragment::TriAl);
+        let e2 = Expr::rel("E").select(Conditions::new().obj_eq(Pos::L1, Pos::L3));
+        assert_eq!(classify(&e2), Fragment::TriAlEq);
+    }
+
+    #[test]
+    fn intersect_via_join_is_equality_fragment() {
+        let e = Expr::rel("A").intersect_via_join(Expr::rel("B"));
+        assert_eq!(classify(&e), Fragment::TriAlEq);
+    }
+}

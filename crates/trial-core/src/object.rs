@@ -1,0 +1,83 @@
+//! Interned object identifiers.
+//!
+//! The paper's object domain `O` is a countably infinite set of abstract
+//! objects (URIs, node ids, connection ids, …). The algebra only ever tests
+//! objects for equality, so every real system interns them; we do the same
+//! and represent an object by a dense [`ObjectId`] assigned by the
+//! [`crate::TriplestoreBuilder`]. The human-readable name and the data value
+//! `ρ(o)` are stored in the [`crate::Triplestore`] and looked up by id.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, interned identifier for an object in `O`.
+///
+/// Ids are assigned consecutively starting from zero by the
+/// [`crate::TriplestoreBuilder`]; this makes them directly usable as indices
+/// into per-object arrays (the "array representation" assumed by the paper's
+/// Theorem 3 cost model).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Returns the id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in a `u32`. Triplestores with more than
+    /// 4 billion objects are outside the scope of this library.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        ObjectId(u32::try_from(index).expect("object index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let id = ObjectId::from_index(42);
+        assert_eq!(id, ObjectId(42));
+        assert_eq!(id.index(), 42);
+        assert_eq!(ObjectId::from(7u32), ObjectId(7));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ObjectId(3).to_string(), "#3");
+    }
+
+    #[test]
+    fn ordering_follows_numeric_order() {
+        let mut ids = vec![ObjectId(5), ObjectId(1), ObjectId(3)];
+        ids.sort();
+        assert_eq!(ids, vec![ObjectId(1), ObjectId(3), ObjectId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "object index exceeds u32::MAX")]
+    fn from_index_panics_on_overflow() {
+        let _ = ObjectId::from_index(u32::MAX as usize + 1);
+    }
+}

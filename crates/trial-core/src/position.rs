@@ -1,0 +1,227 @@
+//! Join positions and output specifications.
+//!
+//! A triple join `R ✶^{i,j,k}_{θ,η} R'` addresses the six components of the
+//! joined pair of triples by the indexes `1, 2, 3` (the left triple) and
+//! `1', 2', 3'` (the right triple). [`Pos`] enumerates those six positions,
+//! and [`OutputSpec`] is the triple `(i, j, k)` of positions kept in the
+//! output.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the two joined triples a position addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Side {
+    /// The left argument of the join (unprimed positions `1, 2, 3`).
+    Left,
+    /// The right argument of the join (primed positions `1', 2', 3'`).
+    Right,
+}
+
+/// One of the six positions `1, 2, 3, 1', 2', 3'` of a join.
+///
+/// In selections (`σ_{θ,η}`) only the unprimed positions are meaningful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Pos {
+    /// Position `1` of the left triple.
+    L1,
+    /// Position `2` of the left triple.
+    L2,
+    /// Position `3` of the left triple.
+    L3,
+    /// Position `1'` of the right triple.
+    R1,
+    /// Position `2'` of the right triple.
+    R2,
+    /// Position `3'` of the right triple.
+    R3,
+}
+
+impl Pos {
+    /// All six positions in declaration order.
+    pub const ALL: [Pos; 6] = [Pos::L1, Pos::L2, Pos::L3, Pos::R1, Pos::R2, Pos::R3];
+
+    /// The three unprimed (left) positions.
+    pub const LEFT: [Pos; 3] = [Pos::L1, Pos::L2, Pos::L3];
+
+    /// The three primed (right) positions.
+    pub const RIGHT: [Pos; 3] = [Pos::R1, Pos::R2, Pos::R3];
+
+    /// Which triple of the joined pair this position addresses.
+    #[inline]
+    pub fn side(self) -> Side {
+        match self {
+            Pos::L1 | Pos::L2 | Pos::L3 => Side::Left,
+            Pos::R1 | Pos::R2 | Pos::R3 => Side::Right,
+        }
+    }
+
+    /// Returns `true` for the unprimed positions `1, 2, 3`.
+    #[inline]
+    pub fn is_left(self) -> bool {
+        self.side() == Side::Left
+    }
+
+    /// Returns `true` for the primed positions `1', 2', 3'`.
+    #[inline]
+    pub fn is_right(self) -> bool {
+        self.side() == Side::Right
+    }
+
+    /// The 0-based component index (`0`, `1` or `2`) within its triple.
+    #[inline]
+    pub fn component_index(self) -> usize {
+        match self {
+            Pos::L1 | Pos::R1 => 0,
+            Pos::L2 | Pos::R2 => 1,
+            Pos::L3 | Pos::R3 => 2,
+        }
+    }
+
+    /// The 1-based component number (`1`, `2` or `3`) within its triple.
+    #[inline]
+    pub fn component(self) -> u8 {
+        self.component_index() as u8 + 1
+    }
+
+    /// Builds a position from a side and a 1-based component number.
+    ///
+    /// # Panics
+    /// Panics if `component` is not 1, 2 or 3.
+    pub fn new(side: Side, component: u8) -> Self {
+        match (side, component) {
+            (Side::Left, 1) => Pos::L1,
+            (Side::Left, 2) => Pos::L2,
+            (Side::Left, 3) => Pos::L3,
+            (Side::Right, 1) => Pos::R1,
+            (Side::Right, 2) => Pos::R2,
+            (Side::Right, 3) => Pos::R3,
+            _ => panic!("position component must be 1, 2 or 3 (got {component})"),
+        }
+    }
+
+    /// The corresponding position on the other side (`1 ↔ 1'`, etc.).
+    #[inline]
+    pub fn mirrored(self) -> Pos {
+        match self {
+            Pos::L1 => Pos::R1,
+            Pos::L2 => Pos::R2,
+            Pos::L3 => Pos::R3,
+            Pos::R1 => Pos::L1,
+            Pos::R2 => Pos::L2,
+            Pos::R3 => Pos::L3,
+        }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pos::L1 => write!(f, "1"),
+            Pos::L2 => write!(f, "2"),
+            Pos::L3 => write!(f, "3"),
+            Pos::R1 => write!(f, "1'"),
+            Pos::R2 => write!(f, "2'"),
+            Pos::R3 => write!(f, "3'"),
+        }
+    }
+}
+
+/// The output specification `(i, j, k)` of a join: which three of the six
+/// positions are kept, and in which order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OutputSpec(pub [Pos; 3]);
+
+impl OutputSpec {
+    /// Builds an output specification from three positions.
+    pub fn new(i: Pos, j: Pos, k: Pos) -> Self {
+        OutputSpec([i, j, k])
+    }
+
+    /// The identity output `(1, 2, 3)`: keep the left triple unchanged.
+    pub const IDENTITY: OutputSpec = OutputSpec([Pos::L1, Pos::L2, Pos::L3]);
+
+    /// Iterates over the three output positions.
+    pub fn iter(&self) -> impl Iterator<Item = Pos> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// Returns the position kept in output slot `slot` (0-based).
+    pub fn get(&self, slot: usize) -> Pos {
+        self.0[slot]
+    }
+
+    /// `true` if every output position addresses the left triple.
+    pub fn all_left(&self) -> bool {
+        self.0.iter().all(|p| p.is_left())
+    }
+
+    /// `true` if every output position addresses the right triple.
+    pub fn all_right(&self) -> bool {
+        self.0.iter().all(|p| p.is_right())
+    }
+}
+
+impl fmt::Display for OutputSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{},{}", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+impl From<[Pos; 3]> for OutputSpec {
+    fn from(v: [Pos; 3]) -> Self {
+        OutputSpec(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sides_and_components() {
+        assert_eq!(Pos::L1.side(), Side::Left);
+        assert_eq!(Pos::R2.side(), Side::Right);
+        assert!(Pos::L3.is_left());
+        assert!(Pos::R3.is_right());
+        assert_eq!(Pos::L2.component(), 2);
+        assert_eq!(Pos::R3.component_index(), 2);
+    }
+
+    #[test]
+    fn new_and_mirror() {
+        for side in [Side::Left, Side::Right] {
+            for c in 1..=3u8 {
+                let p = Pos::new(side, c);
+                assert_eq!(p.side(), side);
+                assert_eq!(p.component(), c);
+                assert_eq!(p.mirrored().component(), c);
+                assert_ne!(p.mirrored().side(), p.side());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "position component must be 1, 2 or 3")]
+    fn new_rejects_bad_component() {
+        let _ = Pos::new(Side::Left, 4);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let rendered: Vec<String> = Pos::ALL.iter().map(|p| p.to_string()).collect();
+        assert_eq!(rendered, vec!["1", "2", "3", "1'", "2'", "3'"]);
+    }
+
+    #[test]
+    fn output_spec_basics() {
+        let out = OutputSpec::new(Pos::L1, Pos::R3, Pos::L3);
+        assert_eq!(out.to_string(), "1,3',3");
+        assert_eq!(out.get(1), Pos::R3);
+        assert_eq!(out.iter().count(), 3);
+        assert!(!out.all_left());
+        assert!(!out.all_right());
+        assert!(OutputSpec::IDENTITY.all_left());
+        assert!(OutputSpec::from([Pos::R1, Pos::R2, Pos::R3]).all_right());
+    }
+}

@@ -1,0 +1,357 @@
+//! Triples and sets of triples.
+//!
+//! A TriAL expression maps a triplestore to a *set of triples* — closure is
+//! the defining property of the algebra. [`TripleSet`] is the canonical
+//! result representation: a sorted, duplicate-free vector of [`Triple`]s with
+//! set operations matching the algebra's `∪`, `−` and `∩`.
+
+use crate::object::ObjectId;
+use crate::position::Side;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single triple `(s, p, o)` of objects.
+///
+/// Following the paper we index the components by position 1, 2, 3 rather
+/// than by the RDF names subject/predicate/object, since the middle element
+/// of a triple is a first-class object that can occur in any position of any
+/// other triple.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Triple(pub [ObjectId; 3]);
+
+impl Triple {
+    /// Builds a triple from its three components.
+    #[inline]
+    pub fn new(s: ObjectId, p: ObjectId, o: ObjectId) -> Self {
+        Triple([s, p, o])
+    }
+
+    /// The first component (position 1, the RDF *subject*).
+    #[inline]
+    pub fn s(&self) -> ObjectId {
+        self.0[0]
+    }
+
+    /// The second component (position 2, the RDF *predicate*).
+    #[inline]
+    pub fn p(&self) -> ObjectId {
+        self.0[1]
+    }
+
+    /// The third component (position 3, the RDF *object*).
+    #[inline]
+    pub fn o(&self) -> ObjectId {
+        self.0[2]
+    }
+
+    /// Returns the component at 1-based position `pos` (1, 2 or 3).
+    ///
+    /// # Panics
+    /// Panics if `pos` is not in `1..=3`.
+    #[inline]
+    pub fn get(&self, pos: u8) -> ObjectId {
+        assert!((1..=3).contains(&pos), "triple position must be 1, 2 or 3");
+        self.0[(pos - 1) as usize]
+    }
+
+    /// Looks up a component of a *pair* of triples by a join position.
+    ///
+    /// Unprimed positions (`1,2,3`) address `left`, primed positions
+    /// (`1',2',3'`) address `right`; this is the lookup used when evaluating
+    /// join conditions and output specifications.
+    #[inline]
+    pub fn from_pair(left: &Triple, right: &Triple, pos: crate::position::Pos) -> ObjectId {
+        match pos.side() {
+            Side::Left => left.0[pos.component_index()],
+            Side::Right => right.0[pos.component_index()],
+        }
+    }
+}
+
+impl From<[ObjectId; 3]> for Triple {
+    fn from(v: [ObjectId; 3]) -> Self {
+        Triple(v)
+    }
+}
+
+impl From<(ObjectId, ObjectId, ObjectId)> for Triple {
+    fn from((a, b, c): (ObjectId, ObjectId, ObjectId)) -> Self {
+        Triple([a, b, c])
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.0[0], self.0[1], self.0[2])
+    }
+}
+
+/// A set of triples: the result type of every TriAL expression.
+///
+/// The representation is a sorted, duplicate-free `Vec<Triple>`, giving
+/// `O(log n)` membership tests, cheap iteration in a canonical order, and
+/// linear-time set operations. Construction from arbitrary iterators sorts
+/// and deduplicates once.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct TripleSet {
+    triples: Vec<Triple>,
+}
+
+impl TripleSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        TripleSet::default()
+    }
+
+    /// Creates a set from a vector, sorting and deduplicating it.
+    pub fn from_vec(mut triples: Vec<Triple>) -> Self {
+        triples.sort_unstable();
+        triples.dedup();
+        TripleSet { triples }
+    }
+
+    /// Number of triples in the set.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Returns `true` if the set contains no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.triples.binary_search(t).is_ok()
+    }
+
+    /// Inserts a triple, keeping the representation sorted.
+    ///
+    /// Returns `true` if the triple was not already present. Prefer building
+    /// with [`TripleSet::from_vec`] or [`FromIterator`] for bulk loads; this
+    /// method is `O(n)` per insertion in the worst case.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        match self.triples.binary_search(&t) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.triples.insert(pos, t);
+                true
+            }
+        }
+    }
+
+    /// Iterates over the triples in canonical (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Triple> + '_ {
+        self.triples.iter()
+    }
+
+    /// Borrows the underlying sorted slice.
+    pub fn as_slice(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Consumes the set, returning the sorted vector of triples.
+    pub fn into_vec(self) -> Vec<Triple> {
+        self.triples
+    }
+
+    /// Set union (`e1 ∪ e2` in the algebra).
+    pub fn union(&self, other: &TripleSet) -> TripleSet {
+        let mut out = Vec::with_capacity(self.len() + other.len());
+        out.extend_from_slice(&self.triples);
+        out.extend_from_slice(&other.triples);
+        TripleSet::from_vec(out)
+    }
+
+    /// Set difference (`e1 − e2` in the algebra).
+    pub fn difference(&self, other: &TripleSet) -> TripleSet {
+        let triples = self
+            .triples
+            .iter()
+            .filter(|t| !other.contains(t))
+            .copied()
+            .collect();
+        TripleSet { triples }
+    }
+
+    /// Set intersection (`e1 ∩ e2`, definable in the algebra via a join).
+    pub fn intersection(&self, other: &TripleSet) -> TripleSet {
+        // Iterate over the smaller side and probe the larger one.
+        let (small, large) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let triples = small
+            .triples
+            .iter()
+            .filter(|t| large.contains(t))
+            .copied()
+            .collect();
+        TripleSet { triples }
+    }
+
+    /// Returns `true` if `self` and `other` contain exactly the same triples.
+    pub fn set_eq(&self, other: &TripleSet) -> bool {
+        self.triples == other.triples
+    }
+
+    /// Returns the set of distinct objects appearing in any position of any
+    /// triple in this set, in sorted order.
+    pub fn active_objects(&self) -> Vec<ObjectId> {
+        let mut objs: Vec<ObjectId> = self
+            .triples
+            .iter()
+            .flat_map(|t| t.0.iter().copied())
+            .collect();
+        objs.sort_unstable();
+        objs.dedup();
+        objs
+    }
+}
+
+impl FromIterator<Triple> for TripleSet {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        TripleSet::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a TripleSet {
+    type Item = &'a Triple;
+    type IntoIter = std::slice::Iter<'a, Triple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.iter()
+    }
+}
+
+impl IntoIterator for TripleSet {
+    type Item = Triple;
+    type IntoIter = std::vec::IntoIter<Triple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.into_iter()
+    }
+}
+
+impl fmt::Display for TripleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, t) in self.triples.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(a: u32, b: u32, c: u32) -> Triple {
+        Triple::new(ObjectId(a), ObjectId(b), ObjectId(c))
+    }
+
+    #[test]
+    fn triple_accessors() {
+        let x = t(1, 2, 3);
+        assert_eq!(x.s(), ObjectId(1));
+        assert_eq!(x.p(), ObjectId(2));
+        assert_eq!(x.o(), ObjectId(3));
+        assert_eq!(x.get(1), ObjectId(1));
+        assert_eq!(x.get(2), ObjectId(2));
+        assert_eq!(x.get(3), ObjectId(3));
+        assert_eq!(x.to_string(), "(#1, #2, #3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "triple position must be 1, 2 or 3")]
+    fn triple_get_rejects_position_zero() {
+        let _ = t(1, 2, 3).get(0);
+    }
+
+    #[test]
+    fn triple_conversions() {
+        let a = ObjectId(1);
+        let b = ObjectId(2);
+        let c = ObjectId(3);
+        assert_eq!(Triple::from([a, b, c]), Triple::new(a, b, c));
+        assert_eq!(Triple::from((a, b, c)), Triple::new(a, b, c));
+    }
+
+    #[test]
+    fn from_pair_addresses_both_sides() {
+        use crate::position::Pos;
+        let l = t(1, 2, 3);
+        let r = t(4, 5, 6);
+        assert_eq!(Triple::from_pair(&l, &r, Pos::L1), ObjectId(1));
+        assert_eq!(Triple::from_pair(&l, &r, Pos::L3), ObjectId(3));
+        assert_eq!(Triple::from_pair(&l, &r, Pos::R1), ObjectId(4));
+        assert_eq!(Triple::from_pair(&l, &r, Pos::R3), ObjectId(6));
+    }
+
+    #[test]
+    fn set_dedup_and_sort() {
+        let s = TripleSet::from_vec(vec![t(2, 2, 2), t(1, 1, 1), t(2, 2, 2)]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.as_slice(), &[t(1, 1, 1), t(2, 2, 2)]);
+        assert!(!s.is_empty());
+        assert!(TripleSet::new().is_empty());
+    }
+
+    #[test]
+    fn set_membership_and_insert() {
+        let mut s = TripleSet::new();
+        assert!(s.insert(t(3, 3, 3)));
+        assert!(s.insert(t(1, 2, 3)));
+        assert!(!s.insert(t(3, 3, 3)));
+        assert!(s.contains(&t(1, 2, 3)));
+        assert!(!s.contains(&t(9, 9, 9)));
+        assert_eq!(s.len(), 2);
+        // Sorted invariant holds after inserts.
+        assert_eq!(s.as_slice(), &[t(1, 2, 3), t(3, 3, 3)]);
+    }
+
+    #[test]
+    fn set_operations() {
+        let a = TripleSet::from_vec(vec![t(1, 1, 1), t(2, 2, 2), t(3, 3, 3)]);
+        let b = TripleSet::from_vec(vec![t(2, 2, 2), t(4, 4, 4)]);
+        assert_eq!(
+            a.union(&b).into_vec(),
+            vec![t(1, 1, 1), t(2, 2, 2), t(3, 3, 3), t(4, 4, 4)]
+        );
+        assert_eq!(a.difference(&b).into_vec(), vec![t(1, 1, 1), t(3, 3, 3)]);
+        assert_eq!(a.intersection(&b).into_vec(), vec![t(2, 2, 2)]);
+        // Intersection is symmetric regardless of which side is smaller.
+        assert_eq!(b.intersection(&a).into_vec(), vec![t(2, 2, 2)]);
+    }
+
+    #[test]
+    fn set_eq_ignores_build_order() {
+        let a: TripleSet = [t(1, 2, 3), t(4, 5, 6)].into_iter().collect();
+        let b: TripleSet = [t(4, 5, 6), t(1, 2, 3)].into_iter().collect();
+        assert!(a.set_eq(&b));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn active_objects_deduplicates() {
+        let s = TripleSet::from_vec(vec![t(1, 2, 1), t(2, 3, 1)]);
+        assert_eq!(
+            s.active_objects(),
+            vec![ObjectId(1), ObjectId(2), ObjectId(3)]
+        );
+    }
+
+    #[test]
+    fn display_and_iterators() {
+        let s = TripleSet::from_vec(vec![t(1, 1, 1), t(2, 2, 2)]);
+        assert_eq!(s.to_string(), "{(#1, #1, #1), (#2, #2, #2)}");
+        assert_eq!(s.iter().count(), 2);
+        assert_eq!((&s).into_iter().count(), 2);
+        assert_eq!(s.into_iter().count(), 2);
+    }
+}

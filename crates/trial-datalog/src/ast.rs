@@ -1,0 +1,397 @@
+//! Abstract syntax of TripleDatalog¬ rules.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A term of a Datalog atom: a variable or an object constant.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DlTerm {
+    /// A variable, e.g. `x`.
+    Var(String),
+    /// An object constant referenced by name, e.g. `'part_of'`.
+    Const(String),
+}
+
+impl DlTerm {
+    /// Builds a variable term.
+    pub fn var(name: impl Into<String>) -> Self {
+        DlTerm::Var(name.into())
+    }
+
+    /// Builds a constant term.
+    pub fn constant(name: impl Into<String>) -> Self {
+        DlTerm::Const(name.into())
+    }
+
+    /// Returns the variable name if this is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            DlTerm::Var(v) => Some(v),
+            DlTerm::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for DlTerm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DlTerm::Var(v) => write!(f, "{v}"),
+            DlTerm::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+/// A relational atom `P(t1, …, tk)` with `k ≤ 3`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Atom {
+    /// Predicate name.
+    pub predicate: String,
+    /// Argument terms (arity at most 3).
+    pub args: Vec<DlTerm>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(predicate: impl Into<String>, args: Vec<DlTerm>) -> Self {
+        Atom {
+            predicate: predicate.into(),
+            args,
+        }
+    }
+
+    /// The atom's arity.
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Variables appearing in the atom (without duplicates, in first-use order).
+    pub fn variables(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for arg in &self.args {
+            if let DlTerm::Var(v) = arg {
+                if !seen.contains(&v.as_str()) {
+                    seen.push(v.as_str());
+                }
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A body literal: a possibly negated relational atom, a data-equivalence
+/// test `sim(x, y)` (the paper's `∼`), or an (in)equality between terms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Literal {
+    /// `P(t̄)` or `not P(t̄)`.
+    Atom {
+        /// The atom.
+        atom: Atom,
+        /// `true` if the literal is negated.
+        negated: bool,
+    },
+    /// `sim(t1, t2)` or `not sim(t1, t2)` — data-value equality `ρ(t1) = ρ(t2)`.
+    Sim {
+        /// Left term.
+        left: DlTerm,
+        /// Right term.
+        right: DlTerm,
+        /// `true` if the literal is negated.
+        negated: bool,
+    },
+    /// `t1 = t2` or `t1 != t2`.
+    Cmp {
+        /// Left term.
+        left: DlTerm,
+        /// Right term.
+        right: DlTerm,
+        /// `true` for `!=`.
+        negated: bool,
+    },
+}
+
+impl Literal {
+    /// Builds a positive relational literal.
+    pub fn pos(atom: Atom) -> Self {
+        Literal::Atom {
+            atom,
+            negated: false,
+        }
+    }
+
+    /// Builds a negated relational literal.
+    pub fn neg(atom: Atom) -> Self {
+        Literal::Atom {
+            atom,
+            negated: true,
+        }
+    }
+
+    /// Variables appearing in the literal.
+    pub fn variables(&self) -> Vec<&str> {
+        match self {
+            Literal::Atom { atom, .. } => atom.variables(),
+            Literal::Sim { left, right, .. } | Literal::Cmp { left, right, .. } => {
+                let mut vs = Vec::new();
+                for t in [left, right] {
+                    if let DlTerm::Var(v) = t {
+                        if !vs.contains(&v.as_str()) {
+                            vs.push(v.as_str());
+                        }
+                    }
+                }
+                vs
+            }
+        }
+    }
+
+    /// `true` if this is a positive relational atom (the kind that can bind
+    /// variables during evaluation).
+    pub fn is_positive_atom(&self) -> bool {
+        matches!(self, Literal::Atom { negated: false, .. })
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Atom { atom, negated } => {
+                if *negated {
+                    write!(f, "not {atom}")
+                } else {
+                    write!(f, "{atom}")
+                }
+            }
+            Literal::Sim {
+                left,
+                right,
+                negated,
+            } => {
+                if *negated {
+                    write!(f, "not sim({left}, {right})")
+                } else {
+                    write!(f, "sim({left}, {right})")
+                }
+            }
+            Literal::Cmp {
+                left,
+                right,
+                negated,
+            } => {
+                if *negated {
+                    write!(f, "{left} != {right}")
+                } else {
+                    write!(f, "{left} = {right}")
+                }
+            }
+        }
+    }
+}
+
+/// A Datalog rule `Head(…) :- L1, …, Ln.`
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rule {
+    /// The head atom.
+    pub head: Atom,
+    /// The body literals.
+    pub body: Vec<Literal>,
+}
+
+impl Rule {
+    /// Builds a rule.
+    pub fn new(head: Atom, body: Vec<Literal>) -> Self {
+        Rule { head, body }
+    }
+
+    /// Predicates referenced in the body, each tagged with whether it occurs
+    /// under negation.
+    pub fn body_predicates(&self) -> Vec<(&str, bool)> {
+        self.body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Atom { atom, negated } => Some((atom.predicate.as_str(), *negated)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All distinct variables of the rule.
+    pub fn variables(&self) -> BTreeSet<&str> {
+        let mut vars: BTreeSet<&str> = BTreeSet::new();
+        vars.extend(self.head.variables());
+        for l in &self.body {
+            vars.extend(l.variables());
+        }
+        vars
+    }
+
+    /// Checks the *safety* condition: every variable of the head and of the
+    /// non-binding literals must occur in some positive relational body atom.
+    pub fn is_safe(&self) -> bool {
+        let mut bound: BTreeSet<&str> = BTreeSet::new();
+        for l in &self.body {
+            if l.is_positive_atom() {
+                bound.extend(l.variables());
+            }
+        }
+        let head_safe = self.head.variables().iter().all(|v| bound.contains(v));
+        let body_safe = self.body.iter().all(|l| {
+            if l.is_positive_atom() {
+                true
+            } else {
+                l.variables().iter().all(|v| bound.contains(v))
+            }
+        });
+        head_safe && body_safe
+    }
+
+    /// Number of positive relational atoms in the body.
+    pub fn positive_atom_count(&self) -> usize {
+        self.body.iter().filter(|l| l.is_positive_atom()).count()
+    }
+
+    /// Number of relational atoms (positive or negated) in the body.
+    pub fn relational_atom_count(&self) -> usize {
+        self.body
+            .iter()
+            .filter(|l| matches!(l, Literal::Atom { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} :- ", self.head)?;
+        for (i, l) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> DlTerm {
+        DlTerm::var(s)
+    }
+
+    #[test]
+    fn term_and_atom_display() {
+        let a = Atom::new("E", vec![v("x"), DlTerm::constant("part_of"), v("y")]);
+        assert_eq!(a.to_string(), "E(x, 'part_of', y)");
+        assert_eq!(a.arity(), 3);
+        assert_eq!(a.variables(), vec!["x", "y"]);
+        assert_eq!(v("x").as_var(), Some("x"));
+        assert_eq!(DlTerm::constant("c").as_var(), None);
+    }
+
+    #[test]
+    fn rule_display_and_accessors() {
+        let rule = Rule::new(
+            Atom::new("Ans", vec![v("x"), v("y"), v("z")]),
+            vec![
+                Literal::pos(Atom::new("E", vec![v("x"), v("w"), v("y")])),
+                Literal::neg(Atom::new("F", vec![v("x"), v("y"), v("z")])),
+                Literal::Sim {
+                    left: v("x"),
+                    right: v("y"),
+                    negated: false,
+                },
+                Literal::Cmp {
+                    left: v("w"),
+                    right: DlTerm::constant("part_of"),
+                    negated: true,
+                },
+            ],
+        );
+        assert_eq!(
+            rule.to_string(),
+            "Ans(x, y, z) :- E(x, w, y), not F(x, y, z), sim(x, y), w != 'part_of'."
+        );
+        assert_eq!(
+            rule.body_predicates(),
+            vec![("E", false), ("F", true)]
+        );
+        assert_eq!(rule.positive_atom_count(), 1);
+        assert_eq!(rule.relational_atom_count(), 2);
+        assert_eq!(
+            rule.variables().into_iter().collect::<Vec<_>>(),
+            vec!["w", "x", "y", "z"]
+        );
+    }
+
+    #[test]
+    fn safety_checks() {
+        // Safe: all head vars bound by the positive atom.
+        let safe = Rule::new(
+            Atom::new("P", vec![v("x"), v("y"), v("z")]),
+            vec![Literal::pos(Atom::new("E", vec![v("x"), v("y"), v("z")]))],
+        );
+        assert!(safe.is_safe());
+        // Unsafe: head variable z never bound.
+        let unsafe_head = Rule::new(
+            Atom::new("P", vec![v("x"), v("y"), v("z")]),
+            vec![Literal::pos(Atom::new("E", vec![v("x"), v("y"), v("y")]))],
+        );
+        assert!(!unsafe_head.is_safe());
+        // Unsafe: negated atom uses an unbound variable.
+        let unsafe_neg = Rule::new(
+            Atom::new("P", vec![v("x"), v("x"), v("x")]),
+            vec![
+                Literal::pos(Atom::new("E", vec![v("x"), v("x"), v("x")])),
+                Literal::neg(Atom::new("F", vec![v("x"), v("q"), v("x")])),
+            ],
+        );
+        assert!(!unsafe_neg.is_safe());
+        // Constants never need binding.
+        let with_const = Rule::new(
+            Atom::new("P", vec![v("x"), v("x"), v("x")]),
+            vec![
+                Literal::pos(Atom::new("E", vec![v("x"), DlTerm::constant("c"), v("x")])),
+                Literal::Cmp {
+                    left: v("x"),
+                    right: DlTerm::constant("d"),
+                    negated: false,
+                },
+            ],
+        );
+        assert!(with_const.is_safe());
+    }
+
+    #[test]
+    fn literal_variables_and_positivity() {
+        let sim = Literal::Sim {
+            left: v("a"),
+            right: v("a"),
+            negated: true,
+        };
+        assert_eq!(sim.variables(), vec!["a"]);
+        assert!(!sim.is_positive_atom());
+        let cmp = Literal::Cmp {
+            left: v("a"),
+            right: DlTerm::constant("k"),
+            negated: false,
+        };
+        assert_eq!(cmp.variables(), vec!["a"]);
+        assert!(Literal::pos(Atom::new("E", vec![v("a")])).is_positive_atom());
+        assert!(!Literal::neg(Atom::new("E", vec![v("a")])).is_positive_atom());
+    }
+}

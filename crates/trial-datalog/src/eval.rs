@@ -1,0 +1,503 @@
+//! Stratified evaluation of TripleDatalog¬ programs over triplestores.
+//!
+//! Extensional predicates are the relations of the triplestore; the
+//! data-equivalence relation `sim(x, y)` is evaluated as `ρ(x) = ρ(y)`
+//! without being materialised. Intensional predicates are computed stratum
+//! by stratum (Program::stratification), with a naive fixpoint inside each
+//! stratum — the standard least-fixpoint semantics the paper assumes
+//! (Section 4, referring to \[1\]).
+
+use crate::ast::{DlTerm, Literal, Rule};
+use crate::program::Program;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use trial_core::{Error, ObjectId, Result, Triple, TripleSet, Triplestore};
+
+/// A tuple of a Datalog relation (arity ≤ 3).
+pub type DlTuple = Vec<ObjectId>;
+
+/// The result of evaluating a program: every IDB predicate's relation plus
+/// the designated output predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramResult {
+    relations: BTreeMap<String, HashSet<DlTuple>>,
+    output: String,
+    /// Number of fixpoint rounds executed across all strata.
+    pub fixpoint_rounds: u64,
+    /// Number of rule instantiations (bindings) considered.
+    pub bindings_considered: u64,
+}
+
+impl ProgramResult {
+    /// The relation computed for a predicate (IDB or EDB).
+    pub fn relation(&self, pred: &str) -> Option<&HashSet<DlTuple>> {
+        self.relations.get(pred)
+    }
+
+    /// The output predicate's relation.
+    pub fn output_relation(&self) -> &HashSet<DlTuple> {
+        self.relations
+            .get(&self.output)
+            .expect("output predicate always present")
+    }
+
+    /// The output relation as a [`TripleSet`], when the output predicate has
+    /// arity 3. Errors otherwise.
+    pub fn output_triples(&self) -> Result<TripleSet> {
+        let mut out = Vec::with_capacity(self.output_relation().len());
+        for tuple in self.output_relation() {
+            match tuple.as_slice() {
+                [a, b, c] => out.push(Triple::new(*a, *b, *c)),
+                other => {
+                    return Err(Error::InvalidExpression(format!(
+                        "output predicate `{}` has arity {}, not 3",
+                        self.output,
+                        other.len()
+                    )))
+                }
+            }
+        }
+        Ok(TripleSet::from_vec(out))
+    }
+
+    /// Names of all predicates with a computed relation.
+    pub fn predicates(&self) -> impl Iterator<Item = &str> + '_ {
+        self.relations.keys().map(String::as_str)
+    }
+}
+
+/// Evaluates a program over a triplestore.
+///
+/// Every EDB predicate must be a relation of the store. The result contains
+/// the relations of *all* predicates (EDB relations are copied in so that
+/// facts in the program can extend them).
+pub fn evaluate_program(program: &Program, store: &Triplestore) -> Result<ProgramResult> {
+    // Seed the database with the EDB relations.
+    let mut db: BTreeMap<String, HashSet<DlTuple>> = BTreeMap::new();
+    for pred in program.edb_predicates() {
+        let triples = store.require_relation(pred)?;
+        let tuples = triples
+            .iter()
+            .map(|t| vec![t.s(), t.p(), t.o()])
+            .collect::<HashSet<_>>();
+        db.insert(pred.to_owned(), tuples);
+    }
+    // IDB predicates referencing store relations by the same name extend them.
+    for pred in program.idb_predicates() {
+        let initial = match store.relation(pred) {
+            Some(rel) => rel
+                .triples()
+                .iter()
+                .map(|t| vec![t.s(), t.p(), t.o()])
+                .collect(),
+            None => HashSet::new(),
+        };
+        db.entry(pred.to_owned()).or_insert(initial);
+    }
+
+    let mut rounds: u64 = 0;
+    let mut bindings: u64 = 0;
+    for stratum in program.stratification()? {
+        let rules: Vec<&Rule> = program
+            .rules()
+            .iter()
+            .filter(|r| stratum.contains(&r.head.predicate))
+            .collect();
+        loop {
+            rounds += 1;
+            let mut changed = false;
+            for rule in &rules {
+                let derived = eval_rule(rule, &db, store, &mut bindings)?;
+                let target = db
+                    .get_mut(&rule.head.predicate)
+                    .expect("IDB predicate seeded");
+                for tuple in derived {
+                    if target.insert(tuple) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // Ensure the output predicate exists even if it never occurs in a head
+    // (e.g. a pure-EDB "program" would be odd, but don't panic on it).
+    db.entry(program.output().to_owned()).or_default();
+    Ok(ProgramResult {
+        relations: db,
+        output: program.output().to_owned(),
+        fixpoint_rounds: rounds,
+        bindings_considered: bindings,
+    })
+}
+
+/// A variable assignment built while matching body atoms.
+type Binding = HashMap<String, ObjectId>;
+
+fn resolve(term: &DlTerm, binding: &Binding, store: &Triplestore) -> Option<ObjectId> {
+    match term {
+        DlTerm::Var(v) => binding.get(v).copied(),
+        DlTerm::Const(name) => store.object_id(name),
+    }
+}
+
+/// Checks a single non-binding literal under a (partial) binding.
+///
+/// Returns `Ok(true)` if it holds, `Ok(false)` if it is violated. Callers
+/// only invoke this once all the literal's variables are bound.
+fn check_filter(
+    literal: &Literal,
+    binding: &Binding,
+    db: &BTreeMap<String, HashSet<DlTuple>>,
+    store: &Triplestore,
+) -> Result<bool> {
+    match literal {
+        Literal::Atom { negated: false, .. } => Ok(true), // handled by the join
+        Literal::Atom {
+            atom,
+            negated: true,
+        } => {
+            let relation = db
+                .get(&atom.predicate)
+                .ok_or_else(|| Error::UnknownRelation(atom.predicate.clone()))?;
+            let tuple: Option<DlTuple> = atom
+                .args
+                .iter()
+                .map(|t| resolve(t, binding, store))
+                .collect();
+            Ok(match tuple {
+                // An unresolvable constant means the tuple cannot be in the
+                // relation, so the negation holds.
+                None => true,
+                Some(tuple) => !relation.contains(&tuple),
+            })
+        }
+        Literal::Sim {
+            left,
+            right,
+            negated,
+        } => {
+            let l = resolve(left, binding, store);
+            let r = resolve(right, binding, store);
+            let holds = match (l, r) {
+                (Some(l), Some(r)) => store.data_eq(l, r),
+                _ => false,
+            };
+            Ok(holds != *negated)
+        }
+        Literal::Cmp {
+            left,
+            right,
+            negated,
+        } => {
+            let l = resolve(left, binding, store);
+            let r = resolve(right, binding, store);
+            let holds = match (l, r) {
+                (Some(l), Some(r)) => l == r,
+                // An unresolvable constant equals nothing.
+                _ => false,
+            };
+            Ok(holds != *negated)
+        }
+    }
+}
+
+fn eval_rule(
+    rule: &Rule,
+    db: &BTreeMap<String, HashSet<DlTuple>>,
+    store: &Triplestore,
+    bindings_considered: &mut u64,
+) -> Result<Vec<DlTuple>> {
+    // Separate the binding atoms from the filter literals, and schedule each
+    // filter at the earliest join level where all its variables are bound.
+    // Filtering as soon as possible keeps the search tree small — without it
+    // a rule like `P(..) :- U(x1,x2,x3), U(y1,y2,y3), x1 != y1, …` would
+    // materialise |U|² bindings before applying any condition.
+    let atoms: Vec<&crate::ast::Atom> = rule
+        .body
+        .iter()
+        .filter_map(|l| match l {
+            Literal::Atom {
+                atom,
+                negated: false,
+            } => Some(atom),
+            _ => None,
+        })
+        .collect();
+    let filters: Vec<&Literal> = rule.body.iter().filter(|l| !l.is_positive_atom()).collect();
+    let mut bound: Vec<&str> = Vec::new();
+    let mut filters_at_level: Vec<Vec<&Literal>> = vec![Vec::new(); atoms.len() + 1];
+    {
+        let mut remaining: Vec<&Literal> = filters;
+        for (level, atom) in atoms.iter().enumerate() {
+            for v in atom.variables() {
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+            }
+            let (ready, not_ready): (Vec<&Literal>, Vec<&Literal>) = remaining
+                .into_iter()
+                .partition(|l| l.variables().iter().all(|v| bound.contains(v)));
+            filters_at_level[level + 1] = ready;
+            remaining = not_ready;
+        }
+        // Filters with no variables (constant-only) run at level 0; anything
+        // left over has unbound variables, which `Rule::is_safe` rules out.
+        filters_at_level[0] = remaining;
+    }
+
+    struct Search<'a> {
+        atoms: &'a [&'a crate::ast::Atom],
+        filters_at_level: &'a [Vec<&'a Literal>],
+        rule: &'a Rule,
+        db: &'a BTreeMap<String, HashSet<DlTuple>>,
+        store: &'a Triplestore,
+        results: Vec<DlTuple>,
+        bindings_considered: u64,
+    }
+
+    impl Search<'_> {
+        fn run(&mut self, level: usize, binding: &mut Binding) -> Result<()> {
+            for literal in &self.filters_at_level[level] {
+                if !check_filter(literal, binding, self.db, self.store)? {
+                    return Ok(());
+                }
+            }
+            if level == self.atoms.len() {
+                let head: Option<DlTuple> = self
+                    .rule
+                    .head
+                    .args
+                    .iter()
+                    .map(|t| resolve(t, binding, self.store))
+                    .collect();
+                match head {
+                    Some(tuple) => self.results.push(tuple),
+                    None => {
+                        return Err(Error::UnknownObject(format!(
+                            "head of rule `{}` mentions a constant that does not exist in the store",
+                            self.rule
+                        )))
+                    }
+                }
+                return Ok(());
+            }
+            let atom = self.atoms[level];
+            let relation = self
+                .db
+                .get(&atom.predicate)
+                .ok_or_else(|| Error::UnknownRelation(atom.predicate.clone()))?;
+            'tuples: for tuple in relation {
+                self.bindings_considered += 1;
+                if tuple.len() != atom.arity() {
+                    continue;
+                }
+                let mut newly_bound: Vec<String> = Vec::new();
+                for (term, &value) in atom.args.iter().zip(tuple.iter()) {
+                    match term {
+                        DlTerm::Const(name) => match self.store.object_id(name) {
+                            Some(id) if id == value => {}
+                            _ => {
+                                for v in &newly_bound {
+                                    binding.remove(v);
+                                }
+                                continue 'tuples;
+                            }
+                        },
+                        DlTerm::Var(v) => match binding.get(v) {
+                            Some(&b) if b != value => {
+                                for v in &newly_bound {
+                                    binding.remove(v);
+                                }
+                                continue 'tuples;
+                            }
+                            Some(_) => {}
+                            None => {
+                                binding.insert(v.clone(), value);
+                                newly_bound.push(v.clone());
+                            }
+                        },
+                    }
+                }
+                let outcome = self.run(level + 1, binding);
+                for v in &newly_bound {
+                    binding.remove(v);
+                }
+                outcome?;
+            }
+            Ok(())
+        }
+    }
+
+    let mut search = Search {
+        atoms: &atoms,
+        filters_at_level: &filters_at_level,
+        rule,
+        db,
+        store,
+        results: Vec::new(),
+        bindings_considered: 0,
+    };
+    let mut binding = Binding::new();
+    search.run(0, &mut binding)?;
+    *bindings_considered += search.bindings_considered;
+    Ok(search.results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+    use trial_core::{TriplestoreBuilder, Value};
+
+    fn figure1() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        for (s, p, o) in [
+            ("St.Andrews", "BusOp1", "Edinburgh"),
+            ("Edinburgh", "TrainOp1", "London"),
+            ("London", "TrainOp2", "Brussels"),
+            ("BusOp1", "part_of", "NatExpress"),
+            ("TrainOp1", "part_of", "EastCoast"),
+            ("TrainOp2", "part_of", "Eurostar"),
+            ("EastCoast", "part_of", "NatExpress"),
+        ] {
+            b.add_triple("E", s, p, o);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn example2_as_datalog() {
+        let store = figure1();
+        let program = parse_program(
+            "Ans(x, c, y) :- E(x, op, y), E(op, p, c), p = 'part_of'.",
+        )
+        .unwrap();
+        let result = evaluate_program(&program, &store).unwrap();
+        let triples = result.output_triples().unwrap();
+        assert_eq!(
+            store.display_triples(&triples),
+            vec![
+                "(Edinburgh, EastCoast, London)".to_string(),
+                "(London, Eurostar, Brussels)".to_string(),
+                "(St.Andrews, NatExpress, Edinburgh)".to_string(),
+            ]
+        );
+        assert!(result.bindings_considered > 0);
+        assert!(result.predicates().any(|p| p == "E"));
+    }
+
+    #[test]
+    fn recursive_reachability() {
+        let store = figure1();
+        let program = parse_program(
+            "Reach(x, y, z) :- E(x, y, z).
+             Reach(x, y, z) :- Reach(x, y, w), E(w, u, z).
+             Ans(x, y, z) :- Reach(x, y, z).",
+        )
+        .unwrap();
+        let result = evaluate_program(&program, &store).unwrap();
+        let triples = result.output_triples().unwrap();
+        // Matches the algebra's Reach→ on the same store.
+        let algebra = trial_eval::evaluate(
+            &trial_core::builder::queries::reach_forward("E"),
+            &store,
+        )
+        .unwrap();
+        assert_eq!(triples, algebra.result);
+        assert!(result.fixpoint_rounds >= 2);
+    }
+
+    #[test]
+    fn negation_and_sim_literals() {
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "p", "b");
+        b.add_triple("E", "b", "p", "c");
+        b.add_triple("F", "a", "p", "b");
+        b.object_with_value("a", Value::int(1));
+        b.object_with_value("c", Value::int(1));
+        b.object_with_value("b", Value::int(2));
+        let store = b.finish();
+        // Triples of E not in F, whose endpoints carry the same data value.
+        let program = parse_program(
+            "Ans(x, y, z) :- E(x, y, z), not F(x, y, z), not sim(x, z), x != z.",
+        )
+        .unwrap();
+        let result = evaluate_program(&program, &store).unwrap();
+        let triples = result.output_triples().unwrap();
+        // (b, p, c) is not in F; ρ(b)=2 ≠ ρ(c)=1 so "not sim" holds; b ≠ c.
+        assert_eq!(store.display_triples(&triples), vec!["(b, p, c)".to_string()]);
+        // Flipping to positive sim selects nothing here: (a,p,b) is in F.
+        let program = parse_program("Ans(x, y, z) :- E(x, y, z), sim(x, z).").unwrap();
+        let result = evaluate_program(&program, &store).unwrap();
+        assert!(result.output_triples().unwrap().is_empty());
+    }
+
+    #[test]
+    fn facts_and_unknown_constants() {
+        let store = figure1();
+        // A fact with known constants extends the IDB.
+        let program = parse_program(
+            "Extra('Edinburgh', 'part_of', 'NatExpress').
+             Ans(x, y, z) :- Extra(x, y, z).",
+        )
+        .unwrap();
+        let result = evaluate_program(&program, &store).unwrap();
+        assert_eq!(result.output_triples().unwrap().len(), 1);
+        // A fact naming an unknown object is an error (the store's object set
+        // is fixed).
+        let program = parse_program(
+            "Extra('Narnia', 'part_of', 'NatExpress').
+             Ans(x, y, z) :- Extra(x, y, z).",
+        )
+        .unwrap();
+        assert!(evaluate_program(&program, &store).is_err());
+        // Comparisons against unknown constants are simply unsatisfied.
+        let program = parse_program("Ans(x, y, z) :- E(x, y, z), x = 'Narnia'.").unwrap();
+        let result = evaluate_program(&program, &store).unwrap();
+        assert!(result.output_triples().unwrap().is_empty());
+        let program = parse_program("Ans(x, y, z) :- E(x, y, z), x != 'Narnia'.").unwrap();
+        let result = evaluate_program(&program, &store).unwrap();
+        assert_eq!(result.output_triples().unwrap().len(), 7);
+    }
+
+    #[test]
+    fn missing_edb_relation_is_an_error() {
+        let store = figure1();
+        let program = parse_program("Ans(x, y, z) :- Missing(x, y, z).").unwrap();
+        assert!(matches!(
+            evaluate_program(&program, &store),
+            Err(Error::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn lower_arity_output_is_not_a_triple_set() {
+        let store = figure1();
+        let program = parse_program("Pair(x, z) :- E(x, y, z).\nAns(x, z) :- Pair(x, z).").unwrap();
+        let result = evaluate_program(&program, &store).unwrap();
+        assert_eq!(result.output_relation().len(), 7);
+        assert!(result.output_triples().is_err());
+    }
+
+    #[test]
+    fn stratified_negation_over_recursion() {
+        let store = figure1();
+        // Pairs reachable in one or more steps, minus the direct edges.
+        let program = parse_program(
+            "Reach(x, y, z) :- E(x, y, z).
+             Reach(x, y, z) :- Reach(x, y, w), E(w, u, z).
+             Ans(x, y, z) :- Reach(x, y, z), not E(x, y, z).",
+        )
+        .unwrap();
+        let result = evaluate_program(&program, &store).unwrap();
+        let triples = result.output_triples().unwrap();
+        assert!(!triples.is_empty());
+        let e = store.require_relation("E").unwrap();
+        for t in triples.iter() {
+            assert!(!e.contains(t));
+        }
+    }
+}

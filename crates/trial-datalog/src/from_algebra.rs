@@ -1,0 +1,486 @@
+//! Translation of TriAL / TriAL\* expressions into TripleDatalog¬ /
+//! ReachTripleDatalog¬ programs — the "algebra ⊆ Datalog" halves of
+//! Proposition 2 and Theorem 2.
+//!
+//! Every sub-expression receives a fresh predicate (structurally identical
+//! sub-expressions share one), and a final `Ans` rule exposes the top-level
+//! expression. The shapes emitted are exactly those accepted back by
+//! [`crate::program_to_expr`], so the two translations compose.
+//!
+//! The universal relation `U` (and therefore complements) needs the active
+//! domain; it is defined with auxiliary predicates over the extensional
+//! relations passed in by the caller:
+//!
+//! ```text
+//! D(x, x, x) :- E(x, y, z).     % one rule per relation and position
+//! D(y, y, y) :- E(x, y, z).
+//! D(z, z, z) :- E(x, y, z).
+//! Pair(x, y, y) :- D(x, x, x), D(y, y, y).
+//! U(x, y, z) :- Pair(x, y, y), D(z, z, z).
+//! ```
+//!
+//! Data-value constants in `η` conditions have no TripleDatalog¬
+//! counterpart (the language only has the binary relation `∼`), so
+//! expressions using them are reported as unsupported — mirroring the
+//! paper, whose Datalog representation likewise only has `∼`.
+
+use crate::ast::{Atom, DlTerm, Literal, Rule};
+use crate::program::Program;
+use std::collections::HashMap;
+use trial_core::condition::{DataOperand, ObjOperand};
+use trial_core::{Conditions, Error, Expr, OutputSpec, Pos, Result, StarDirection};
+
+/// Translates an expression into an equivalent Datalog program.
+///
+/// `edb_relations` must list the relations of the triplestore the program
+/// will be evaluated on; they define the active domain used for `U` and
+/// complements. (Passing `store.relation_names()` is always correct.)
+pub fn expr_to_program(expr: &Expr, edb_relations: &[&str]) -> Result<Program> {
+    expr.validate()?;
+    let mut t = Translator {
+        edb_relations,
+        rules: Vec::new(),
+        names: HashMap::new(),
+        counter: 0,
+        universe_pred: None,
+    };
+    let top = t.translate(expr)?;
+    // Expose the result through the conventional `Ans` predicate.
+    t.rules.push(Rule::new(
+        Atom::new("Ans", vars(["x1", "x2", "x3"])),
+        vec![Literal::pos(Atom::new(top, vars(["x1", "x2", "x3"])))],
+    ));
+    Program::new(t.rules, "Ans")
+}
+
+fn vars<const N: usize>(names: [&str; N]) -> Vec<DlTerm> {
+    names.iter().map(|n| DlTerm::var(*n)).collect()
+}
+
+struct Translator<'a> {
+    edb_relations: &'a [&'a str],
+    rules: Vec<Rule>,
+    names: HashMap<Expr, String>,
+    counter: usize,
+    universe_pred: Option<String>,
+}
+
+impl<'a> Translator<'a> {
+    fn fresh(&mut self, hint: &str) -> String {
+        let name = format!("{hint}{}", self.counter);
+        self.counter += 1;
+        name
+    }
+
+    /// Returns the predicate name holding the value of `expr`, emitting the
+    /// defining rules on first use.
+    fn translate(&mut self, expr: &Expr) -> Result<String> {
+        if let Some(name) = self.names.get(expr) {
+            return Ok(name.clone());
+        }
+        let name = match expr {
+            Expr::Rel(rel) => rel.clone(),
+            Expr::Empty => {
+                let name = self.fresh("Empty");
+                let edb = self.some_edb()?;
+                // Safe but unsatisfiable: x != x.
+                self.rules.push(Rule::new(
+                    Atom::new(&name, vars(["x", "y", "z"])),
+                    vec![
+                        Literal::pos(Atom::new(edb, vars(["x", "y", "z"]))),
+                        Literal::Cmp {
+                            left: DlTerm::var("x"),
+                            right: DlTerm::var("x"),
+                            negated: true,
+                        },
+                    ],
+                ));
+                name
+            }
+            Expr::Universe => self.universe_predicate()?,
+            Expr::Select { input, cond } => {
+                let inner = self.translate(input)?;
+                let name = self.fresh("Sel");
+                let mut body = vec![Literal::pos(Atom::new(&inner, vars(["x1", "x2", "x3"])))];
+                body.extend(condition_literals(cond)?);
+                self.rules
+                    .push(Rule::new(Atom::new(&name, vars(["x1", "x2", "x3"])), body));
+                name
+            }
+            Expr::Union(a, b) => {
+                let pa = self.translate(a)?;
+                let pb = self.translate(b)?;
+                let name = self.fresh("Union");
+                for p in [pa, pb] {
+                    self.rules.push(Rule::new(
+                        Atom::new(&name, vars(["x1", "x2", "x3"])),
+                        vec![Literal::pos(Atom::new(p, vars(["x1", "x2", "x3"])))],
+                    ));
+                }
+                name
+            }
+            Expr::Diff(a, b) => {
+                let pa = self.translate(a)?;
+                let pb = self.translate(b)?;
+                let name = self.fresh("Diff");
+                self.rules.push(Rule::new(
+                    Atom::new(&name, vars(["x1", "x2", "x3"])),
+                    vec![
+                        Literal::pos(Atom::new(pa, vars(["x1", "x2", "x3"]))),
+                        Literal::neg(Atom::new(pb, vars(["x1", "x2", "x3"]))),
+                    ],
+                ));
+                name
+            }
+            Expr::Intersect(a, b) => {
+                let pa = self.translate(a)?;
+                let pb = self.translate(b)?;
+                let name = self.fresh("Inter");
+                self.rules.push(Rule::new(
+                    Atom::new(&name, vars(["x1", "x2", "x3"])),
+                    vec![
+                        Literal::pos(Atom::new(pa, vars(["x1", "x2", "x3"]))),
+                        Literal::pos(Atom::new(pb, vars(["x1", "x2", "x3"]))),
+                    ],
+                ));
+                name
+            }
+            Expr::Complement(inner) => {
+                let pe = self.translate(inner)?;
+                let u = self.universe_predicate()?;
+                let name = self.fresh("Compl");
+                self.rules.push(Rule::new(
+                    Atom::new(&name, vars(["x1", "x2", "x3"])),
+                    vec![
+                        Literal::pos(Atom::new(u, vars(["x1", "x2", "x3"]))),
+                        Literal::neg(Atom::new(pe, vars(["x1", "x2", "x3"]))),
+                    ],
+                ));
+                name
+            }
+            Expr::Join {
+                left,
+                right,
+                output,
+                cond,
+            } => {
+                let pl = self.translate(left)?;
+                let pr = self.translate(right)?;
+                let name = self.fresh("Join");
+                let mut body = vec![
+                    Literal::pos(Atom::new(pl, vars(["x1", "x2", "x3"]))),
+                    Literal::pos(Atom::new(pr, vars(["y1", "y2", "y3"]))),
+                ];
+                body.extend(condition_literals(cond)?);
+                self.rules
+                    .push(Rule::new(Atom::new(&name, head_args(output)), body));
+                name
+            }
+            Expr::Star {
+                input,
+                output,
+                cond,
+                direction,
+            } => {
+                let pin = self.translate(input)?;
+                let name = self.fresh("Star");
+                // Base rule: Star(x1, x2, x3) :- In(x1, x2, x3).
+                self.rules.push(Rule::new(
+                    Atom::new(&name, vars(["x1", "x2", "x3"])),
+                    vec![Literal::pos(Atom::new(&pin, vars(["x1", "x2", "x3"])))],
+                ));
+                // Step rule, with the accumulated predicate on the side the
+                // closure folds from.
+                let (left_atom, right_atom) = match direction {
+                    StarDirection::Right => (
+                        Atom::new(&name, vars(["x1", "x2", "x3"])),
+                        Atom::new(&pin, vars(["y1", "y2", "y3"])),
+                    ),
+                    StarDirection::Left => (
+                        Atom::new(&pin, vars(["x1", "x2", "x3"])),
+                        Atom::new(&name, vars(["y1", "y2", "y3"])),
+                    ),
+                };
+                let mut body = vec![Literal::pos(left_atom), Literal::pos(right_atom)];
+                body.extend(condition_literals(cond)?);
+                self.rules
+                    .push(Rule::new(Atom::new(&name, head_args(output)), body));
+                name
+            }
+        };
+        self.names.insert(expr.clone(), name.clone());
+        Ok(name)
+    }
+
+    fn some_edb(&self) -> Result<&'a str> {
+        self.edb_relations.first().copied().ok_or_else(|| {
+            Error::Unsupported(
+                "translating EMPTY/U/complement requires at least one extensional relation".into(),
+            )
+        })
+    }
+
+    /// Emits (once) the predicates defining the universal relation and
+    /// returns the name of the `U`-predicate.
+    fn universe_predicate(&mut self) -> Result<String> {
+        if let Some(name) = &self.universe_pred {
+            return Ok(name.clone());
+        }
+        if self.edb_relations.is_empty() {
+            return Err(Error::Unsupported(
+                "translating U requires at least one extensional relation".into(),
+            ));
+        }
+        let dom = self.fresh("Dom");
+        for rel in self.edb_relations {
+            for head_var in ["x", "y", "z"] {
+                self.rules.push(Rule::new(
+                    Atom::new(&dom, vars([head_var, head_var, head_var])),
+                    vec![Literal::pos(Atom::new(*rel, vars(["x", "y", "z"])))],
+                ));
+            }
+        }
+        let pair = self.fresh("DomPair");
+        self.rules.push(Rule::new(
+            Atom::new(&pair, vars(["x", "y", "y"])),
+            vec![
+                Literal::pos(Atom::new(&dom, vars(["x", "x", "x"]))),
+                Literal::pos(Atom::new(&dom, vars(["y", "y", "y"]))),
+            ],
+        ));
+        let universe = self.fresh("Univ");
+        self.rules.push(Rule::new(
+            Atom::new(&universe, vars(["x", "y", "z"])),
+            vec![
+                Literal::pos(Atom::new(&pair, vars(["x", "y", "y"]))),
+                Literal::pos(Atom::new(&dom, vars(["z", "z", "z"]))),
+            ],
+        ));
+        self.universe_pred = Some(universe.clone());
+        Ok(universe)
+    }
+}
+
+/// The Datalog variable used for a join position.
+fn pos_var(pos: Pos) -> DlTerm {
+    let name = match pos {
+        Pos::L1 => "x1",
+        Pos::L2 => "x2",
+        Pos::L3 => "x3",
+        Pos::R1 => "y1",
+        Pos::R2 => "y2",
+        Pos::R3 => "y3",
+    };
+    DlTerm::var(name)
+}
+
+fn head_args(output: &OutputSpec) -> Vec<DlTerm> {
+    output.iter().map(pos_var).collect()
+}
+
+/// Translates `(θ, η)` conditions into body literals.
+fn condition_literals(cond: &Conditions) -> Result<Vec<Literal>> {
+    let mut out = Vec::new();
+    for atom in &cond.theta {
+        let right = match &atom.rhs {
+            ObjOperand::Pos(p) => pos_var(*p),
+            ObjOperand::Const(name) => DlTerm::constant(name.clone()),
+        };
+        out.push(Literal::Cmp {
+            left: pos_var(atom.lhs),
+            right,
+            negated: atom.cmp == trial_core::Cmp::Neq,
+        });
+    }
+    for atom in &cond.eta {
+        let right = match &atom.rhs {
+            DataOperand::Pos(p) => pos_var(*p),
+            DataOperand::Const(v) => {
+                return Err(Error::Unsupported(format!(
+                    "data-value constant `{v}` has no TripleDatalog¬ counterpart \
+                     (the language only has the binary relation ∼)"
+                )))
+            }
+        };
+        out.push(Literal::Sim {
+            left: pos_var(atom.lhs),
+            right,
+            negated: atom.cmp == trial_core::Cmp::Neq,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_program;
+    use crate::program::ProgramClass;
+    use crate::to_algebra::program_to_expr;
+    use trial_core::builder::{queries, ExprBuilderExt};
+    use trial_core::{Triplestore, TriplestoreBuilder};
+    use trial_eval::evaluate;
+
+    fn figure1() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        for (s, p, o) in [
+            ("St.Andrews", "BusOp1", "Edinburgh"),
+            ("Edinburgh", "TrainOp1", "London"),
+            ("London", "TrainOp2", "Brussels"),
+            ("BusOp1", "part_of", "NatExpress"),
+            ("TrainOp1", "part_of", "EastCoast"),
+            ("TrainOp2", "part_of", "Eurostar"),
+            ("EastCoast", "part_of", "NatExpress"),
+        ] {
+            b.add_triple("E", s, p, o);
+        }
+        b.finish()
+    }
+
+    fn relation_names(store: &Triplestore) -> Vec<&str> {
+        store.relation_names().collect()
+    }
+
+    /// The algebra expression and its Datalog translation agree on `store`.
+    fn assert_agrees(expr: &Expr, store: &Triplestore) {
+        let rels = relation_names(store);
+        let program = expr_to_program(expr, &rels).unwrap();
+        let datalog = evaluate_program(&program, store)
+            .unwrap()
+            .output_triples()
+            .unwrap();
+        let algebra = evaluate(expr, store).unwrap().result;
+        assert_eq!(datalog, algebra, "expr: {expr}\nprogram:\n{program}");
+    }
+
+    fn expression_zoo() -> Vec<Expr> {
+        vec![
+            Expr::rel("E"),
+            Expr::Empty.union(Expr::rel("E")),
+            queries::example2("E"),
+            queries::example2_extended("E"),
+            queries::reach_forward("E"),
+            queries::reach_down("E"),
+            queries::reach_same_label("E"),
+            queries::same_company_reachability("E"),
+            queries::at_least_four_objects(),
+            queries::at_least_six_objects(),
+            Expr::rel("E").complement(),
+            Expr::rel("E").minus(queries::example2("E")),
+            Expr::rel("E").intersect_via_join(Expr::rel("E")),
+            Expr::Universe.minus(Expr::rel("E")),
+            Expr::rel("E").select(
+                Conditions::new()
+                    .obj_eq_const(Pos::L2, "part_of")
+                    .obj_neq(Pos::L1, Pos::L3),
+            ),
+            Expr::rel("E")
+                .select(Conditions::new().data_eq(Pos::L1, Pos::L3))
+                .reach_forward(),
+        ]
+    }
+
+    #[test]
+    fn zoo_agrees_with_algebra_semantics() {
+        let store = figure1();
+        for expr in expression_zoo() {
+            assert_agrees(&expr, &store);
+        }
+    }
+
+    #[test]
+    fn emitted_programs_stay_in_the_paper_fragments() {
+        let store = figure1();
+        let rels = relation_names(&store);
+        for expr in expression_zoo() {
+            let program = expr_to_program(&expr, &rels).unwrap();
+            let class = program.classify();
+            if expr.is_recursive() {
+                assert_eq!(class, ProgramClass::ReachTripleDatalog, "expr: {expr}");
+            } else {
+                assert_eq!(
+                    class,
+                    ProgramClass::NonRecursiveTripleDatalog,
+                    "expr: {expr}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn translation_roundtrips_through_the_algebra() {
+        // expr → program → expr' need not be syntactically identical, but it
+        // must be semantically equivalent.
+        let store = figure1();
+        let rels = relation_names(&store);
+        for expr in expression_zoo() {
+            let program = expr_to_program(&expr, &rels).unwrap();
+            let back = program_to_expr(&program)
+                .unwrap_or_else(|e| panic!("round trip failed for {expr}: {e}"));
+            let original = evaluate(&expr, &store).unwrap().result;
+            let roundtripped = evaluate(&back, &store).unwrap().result;
+            assert_eq!(original, roundtripped, "expr: {expr}\nback: {back}");
+        }
+    }
+
+    #[test]
+    fn shared_subexpressions_share_predicates() {
+        let store = figure1();
+        let rels = relation_names(&store);
+        let e = queries::example2("E");
+        let expr = e.clone().union(e);
+        let program = expr_to_program(&expr, &rels).unwrap();
+        // One join predicate, one union predicate, one Ans rule:
+        // the join sub-expression is emitted once even though it occurs twice.
+        let join_rules = program
+            .rules()
+            .iter()
+            .filter(|r| r.head.predicate.starts_with("Join"))
+            .count();
+        assert_eq!(join_rules, 1);
+    }
+
+    #[test]
+    fn data_constants_are_unsupported() {
+        let expr = Expr::rel("E").select(
+            Conditions::new().data_eq_const(Pos::L1, trial_core::Value::int(1)),
+        );
+        assert!(matches!(
+            expr_to_program(&expr, &["E"]),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn universe_requires_an_edb_relation() {
+        assert!(matches!(
+            expr_to_program(&Expr::Universe, &[]),
+            Err(Error::Unsupported(_))
+        ));
+        assert!(matches!(
+            expr_to_program(&Expr::Empty, &[]),
+            Err(Error::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn left_star_uses_accumulator_on_the_right() {
+        let store = figure1();
+        let rels = relation_names(&store);
+        let expr = queries::reach_down("E");
+        let program = expr_to_program(&expr, &rels).unwrap();
+        let step = program
+            .rules()
+            .iter()
+            .find(|r| r.head.predicate.starts_with("Star") && r.body.len() > 1)
+            .unwrap();
+        // First body atom is the base relation, second is the star predicate.
+        match (&step.body[0], &step.body[1]) {
+            (Literal::Atom { atom: a, .. }, Literal::Atom { atom: b, .. }) => {
+                assert_eq!(a.predicate, "E");
+                assert!(b.predicate.starts_with("Star"));
+            }
+            other => panic!("unexpected body {other:?}"),
+        }
+    }
+}

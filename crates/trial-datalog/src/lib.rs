@@ -1,0 +1,51 @@
+//! # trial-datalog
+//!
+//! The declarative companion languages of Section 4 of *"TriAL for RDF"*:
+//! **TripleDatalog¬** (capturing TriAL, Proposition 2) and
+//! **ReachTripleDatalog¬** (capturing TriAL\*, Theorem 2).
+//!
+//! The crate provides:
+//!
+//! * a Datalog AST and parser for rules over ternary predicates, the data
+//!   equivalence relation `sim(x, y)` (written `∼` in the paper), equality
+//!   and inequality literals, constants, and negation ([`ast`], [`parser`]);
+//! * program analysis: dependency graph, stratification, and syntactic
+//!   classification into the paper's fragments ([`program`]);
+//! * a stratified, semi-naive evaluator over triplestores ([`eval`]);
+//! * the two capture translations: Datalog → algebra ([`to_algebra`],
+//!   Proposition 2 / Theorem 2) and algebra → Datalog ([`from_algebra`]).
+//!
+//! ```
+//! use trial_core::TriplestoreBuilder;
+//! use trial_datalog::{parse_program, eval::evaluate_program};
+//!
+//! let mut b = TriplestoreBuilder::new();
+//! b.add_triple("E", "Edinburgh", "TrainOp1", "London");
+//! b.add_triple("E", "TrainOp1", "part_of", "EastCoast");
+//! let store = b.finish();
+//!
+//! // Example 2 of the paper as a Datalog rule.
+//! let program = parse_program(
+//!     "Ans(x, c, y) :- E(x, op, y), E(op, p, c), p = 'part_of'.",
+//! ).unwrap();
+//! let result = evaluate_program(&program, &store).unwrap();
+//! let triples = result.output_triples().unwrap();
+//! assert_eq!(triples.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod eval;
+pub mod from_algebra;
+pub mod parser;
+pub mod program;
+pub mod to_algebra;
+
+pub use ast::{Atom, DlTerm, Literal, Rule};
+pub use eval::{evaluate_program, ProgramResult};
+pub use from_algebra::expr_to_program;
+pub use parser::parse_program;
+pub use program::{Program, ProgramClass};
+pub use to_algebra::program_to_expr;

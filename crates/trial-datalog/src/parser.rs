@@ -1,0 +1,358 @@
+//! A parser for TripleDatalog¬ programs.
+//!
+//! Syntax (one rule per `.`; `%` and `#` start line comments):
+//!
+//! ```text
+//! Ans(x, c, y)  :- E(x, op, y), E(op, p, c), p = 'part_of'.
+//! Reach(x, y, z) :- E(x, y, z).
+//! Reach(x, y, z) :- Reach(x, y, w), E(w, u, z), not sim(x, z), y != 'loop'.
+//! ```
+//!
+//! * predicate names start with an upper- or lower-case letter; arity ≤ 3;
+//! * variables are plain identifiers, object constants are single-quoted;
+//! * `sim(a, b)` is the data-equivalence relation `∼`;
+//! * `not` negates a relational atom or a `sim` literal, `!=` negates `=`.
+//!
+//! The first rule's head predicate is taken as the program's output
+//! predicate unless a later rule re-uses the name `Ans`, which always wins.
+
+use crate::ast::{Atom, DlTerm, Literal, Rule};
+use crate::program::Program;
+use trial_core::{Error, Result};
+
+/// Parses a TripleDatalog¬ program.
+pub fn parse_program(input: &str) -> Result<Program> {
+    let mut rules = Vec::new();
+    let mut parser = P {
+        chars: input.chars().collect(),
+        pos: 0,
+    };
+    loop {
+        parser.skip_ws();
+        if parser.at_end() {
+            break;
+        }
+        rules.push(parser.parse_rule()?);
+    }
+    if rules.is_empty() {
+        return Err(Error::Parse {
+            message: "program contains no rules".into(),
+            offset: 0,
+        });
+    }
+    let output = if rules.iter().any(|r| r.head.predicate == "Ans") {
+        "Ans".to_owned()
+    } else {
+        rules[0].head.predicate.clone()
+    };
+    Program::new(rules, output)
+}
+
+struct P {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl P {
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::Parse {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+                self.pos += 1;
+            }
+            if matches!(self.peek(), Some('%') | Some('#')) {
+                while !matches!(self.peek(), None | Some('\n')) {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn eat(&mut self, expected: char) -> Result<()> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(self.error(format!(
+                "expected `{expected}`, found `{}`",
+                other.map(String::from).unwrap_or_else(|| "end of input".into())
+            ))),
+        }
+    }
+
+    fn try_eat(&mut self, expected: char) -> bool {
+        self.skip_ws();
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_ident(&mut self) -> Result<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_') {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.error("expected an identifier"));
+        }
+        Ok(self.chars[start..self.pos].iter().collect())
+    }
+
+    fn parse_term(&mut self) -> Result<DlTerm> {
+        self.skip_ws();
+        if self.peek() == Some('\'') {
+            self.pos += 1;
+            let start = self.pos;
+            while !matches!(self.peek(), None | Some('\'')) {
+                self.pos += 1;
+            }
+            if self.peek().is_none() {
+                return Err(self.error("unterminated object constant"));
+            }
+            let name: String = self.chars[start..self.pos].iter().collect();
+            self.pos += 1;
+            Ok(DlTerm::Const(name))
+        } else {
+            Ok(DlTerm::Var(self.parse_ident()?))
+        }
+    }
+
+    fn parse_atom(&mut self, predicate: String) -> Result<Atom> {
+        self.eat('(')?;
+        let mut args = Vec::new();
+        if !self.try_eat(')') {
+            loop {
+                args.push(self.parse_term()?);
+                if self.try_eat(')') {
+                    break;
+                }
+                self.eat(',')?;
+            }
+        }
+        if args.len() > 3 {
+            return Err(self.error(format!(
+                "predicate `{predicate}` has arity {}, but TripleDatalog predicates have arity at most 3",
+                args.len()
+            )));
+        }
+        Ok(Atom::new(predicate, args))
+    }
+
+    fn parse_rule(&mut self) -> Result<Rule> {
+        let head_pred = self.parse_ident()?;
+        let head = self.parse_atom(head_pred)?;
+        self.skip_ws();
+        // Accept ":-" or "<-".
+        if self.try_eat(':') {
+            self.eat('-')?;
+        } else if self.try_eat('<') {
+            self.eat('-')?;
+        } else {
+            // A fact: `P(a, b, c).`
+            self.eat('.')?;
+            return Ok(Rule::new(head, Vec::new()));
+        }
+        let mut body = Vec::new();
+        loop {
+            body.push(self.parse_literal()?);
+            if self.try_eat(',') {
+                continue;
+            }
+            self.eat('.')?;
+            break;
+        }
+        Ok(Rule::new(head, body))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal> {
+        self.skip_ws();
+        // A literal may start with `not`, an identifier (predicate, sim, or a
+        // variable of a comparison), or a constant (comparison).
+        let checkpoint = self.pos;
+        if self.peek() == Some('\'') {
+            // Constant on the left of a comparison.
+            let left = self.parse_term()?;
+            return self.parse_cmp_rest(left);
+        }
+        let word = self.parse_ident()?;
+        if word == "not" {
+            let inner = self.parse_literal()?;
+            return match inner {
+                Literal::Atom { atom, negated } => Ok(Literal::Atom {
+                    atom,
+                    negated: !negated,
+                }),
+                Literal::Sim {
+                    left,
+                    right,
+                    negated,
+                } => Ok(Literal::Sim {
+                    left,
+                    right,
+                    negated: !negated,
+                }),
+                Literal::Cmp {
+                    left,
+                    right,
+                    negated,
+                } => Ok(Literal::Cmp {
+                    left,
+                    right,
+                    negated: !negated,
+                }),
+            };
+        }
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            if word == "sim" {
+                self.eat('(')?;
+                let left = self.parse_term()?;
+                self.eat(',')?;
+                let right = self.parse_term()?;
+                self.eat(')')?;
+                return Ok(Literal::Sim {
+                    left,
+                    right,
+                    negated: false,
+                });
+            }
+            let atom = self.parse_atom(word)?;
+            return Ok(Literal::Atom {
+                atom,
+                negated: false,
+            });
+        }
+        // Otherwise it must be a comparison whose left side is the identifier
+        // we just read (a variable).
+        self.pos = checkpoint;
+        let left = self.parse_term()?;
+        self.parse_cmp_rest(left)
+    }
+
+    fn parse_cmp_rest(&mut self, left: DlTerm) -> Result<Literal> {
+        self.skip_ws();
+        let negated = match self.peek() {
+            Some('=') => {
+                self.pos += 1;
+                false
+            }
+            Some('!') => {
+                self.pos += 1;
+                self.eat('=')?;
+                true
+            }
+            _ => return Err(self.error("expected `=` or `!=` in comparison literal")),
+        };
+        let right = self.parse_term()?;
+        Ok(Literal::Cmp {
+            left,
+            right,
+            negated,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::DlTerm as T;
+
+    #[test]
+    fn parse_single_rule() {
+        let p = parse_program("Ans(x, c, y) :- E(x, op, y), E(op, p, c), p = 'part_of'.").unwrap();
+        assert_eq!(p.rules().len(), 1);
+        assert_eq!(p.output(), "Ans");
+        let rule = &p.rules()[0];
+        assert_eq!(rule.head.predicate, "Ans");
+        assert_eq!(rule.body.len(), 3);
+        assert_eq!(rule.positive_atom_count(), 2);
+    }
+
+    #[test]
+    fn parse_recursive_program_with_negation_and_sim() {
+        let text = "
+            % transitive reachability with label constraints
+            Reach(x, y, z) :- E(x, y, z).
+            Reach(x, y, z) :- Reach(x, y, w), E(w, u, z), not sim(x, z), y != 'loop'.
+            Ans(x, y, z) :- Reach(x, y, z), not Bad(x, y, z).
+            Bad(x, x, x) :- E(x, x, x).
+        ";
+        let p = parse_program(text).unwrap();
+        assert_eq!(p.rules().len(), 4);
+        assert_eq!(p.output(), "Ans");
+        assert!(p.is_recursive());
+        let recursive_rule = &p.rules()[1];
+        assert!(recursive_rule
+            .body
+            .iter()
+            .any(|l| matches!(l, Literal::Sim { negated: true, .. })));
+        assert!(recursive_rule.body.iter().any(|l| matches!(
+            l,
+            Literal::Cmp {
+                negated: true,
+                right: T::Const(c),
+                ..
+            } if c == "loop"
+        )));
+    }
+
+    #[test]
+    fn parse_facts_and_arrow_variant() {
+        let p = parse_program("P('a', 'b', 'c').\nQ(x, y, z) <- P(x, y, z).").unwrap();
+        assert_eq!(p.rules().len(), 2);
+        assert!(p.rules()[0].body.is_empty());
+        assert_eq!(p.output(), "P");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let text = "Ans(x, y, z) :- E(x, w, y), E(y, w, z), not F(x, y, z), sim(x, y), w != 'part_of'.";
+        let p = parse_program(text).unwrap();
+        let rendered = p.rules()[0].to_string();
+        let p2 = parse_program(&rendered).unwrap();
+        assert_eq!(p.rules(), p2.rules());
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_program("").is_err());
+        assert!(parse_program("Ans(x, y, z)").is_err()); // missing dot
+        assert!(parse_program("Ans(x, y, z) :- E(x, y, z)").is_err()); // missing dot
+        assert!(parse_program("Ans(w, x, y, z) :- E(x, y, z).").is_err()); // arity 4
+        assert!(parse_program("Ans(x, y, z) :- E(x, y, z), x <> y.").is_err());
+        assert!(parse_program("Ans(x, y, z) :- E(x, y, 'unterminated.").is_err());
+        // Unsafe rules are rejected by Program::new.
+        assert!(parse_program("Ans(x, y, z) :- E(x, y, y).").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program(
+            "# leading comment\nAns(x,y,z) :- E(x,y,z). % trailing\n% another\n",
+        )
+        .unwrap();
+        assert_eq!(p.rules().len(), 1);
+    }
+}

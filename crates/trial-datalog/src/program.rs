@@ -1,0 +1,443 @@
+//! Programs: validation, dependency analysis, stratification and
+//! classification into the paper's fragments.
+
+use crate::ast::{Literal, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+use trial_core::{Error, Result};
+
+/// Syntactic classification of a program with respect to the fragments of
+/// Section 4 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramClass {
+    /// A non-recursive TripleDatalog¬ program — equivalent to TriAL
+    /// (Proposition 2).
+    NonRecursiveTripleDatalog,
+    /// A ReachTripleDatalog¬ program — equivalent to TriAL\* (Theorem 2).
+    ReachTripleDatalog,
+    /// A stratified program outside the paper's two fragments (e.g. rules
+    /// with three relational atoms, or recursion that is not of the simple
+    /// reachability shape). Still evaluable by this crate, but not covered
+    /// by the capture theorems.
+    GeneralStratified,
+}
+
+impl std::fmt::Display for ProgramClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProgramClass::NonRecursiveTripleDatalog => write!(f, "TripleDatalog¬ (non-recursive)"),
+            ProgramClass::ReachTripleDatalog => write!(f, "ReachTripleDatalog¬"),
+            ProgramClass::GeneralStratified => write!(f, "general stratified Datalog¬"),
+        }
+    }
+}
+
+/// A validated TripleDatalog¬ program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    rules: Vec<Rule>,
+    output: String,
+}
+
+impl Program {
+    /// Validates and builds a program.
+    ///
+    /// Checks performed:
+    /// * every rule is *safe* (range-restricted);
+    /// * every predicate is used with a consistent arity of at most 3;
+    /// * the program is *stratified* (no recursion through negation).
+    pub fn new(rules: Vec<Rule>, output: impl Into<String>) -> Result<Program> {
+        let output = output.into();
+        if rules.is_empty() {
+            return Err(Error::InvalidExpression(
+                "a Datalog program needs at least one rule".into(),
+            ));
+        }
+        fn record_arity(
+            arities: &mut BTreeMap<String, usize>,
+            pred: &str,
+            arity: usize,
+        ) -> Result<()> {
+            if arity > 3 {
+                return Err(Error::InvalidExpression(format!(
+                    "predicate `{pred}` has arity {arity} > 3"
+                )));
+            }
+            match arities.get(pred) {
+                Some(&a) if a != arity => Err(Error::InvalidExpression(format!(
+                    "predicate `{pred}` is used with arities {a} and {arity}"
+                ))),
+                _ => {
+                    arities.insert(pred.to_owned(), arity);
+                    Ok(())
+                }
+            }
+        }
+        let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+        for rule in &rules {
+            if !rule.is_safe() {
+                return Err(Error::InvalidExpression(format!(
+                    "rule `{rule}` is unsafe: every head variable and every variable of a \
+                     negated or comparison literal must occur in a positive body atom"
+                )));
+            }
+            record_arity(&mut arities, &rule.head.predicate, rule.head.arity())?;
+            for lit in &rule.body {
+                if let Literal::Atom { atom, .. } = lit {
+                    record_arity(&mut arities, &atom.predicate, atom.arity())?;
+                }
+            }
+        }
+        let program = Program { rules, output };
+        // Stratification doubles as the recursion-through-negation check.
+        program.stratification()?;
+        Ok(program)
+    }
+
+    /// The program's rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The output (answer) predicate.
+    pub fn output(&self) -> &str {
+        &self.output
+    }
+
+    /// Intensional predicates: those defined by at least one rule head.
+    pub fn idb_predicates(&self) -> BTreeSet<&str> {
+        self.rules.iter().map(|r| r.head.predicate.as_str()).collect()
+    }
+
+    /// Extensional predicates: referenced in bodies but never defined by a
+    /// rule. These must be relations of the triplestore at evaluation time.
+    pub fn edb_predicates(&self) -> BTreeSet<&str> {
+        let idb = self.idb_predicates();
+        self.rules
+            .iter()
+            .flat_map(|r| r.body_predicates())
+            .map(|(p, _)| p)
+            .filter(|p| !idb.contains(p))
+            .collect()
+    }
+
+    /// Returns `true` if some predicate (transitively) depends on itself.
+    pub fn is_recursive(&self) -> bool {
+        let idb = self.idb_predicates();
+        // Depth-first search over the dependency graph looking for a cycle.
+        for &start in &idb {
+            let mut stack = vec![start];
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            while let Some(p) = stack.pop() {
+                for rule in self.rules.iter().filter(|r| r.head.predicate == p) {
+                    for (q, _) in rule.body_predicates() {
+                        if q == start {
+                            return true;
+                        }
+                        if idb.contains(q) && seen.insert(q) {
+                            stack.push(q);
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Direct dependencies of an IDB predicate: the predicates occurring in
+    /// the bodies of its rules, each tagged with whether the occurrence is
+    /// negated.
+    pub fn dependencies(&self, pred: &str) -> Vec<(&str, bool)> {
+        let mut out = Vec::new();
+        for rule in self.rules.iter().filter(|r| r.head.predicate == pred) {
+            out.extend(rule.body_predicates());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Computes a stratification: an assignment of IDB predicates to strata
+    /// such that positive dependencies stay within or below a predicate's
+    /// stratum and negative dependencies are strictly below.
+    ///
+    /// Returns the strata in evaluation order. Fails if the program uses
+    /// recursion through negation.
+    pub fn stratification(&self) -> Result<Vec<Vec<String>>> {
+        let idb: Vec<&str> = self.idb_predicates().into_iter().collect();
+        let index: BTreeMap<&str, usize> = idb.iter().enumerate().map(|(i, &p)| (p, i)).collect();
+        let n = idb.len();
+        let mut stratum = vec![0usize; n];
+        // Iterate the constraint system to a fixpoint; more than n·n rounds
+        // means an ever-growing stratum, i.e. recursion through negation.
+        let max_rounds = n * n + 1;
+        for round in 0..=max_rounds {
+            let mut changed = false;
+            for rule in &self.rules {
+                let head = index[rule.head.predicate.as_str()];
+                for (pred, negated) in rule.body_predicates() {
+                    if let Some(&body) = index.get(pred) {
+                        let required = if negated {
+                            stratum[body] + 1
+                        } else {
+                            stratum[body]
+                        };
+                        if stratum[head] < required {
+                            stratum[head] = required;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+            if round == max_rounds {
+                return Err(Error::InvalidExpression(
+                    "program is not stratified: it uses recursion through negation".into(),
+                ));
+            }
+            if stratum.iter().any(|&s| s > n) {
+                return Err(Error::InvalidExpression(
+                    "program is not stratified: it uses recursion through negation".into(),
+                ));
+            }
+        }
+        let max_stratum = stratum.iter().copied().max().unwrap_or(0);
+        let mut strata: Vec<Vec<String>> = vec![Vec::new(); max_stratum + 1];
+        for (i, &s) in stratum.iter().enumerate() {
+            strata[s].push(idb[i].to_owned());
+        }
+        Ok(strata.into_iter().filter(|s| !s.is_empty()).collect())
+    }
+
+    /// Classifies the program into one of the paper's fragments.
+    pub fn classify(&self) -> ProgramClass {
+        let within_triple_datalog = self.rules.iter().all(|r| r.relational_atom_count() <= 2);
+        if !within_triple_datalog {
+            return ProgramClass::GeneralStratified;
+        }
+        if !self.is_recursive() {
+            return ProgramClass::NonRecursiveTripleDatalog;
+        }
+        // Recursive: every recursive predicate must follow the
+        // ReachTripleDatalog¬ template.
+        let idb = self.idb_predicates();
+        let recursive_preds: Vec<&str> = idb
+            .iter()
+            .copied()
+            .filter(|p| self.predicate_is_recursive(p))
+            .collect();
+        for pred in recursive_preds {
+            if !self.is_reach_predicate(pred) {
+                return ProgramClass::GeneralStratified;
+            }
+        }
+        ProgramClass::ReachTripleDatalog
+    }
+
+    /// Returns `true` if `pred` (transitively) depends on itself.
+    pub fn predicate_is_recursive(&self, pred: &str) -> bool {
+        self.depends_on(pred, pred)
+    }
+
+    /// Returns `true` if `from` (transitively, through rule bodies) depends
+    /// on `target`.
+    pub fn depends_on(&self, from: &str, target: &str) -> bool {
+        let idb = self.idb_predicates();
+        let mut stack = vec![from];
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        while let Some(p) = stack.pop() {
+            for rule in self.rules.iter().filter(|r| r.head.predicate == p) {
+                for (q, _) in rule.body_predicates() {
+                    if q == target {
+                        return true;
+                    }
+                    if idb.contains(q) && seen.insert(q) {
+                        stack.push(q);
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Checks that a recursive predicate follows the ReachTripleDatalog¬
+    /// template: exactly two rules,
+    /// `S(x̄) ← R(x̄)` and
+    /// `S(x̄) ← S(x̄1), R(x̄2), V(y1,z1), …, V(yk,zk)` with each `V` an
+    /// (in)equality or (negated) `sim` literal.
+    ///
+    /// The paper requires `R` to be "non-recursive"; we read that as *not
+    /// mutually recursive with `S`* (i.e. `R` must not depend on `S`), which
+    /// is the reading under which the Theorem 2 translation of nested Kleene
+    /// stars type-checks — the `R` produced for an outer star is itself a
+    /// reachability predicate, just one defined in an earlier stratum.
+    pub(crate) fn is_reach_predicate(&self, pred: &str) -> bool {
+        let rules: Vec<&Rule> = self
+            .rules
+            .iter()
+            .filter(|r| r.head.predicate == pred)
+            .collect();
+        if rules.len() != 2 {
+            return false;
+        }
+        let is_base = |r: &Rule| {
+            r.body.len() == 1
+                && matches!(
+                    &r.body[0],
+                    Literal::Atom { atom, negated: false }
+                        if atom.predicate != pred && !self.depends_on(&atom.predicate, pred)
+                )
+        };
+        let is_step = |r: &Rule| {
+            let atoms: Vec<_> = r
+                .body
+                .iter()
+                .filter_map(|l| match l {
+                    Literal::Atom { atom, negated: false } => Some(atom),
+                    _ => None,
+                })
+                .collect();
+            if atoms.len() != 2 {
+                return false;
+            }
+            let mentions_self = atoms.iter().filter(|a| a.predicate == pred).count() == 1;
+            let other_is_lower = atoms
+                .iter()
+                .filter(|a| a.predicate != pred)
+                .all(|a| !self.depends_on(&a.predicate, pred));
+            let rest_are_conditions = r.body.iter().all(|l| match l {
+                Literal::Atom { negated, .. } => !negated,
+                Literal::Sim { .. } | Literal::Cmp { .. } => true,
+            });
+            mentions_self && other_is_lower && rest_are_conditions
+        };
+        (is_base(rules[0]) && is_step(rules[1])) || (is_base(rules[1]) && is_step(rules[0]))
+    }
+}
+
+impl std::fmt::Display for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{rule}")?;
+        }
+        write!(f, "% output: {}", self.output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn classify_nonrecursive() {
+        let p = parse_program("Ans(x, c, y) :- E(x, op, y), E(op, p, c).").unwrap();
+        assert_eq!(p.classify(), ProgramClass::NonRecursiveTripleDatalog);
+        assert!(!p.is_recursive());
+        assert_eq!(p.edb_predicates().into_iter().collect::<Vec<_>>(), vec!["E"]);
+        assert_eq!(p.idb_predicates().into_iter().collect::<Vec<_>>(), vec!["Ans"]);
+    }
+
+    #[test]
+    fn classify_reach_datalog() {
+        let p = parse_program(
+            "Reach(x, y, z) :- E(x, y, z).
+             Reach(x, y, z) :- Reach(x, y, w), E(w, u, z), sim(x, w).
+             Ans(x, y, z) :- Reach(x, y, z).",
+        )
+        .unwrap();
+        assert!(p.is_recursive());
+        assert!(p.predicate_is_recursive("Reach"));
+        assert!(!p.predicate_is_recursive("Ans"));
+        assert_eq!(p.classify(), ProgramClass::ReachTripleDatalog);
+    }
+
+    #[test]
+    fn classify_general_when_three_atoms() {
+        let p = parse_program("Ans(x, y, z) :- E(x, y, w), E(w, y, v), E(v, y, z).").unwrap();
+        assert_eq!(p.classify(), ProgramClass::GeneralStratified);
+    }
+
+    #[test]
+    fn classify_general_when_recursion_is_not_reach_shaped() {
+        // Three rules for the recursive predicate.
+        let p = parse_program(
+            "R(x, y, z) :- E(x, y, z).
+             R(x, y, z) :- F(x, y, z).
+             R(x, y, z) :- R(x, y, w), E(w, u, z).",
+        )
+        .unwrap();
+        assert_eq!(p.classify(), ProgramClass::GeneralStratified);
+        // Mutual recursion is also outside the fragment.
+        let p = parse_program(
+            "A(x, y, z) :- E(x, y, z).
+             A(x, y, z) :- B(x, y, w), E(w, u, z).
+             B(x, y, z) :- E(x, y, z).
+             B(x, y, z) :- A(x, y, w), E(w, u, z).",
+        )
+        .unwrap();
+        assert_eq!(p.classify(), ProgramClass::GeneralStratified);
+    }
+
+    #[test]
+    fn stratification_orders_negation() {
+        let p = parse_program(
+            "Base(x, y, z) :- E(x, y, z).
+             Good(x, y, z) :- E(x, y, z), not Base(x, y, z).
+             Ans(x, y, z) :- Good(x, y, z).",
+        )
+        .unwrap();
+        let strata = p.stratification().unwrap();
+        let pos = |name: &str| strata.iter().position(|s| s.iter().any(|p| p == name)).unwrap();
+        assert!(pos("Base") < pos("Good"));
+        assert!(pos("Good") <= pos("Ans"));
+    }
+
+    #[test]
+    fn recursion_through_negation_is_rejected() {
+        let err = parse_program(
+            "P(x, y, z) :- E(x, y, z), not Q(x, y, z).
+             Q(x, y, z) :- E(x, y, z), not P(x, y, z).",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("stratified"));
+    }
+
+    #[test]
+    fn arity_consistency_is_enforced() {
+        // Mixed arities for the same predicate are rejected …
+        let conflict = parse_program(
+            "P(x, y) :- E(x, y, y).
+             Ans(x, y, z) :- E(x, y, z), P(x, y, z).",
+        );
+        assert!(conflict.is_err());
+        // … while distinct predicates may have distinct arities.
+        let ok = parse_program(
+            "P(x, y) :- E(x, y, y).
+             Ans(x, y, z) :- E(x, y, z), P(x, y).",
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn display_includes_output_marker() {
+        let p = parse_program("Ans(x, y, z) :- E(x, y, z).").unwrap();
+        let text = p.to_string();
+        assert!(text.contains("Ans(x, y, z) :- E(x, y, z)."));
+        assert!(text.contains("% output: Ans"));
+    }
+
+    #[test]
+    fn dependencies_are_reported() {
+        let p = parse_program(
+            "Ans(x, y, z) :- E(x, y, z), not F(x, y, z).
+             Ans(x, y, z) :- G(x, y, z).",
+        )
+        .unwrap();
+        assert_eq!(
+            p.dependencies("Ans"),
+            vec![("E", false), ("F", true), ("G", false)]
+        );
+    }
+}

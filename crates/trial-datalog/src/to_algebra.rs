@@ -1,0 +1,515 @@
+//! Translation of TripleDatalog¬ / ReachTripleDatalog¬ programs into TriAL
+//! and TriAL\* expressions — the "Datalog ⊆ algebra" halves of
+//! Proposition 2 and Theorem 2.
+//!
+//! The translation follows the paper's proofs: every IDB predicate `S`
+//! receives an expression `e_S`, built in dependency order. A rule with two
+//! relational atoms becomes a triple join whose output specification is read
+//! off the head-variable positions, whose `θ` collects repeated-variable and
+//! constant constraints plus the rule's (in)equality literals, and whose `η`
+//! collects the `sim` literals. Negated atoms become complements. A
+//! reachability predicate (the two-rule template of ReachTripleDatalog¬)
+//! becomes a right Kleene closure.
+//!
+//! The translation supports exactly the shape of programs produced by
+//! [`crate::expr_to_program`] plus hand-written programs that obey the
+//! paper's rule format with arity-3 predicates. Anything outside that
+//! (facts, predicates of lower arity, constants in rule heads, `sim`
+//! against constants) is reported as [`trial_core::Error::Unsupported`].
+
+use crate::ast::{Atom, DlTerm, Literal, Rule};
+use crate::program::{Program, ProgramClass};
+use std::collections::{BTreeMap, HashMap};
+use trial_core::{Conditions, Error, Expr, OutputSpec, Pos, Result, Side};
+
+/// Translates a program into an equivalent TriAL / TriAL\* expression for
+/// its output predicate.
+pub fn program_to_expr(program: &Program) -> Result<Expr> {
+    if program.classify() == ProgramClass::GeneralStratified {
+        return Err(Error::Unsupported(
+            "only TripleDatalog¬ and ReachTripleDatalog¬ programs can be translated to TriAL/TriAL*"
+                .into(),
+        ));
+    }
+    let translator = Translator { program };
+    translator.translate()
+}
+
+struct Translator<'a> {
+    program: &'a Program,
+}
+
+impl<'a> Translator<'a> {
+    fn translate(&self) -> Result<Expr> {
+        let mut exprs: HashMap<String, Expr> = HashMap::new();
+        // Seed EDB predicates.
+        for pred in self.program.edb_predicates() {
+            exprs.insert(pred.to_owned(), Expr::rel(pred));
+        }
+        // Process IDB predicates in dependency order (repeatedly translate
+        // every predicate whose dependencies are all available).
+        let mut pending: Vec<&str> = self.program.idb_predicates().into_iter().collect();
+        while !pending.is_empty() {
+            let mut progressed = false;
+            let mut still_pending = Vec::new();
+            for pred in pending {
+                let deps_ready = self
+                    .program
+                    .dependencies(pred)
+                    .iter()
+                    .all(|(d, _)| *d == pred || exprs.contains_key(*d));
+                if deps_ready {
+                    let expr = self.translate_predicate(pred, &exprs)?;
+                    exprs.insert(pred.to_owned(), expr);
+                    progressed = true;
+                } else {
+                    still_pending.push(pred);
+                }
+            }
+            if !progressed {
+                return Err(Error::Unsupported(
+                    "cyclic dependencies outside the ReachTripleDatalog¬ template".into(),
+                ));
+            }
+            pending = still_pending;
+        }
+        exprs
+            .get(self.program.output())
+            .cloned()
+            .ok_or_else(|| Error::UnknownRelation(self.program.output().to_owned()))
+    }
+
+    fn translate_predicate(&self, pred: &str, exprs: &HashMap<String, Expr>) -> Result<Expr> {
+        let rules: Vec<&Rule> = self
+            .program
+            .rules()
+            .iter()
+            .filter(|r| r.head.predicate == pred)
+            .collect();
+        if self.program.predicate_is_recursive(pred) {
+            return self.translate_reach_predicate(pred, &rules, exprs);
+        }
+        let mut result: Option<Expr> = None;
+        for rule in rules {
+            let e = self.translate_rule(rule, exprs)?;
+            result = Some(match result {
+                None => e,
+                Some(acc) => acc.union(e),
+            });
+        }
+        result.ok_or_else(|| Error::UnknownRelation(pred.to_owned()))
+    }
+
+    /// Translates a reachability predicate (two-rule template) into a right
+    /// Kleene closure, following the proof of Theorem 2.
+    fn translate_reach_predicate(
+        &self,
+        pred: &str,
+        rules: &[&Rule],
+        exprs: &HashMap<String, Expr>,
+    ) -> Result<Expr> {
+        let (base, step) = match rules {
+            [a, b] if a.body.len() == 1 => (a, b),
+            [a, b] if b.body.len() == 1 => (b, a),
+            _ => {
+                return Err(Error::Unsupported(format!(
+                    "recursive predicate `{pred}` is not in the two-rule ReachTripleDatalog¬ form"
+                )))
+            }
+        };
+        // Base rule must be S(x̄) ← R(x̄) with the head repeating the atom's
+        // variables verbatim.
+        let base_atom = match &base.body[0] {
+            Literal::Atom {
+                atom,
+                negated: false,
+            } => atom,
+            _ => {
+                return Err(Error::Unsupported(format!(
+                    "base rule of `{pred}` must be a single positive atom"
+                )))
+            }
+        };
+        if base_atom.args != base.head.args
+            || base_atom.args.iter().any(|t| t.as_var().is_none())
+            || base_atom.variables().len() != 3
+        {
+            return Err(Error::Unsupported(format!(
+                "base rule of `{pred}` must repeat the body atom's three distinct variables in its head"
+            )));
+        }
+        let base_expr = exprs
+            .get(&base_atom.predicate)
+            .cloned()
+            .ok_or_else(|| Error::UnknownRelation(base_atom.predicate.clone()))?;
+        // Step rule: S(h̄) ← S(x̄1), R(x̄2), conditions — with S on the left
+        // and R on the right of the iterated join.
+        let atoms: Vec<&Atom> = step
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Atom {
+                    atom,
+                    negated: false,
+                } => Some(atom),
+                _ => None,
+            })
+            .collect();
+        if atoms.len() != 2 {
+            return Err(Error::Unsupported(format!(
+                "step rule of `{pred}` must have exactly two positive atoms"
+            )));
+        }
+        let (self_atom, other_atom) = if atoms[0].predicate == pred {
+            (atoms[0], atoms[1])
+        } else if atoms[1].predicate == pred {
+            (atoms[1], atoms[0])
+        } else {
+            return Err(Error::Unsupported(format!(
+                "step rule of `{pred}` must mention `{pred}` exactly once"
+            )));
+        };
+        if other_atom.predicate != base_atom.predicate {
+            return Err(Error::Unsupported(format!(
+                "base and step rules of `{pred}` must use the same non-recursive predicate \
+                 (found `{}` and `{}`)",
+                base_atom.predicate, other_atom.predicate
+            )));
+        }
+        let (output, cond) = build_join_shape(
+            &step.head,
+            self_atom,
+            other_atom,
+            step.body.iter().filter(|l| !l.is_positive_atom()),
+        )?;
+        Ok(base_expr.right_star(output, cond))
+    }
+
+    /// Translates one non-recursive rule into a join expression.
+    fn translate_rule(&self, rule: &Rule, exprs: &HashMap<String, Expr>) -> Result<Expr> {
+        let rel_atoms: Vec<(&Atom, bool)> = rule
+            .body
+            .iter()
+            .filter_map(|l| match l {
+                Literal::Atom { atom, negated } => Some((atom, *negated)),
+                _ => None,
+            })
+            .collect();
+        let (left, right) = match rel_atoms.as_slice() {
+            [] => {
+                return Err(Error::Unsupported(format!(
+                    "rule `{rule}` has no relational atom (facts are not translatable)"
+                )))
+            }
+            [only] => (*only, *only),
+            [a, b] => (*a, *b),
+            _ => {
+                return Err(Error::Unsupported(format!(
+                    "rule `{rule}` has more than two relational atoms"
+                )))
+            }
+        };
+        let expr_of = |(atom, negated): (&Atom, bool)| -> Result<Expr> {
+            let base = exprs
+                .get(&atom.predicate)
+                .cloned()
+                .ok_or_else(|| Error::UnknownRelation(atom.predicate.clone()))?;
+            Ok(if negated { base.complement() } else { base })
+        };
+        let left_expr = expr_of(left)?;
+        let right_expr = expr_of(right)?;
+        let single_atom = rel_atoms.len() == 1;
+        let (output, mut cond) = build_join_shape(
+            &rule.head,
+            left.0,
+            right.0,
+            rule.body
+                .iter()
+                .filter(|l| !matches!(l, Literal::Atom { .. })),
+        )?;
+        if single_atom {
+            // The same atom plays both roles; force the two copies to agree.
+            cond = cond
+                .obj_eq(Pos::L1, Pos::R1)
+                .obj_eq(Pos::L2, Pos::R2)
+                .obj_eq(Pos::L3, Pos::R3);
+        }
+        Ok(left_expr.join(right_expr, output, cond))
+    }
+}
+
+/// Derives the output specification and join conditions for a rule whose
+/// positive atoms are `left` (positions 1–3) and `right` (positions 1'–3').
+fn build_join_shape<'a>(
+    head: &Atom,
+    left: &Atom,
+    right: &Atom,
+    extra_literals: impl Iterator<Item = &'a Literal>,
+) -> Result<(OutputSpec, Conditions)> {
+    if left.arity() != 3 || right.arity() != 3 || head.arity() != 3 {
+        return Err(Error::Unsupported(
+            "the algebra translation requires arity-3 predicates throughout".into(),
+        ));
+    }
+    // Map each variable to the positions where it occurs.
+    let mut var_positions: BTreeMap<&str, Vec<Pos>> = BTreeMap::new();
+    let mut cond = Conditions::new();
+    for (side, atom) in [(Side::Left, left), (Side::Right, right)] {
+        for (i, term) in atom.args.iter().enumerate() {
+            let pos = Pos::new(side, i as u8 + 1);
+            match term {
+                DlTerm::Var(v) => var_positions.entry(v).or_default().push(pos),
+                DlTerm::Const(name) => {
+                    cond = cond.obj_eq_const(pos, name.clone());
+                }
+            }
+        }
+    }
+    // Repeated variables induce equalities anchored at the first occurrence.
+    for positions in var_positions.values() {
+        for later in &positions[1..] {
+            cond = cond.obj_eq(positions[0], *later);
+        }
+    }
+    // Explicit condition literals.
+    let pos_of = |term: &DlTerm| -> Option<Pos> {
+        term.as_var()
+            .and_then(|v| var_positions.get(v).map(|ps| ps[0]))
+    };
+    for literal in extra_literals {
+        match literal {
+            Literal::Cmp {
+                left,
+                right,
+                negated,
+            } => {
+                cond = match (pos_of(left), pos_of(right), left, right) {
+                    (Some(a), Some(b), _, _) => {
+                        if *negated {
+                            cond.obj_neq(a, b)
+                        } else {
+                            cond.obj_eq(a, b)
+                        }
+                    }
+                    (Some(a), None, _, DlTerm::Const(c)) => {
+                        if *negated {
+                            cond.obj_neq_const(a, c.clone())
+                        } else {
+                            cond.obj_eq_const(a, c.clone())
+                        }
+                    }
+                    (None, Some(b), DlTerm::Const(c), _) => {
+                        if *negated {
+                            cond.obj_neq_const(b, c.clone())
+                        } else {
+                            cond.obj_eq_const(b, c.clone())
+                        }
+                    }
+                    _ => {
+                        return Err(Error::Unsupported(format!(
+                            "comparison `{literal}` does not reference a bound variable"
+                        )))
+                    }
+                };
+            }
+            Literal::Sim {
+                left,
+                right,
+                negated,
+            } => {
+                let (Some(a), Some(b)) = (pos_of(left), pos_of(right)) else {
+                    return Err(Error::Unsupported(format!(
+                        "`{literal}` must relate two bound variables"
+                    )));
+                };
+                cond = if *negated {
+                    cond.data_neq(a, b)
+                } else {
+                    cond.data_eq(a, b)
+                };
+            }
+            Literal::Atom { .. } => {
+                // Negated atoms are handled by the caller (complement);
+                // positive atoms were consumed as the join arguments.
+            }
+        }
+    }
+    // Output specification from the head.
+    let mut out = [Pos::L1; 3];
+    for (i, term) in head.args.iter().enumerate() {
+        match term {
+            DlTerm::Var(v) => {
+                out[i] = var_positions
+                    .get(v.as_str())
+                    .map(|ps| ps[0])
+                    .ok_or_else(|| {
+                        Error::Unsupported(format!("head variable `{v}` is not bound in the body"))
+                    })?;
+            }
+            DlTerm::Const(c) => {
+                return Err(Error::Unsupported(format!(
+                    "constant `{c}` in a rule head is not supported by the algebra translation"
+                )))
+            }
+        }
+    }
+    Ok((OutputSpec(out), cond))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_program;
+    use crate::parser::parse_program;
+    use trial_core::builder::queries;
+    use trial_core::{Triplestore, TriplestoreBuilder};
+    use trial_eval::evaluate;
+
+    fn figure1() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        for (s, p, o) in [
+            ("St.Andrews", "BusOp1", "Edinburgh"),
+            ("Edinburgh", "TrainOp1", "London"),
+            ("London", "TrainOp2", "Brussels"),
+            ("BusOp1", "part_of", "NatExpress"),
+            ("TrainOp1", "part_of", "EastCoast"),
+            ("TrainOp2", "part_of", "Eurostar"),
+            ("EastCoast", "part_of", "NatExpress"),
+        ] {
+            b.add_triple("E", s, p, o);
+        }
+        b.finish()
+    }
+
+    /// Checks that evaluating the program directly and evaluating its
+    /// translated algebra expression produce the same triples.
+    fn assert_translation_agrees(text: &str, store: &Triplestore) {
+        let program = parse_program(text).unwrap();
+        let expr = program_to_expr(&program).unwrap();
+        let datalog = evaluate_program(&program, store)
+            .unwrap()
+            .output_triples()
+            .unwrap();
+        let algebra = evaluate(&expr, store).unwrap().result;
+        assert_eq!(datalog, algebra, "program:\n{text}\nexpr: {expr}");
+    }
+
+    #[test]
+    fn join_rule_translates_to_example2() {
+        let store = figure1();
+        assert_translation_agrees(
+            "Ans(x, c, y) :- E(x, op, y), E(op, p, c), p = 'part_of'.",
+            &store,
+        );
+    }
+
+    #[test]
+    fn single_atom_rules_and_unions() {
+        let store = figure1();
+        assert_translation_agrees(
+            "Ans(x, y, z) :- E(x, y, z), y = 'part_of'.
+             Ans(z, y, x) :- E(x, y, z), x != z.",
+            &store,
+        );
+    }
+
+    #[test]
+    fn negation_translates_to_complement() {
+        let store = figure1();
+        assert_translation_agrees(
+            "Part(x, y, z) :- E(x, y, z), y = 'part_of'.
+             Ans(x, y, z) :- E(x, y, z), not Part(x, y, z).",
+            &store,
+        );
+    }
+
+    #[test]
+    fn sim_literals_translate_to_data_conditions() {
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "p", "b");
+        b.add_triple("E", "b", "p", "c");
+        b.object_with_value("a", trial_core::Value::int(1));
+        b.object_with_value("c", trial_core::Value::int(1));
+        let store = b.finish();
+        assert_translation_agrees(
+            "Ans(x, y, z) :- E(x, y, w), E(w, u, z), sim(x, z).",
+            &store,
+        );
+        assert_translation_agrees(
+            "Ans(x, y, z) :- E(x, y, w), E(w, u, z), not sim(x, z).",
+            &store,
+        );
+    }
+
+    #[test]
+    fn reach_predicate_translates_to_star() {
+        let store = figure1();
+        let program = parse_program(
+            "Reach(x, y, z) :- E(x, y, z).
+             Reach(x, y, z) :- Reach(x, y, w), E(w, u, z).
+             Ans(x, y, z) :- Reach(x, y, z).",
+        )
+        .unwrap();
+        let expr = program_to_expr(&program).unwrap();
+        assert!(expr.is_recursive());
+        let datalog = evaluate_program(&program, &store)
+            .unwrap()
+            .output_triples()
+            .unwrap();
+        let algebra = evaluate(&expr, &store).unwrap().result;
+        let reach = evaluate(&queries::reach_forward("E"), &store).unwrap().result;
+        assert_eq!(datalog, algebra);
+        assert_eq!(algebra, reach);
+    }
+
+    #[test]
+    fn labelled_reach_translates_to_same_label_star() {
+        let store = figure1();
+        assert_translation_agrees(
+            "Reach(x, y, z) :- E(x, y, z).
+             Reach(x, y, z) :- Reach(x, y, w), E(w, u, z), y = u.
+             Ans(x, y, z) :- Reach(x, y, z).",
+        &store,
+        );
+    }
+
+    #[test]
+    fn repeated_variables_become_equalities() {
+        let store = figure1();
+        assert_translation_agrees("Ans(x, x, z) :- E(x, y, z), E(z, y, x).", &store);
+    }
+
+    #[test]
+    fn unsupported_shapes_are_reported() {
+        // Facts.
+        let p = parse_program("Ans('a', 'b', 'c').").unwrap();
+        assert!(matches!(program_to_expr(&p), Err(Error::Unsupported(_))));
+        // Lower arity.
+        let p = parse_program("Ans(x, z) :- E(x, y, z).").unwrap();
+        assert!(matches!(program_to_expr(&p), Err(Error::Unsupported(_))));
+        // Constant in the head.
+        let p = parse_program("Ans(x, 'k', z) :- E(x, y, z).").unwrap();
+        assert!(matches!(program_to_expr(&p), Err(Error::Unsupported(_))));
+        // Three atoms → outside TripleDatalog¬ (classified general).
+        let p = parse_program("Ans(x, y, z) :- E(x, y, w), E(w, y, v), E(v, y, z).").unwrap();
+        assert!(matches!(program_to_expr(&p), Err(Error::Unsupported(_))));
+        // sim against a constant.
+        let p = parse_program("Ans(x, y, z) :- E(x, y, z), sim(x, 'Edinburgh').").unwrap();
+        assert!(matches!(program_to_expr(&p), Err(Error::Unsupported(_))));
+    }
+
+    #[test]
+    fn nested_reach_predicates_translate() {
+        // Two stacked reachability predicates — the shape Theorem 2's
+        // translation produces for nested stars (query Q).
+        let store = figure1();
+        assert_translation_agrees(
+            "Lift(x, c, y) :- E(x, c, y).
+             Lift(x, c, y) :- Lift(x, w, y), E(w, u, c), u = 'part_of'.
+             Same(x, c, y) :- Lift(x, c, y).
+             Same(x, c, y) :- Same(x, c, w), Lift(w, c2, y), c = c2.
+             Ans(x, c, y) :- Same(x, c, y).",
+            &store,
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! The [`Engine`] trait, evaluation options and instrumentation counters.
+
+use trial_core::{Expr, Result, TripleSet, Triplestore};
+
+/// Counters describing *how much work* an evaluation performed.
+///
+/// The paper's complexity results (Theorem 3, Propositions 4 and 5) are
+/// statements about the number of elementary steps, not about wall-clock
+/// time on a particular machine. Engines therefore count their dominant
+/// operations so that benchmarks can verify the *shape* of the bounds
+/// (quadratic vs. cubic vs. `|O|·|T|`) directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStats {
+    /// Candidate pairs of triples inspected by join operators (the inner
+    /// loop of Procedure 1 / the probe count of a hash join).
+    pub pairs_considered: u64,
+    /// Triples emitted by joins and selections before deduplication.
+    pub triples_emitted: u64,
+    /// Triples scanned by selections and set operations.
+    pub triples_scanned: u64,
+    /// Fixpoint rounds executed across all Kleene stars.
+    pub fixpoint_rounds: u64,
+    /// Number of join operations executed (including the joins performed
+    /// inside star fixpoints).
+    pub joins_executed: u64,
+    /// Edges traversed by the specialised reachability procedures of
+    /// Proposition 5 (BFS relaxations).
+    pub reach_edges_traversed: u64,
+    /// Sub-expression evaluations answered from the memo cache.
+    pub memo_hits: u64,
+}
+
+impl EvalStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        EvalStats::default()
+    }
+
+    /// Sums counters element-wise (useful when aggregating across runs).
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.pairs_considered += other.pairs_considered;
+        self.triples_emitted += other.triples_emitted;
+        self.triples_scanned += other.triples_scanned;
+        self.fixpoint_rounds += other.fixpoint_rounds;
+        self.joins_executed += other.joins_executed;
+        self.reach_edges_traversed += other.reach_edges_traversed;
+        self.memo_hits += other.memo_hits;
+    }
+
+    /// A single scalar summarising the dominant work performed: the sum of
+    /// pair inspections, scans and reachability edge traversals. Benchmarks
+    /// plot this against `|T|` to observe the growth exponent.
+    pub fn work(&self) -> u64 {
+        self.pairs_considered + self.triples_scanned + self.reach_edges_traversed
+    }
+}
+
+/// The outcome of evaluating an expression: the result triples plus the work
+/// counters accumulated while computing them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Evaluation {
+    /// The triples in `e(T)`.
+    pub result: TripleSet,
+    /// Work counters.
+    pub stats: EvalStats,
+}
+
+/// Tunable limits and switches for evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Maximum number of triples the universal relation `U` (and therefore a
+    /// complement) may materialise before evaluation aborts with
+    /// [`trial_core::Error::LimitExceeded`]. `U` has `|adom|³` triples, so
+    /// this guards against accidentally cubing a large store.
+    pub max_universe: usize,
+    /// Upper bound on fixpoint rounds per Kleene star. The semantics needs
+    /// at most `|adom|³` rounds (Procedure 2 of the paper); the default is
+    /// effectively unlimited and exists to catch engine bugs.
+    pub max_fixpoint_rounds: u64,
+    /// If `true` (default), the [`crate::SmartEngine`] may route
+    /// reachability-shaped stars to the Proposition 5 procedures.
+    pub use_reach_specialisation: bool,
+    /// If `true` (default), the [`crate::SmartEngine`] memoises repeated
+    /// sub-expressions.
+    pub use_memo: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            max_universe: 20_000_000,
+            max_fixpoint_rounds: u64::MAX,
+            use_reach_specialisation: true,
+            use_memo: true,
+        }
+    }
+}
+
+/// A query evaluation strategy for TriAL\* expressions.
+///
+/// Implementations must agree on semantics — the test-suite checks them
+/// against each other — and differ only in the algorithms used.
+pub trait Engine {
+    /// Human-readable engine name, used in benchmark reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes `e(T)` together with work counters.
+    fn evaluate(&self, expr: &Expr, store: &Triplestore) -> Result<Evaluation>;
+
+    /// Convenience: evaluate and discard the statistics.
+    fn run(&self, expr: &Expr, store: &Triplestore) -> Result<TripleSet> {
+        Ok(self.evaluate(expr, store)?.result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_merge_and_work() {
+        let mut a = EvalStats {
+            pairs_considered: 10,
+            triples_emitted: 5,
+            triples_scanned: 3,
+            fixpoint_rounds: 2,
+            joins_executed: 1,
+            reach_edges_traversed: 7,
+            memo_hits: 1,
+        };
+        let b = EvalStats {
+            pairs_considered: 1,
+            triples_emitted: 1,
+            triples_scanned: 1,
+            fixpoint_rounds: 1,
+            joins_executed: 1,
+            reach_edges_traversed: 1,
+            memo_hits: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.pairs_considered, 11);
+        assert_eq!(a.fixpoint_rounds, 3);
+        assert_eq!(a.memo_hits, 2);
+        assert_eq!(a.work(), 11 + 4 + 8);
+        assert_eq!(EvalStats::new(), EvalStats::default());
+    }
+
+    #[test]
+    fn default_options_are_permissive() {
+        let opts = EvalOptions::default();
+        assert!(opts.use_reach_specialisation);
+        assert!(opts.use_memo);
+        assert!(opts.max_universe >= 1_000_000);
+        assert_eq!(opts.max_fixpoint_rounds, u64::MAX);
+    }
+}

@@ -1,0 +1,57 @@
+//! # trial-eval
+//!
+//! Query evaluation for TriAL and TriAL\* expressions (Section 5 of
+//! *"TriAL for RDF"*, PODS 2013).
+//!
+//! The crate ships several interchangeable engines behind the [`Engine`]
+//! trait so that the paper's complexity claims can be measured as ablations
+//! on identical expressions and data:
+//!
+//! * [`NaiveEngine`] — the literal algorithms of Theorem 3: nested-loop
+//!   joins (`O(|T|²)` per join) and naive fixpoint iteration of Kleene
+//!   stars (`O(|T|³)` per star).
+//! * [`SmartEngine`] — the production engine: hash joins keyed on the
+//!   cross equalities of `θ`, semi-naive (delta) fixpoints for stars, the
+//!   specialised reachability procedures of Proposition 5 when a star has
+//!   one of the two reachTA⁼ shapes, and memoisation of repeated
+//!   sub-expressions.
+//!
+//! Every evaluation returns an [`Evaluation`] bundling the result
+//! [`TripleSet`](trial_core::TripleSet) with [`EvalStats`] —
+//! machine-readable counters (candidate pairs inspected, fixpoint rounds,
+//! output sizes) that expose the *shape* of the computation independently of
+//! wall-clock time; the benchmark harness uses them to check the paper's
+//! asymptotic claims.
+//!
+//! ```
+//! use trial_core::builder::queries;
+//! use trial_core::TriplestoreBuilder;
+//! use trial_eval::evaluate;
+//!
+//! let mut b = TriplestoreBuilder::new();
+//! b.add_triple("E", "Edinburgh", "TrainOp1", "London");
+//! b.add_triple("E", "TrainOp1", "part_of", "EastCoast");
+//! let store = b.finish();
+//!
+//! let eval = evaluate(&queries::example2("E"), &store).unwrap();
+//! assert_eq!(
+//!     store.display_triples(&eval.result),
+//!     vec!["(Edinburgh, EastCoast, London)".to_string()]
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod engine;
+pub mod memo;
+pub mod naive;
+pub mod ops;
+pub mod planner;
+pub mod reach;
+pub mod seminaive;
+
+pub use engine::{Engine, EvalOptions, EvalStats, Evaluation};
+pub use naive::NaiveEngine;
+pub use planner::{evaluate, evaluate_with, SmartEngine};

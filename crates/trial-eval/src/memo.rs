@@ -1,0 +1,103 @@
+//! Memoisation of repeated sub-expressions.
+//!
+//! TriAL expressions routinely repeat sub-expressions — Example 2's
+//! `e ∪ (e ✶ E)` evaluates `e` twice, the definable complement evaluates the
+//! universal relation once per occurrence, and mechanically generated
+//! expressions (e.g. the output of the Datalog translation of Proposition 2)
+//! repeat whole sub-programs. The [`Memo`] cache stores results keyed by the
+//! structural identity of the sub-expression so each distinct sub-expression
+//! is evaluated once per query.
+
+use std::collections::HashMap;
+use trial_core::{Expr, TripleSet};
+
+/// A per-query cache of sub-expression results.
+///
+/// The cache is only valid for a single store: the
+/// [`SmartEngine`](crate::SmartEngine) creates a fresh memo for every
+/// top-level evaluation.
+#[derive(Debug, Default)]
+pub struct Memo {
+    entries: HashMap<Expr, TripleSet>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Memo {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Memo::default()
+    }
+
+    /// Looks up a previously computed result.
+    pub fn get(&mut self, expr: &Expr) -> Option<TripleSet> {
+        match self.entries.get(expr) {
+            Some(v) => {
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a computed result.
+    pub fn insert(&mut self, expr: &Expr, result: &TripleSet) {
+        self.entries.insert(expr.clone(), result.clone());
+    }
+
+    /// Number of cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of distinct expressions cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trial_core::{ObjectId, Triple};
+
+    #[test]
+    fn caches_by_structure() {
+        let mut memo = Memo::new();
+        let e1 = Expr::rel("E").union(Expr::rel("F"));
+        let e2 = Expr::rel("E").union(Expr::rel("F")); // structurally equal
+        let e3 = Expr::rel("F").union(Expr::rel("E")); // different
+        let result: TripleSet = [Triple::new(ObjectId(0), ObjectId(1), ObjectId(2))]
+            .into_iter()
+            .collect();
+        assert!(memo.get(&e1).is_none());
+        memo.insert(&e1, &result);
+        assert_eq!(memo.get(&e2), Some(result));
+        assert!(memo.get(&e3).is_none());
+        assert_eq!(memo.hits(), 1);
+        assert_eq!(memo.misses(), 2);
+        assert_eq!(memo.len(), 1);
+        assert!(!memo.is_empty());
+    }
+
+    #[test]
+    fn empty_cache() {
+        let memo = Memo::new();
+        assert!(memo.is_empty());
+        assert_eq!(memo.len(), 0);
+        assert_eq!(memo.hits(), 0);
+    }
+}

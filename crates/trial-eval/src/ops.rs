@@ -1,0 +1,307 @@
+//! Shared physical operators: selections, joins, and the universal relation.
+//!
+//! Both engines are assembled from the primitives in this module; they differ
+//! only in *which* primitive they pick for a given operator and in how they
+//! iterate Kleene stars.
+
+use crate::compile::{project, CompiledConditions};
+use crate::engine::{EvalOptions, EvalStats};
+use std::collections::HashMap;
+use trial_core::{Error, ObjectId, OutputSpec, Pos, Result, Triple, TripleSet, Triplestore};
+
+/// Filters a triple set by compiled (left-only) conditions.
+pub fn select(
+    input: &TripleSet,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    stats.triples_scanned += input.len() as u64;
+    let mut out = Vec::new();
+    for t in input.iter() {
+        if cond.check_single(store, t) {
+            out.push(*t);
+            stats.triples_emitted += 1;
+        }
+    }
+    TripleSet::from_vec(out)
+}
+
+/// Nested-loop join: inspects every pair of triples, exactly as in the
+/// paper's Procedure 1. Cost `O(|left|·|right|)`.
+pub fn nested_loop_join(
+    left: &TripleSet,
+    right: &TripleSet,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    stats.joins_executed += 1;
+    let mut out = Vec::new();
+    for l in left.iter() {
+        for r in right.iter() {
+            stats.pairs_considered += 1;
+            if cond.check_pair(store, l, r) {
+                out.push(project(l, r, output));
+                stats.triples_emitted += 1;
+            }
+        }
+    }
+    TripleSet::from_vec(out)
+}
+
+/// Hash join keyed on the cross equalities of `θ`.
+///
+/// The right side is hashed on its key positions; each left triple probes the
+/// table and the remaining conditions are checked per matching pair. When the
+/// condition set has no cross equalities this degenerates to a nested-loop
+/// join (there is no key to hash on).
+pub fn hash_join(
+    left: &TripleSet,
+    right: &TripleSet,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    let keys = cond.cross_equalities();
+    if keys.is_empty() {
+        return nested_loop_join(left, right, output, cond, store, stats);
+    }
+    stats.joins_executed += 1;
+    // Build phase: index the right side by its key columns.
+    let mut table: HashMap<Vec<ObjectId>, Vec<&Triple>> = HashMap::with_capacity(right.len());
+    for r in right.iter() {
+        stats.triples_scanned += 1;
+        let key: Vec<ObjectId> = keys
+            .iter()
+            .map(|(_, rp)| r.0[rp.component_index()])
+            .collect();
+        table.entry(key).or_default().push(r);
+    }
+    // Probe phase.
+    let mut out = Vec::new();
+    for l in left.iter() {
+        stats.triples_scanned += 1;
+        let key: Vec<ObjectId> = keys
+            .iter()
+            .map(|(lp, _)| l.0[lp.component_index()])
+            .collect();
+        if let Some(matches) = table.get(&key) {
+            for r in matches {
+                stats.pairs_considered += 1;
+                if cond.check_pair(store, l, r) {
+                    out.push(project(l, r, output));
+                    stats.triples_emitted += 1;
+                }
+            }
+        }
+    }
+    TripleSet::from_vec(out)
+}
+
+/// Materialises the universal relation `U = adom³` over the store's active
+/// domain, guarding against blow-up with `options.max_universe`.
+pub fn universe(
+    store: &Triplestore,
+    options: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<TripleSet> {
+    let adom = store.active_domain();
+    let n = adom.len();
+    let total = n.saturating_mul(n).saturating_mul(n);
+    if total > options.max_universe {
+        return Err(Error::LimitExceeded(format!(
+            "universal relation would contain {total} triples (active domain of {n} objects); \
+             the configured limit is {}",
+            options.max_universe
+        )));
+    }
+    let mut out = Vec::with_capacity(total);
+    for &a in &adom {
+        for &b in &adom {
+            for &c in &adom {
+                out.push(Triple::new(a, b, c));
+            }
+        }
+    }
+    stats.triples_emitted += total as u64;
+    // Already sorted because adom is sorted and the loops are lexicographic,
+    // but from_vec re-checks cheaply and keeps the invariant in one place.
+    Ok(TripleSet::from_vec(out))
+}
+
+/// Joins `left ✶ right` picking the strategy by whether the condition set has
+/// usable hash keys.
+pub fn join_auto(
+    left: &TripleSet,
+    right: &TripleSet,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    if cond.cross_equalities().is_empty() {
+        nested_loop_join(left, right, output, cond, store, stats)
+    } else {
+        hash_join(left, right, output, cond, store, stats)
+    }
+}
+
+/// Positions of a hash key restricted to one side, as component indices.
+/// Exposed for the reachability procedures that build per-label indexes.
+pub fn key_components(keys: &[(Pos, Pos)], left: bool) -> Vec<usize> {
+    keys.iter()
+        .map(|(l, r)| {
+            if left {
+                l.component_index()
+            } else {
+                r.component_index()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trial_core::{Conditions, TriplestoreBuilder, Value};
+
+    fn store() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "p", "b");
+        b.add_triple("E", "b", "p", "c");
+        b.add_triple("E", "c", "q", "d");
+        b.object_with_value("a", Value::int(1));
+        b.object_with_value("c", Value::int(1));
+        b.finish()
+    }
+
+    fn rel(store: &Triplestore) -> TripleSet {
+        store.require_relation("E").unwrap().clone()
+    }
+
+    #[test]
+    fn select_filters_by_constant() {
+        let store = store();
+        let e = rel(&store);
+        let mut stats = EvalStats::new();
+        let cond = CompiledConditions::compile(
+            &Conditions::new().obj_eq_const(Pos::L2, "p"),
+            &store,
+        );
+        let out = select(&e, &cond, &store, &mut stats);
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.triples_scanned, 3);
+        assert_eq!(stats.triples_emitted, 2);
+    }
+
+    #[test]
+    fn nested_loop_and_hash_join_agree() {
+        let store = store();
+        let e = rel(&store);
+        let out_spec = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
+        let cond = CompiledConditions::compile(
+            &Conditions::new().obj_eq(Pos::L3, Pos::R1),
+            &store,
+        );
+        let mut s1 = EvalStats::new();
+        let mut s2 = EvalStats::new();
+        let nl = nested_loop_join(&e, &e, &out_spec, &cond, &store, &mut s1);
+        let hj = hash_join(&e, &e, &out_spec, &cond, &store, &mut s2);
+        assert_eq!(nl, hj);
+        // a→b→c and b→c→d compose.
+        assert_eq!(
+            store.display_triples(&nl),
+            vec!["(a, p, c)".to_string(), "(b, p, d)".to_string()]
+        );
+        // The nested loop considered all 9 pairs, the hash join fewer.
+        assert_eq!(s1.pairs_considered, 9);
+        assert!(s2.pairs_considered < 9);
+    }
+
+    #[test]
+    fn hash_join_without_keys_falls_back() {
+        let store = store();
+        let e = rel(&store);
+        let out_spec = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
+        // Only an inequality: no hash key available.
+        let cond = CompiledConditions::compile(
+            &Conditions::new().obj_neq(Pos::L1, Pos::R1),
+            &store,
+        );
+        let mut s = EvalStats::new();
+        let out = hash_join(&e, &e, &out_spec, &cond, &store, &mut s);
+        assert_eq!(s.pairs_considered, 9);
+        assert_eq!(out.len(), 6); // ordered pairs of distinct triples, all projections distinct
+    }
+
+    #[test]
+    fn join_with_data_condition() {
+        let store = store();
+        let e = rel(&store);
+        // Join triples whose endpoints carry the same data value:
+        // ρ(1) = ρ(3') pairs (a,..) with (..,c) etc.
+        let cond = CompiledConditions::compile(
+            &Conditions::new().data_eq(Pos::L1, Pos::R3),
+            &store,
+        );
+        let mut s = EvalStats::new();
+        let out = nested_loop_join(
+            &e,
+            &e,
+            &OutputSpec::new(Pos::L1, Pos::R2, Pos::R3),
+            &cond,
+            &store,
+            &mut s,
+        );
+        // ρ(a)=1 matches ρ(c)=1: left triples starting at a, right triples ending at c.
+        // Also ρ(c)=1 matches ρ(c)=1 and ρ(a)=1.
+        assert!(out
+            .iter()
+            .any(|t| store.display_triple(t) == "(a, p, c)"));
+    }
+
+    #[test]
+    fn universe_size_and_limit() {
+        let store = store();
+        let mut s = EvalStats::new();
+        let u = universe(&store, &EvalOptions::default(), &mut s).unwrap();
+        // Active domain: a, p, b, c, q, d = 6 objects → 216 triples.
+        assert_eq!(u.len(), 216);
+        let tight = EvalOptions {
+            max_universe: 100,
+            ..EvalOptions::default()
+        };
+        let err = universe(&store, &tight, &mut s).unwrap_err();
+        assert!(matches!(err, Error::LimitExceeded(_)));
+    }
+
+    #[test]
+    fn join_auto_picks_strategy() {
+        let store = store();
+        let e = rel(&store);
+        let out_spec = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
+        let eq_cond = CompiledConditions::compile(
+            &Conditions::new().obj_eq(Pos::L3, Pos::R1),
+            &store,
+        );
+        let neq_cond = CompiledConditions::compile(
+            &Conditions::new().obj_neq(Pos::L3, Pos::R1),
+            &store,
+        );
+        let mut s = EvalStats::new();
+        let a = join_auto(&e, &e, &out_spec, &eq_cond, &store, &mut s);
+        let b = join_auto(&e, &e, &out_spec, &neq_cond, &store, &mut s);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 9 - 2); // complement of the equality matches, before dedup
+    }
+
+    #[test]
+    fn key_components_extraction() {
+        let keys = vec![(Pos::L3, Pos::R1), (Pos::L2, Pos::R2)];
+        assert_eq!(key_components(&keys, true), vec![2, 1]);
+        assert_eq!(key_components(&keys, false), vec![0, 1]);
+    }
+}

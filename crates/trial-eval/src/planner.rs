@@ -1,0 +1,296 @@
+//! The production engine: fragment-aware strategy selection.
+//!
+//! [`SmartEngine`] walks the expression tree once per query and picks, for
+//! every operator, the cheapest applicable physical strategy:
+//!
+//! * joins use hash joins keyed on the cross equalities of `θ` (the
+//!   Proposition 4 optimisation), falling back to nested loops when no
+//!   equality key exists;
+//! * Kleene stars that match one of the two reachTA⁼ shapes are routed to
+//!   the Proposition 5 reachability procedures; every other star is
+//!   evaluated by semi-naive delta iteration;
+//! * structurally repeated sub-expressions are evaluated once and memoised.
+//!
+//! The free functions [`evaluate`] and [`evaluate_with`] are the main entry
+//! points used by examples, tests and downstream crates.
+
+use crate::compile::CompiledConditions;
+use crate::engine::{Engine, EvalOptions, EvalStats, Evaluation};
+use crate::memo::Memo;
+use crate::ops;
+use crate::reach;
+use crate::seminaive::semi_naive_star;
+use trial_core::fragment::is_reachability_star;
+use trial_core::{Expr, Pos, Result, TripleSet, Triplestore};
+
+/// The default, optimisation-enabled evaluation engine.
+#[derive(Debug, Clone, Default)]
+pub struct SmartEngine {
+    /// Evaluation options (limits and strategy switches).
+    pub options: EvalOptions,
+}
+
+impl SmartEngine {
+    /// Creates the engine with default options.
+    pub fn new() -> Self {
+        SmartEngine::default()
+    }
+
+    /// Creates the engine with explicit options.
+    pub fn with_options(options: EvalOptions) -> Self {
+        SmartEngine { options }
+    }
+
+    fn eval(
+        &self,
+        expr: &Expr,
+        store: &Triplestore,
+        memo: &mut Memo,
+        stats: &mut EvalStats,
+    ) -> Result<TripleSet> {
+        if self.options.use_memo {
+            if let Some(hit) = memo.get(expr) {
+                stats.memo_hits += 1;
+                return Ok(hit);
+            }
+        }
+        let result = match expr {
+            Expr::Rel(name) => store.require_relation(name)?.clone(),
+            Expr::Universe => ops::universe(store, &self.options, stats)?,
+            Expr::Empty => TripleSet::new(),
+            Expr::Select { input, cond } => {
+                let input = self.eval(input, store, memo, stats)?;
+                let cond = CompiledConditions::compile(cond, store);
+                ops::select(&input, &cond, store, stats)
+            }
+            Expr::Union(a, b) => {
+                let a = self.eval(a, store, memo, stats)?;
+                let b = self.eval(b, store, memo, stats)?;
+                stats.triples_scanned += (a.len() + b.len()) as u64;
+                a.union(&b)
+            }
+            Expr::Diff(a, b) => {
+                let a = self.eval(a, store, memo, stats)?;
+                let b = self.eval(b, store, memo, stats)?;
+                stats.triples_scanned += (a.len() + b.len()) as u64;
+                a.difference(&b)
+            }
+            Expr::Intersect(a, b) => {
+                let a = self.eval(a, store, memo, stats)?;
+                let b = self.eval(b, store, memo, stats)?;
+                stats.triples_scanned += (a.len() + b.len()) as u64;
+                a.intersection(&b)
+            }
+            Expr::Complement(e) => {
+                let e = self.eval(e, store, memo, stats)?;
+                let u = ops::universe(store, &self.options, stats)?;
+                stats.triples_scanned += (e.len() + u.len()) as u64;
+                u.difference(&e)
+            }
+            Expr::Join {
+                left,
+                right,
+                output,
+                cond,
+            } => {
+                let l = self.eval(left, store, memo, stats)?;
+                let r = self.eval(right, store, memo, stats)?;
+                let cond = CompiledConditions::compile(cond, store);
+                ops::join_auto(&l, &r, output, &cond, store, stats)
+            }
+            Expr::Star {
+                input,
+                output,
+                cond,
+                direction,
+            } => {
+                let base = self.eval(input, store, memo, stats)?;
+                let compiled = CompiledConditions::compile(cond, store);
+                if self.options.use_reach_specialisation
+                    && is_reachability_star(output, cond, *direction)
+                {
+                    // Distinguish the two reachTA= shapes by whether the
+                    // label equality 2=2' is part of the condition.
+                    let same_label = cond
+                        .cross_equalities()
+                        .iter()
+                        .any(|&(l, r)| l == Pos::L2 && r == Pos::R2);
+                    if same_label {
+                        reach::reach_star_same_label(&base, stats)
+                    } else {
+                        reach::reach_star_plain(&base, stats)
+                    }
+                } else {
+                    semi_naive_star(
+                        &base,
+                        output,
+                        &compiled,
+                        *direction,
+                        store,
+                        &self.options,
+                        stats,
+                    )?
+                }
+            }
+        };
+        if self.options.use_memo {
+            memo.insert(expr, &result);
+        }
+        Ok(result)
+    }
+}
+
+impl Engine for SmartEngine {
+    fn name(&self) -> &'static str {
+        "smart (hash joins + semi-naive + Prop. 5 reachability)"
+    }
+
+    fn evaluate(&self, expr: &Expr, store: &Triplestore) -> Result<Evaluation> {
+        expr.validate()?;
+        let mut stats = EvalStats::new();
+        let mut memo = Memo::new();
+        let result = self.eval(expr, store, &mut memo, &mut stats)?;
+        Ok(Evaluation { result, stats })
+    }
+}
+
+/// Evaluates `expr` over `store` with the default [`SmartEngine`].
+pub fn evaluate(expr: &Expr, store: &Triplestore) -> Result<Evaluation> {
+    SmartEngine::new().evaluate(expr, store)
+}
+
+/// Evaluates `expr` over `store` with explicit [`EvalOptions`].
+pub fn evaluate_with(expr: &Expr, store: &Triplestore, options: EvalOptions) -> Result<Evaluation> {
+    SmartEngine::with_options(options).evaluate(expr, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveEngine;
+    use trial_core::builder::{queries, ExprBuilderExt};
+    use trial_core::{Conditions, TriplestoreBuilder};
+
+    fn figure1() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        for (s, p, o) in [
+            ("St.Andrews", "BusOp1", "Edinburgh"),
+            ("Edinburgh", "TrainOp1", "London"),
+            ("London", "TrainOp2", "Brussels"),
+            ("BusOp1", "part_of", "NatExpress"),
+            ("TrainOp1", "part_of", "EastCoast"),
+            ("TrainOp2", "part_of", "Eurostar"),
+            ("EastCoast", "part_of", "NatExpress"),
+        ] {
+            b.add_triple("E", s, p, o);
+        }
+        b.finish()
+    }
+
+    /// A mixed bag of expressions covering every operator.
+    fn expression_zoo() -> Vec<Expr> {
+        vec![
+            Expr::rel("E"),
+            queries::example2("E"),
+            queries::example2_extended("E"),
+            queries::reach_forward("E"),
+            queries::reach_same_label("E"),
+            queries::reach_down("E"),
+            queries::same_company_reachability("E"),
+            queries::at_least_four_objects(),
+            queries::at_least_six_objects(),
+            Expr::rel("E").complement(),
+            Expr::rel("E")
+                .select(Conditions::new().obj_eq_const(trial_core::Pos::L2, "part_of"))
+                .reach_forward(),
+            Expr::rel("E").intersect_via_join(queries::example2("E")),
+            Expr::rel("E").minus(queries::example2("E")),
+            Expr::Universe.minus(Expr::rel("E")),
+            Expr::Empty.union(Expr::rel("E")),
+        ]
+    }
+
+    #[test]
+    fn smart_and_naive_agree_on_figure1() {
+        let store = figure1();
+        let smart = SmartEngine::new();
+        let naive = NaiveEngine::new();
+        for expr in expression_zoo() {
+            let a = smart.run(&expr, &store).unwrap();
+            let b = naive.run(&expr, &store).unwrap();
+            assert_eq!(a, b, "engines disagree on {expr}");
+        }
+    }
+
+    #[test]
+    fn smart_engine_does_less_join_work() {
+        let store = figure1();
+        let q = queries::same_company_reachability("E");
+        let smart = SmartEngine::new().evaluate(&q, &store).unwrap();
+        let naive = NaiveEngine::new().evaluate(&q, &store).unwrap();
+        assert_eq!(smart.result, naive.result);
+        assert!(smart.stats.work() <= naive.stats.work());
+    }
+
+    #[test]
+    fn reach_specialisation_can_be_disabled() {
+        let store = figure1();
+        let q = queries::reach_forward("E");
+        let with = SmartEngine::new().evaluate(&q, &store).unwrap();
+        let without = SmartEngine::with_options(EvalOptions {
+            use_reach_specialisation: false,
+            ..EvalOptions::default()
+        })
+        .evaluate(&q, &store)
+        .unwrap();
+        assert_eq!(with.result, without.result);
+        // The specialised path traverses edges; the generic path does joins.
+        assert!(with.stats.reach_edges_traversed > 0);
+        assert_eq!(without.stats.reach_edges_traversed, 0);
+        assert!(without.stats.fixpoint_rounds > 0);
+    }
+
+    #[test]
+    fn memo_avoids_recomputation() {
+        let store = figure1();
+        // example2_extended evaluates example2 twice.
+        let q = queries::example2_extended("E");
+        let with = SmartEngine::new().evaluate(&q, &store).unwrap();
+        assert!(with.stats.memo_hits >= 1);
+        let without = SmartEngine::with_options(EvalOptions {
+            use_memo: false,
+            ..EvalOptions::default()
+        })
+        .evaluate(&q, &store)
+        .unwrap();
+        assert_eq!(with.result, without.result);
+        assert_eq!(without.stats.memo_hits, 0);
+    }
+
+    #[test]
+    fn top_level_helpers() {
+        let store = figure1();
+        let eval = evaluate(&queries::example2("E"), &store).unwrap();
+        assert_eq!(eval.result.len(), 3);
+        let eval2 = evaluate_with(
+            &queries::example2("E"),
+            &store,
+            EvalOptions {
+                use_memo: false,
+                ..EvalOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(eval.result, eval2.result);
+    }
+
+    #[test]
+    fn same_label_specialisation_used_for_labelled_reach() {
+        let store = figure1();
+        let q = queries::reach_same_label("E");
+        let eval = SmartEngine::new().evaluate(&q, &store).unwrap();
+        let naive = NaiveEngine::new().run(&q, &store).unwrap();
+        assert_eq!(eval.result, naive);
+        assert!(eval.stats.reach_edges_traversed > 0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Semi-naive (delta) evaluation of Kleene closures.
+//!
+//! The naive fixpoint of Procedure 2 re-joins the *entire* accumulated
+//! relation with the base relation in every round. Because triple joins
+//! distribute over union in each argument, it suffices to join only the
+//! triples discovered in the previous round (the *delta*) — the standard
+//! semi-naive optimisation from Datalog evaluation, which the paper's
+//! Section 7 explicitly asks about ("whether commercial RDBMSs can scalably
+//! implement the type of recursion we require").
+
+use crate::compile::CompiledConditions;
+use crate::engine::{EvalOptions, EvalStats};
+use crate::ops;
+use trial_core::{Error, OutputSpec, Result, StarDirection, TripleSet, Triplestore};
+
+/// Computes `(base ✶)^*` (right) or `(✶ base)^*` (left) by delta iteration.
+///
+/// Each round joins only the previously-new triples against the base
+/// relation, unions the genuinely new results into the accumulator and stops
+/// when a round produces nothing new.
+pub fn semi_naive_star(
+    base: &TripleSet,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    direction: StarDirection,
+    store: &Triplestore,
+    options: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<TripleSet> {
+    let mut acc = base.clone();
+    let mut delta = base.clone();
+    let mut rounds: u64 = 0;
+    while !delta.is_empty() {
+        if rounds >= options.max_fixpoint_rounds {
+            return Err(Error::LimitExceeded(format!(
+                "Kleene star exceeded {} fixpoint rounds",
+                options.max_fixpoint_rounds
+            )));
+        }
+        rounds += 1;
+        stats.fixpoint_rounds += 1;
+        let joined = match direction {
+            StarDirection::Right => ops::join_auto(&delta, base, output, cond, store, stats),
+            StarDirection::Left => ops::join_auto(base, &delta, output, cond, store, stats),
+        };
+        let fresh = joined.difference(&acc);
+        if fresh.is_empty() {
+            break;
+        }
+        acc = acc.union(&fresh);
+        delta = fresh;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::naive::NaiveEngine;
+    use trial_core::builder::queries;
+    use trial_core::{Conditions, Expr, Pos, TriplestoreBuilder};
+
+    fn chain(n: usize) -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        for i in 0..n {
+            b.add_triple("E", format!("n{i}"), "next", format!("n{}", i + 1));
+        }
+        b.finish()
+    }
+
+    fn run_star(expr: &Expr, store: &Triplestore) -> (TripleSet, EvalStats) {
+        let mut stats = EvalStats::new();
+        match expr {
+            Expr::Star {
+                input,
+                output,
+                cond,
+                direction,
+            } => {
+                let base = NaiveEngine::new().run(input, store).unwrap();
+                let cond = CompiledConditions::compile(cond, store);
+                let result = semi_naive_star(
+                    &base,
+                    output,
+                    &cond,
+                    *direction,
+                    store,
+                    &EvalOptions::default(),
+                    &mut stats,
+                )
+                .unwrap();
+                (result, stats)
+            }
+            _ => panic!("expected a star expression"),
+        }
+    }
+
+    #[test]
+    fn agrees_with_naive_on_chain_reachability() {
+        let store = chain(12);
+        let q = queries::reach_forward("E");
+        let naive = NaiveEngine::new().run(&q, &store).unwrap();
+        let (semi, stats) = run_star(&q, &store);
+        assert_eq!(naive, semi);
+        // A chain of 12 edges yields 12·13/2 = 78 reachability triples.
+        assert_eq!(semi.len(), 78);
+        assert!(stats.fixpoint_rounds >= 11);
+    }
+
+    #[test]
+    fn agrees_with_naive_on_left_star() {
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "b", "c");
+        b.add_triple("E", "c", "d", "e");
+        b.add_triple("E", "d", "e", "f");
+        let store = b.finish();
+        let out = trial_core::output(Pos::L1, Pos::L2, Pos::R2);
+        let cond = Conditions::new().obj_eq(Pos::L3, Pos::R1);
+        let left = Expr::rel("E").left_star(out, cond.clone());
+        let right = Expr::rel("E").right_star(out, cond);
+        for q in [left, right] {
+            let naive = NaiveEngine::new().run(&q, &store).unwrap();
+            let (semi, _) = run_star(&q, &store);
+            assert_eq!(naive, semi, "mismatch for {q}");
+        }
+    }
+
+    #[test]
+    fn delta_iteration_does_less_work_than_naive() {
+        let store = chain(24);
+        let q = queries::reach_forward("E");
+        let naive_eval = NaiveEngine::new().evaluate(&q, &store).unwrap();
+        let (_, semi_stats) = run_star(&q, &store);
+        assert!(
+            semi_stats.pairs_considered < naive_eval.stats.pairs_considered,
+            "semi-naive should inspect fewer pairs ({} vs {})",
+            semi_stats.pairs_considered,
+            naive_eval.stats.pairs_considered
+        );
+    }
+
+    #[test]
+    fn respects_round_limit() {
+        let store = chain(10);
+        let q = queries::reach_forward("E");
+        let (base, cond, output, direction) = match &q {
+            Expr::Star {
+                input,
+                output,
+                cond,
+                direction,
+            } => (
+                NaiveEngine::new().run(input, &store).unwrap(),
+                CompiledConditions::compile(cond, &store),
+                *output,
+                *direction,
+            ),
+            _ => unreachable!(),
+        };
+        let mut stats = EvalStats::new();
+        let err = semi_naive_star(
+            &base,
+            &output,
+            &cond,
+            direction,
+            &store,
+            &EvalOptions {
+                max_fixpoint_rounds: 2,
+                ..EvalOptions::default()
+            },
+            &mut stats,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::LimitExceeded(_)));
+    }
+
+    #[test]
+    fn empty_base_terminates_immediately() {
+        let mut b = TriplestoreBuilder::new();
+        b.relation("E");
+        let store = b.finish();
+        let mut stats = EvalStats::new();
+        let out = trial_core::output(Pos::L1, Pos::L2, Pos::R3);
+        let cond = CompiledConditions::compile(&Conditions::new().obj_eq(Pos::L3, Pos::R1), &store);
+        let result = semi_naive_star(
+            &TripleSet::new(),
+            &out,
+            &cond,
+            StarDirection::Right,
+            &store,
+            &EvalOptions::default(),
+            &mut stats,
+        )
+        .unwrap();
+        assert!(result.is_empty());
+        assert_eq!(stats.fixpoint_rounds, 0);
+    }
+}

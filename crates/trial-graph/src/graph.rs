@@ -1,0 +1,245 @@
+//! The edge-labelled graph database model `G = (V, E, ρ)` of Section 2.1.
+
+use std::collections::{BTreeSet, HashMap};
+use trial_core::Value;
+
+/// A node identifier (dense index into the graph's node table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An edge `(source, label, target)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    /// Source node.
+    pub source: NodeId,
+    /// Edge label from the finite alphabet Σ.
+    pub label: String,
+    /// Target node.
+    pub target: NodeId,
+}
+
+/// An edge-labelled graph database with data values on nodes.
+///
+/// Nodes are interned by name; labels come from a finite alphabet Σ that is
+/// recorded explicitly (it matters for complements in GXPath and for the
+/// triplestore encoding `T_G = (V ∪ Σ, E)`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GraphDb {
+    names: Vec<String>,
+    values: Vec<Value>,
+    by_name: HashMap<String, NodeId>,
+    edges: Vec<Edge>,
+    alphabet: BTreeSet<String>,
+}
+
+/// Mutable builder for [`GraphDb`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphDbBuilder {
+    graph: GraphDb,
+}
+
+impl GraphDbBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        GraphDbBuilder::default()
+    }
+
+    /// Interns a node by name. Idempotent.
+    pub fn node(&mut self, name: impl AsRef<str>) -> NodeId {
+        self.graph.intern(name.as_ref())
+    }
+
+    /// Interns a node and attaches a data value `ρ(v)`.
+    pub fn node_with_value(&mut self, name: impl AsRef<str>, value: impl Into<Value>) -> NodeId {
+        let id = self.graph.intern(name.as_ref());
+        self.graph.values[id.index()] = value.into();
+        id
+    }
+
+    /// Adds a labelled edge between two node names, interning as needed.
+    pub fn edge(
+        &mut self,
+        source: impl AsRef<str>,
+        label: impl Into<String>,
+        target: impl AsRef<str>,
+    ) -> &mut Self {
+        let s = self.node(source);
+        let t = self.node(target);
+        let label = label.into();
+        self.graph.alphabet.insert(label.clone());
+        self.graph.edges.push(Edge {
+            source: s,
+            label,
+            target: t,
+        });
+        self
+    }
+
+    /// Declares a label as part of the alphabet even if no edge uses it yet.
+    pub fn declare_label(&mut self, label: impl Into<String>) -> &mut Self {
+        self.graph.alphabet.insert(label.into());
+        self
+    }
+
+    /// Finalises the graph.
+    pub fn finish(mut self) -> GraphDb {
+        self.graph.edges.sort();
+        self.graph.edges.dedup();
+        self.graph
+    }
+}
+
+impl GraphDb {
+    fn intern(&mut self, name: &str) -> NodeId {
+        if let Some(&id) = self.by_name.get(name) {
+            return id;
+        }
+        let id = NodeId(u32::try_from(self.names.len()).expect("too many nodes"));
+        self.names.push(name.to_owned());
+        self.values.push(Value::Null);
+        self.by_name.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> impl Iterator<Item = &Edge> + '_ {
+        self.edges.iter()
+    }
+
+    /// The alphabet Σ of edge labels, in sorted order.
+    pub fn alphabet(&self) -> impl Iterator<Item = &str> + '_ {
+        self.alphabet.iter().map(String::as_str)
+    }
+
+    /// Looks up a node by name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// A node's name.
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// A node's data value `ρ(v)`.
+    pub fn value(&self, id: NodeId) -> &Value {
+        &self.values[id.index()]
+    }
+
+    /// Outgoing `(label, target)` pairs of a node.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = (&str, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .filter(move |e| e.source == node)
+            .map(|e| (e.label.as_str(), e.target))
+    }
+
+    /// Incoming `(label, source)` pairs of a node.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = (&str, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .filter(move |e| e.target == node)
+            .map(|e| (e.label.as_str(), e.source))
+    }
+
+    /// All pairs `(u, v)` connected by an edge with the given label.
+    pub fn label_pairs(&self, label: &str) -> Vec<(NodeId, NodeId)> {
+        self.edges
+            .iter()
+            .filter(|e| e.label == label)
+            .map(|e| (e.source, e.target))
+            .collect()
+    }
+
+    /// Renders a set of node pairs with node names (sorted), for tests.
+    pub fn display_pairs(&self, pairs: &std::collections::HashSet<(NodeId, NodeId)>) -> Vec<String> {
+        let mut out: Vec<String> = pairs
+            .iter()
+            .map(|(a, b)| format!("({}, {})", self.node_name(*a), self.node_name(*b)))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.edge("a", "knows", "b");
+        b.edge("b", "knows", "c");
+        b.edge("c", "likes", "a");
+        b.node_with_value("a", Value::int(30));
+        b.declare_label("unused");
+        b.finish()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let g = sample();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.alphabet().collect::<Vec<_>>(), vec!["knows", "likes", "unused"]);
+        let a = g.node_id("a").unwrap();
+        assert_eq!(g.node_name(a), "a");
+        assert_eq!(g.value(a), &Value::int(30));
+        assert_eq!(g.value(g.node_id("b").unwrap()), &Value::Null);
+        assert!(g.node_id("zzz").is_none());
+    }
+
+    #[test]
+    fn adjacency_iterators() {
+        let g = sample();
+        let a = g.node_id("a").unwrap();
+        let b = g.node_id("b").unwrap();
+        let outs: Vec<_> = g.out_edges(a).collect();
+        assert_eq!(outs, vec![("knows", b)]);
+        let ins: Vec<_> = g.in_edges(a).collect();
+        assert_eq!(ins.len(), 1);
+        assert_eq!(ins[0].0, "likes");
+        assert_eq!(g.label_pairs("knows").len(), 2);
+        assert_eq!(g.label_pairs("missing").len(), 0);
+    }
+
+    #[test]
+    fn duplicate_edges_are_removed() {
+        let mut b = GraphDbBuilder::new();
+        b.edge("x", "l", "y");
+        b.edge("x", "l", "y");
+        let g = b.finish();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn display_pairs_sorted() {
+        let g = sample();
+        let mut pairs = std::collections::HashSet::new();
+        pairs.insert((g.node_id("b").unwrap(), g.node_id("c").unwrap()));
+        pairs.insert((g.node_id("a").unwrap(), g.node_id("b").unwrap()));
+        assert_eq!(g.display_pairs(&pairs), vec!["(a, b)", "(b, c)"]);
+    }
+}

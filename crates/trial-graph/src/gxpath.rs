@@ -1,0 +1,419 @@
+//! GXPath: the graph adaptation of XPath used as the yardstick language in
+//! Section 6.2, in both its navigational form and the data extension
+//! GXPath(∼).
+//!
+//! Path expressions denote binary relations over nodes, node expressions
+//! denote sets of nodes:
+//!
+//! ```text
+//! α, β := ε | a | a⁻ | [ϕ] | α·β | α∪β | ᾱ | α* | α= | α≠
+//! ϕ, ψ := ⊤ | ¬ϕ | ϕ∧ψ | ϕ∨ψ | ⟨α⟩ | ⟨α = β⟩ | ⟨α ≠ β⟩
+//! ```
+//!
+//! `ᾱ` is the complement of `α` relative to `V × V`, `α*` the
+//! reflexive-transitive closure, `α=`/`α≠` keep the pairs whose endpoints
+//! carry (un)equal data values, and `⟨α θ β⟩` are the XPath-style data joins.
+
+use crate::graph::{GraphDb, NodeId};
+use crate::nre::NodePairs;
+use std::collections::HashSet;
+use std::fmt;
+
+/// A GXPath path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathExpr {
+    /// `ε` — the diagonal.
+    Epsilon,
+    /// `a` — forward edges with label `a`.
+    Label(String),
+    /// `a⁻` — inverse edges.
+    Inverse(String),
+    /// `[ϕ]` — node test.
+    Test(Box<NodeExpr>),
+    /// `α · β` — composition.
+    Concat(Box<PathExpr>, Box<PathExpr>),
+    /// `α ∪ β` — union.
+    Union(Box<PathExpr>, Box<PathExpr>),
+    /// `ᾱ` — complement with respect to `V × V`.
+    Complement(Box<PathExpr>),
+    /// `α*` — reflexive-transitive closure.
+    Star(Box<PathExpr>),
+    /// `α=` — pairs of `α` whose endpoints have equal data values.
+    DataEq(Box<PathExpr>),
+    /// `α≠` — pairs of `α` whose endpoints have different data values.
+    DataNeq(Box<PathExpr>),
+}
+
+/// A GXPath node expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeExpr {
+    /// `⊤` — all nodes.
+    Top,
+    /// `¬ϕ`.
+    Not(Box<NodeExpr>),
+    /// `ϕ ∧ ψ`.
+    And(Box<NodeExpr>, Box<NodeExpr>),
+    /// `ϕ ∨ ψ`.
+    Or(Box<NodeExpr>, Box<NodeExpr>),
+    /// `⟨α⟩` — nodes with an outgoing `α`-path.
+    Exists(Box<PathExpr>),
+    /// `⟨α = β⟩` — nodes with `α`- and `β`-successors of equal data value.
+    ExistsEq(Box<PathExpr>, Box<PathExpr>),
+    /// `⟨α ≠ β⟩` — nodes with `α`- and `β`-successors of different data value.
+    ExistsNeq(Box<PathExpr>, Box<PathExpr>),
+}
+
+impl PathExpr {
+    /// A forward label step.
+    pub fn label(l: impl Into<String>) -> PathExpr {
+        PathExpr::Label(l.into())
+    }
+
+    /// An inverse label step.
+    pub fn inverse(l: impl Into<String>) -> PathExpr {
+        PathExpr::Inverse(l.into())
+    }
+
+    /// Node test `[ϕ]`.
+    pub fn test(phi: NodeExpr) -> PathExpr {
+        PathExpr::Test(Box::new(phi))
+    }
+
+    /// Composition.
+    pub fn then(self, other: PathExpr) -> PathExpr {
+        PathExpr::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Union.
+    pub fn or(self, other: PathExpr) -> PathExpr {
+        PathExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Complement relative to `V × V`.
+    pub fn complement(self) -> PathExpr {
+        PathExpr::Complement(Box::new(self))
+    }
+
+    /// Reflexive-transitive closure.
+    pub fn star(self) -> PathExpr {
+        PathExpr::Star(Box::new(self))
+    }
+
+    /// Data-equality restriction `α=`.
+    pub fn data_eq(self) -> PathExpr {
+        PathExpr::DataEq(Box::new(self))
+    }
+
+    /// Data-inequality restriction `α≠`.
+    pub fn data_neq(self) -> PathExpr {
+        PathExpr::DataNeq(Box::new(self))
+    }
+}
+
+impl NodeExpr {
+    /// `⟨α⟩`.
+    pub fn exists(alpha: PathExpr) -> NodeExpr {
+        NodeExpr::Exists(Box::new(alpha))
+    }
+
+    /// `¬ϕ`.
+    pub fn not(self) -> NodeExpr {
+        NodeExpr::Not(Box::new(self))
+    }
+
+    /// `ϕ ∧ ψ`.
+    pub fn and(self, other: NodeExpr) -> NodeExpr {
+        NodeExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `ϕ ∨ ψ`.
+    pub fn or(self, other: NodeExpr) -> NodeExpr {
+        NodeExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `⟨α = β⟩`.
+    pub fn exists_eq(alpha: PathExpr, beta: PathExpr) -> NodeExpr {
+        NodeExpr::ExistsEq(Box::new(alpha), Box::new(beta))
+    }
+
+    /// `⟨α ≠ β⟩`.
+    pub fn exists_neq(alpha: PathExpr, beta: PathExpr) -> NodeExpr {
+        NodeExpr::ExistsNeq(Box::new(alpha), Box::new(beta))
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathExpr::Epsilon => write!(f, "ε"),
+            PathExpr::Label(l) => write!(f, "{l}"),
+            PathExpr::Inverse(l) => write!(f, "{l}^-"),
+            PathExpr::Test(phi) => write!(f, "[{phi}]"),
+            PathExpr::Concat(a, b) => write!(f, "({a}·{b})"),
+            PathExpr::Union(a, b) => write!(f, "({a}∪{b})"),
+            PathExpr::Complement(a) => write!(f, "~({a})"),
+            PathExpr::Star(a) => write!(f, "{a}*"),
+            PathExpr::DataEq(a) => write!(f, "({a})="),
+            PathExpr::DataNeq(a) => write!(f, "({a})!="),
+        }
+    }
+}
+
+impl fmt::Display for NodeExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeExpr::Top => write!(f, "⊤"),
+            NodeExpr::Not(a) => write!(f, "¬({a})"),
+            NodeExpr::And(a, b) => write!(f, "({a}∧{b})"),
+            NodeExpr::Or(a, b) => write!(f, "({a}∨{b})"),
+            NodeExpr::Exists(a) => write!(f, "<{a}>"),
+            NodeExpr::ExistsEq(a, b) => write!(f, "<{a} = {b}>"),
+            NodeExpr::ExistsNeq(a, b) => write!(f, "<{a} != {b}>"),
+        }
+    }
+}
+
+fn compose(a: &NodePairs, b: &NodePairs) -> NodePairs {
+    let mut out = NodePairs::new();
+    for &(x, y) in a {
+        for &(y2, z) in b {
+            if y == y2 {
+                out.insert((x, z));
+            }
+        }
+    }
+    out
+}
+
+fn transitive_closure(rel: &NodePairs) -> NodePairs {
+    let mut closure = rel.clone();
+    loop {
+        let step = compose(&closure, rel);
+        let before = closure.len();
+        closure.extend(step);
+        if closure.len() == before {
+            return closure;
+        }
+    }
+}
+
+/// Evaluates a path expression to the binary relation it denotes over `graph`.
+pub fn evaluate_path(graph: &GraphDb, alpha: &PathExpr) -> NodePairs {
+    match alpha {
+        PathExpr::Epsilon => graph.nodes().map(|v| (v, v)).collect(),
+        PathExpr::Label(l) => graph.label_pairs(l).into_iter().collect(),
+        PathExpr::Inverse(l) => graph
+            .label_pairs(l)
+            .into_iter()
+            .map(|(a, b)| (b, a))
+            .collect(),
+        PathExpr::Test(phi) => evaluate_node(graph, phi)
+            .into_iter()
+            .map(|v| (v, v))
+            .collect(),
+        PathExpr::Concat(a, b) => compose(&evaluate_path(graph, a), &evaluate_path(graph, b)),
+        PathExpr::Union(a, b) => {
+            let mut out = evaluate_path(graph, a);
+            out.extend(evaluate_path(graph, b));
+            out
+        }
+        PathExpr::Complement(a) => {
+            let inner = evaluate_path(graph, a);
+            let mut out = NodePairs::new();
+            for u in graph.nodes() {
+                for v in graph.nodes() {
+                    if !inner.contains(&(u, v)) {
+                        out.insert((u, v));
+                    }
+                }
+            }
+            out
+        }
+        PathExpr::Star(a) => {
+            let mut out = transitive_closure(&evaluate_path(graph, a));
+            out.extend(graph.nodes().map(|v| (v, v)));
+            out
+        }
+        PathExpr::DataEq(a) => evaluate_path(graph, a)
+            .into_iter()
+            .filter(|(u, v)| graph.value(*u) == graph.value(*v))
+            .collect(),
+        PathExpr::DataNeq(a) => evaluate_path(graph, a)
+            .into_iter()
+            .filter(|(u, v)| graph.value(*u) != graph.value(*v))
+            .collect(),
+    }
+}
+
+/// Evaluates a node expression to the set of nodes it denotes over `graph`.
+pub fn evaluate_node(graph: &GraphDb, phi: &NodeExpr) -> HashSet<NodeId> {
+    match phi {
+        NodeExpr::Top => graph.nodes().collect(),
+        NodeExpr::Not(a) => {
+            let inner = evaluate_node(graph, a);
+            graph.nodes().filter(|v| !inner.contains(v)).collect()
+        }
+        NodeExpr::And(a, b) => {
+            let ea = evaluate_node(graph, a);
+            let eb = evaluate_node(graph, b);
+            ea.intersection(&eb).copied().collect()
+        }
+        NodeExpr::Or(a, b) => {
+            let mut ea = evaluate_node(graph, a);
+            ea.extend(evaluate_node(graph, b));
+            ea
+        }
+        NodeExpr::Exists(alpha) => evaluate_path(graph, alpha)
+            .into_iter()
+            .map(|(u, _)| u)
+            .collect(),
+        NodeExpr::ExistsEq(alpha, beta) => exists_data(graph, alpha, beta, true),
+        NodeExpr::ExistsNeq(alpha, beta) => exists_data(graph, alpha, beta, false),
+    }
+}
+
+fn exists_data(graph: &GraphDb, alpha: &PathExpr, beta: &PathExpr, want_eq: bool) -> HashSet<NodeId> {
+    let ea = evaluate_path(graph, alpha);
+    let eb = evaluate_path(graph, beta);
+    let mut out = HashSet::new();
+    for &(u, va) in &ea {
+        for &(u2, vb) in &eb {
+            if u == u2 {
+                let eq = graph.value(va) == graph.value(vb);
+                if eq == want_eq {
+                    out.insert(u);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphDbBuilder;
+    use trial_core::Value;
+
+    fn social() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.edge("mario", "knows", "luigi");
+        b.edge("luigi", "knows", "peach");
+        b.edge("peach", "likes", "mario");
+        b.edge("mario", "likes", "peach");
+        b.node_with_value("mario", Value::int(23));
+        b.node_with_value("luigi", Value::int(27));
+        b.node_with_value("peach", Value::int(23));
+        b.finish()
+    }
+
+    fn id(g: &GraphDb, n: &str) -> NodeId {
+        g.node_id(n).unwrap()
+    }
+
+    #[test]
+    fn basic_paths() {
+        let g = social();
+        let knows = evaluate_path(&g, &PathExpr::label("knows"));
+        assert_eq!(knows.len(), 2);
+        let inv = evaluate_path(&g, &PathExpr::inverse("knows"));
+        assert!(inv.contains(&(id(&g, "luigi"), id(&g, "mario"))));
+        let eps = evaluate_path(&g, &PathExpr::Epsilon);
+        assert_eq!(eps.len(), 3);
+    }
+
+    #[test]
+    fn composition_union_star() {
+        let g = social();
+        let two_hops = evaluate_path(
+            &g,
+            &PathExpr::label("knows").then(PathExpr::label("knows")),
+        );
+        assert_eq!(two_hops.len(), 1);
+        assert!(two_hops.contains(&(id(&g, "mario"), id(&g, "peach"))));
+        let any = evaluate_path(
+            &g,
+            &PathExpr::label("knows").or(PathExpr::label("likes")).star(),
+        );
+        // Everything reaches everything in this little cycle.
+        assert_eq!(any.len(), 9);
+    }
+
+    #[test]
+    fn path_complement() {
+        let g = social();
+        let not_knows = evaluate_path(&g, &PathExpr::label("knows").complement());
+        assert_eq!(not_knows.len(), 9 - 2);
+        assert!(!not_knows.contains(&(id(&g, "mario"), id(&g, "luigi"))));
+        assert!(not_knows.contains(&(id(&g, "luigi"), id(&g, "mario"))));
+        // Complement twice is identity.
+        let back = evaluate_path(
+            &g,
+            &PathExpr::label("knows").complement().complement(),
+        );
+        assert_eq!(back, evaluate_path(&g, &PathExpr::label("knows")));
+    }
+
+    #[test]
+    fn node_tests_and_boolean_ops() {
+        let g = social();
+        // Nodes with an outgoing `likes` edge.
+        let likes_something = NodeExpr::exists(PathExpr::label("likes"));
+        let res = evaluate_node(&g, &likes_something);
+        assert_eq!(res.len(), 2);
+        // ¬⟨likes⟩ = just luigi.
+        let res = evaluate_node(&g, &likes_something.clone().not());
+        assert_eq!(res, [id(&g, "luigi")].into_iter().collect());
+        // ⟨knows⟩ ∧ ⟨likes⟩ = mario (knows luigi, likes peach).
+        let both = NodeExpr::exists(PathExpr::label("knows")).and(likes_something.clone());
+        assert_eq!(evaluate_node(&g, &both), [id(&g, "mario")].into_iter().collect());
+        // ⊤ ∨ anything = all nodes.
+        let all = NodeExpr::Top.or(likes_something);
+        assert_eq!(evaluate_node(&g, &all).len(), 3);
+        // Using a node test inside a path: knows·[⟨likes⟩].
+        let path = PathExpr::label("knows").then(PathExpr::test(NodeExpr::exists(
+            PathExpr::label("likes"),
+        )));
+        let res = evaluate_path(&g, &path);
+        // luigi --knows--> peach, and peach likes mario.
+        assert!(res.contains(&(id(&g, "luigi"), id(&g, "peach"))));
+        assert!(!res.contains(&(id(&g, "mario"), id(&g, "luigi"))));
+    }
+
+    #[test]
+    fn data_comparisons() {
+        let g = social();
+        // knows·knows relates mario (23) to peach (23): kept by =, dropped by ≠.
+        let two_hops = PathExpr::label("knows").then(PathExpr::label("knows"));
+        assert_eq!(evaluate_path(&g, &two_hops.clone().data_eq()).len(), 1);
+        assert_eq!(evaluate_path(&g, &two_hops.data_neq()).len(), 0);
+        // knows relates mario (23) to luigi (27): kept by ≠ only.
+        assert_eq!(
+            evaluate_path(&g, &PathExpr::label("knows").data_neq()).len(),
+            2
+        );
+        // ⟨knows = likes⟩: a node with a knows-successor and a likes-successor
+        // of equal data value. mario: knows luigi(27) / likes peach(23) → no;
+        // peach: no knows edge → no; luigi: no likes edge → no.
+        let q = NodeExpr::exists_eq(PathExpr::label("knows"), PathExpr::label("likes"));
+        assert!(evaluate_node(&g, &q).is_empty());
+        // ⟨knows ≠ likes⟩: mario qualifies (27 vs 23).
+        let q = NodeExpr::exists_neq(PathExpr::label("knows"), PathExpr::label("likes"));
+        assert_eq!(evaluate_node(&g, &q), [id(&g, "mario")].into_iter().collect());
+    }
+
+    #[test]
+    fn display_renders() {
+        let alpha = PathExpr::label("a")
+            .then(PathExpr::test(NodeExpr::Top.not()))
+            .or(PathExpr::inverse("b"))
+            .star()
+            .data_eq();
+        let text = alpha.to_string();
+        assert!(text.contains("a"));
+        assert!(text.contains("¬(⊤)"));
+        assert!(text.contains("b^-"));
+        let phi = NodeExpr::exists_eq(PathExpr::Epsilon, PathExpr::label("c"));
+        assert_eq!(phi.to_string(), "<ε = c>");
+    }
+}

@@ -1,0 +1,49 @@
+//! # trial-graph
+//!
+//! Graph databases and the graph query languages the paper compares TriAL\*
+//! against (Sections 2 and 6.2):
+//!
+//! * the standard **graph database** model `G = (V, E ⊆ V×Σ×V, ρ)`
+//!   ([`GraphDb`]);
+//! * **regular path queries** (RPQs) evaluated by NFA product construction
+//!   ([`regex`], [`rpq`]);
+//! * **nested regular expressions** (NREs, the navigational core of
+//!   nSPARQL) ([`nre`]);
+//! * **GXPath** with and without data-value comparisons ([`gxpath`]);
+//! * **conjunctive NREs / CRPQs** ([`cnre`]);
+//! * **nSPARQL-style axis navigation** evaluated directly over triplestores
+//!   ([`nsparql`], Theorem 1);
+//! * **register automata / regular expressions with memory** over graphs
+//!   with data ([`register`], Proposition 6);
+//! * the **σ(·) encoding** of RDF/triplestores into graph databases used by
+//!   nSPARQL and by Proposition 1 ([`sigma`]);
+//! * the **translations into TriAL\*** that witness Theorem 7 and
+//!   Corollaries 2 and 4 ([`translate`]).
+//!
+//! Every language has a *native* evaluator over [`GraphDb`], so the
+//! translation theorems can be checked empirically: evaluating a graph query
+//! natively and evaluating its TriAL\* translation over the graph's
+//! triplestore encoding must produce the same pairs of nodes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnre;
+pub mod graph;
+pub mod gxpath;
+pub mod nre;
+pub mod nsparql;
+pub mod regex;
+pub mod register;
+pub mod rpq;
+pub mod sigma;
+pub mod translate;
+
+pub use graph::{GraphDb, GraphDbBuilder, NodeId};
+pub use gxpath::{NodeExpr, PathExpr};
+pub use nre::Nre;
+pub use nsparql::{evaluate_nsparql, Axis, NsExpr};
+pub use regex::Regex;
+pub use register::{evaluate_rem, Rem, RegisterAutomaton};
+pub use sigma::{proposition1_documents, sigma_encode};
+pub use translate::{graph_to_triplestore, nre_to_trial, path_to_trial, regex_to_trial};

@@ -1,0 +1,260 @@
+//! Nested regular expressions (NREs) — the navigational core of nSPARQL.
+//!
+//! Syntax (Section 2.1 of the paper):
+//!
+//! ```text
+//! e := ε | a | a⁻ | e · e | e* | e + e | [e]        a ∈ Σ
+//! ```
+//!
+//! An NRE denotes a binary relation over the nodes of a graph database:
+//! `ε` is the diagonal, `a` the a-labelled edges, `a⁻` their inverses,
+//! `·`/`+`/`*` are composition, union and (reflexive-)transitive closure,
+//! and the node test `[e]` keeps the pairs `(u, u)` such that `e` relates
+//! `u` to some node.
+//!
+//! Two closure semantics exist in the literature; following the nSPARQL
+//! tradition (and so that `e*` composes the same way as GXPath's `α*`) we
+//! take `e*` to be the *reflexive*-transitive closure and provide
+//! [`Nre::Plus`] for the strict one-or-more closure. The translation into
+//! TriAL\* ([`crate::translate`]) uses the same convention.
+
+use crate::graph::{GraphDb, NodeId};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A nested regular expression.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Nre {
+    /// `ε` — the diagonal `{(u, u) | u ∈ V}`.
+    Epsilon,
+    /// `a` — forward a-labelled edges.
+    Label(String),
+    /// `a⁻` — inverse a-labelled edges.
+    Inverse(String),
+    /// `e1 · e2` — composition.
+    Concat(Box<Nre>, Box<Nre>),
+    /// `e1 + e2` — union.
+    Alt(Box<Nre>, Box<Nre>),
+    /// `e*` — reflexive-transitive closure.
+    Star(Box<Nre>),
+    /// `e⁺` — transitive closure (one or more steps).
+    Plus(Box<Nre>),
+    /// `[e]` — node test: pairs `(u, u)` with `(u, v) ∈ e` for some `v`.
+    Test(Box<Nre>),
+}
+
+impl Nre {
+    /// A forward label step.
+    pub fn label(l: impl Into<String>) -> Nre {
+        Nre::Label(l.into())
+    }
+
+    /// An inverse label step.
+    pub fn inverse(l: impl Into<String>) -> Nre {
+        Nre::Inverse(l.into())
+    }
+
+    /// Composition.
+    pub fn then(self, other: Nre) -> Nre {
+        Nre::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Union.
+    pub fn or(self, other: Nre) -> Nre {
+        Nre::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// Reflexive-transitive closure.
+    pub fn star(self) -> Nre {
+        Nre::Star(Box::new(self))
+    }
+
+    /// Transitive closure.
+    pub fn plus(self) -> Nre {
+        Nre::Plus(Box::new(self))
+    }
+
+    /// Node test `[self]`.
+    pub fn test(self) -> Nre {
+        Nre::Test(Box::new(self))
+    }
+
+    /// The nesting depth of the expression (number of nested `[…]`).
+    pub fn nesting_depth(&self) -> usize {
+        match self {
+            Nre::Epsilon | Nre::Label(_) | Nre::Inverse(_) => 0,
+            Nre::Concat(a, b) | Nre::Alt(a, b) => a.nesting_depth().max(b.nesting_depth()),
+            Nre::Star(a) | Nre::Plus(a) => a.nesting_depth(),
+            Nre::Test(a) => 1 + a.nesting_depth(),
+        }
+    }
+
+    /// The size (number of operators and labels).
+    pub fn size(&self) -> usize {
+        match self {
+            Nre::Epsilon | Nre::Label(_) | Nre::Inverse(_) => 1,
+            Nre::Concat(a, b) | Nre::Alt(a, b) => 1 + a.size() + b.size(),
+            Nre::Star(a) | Nre::Plus(a) | Nre::Test(a) => 1 + a.size(),
+        }
+    }
+}
+
+impl fmt::Display for Nre {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Nre::Epsilon => write!(f, "ε"),
+            Nre::Label(l) => write!(f, "{l}"),
+            Nre::Inverse(l) => write!(f, "{l}^-"),
+            Nre::Concat(a, b) => write!(f, "({a}·{b})"),
+            Nre::Alt(a, b) => write!(f, "({a}+{b})"),
+            Nre::Star(a) => write!(f, "{a}*"),
+            Nre::Plus(a) => write!(f, "{a}+"),
+            Nre::Test(a) => write!(f, "[{a}]"),
+        }
+    }
+}
+
+/// The set of pairs of a binary relation over nodes.
+pub type NodePairs = HashSet<(NodeId, NodeId)>;
+
+/// Composition of two binary relations.
+fn compose(a: &NodePairs, b: &NodePairs) -> NodePairs {
+    let mut out = NodePairs::new();
+    for &(x, y) in a {
+        for &(y2, z) in b {
+            if y == y2 {
+                out.insert((x, z));
+            }
+        }
+    }
+    out
+}
+
+/// Transitive closure (one or more steps) of a binary relation.
+fn transitive_closure(rel: &NodePairs) -> NodePairs {
+    let mut closure = rel.clone();
+    loop {
+        let step = compose(&closure, rel);
+        let before = closure.len();
+        closure.extend(step);
+        if closure.len() == before {
+            return closure;
+        }
+    }
+}
+
+/// Evaluates an NRE over a graph database, returning the binary relation it
+/// denotes.
+pub fn evaluate_nre(graph: &GraphDb, nre: &Nre) -> NodePairs {
+    match nre {
+        Nre::Epsilon => graph.nodes().map(|v| (v, v)).collect(),
+        Nre::Label(l) => graph.label_pairs(l).into_iter().collect(),
+        Nre::Inverse(l) => graph.label_pairs(l).into_iter().map(|(a, b)| (b, a)).collect(),
+        Nre::Concat(a, b) => compose(&evaluate_nre(graph, a), &evaluate_nre(graph, b)),
+        Nre::Alt(a, b) => {
+            let mut out = evaluate_nre(graph, a);
+            out.extend(evaluate_nre(graph, b));
+            out
+        }
+        Nre::Star(a) => {
+            let mut out = transitive_closure(&evaluate_nre(graph, a));
+            out.extend(graph.nodes().map(|v| (v, v)));
+            out
+        }
+        Nre::Plus(a) => transitive_closure(&evaluate_nre(graph, a)),
+        Nre::Test(a) => evaluate_nre(graph, a)
+            .into_iter()
+            .map(|(u, _)| (u, u))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphDbBuilder;
+
+    /// The σ-style graph from Figure 2 of the paper (hand-built).
+    fn sample() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.edge("London", "next", "Brussels");
+        b.edge("London", "edge", "TrainOp2");
+        b.edge("TrainOp2", "node", "Brussels");
+        b.edge("TrainOp2", "next", "Eurostar");
+        b.edge("TrainOp2", "edge", "part_of");
+        b.edge("part_of", "node", "Eurostar");
+        b.finish()
+    }
+
+    fn pair(g: &GraphDb, a: &str, b: &str) -> (NodeId, NodeId) {
+        (g.node_id(a).unwrap(), g.node_id(b).unwrap())
+    }
+
+    #[test]
+    fn labels_and_inverses() {
+        let g = sample();
+        let next = evaluate_nre(&g, &Nre::label("next"));
+        assert!(next.contains(&pair(&g, "London", "Brussels")));
+        assert_eq!(next.len(), 2);
+        let inv = evaluate_nre(&g, &Nre::inverse("next"));
+        assert!(inv.contains(&pair(&g, "Brussels", "London")));
+    }
+
+    #[test]
+    fn concat_and_nesting() {
+        let g = sample();
+        // edge · [next] · node : an edge to a predicate that has a `next`
+        // out-edge, then to the object — the nSPARQL-style pattern.
+        let e = Nre::label("edge")
+            .then(Nre::label("next").test())
+            .then(Nre::label("node"));
+        let pairs = evaluate_nre(&g, &e);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(&pair(&g, "London", "Brussels")));
+        assert_eq!(e.nesting_depth(), 1);
+        assert!(e.size() >= 5);
+    }
+
+    #[test]
+    fn star_is_reflexive_plus_is_not() {
+        let g = sample();
+        let star = evaluate_nre(&g, &Nre::label("next").star());
+        let plus = evaluate_nre(&g, &Nre::label("next").plus());
+        for v in g.nodes() {
+            assert!(star.contains(&(v, v)));
+        }
+        assert!(!plus.contains(&pair(&g, "Brussels", "Brussels")));
+        assert!(plus.contains(&pair(&g, "London", "Brussels")));
+        // ε is exactly the diagonal.
+        let eps = evaluate_nre(&g, &Nre::Epsilon);
+        assert_eq!(eps.len(), g.node_count());
+    }
+
+    #[test]
+    fn alternation_unions_relations() {
+        let g = sample();
+        let e = Nre::label("edge").or(Nre::label("node"));
+        let pairs = evaluate_nre(&g, &e);
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn display_and_builders() {
+        let e = Nre::label("a")
+            .then(Nre::inverse("b").test())
+            .or(Nre::Epsilon)
+            .star();
+        assert_eq!(e.to_string(), "((a·[b^-])+ε)*");
+        assert_eq!(Nre::label("a").plus().to_string(), "a+");
+    }
+
+    #[test]
+    fn transitive_closure_on_cycles() {
+        let mut b = GraphDbBuilder::new();
+        b.edge("x", "l", "y");
+        b.edge("y", "l", "x");
+        let g = b.finish();
+        let plus = evaluate_nre(&g, &Nre::label("l").plus());
+        assert_eq!(plus.len(), 4);
+    }
+}

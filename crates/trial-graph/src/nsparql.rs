@@ -1,0 +1,364 @@
+//! nSPARQL-style navigation evaluated *directly over triples* (Theorem 1).
+//!
+//! nSPARQL [Pérez–Arenas–Gutierrez] extends SPARQL with nested regular
+//! expressions whose alphabet is the three **axes** `next`, `edge` and `node`
+//! (plus inverses and nesting). As the appendix of the paper spells out, the
+//! semantics of those axes over an RDF document `D` is
+//!
+//! * `next = {(v, v') | ∃z E(v, z, v')}`,
+//! * `edge = {(v, v') | ∃z E(v, v', z)}`,
+//! * `node = {(v, v') | ∃z E(z, v, v')}`,
+//!
+//! which is exactly the σ(·) graph encoding of `D` — so every nSPARQL
+//! navigation answers identically on any two documents with the same σ-image.
+//! Theorem 1 exploits this: the query `Q` ("reachable through services of the
+//! same company") distinguishes the documents `D1`, `D2` of Proposition 1
+//! even though `σ(D1) = σ(D2)`, hence `Q` is not expressible in nSPARQL.
+//!
+//! This module implements the axis expressions and their evaluation directly
+//! over a [`Triplestore`] relation (no graph encoding needed), so the
+//! test-suite and the `tables` harness can replay Theorem 1 natively: every
+//! axis expression agrees on `D1` and `D2`, while the TriAL\* query `Q`
+//! separates them.
+
+use std::collections::{BTreeSet, HashSet};
+use std::fmt;
+use trial_core::{ObjectId, Triplestore};
+
+/// One of the three nSPARQL navigation axes, possibly inverted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Axis {
+    /// `next`: subject → object.
+    Next,
+    /// `next⁻`: object → subject.
+    NextInv,
+    /// `edge`: subject → predicate.
+    Edge,
+    /// `edge⁻`: predicate → subject.
+    EdgeInv,
+    /// `node`: predicate → object.
+    Node,
+    /// `node⁻`: object → predicate.
+    NodeInv,
+}
+
+impl Axis {
+    /// The inverse axis.
+    pub fn inverse(self) -> Axis {
+        match self {
+            Axis::Next => Axis::NextInv,
+            Axis::NextInv => Axis::Next,
+            Axis::Edge => Axis::EdgeInv,
+            Axis::EdgeInv => Axis::Edge,
+            Axis::Node => Axis::NodeInv,
+            Axis::NodeInv => Axis::Node,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Axis::Next => "next",
+            Axis::NextInv => "next^-",
+            Axis::Edge => "edge",
+            Axis::EdgeInv => "edge^-",
+            Axis::Node => "node",
+            Axis::NodeInv => "node^-",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A nested regular expression over the nSPARQL axes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum NsExpr {
+    /// The empty word `ε` (the diagonal over the active domain).
+    Epsilon,
+    /// A single axis step.
+    Axis(Axis),
+    /// Concatenation `e1 / e2`.
+    Seq(Box<NsExpr>, Box<NsExpr>),
+    /// Alternation `e1 | e2`.
+    Alt(Box<NsExpr>, Box<NsExpr>),
+    /// Kleene star `e*`.
+    Star(Box<NsExpr>),
+    /// Nesting (node test) `[e]`: keeps `(v, v)` whenever `(v, v')` is in the
+    /// semantics of `e` for some `v'`.
+    Test(Box<NsExpr>),
+}
+
+impl NsExpr {
+    /// A single axis step.
+    pub fn axis(axis: Axis) -> NsExpr {
+        NsExpr::Axis(axis)
+    }
+
+    /// Concatenation.
+    pub fn then(self, other: NsExpr) -> NsExpr {
+        NsExpr::Seq(Box::new(self), Box::new(other))
+    }
+
+    /// Alternation.
+    pub fn or(self, other: NsExpr) -> NsExpr {
+        NsExpr::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// Kleene star.
+    pub fn star(self) -> NsExpr {
+        NsExpr::Star(Box::new(self))
+    }
+
+    /// Nesting test `[self]`.
+    pub fn test(self) -> NsExpr {
+        NsExpr::Test(Box::new(self))
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            NsExpr::Epsilon | NsExpr::Axis(_) => 1,
+            NsExpr::Star(a) | NsExpr::Test(a) => 1 + a.size(),
+            NsExpr::Seq(a, b) | NsExpr::Alt(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for NsExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NsExpr::Epsilon => write!(f, "eps"),
+            NsExpr::Axis(a) => write!(f, "{a}"),
+            NsExpr::Seq(a, b) => write!(f, "({a}/{b})"),
+            NsExpr::Alt(a, b) => write!(f, "({a}|{b})"),
+            NsExpr::Star(a) => write!(f, "({a})*"),
+            NsExpr::Test(a) => write!(f, "[{a}]"),
+        }
+    }
+}
+
+/// The set of pairs of objects an nSPARQL expression denotes.
+pub type ObjectPairs = HashSet<(ObjectId, ObjectId)>;
+
+fn axis_pairs(store: &Triplestore, rel: &str, axis: Axis) -> ObjectPairs {
+    let mut out = ObjectPairs::new();
+    if let Some(relation) = store.relation(rel) {
+        for t in relation.triples().iter() {
+            let (s, p, o) = (t.s(), t.p(), t.o());
+            let pair = match axis {
+                Axis::Next => (s, o),
+                Axis::NextInv => (o, s),
+                Axis::Edge => (s, p),
+                Axis::EdgeInv => (p, s),
+                Axis::Node => (p, o),
+                Axis::NodeInv => (o, p),
+            };
+            out.insert(pair);
+        }
+    }
+    out
+}
+
+fn compose(a: &ObjectPairs, b: &ObjectPairs) -> ObjectPairs {
+    let mut by_source: std::collections::HashMap<ObjectId, Vec<ObjectId>> =
+        std::collections::HashMap::new();
+    for &(x, y) in b {
+        by_source.entry(x).or_default().push(y);
+    }
+    let mut out = ObjectPairs::new();
+    for &(x, y) in a {
+        if let Some(targets) = by_source.get(&y) {
+            for &z in targets {
+                out.insert((x, z));
+            }
+        }
+    }
+    out
+}
+
+fn reflexive_transitive_closure(base: &ObjectPairs, domain: &BTreeSet<ObjectId>) -> ObjectPairs {
+    let mut out: ObjectPairs = domain.iter().map(|&v| (v, v)).collect();
+    let mut frontier = base.clone();
+    while !frontier.is_empty() {
+        let new: ObjectPairs = frontier.difference(&out).copied().collect();
+        if new.is_empty() {
+            break;
+        }
+        out.extend(new.iter().copied());
+        frontier = compose(&out, base);
+    }
+    out
+}
+
+/// Evaluates an nSPARQL axis expression over relation `rel` of the store,
+/// returning the set of object pairs it denotes.
+pub fn evaluate_nsparql(store: &Triplestore, rel: &str, expr: &NsExpr) -> ObjectPairs {
+    let domain: BTreeSet<ObjectId> = store.active_domain().into_iter().collect();
+    eval(store, rel, expr, &domain)
+}
+
+fn eval(
+    store: &Triplestore,
+    rel: &str,
+    expr: &NsExpr,
+    domain: &BTreeSet<ObjectId>,
+) -> ObjectPairs {
+    match expr {
+        NsExpr::Epsilon => domain.iter().map(|&v| (v, v)).collect(),
+        NsExpr::Axis(a) => axis_pairs(store, rel, *a),
+        NsExpr::Seq(a, b) => compose(&eval(store, rel, a, domain), &eval(store, rel, b, domain)),
+        NsExpr::Alt(a, b) => {
+            let mut out = eval(store, rel, a, domain);
+            out.extend(eval(store, rel, b, domain));
+            out
+        }
+        NsExpr::Star(a) => reflexive_transitive_closure(&eval(store, rel, a, domain), domain),
+        NsExpr::Test(a) => eval(store, rel, a, domain)
+            .into_iter()
+            .map(|(v, _)| (v, v))
+            .collect(),
+    }
+}
+
+/// A small catalogue of nSPARQL expressions used when demonstrating
+/// Theorem 1: plain reachability, reachability through a nested "operated by
+/// a company" test, and predicate-level reachability.
+pub fn sample_expressions() -> Vec<(&'static str, NsExpr)> {
+    use Axis::*;
+    vec![
+        ("next*", NsExpr::axis(Next).star()),
+        (
+            "(next/[edge/next*])*",
+            NsExpr::axis(Next)
+                .then(NsExpr::axis(Edge).then(NsExpr::axis(Next).star()).test())
+                .star(),
+        ),
+        (
+            "edge/next*/node",
+            NsExpr::axis(Edge)
+                .then(NsExpr::axis(Next).star())
+                .then(NsExpr::axis(Node)),
+        ),
+        (
+            "(next|node)*",
+            NsExpr::axis(Next).or(NsExpr::axis(Node)).star(),
+        ),
+        (
+            "[edge/next]/next*",
+            NsExpr::axis(Edge)
+                .then(NsExpr::axis(Next))
+                .test()
+                .then(NsExpr::axis(Next).star()),
+        ),
+    ]
+}
+
+/// Renders a set of object pairs using the store's object names, sorted, for
+/// readable assertions and harness output.
+pub fn display_pairs(store: &Triplestore, pairs: &ObjectPairs) -> Vec<String> {
+    let mut names: Vec<String> = pairs
+        .iter()
+        .map(|(a, b)| format!("({}, {})", store.object_name(*a), store.object_name(*b)))
+        .collect();
+    names.sort();
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sigma::proposition1_documents;
+    use trial_core::TriplestoreBuilder;
+
+    fn figure1_like() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        for (s, p, o) in [
+            ("StAndrews", "BusOp1", "Edinburgh"),
+            ("Edinburgh", "TrainOp1", "London"),
+            ("London", "TrainOp2", "Brussels"),
+            ("BusOp1", "part_of", "NatExpress"),
+            ("TrainOp1", "part_of", "EastCoast"),
+            ("TrainOp2", "part_of", "Eurostar"),
+            ("EastCoast", "part_of", "NatExpress"),
+        ] {
+            b.add_triple("E", s, p, o);
+        }
+        b.finish()
+    }
+
+    fn pair(store: &Triplestore, a: &str, b: &str) -> (ObjectId, ObjectId) {
+        (store.object_id(a).unwrap(), store.object_id(b).unwrap())
+    }
+
+    #[test]
+    fn axes_follow_the_appendix_semantics() {
+        let store = figure1_like();
+        let next = evaluate_nsparql(&store, "E", &NsExpr::axis(Axis::Next));
+        assert!(next.contains(&pair(&store, "Edinburgh", "London")));
+        assert!(!next.contains(&pair(&store, "Edinburgh", "TrainOp1")));
+        let edge = evaluate_nsparql(&store, "E", &NsExpr::axis(Axis::Edge));
+        assert!(edge.contains(&pair(&store, "Edinburgh", "TrainOp1")));
+        let node = evaluate_nsparql(&store, "E", &NsExpr::axis(Axis::Node));
+        assert!(node.contains(&pair(&store, "TrainOp1", "London")));
+        // Inverses flip the pairs.
+        let edge_inv = evaluate_nsparql(&store, "E", &NsExpr::axis(Axis::EdgeInv));
+        assert!(edge_inv.contains(&pair(&store, "TrainOp1", "Edinburgh")));
+        assert_eq!(Axis::Next.inverse().inverse(), Axis::Next);
+    }
+
+    #[test]
+    fn star_is_reflexive_and_transitive() {
+        let store = figure1_like();
+        let reach = evaluate_nsparql(&store, "E", &NsExpr::axis(Axis::Next).star());
+        assert!(reach.contains(&pair(&store, "StAndrews", "Brussels")));
+        assert!(reach.contains(&pair(&store, "London", "London")));
+        assert!(!reach.contains(&pair(&store, "Brussels", "London")));
+    }
+
+    #[test]
+    fn nesting_keeps_nodes_with_a_witness() {
+        let store = figure1_like();
+        // [edge/next*]: nodes that are the subject of some triple (the edge
+        // axis already requires that), kept as a diagonal.
+        let test = NsExpr::axis(Axis::Edge).then(NsExpr::axis(Axis::Next).star()).test();
+        let result = evaluate_nsparql(&store, "E", &test);
+        assert!(result.contains(&pair(&store, "Edinburgh", "Edinburgh")));
+        assert!(!result.contains(&pair(&store, "Brussels", "Brussels")));
+        for (a, b) in &result {
+            assert_eq!(a, b, "a node test must return a diagonal");
+        }
+    }
+
+    #[test]
+    fn nsparql_cannot_distinguish_the_proposition1_documents() {
+        // Theorem 1: σ(D1) = σ(D2), so every axis expression agrees on D1 and
+        // D2 — including nested and starred ones.
+        let (d1, d2) = proposition1_documents();
+        for (name, expr) in sample_expressions() {
+            let on_d1: BTreeSet<String> = display_pairs(&d1, &evaluate_nsparql(&d1, "E", &expr))
+                .into_iter()
+                .collect();
+            let on_d2: BTreeSet<String> = display_pairs(&d2, &evaluate_nsparql(&d2, "E", &expr))
+                .into_iter()
+                .collect();
+            assert_eq!(on_d1, on_d2, "expression {name} distinguishes D1 from D2");
+        }
+    }
+
+    #[test]
+    fn empty_relation_yields_empty_axes() {
+        let store = TriplestoreBuilder::new().finish();
+        assert!(evaluate_nsparql(&store, "E", &NsExpr::axis(Axis::Next)).is_empty());
+        assert!(evaluate_nsparql(&store, "E", &NsExpr::Epsilon).is_empty());
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let e = NsExpr::axis(Axis::Edge)
+            .then(NsExpr::axis(Axis::Next))
+            .test()
+            .then(NsExpr::axis(Axis::Next).star());
+        assert_eq!(e.to_string(), "([(edge/next)]/(next)*)");
+        assert_eq!(e.size(), 7);
+    }
+}

@@ -1,0 +1,259 @@
+//! Regular expressions over the edge alphabet Σ, with NFA compilation.
+//!
+//! These are the path languages of regular path queries (RPQs): a path
+//! `π = v0 →a0 v1 →a1 … →a(m-1) vm` matches the RPQ `x →L y` when its label
+//! word `a0 a1 … a(m-1)` belongs to `L`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A regular expression over edge labels.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// The empty language ∅.
+    Empty,
+    /// The empty word ε.
+    Epsilon,
+    /// A single label `a ∈ Σ`.
+    Label(String),
+    /// Concatenation `r1 · r2`.
+    Concat(Box<Regex>, Box<Regex>),
+    /// Union `r1 + r2`.
+    Alt(Box<Regex>, Box<Regex>),
+    /// Kleene star `r*` (zero or more).
+    Star(Box<Regex>),
+    /// One or more repetitions `r⁺`.
+    Plus(Box<Regex>),
+}
+
+impl Regex {
+    /// A single label.
+    pub fn label(l: impl Into<String>) -> Regex {
+        Regex::Label(l.into())
+    }
+
+    /// Concatenation.
+    pub fn then(self, other: Regex) -> Regex {
+        Regex::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Union.
+    pub fn or(self, other: Regex) -> Regex {
+        Regex::Alt(Box::new(self), Box::new(other))
+    }
+
+    /// Kleene star.
+    pub fn star(self) -> Regex {
+        Regex::Star(Box::new(self))
+    }
+
+    /// One-or-more repetition.
+    pub fn plus(self) -> Regex {
+        Regex::Plus(Box::new(self))
+    }
+
+    /// The set of labels mentioned by the expression.
+    pub fn labels(&self) -> BTreeSet<&str> {
+        let mut out = BTreeSet::new();
+        self.collect_labels(&mut out);
+        out
+    }
+
+    fn collect_labels<'a>(&'a self, out: &mut BTreeSet<&'a str>) {
+        match self {
+            Regex::Empty | Regex::Epsilon => {}
+            Regex::Label(l) => {
+                out.insert(l.as_str());
+            }
+            Regex::Concat(a, b) | Regex::Alt(a, b) => {
+                a.collect_labels(out);
+                b.collect_labels(out);
+            }
+            Regex::Star(a) | Regex::Plus(a) => a.collect_labels(out),
+        }
+    }
+
+    /// `true` if the empty word belongs to the language.
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Label(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(a, b) => a.nullable() && b.nullable(),
+            Regex::Alt(a, b) => a.nullable() || b.nullable(),
+            Regex::Plus(a) => a.nullable(),
+        }
+    }
+
+    /// Compiles the expression into an ε-free-transitions NFA (ε-transitions
+    /// are kept explicitly and handled by ε-closure during evaluation).
+    pub fn to_nfa(&self) -> Nfa {
+        let mut nfa = Nfa::default();
+        let start = nfa.new_state();
+        let accept = nfa.new_state();
+        nfa.start = start;
+        nfa.accept = accept;
+        nfa.build(self, start, accept);
+        nfa
+    }
+
+    /// Tests whether a word (sequence of labels) belongs to the language.
+    pub fn matches<'a>(&self, word: impl IntoIterator<Item = &'a str>) -> bool {
+        let nfa = self.to_nfa();
+        let mut current = nfa.epsilon_closure([nfa.start].into_iter().collect());
+        for label in word {
+            current = nfa.step(&current, label);
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.contains(&nfa.accept)
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Regex::Empty => write!(f, "∅"),
+            Regex::Epsilon => write!(f, "ε"),
+            Regex::Label(l) => write!(f, "{l}"),
+            Regex::Concat(a, b) => write!(f, "({a}·{b})"),
+            Regex::Alt(a, b) => write!(f, "({a}+{b})"),
+            Regex::Star(a) => write!(f, "{a}*"),
+            Regex::Plus(a) => write!(f, "{a}+"),
+        }
+    }
+}
+
+/// A non-deterministic finite automaton over edge labels.
+#[derive(Debug, Clone, Default)]
+pub struct Nfa {
+    /// Number of states.
+    pub state_count: usize,
+    /// Labelled transitions `(from, label, to)`.
+    pub transitions: Vec<(usize, String, usize)>,
+    /// ε-transitions `(from, to)`.
+    pub epsilon: Vec<(usize, usize)>,
+    /// Start state.
+    pub start: usize,
+    /// Accepting state (single, by construction).
+    pub accept: usize,
+}
+
+impl Nfa {
+    fn new_state(&mut self) -> usize {
+        self.state_count += 1;
+        self.state_count - 1
+    }
+
+    fn build(&mut self, re: &Regex, from: usize, to: usize) {
+        match re {
+            Regex::Empty => {}
+            Regex::Epsilon => self.epsilon.push((from, to)),
+            Regex::Label(l) => self.transitions.push((from, l.clone(), to)),
+            Regex::Concat(a, b) => {
+                let mid = self.new_state();
+                self.build(a, from, mid);
+                self.build(b, mid, to);
+            }
+            Regex::Alt(a, b) => {
+                self.build(a, from, to);
+                self.build(b, from, to);
+            }
+            Regex::Star(a) => {
+                let hub = self.new_state();
+                self.epsilon.push((from, hub));
+                self.epsilon.push((hub, to));
+                self.build(a, hub, hub);
+            }
+            Regex::Plus(a) => {
+                let hub = self.new_state();
+                self.build(a, from, hub);
+                self.build(a, hub, hub);
+                self.epsilon.push((hub, to));
+            }
+        }
+    }
+
+    /// The ε-closure of a set of states.
+    pub fn epsilon_closure(&self, mut states: BTreeSet<usize>) -> BTreeSet<usize> {
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(from, to) in &self.epsilon {
+                if states.contains(&from) && states.insert(to) {
+                    changed = true;
+                }
+            }
+        }
+        states
+    }
+
+    /// One step of the NFA on a label, including ε-closure of the result.
+    pub fn step(&self, states: &BTreeSet<usize>, label: &str) -> BTreeSet<usize> {
+        let mut next = BTreeSet::new();
+        for &(from, ref l, to) in &self.transitions {
+            if l == label && states.contains(&from) {
+                next.insert(to);
+            }
+        }
+        self.epsilon_closure(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_simple_words() {
+        // (knows · knows)* + likes
+        let re = Regex::label("knows")
+            .then(Regex::label("knows"))
+            .star()
+            .or(Regex::label("likes"));
+        assert!(re.matches(Vec::<&str>::new())); // ε via the star branch
+        assert!(re.matches(["likes"]));
+        assert!(re.matches(["knows", "knows"]));
+        assert!(re.matches(["knows", "knows", "knows", "knows"]));
+        assert!(!re.matches(["knows"]));
+        assert!(!re.matches(["likes", "likes"]));
+    }
+
+    #[test]
+    fn plus_requires_one_occurrence() {
+        let re = Regex::label("a").plus();
+        assert!(!re.matches(Vec::<&str>::new()));
+        assert!(re.matches(["a"]));
+        assert!(re.matches(["a", "a", "a"]));
+        assert!(!re.matches(["b"]));
+    }
+
+    #[test]
+    fn empty_and_epsilon() {
+        assert!(!Regex::Empty.matches(Vec::<&str>::new()));
+        assert!(Regex::Epsilon.matches(Vec::<&str>::new()));
+        assert!(!Regex::Epsilon.matches(["a"]));
+        assert!(Regex::Empty.star().matches(Vec::<&str>::new()));
+    }
+
+    #[test]
+    fn nullable_and_labels() {
+        let re = Regex::label("a").then(Regex::label("b").star());
+        assert!(!re.nullable());
+        assert!(Regex::label("a").star().nullable());
+        assert!(Regex::Epsilon.nullable());
+        assert!(!Regex::Empty.nullable());
+        assert_eq!(
+            re.labels().into_iter().collect::<Vec<_>>(),
+            vec!["a", "b"]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let re = Regex::label("a").then(Regex::label("b")).or(Regex::Epsilon).star();
+        assert_eq!(re.to_string(), "((a·b)+ε)*");
+        assert_eq!(Regex::Empty.to_string(), "∅");
+        assert_eq!(Regex::label("x").plus().to_string(), "x+");
+    }
+}

@@ -1,0 +1,633 @@
+//! Register automata and regular expressions with memory over graphs with
+//! data (Proposition 6).
+//!
+//! The paper compares TriAL\* with *register automata* used as a query
+//! language for graphs whose nodes carry data values [Kaminski–Francez;
+//! Libkin–Vrgoč, ICDT'12]: an automaton with a finite set of registers walks
+//! a path in the graph, storing node data values into registers and comparing
+//! the current node's value against stored ones. A pair `(u, v)` is in the
+//! answer iff some accepting run exists along a path from `u` to `v`.
+//!
+//! Proposition 6 shows TriAL\* and register automata are *incomparable*:
+//!
+//! * the expression `e_n` (see [`distinct_values_expression`]) is non-empty
+//!   iff the graph contains a path visiting `n` pairwise-distinct data
+//!   values, a property outside the six-variable logic that contains
+//!   TriAL\*;
+//! * conversely register-automata queries are monotone, so the TriAL query
+//!   `(σ_{2=a} E)ᶜ` ("pairs *not* connected by an `a`-edge") cannot be
+//!   expressed by any register automaton.
+//!
+//! This module implements **regular expressions with memory** (REMs, the
+//! user-facing syntax), their compilation into [`RegisterAutomaton`]s, and an
+//! evaluator over [`GraphDb`] by product construction; the incomparability
+//! arguments are replayed as tests and harness entries.
+
+use crate::graph::{GraphDb, NodeId};
+use std::collections::{BTreeSet, HashSet, VecDeque};
+use std::fmt;
+use trial_core::Value;
+
+/// A condition on the current data value, relative to the register contents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// Always true.
+    True,
+    /// The current value equals the content of register `i`.
+    EqReg(usize),
+    /// The current value differs from the content of register `i` (which
+    /// must be initialised).
+    NeqReg(usize),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+}
+
+impl Cond {
+    /// Conjunction helper.
+    pub fn and(self, other: Cond) -> Cond {
+        Cond::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    pub fn or(self, other: Cond) -> Cond {
+        Cond::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Conjunction of "differs from register i" for every `i` in `regs`.
+    pub fn all_different(regs: impl IntoIterator<Item = usize>) -> Cond {
+        let mut it = regs.into_iter();
+        match it.next() {
+            None => Cond::True,
+            Some(first) => it.fold(Cond::NeqReg(first), |acc, r| acc.and(Cond::NeqReg(r))),
+        }
+    }
+
+    /// Evaluates the condition for `value` against the register bank.
+    /// Uninitialised registers make `EqReg` false and `NeqReg` false as well
+    /// (comparisons against an empty register never hold), following the
+    /// "must have been stored before being compared" convention of REMs.
+    pub fn check(&self, value: &Value, registers: &[Option<Value>]) -> bool {
+        match self {
+            Cond::True => true,
+            Cond::EqReg(i) => registers
+                .get(*i)
+                .and_then(|r| r.as_ref())
+                .is_some_and(|v| v == value),
+            Cond::NeqReg(i) => registers
+                .get(*i)
+                .and_then(|r| r.as_ref())
+                .is_some_and(|v| v != value),
+            Cond::And(a, b) => a.check(value, registers) && b.check(value, registers),
+            Cond::Or(a, b) => a.check(value, registers) || b.check(value, registers),
+        }
+    }
+
+    /// Largest register index mentioned, if any.
+    pub fn max_register(&self) -> Option<usize> {
+        match self {
+            Cond::True => None,
+            Cond::EqReg(i) | Cond::NeqReg(i) => Some(*i),
+            Cond::And(a, b) | Cond::Or(a, b) => a.max_register().max(b.max_register()),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::True => write!(f, "true"),
+            Cond::EqReg(i) => write!(f, "x{}=", i + 1),
+            Cond::NeqReg(i) => write!(f, "x{}!=", i + 1),
+            Cond::And(a, b) => write!(f, "({a} & {b})"),
+            Cond::Or(a, b) => write!(f, "({a} | {b})"),
+        }
+    }
+}
+
+/// A regular expression with memory (REM).
+///
+/// The syntax follows Libkin–Vrgoč: `↓x̄ e` stores the *current* node's data
+/// value into the listed registers and continues with `e`; `a[c]` traverses
+/// an `a`-labelled edge and checks condition `c` against the *target* node's
+/// data value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rem {
+    /// The empty word `ε`.
+    Epsilon,
+    /// `a[c]`: traverse an `a`-edge, then check `c` at the target node.
+    Edge {
+        /// Edge label to traverse.
+        label: String,
+        /// Condition checked against the target node's data value.
+        cond: Cond,
+    },
+    /// `↓x̄ e`: store the current node's data value into each listed
+    /// register, then continue with `e`.
+    Down(Vec<usize>, Box<Rem>),
+    /// Concatenation `e1 · e2`.
+    Concat(Box<Rem>, Box<Rem>),
+    /// Union `e1 + e2`.
+    Union(Box<Rem>, Box<Rem>),
+    /// Kleene star `e*`.
+    Star(Box<Rem>),
+}
+
+impl Rem {
+    /// An unconditional edge traversal `a[true]`.
+    pub fn label(l: impl Into<String>) -> Rem {
+        Rem::Edge {
+            label: l.into(),
+            cond: Cond::True,
+        }
+    }
+
+    /// An edge traversal with a condition, `a[c]`.
+    pub fn label_if(l: impl Into<String>, cond: Cond) -> Rem {
+        Rem::Edge {
+            label: l.into(),
+            cond,
+        }
+    }
+
+    /// Stores the current data value into register `i`, then continues with
+    /// `self` — i.e. `↓x_i self`.
+    pub fn after_store(self, i: usize) -> Rem {
+        Rem::Down(vec![i], Box::new(self))
+    }
+
+    /// Concatenation.
+    pub fn then(self, other: Rem) -> Rem {
+        Rem::Concat(Box::new(self), Box::new(other))
+    }
+
+    /// Union.
+    pub fn or(self, other: Rem) -> Rem {
+        Rem::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Kleene star.
+    pub fn star(self) -> Rem {
+        Rem::Star(Box::new(self))
+    }
+
+    /// Number of registers the expression needs (one past the largest index
+    /// mentioned).
+    pub fn register_count(&self) -> usize {
+        match self {
+            Rem::Epsilon => 0,
+            Rem::Edge { cond, .. } => cond.max_register().map_or(0, |m| m + 1),
+            Rem::Down(regs, inner) => regs
+                .iter()
+                .map(|r| r + 1)
+                .max()
+                .unwrap_or(0)
+                .max(inner.register_count()),
+            Rem::Concat(a, b) | Rem::Union(a, b) => a.register_count().max(b.register_count()),
+            Rem::Star(a) => a.register_count(),
+        }
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Rem::Epsilon | Rem::Edge { .. } => 1,
+            Rem::Down(_, a) | Rem::Star(a) => 1 + a.size(),
+            Rem::Concat(a, b) | Rem::Union(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+}
+
+impl fmt::Display for Rem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rem::Epsilon => write!(f, "eps"),
+            Rem::Edge { label, cond } => {
+                if matches!(cond, Cond::True) {
+                    write!(f, "{label}")
+                } else {
+                    write!(f, "{label}[{cond}]")
+                }
+            }
+            Rem::Down(regs, inner) => {
+                for r in regs {
+                    write!(f, "down(x{})", r + 1)?;
+                }
+                write!(f, ".{inner}")
+            }
+            Rem::Concat(a, b) => write!(f, "({a} . {b})"),
+            Rem::Union(a, b) => write!(f, "({a} + {b})"),
+            Rem::Star(a) => write!(f, "({a})*"),
+        }
+    }
+}
+
+/// A transition of a [`RegisterAutomaton`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RaTransition {
+    /// Consume an edge with the given label, check the condition against the
+    /// target node's value, and move to `to`.
+    Edge {
+        /// Source automaton state.
+        from: usize,
+        /// Required edge label.
+        label: String,
+        /// Condition on the target node's data value.
+        cond: Cond,
+        /// Destination automaton state.
+        to: usize,
+    },
+    /// Without moving in the graph, store the current node's data value into
+    /// the listed registers.
+    Store {
+        /// Source automaton state.
+        from: usize,
+        /// Registers receiving the current data value.
+        registers: Vec<usize>,
+        /// Destination automaton state.
+        to: usize,
+    },
+    /// Silent move.
+    Epsilon {
+        /// Source automaton state.
+        from: usize,
+        /// Destination automaton state.
+        to: usize,
+    },
+}
+
+/// A register automaton over graphs with data, in the style of
+/// Kaminski–Francez finite-memory automata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterAutomaton {
+    /// Number of registers.
+    pub registers: usize,
+    /// Number of states (numbered `0 .. states`).
+    pub states: usize,
+    /// Initial state.
+    pub initial: usize,
+    /// Accepting states.
+    pub finals: BTreeSet<usize>,
+    /// Transition list.
+    pub transitions: Vec<RaTransition>,
+}
+
+impl RegisterAutomaton {
+    fn push_state(&mut self) -> usize {
+        let s = self.states;
+        self.states += 1;
+        s
+    }
+}
+
+/// Compiles a REM into an equivalent register automaton by a Thompson-style
+/// construction.
+pub fn compile_rem(rem: &Rem) -> RegisterAutomaton {
+    let mut ra = RegisterAutomaton {
+        registers: rem.register_count(),
+        states: 0,
+        initial: 0,
+        finals: BTreeSet::new(),
+        transitions: Vec::new(),
+    };
+    let start = ra.push_state();
+    let end = build(rem, &mut ra, start);
+    ra.initial = start;
+    ra.finals.insert(end);
+    ra
+}
+
+fn build(rem: &Rem, ra: &mut RegisterAutomaton, from: usize) -> usize {
+    match rem {
+        Rem::Epsilon => {
+            let to = ra.push_state();
+            ra.transitions.push(RaTransition::Epsilon { from, to });
+            to
+        }
+        Rem::Edge { label, cond } => {
+            let to = ra.push_state();
+            ra.transitions.push(RaTransition::Edge {
+                from,
+                label: label.clone(),
+                cond: cond.clone(),
+                to,
+            });
+            to
+        }
+        Rem::Down(regs, inner) => {
+            let mid = ra.push_state();
+            ra.transitions.push(RaTransition::Store {
+                from,
+                registers: regs.clone(),
+                to: mid,
+            });
+            build(inner, ra, mid)
+        }
+        Rem::Concat(a, b) => {
+            let mid = build(a, ra, from);
+            build(b, ra, mid)
+        }
+        Rem::Union(a, b) => {
+            let a_start = ra.push_state();
+            let b_start = ra.push_state();
+            ra.transitions.push(RaTransition::Epsilon { from, to: a_start });
+            ra.transitions.push(RaTransition::Epsilon { from, to: b_start });
+            let a_end = build(a, ra, a_start);
+            let b_end = build(b, ra, b_start);
+            let join = ra.push_state();
+            ra.transitions.push(RaTransition::Epsilon { from: a_end, to: join });
+            ra.transitions.push(RaTransition::Epsilon { from: b_end, to: join });
+            join
+        }
+        Rem::Star(a) => {
+            let hub = ra.push_state();
+            ra.transitions.push(RaTransition::Epsilon { from, to: hub });
+            let body_start = ra.push_state();
+            ra.transitions.push(RaTransition::Epsilon { from: hub, to: body_start });
+            let body_end = build(a, ra, body_start);
+            ra.transitions.push(RaTransition::Epsilon { from: body_end, to: hub });
+            hub
+        }
+    }
+}
+
+/// A configuration of the product of a graph and a register automaton.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Config {
+    node: NodeId,
+    state: usize,
+    registers: Vec<Option<Value>>,
+}
+
+/// Evaluates a register automaton as a binary query over a data graph:
+/// returns all pairs `(u, v)` such that the automaton has an accepting run
+/// along some path from `u` to `v` (registers start empty).
+pub fn evaluate_ra(graph: &GraphDb, ra: &RegisterAutomaton) -> HashSet<(NodeId, NodeId)> {
+    let mut answers = HashSet::new();
+    for start in graph.nodes() {
+        for target in evaluate_ra_from(graph, ra, start) {
+            answers.insert((start, target));
+        }
+    }
+    answers
+}
+
+/// Evaluates a register automaton from a single start node, returning all
+/// nodes reachable by an accepting run.
+pub fn evaluate_ra_from(graph: &GraphDb, ra: &RegisterAutomaton, start: NodeId) -> HashSet<NodeId> {
+    let mut seen: HashSet<Config> = HashSet::new();
+    let mut queue: VecDeque<Config> = VecDeque::new();
+    let initial = Config {
+        node: start,
+        state: ra.initial,
+        registers: vec![None; ra.registers],
+    };
+    seen.insert(initial.clone());
+    queue.push_back(initial);
+    let mut answers = HashSet::new();
+
+    while let Some(config) = queue.pop_front() {
+        if ra.finals.contains(&config.state) {
+            answers.insert(config.node);
+        }
+        for transition in &ra.transitions {
+            match transition {
+                RaTransition::Epsilon { from, to } if *from == config.state => {
+                    let next = Config {
+                        node: config.node,
+                        state: *to,
+                        registers: config.registers.clone(),
+                    };
+                    if seen.insert(next.clone()) {
+                        queue.push_back(next);
+                    }
+                }
+                RaTransition::Store {
+                    from,
+                    registers,
+                    to,
+                } if *from == config.state => {
+                    let value = graph.value(config.node).clone();
+                    let mut bank = config.registers.clone();
+                    for &r in registers {
+                        if r < bank.len() {
+                            bank[r] = Some(value.clone());
+                        }
+                    }
+                    let next = Config {
+                        node: config.node,
+                        state: *to,
+                        registers: bank,
+                    };
+                    if seen.insert(next.clone()) {
+                        queue.push_back(next);
+                    }
+                }
+                RaTransition::Edge {
+                    from,
+                    label,
+                    cond,
+                    to,
+                } if *from == config.state => {
+                    for (edge_label, succ) in graph.out_edges(config.node) {
+                        if edge_label != label {
+                            continue;
+                        }
+                        if !cond.check(graph.value(succ), &config.registers) {
+                            continue;
+                        }
+                        let next = Config {
+                            node: succ,
+                            state: *to,
+                            registers: config.registers.clone(),
+                        };
+                        if seen.insert(next.clone()) {
+                            queue.push_back(next);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    answers
+}
+
+/// Evaluates a regular expression with memory as a binary query over a data
+/// graph (compiles to a register automaton and runs the product).
+pub fn evaluate_rem(graph: &GraphDb, rem: &Rem) -> HashSet<(NodeId, NodeId)> {
+    evaluate_ra(graph, &compile_rem(rem))
+}
+
+/// The expression `e_n` from the proof of Proposition 6:
+///
+/// `e_2 = ↓x1 a[x1≠] ↓x2`, and
+/// `e_{n+1} = e_n · a[x1≠ ∧ … ∧ xn≠] ↓x_{n+1}`.
+///
+/// Its answer is non-empty iff the graph contains an `a`-labelled path whose
+/// nodes carry at least `n` pairwise-distinct data values — a property not
+/// expressible in the six-variable infinitary logic containing TriAL\*
+/// (for `n = 7`).
+///
+/// `n` must be at least 2.
+pub fn distinct_values_expression(label: &str, n: usize) -> Rem {
+    assert!(n >= 2, "e_n is defined for n >= 2");
+    // ↓x1 · a[x1≠] · ↓x2 …  — we fold the store of register i together with
+    // the step that reaches the node whose value it stores.
+    let mut expr = Rem::Down(
+        vec![0],
+        Box::new(Rem::label_if(label, Cond::all_different([0]))),
+    );
+    // After traversing the edge we store into register 1.
+    expr = expr.then(Rem::Down(vec![1], Box::new(Rem::Epsilon)));
+    for next in 2..n {
+        let step = Rem::label_if(label, Cond::all_different(0..next));
+        expr = expr
+            .then(step)
+            .then(Rem::Down(vec![next], Box::new(Rem::Epsilon)));
+    }
+    expr
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphDbBuilder;
+
+    /// An `a`-labelled chain whose node values are either all distinct or all
+    /// equal.
+    fn chain(n: usize, distinct: bool) -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        for i in 0..n {
+            let value: i64 = if distinct { i as i64 } else { 7 };
+            b.node_with_value(format!("n{i}"), value);
+        }
+        for i in 0..n.saturating_sub(1) {
+            b.edge(format!("n{i}"), "a", format!("n{}", i + 1));
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn unconditional_label_behaves_like_an_rpq_step() {
+        let g = chain(3, true);
+        let pairs = evaluate_rem(&g, &Rem::label("a"));
+        assert_eq!(pairs.len(), 2);
+        let n0 = g.node_id("n0").unwrap();
+        let n1 = g.node_id("n1").unwrap();
+        assert!(pairs.contains(&(n0, n1)));
+    }
+
+    #[test]
+    fn star_and_union_compose() {
+        let g = chain(4, true);
+        let reach = Rem::label("a").star();
+        let pairs = evaluate_rem(&g, &reach);
+        // Reflexive-transitive closure of a 4-chain: 4 + 3 + 2 + 1 = 10 pairs.
+        assert_eq!(pairs.len(), 10);
+        let either = Rem::label("a").or(Rem::Epsilon);
+        assert_eq!(evaluate_rem(&g, &either).len(), 4 + 3);
+    }
+
+    #[test]
+    fn store_and_compare_detects_equal_endpoints() {
+        // value-equality at distance 2: ↓x1 a a[x1=]
+        let mut b = GraphDbBuilder::new();
+        b.node_with_value("u", 1i64);
+        b.node_with_value("v", 2i64);
+        b.node_with_value("w", 1i64);
+        b.node_with_value("z", 3i64);
+        b.edge("u", "a", "v");
+        b.edge("v", "a", "w");
+        b.edge("w", "a", "z");
+        let g = b.finish();
+        let u = g.node_id("u").unwrap();
+        let w = g.node_id("w").unwrap();
+        let e = Rem::Down(
+            vec![0],
+            Box::new(Rem::label("a").then(Rem::label_if("a", Cond::EqReg(0)))),
+        );
+        let pairs = evaluate_rem(&g, &e);
+        assert_eq!(pairs.len(), 1);
+        assert!(pairs.contains(&(u, w)));
+    }
+
+    #[test]
+    fn distinct_values_expression_counts_data_values() {
+        let e4 = distinct_values_expression("a", 4);
+        assert_eq!(e4.register_count(), 4);
+        // A chain of 5 distinct values has a witness; an all-equal chain has
+        // none, and neither does a chain with only 3 nodes.
+        assert!(!evaluate_rem(&chain(5, true), &e4).is_empty());
+        assert!(evaluate_rem(&chain(5, false), &e4).is_empty());
+        assert!(evaluate_rem(&chain(3, true), &e4).is_empty());
+    }
+
+    #[test]
+    fn register_automata_queries_are_monotone_on_the_proposition6_graphs() {
+        // The two graphs from the Theorem 8 / Proposition 6 argument:
+        // G has a b-edge only, G' adds an a-edge. Any REM query answer over G
+        // is preserved in G' — which is why the non-monotone TriAL query
+        // "(pairs not connected by an a-edge)" cannot be a register-automaton
+        // query.
+        let mut b = GraphDbBuilder::new();
+        b.node_with_value("v", 1i64);
+        b.node_with_value("v'", 2i64);
+        b.edge("v", "b", "v'");
+        let g = b.finish();
+
+        let mut b2 = GraphDbBuilder::new();
+        b2.node_with_value("v", 1i64);
+        b2.node_with_value("v'", 2i64);
+        b2.edge("v", "b", "v'");
+        b2.edge("v", "a", "v'");
+        let g2 = b2.finish();
+
+        for query in [
+            Rem::label("b"),
+            Rem::label("a").or(Rem::label("b")),
+            Rem::label("b").star(),
+            Rem::Down(vec![0], Box::new(Rem::label_if("b", Cond::NeqReg(0)))),
+        ] {
+            let small: HashSet<(String, String)> = evaluate_rem(&g, &query)
+                .into_iter()
+                .map(|(x, y)| (g.node_name(x).to_string(), g.node_name(y).to_string()))
+                .collect();
+            let large: HashSet<(String, String)> = evaluate_rem(&g2, &query)
+                .into_iter()
+                .map(|(x, y)| (g2.node_name(x).to_string(), g2.node_name(y).to_string()))
+                .collect();
+            assert!(
+                small.is_subset(&large),
+                "register automata must be monotone, {query} was not"
+            );
+        }
+    }
+
+    #[test]
+    fn comparisons_against_empty_registers_never_hold() {
+        let g = chain(2, true);
+        let eq = Rem::label_if("a", Cond::EqReg(0));
+        let neq = Rem::label_if("a", Cond::NeqReg(0));
+        assert!(evaluate_rem(&g, &eq).is_empty());
+        assert!(evaluate_rem(&g, &neq).is_empty());
+    }
+
+    #[test]
+    fn compile_rem_produces_a_well_formed_automaton() {
+        let e = distinct_values_expression("a", 3);
+        let ra = compile_rem(&e);
+        assert_eq!(ra.registers, 3);
+        assert!(ra.states >= 2);
+        assert_eq!(ra.finals.len(), 1);
+        for t in &ra.transitions {
+            let (from, to) = match t {
+                RaTransition::Edge { from, to, .. }
+                | RaTransition::Store { from, to, .. }
+                | RaTransition::Epsilon { from, to } => (*from, *to),
+            };
+            assert!(from < ra.states && to < ra.states);
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! The σ(·) encoding of RDF documents into graph databases.
+//!
+//! Following Arenas & Pérez (and Section 2.2 of the paper): for each RDF
+//! triple `(s, p, o)` the graph `σ(D)` contains the edges
+//!
+//! ```text
+//! s --edge--> p,     p --node--> o,     s --next--> o
+//! ```
+//!
+//! over the alphabet `Σ = {edge, node, next}`. nSPARQL's nested regular
+//! expressions are evaluated over this encoding, which is what makes the
+//! query `Q` of Proposition 1 / Theorem 1 inexpressible: two different RDF
+//! documents can have the *same* σ-image.
+
+use crate::graph::{GraphDb, GraphDbBuilder};
+use trial_core::Triplestore;
+
+/// The `edge` label of the σ encoding.
+pub const SIGMA_EDGE: &str = "edge";
+/// The `node` label of the σ encoding.
+pub const SIGMA_NODE: &str = "node";
+/// The `next` label of the σ encoding.
+pub const SIGMA_NEXT: &str = "next";
+
+/// Encodes a triplestore relation as the graph `σ(D)`.
+///
+/// Every object participating in a triple of `rel` becomes a node (named as
+/// in the store); data values are carried over.
+pub fn sigma_encode(store: &Triplestore, rel: &str) -> GraphDb {
+    let mut b = GraphDbBuilder::new();
+    b.declare_label(SIGMA_EDGE);
+    b.declare_label(SIGMA_NODE);
+    b.declare_label(SIGMA_NEXT);
+    if let Some(relation) = store.relation(rel) {
+        for t in relation.triples().iter() {
+            let s = store.object_name(t.s());
+            let p = store.object_name(t.p());
+            let o = store.object_name(t.o());
+            b.edge(s, SIGMA_EDGE, p);
+            b.edge(p, SIGMA_NODE, o);
+            b.edge(s, SIGMA_NEXT, o);
+            for obj in [t.s(), t.p(), t.o()] {
+                let value = store.value(obj);
+                if !value.is_null() {
+                    b.node_with_value(store.object_name(obj), value.clone());
+                }
+            }
+        }
+    }
+    b.finish()
+}
+
+/// The two RDF documents `D1`, `D2` from the proof of Proposition 1: they
+/// differ (`D1` contains `(Edinburgh, TrainOp1, London)`, `D2` does not) yet
+/// their σ-encodings are identical, so no NRE over σ(·) — and hence no
+/// nSPARQL navigation — can distinguish them, while the TriAL\* query `Q`
+/// does.
+pub fn proposition1_documents() -> (Triplestore, Triplestore) {
+    fn build(triples: &[(&str, &str, &str)]) -> Triplestore {
+        let mut b = trial_core::TriplestoreBuilder::new();
+        for (s, p, o) in triples {
+            b.add_triple("E", *s, *p, *o);
+        }
+        b.finish()
+    }
+    let shared = [
+        ("StAndrews", "BusOp1", "Edinburgh"),
+        ("Edinburgh", "TrainOp3", "London"),
+        ("Edinburgh", "TrainOp1", "Manchester"),
+        ("Newcastle", "TrainOp1", "London"),
+        ("London", "TrainOp2", "Brussels"),
+        ("BusOp1", "part_of", "NatExpress"),
+        ("TrainOp1", "part_of", "EastCoast"),
+        ("TrainOp2", "part_of", "Eurostar"),
+        ("EastCoast", "part_of", "NatExpress"),
+    ];
+    let mut d1: Vec<(&str, &str, &str)> = shared.to_vec();
+    d1.push(("Edinburgh", "TrainOp1", "London"));
+    (build(&d1), build(&shared))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nre::{evaluate_nre, Nre};
+    use trial_core::TriplestoreBuilder;
+
+    fn store(triples: &[(&str, &str, &str)]) -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        for (s, p, o) in triples {
+            b.add_triple("E", *s, *p, *o);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn figure2_encoding() {
+        // σ of {(London, TrainOp2, Brussels), (TrainOp2, part_of, Eurostar)}
+        // is exactly the graph drawn in Figure 2 of the paper.
+        let d = store(&[
+            ("London", "TrainOp2", "Brussels"),
+            ("TrainOp2", "part_of", "Eurostar"),
+        ]);
+        let g = sigma_encode(&d, "E");
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.node_count(), 5);
+        let has = |s: &str, l: &str, t: &str| {
+            g.label_pairs(l)
+                .iter()
+                .any(|(a, b)| g.node_name(*a) == s && g.node_name(*b) == t)
+        };
+        assert!(has("London", SIGMA_EDGE, "TrainOp2"));
+        assert!(has("TrainOp2", SIGMA_NODE, "Brussels"));
+        assert!(has("London", SIGMA_NEXT, "Brussels"));
+        assert!(has("TrainOp2", SIGMA_EDGE, "part_of"));
+        assert!(has("part_of", SIGMA_NODE, "Eurostar"));
+        assert!(has("TrainOp2", SIGMA_NEXT, "Eurostar"));
+    }
+
+    #[test]
+    fn proposition1_sigma_images_coincide() {
+        let (d1, d2) = proposition1_documents();
+        assert_ne!(d1.triple_count(), d2.triple_count());
+        let g1 = sigma_encode(&d1, "E");
+        let g2 = sigma_encode(&d2, "E");
+        // Same nodes, same edges: σ(D1) = σ(D2).
+        assert_eq!(g1.node_count(), g2.node_count());
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        let edges1: std::collections::BTreeSet<String> = g1
+            .edges()
+            .map(|e| {
+                format!(
+                    "{} {} {}",
+                    g1.node_name(e.source),
+                    e.label,
+                    g1.node_name(e.target)
+                )
+            })
+            .collect();
+        let edges2: std::collections::BTreeSet<String> = g2
+            .edges()
+            .map(|e| {
+                format!(
+                    "{} {} {}",
+                    g2.node_name(e.source),
+                    e.label,
+                    g2.node_name(e.target)
+                )
+            })
+            .collect();
+        assert_eq!(edges1, edges2);
+        // Consequently every NRE evaluates identically over the two encodings.
+        let nre = Nre::label(SIGMA_EDGE)
+            .then(Nre::label("next").star())
+            .then(Nre::label(SIGMA_NODE))
+            .or(Nre::label(SIGMA_NEXT).plus());
+        let r1: std::collections::BTreeSet<(String, String)> = evaluate_nre(&g1, &nre)
+            .into_iter()
+            .map(|(a, b)| (g1.node_name(a).to_owned(), g1.node_name(b).to_owned()))
+            .collect();
+        let r2: std::collections::BTreeSet<(String, String)> = evaluate_nre(&g2, &nre)
+            .into_iter()
+            .map(|(a, b)| (g2.node_name(a).to_owned(), g2.node_name(b).to_owned()))
+            .collect();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn empty_or_missing_relation_gives_empty_graph() {
+        let d = store(&[]);
+        let g = sigma_encode(&d, "E");
+        assert_eq!(g.node_count(), 0);
+        let g = sigma_encode(&d, "missing");
+        assert_eq!(g.edge_count(), 0);
+        // The σ alphabet is still declared.
+        assert_eq!(g.alphabet().count(), 3);
+    }
+
+    #[test]
+    fn data_values_carry_over() {
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "p", "b");
+        b.object_with_value("a", trial_core::Value::int(7));
+        let store = b.finish();
+        let g = sigma_encode(&store, "E");
+        assert_eq!(
+            g.value(g.node_id("a").unwrap()),
+            &trial_core::Value::int(7)
+        );
+    }
+}

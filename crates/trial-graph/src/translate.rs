@@ -1,0 +1,397 @@
+//! Translations of graph query languages into TriAL\* (Theorem 7,
+//! Corollaries 2 and 4).
+//!
+//! Following Section 6.2 of the paper, a graph database `G = (V, E, ρ)` over
+//! alphabet Σ is encoded as the triplestore `T_G = (V ∪ Σ, E, ρ)` whose only
+//! relation holds the edge triples `(u, a, v)`. A binary graph query `α` is
+//! *translated* into a TriAL\* expression `E_α` such that
+//! `α(G) = π_{1,3}(E_α(T_G))` — evaluating the translation over the encoding
+//! and keeping the first and third components gives exactly the query's
+//! answer.
+//!
+//! The translations below cover RPQs ([`regex_to_trial`]), NREs
+//! ([`nre_to_trial`]), and GXPath with data tests ([`path_to_trial`],
+//! [`node_to_trial`]). They are exact on the *active domain*: a node that is
+//! incident to no edge is invisible to any algebra expression over `E` (the
+//! same caveat applies to the paper's translation, which works over the
+//! universal relation `U` built from `E`).
+
+use crate::gxpath::{NodeExpr, PathExpr};
+use crate::nre::Nre;
+use crate::regex::Regex;
+use trial_core::{output, Conditions, Expr, OutputSpec, Pos, Triplestore, TriplestoreBuilder};
+
+/// The relation name used for the edge relation of the encoding `T_G`.
+pub const EDGE_RELATION: &str = "E";
+
+/// Encodes a graph database as the triplestore `T_G = (V ∪ Σ, E, ρ)`.
+pub fn graph_to_triplestore(graph: &crate::graph::GraphDb) -> Triplestore {
+    let mut b = TriplestoreBuilder::new();
+    // Nodes first so that data values are attached even for label-named nodes.
+    for node in graph.nodes() {
+        let value = graph.value(node);
+        if value.is_null() {
+            b.object(graph.node_name(node));
+        } else {
+            b.object_with_value(graph.node_name(node), value.clone());
+        }
+    }
+    for label in graph.alphabet() {
+        b.object(label);
+    }
+    b.relation(EDGE_RELATION);
+    for edge in graph.edges() {
+        b.add_triple(
+            EDGE_RELATION,
+            graph.node_name(edge.source),
+            &edge.label,
+            graph.node_name(edge.target),
+        );
+    }
+    b.finish()
+}
+
+/// Identity condition `1=1', 2=2', 3=3'` used to pair a relation with itself.
+fn identity() -> Conditions {
+    Conditions::new()
+        .obj_eq(Pos::L1, Pos::R1)
+        .obj_eq(Pos::L2, Pos::R2)
+        .obj_eq(Pos::L3, Pos::R3)
+}
+
+/// The diagonal over graph nodes: triples `(v, v, v)` for every object that
+/// occurs as the source or target of an edge.
+pub fn node_diagonal() -> Expr {
+    let e = Expr::rel(EDGE_RELATION);
+    let sources = e
+        .clone()
+        .join(e.clone(), output(Pos::L1, Pos::L1, Pos::L1), identity());
+    let targets = e
+        .clone()
+        .join(e, output(Pos::L3, Pos::L3, Pos::L3), identity());
+    sources.union(targets)
+}
+
+/// All pairs of graph nodes, as triples `(u, u, v)`.
+pub fn all_node_pairs() -> Expr {
+    node_diagonal().join(
+        node_diagonal(),
+        output(Pos::L1, Pos::L1, Pos::R3),
+        Conditions::new(),
+    )
+}
+
+/// Normalises a path-shaped result to triples `(u, u, v)`, forgetting the
+/// middle witness. Needed before set-differences between path relations.
+fn normalise(expr: Expr) -> Expr {
+    expr.clone()
+        .join(expr, output(Pos::L1, Pos::L1, Pos::L3), identity())
+}
+
+/// Composition of two path-shaped expressions: `E_α ✶^{1,2,3'}_{3=1'} E_β`.
+fn compose(a: Expr, b: Expr) -> Expr {
+    a.join(
+        b,
+        output(Pos::L1, Pos::L2, Pos::R3),
+        Conditions::new().obj_eq(Pos::L3, Pos::R1),
+    )
+}
+
+/// The one-or-more transitive closure of a path-shaped expression.
+fn plus_closure(expr: Expr) -> Expr {
+    expr.right_star(
+        output(Pos::L1, Pos::L2, Pos::R3),
+        Conditions::new().obj_eq(Pos::L3, Pos::R1),
+    )
+}
+
+/// Forward step on a label: `σ_{2=a}(E)`.
+fn label_step(label: &str) -> Expr {
+    Expr::rel(EDGE_RELATION).select(Conditions::new().obj_eq_const(Pos::L2, label))
+}
+
+/// Inverse step on a label: `E ✶^{3,2,1}_{2=a, id} E`.
+fn inverse_step(label: &str) -> Expr {
+    Expr::rel(EDGE_RELATION).join(
+        Expr::rel(EDGE_RELATION),
+        output(Pos::L3, Pos::L2, Pos::L1),
+        identity().obj_eq_const(Pos::L2, label),
+    )
+}
+
+/// Translates a regular path query (given by its regular expression) into a
+/// TriAL\* expression (Corollary 2).
+pub fn regex_to_trial(regex: &Regex) -> Expr {
+    match regex {
+        Regex::Empty => Expr::Empty,
+        Regex::Epsilon => node_diagonal(),
+        Regex::Label(l) => label_step(l),
+        Regex::Concat(a, b) => compose(regex_to_trial(a), regex_to_trial(b)),
+        Regex::Alt(a, b) => regex_to_trial(a).union(regex_to_trial(b)),
+        Regex::Star(a) => node_diagonal().union(plus_closure(regex_to_trial(a))),
+        Regex::Plus(a) => plus_closure(regex_to_trial(a)),
+    }
+}
+
+/// Translates a nested regular expression into a TriAL\* expression
+/// (Corollary 2 / Theorem 7).
+pub fn nre_to_trial(nre: &Nre) -> Expr {
+    match nre {
+        Nre::Epsilon => node_diagonal(),
+        Nre::Label(l) => label_step(l),
+        Nre::Inverse(l) => inverse_step(l),
+        Nre::Concat(a, b) => compose(nre_to_trial(a), nre_to_trial(b)),
+        Nre::Alt(a, b) => nre_to_trial(a).union(nre_to_trial(b)),
+        Nre::Star(a) => node_diagonal().union(plus_closure(nre_to_trial(a))),
+        Nre::Plus(a) => plus_closure(nre_to_trial(a)),
+        Nre::Test(a) => {
+            let inner = nre_to_trial(a);
+            inner.clone().join(
+                inner,
+                output(Pos::L1, Pos::L1, Pos::L1),
+                Conditions::new().obj_eq(Pos::L1, Pos::R1),
+            )
+        }
+    }
+}
+
+/// Translates a GXPath path expression into a TriAL\* expression
+/// (Theorem 7 / Corollary 4 for the data constructs).
+pub fn path_to_trial(alpha: &PathExpr) -> Expr {
+    match alpha {
+        PathExpr::Epsilon => node_diagonal(),
+        PathExpr::Label(l) => label_step(l),
+        PathExpr::Inverse(l) => inverse_step(l),
+        PathExpr::Test(phi) => node_to_trial(phi),
+        PathExpr::Concat(a, b) => compose(path_to_trial(a), path_to_trial(b)),
+        PathExpr::Union(a, b) => path_to_trial(a).union(path_to_trial(b)),
+        PathExpr::Complement(a) => all_node_pairs().minus(normalise(path_to_trial(a))),
+        PathExpr::Star(a) => node_diagonal().union(plus_closure(path_to_trial(a))),
+        PathExpr::DataEq(a) => {
+            let inner = path_to_trial(a);
+            inner.clone().join(
+                inner,
+                OutputSpec::IDENTITY,
+                identity().data_eq(Pos::L1, Pos::L3),
+            )
+        }
+        PathExpr::DataNeq(a) => {
+            let inner = path_to_trial(a);
+            inner.clone().join(
+                inner,
+                OutputSpec::IDENTITY,
+                identity().data_neq(Pos::L1, Pos::L3),
+            )
+        }
+    }
+}
+
+/// Translates a GXPath node expression into a TriAL\* expression whose value
+/// is a set of diagonal triples `(v, v, v)`.
+pub fn node_to_trial(phi: &NodeExpr) -> Expr {
+    match phi {
+        NodeExpr::Top => node_diagonal(),
+        NodeExpr::Not(a) => node_diagonal().minus(node_to_trial(a)),
+        NodeExpr::And(a, b) => node_to_trial(a).intersect(node_to_trial(b)),
+        NodeExpr::Or(a, b) => node_to_trial(a).union(node_to_trial(b)),
+        NodeExpr::Exists(alpha) => {
+            let inner = path_to_trial(alpha);
+            inner.clone().join(
+                inner,
+                output(Pos::L1, Pos::L1, Pos::L1),
+                Conditions::new().obj_eq(Pos::L1, Pos::R1),
+            )
+        }
+        NodeExpr::ExistsEq(alpha, beta) => exists_data(alpha, beta, true),
+        NodeExpr::ExistsNeq(alpha, beta) => exists_data(alpha, beta, false),
+    }
+}
+
+fn exists_data(alpha: &PathExpr, beta: &PathExpr, eq: bool) -> Expr {
+    let a = path_to_trial(alpha);
+    let b = path_to_trial(beta);
+    let cond = Conditions::new().obj_eq(Pos::L1, Pos::R1);
+    let cond = if eq {
+        cond.data_eq(Pos::L3, Pos::R3)
+    } else {
+        cond.data_neq(Pos::L3, Pos::R3)
+    };
+    a.join(b, output(Pos::L1, Pos::L1, Pos::L1), cond)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GraphDb, GraphDbBuilder, NodeId};
+    use crate::gxpath::{evaluate_node, evaluate_path};
+    use crate::nre::evaluate_nre;
+    use crate::rpq::evaluate_rpq;
+    use std::collections::BTreeSet;
+    use trial_core::Value;
+    use trial_eval::evaluate;
+
+    fn sample_graph() -> GraphDb {
+        let mut b = GraphDbBuilder::new();
+        b.edge("mario", "knows", "luigi");
+        b.edge("luigi", "knows", "peach");
+        b.edge("peach", "likes", "mario");
+        b.edge("mario", "likes", "peach");
+        b.edge("peach", "knows", "toad");
+        b.node_with_value("mario", Value::int(23));
+        b.node_with_value("luigi", Value::int(27));
+        b.node_with_value("peach", Value::int(23));
+        b.node_with_value("toad", Value::int(23));
+        b.finish()
+    }
+
+    /// Projects a TriAL result to named (first, third) pairs.
+    fn trial_pairs(expr: &Expr, store: &Triplestore) -> BTreeSet<(String, String)> {
+        evaluate(expr, store)
+            .unwrap()
+            .result
+            .iter()
+            .map(|t| {
+                (
+                    store.object_name(t.s()).to_owned(),
+                    store.object_name(t.o()).to_owned(),
+                )
+            })
+            .collect()
+    }
+
+    fn native_pairs(
+        graph: &GraphDb,
+        pairs: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> BTreeSet<(String, String)> {
+        pairs
+            .into_iter()
+            .map(|(a, b)| {
+                (
+                    graph.node_name(a).to_owned(),
+                    graph.node_name(b).to_owned(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encoding_makes_labels_objects() {
+        let g = sample_graph();
+        let store = graph_to_triplestore(&g);
+        assert_eq!(store.triple_count(), g.edge_count());
+        // Labels are first-class objects of the encoding.
+        assert!(store.object_id("knows").is_some());
+        assert!(store.object_id("likes").is_some());
+        assert_eq!(
+            store.value(store.object_id("mario").unwrap()),
+            &Value::int(23)
+        );
+    }
+
+    #[test]
+    fn nre_translation_agrees_with_native_semantics() {
+        let g = sample_graph();
+        let store = graph_to_triplestore(&g);
+        let nres = vec![
+            Nre::Epsilon,
+            Nre::label("knows"),
+            Nre::inverse("likes"),
+            Nre::label("knows").then(Nre::label("knows")),
+            Nre::label("knows").or(Nre::label("likes")),
+            Nre::label("knows").star(),
+            Nre::label("knows").plus(),
+            Nre::label("knows").then(Nre::label("likes").test()),
+            Nre::label("knows")
+                .then(Nre::inverse("knows").test())
+                .star()
+                .then(Nre::label("likes")),
+        ];
+        for nre in nres {
+            let native = native_pairs(&g, evaluate_nre(&g, &nre));
+            let translated = trial_pairs(&nre_to_trial(&nre), &store);
+            assert_eq!(native, translated, "mismatch for NRE {nre}");
+        }
+    }
+
+    #[test]
+    fn rpq_translation_agrees_with_native_semantics() {
+        let g = sample_graph();
+        let store = graph_to_triplestore(&g);
+        let regexes = vec![
+            Regex::label("knows"),
+            Regex::label("knows").then(Regex::label("knows")),
+            Regex::label("knows").or(Regex::label("likes")),
+            Regex::label("knows").star(),
+            Regex::label("knows").plus().then(Regex::label("likes")),
+            Regex::Epsilon,
+            Regex::Empty,
+        ];
+        for re in regexes {
+            let native = native_pairs(&g, evaluate_rpq(&g, &re));
+            let translated = trial_pairs(&regex_to_trial(&re), &store);
+            assert_eq!(native, translated, "mismatch for RPQ {re}");
+        }
+    }
+
+    #[test]
+    fn gxpath_translation_agrees_with_native_semantics() {
+        let g = sample_graph();
+        let store = graph_to_triplestore(&g);
+        let paths = vec![
+            PathExpr::label("knows"),
+            PathExpr::inverse("knows"),
+            PathExpr::Epsilon,
+            PathExpr::label("knows").then(PathExpr::label("likes")),
+            PathExpr::label("knows").or(PathExpr::label("likes")).star(),
+            PathExpr::label("knows").complement(),
+            PathExpr::label("knows").star().complement(),
+            PathExpr::test(NodeExpr::exists(PathExpr::label("likes"))),
+            PathExpr::label("knows")
+                .then(PathExpr::test(NodeExpr::exists(PathExpr::label("likes")).not())),
+            PathExpr::label("knows").data_eq(),
+            PathExpr::label("knows").then(PathExpr::label("knows")).data_eq(),
+            PathExpr::label("knows").data_neq(),
+        ];
+        for alpha in paths {
+            let native = native_pairs(&g, evaluate_path(&g, &alpha));
+            let translated = trial_pairs(&path_to_trial(&alpha), &store);
+            assert_eq!(native, translated, "mismatch for GXPath {alpha}");
+        }
+    }
+
+    #[test]
+    fn gxpath_node_translation_agrees_with_native_semantics() {
+        let g = sample_graph();
+        let store = graph_to_triplestore(&g);
+        let nodes = vec![
+            NodeExpr::Top,
+            NodeExpr::exists(PathExpr::label("likes")),
+            NodeExpr::exists(PathExpr::label("likes")).not(),
+            NodeExpr::exists(PathExpr::label("knows")).and(NodeExpr::exists(PathExpr::label("likes"))),
+            NodeExpr::exists(PathExpr::label("knows")).or(NodeExpr::exists(PathExpr::label("likes"))),
+            NodeExpr::exists_eq(PathExpr::label("knows"), PathExpr::label("likes")),
+            NodeExpr::exists_neq(PathExpr::label("knows"), PathExpr::label("likes")),
+        ];
+        for phi in nodes {
+            let native: BTreeSet<String> = evaluate_node(&g, &phi)
+                .into_iter()
+                .map(|v| g.node_name(v).to_owned())
+                .collect();
+            let translated: BTreeSet<String> = evaluate(&node_to_trial(&phi), &store)
+                .unwrap()
+                .result
+                .iter()
+                .map(|t| store.object_name(t.s()).to_owned())
+                .collect();
+            assert_eq!(native, translated, "mismatch for node expression {phi}");
+        }
+    }
+
+    #[test]
+    fn translated_expressions_are_recursive_only_when_needed() {
+        assert!(!nre_to_trial(&Nre::label("a")).is_recursive());
+        assert!(nre_to_trial(&Nre::label("a").star()).is_recursive());
+        assert!(path_to_trial(&PathExpr::label("a").star()).is_recursive());
+        assert!(!path_to_trial(&PathExpr::label("a").complement()).is_recursive());
+    }
+}

@@ -1,0 +1,515 @@
+//! Active-domain evaluation of [`Formula`]s over a triplestore.
+//!
+//! The paper compares TriAL with FO / TrCl over the relational representation
+//! `I_T` of a triplestore `T` (Section 4 and Section 6.1): one ternary
+//! relation per triplestore relation, plus `∼(x, y) ⇔ ρ(x) = ρ(y)`. As is
+//! standard in database theory (and as the paper's appendix notes explicitly,
+//! Remark 3), queries are evaluated under **active-domain semantics**:
+//! quantifiers range over the objects that occur in some triple of the store.
+//!
+//! The evaluator here is a direct, exhaustive implementation of that
+//! semantics. It is exponential in the number of quantifiers and is meant for
+//! the small structures of the paper's proofs and for cross-checking the
+//! translations of [`crate::to_fo`] / [`crate::from_fo3`] on randomly
+//! generated stores — not as a production query engine (that is what
+//! `trial-eval` is for).
+
+use crate::fo::{Formula, Term};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+use trial_core::{ObjectId, Triple, TripleSet, Triplestore};
+
+/// Errors raised by formula evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicError {
+    /// A variable was used without being bound by a quantifier, the
+    /// transitive-closure operator, or the supplied assignment.
+    UnboundVariable(String),
+    /// A relation name does not exist in the triplestore.
+    UnknownRelation(String),
+    /// An object constant does not exist in the triplestore.
+    UnknownConstant(String),
+    /// The tuples of a `trcl` operator have mismatched lengths.
+    MalformedTrcl(String),
+    /// `answers3` was asked for a variable that clashes with another.
+    DuplicateAnswerVariable(String),
+    /// The formula has free variables outside the requested answer variables.
+    UnexpectedFreeVariable(String),
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            LogicError::UnknownRelation(r) => write!(f, "unknown relation `{r}`"),
+            LogicError::UnknownConstant(c) => write!(f, "unknown object constant `{c}`"),
+            LogicError::MalformedTrcl(msg) => write!(f, "malformed trcl operator: {msg}"),
+            LogicError::DuplicateAnswerVariable(v) => {
+                write!(f, "duplicate answer variable `{v}`")
+            }
+            LogicError::UnexpectedFreeVariable(v) => {
+                write!(f, "free variable `{v}` is not an answer variable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// Result alias for logic evaluation.
+pub type Result<T> = std::result::Result<T, LogicError>;
+
+/// A partial assignment of variables to objects.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Assignment {
+    map: HashMap<String, ObjectId>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        Assignment::default()
+    }
+
+    /// Binds `var` to `obj`, returning the previous binding if any.
+    pub fn bind(&mut self, var: impl Into<String>, obj: ObjectId) -> Option<ObjectId> {
+        self.map.insert(var.into(), obj)
+    }
+
+    /// Re-binds `var` to `obj` without allocating when the variable is
+    /// already present (the common case inside quantifier loops).
+    pub fn set(&mut self, var: &str, obj: ObjectId) {
+        match self.map.get_mut(var) {
+            Some(slot) => *slot = obj,
+            None => {
+                self.map.insert(var.to_string(), obj);
+            }
+        }
+    }
+
+    /// Removes the binding for `var`.
+    pub fn unbind(&mut self, var: &str) -> Option<ObjectId> {
+        self.map.remove(var)
+    }
+
+    /// Looks up the binding for `var`.
+    pub fn get(&self, var: &str) -> Option<ObjectId> {
+        self.map.get(var).copied()
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` if no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+fn resolve(store: &Triplestore, asg: &Assignment, term: &Term) -> Result<ObjectId> {
+    match term {
+        Term::Var(v) => asg
+            .get(v)
+            .ok_or_else(|| LogicError::UnboundVariable(v.clone())),
+        Term::Const(c) => store
+            .object_id(c)
+            .ok_or_else(|| LogicError::UnknownConstant(c.clone())),
+    }
+}
+
+/// Restores (or removes) a binding after a scoped quantification.
+fn restore(asg: &mut Assignment, var: &str, previous: Option<ObjectId>) {
+    match previous {
+        Some(o) => {
+            asg.bind(var, o);
+        }
+        None => {
+            asg.unbind(var);
+        }
+    }
+}
+
+/// Checks whether `store, asg ⊨ formula` under active-domain semantics.
+///
+/// All free variables of `formula` must be bound by `asg`; otherwise an
+/// [`LogicError::UnboundVariable`] error is returned.
+pub fn satisfies(store: &Triplestore, formula: &Formula, asg: &mut Assignment) -> Result<bool> {
+    let adom = store.active_domain();
+    sat(store, &adom, formula, asg)
+}
+
+fn sat(
+    store: &Triplestore,
+    adom: &[ObjectId],
+    formula: &Formula,
+    asg: &mut Assignment,
+) -> Result<bool> {
+    match formula {
+        Formula::True => Ok(true),
+        Formula::False => Ok(false),
+        Formula::Rel { rel, args } => {
+            let relation = store
+                .relation(rel)
+                .ok_or_else(|| LogicError::UnknownRelation(rel.clone()))?;
+            let s = resolve(store, asg, &args[0])?;
+            let p = resolve(store, asg, &args[1])?;
+            let o = resolve(store, asg, &args[2])?;
+            Ok(relation.triples().contains(&Triple::new(s, p, o)))
+        }
+        Formula::Sim(a, b) => {
+            let oa = resolve(store, asg, a)?;
+            let ob = resolve(store, asg, b)?;
+            Ok(store.data_eq(oa, ob))
+        }
+        Formula::Eq(a, b) => {
+            let oa = resolve(store, asg, a)?;
+            let ob = resolve(store, asg, b)?;
+            Ok(oa == ob)
+        }
+        Formula::Not(inner) => Ok(!sat(store, adom, inner, asg)?),
+        Formula::And(a, b) => Ok(sat(store, adom, a, asg)? && sat(store, adom, b, asg)?),
+        Formula::Or(a, b) => Ok(sat(store, adom, a, asg)? || sat(store, adom, b, asg)?),
+        Formula::Exists(v, body) => {
+            let previous = asg.get(v);
+            for &obj in adom {
+                asg.set(v, obj);
+                if sat(store, adom, body, asg)? {
+                    restore(asg, v, previous);
+                    return Ok(true);
+                }
+            }
+            restore(asg, v, previous);
+            Ok(false)
+        }
+        Formula::Forall(v, body) => {
+            let previous = asg.get(v);
+            for &obj in adom {
+                asg.set(v, obj);
+                if !sat(store, adom, body, asg)? {
+                    restore(asg, v, previous);
+                    return Ok(false);
+                }
+            }
+            restore(asg, v, previous);
+            Ok(true)
+        }
+        Formula::Trcl {
+            xs,
+            ys,
+            phi,
+            from,
+            to,
+        } => {
+            let n = xs.len();
+            if ys.len() != n || from.len() != n || to.len() != n || n == 0 {
+                return Err(LogicError::MalformedTrcl(format!(
+                    "tuple lengths |xs|={} |ys|={} |from|={} |to|={} must be equal and non-zero",
+                    xs.len(),
+                    ys.len(),
+                    from.len(),
+                    to.len()
+                )));
+            }
+            let source: Vec<ObjectId> = from
+                .iter()
+                .map(|t| resolve(store, asg, t))
+                .collect::<Result<_>>()?;
+            let target: Vec<ObjectId> = to
+                .iter()
+                .map(|t| resolve(store, asg, t))
+                .collect::<Result<_>>()?;
+            trcl_reachable(store, adom, xs, ys, phi, asg, &source, &target)
+        }
+    }
+}
+
+/// Breadth-first reachability over `adom^n` for the `trcl` operator.
+///
+/// Reachability is reflexive: `t̄1` always reaches itself, matching the union
+/// `∅ ∪ e ∪ e ✶ e ∪ …` shape of the algebra's Kleene closure.
+#[allow(clippy::too_many_arguments)]
+fn trcl_reachable(
+    store: &Triplestore,
+    adom: &[ObjectId],
+    xs: &[String],
+    ys: &[String],
+    phi: &Formula,
+    asg: &mut Assignment,
+    source: &[ObjectId],
+    target: &[ObjectId],
+) -> Result<bool> {
+    if source == target {
+        return Ok(true);
+    }
+    let n = xs.len();
+    let saved: Vec<(String, Option<ObjectId>)> = xs
+        .iter()
+        .chain(ys.iter())
+        .map(|v| (v.clone(), asg.get(v)))
+        .collect();
+
+    let mut visited: HashSet<Vec<ObjectId>> = HashSet::new();
+    visited.insert(source.to_vec());
+    let mut queue: VecDeque<Vec<ObjectId>> = VecDeque::new();
+    queue.push_back(source.to_vec());
+    let mut found = false;
+
+    'outer: while let Some(current) = queue.pop_front() {
+        for (v, &o) in xs.iter().zip(current.iter()) {
+            asg.set(v, o);
+        }
+        // Enumerate all candidate successor tuples.
+        let mut successor = vec![adom[0]; n];
+        let mut indices = vec![0usize; n];
+        loop {
+            for (slot, &idx) in indices.iter().enumerate() {
+                successor[slot] = adom[idx];
+            }
+            if !visited.contains(&successor) {
+                for (v, &o) in ys.iter().zip(successor.iter()) {
+                    asg.set(v, o);
+                }
+                if sat(store, adom, phi, asg)? {
+                    if successor == target {
+                        found = true;
+                        break 'outer;
+                    }
+                    visited.insert(successor.clone());
+                    queue.push_back(successor.clone());
+                }
+            }
+            // Advance the odometer.
+            let mut slot = 0;
+            loop {
+                if slot == n {
+                    break;
+                }
+                indices[slot] += 1;
+                if indices[slot] < adom.len() {
+                    break;
+                }
+                indices[slot] = 0;
+                slot += 1;
+            }
+            if slot == n {
+                break;
+            }
+        }
+    }
+
+    for (v, previous) in saved {
+        restore(asg, &v, previous);
+    }
+    Ok(found)
+}
+
+/// Evaluates a sentence (formula without free variables).
+pub fn evaluate_closed(store: &Triplestore, formula: &Formula) -> Result<bool> {
+    for v in formula.free_variables() {
+        return Err(LogicError::UnboundVariable(v));
+    }
+    satisfies(store, formula, &mut Assignment::new())
+}
+
+/// Evaluates a formula as a *ternary query*: returns all triples
+/// `(a1, a2, a3)` of active-domain objects such that the formula holds with
+/// `vars[0] ↦ a1`, `vars[1] ↦ a2`, `vars[2] ↦ a3`.
+///
+/// Variables among `vars` that do not occur freely in the formula range over
+/// the whole active domain — exactly the convention used when comparing a
+/// TriAL expression (which always returns triples) with a logic formula
+/// (Theorem 4). Free variables of the formula outside `vars` are rejected.
+pub fn answers3(store: &Triplestore, formula: &Formula, vars: [&str; 3]) -> Result<TripleSet> {
+    if vars[0] == vars[1] || vars[0] == vars[2] || vars[1] == vars[2] {
+        let dup = if vars[0] == vars[1] { vars[1] } else { vars[2] };
+        return Err(LogicError::DuplicateAnswerVariable(dup.to_string()));
+    }
+    for free in formula.free_variables() {
+        if !vars.contains(&free.as_str()) {
+            return Err(LogicError::UnexpectedFreeVariable(free));
+        }
+    }
+    let adom = store.active_domain();
+    let mut asg = Assignment::new();
+    let mut out = TripleSet::new();
+    for &a in &adom {
+        asg.set(vars[0], a);
+        for &b in &adom {
+            asg.set(vars[1], b);
+            for &c in &adom {
+                asg.set(vars[2], c);
+                if sat(store, &adom, formula, &mut asg)? {
+                    out.insert(Triple::new(a, b, c));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trial_core::TriplestoreBuilder;
+
+    fn chain() -> Triplestore {
+        // a -r-> b -r-> c  (as triples (a,r,b), (b,r,c); r is itself an object)
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "r", "b");
+        b.add_triple("E", "b", "r", "c");
+        b.finish()
+    }
+
+    #[test]
+    fn relation_atoms_and_equality() {
+        let store = chain();
+        let f = Formula::rel_vars("E", "x", "y", "z");
+        let mut asg = Assignment::new();
+        asg.bind("x", store.object_id("a").unwrap());
+        asg.bind("y", store.object_id("r").unwrap());
+        asg.bind("z", store.object_id("b").unwrap());
+        assert!(satisfies(&store, &f, &mut asg).unwrap());
+        asg.bind("z", store.object_id("c").unwrap());
+        assert!(!satisfies(&store, &f, &mut asg).unwrap());
+        let eq = Formula::Eq(Term::var("x"), Term::constant("a"));
+        assert!(satisfies(&store, &eq, &mut asg).unwrap());
+    }
+
+    #[test]
+    fn quantifiers_use_active_domain() {
+        let store = chain();
+        // ∃x∃y∃z E(x,y,z) — true.
+        let f = Formula::exists_many(
+            ["x", "y", "z"],
+            Formula::rel_vars("E", "x", "y", "z"),
+        );
+        assert!(evaluate_closed(&store, &f).unwrap());
+        // ∀x ∃y∃z E(x,y,z) — false: c (and r) have no outgoing triple.
+        let g = Formula::forall(
+            "x",
+            Formula::exists_many(["y", "z"], Formula::rel_vars("E", "x", "y", "z")),
+        );
+        assert!(!evaluate_closed(&store, &g).unwrap());
+    }
+
+    #[test]
+    fn sim_uses_data_values() {
+        let mut b = TriplestoreBuilder::new();
+        let a = b.object_with_value("a", 1i64);
+        let c = b.object_with_value("c", 1i64);
+        let d = b.object_with_value("d", 2i64);
+        b.add_triple_ids("E", a, c, d);
+        let store = b.finish();
+        let mut asg = Assignment::new();
+        asg.bind("x", a);
+        asg.bind("y", c);
+        assert!(satisfies(&store, &Formula::sim_vars("x", "y"), &mut asg).unwrap());
+        asg.bind("y", d);
+        assert!(!satisfies(&store, &Formula::sim_vars("x", "y"), &mut asg).unwrap());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let store = chain();
+        let f = Formula::rel_vars("NoSuch", "x", "y", "z");
+        let mut asg = Assignment::new();
+        asg.bind("x", ObjectId(0));
+        asg.bind("y", ObjectId(0));
+        asg.bind("z", ObjectId(0));
+        assert!(matches!(
+            satisfies(&store, &f, &mut asg),
+            Err(LogicError::UnknownRelation(_))
+        ));
+        let g = Formula::rel_vars("E", "x", "y", "missing");
+        assert!(matches!(
+            satisfies(&store, &g, &mut asg),
+            Err(LogicError::UnboundVariable(_))
+        ));
+        let h = Formula::Eq(Term::constant("nope"), Term::var("x"));
+        assert!(matches!(
+            satisfies(&store, &h, &mut asg),
+            Err(LogicError::UnknownConstant(_))
+        ));
+        assert!(matches!(
+            evaluate_closed(&store, &Formula::rel_vars("E", "x", "y", "z")),
+            Err(LogicError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn trcl_expresses_reachability() {
+        let store = chain();
+        // [trcl_{x,y} ∃w E(x,w,y)](s ; t): s reaches t along E-edges.
+        let step = Formula::exists("w", Formula::rel_vars("E", "x", "w", "y"));
+        let reach = |s: &str, t: &str| Formula::Trcl {
+            xs: vec!["x".into()],
+            ys: vec!["y".into()],
+            phi: Box::new(step.clone()),
+            from: vec![Term::constant(s)],
+            to: vec![Term::constant(t)],
+        };
+        assert!(evaluate_closed(&store, &reach("a", "c")).unwrap());
+        assert!(evaluate_closed(&store, &reach("a", "a")).unwrap()); // reflexive
+        assert!(!evaluate_closed(&store, &reach("c", "a")).unwrap());
+    }
+
+    #[test]
+    fn trcl_rejects_mismatched_tuples() {
+        let store = chain();
+        let bad = Formula::Trcl {
+            xs: vec!["x".into()],
+            ys: vec!["y".into(), "z".into()],
+            phi: Box::new(Formula::True),
+            from: vec![Term::constant("a")],
+            to: vec![Term::constant("c")],
+        };
+        assert!(matches!(
+            evaluate_closed(&store, &bad),
+            Err(LogicError::MalformedTrcl(_))
+        ));
+    }
+
+    #[test]
+    fn answers3_pads_missing_variables_with_the_domain() {
+        let store = chain();
+        // φ(x) = ∃y∃z E(x,y,z): x has an outgoing triple. Answer variables
+        // (x, u, v) — u, v unconstrained.
+        let f = Formula::exists_many(["y", "z"], Formula::rel_vars("E", "x", "y", "z"));
+        let result = answers3(&store, &f, ["x", "u", "v"]).unwrap();
+        let adom = store.active_domain().len();
+        // x ∈ {a, b}, u and v anything: 2 * adom².
+        assert_eq!(result.len(), 2 * adom * adom);
+    }
+
+    #[test]
+    fn answers3_validates_variables() {
+        let store = chain();
+        let f = Formula::rel_vars("E", "x", "y", "z");
+        assert!(matches!(
+            answers3(&store, &f, ["x", "x", "z"]),
+            Err(LogicError::DuplicateAnswerVariable(_))
+        ));
+        assert!(matches!(
+            answers3(&store, &f, ["x", "y", "w"]),
+            Err(LogicError::UnexpectedFreeVariable(_))
+        ));
+    }
+
+    #[test]
+    fn assignment_scoping_is_restored_after_quantification() {
+        let store = chain();
+        let mut asg = Assignment::new();
+        let a = store.object_id("a").unwrap();
+        asg.bind("x", a);
+        // ∃x E(x,y,z) temporarily rebinds x, then restores it.
+        let f = Formula::exists(
+            "x",
+            Formula::exists_many(["y", "z"], Formula::rel_vars("E", "x", "y", "z")),
+        );
+        assert!(satisfies(&store, &f, &mut asg).unwrap());
+        assert_eq!(asg.get("x"), Some(a));
+        assert_eq!(asg.len(), 1);
+    }
+}

@@ -1,0 +1,491 @@
+//! First-order and transitive-closure formulas over the relational
+//! representation of triplestores.
+//!
+//! The vocabulary is the one used throughout Section 6.1 of the paper: one
+//! ternary relation symbol per triplestore relation (`E`, `E1`, …) and the
+//! binary symbol `∼` interpreted as "has the same data value"
+//! (`∼(x, y) ⇔ ρ(x) = ρ(y)`).
+//!
+//! [`Formula`] covers plain FO (so FO^k is just "a [`Formula`] whose
+//! [`width`](Formula::width) is at most k") and the transitive-closure
+//! operator `[trcl_{x̄,ȳ} φ(x̄, ȳ, z̄)](t̄1, t̄2)` of Transitive-Closure Logic
+//! (TrCl), which the paper compares against TriAL\* in Theorem 6.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A first-order term: a variable or an object constant (referenced by its
+/// object name in the triplestore, like the constants `o ∈ O` the paper
+/// allows inside conditions).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable.
+    Var(String),
+    /// An object constant, by name.
+    Const(String),
+}
+
+impl Term {
+    /// A variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// An object-constant term.
+    pub fn constant(name: impl Into<String>) -> Term {
+        Term::Const(name.into())
+    }
+
+    /// The variable name, if the term is a variable.
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Term::Var(v) => Some(v),
+            Term::Const(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+/// A formula of FO / TrCl over the vocabulary `⟨E1, …, En, ∼⟩`.
+///
+/// The fragment FO^k of the paper is obtained by requiring
+/// [`width`](Formula::width)` ≤ k`; TrCl^k additionally allows the
+/// [`Formula::Trcl`] construct.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Formula {
+    /// The always-true formula.
+    True,
+    /// The always-false formula.
+    False,
+    /// A relation atom `E(t1, t2, t3)`.
+    Rel {
+        /// Relation name.
+        rel: String,
+        /// The three argument terms.
+        args: [Term; 3],
+    },
+    /// The data-equality atom `∼(t1, t2)`, i.e. `ρ(t1) = ρ(t2)`.
+    Sim(Term, Term),
+    /// Equality `t1 = t2`.
+    Eq(Term, Term),
+    /// Negation `¬φ`.
+    Not(Box<Formula>),
+    /// Conjunction `φ ∧ ψ`.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction `φ ∨ ψ`.
+    Or(Box<Formula>, Box<Formula>),
+    /// Existential quantification `∃x φ`.
+    Exists(String, Box<Formula>),
+    /// Universal quantification `∀x φ`.
+    Forall(String, Box<Formula>),
+    /// The transitive-closure operator
+    /// `[trcl_{x̄,ȳ} φ(x̄, ȳ, z̄)](t̄1, t̄2)` with `|x̄| = |ȳ| = |t̄1| = |t̄2|`.
+    ///
+    /// Semantics (Section 6.1): build the graph on `adom^n` whose edges are
+    /// the pairs `(ū, v̄)` with `I ⊨ φ(ū, v̄, c̄)`; the formula holds iff the
+    /// value of `t̄2` is reachable from the value of `t̄1` (in zero or more
+    /// steps).
+    Trcl {
+        /// The tuple of "source" variables `x̄` bound by the operator.
+        xs: Vec<String>,
+        /// The tuple of "target" variables `ȳ` bound by the operator.
+        ys: Vec<String>,
+        /// The step formula `φ(x̄, ȳ, z̄)`; its free variables other than
+        /// `x̄ ∪ ȳ` are the parameters `z̄` and stay free in the whole
+        /// formula.
+        phi: Box<Formula>,
+        /// The tuple `t̄1` the closure starts from.
+        from: Vec<Term>,
+        /// The tuple `t̄2` the closure must reach.
+        to: Vec<Term>,
+    },
+}
+
+impl Formula {
+    /// A relation atom `rel(t1, t2, t3)`.
+    pub fn rel(rel: impl Into<String>, t1: Term, t2: Term, t3: Term) -> Formula {
+        Formula::Rel {
+            rel: rel.into(),
+            args: [t1, t2, t3],
+        }
+    }
+
+    /// A relation atom over three variables.
+    pub fn rel_vars(
+        rel: impl Into<String>,
+        v1: impl Into<String>,
+        v2: impl Into<String>,
+        v3: impl Into<String>,
+    ) -> Formula {
+        Formula::rel(rel, Term::var(v1), Term::var(v2), Term::var(v3))
+    }
+
+    /// Equality of two variables.
+    pub fn eq_vars(a: impl Into<String>, b: impl Into<String>) -> Formula {
+        Formula::Eq(Term::var(a), Term::var(b))
+    }
+
+    /// Data equality (`∼`) of two variables.
+    pub fn sim_vars(a: impl Into<String>, b: impl Into<String>) -> Formula {
+        Formula::Sim(Term::var(a), Term::var(b))
+    }
+
+    /// Negation.
+    pub fn not(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Existential quantification of a single variable.
+    pub fn exists(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Exists(var.into(), Box::new(body))
+    }
+
+    /// Universal quantification of a single variable.
+    pub fn forall(var: impl Into<String>, body: Formula) -> Formula {
+        Formula::Forall(var.into(), Box::new(body))
+    }
+
+    /// Existentially quantifies every variable in `vars` (innermost last).
+    pub fn exists_many<I, S>(vars: I, body: Formula) -> Formula
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let vars: Vec<String> = vars.into_iter().map(Into::into).collect();
+        vars.into_iter()
+            .rev()
+            .fold(body, |acc, v| Formula::exists(v, acc))
+    }
+
+    /// Conjunction of all formulas in the iterator ([`Formula::True`] if
+    /// empty).
+    pub fn and_all(formulas: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = formulas.into_iter();
+        match it.next() {
+            None => Formula::True,
+            Some(first) => it.fold(first, Formula::and),
+        }
+    }
+
+    /// Disjunction of all formulas in the iterator ([`Formula::False`] if
+    /// empty).
+    pub fn or_all(formulas: impl IntoIterator<Item = Formula>) -> Formula {
+        let mut it = formulas.into_iter();
+        match it.next() {
+            None => Formula::False,
+            Some(first) => it.fold(first, Formula::or),
+        }
+    }
+
+    /// Immediate sub-formulas.
+    pub fn children(&self) -> Vec<&Formula> {
+        match self {
+            Formula::True
+            | Formula::False
+            | Formula::Rel { .. }
+            | Formula::Sim(_, _)
+            | Formula::Eq(_, _) => vec![],
+            Formula::Not(a) | Formula::Exists(_, a) | Formula::Forall(_, a) => vec![a],
+            Formula::And(a, b) | Formula::Or(a, b) => vec![a, b],
+            Formula::Trcl { phi, .. } => vec![phi],
+        }
+    }
+
+    /// All sub-formulas including `self`, pre-order.
+    pub fn subformulas(&self) -> Vec<&Formula> {
+        let mut out = vec![self];
+        let mut stack = self.children();
+        while let Some(f) = stack.pop() {
+            out.push(f);
+            stack.extend(f.children());
+        }
+        out
+    }
+
+    /// Number of AST nodes (the `|φ|` of complexity statements).
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// All variable names occurring in the formula (free or bound), sorted.
+    ///
+    /// The paper's FO^k counts the *total* number of distinct variable names
+    /// a formula uses (variables may be re-used/re-quantified), so
+    /// `formula.width() ≤ k` is exactly "the formula is in FO^k".
+    pub fn variables(&self) -> BTreeSet<String> {
+        fn collect_term(t: &Term, out: &mut BTreeSet<String>) {
+            if let Term::Var(v) = t {
+                out.insert(v.clone());
+            }
+        }
+        let mut out = BTreeSet::new();
+        for f in self.subformulas() {
+            match f {
+                Formula::Rel { args, .. } => {
+                    for a in args {
+                        collect_term(a, &mut out);
+                    }
+                }
+                Formula::Sim(a, b) | Formula::Eq(a, b) => {
+                    collect_term(a, &mut out);
+                    collect_term(b, &mut out);
+                }
+                Formula::Exists(v, _) | Formula::Forall(v, _) => {
+                    out.insert(v.clone());
+                }
+                Formula::Trcl {
+                    xs, ys, from, to, ..
+                } => {
+                    out.extend(xs.iter().cloned());
+                    out.extend(ys.iter().cloned());
+                    for t in from.iter().chain(to.iter()) {
+                        collect_term(t, &mut out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// The number of distinct variables used (the `k` of FO^k / TrCl^k).
+    pub fn width(&self) -> usize {
+        self.variables().len()
+    }
+
+    /// Free variables of the formula, sorted.
+    pub fn free_variables(&self) -> BTreeSet<String> {
+        fn term_frees(t: &Term, out: &mut BTreeSet<String>) {
+            if let Term::Var(v) = t {
+                out.insert(v.clone());
+            }
+        }
+        fn go(f: &Formula, out: &mut BTreeSet<String>) {
+            match f {
+                Formula::True | Formula::False => {}
+                Formula::Rel { args, .. } => {
+                    for a in args {
+                        term_frees(a, out);
+                    }
+                }
+                Formula::Sim(a, b) | Formula::Eq(a, b) => {
+                    term_frees(a, out);
+                    term_frees(b, out);
+                }
+                Formula::Not(a) => go(a, out),
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    go(a, out);
+                    go(b, out);
+                }
+                Formula::Exists(v, a) | Formula::Forall(v, a) => {
+                    let mut inner = BTreeSet::new();
+                    go(a, &mut inner);
+                    inner.remove(v);
+                    out.extend(inner);
+                }
+                Formula::Trcl {
+                    xs,
+                    ys,
+                    phi,
+                    from,
+                    to,
+                } => {
+                    let mut inner = BTreeSet::new();
+                    go(phi, &mut inner);
+                    for v in xs.iter().chain(ys.iter()) {
+                        inner.remove(v);
+                    }
+                    out.extend(inner);
+                    for t in from.iter().chain(to.iter()) {
+                        term_frees(t, out);
+                    }
+                }
+            }
+        }
+        let mut out = BTreeSet::new();
+        go(self, &mut out);
+        out
+    }
+
+    /// Returns `true` if the formula is plain first-order (no transitive
+    /// closure operator anywhere).
+    pub fn is_first_order(&self) -> bool {
+        self.subformulas()
+            .iter()
+            .all(|f| !matches!(f, Formula::Trcl { .. }))
+    }
+
+    /// Relation names referenced by the formula, sorted and deduplicated.
+    pub fn relations(&self) -> BTreeSet<&str> {
+        self.subformulas()
+            .iter()
+            .filter_map(|f| match f {
+                Formula::Rel { rel, .. } => Some(rel.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::True => write!(f, "true"),
+            Formula::False => write!(f, "false"),
+            Formula::Rel { rel, args } => {
+                write!(f, "{rel}({}, {}, {})", args[0], args[1], args[2])
+            }
+            Formula::Sim(a, b) => write!(f, "~({a}, {b})"),
+            Formula::Eq(a, b) => write!(f, "{a} = {b}"),
+            Formula::Not(a) => write!(f, "!({a})"),
+            Formula::And(a, b) => write!(f, "({a} & {b})"),
+            Formula::Or(a, b) => write!(f, "({a} | {b})"),
+            Formula::Exists(v, a) => write!(f, "exists {v}. ({a})"),
+            Formula::Forall(v, a) => write!(f, "forall {v}. ({a})"),
+            Formula::Trcl {
+                xs,
+                ys,
+                phi,
+                from,
+                to,
+            } => {
+                let commas = |ts: &[String]| ts.join(",");
+                let terms = |ts: &[Term]| {
+                    ts.iter()
+                        .map(|t| t.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
+                write!(
+                    f,
+                    "[trcl_({}),({}) {}]({} ; {})",
+                    commas(xs),
+                    commas(ys),
+                    phi,
+                    terms(from),
+                    terms(to)
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn psi() -> Formula {
+        // ψ(x,y,z) = ∃w (E(x,w,y) ∧ E(y,w,z) ∧ E(z,w,x)) — from the Thm 4 proof.
+        Formula::exists(
+            "w",
+            Formula::and_all([
+                Formula::rel_vars("E", "x", "w", "y"),
+                Formula::rel_vars("E", "y", "w", "z"),
+                Formula::rel_vars("E", "z", "w", "x"),
+            ]),
+        )
+    }
+
+    #[test]
+    fn width_counts_distinct_names() {
+        let f = psi();
+        assert_eq!(f.width(), 4); // x, y, z, w
+        assert!(f.is_first_order());
+        assert_eq!(
+            f.free_variables().into_iter().collect::<Vec<_>>(),
+            vec!["x", "y", "z"]
+        );
+    }
+
+    #[test]
+    fn reusing_a_bound_variable_does_not_increase_width() {
+        // ∃x (E(x,y,z) ∧ ∃x E(y,x,z)) uses 3 distinct names even though x is
+        // quantified twice — exactly how the paper counts variables for FO^k.
+        let f = Formula::exists(
+            "x",
+            Formula::rel_vars("E", "x", "y", "z")
+                .and(Formula::exists("x", Formula::rel_vars("E", "y", "x", "z"))),
+        );
+        assert_eq!(f.width(), 3);
+        assert_eq!(f.size(), 5);
+    }
+
+    #[test]
+    fn free_variables_of_quantified_formula() {
+        let f = Formula::exists("x", Formula::rel_vars("E", "x", "y", "z"));
+        let frees: Vec<String> = f.free_variables().into_iter().collect();
+        assert_eq!(frees, vec!["y", "z"]);
+        // ∀ binds the same way.
+        let g = Formula::forall("y", f.clone());
+        assert_eq!(
+            g.free_variables().into_iter().collect::<Vec<_>>(),
+            vec!["z"]
+        );
+    }
+
+    #[test]
+    fn trcl_binds_its_tuples_but_not_its_endpoints() {
+        // [trcl_{(a,b),(c,d)} E(a,b,c) ∧ d=d](x,y ; z,w)
+        let f = Formula::Trcl {
+            xs: vec!["a".into(), "b".into()],
+            ys: vec!["c".into(), "d".into()],
+            phi: Box::new(
+                Formula::rel_vars("E", "a", "b", "c").and(Formula::eq_vars("d", "d")),
+            ),
+            from: vec![Term::var("x"), Term::var("y")],
+            to: vec![Term::var("z"), Term::var("w")],
+        };
+        assert!(!f.is_first_order());
+        let frees: Vec<String> = f.free_variables().into_iter().collect();
+        assert_eq!(frees, vec!["w", "x", "y", "z"]);
+        // Width counts bound tuple names as well.
+        assert_eq!(f.width(), 8);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let f = psi();
+        let s = f.to_string();
+        assert!(s.contains("exists w."));
+        assert!(s.contains("E(x, w, y)"));
+        let t = Formula::Eq(Term::constant("London"), Term::var("x"));
+        assert_eq!(t.to_string(), "'London' = x");
+    }
+
+    #[test]
+    fn and_all_or_all_identity_cases() {
+        assert_eq!(Formula::and_all([]), Formula::True);
+        assert_eq!(Formula::or_all([]), Formula::False);
+        let single = Formula::eq_vars("x", "y");
+        assert_eq!(Formula::and_all([single.clone()]), single);
+        assert_eq!(Formula::or_all([single.clone()]), single);
+    }
+
+    #[test]
+    fn relations_and_subformulas() {
+        let f = Formula::rel_vars("E", "x", "y", "z")
+            .and(Formula::rel_vars("F", "x", "y", "z").or(Formula::sim_vars("x", "y")));
+        let rels: Vec<&str> = f.relations().into_iter().collect();
+        assert_eq!(rels, vec!["E", "F"]);
+        assert_eq!(f.subformulas().len(), 5);
+    }
+}

@@ -1,0 +1,408 @@
+//! The FO³ → TriAL translation of Theorem 4 (part 2) / Theorem 5.
+//!
+//! Theorem 4 shows that every FO³ formula over the vocabulary
+//! `⟨E1, …, En, ∼⟩` has an equivalent TriAL expression, and the construction
+//! never introduces inequalities, so the image actually lands in the
+//! equality-only fragment TriAL⁼ (Theorem 5). The key idea from the proof is
+//! that projection is not needed: because the answer always has exactly three
+//! slots, positions belonging to variables that a sub-formula does not
+//! mention simply range over the whole active domain, which the algebra
+//! expresses by joining with the universal relation `U`.
+//!
+//! [`fo3_to_trial`] implements the construction relative to a fixed ordered
+//! triple of variable names `(v1, v2, v3)`: the resulting expression returns
+//! exactly the triples `(a1, a2, a3)` such that the formula holds under
+//! `v1 ↦ a1, v2 ↦ a2, v3 ↦ a3` (with unmentioned slots unconstrained) — the
+//! same convention [`crate::eval::answers3`] uses, so the two can be compared
+//! triple-for-triple.
+
+use crate::fo::{Formula, Term};
+use std::fmt;
+use trial_core::{output, Conditions, Expr, Pos};
+
+/// Errors raised by the FO³ → TriAL translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fo3Error {
+    /// The formula uses a variable name outside the three answer variables,
+    /// i.e. it is not an FO³ formula over those names.
+    TooManyVariables(String),
+    /// The formula uses the transitive-closure operator; Theorem 4's
+    /// construction covers plain FO only (Theorem 6 handles TrCl³ with a
+    /// separate construction not implemented here).
+    TransitiveClosureUnsupported,
+    /// A `∼` atom with an object constant argument — the one-sorted
+    /// vocabulary of the paper has no such atoms.
+    SimWithConstant(String),
+    /// The answer variables are not pairwise distinct.
+    DuplicateAnswerVariable(String),
+}
+
+impl fmt::Display for Fo3Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fo3Error::TooManyVariables(v) => write!(
+                f,
+                "variable `{v}` is not one of the three answer variables — the formula is not FO3"
+            ),
+            Fo3Error::TransitiveClosureUnsupported => {
+                write!(f, "trcl operators are outside the FO3 -> TriAL translation")
+            }
+            Fo3Error::SimWithConstant(c) => {
+                write!(f, "~ atom with constant argument `{c}` is not supported")
+            }
+            Fo3Error::DuplicateAnswerVariable(v) => {
+                write!(f, "answer variable `{v}` is repeated")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fo3Error {}
+
+/// Result alias for the translation.
+pub type Result<T> = std::result::Result<T, Fo3Error>;
+
+const SLOT_POS: [Pos; 3] = [Pos::L1, Pos::L2, Pos::L3];
+const PAD_POS: [Pos; 3] = [Pos::R1, Pos::R2, Pos::R3];
+
+/// Index of a variable among the answer variables.
+fn slot_of(vars: &[&str; 3], name: &str) -> Result<usize> {
+    vars.iter()
+        .position(|v| *v == name)
+        .ok_or_else(|| Fo3Error::TooManyVariables(name.to_string()))
+}
+
+/// Translates an FO³ formula (over the answer variables `vars`) into a TriAL
+/// expression following Theorem 4, part 2.
+///
+/// The expression evaluates (with `trial-eval`) to exactly the triple set
+/// that [`crate::eval::answers3`]`(store, formula, vars)` computes, for every
+/// triplestore. The construction uses only equalities in its join and
+/// selection conditions, so the image is inside TriAL⁼ whenever the formula
+/// itself has no negated equalities hidden under an odd number of negations —
+/// in general it is plain TriAL (Theorem 5 discusses the equality-only case).
+pub fn fo3_to_trial(formula: &Formula, vars: [&str; 3]) -> Result<Expr> {
+    if vars[0] == vars[1] || vars[0] == vars[2] || vars[1] == vars[2] {
+        let dup = if vars[0] == vars[1] { vars[1] } else { vars[2] };
+        return Err(Fo3Error::DuplicateAnswerVariable(dup.to_string()));
+    }
+    translate(formula, &vars)
+}
+
+fn translate(formula: &Formula, vars: &[&str; 3]) -> Result<Expr> {
+    match formula {
+        Formula::True => Ok(Expr::Universe),
+        Formula::False => Ok(Expr::Empty),
+        Formula::Rel { rel, args } => atom_to_expr(rel, args, vars),
+        Formula::Eq(a, b) => equality_to_expr(a, b, vars, /*data=*/ false),
+        Formula::Sim(a, b) => equality_to_expr(a, b, vars, /*data=*/ true),
+        Formula::Not(inner) => Ok(translate(inner, vars)?.complement()),
+        Formula::And(a, b) => Ok(translate(a, vars)?.intersect(translate(b, vars)?)),
+        Formula::Or(a, b) => Ok(translate(a, vars)?.union(translate(b, vars)?)),
+        Formula::Exists(v, body) => {
+            let slot = slot_of(vars, v)?;
+            let inner = translate(body, vars)?;
+            Ok(project_out(inner, slot))
+        }
+        Formula::Forall(v, body) => {
+            // ∀v φ ≡ ¬∃v ¬φ.
+            let slot = slot_of(vars, v)?;
+            let inner = translate(body, vars)?.complement();
+            Ok(project_out(inner, slot).complement())
+        }
+        Formula::Trcl { .. } => Err(Fo3Error::TransitiveClosureUnsupported),
+    }
+}
+
+/// Replaces slot `slot` of the result by an unconstrained active-domain
+/// object: `e ✶^{…}_{} U` keeping the other two slots from `e` and taking
+/// slot `slot` from `U`. This is exactly how the proof of Theorem 4 handles
+/// `∃x_i φ` without a projection operator.
+fn project_out(expr: Expr, slot: usize) -> Expr {
+    let mut spec = [Pos::L1, Pos::L2, Pos::L3];
+    spec[slot] = PAD_POS[slot];
+    expr.join(
+        Expr::Universe,
+        output(spec[0], spec[1], spec[2]),
+        Conditions::new(),
+    )
+}
+
+/// Translates a relation atom `E(t1, t2, t3)`.
+fn atom_to_expr(rel: &str, args: &[Term; 3], vars: &[&str; 3]) -> Result<Expr> {
+    // Selection conditions on the base relation: constants pin positions,
+    // repeated variables force equality between positions.
+    let mut cond = Conditions::new();
+    // first_occurrence[m] = base position (0..3) where answer variable m
+    // first appears in the atom, if it appears at all.
+    let mut first_occurrence: [Option<usize>; 3] = [None; 3];
+    for (base_pos, term) in args.iter().enumerate() {
+        match term {
+            Term::Const(name) => {
+                cond = cond.obj_eq_const(SLOT_POS[base_pos], name.clone());
+            }
+            Term::Var(v) => {
+                let m = slot_of(vars, v)?;
+                match first_occurrence[m] {
+                    None => first_occurrence[m] = Some(base_pos),
+                    Some(first) => {
+                        cond = cond.obj_eq(SLOT_POS[first], SLOT_POS[base_pos]);
+                    }
+                }
+            }
+        }
+    }
+    let base = if cond.is_empty() {
+        Expr::rel(rel)
+    } else {
+        Expr::rel(rel).select(cond)
+    };
+    // Arrange the output: slot m comes from the base position where the
+    // variable occurs, or from the universal relation if it does not occur.
+    let mut spec = [Pos::R1, Pos::R2, Pos::R3];
+    let mut any_missing = false;
+    for m in 0..3 {
+        match first_occurrence[m] {
+            Some(base_pos) => spec[m] = SLOT_POS[base_pos],
+            None => {
+                spec[m] = PAD_POS[m];
+                any_missing = true;
+            }
+        }
+    }
+    if any_missing || spec != [Pos::L1, Pos::L2, Pos::L3] {
+        Ok(base.join(
+            Expr::Universe,
+            output(spec[0], spec[1], spec[2]),
+            Conditions::new(),
+        ))
+    } else {
+        Ok(base)
+    }
+}
+
+/// Translates `t1 = t2` (or `∼(t1, t2)` when `data` is true).
+fn equality_to_expr(a: &Term, b: &Term, vars: &[&str; 3], data: bool) -> Result<Expr> {
+    match (a, b) {
+        (Term::Var(va), Term::Var(vb)) => {
+            let sa = slot_of(vars, va)?;
+            let sb = slot_of(vars, vb)?;
+            if sa == sb && !data {
+                return Ok(Expr::Universe);
+            }
+            if sa == sb && data {
+                // ρ(x) = ρ(x) is always true.
+                return Ok(Expr::Universe);
+            }
+            let cond = if data {
+                Conditions::new().data_eq(SLOT_POS[sa], SLOT_POS[sb])
+            } else {
+                Conditions::new().obj_eq(SLOT_POS[sa], SLOT_POS[sb])
+            };
+            Ok(Expr::Universe.select(cond))
+        }
+        (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+            if data {
+                return Err(Fo3Error::SimWithConstant(c.clone()));
+            }
+            let slot = slot_of(vars, v)?;
+            Ok(Expr::Universe.select(Conditions::new().obj_eq_const(SLOT_POS[slot], c.clone())))
+        }
+        (Term::Const(c1), Term::Const(c2)) => {
+            if data {
+                return Err(Fo3Error::SimWithConstant(c1.clone()));
+            }
+            // Distinct object names denote distinct objects.
+            if c1 == c2 {
+                Ok(Expr::Universe)
+            } else {
+                Ok(Expr::Empty)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::answers3;
+    use trial_core::{Triplestore, TriplestoreBuilder};
+    use trial_eval::evaluate;
+    use trial_workloads::transport::figure1_store;
+
+    const VARS: [&str; 3] = ["x", "y", "z"];
+
+    fn check_equivalent(formula: &Formula, store: &Triplestore) {
+        let expr = fo3_to_trial(formula, VARS).expect("translation succeeds");
+        let algebra = evaluate(&expr, store).expect("algebra evaluation").result;
+        let logic = answers3(store, formula, VARS).expect("logic evaluation");
+        assert!(
+            algebra.set_eq(&logic),
+            "FO3 translation disagrees for {formula}:\n algebra {:?}\n logic   {:?}",
+            store.display_triples(&algebra),
+            store.display_triples(&logic)
+        );
+    }
+
+    fn small_store() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "b", "c");
+        b.add_triple("E", "c", "b", "a");
+        b.add_triple("E", "a", "a", "a");
+        b.finish()
+    }
+
+    #[test]
+    fn relation_atom_in_answer_order() {
+        let store = small_store();
+        check_equivalent(&Formula::rel_vars("E", "x", "y", "z"), &store);
+    }
+
+    #[test]
+    fn relation_atom_with_permuted_variables() {
+        let store = small_store();
+        check_equivalent(&Formula::rel_vars("E", "z", "x", "y"), &store);
+        check_equivalent(&Formula::rel_vars("E", "y", "z", "x"), &store);
+    }
+
+    #[test]
+    fn relation_atom_with_repeated_variables_and_constants() {
+        let store = small_store();
+        check_equivalent(&Formula::rel_vars("E", "x", "x", "z"), &store);
+        check_equivalent(&Formula::rel_vars("E", "x", "x", "x"), &store);
+        check_equivalent(
+            &Formula::rel(
+                "E",
+                Term::var("x"),
+                Term::constant("b"),
+                Term::var("z"),
+            ),
+            &store,
+        );
+    }
+
+    #[test]
+    fn equalities_and_boolean_connectives() {
+        let store = small_store();
+        check_equivalent(&Formula::eq_vars("x", "y"), &store);
+        check_equivalent(
+            &Formula::Eq(Term::var("x"), Term::constant("a")),
+            &store,
+        );
+        check_equivalent(
+            &Formula::rel_vars("E", "x", "y", "z").and(Formula::eq_vars("x", "z").not()),
+            &store,
+        );
+        check_equivalent(
+            &Formula::rel_vars("E", "x", "y", "z").or(Formula::rel_vars("E", "z", "y", "x")),
+            &store,
+        );
+    }
+
+    #[test]
+    fn quantifiers_translate_to_universe_joins() {
+        let store = figure1_store();
+        // ∃y E(x, y, z): "x connected to z by some service".
+        let f = Formula::exists("y", Formula::rel_vars("E", "x", "y", "z"));
+        check_equivalent(&f, &store);
+        // ∃y∃z E(x, y, z): "x has an outgoing triple".
+        let g = Formula::exists_many(["y", "z"], Formula::rel_vars("E", "x", "y", "z"));
+        check_equivalent(&g, &store);
+        // ∀x ∃y∃z E(x,y,z) as a "sentence" padded to three slots.
+        let h = Formula::forall(
+            "x",
+            Formula::exists_many(["y", "z"], Formula::rel_vars("E", "x", "y", "z")),
+        );
+        check_equivalent(&h, &store);
+    }
+
+    #[test]
+    fn sim_atoms_translate_to_data_equalities() {
+        let mut b = TriplestoreBuilder::new();
+        let a = b.object_with_value("a", 1i64);
+        let c = b.object_with_value("c", 1i64);
+        let d = b.object_with_value("d", 2i64);
+        b.add_triple_ids("E", a, c, d);
+        b.add_triple_ids("E", d, c, a);
+        let store = b.finish();
+        check_equivalent(&Formula::sim_vars("x", "y"), &store);
+        check_equivalent(
+            &Formula::rel_vars("E", "x", "y", "z").and(Formula::sim_vars("x", "z").not()),
+            &store,
+        );
+    }
+
+    #[test]
+    fn variable_reuse_via_requantification_stays_in_fo3() {
+        let store = figure1_store();
+        // ∃y (E(x,y,z) ∧ ∃x E(y,x,z)) — re-quantifies x, still FO3.
+        let f = Formula::exists(
+            "y",
+            Formula::rel_vars("E", "x", "y", "z")
+                .and(Formula::exists("x", Formula::rel_vars("E", "y", "x", "z"))),
+        );
+        assert_eq!(f.width(), 3);
+        check_equivalent(&f, &store);
+    }
+
+    #[test]
+    fn fourth_variable_is_rejected() {
+        let f = Formula::exists("w", Formula::rel_vars("E", "x", "y", "w"));
+        assert!(matches!(
+            fo3_to_trial(&f, VARS),
+            Err(Fo3Error::TooManyVariables(_))
+        ));
+    }
+
+    #[test]
+    fn trcl_is_rejected() {
+        let f = Formula::Trcl {
+            xs: vec!["x".into()],
+            ys: vec!["y".into()],
+            phi: Box::new(Formula::True),
+            from: vec![Term::var("x")],
+            to: vec![Term::var("y")],
+        };
+        assert!(matches!(
+            fo3_to_trial(&f, VARS),
+            Err(Fo3Error::TransitiveClosureUnsupported)
+        ));
+    }
+
+    #[test]
+    fn duplicate_answer_variables_are_rejected() {
+        assert!(matches!(
+            fo3_to_trial(&Formula::True, ["x", "x", "z"]),
+            Err(Fo3Error::DuplicateAnswerVariable(_))
+        ));
+    }
+
+    #[test]
+    fn constant_equalities_fold_to_universe_or_empty() {
+        let store = small_store();
+        check_equivalent(
+            &Formula::Eq(Term::constant("a"), Term::constant("a")),
+            &store,
+        );
+        check_equivalent(
+            &Formula::Eq(Term::constant("a"), Term::constant("b")),
+            &store,
+        );
+    }
+
+    #[test]
+    fn image_of_translation_is_equality_only_for_positive_formulas() {
+        // Theorem 5: the construction introduces no inequalities.
+        let f = Formula::exists(
+            "y",
+            Formula::rel_vars("E", "x", "y", "z").and(Formula::sim_vars("x", "z")),
+        );
+        let expr = fo3_to_trial(&f, VARS).unwrap();
+        let report = trial_core::fragment::analyze(&expr);
+        assert!(
+            report.fragment().equalities_only(),
+            "expected a TriAL= expression, got {:?}",
+            report.fragment()
+        );
+    }
+}

@@ -1,0 +1,594 @@
+//! The TriAL → FO / TriAL\* → TrCl translations of Theorems 4 and 6.
+//!
+//! Theorem 4 (part 1) shows that every TriAL expression is expressible in
+//! FO⁶: a join `e1 ✶^{i,j,k}_{θ,η} e2` becomes
+//! `∃ x_u ∃ x_v ∃ x_w (φ_{e1}(x_1,x_2,x_3) ∧ φ_{e2}(x_{1'},x_{2'},x_{3'}) ∧ α(θ) ∧ β(η))`
+//! where only six variable names are ever needed because the three
+//! non-output positions can always reuse names from a fixed pool of six.
+//! Theorem 6 extends the translation to TriAL\* by mapping Kleene closures to
+//! the `trcl` operator of transitive-closure logic.
+//!
+//! [`trial_to_fo`] implements exactly that construction. For plain (star-free)
+//! TriAL expressions the produced formula provably uses at most six variable
+//! names — the test-suite asserts `width() ≤ 6`, matching the theorem. For
+//! Kleene closures we generate a semantically faithful `trcl` formula over
+//! triples of variables; it introduces fresh names for the closure tuples
+//! (the paper's Theorem 6 shows the count can be kept at six with a more
+//! intricate per-output-spec construction, which we do not replicate — the
+//! translation here is checked for *semantic* equivalence instead).
+
+use crate::fo::{Formula, Term};
+use std::fmt;
+use trial_core::{
+    Cmp, Conditions, DataOperand, Expr, ObjOperand, OutputSpec, Pos, StarDirection,
+};
+
+/// Errors raised by the TriAL → FO translation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToFoError {
+    /// The expression compares a data value against a data-value *constant*.
+    ///
+    /// The paper's relational vocabulary `⟨E1, …, En, ∼⟩` is deliberately
+    /// one-sorted (see the remark after Lemma 5), so data-value constants
+    /// have no counterpart on the logic side; the paper notes the results
+    /// extend to them but does not carry them through the translations, and
+    /// neither do we.
+    DataConstantUnsupported(String),
+}
+
+impl fmt::Display for ToFoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ToFoError::DataConstantUnsupported(atom) => write!(
+                f,
+                "data-value constant comparison `{atom}` has no counterpart in the one-sorted \
+                 vocabulary ⟨E1,…,En,∼⟩"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ToFoError {}
+
+/// The result of translating a TriAL\* expression into logic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TranslationReport {
+    /// The produced formula; its free variables are exactly
+    /// [`answer_vars`](Self::answer_vars).
+    pub formula: Formula,
+    /// The three free variables, in output order `(1, 2, 3)`.
+    pub answer_vars: [String; 3],
+    /// Number of distinct variable names used by the formula.
+    pub width: usize,
+    /// `true` if the translation needed the `trcl` operator (i.e. the input
+    /// was a TriAL\* expression with at least one Kleene closure).
+    pub uses_trcl: bool,
+}
+
+/// The six-name pool of Theorem 4: `v0, …, v5`.
+const POOL: [&str; 6] = ["v0", "v1", "v2", "v3", "v4", "v5"];
+
+struct Translator {
+    fresh_counter: usize,
+}
+
+impl Translator {
+    fn new() -> Self {
+        Translator { fresh_counter: 0 }
+    }
+
+    fn fresh(&mut self) -> String {
+        let name = format!("w{}", self.fresh_counter);
+        self.fresh_counter += 1;
+        name
+    }
+
+    /// Picks `count` names from the six-name pool that differ from everything
+    /// in `used`.
+    fn spares(&self, used: &[&str], count: usize) -> Vec<String> {
+        POOL.iter()
+            .filter(|p| !used.contains(p))
+            .take(count)
+            .map(|p| (*p).to_string())
+            .collect()
+    }
+
+    /// Maps each of the six join positions to a variable name, honouring the
+    /// requested output names. Returns the per-position names (indexed
+    /// `[L1, L2, L3, R1, R2, R3]`), the names to quantify away, and equality
+    /// conjuncts needed when the output spec repeats a position.
+    fn assign_positions(
+        &mut self,
+        output: &OutputSpec,
+        out: &[String; 3],
+    ) -> ([String; 6], Vec<String>, Vec<Formula>) {
+        let mut names: [Option<String>; 6] = Default::default();
+        let mut extra_eqs = Vec::new();
+        for slot in 0..3 {
+            let pos = output.get(slot);
+            let idx = position_index(pos);
+            match &names[idx] {
+                None => names[idx] = Some(out[slot].clone()),
+                Some(existing) => extra_eqs.push(Formula::Eq(
+                    Term::var(out[slot].clone()),
+                    Term::var(existing.clone()),
+                )),
+            }
+        }
+        // Only names already assigned to positions are off-limits for the
+        // spare pool. An output name that merely duplicates a position (and
+        // is therefore constrained by an equality *outside* the quantifier
+        // block) may be re-used as a bound position name — re-quantification
+        // is exactly how FO^k keeps the variable count at six (Theorem 4).
+        let used: Vec<&str> = names.iter().flatten().map(String::as_str).collect();
+        let needed = names.iter().filter(|n| n.is_none()).count();
+        let mut spare = self.spares(&used, needed);
+        // The pool always has enough spares for star-free expressions; if the
+        // caller passed fresh (non-pool) output names we may need extras.
+        while spare.len() < needed {
+            spare.push(self.fresh());
+        }
+        let mut spare_iter = spare.into_iter();
+        let mut quantified = Vec::new();
+        for slot in names.iter_mut() {
+            if slot.is_none() {
+                let name = spare_iter.next().expect("enough spare names");
+                quantified.push(name.clone());
+                *slot = Some(name);
+            }
+        }
+        let names: [String; 6] = names.map(|n| n.expect("all positions named"));
+        (names, quantified, extra_eqs)
+    }
+
+    /// Translates the θ/η conditions into a conjunction over the per-position
+    /// variable names.
+    fn conditions(
+        &self,
+        cond: &Conditions,
+        names: &[String; 6],
+    ) -> Result<Vec<Formula>, ToFoError> {
+        let mut atoms = Vec::new();
+        for atom in &cond.theta {
+            let lhs = Term::var(names[position_index(atom.lhs)].clone());
+            let rhs = match &atom.rhs {
+                ObjOperand::Pos(p) => Term::var(names[position_index(*p)].clone()),
+                ObjOperand::Const(name) => Term::constant(name.clone()),
+            };
+            let eq = Formula::Eq(lhs, rhs);
+            atoms.push(match atom.cmp {
+                Cmp::Eq => eq,
+                Cmp::Neq => eq.not(),
+            });
+        }
+        for atom in &cond.eta {
+            let lhs = Term::var(names[position_index(atom.lhs)].clone());
+            let rhs = match &atom.rhs {
+                DataOperand::Pos(p) => Term::var(names[position_index(*p)].clone()),
+                DataOperand::Const(_) => {
+                    return Err(ToFoError::DataConstantUnsupported(atom.to_string()))
+                }
+            };
+            let sim = Formula::Sim(lhs, rhs);
+            atoms.push(match atom.cmp {
+                Cmp::Eq => sim,
+                Cmp::Neq => sim.not(),
+            });
+        }
+        Ok(atoms)
+    }
+
+    /// Translates `expr` into a formula whose free variables are exactly the
+    /// three (distinct) names in `out`, bound to output positions 1, 2, 3.
+    fn translate(&mut self, expr: &Expr, out: &[String; 3]) -> Result<Formula, ToFoError> {
+        match expr {
+            Expr::Rel(name) => Ok(Formula::rel(
+                name.clone(),
+                Term::var(out[0].clone()),
+                Term::var(out[1].clone()),
+                Term::var(out[2].clone()),
+            )),
+            // Under active-domain semantics the universal relation `U` is the
+            // set of all triples over the active domain — i.e. "true".
+            Expr::Universe => Ok(Formula::True),
+            Expr::Empty => Ok(Formula::False),
+            Expr::Select { input, cond } => {
+                let inner = self.translate(input, out)?;
+                // Selections only mention unprimed positions; map L1..L3 to
+                // the output names and leave R1..R3 pointing at placeholders
+                // that can never be referenced.
+                let names: [String; 6] = [
+                    out[0].clone(),
+                    out[1].clone(),
+                    out[2].clone(),
+                    out[0].clone(),
+                    out[1].clone(),
+                    out[2].clone(),
+                ];
+                let atoms = self.conditions(cond, &names)?;
+                Ok(Formula::and_all(std::iter::once(inner).chain(atoms)))
+            }
+            Expr::Union(a, b) => Ok(self.translate(a, out)?.or(self.translate(b, out)?)),
+            Expr::Diff(a, b) => Ok(self
+                .translate(a, out)?
+                .and(self.translate(b, out)?.not())),
+            Expr::Intersect(a, b) => Ok(self.translate(a, out)?.and(self.translate(b, out)?)),
+            Expr::Complement(a) => Ok(self.translate(a, out)?.not()),
+            Expr::Join {
+                left,
+                right,
+                output,
+                cond,
+            } => {
+                let (names, quantified, extra_eqs) = self.assign_positions(output, out);
+                let left_out: [String; 3] =
+                    [names[0].clone(), names[1].clone(), names[2].clone()];
+                let right_out: [String; 3] =
+                    [names[3].clone(), names[4].clone(), names[5].clone()];
+                let left_f = self.translate(left, &left_out)?;
+                let right_f = self.translate(right, &right_out)?;
+                let cond_atoms = self.conditions(cond, &names)?;
+                let body = Formula::and_all([left_f, right_f].into_iter().chain(cond_atoms));
+                // Equalities forced by a repeated output position refer to the
+                // *free* output variables, so they live outside the quantifier
+                // block (any re-use of their names inside is a fresh,
+                // shadowing quantification).
+                Ok(Formula::and_all(
+                    std::iter::once(Formula::exists_many(quantified, body)).chain(extra_eqs),
+                ))
+            }
+            Expr::Star {
+                input,
+                output,
+                cond,
+                direction,
+            } => {
+                // (e ✶)^*: out is reachable from some starting triple of e by
+                // repeatedly joining with (another) triple of e.
+                let start: [String; 3] =
+                    [self.fresh(), self.fresh(), self.fresh()];
+                let xs: [String; 3] = [self.fresh(), self.fresh(), self.fresh()];
+                let ys: [String; 3] = [self.fresh(), self.fresh(), self.fresh()];
+                let step_mate: [String; 3] = [self.fresh(), self.fresh(), self.fresh()];
+
+                // Per-position names of the step join: the accumulated triple
+                // plays the left role for a right closure and the right role
+                // for a left closure.
+                let names: [String; 6] = match direction {
+                    StarDirection::Right => [
+                        xs[0].clone(),
+                        xs[1].clone(),
+                        xs[2].clone(),
+                        step_mate[0].clone(),
+                        step_mate[1].clone(),
+                        step_mate[2].clone(),
+                    ],
+                    StarDirection::Left => [
+                        step_mate[0].clone(),
+                        step_mate[1].clone(),
+                        step_mate[2].clone(),
+                        xs[0].clone(),
+                        xs[1].clone(),
+                        xs[2].clone(),
+                    ],
+                };
+                let mate_f = self.translate(input, &step_mate)?;
+                let cond_atoms = self.conditions(cond, &names)?;
+                let out_eqs = (0..3).map(|slot| {
+                    Formula::Eq(
+                        Term::var(ys[slot].clone()),
+                        Term::var(names[position_index(output.get(slot))].clone()),
+                    )
+                });
+                let step = Formula::exists_many(
+                    step_mate.clone(),
+                    Formula::and_all(
+                        std::iter::once(mate_f).chain(cond_atoms).chain(out_eqs),
+                    ),
+                );
+
+                let base = self.translate(input, &start)?;
+                let closure = Formula::Trcl {
+                    xs: xs.to_vec(),
+                    ys: ys.to_vec(),
+                    phi: Box::new(step),
+                    from: start.iter().cloned().map(Term::Var).collect(),
+                    to: out.iter().cloned().map(Term::Var).collect(),
+                };
+                Ok(Formula::exists_many(start, base.and(closure)))
+            }
+        }
+    }
+}
+
+fn position_index(pos: Pos) -> usize {
+    match pos {
+        Pos::L1 => 0,
+        Pos::L2 => 1,
+        Pos::L3 => 2,
+        Pos::R1 => 3,
+        Pos::R2 => 4,
+        Pos::R3 => 5,
+    }
+}
+
+/// Translates a TriAL\* expression into an FO / TrCl formula over the
+/// vocabulary `⟨E1, …, En, ∼⟩`, following the constructions of Theorems 4
+/// and 6.
+///
+/// The produced formula has exactly three free variables (returned in
+/// [`TranslationReport::answer_vars`]), and
+/// [`answers3`](crate::eval::answers3) over those variables computes the same
+/// set of triples as evaluating the expression with `trial-eval` — the
+/// test-suite checks this on the paper's examples and on random stores.
+pub fn trial_to_fo(expr: &Expr) -> Result<TranslationReport, ToFoError> {
+    let mut tr = Translator::new();
+    let out: [String; 3] = [POOL[0].to_string(), POOL[1].to_string(), POOL[2].to_string()];
+    let formula = tr.translate(expr, &out)?;
+    let width = formula.width();
+    let uses_trcl = !formula.is_first_order();
+    Ok(TranslationReport {
+        formula,
+        answer_vars: out,
+        width,
+        uses_trcl,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{answers3, satisfies, Assignment};
+    use trial_core::builder::queries;
+    use trial_core::{output, Triple, Triplestore, TriplestoreBuilder};
+    use trial_eval::evaluate;
+
+    /// Figure 1 of the paper (7 triples, 11 objects) — used only for
+    /// quantifier-free translations, where exhaustive FO evaluation is cheap.
+    fn figure1() -> Triplestore {
+        trial_workloads::transport::figure1_store()
+    }
+
+    /// A smaller transport-style store (8 objects) for translations that
+    /// introduce existential quantifiers: the FO evaluator is exhaustive, so
+    /// we keep the active domain small.
+    fn mini_transport() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        for (s, p, o) in [
+            ("StAndrews", "BusOp1", "Edinburgh"),
+            ("Edinburgh", "TrainOp1", "London"),
+            ("BusOp1", "part_of", "NatExpress"),
+            ("TrainOp1", "part_of", "EastCoast"),
+        ] {
+            b.add_triple("E", s, p, o);
+        }
+        b.finish()
+    }
+
+    fn example3_store() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "b", "c");
+        b.add_triple("E", "c", "d", "e");
+        b.add_triple("E", "d", "e", "f");
+        b.finish()
+    }
+
+    /// Full equivalence by enumeration: only for stores/formulas where the
+    /// exhaustive FO evaluation stays small (no `trcl`, small domain).
+    fn check_equivalent(expr: &Expr, store: &Triplestore) {
+        let report = trial_to_fo(expr).expect("translation succeeds");
+        let [x, y, z] = &report.answer_vars;
+        let logic = answers3(store, &report.formula, [x, y, z]).expect("evaluation succeeds");
+        let algebra = evaluate(expr, store).expect("algebra evaluation succeeds").result;
+        assert!(
+            logic.set_eq(&algebra),
+            "translated formula disagrees with the algebra for {expr}:\n logic   {:?}\n algebra {:?}",
+            store.display_triples(&logic),
+            store.display_triples(&algebra)
+        );
+    }
+
+    /// Membership-based equivalence check, used for Kleene closures where
+    /// enumerating all of `adom³` through the `trcl` evaluator would be
+    /// needlessly slow: every triple of the algebra result must satisfy the
+    /// formula, and a sample of non-members must falsify it.
+    fn check_members(expr: &Expr, store: &Triplestore, non_member_samples: usize) {
+        let report = trial_to_fo(expr).expect("translation succeeds");
+        let [x, y, z] = &report.answer_vars;
+        let algebra = evaluate(expr, store).expect("algebra evaluation succeeds").result;
+        let mut asg = Assignment::new();
+        let mut assert_membership = |t: &Triple, expected: bool| {
+            asg.set(x, t.s());
+            asg.set(y, t.p());
+            asg.set(z, t.o());
+            let holds = satisfies(store, &report.formula, &mut asg).expect("evaluation succeeds");
+            assert_eq!(
+                holds,
+                expected,
+                "formula and algebra disagree on {} for {expr}",
+                store.display_triple(t)
+            );
+        };
+        for t in algebra.iter().take(12) {
+            assert_membership(t, true);
+        }
+        let adom = store.active_domain();
+        let mut checked = 0usize;
+        'outer: for &a in &adom {
+            for &b in &adom {
+                for &c in &adom {
+                    let t = Triple::new(a, b, c);
+                    if !algebra.contains(&t) {
+                        assert_membership(&t, false);
+                        checked += 1;
+                        if checked >= non_member_samples {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example2_translates_and_agrees() {
+        let store = mini_transport();
+        let expr = queries::example2("E");
+        let report = trial_to_fo(&expr).unwrap();
+        assert!(report.width <= 6, "width {} exceeds FO6", report.width);
+        assert!(!report.uses_trcl);
+        check_equivalent(&expr, &store);
+    }
+
+    #[test]
+    fn star_free_fragment_stays_within_six_variables() {
+        // A deliberately deep star-free expression: nested joins, selections,
+        // set operations and a complement.
+        let e = queries::example2("E")
+            .join(
+                Expr::rel("E").select(Conditions::new().obj_eq_const(Pos::L2, "part_of")),
+                output(Pos::L1, Pos::R2, Pos::L3),
+                Conditions::new().obj_eq(Pos::L3, Pos::R1).data_eq(Pos::L1, Pos::R3),
+            )
+            .union(Expr::rel("E").complement().intersect(Expr::Universe))
+            .minus(Expr::rel("E"));
+        let report = trial_to_fo(&e).unwrap();
+        assert!(report.formula.is_first_order());
+        assert!(
+            report.width <= 6,
+            "Theorem 4: star-free TriAL must fit in FO6, got width {}",
+            report.width
+        );
+    }
+
+    #[test]
+    fn set_operations_translate_and_agree() {
+        let store = figure1();
+        let part_of_triples =
+            Expr::rel("E").select(Conditions::new().obj_eq_const(Pos::L2, "part_of"));
+        check_equivalent(&part_of_triples, &store);
+        check_equivalent(&Expr::rel("E").minus(part_of_triples.clone()), &store);
+        check_equivalent(&part_of_triples.clone().complement(), &store);
+        check_equivalent(
+            &Expr::rel("E").intersect(part_of_triples.clone()).union(Expr::Empty),
+            &store,
+        );
+    }
+
+    #[test]
+    fn universe_and_empty_translate() {
+        let store = figure1();
+        check_equivalent(&Expr::Universe, &store);
+        check_equivalent(&Expr::Empty, &store);
+    }
+
+    #[test]
+    fn inequality_joins_translate_and_agree() {
+        let store = example3_store();
+        let e = Expr::rel("E").join(
+            Expr::rel("E"),
+            output(Pos::L1, Pos::R2, Pos::R3),
+            Conditions::new().obj_neq(Pos::L1, Pos::R1).obj_neq(Pos::L3, Pos::R3),
+        );
+        check_equivalent(&e, &store);
+    }
+
+    #[test]
+    fn at_least_four_objects_query_translates() {
+        let expr = queries::at_least_four_objects();
+        let report = trial_to_fo(&expr).unwrap();
+        assert!(report.width <= 6);
+        // Non-empty exactly on stores with ≥ 4 distinct objects.
+        check_equivalent(&expr, &crate::structures::full_store(3));
+        check_equivalent(&expr, &crate::structures::full_store(4));
+    }
+
+    #[test]
+    fn reachability_star_translates_to_trcl_and_agrees() {
+        // A small chain so the exhaustive trcl evaluation stays cheap.
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "r", "b");
+        b.add_triple("E", "b", "r", "c");
+        b.add_triple("E", "c", "r", "d");
+        let store = b.finish();
+        let reach = queries::reach_forward("E");
+        let report = trial_to_fo(&reach).unwrap();
+        assert!(report.uses_trcl);
+        check_members(&reach, &store, 6);
+        // Reach⇓ exercises the *left* closure.
+        check_members(&queries::reach_down("E"), &store, 4);
+    }
+
+    #[test]
+    fn left_and_right_closures_translate_differently_example3() {
+        // Example 3: E = {(a,b,c), (c,d,e), (d,e,f)} distinguishes the left
+        // and the right closure of the same join.
+        let store = example3_store();
+        let right = Expr::rel("E").right_star(
+            output(Pos::L1, Pos::L2, Pos::R2),
+            Conditions::new().obj_eq(Pos::L3, Pos::R1),
+        );
+        let left = Expr::rel("E").left_star(
+            output(Pos::L1, Pos::L2, Pos::R2),
+            Conditions::new().obj_eq(Pos::L3, Pos::R1),
+        );
+        // The two results genuinely differ on this store (the point of
+        // Example 3), and the translations agree with the algebra on the
+        // differing triples.
+        let r = evaluate(&right, &store).unwrap().result;
+        let l = evaluate(&left, &store).unwrap().result;
+        assert!(!r.set_eq(&l));
+        check_members(&right, &store, 3);
+        check_members(&left, &store, 3);
+    }
+
+    #[test]
+    fn same_company_query_q_translates_structurally() {
+        // The nested-star query Q translates to a TrCl formula whose step
+        // formula itself contains a trcl; we check the structure here (its
+        // semantics is exercised on the algebra side throughout the suite,
+        // and simple stars are checked for semantic agreement above).
+        let q = queries::same_company_reachability("E");
+        let report = trial_to_fo(&q).unwrap();
+        assert!(report.uses_trcl);
+        let frees: Vec<String> = report.formula.free_variables().into_iter().collect();
+        let mut expected: Vec<String> = report.answer_vars.to_vec();
+        expected.sort();
+        assert_eq!(frees, expected);
+        // Two nested closures → three trcl operators: the outer closure mentions
+        // the inner one twice (starting triple and step formula).
+        let trcl_count = report
+            .formula
+            .subformulas()
+            .iter()
+            .filter(|f| matches!(f, Formula::Trcl { .. }))
+            .count();
+        assert_eq!(trcl_count, 3);
+    }
+
+    #[test]
+    fn data_value_constants_are_rejected() {
+        let e = Expr::rel("E").join(
+            Expr::rel("E"),
+            output(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new().data_eq_const(Pos::L1, 42i64),
+        );
+        assert!(matches!(
+            trial_to_fo(&e),
+            Err(ToFoError::DataConstantUnsupported(_))
+        ));
+    }
+
+    #[test]
+    fn repeated_output_positions_add_equalities() {
+        let store = example3_store();
+        // output (1,1,3) repeats position 1: the translation must force the
+        // first two output variables to be equal.
+        let e = Expr::rel("E").join(
+            Expr::rel("E"),
+            output(Pos::L1, Pos::L1, Pos::L3),
+            Conditions::new().obj_eq(Pos::L2, Pos::R1),
+        );
+        check_equivalent(&e, &store);
+    }
+}

@@ -1,0 +1,322 @@
+//! Tokeniser for the TriAL expression syntax.
+
+use trial_core::{Error, Result};
+
+/// A lexical token with its byte offset in the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// The kinds of tokens produced by the lexer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`E`, `UNION`, `rho`, `null`, …).
+    Ident(String),
+    /// An integer literal (used for positions and integer data values).
+    Int(i64),
+    /// A double-quoted string literal (a string data value).
+    Str(String),
+    /// A single-quoted object constant (`'Edinburgh'`).
+    ObjConst(String),
+    /// `'` — the prime marker of positions `1'`, `2'`, `3'`.
+    Prime,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `|`
+    Pipe,
+    /// `=`
+    Eq,
+    /// `!=`
+    Neq,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Int(i) => write!(f, "integer `{i}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::ObjConst(s) => write!(f, "object constant '{s}'"),
+            TokenKind::Prime => write!(f, "'"),
+            TokenKind::LParen => write!(f, "("),
+            TokenKind::RParen => write!(f, ")"),
+            TokenKind::LBracket => write!(f, "["),
+            TokenKind::RBracket => write!(f, "]"),
+            TokenKind::Comma => write!(f, ","),
+            TokenKind::Pipe => write!(f, "|"),
+            TokenKind::Eq => write!(f, "="),
+            TokenKind::Neq => write!(f, "!="),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '.' || c == ':' || c == '/' || c == '#' || c == '-'
+}
+
+/// Tokenises an input string.
+///
+/// Single-quoted runs are lexed as object constants. A bare apostrophe that
+/// immediately follows a digit (as in `3'`) is the prime marker; the lexer
+/// distinguishes the two by whether a closing quote appears before any
+/// whitespace/punctuation that would be illegal inside an object name.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let chars: Vec<char> = input.chars().collect();
+    let mut byte_offsets: Vec<usize> = Vec::with_capacity(chars.len() + 1);
+    {
+        let mut off = 0;
+        for c in &chars {
+            byte_offsets.push(off);
+            off += c.len_utf8();
+        }
+        byte_offsets.push(off);
+    }
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let n = chars.len();
+    let mut prev_was_digit = false;
+    while i < n {
+        let c = chars[i];
+        let offset = byte_offsets[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+                prev_was_digit = false;
+                continue;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, offset });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, offset });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, offset });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, offset });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, offset });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token { kind: TokenKind::Pipe, offset });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, offset });
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < n && chars[i + 1] == '=' {
+                    tokens.push(Token { kind: TokenKind::Neq, offset });
+                    i += 2;
+                } else {
+                    return Err(Error::Parse {
+                        message: "expected `=` after `!`".into(),
+                        offset,
+                    });
+                }
+            }
+            '"' => {
+                let mut s = String::new();
+                let mut j = i + 1;
+                while j < n && chars[j] != '"' {
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if j >= n {
+                    return Err(Error::Parse {
+                        message: "unterminated string literal".into(),
+                        offset,
+                    });
+                }
+                tokens.push(Token { kind: TokenKind::Str(s), offset });
+                i = j + 1;
+            }
+            '\'' => {
+                if prev_was_digit {
+                    // Prime marker of a position like 3'.
+                    tokens.push(Token { kind: TokenKind::Prime, offset });
+                    i += 1;
+                } else {
+                    // Object constant 'Name'.
+                    let mut s = String::new();
+                    let mut j = i + 1;
+                    while j < n && chars[j] != '\'' {
+                        s.push(chars[j]);
+                        j += 1;
+                    }
+                    if j >= n {
+                        return Err(Error::Parse {
+                            message: "unterminated object constant".into(),
+                            offset,
+                        });
+                    }
+                    tokens.push(Token { kind: TokenKind::ObjConst(s), offset });
+                    i = j + 1;
+                }
+            }
+            '-' | '0'..='9' => {
+                let negative = c == '-';
+                let mut j = if negative { i + 1 } else { i };
+                if negative && (j >= n || !chars[j].is_ascii_digit()) {
+                    return Err(Error::Parse {
+                        message: "expected digits after `-`".into(),
+                        offset,
+                    });
+                }
+                let start = j;
+                while j < n && chars[j].is_ascii_digit() {
+                    j += 1;
+                }
+                let digits: String = chars[start..j].iter().collect();
+                let mut value: i64 = digits.parse().map_err(|_| Error::Parse {
+                    message: format!("integer literal `{digits}` out of range"),
+                    offset,
+                })?;
+                if negative {
+                    value = -value;
+                }
+                tokens.push(Token { kind: TokenKind::Int(value), offset });
+                i = j;
+                prev_was_digit = true;
+                continue;
+            }
+            c if is_ident_start(c) => {
+                let mut j = i;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                let ident: String = chars[i..j].iter().collect();
+                tokens.push(Token { kind: TokenKind::Ident(ident), offset });
+                i = j;
+            }
+            other => {
+                return Err(Error::Parse {
+                    message: format!("unexpected character `{other}`"),
+                    offset,
+                });
+            }
+        }
+        prev_was_digit = false;
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        offset: byte_offsets[n],
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lex_join_expression() {
+        let ks = kinds("(E JOIN[1,3',3 | 2=1'] E)");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::LParen,
+                TokenKind::Ident("E".into()),
+                TokenKind::Ident("JOIN".into()),
+                TokenKind::LBracket,
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Int(3),
+                TokenKind::Prime,
+                TokenKind::Comma,
+                TokenKind::Int(3),
+                TokenKind::Pipe,
+                TokenKind::Int(2),
+                TokenKind::Eq,
+                TokenKind::Int(1),
+                TokenKind::Prime,
+                TokenKind::RBracket,
+                TokenKind::Ident("E".into()),
+                TokenKind::RParen,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_constants() {
+        let ks = kinds("1!='Edinburgh' rho(2)=\"hello\" rho(3)=-42 null");
+        assert!(ks.contains(&TokenKind::ObjConst("Edinburgh".into())));
+        assert!(ks.contains(&TokenKind::Str("hello".into())));
+        assert!(ks.contains(&TokenKind::Int(-42)));
+        assert!(ks.contains(&TokenKind::Neq));
+        assert!(ks.contains(&TokenKind::Ident("null".into())));
+        assert!(ks.contains(&TokenKind::Ident("rho".into())));
+    }
+
+    #[test]
+    fn prime_vs_object_constant() {
+        // After a digit, ' is a prime; elsewhere it opens an object constant.
+        assert_eq!(
+            kinds("3'")[..2],
+            [TokenKind::Int(3), TokenKind::Prime]
+        );
+        assert_eq!(kinds("'x'")[0], TokenKind::ObjConst("x".into()));
+        // Whitespace between digit and quote breaks the prime association.
+        assert_eq!(kinds("3 'x'")[1], TokenKind::ObjConst("x".into()));
+    }
+
+    #[test]
+    fn identifiers_allow_uri_like_names() {
+        let ks = kinds("http://example.org/city#Edinburgh foaf:knows part_of");
+        assert_eq!(
+            ks[0],
+            TokenKind::Ident("http://example.org/city#Edinburgh".into())
+        );
+        assert_eq!(ks[1], TokenKind::Ident("foaf:knows".into()));
+        assert_eq!(ks[2], TokenKind::Ident("part_of".into()));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("!x").is_err());
+        assert!(tokenize("- x").is_err());
+        assert!(tokenize("€").is_err() || !tokenize("€").unwrap().is_empty());
+    }
+
+    #[test]
+    fn offsets_are_byte_positions() {
+        let toks = tokenize("E UNION F").unwrap();
+        assert_eq!(toks[0].offset, 0);
+        assert_eq!(toks[1].offset, 2);
+        assert_eq!(toks[2].offset, 8);
+    }
+}

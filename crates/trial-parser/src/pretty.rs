@@ -1,0 +1,163 @@
+//! An indented, multi-line pretty-printer for TriAL expressions.
+//!
+//! The single-line [`Display`](std::fmt::Display) form of
+//! [`trial_core::Expr`] is compact but hard to read for nested queries like
+//! the paper's query `Q`. [`pretty`] renders the same syntax over multiple
+//! lines with indentation; the output still parses back with
+//! [`crate::parse`].
+
+use trial_core::{Expr, StarDirection};
+
+/// Renders an expression over multiple lines with two-space indentation.
+pub fn pretty(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(expr, 0, &mut out);
+    out
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_expr(expr: &Expr, level: usize, out: &mut String) {
+    match expr {
+        Expr::Rel(_) | Expr::Universe | Expr::Empty => {
+            indent(level, out);
+            out.push_str(&expr.to_string());
+        }
+        Expr::Select { input, cond } => {
+            indent(level, out);
+            out.push_str(&format!("SELECT[{cond}](\n"));
+            write_expr(input, level + 1, out);
+            out.push('\n');
+            indent(level, out);
+            out.push(')');
+        }
+        Expr::Complement(inner) => {
+            indent(level, out);
+            out.push_str("COMPL(\n");
+            write_expr(inner, level + 1, out);
+            out.push('\n');
+            indent(level, out);
+            out.push(')');
+        }
+        Expr::Union(a, b) | Expr::Diff(a, b) | Expr::Intersect(a, b) => {
+            let op = match expr {
+                Expr::Union(..) => "UNION",
+                Expr::Diff(..) => "MINUS",
+                _ => "INTERSECT",
+            };
+            indent(level, out);
+            out.push_str("(\n");
+            write_expr(a, level + 1, out);
+            out.push('\n');
+            indent(level + 1, out);
+            out.push_str(op);
+            out.push('\n');
+            write_expr(b, level + 1, out);
+            out.push('\n');
+            indent(level, out);
+            out.push(')');
+        }
+        Expr::Join {
+            left,
+            right,
+            output,
+            cond,
+        } => {
+            let spec = if cond.is_empty() {
+                format!("JOIN[{output}]")
+            } else {
+                format!("JOIN[{output} | {cond}]")
+            };
+            indent(level, out);
+            out.push_str("(\n");
+            write_expr(left, level + 1, out);
+            out.push('\n');
+            indent(level + 1, out);
+            out.push_str(&spec);
+            out.push('\n');
+            write_expr(right, level + 1, out);
+            out.push('\n');
+            indent(level, out);
+            out.push(')');
+        }
+        Expr::Star {
+            input,
+            output,
+            cond,
+            direction,
+        } => {
+            let spec = if cond.is_empty() {
+                format!("JOIN[{output}]")
+            } else {
+                format!("JOIN[{output} | {cond}]")
+            };
+            indent(level, out);
+            out.push_str("STAR(\n");
+            match direction {
+                StarDirection::Right => {
+                    write_expr(input, level + 1, out);
+                    out.push('\n');
+                    indent(level + 1, out);
+                    out.push_str(&spec);
+                }
+                StarDirection::Left => {
+                    indent(level + 1, out);
+                    out.push_str(&spec);
+                    out.push('\n');
+                    write_expr(input, level + 1, out);
+                }
+            }
+            out.push('\n');
+            indent(level, out);
+            out.push(')');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use trial_core::builder::queries;
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let exprs = vec![
+            queries::example2("E"),
+            queries::example2_extended("E"),
+            queries::reach_forward("E"),
+            queries::reach_down("E"),
+            queries::same_company_reachability("E"),
+            queries::at_least_six_objects(),
+            Expr::rel("E").complement(),
+            Expr::rel("E").select(
+                trial_core::Conditions::new().obj_eq_const(trial_core::Pos::L2, "part_of"),
+            ),
+        ];
+        for e in exprs {
+            let text = pretty(&e);
+            let parsed = parse(&text).unwrap_or_else(|err| panic!("pretty output\n{text}\nfailed: {err}"));
+            assert_eq!(parsed, e);
+        }
+    }
+
+    #[test]
+    fn pretty_is_indented_and_multiline() {
+        let q = queries::same_company_reachability("E");
+        let text = pretty(&q);
+        assert!(text.lines().count() > 5);
+        assert!(text.contains("  STAR("));
+        assert!(text.starts_with("STAR("));
+    }
+
+    #[test]
+    fn atoms_render_on_one_line() {
+        assert_eq!(pretty(&Expr::rel("E")), "E");
+        assert_eq!(pretty(&Expr::Universe), "U");
+        assert_eq!(pretty(&Expr::Empty), "EMPTY");
+    }
+}

@@ -1,0 +1,128 @@
+//! Conversion from RDF graphs to the triplestore model of `trial-core`.
+//!
+//! Following Section 2.2 of the paper, an RDF document *is* a ternary
+//! relation over its terms, so the conversion is direct: every term becomes
+//! an object (named readably via the [`Dictionary`]), every RDF triple
+//! becomes a triple of the designated relation, and literals additionally
+//! carry their lexical form as the object's data value `ρ(o)`.
+
+use crate::dictionary::Dictionary;
+use crate::graph::RdfGraph;
+use crate::term::Term;
+use trial_core::{Triplestore, TriplestoreBuilder, Value};
+
+/// Converts an RDF graph into a triplestore with a single relation `rel`.
+pub fn to_triplestore(graph: &RdfGraph, rel: &str) -> Triplestore {
+    let mut dict = Dictionary::new();
+    for t in graph.iter() {
+        for term in t.terms() {
+            dict.intern(term);
+        }
+    }
+    let names = dict.readable_names();
+    let mut builder = TriplestoreBuilder::new();
+    // Intern objects in dictionary order so ids line up with readable names.
+    for (id, term) in dict.iter() {
+        let name = &names[id.index()];
+        match term {
+            Term::Literal(lex) => {
+                builder.object_with_value(name, Value::str(lex.clone()));
+            }
+            Term::Iri(_) => {
+                builder.object(name);
+            }
+        }
+    }
+    for t in graph.iter() {
+        let s = &names[dict.id(&t.subject).expect("interned").index()];
+        let p = &names[dict.id(&t.predicate).expect("interned").index()];
+        let o = &names[dict.id(&t.object).expect("interned").index()];
+        builder.add_triple(rel, s, p, o);
+    }
+    builder.finish()
+}
+
+/// Converts an RDF graph into a triplestore *and* returns the dictionary and
+/// the readable names used, so callers can map answers back to IRIs.
+pub fn to_triplestore_with_dictionary(
+    graph: &RdfGraph,
+    rel: &str,
+) -> (Triplestore, Dictionary, Vec<String>) {
+    let mut dict = Dictionary::new();
+    for t in graph.iter() {
+        for term in t.terms() {
+            dict.intern(term);
+        }
+    }
+    let names = dict.readable_names();
+    let store = to_triplestore(graph, rel);
+    (store, dict, names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RdfTriple;
+    use crate::ntriples::parse_ntriples;
+
+    #[test]
+    fn convert_preserves_structure() {
+        let doc = r#"
+<http://ex.org/StAndrews> <http://ex.org/BusOp1> <http://ex.org/Edinburgh> .
+<http://ex.org/Edinburgh> <http://ex.org/TrainOp1> <http://ex.org/London> .
+<http://ex.org/TrainOp1> <http://ex.org/part_of> <http://ex.org/EastCoast> .
+"#;
+        let graph = parse_ntriples(doc).unwrap();
+        let store = to_triplestore(&graph, "E");
+        assert_eq!(store.triple_count(), 3);
+        assert_eq!(store.object_count(), 7); // distinct terms
+        let t = store
+            .triple_by_names("Edinburgh", "TrainOp1", "London")
+            .unwrap();
+        assert!(store.require_relation("E").unwrap().contains(&t));
+    }
+
+    #[test]
+    fn literals_become_data_values() {
+        let mut g = RdfGraph::new();
+        g.insert(RdfTriple::new(
+            Term::iri("http://ex.org/Edinburgh"),
+            Term::iri("http://ex.org/population"),
+            Term::literal("524930"),
+        ));
+        let store = to_triplestore(&g, "E");
+        let pop = store.object_id("524930").unwrap();
+        assert_eq!(store.value(pop), &Value::str("524930"));
+        let edi = store.object_id("Edinburgh").unwrap();
+        assert_eq!(store.value(edi), &Value::Null);
+    }
+
+    #[test]
+    fn dictionary_maps_back_to_terms() {
+        let mut g = RdfGraph::new();
+        g.add_iris("http://a.org/x#N", "http://a.org/p", "http://b.org/y#N");
+        let (store, dict, names) = to_triplestore_with_dictionary(&g, "E");
+        assert_eq!(store.object_count(), 3);
+        // Colliding short names were disambiguated but still map back.
+        for (id, term) in dict.iter() {
+            let name = &names[id.index()];
+            assert!(store.object_id(name).is_some());
+            assert_eq!(dict.term(id), term);
+        }
+    }
+
+    #[test]
+    fn predicate_terms_are_first_class_objects() {
+        // The defining feature of RDF vs. graph databases (Section 2.2):
+        // a predicate can be the subject of another triple.
+        let mut g = RdfGraph::new();
+        g.add_iris("s", "p", "o");
+        g.add_iris("p", "s", "o2");
+        let store = to_triplestore(&g, "E");
+        assert_eq!(store.object_count(), 4); // s, p, o, o2
+        assert_eq!(store.triple_count(), 2);
+        // `p` occurs both in predicate position and in subject position.
+        assert!(store.triple_by_names("s", "p", "o").is_ok());
+        assert!(store.triple_by_names("p", "s", "o2").is_ok());
+    }
+}

@@ -1,0 +1,166 @@
+//! A bidirectional dictionary interning RDF terms.
+//!
+//! Real triplestores (Jena TDB, oxigraph, Virtuoso, …) never store IRIs
+//! inline: they intern every term into a dense integer id and keep a
+//! dictionary for decoding. The same trick backs our conversion from RDF to
+//! the `trial-core` triplestore model, and is exposed here as a standalone
+//! component because the graph encodings of `trial-graph` need it too.
+
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A dense identifier assigned to an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub u32);
+
+impl From<TermId> for usize {
+    fn from(id: TermId) -> usize {
+        id.index()
+    }
+}
+
+impl TermId {
+    /// The id as a `usize` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A bidirectional `Term ↔ TermId` mapping.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Dictionary {
+    terms: Vec<Term>,
+    index: HashMap<Term, TermId>,
+}
+
+impl Dictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Dictionary::default()
+    }
+
+    /// Interns a term, returning its id. Idempotent.
+    pub fn intern(&mut self, term: &Term) -> TermId {
+        if let Some(&id) = self.index.get(term) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("dictionary overflow"));
+        self.terms.push(term.clone());
+        self.index.insert(term.clone(), id);
+        id
+    }
+
+    /// Looks up the id of an already-interned term.
+    pub fn id(&self, term: &Term) -> Option<TermId> {
+        self.index.get(term).copied()
+    }
+
+    /// Decodes an id back into its term.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this dictionary.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// Number of interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// `true` if nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(id, term)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> + '_ {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
+    }
+
+    /// Assigns each term a unique, human-readable name.
+    ///
+    /// Uses [`Term::short_name`] when the short names are pairwise distinct,
+    /// and falls back to the full lexical form (suffixed with the id when
+    /// even those collide, e.g. an IRI and a literal with the same text).
+    pub fn readable_names(&self) -> Vec<String> {
+        let mut short_counts: HashMap<&str, usize> = HashMap::new();
+        for t in &self.terms {
+            *short_counts.entry(t.short_name()).or_default() += 1;
+        }
+        let mut lexical_counts: HashMap<&str, usize> = HashMap::new();
+        for t in &self.terms {
+            *lexical_counts.entry(t.lexical()).or_default() += 1;
+        }
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if short_counts[t.short_name()] == 1 {
+                    t.short_name().to_owned()
+                } else if lexical_counts[t.lexical()] == 1 {
+                    t.lexical().to_owned()
+                } else {
+                    format!("{}#{}", t.lexical(), i)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a1 = d.intern(&Term::iri("http://ex.org/a"));
+        let a2 = d.intern(&Term::iri("http://ex.org/a"));
+        let b = d.intern(&Term::iri("http://ex.org/b"));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.term(a1), &Term::iri("http://ex.org/a"));
+        assert_eq!(d.id(&Term::iri("http://ex.org/b")), Some(b));
+        assert_eq!(d.id(&Term::iri("http://ex.org/c")), None);
+        assert_eq!(d.iter().count(), 2);
+    }
+
+    #[test]
+    fn readable_names_prefer_short_forms() {
+        let mut d = Dictionary::new();
+        d.intern(&Term::iri("http://ex.org/city#Edinburgh"));
+        d.intern(&Term::iri("http://ex.org/city#London"));
+        assert_eq!(d.readable_names(), vec!["Edinburgh", "London"]);
+    }
+
+    #[test]
+    fn readable_names_disambiguate_collisions() {
+        let mut d = Dictionary::new();
+        d.intern(&Term::iri("http://a.org/x#Edinburgh"));
+        d.intern(&Term::iri("http://b.org/y#Edinburgh"));
+        let names = d.readable_names();
+        assert_ne!(names[0], names[1]);
+        assert!(names[0].contains("a.org"));
+        // IRI vs literal with identical text also stay distinct.
+        let mut d = Dictionary::new();
+        d.intern(&Term::iri("42"));
+        d.intern(&Term::literal("42"));
+        let names = d.readable_names();
+        assert_ne!(names[0], names[1]);
+    }
+
+    #[test]
+    fn empty_dictionary() {
+        let d = Dictionary::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(d.readable_names().is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! RDF graphs: sets of ground RDF triples.
+
+use crate::term::Term;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One RDF triple `(subject, predicate, object)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RdfTriple {
+    /// The subject term.
+    pub subject: Term,
+    /// The predicate term.
+    pub predicate: Term,
+    /// The object term.
+    pub object: Term,
+}
+
+impl RdfTriple {
+    /// Builds a triple from three terms.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        RdfTriple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+
+    /// Builds an all-IRI triple from three IRI strings.
+    pub fn iris(s: impl Into<String>, p: impl Into<String>, o: impl Into<String>) -> Self {
+        RdfTriple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    /// Iterates over the three terms in subject, predicate, object order.
+    pub fn terms(&self) -> impl Iterator<Item = &Term> {
+        [&self.subject, &self.predicate, &self.object].into_iter()
+    }
+}
+
+impl fmt::Display for RdfTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// A ground RDF graph: a set of [`RdfTriple`]s (duplicates are ignored).
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RdfGraph {
+    triples: BTreeSet<RdfTriple>,
+}
+
+impl RdfGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        RdfGraph::default()
+    }
+
+    /// Inserts a triple; returns `true` if it was not already present.
+    pub fn insert(&mut self, triple: RdfTriple) -> bool {
+        self.triples.insert(triple)
+    }
+
+    /// Adds an all-IRI triple by its three IRI strings.
+    pub fn add_iris(
+        &mut self,
+        s: impl Into<String>,
+        p: impl Into<String>,
+        o: impl Into<String>,
+    ) -> bool {
+        self.insert(RdfTriple::iris(s, p, o))
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// `true` if the graph has no triples.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, triple: &RdfTriple) -> bool {
+        self.triples.contains(triple)
+    }
+
+    /// Iterates over the triples in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &RdfTriple> + '_ {
+        self.triples.iter()
+    }
+
+    /// The set of distinct terms occurring anywhere in the graph, in
+    /// canonical order.
+    pub fn terms(&self) -> Vec<&Term> {
+        let mut set: BTreeSet<&Term> = BTreeSet::new();
+        for t in &self.triples {
+            set.extend(t.terms());
+        }
+        set.into_iter().collect()
+    }
+
+    /// The set of distinct predicates, in canonical order.
+    pub fn predicates(&self) -> Vec<&Term> {
+        let mut set: BTreeSet<&Term> = BTreeSet::new();
+        for t in &self.triples {
+            set.insert(&t.predicate);
+        }
+        set.into_iter().collect()
+    }
+}
+
+impl FromIterator<RdfTriple> for RdfGraph {
+    fn from_iter<I: IntoIterator<Item = RdfTriple>>(iter: I) -> Self {
+        RdfGraph {
+            triples: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a RdfGraph {
+    type Item = &'a RdfTriple;
+    type IntoIter = std::collections::btree_set::Iter<'a, RdfTriple>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.triples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_deduplicate() {
+        let mut g = RdfGraph::new();
+        assert!(g.add_iris("a", "p", "b"));
+        assert!(!g.add_iris("a", "p", "b"));
+        assert!(g.add_iris("b", "p", "c"));
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+        assert!(g.contains(&RdfTriple::iris("a", "p", "b")));
+    }
+
+    #[test]
+    fn terms_and_predicates() {
+        let mut g = RdfGraph::new();
+        g.add_iris("a", "p", "b");
+        g.add_iris("b", "q", "a");
+        g.insert(RdfTriple::new(
+            Term::iri("a"),
+            Term::iri("p"),
+            Term::literal("42"),
+        ));
+        assert_eq!(g.terms().len(), 5); // a, b, p, q, "42"
+        assert_eq!(g.predicates().len(), 2);
+    }
+
+    #[test]
+    fn triple_display() {
+        let t = RdfTriple::new(Term::iri("a"), Term::iri("p"), Term::literal("x"));
+        assert_eq!(t.to_string(), "<a> <p> \"x\" .");
+        assert_eq!(t.terms().count(), 3);
+    }
+
+    #[test]
+    fn from_iterator_and_iteration() {
+        let g: RdfGraph = [RdfTriple::iris("a", "p", "b"), RdfTriple::iris("a", "p", "b")]
+            .into_iter()
+            .collect();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.iter().count(), 1);
+        assert_eq!((&g).into_iter().count(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # trial-rdf
+//!
+//! A small RDF substrate for the TriAL crates: term and graph model,
+//! an N-Triples-subset parser/serialiser, a term dictionary, and conversion
+//! of RDF graphs into the triplestore model of `trial-core`.
+//!
+//! The paper works with *ground* RDF documents — triples of URIs, without
+//! blank nodes — and that is what this crate models. Plain literals are
+//! additionally supported as a convenience: a literal becomes an object
+//! whose data value `ρ(o)` is its lexical form, which is exactly how the
+//! triplestore model of Section 2.3 attaches data to objects.
+//!
+//! ```
+//! use trial_rdf::{parse_ntriples, to_triplestore};
+//!
+//! let doc = r#"
+//! <http://ex.org/Edinburgh> <http://ex.org/TrainOp1> <http://ex.org/London> .
+//! <http://ex.org/TrainOp1> <http://ex.org/part_of> <http://ex.org/EastCoast> .
+//! "#;
+//! let graph = parse_ntriples(doc).unwrap();
+//! assert_eq!(graph.len(), 2);
+//! let store = to_triplestore(&graph, "E");
+//! assert_eq!(store.triple_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod dictionary;
+pub mod graph;
+pub mod ntriples;
+pub mod term;
+
+pub use convert::to_triplestore;
+pub use dictionary::Dictionary;
+pub use graph::{RdfGraph, RdfTriple};
+pub use ntriples::{parse_ntriples, serialize_ntriples};
+pub use term::Term;

@@ -1,0 +1,173 @@
+//! A parser and serialiser for the N-Triples subset used by the examples.
+//!
+//! Supported syntax per line: `subject predicate object .` where subject and
+//! predicate are IRIs in angle brackets and the object is an IRI or a quoted
+//! plain literal. `#`-comments and blank lines are ignored. Blank nodes,
+//! datatyped/tagged literals and escapes other than `\"` are not supported —
+//! the paper only considers ground RDF documents.
+
+use crate::graph::{RdfGraph, RdfTriple};
+use crate::term::Term;
+use trial_core::{Error, Result};
+
+/// Parses an N-Triples document into an [`RdfGraph`].
+pub fn parse_ntriples(input: &str) -> Result<RdfGraph> {
+    let mut graph = RdfGraph::new();
+    let mut offset = 0usize;
+    for line in input.lines() {
+        let line_offset = offset;
+        offset += line.len() + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let triple = parse_line(trimmed, line_offset)?;
+        graph.insert(triple);
+    }
+    Ok(graph)
+}
+
+fn parse_line(line: &str, offset: usize) -> Result<RdfTriple> {
+    let mut rest = line;
+    let mut terms = Vec::with_capacity(3);
+    for _ in 0..3 {
+        rest = rest.trim_start();
+        let (term, remaining) = parse_term(rest, offset, line)?;
+        terms.push(term);
+        rest = remaining;
+    }
+    let rest = rest.trim();
+    if rest != "." {
+        return Err(Error::Parse {
+            message: format!("expected terminating `.` in N-Triples line `{line}`"),
+            offset,
+        });
+    }
+    let object = terms.pop().expect("three terms parsed");
+    let predicate = terms.pop().expect("three terms parsed");
+    let subject = terms.pop().expect("three terms parsed");
+    if !subject.is_iri() || !predicate.is_iri() {
+        return Err(Error::Parse {
+            message: format!("subject and predicate must be IRIs in `{line}`"),
+            offset,
+        });
+    }
+    Ok(RdfTriple::new(subject, predicate, object))
+}
+
+fn parse_term<'a>(input: &'a str, offset: usize, line: &str) -> Result<(Term, &'a str)> {
+    if let Some(rest) = input.strip_prefix('<') {
+        match rest.find('>') {
+            Some(end) => Ok((Term::iri(&rest[..end]), &rest[end + 1..])),
+            None => Err(Error::Parse {
+                message: format!("unterminated IRI in `{line}`"),
+                offset,
+            }),
+        }
+    } else if let Some(rest) = input.strip_prefix('"') {
+        // Find the closing quote, honouring the \" escape.
+        let bytes = rest.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'\\' && i + 1 < bytes.len() {
+                i += 2;
+                continue;
+            }
+            if bytes[i] == b'"' {
+                let lexical = rest[..i].replace("\\\"", "\"");
+                return Ok((Term::literal(lexical), &rest[i + 1..]));
+            }
+            i += 1;
+        }
+        Err(Error::Parse {
+            message: format!("unterminated literal in `{line}`"),
+            offset,
+        })
+    } else {
+        Err(Error::Parse {
+            message: format!("expected `<iri>` or `\"literal\"` in `{line}`"),
+            offset,
+        })
+    }
+}
+
+/// Serialises a graph back to N-Triples, one triple per line in canonical
+/// order. `parse_ntriples(serialize_ntriples(g)) == g` for every graph this
+/// crate can produce.
+pub fn serialize_ntriples(graph: &RdfGraph) -> String {
+    let mut out = String::new();
+    for t in graph.iter() {
+        out.push_str(&t.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"
+# The Figure 1 transport network (excerpt).
+<http://ex.org/StAndrews> <http://ex.org/BusOp1> <http://ex.org/Edinburgh> .
+<http://ex.org/Edinburgh> <http://ex.org/TrainOp1> <http://ex.org/London> .
+<http://ex.org/TrainOp1> <http://ex.org/part_of> <http://ex.org/EastCoast> .
+<http://ex.org/Edinburgh> <http://ex.org/population> "524930" .
+"#;
+
+    #[test]
+    fn parse_document_with_comments_and_literals() {
+        let g = parse_ntriples(DOC).unwrap();
+        assert_eq!(g.len(), 4);
+        assert!(g.contains(&RdfTriple::iris(
+            "http://ex.org/Edinburgh",
+            "http://ex.org/TrainOp1",
+            "http://ex.org/London"
+        )));
+        assert!(g.contains(&RdfTriple::new(
+            Term::iri("http://ex.org/Edinburgh"),
+            Term::iri("http://ex.org/population"),
+            Term::literal("524930")
+        )));
+    }
+
+    #[test]
+    fn roundtrip_serialisation() {
+        let g = parse_ntriples(DOC).unwrap();
+        let text = serialize_ntriples(&g);
+        let g2 = parse_ntriples(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn literal_escapes() {
+        let doc = r#"<a> <says> "hello \"world\"" ."#;
+        let g = parse_ntriples(doc).unwrap();
+        let t = g.iter().next().unwrap();
+        assert_eq!(t.object, Term::literal("hello \"world\""));
+        // And the escape survives a round trip.
+        let again = parse_ntriples(&serialize_ntriples(&g)).unwrap();
+        assert_eq!(g, again);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_ntriples("<a> <b> <c>").is_err()); // missing dot
+        assert!(parse_ntriples("<a> <b .").is_err()); // unterminated IRI
+        assert!(parse_ntriples("<a> <b> \"x .").is_err()); // unterminated literal
+        assert!(parse_ntriples("\"lit\" <b> <c> .").is_err()); // literal subject
+        assert!(parse_ntriples("<a> \"lit\" <c> .").is_err()); // literal predicate
+        assert!(parse_ntriples("a b c .").is_err()); // bare words
+        // Errors carry an offset to the offending line.
+        match parse_ntriples("<ok> <ok> <ok> .\nbroken line .") {
+            Err(Error::Parse { offset, .. }) => assert!(offset > 0),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_and_comment_only_documents() {
+        assert!(parse_ntriples("").unwrap().is_empty());
+        assert!(parse_ntriples("# nothing here\n\n").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! RDF terms.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An RDF term as used by ground RDF documents: an IRI or a plain literal.
+///
+/// Blank nodes are intentionally unsupported — the paper restricts itself to
+/// ground documents (Section 2.1), and every navigational result in the
+/// paper is stated for that setting.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// An IRI / URI reference, stored without the surrounding angle brackets.
+    Iri(String),
+    /// A plain literal, stored without the surrounding quotes.
+    Literal(String),
+}
+
+impl Term {
+    /// Builds an IRI term.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Builds a plain-literal term.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Term::Literal(s.into())
+    }
+
+    /// Returns `true` for IRI terms.
+    pub fn is_iri(&self) -> bool {
+        matches!(self, Term::Iri(_))
+    }
+
+    /// Returns `true` for literal terms.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+
+    /// The lexical form: the IRI text or the literal text.
+    pub fn lexical(&self) -> &str {
+        match self {
+            Term::Iri(s) | Term::Literal(s) => s,
+        }
+    }
+
+    /// A short human-readable name: the IRI fragment/last path segment for
+    /// IRIs, or the literal text. Used when converting to triplestores so
+    /// that examples print readable object names; full IRIs are preserved
+    /// when the short forms would collide.
+    pub fn short_name(&self) -> &str {
+        match self {
+            Term::Literal(s) => s,
+            Term::Iri(s) => {
+                let after_hash = s.rsplit('#').next().unwrap_or(s);
+                if after_hash != s {
+                    after_hash
+                } else {
+                    s.rsplit('/').next().unwrap_or(s)
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Literal(s) => write!(f, "\"{}\"", s.replace('"', "\\\"")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_predicates() {
+        let i = Term::iri("http://ex.org/a");
+        let l = Term::literal("hello");
+        assert!(i.is_iri() && !i.is_literal());
+        assert!(l.is_literal() && !l.is_iri());
+        assert_eq!(i.lexical(), "http://ex.org/a");
+        assert_eq!(l.lexical(), "hello");
+    }
+
+    #[test]
+    fn display_ntriples_style() {
+        assert_eq!(Term::iri("http://ex.org/a").to_string(), "<http://ex.org/a>");
+        assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
+        assert_eq!(Term::literal("say \"hi\"").to_string(), "\"say \\\"hi\\\"\"");
+    }
+
+    #[test]
+    fn short_names() {
+        assert_eq!(Term::iri("http://ex.org/city#Edinburgh").short_name(), "Edinburgh");
+        assert_eq!(Term::iri("http://ex.org/city/London").short_name(), "London");
+        assert_eq!(Term::iri("Edinburgh").short_name(), "Edinburgh");
+        assert_eq!(Term::literal("42").short_name(), "42");
+    }
+
+    #[test]
+    fn ordering_is_stable() {
+        let mut v = vec![Term::literal("b"), Term::iri("a"), Term::literal("a")];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![Term::iri("a"), Term::literal("a"), Term::literal("b")]
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Structured stores: chains, cycles, grids and cliques.
+//!
+//! These shapes make the complexity behaviour of the evaluation algorithms
+//! predictable: a chain of length `n` forces `n` fixpoint rounds, a clique
+//! maximises join fan-out, and a grid sits in between.
+
+use trial_core::{Triplestore, TriplestoreBuilder};
+
+/// A chain `n0 →next n1 →next … →next n_len`: `len` triples, `len + 1` nodes.
+pub fn chain_store(len: usize) -> Triplestore {
+    let mut b = TriplestoreBuilder::new();
+    b.relation("E");
+    for i in 0..len {
+        b.add_triple("E", format!("n{i}"), "next", format!("n{}", i + 1));
+    }
+    b.finish()
+}
+
+/// A cycle of `len` nodes connected by `next` edges.
+pub fn cycle_store(len: usize) -> Triplestore {
+    let mut b = TriplestoreBuilder::new();
+    b.relation("E");
+    for i in 0..len {
+        b.add_triple("E", format!("n{i}"), "next", format!("n{}", (i + 1) % len.max(1)));
+    }
+    b.finish()
+}
+
+/// An `n × n` grid with `right` and `down` labelled edges.
+pub fn grid_store(n: usize) -> Triplestore {
+    let mut b = TriplestoreBuilder::new();
+    b.relation("E");
+    let name = |r: usize, c: usize| format!("g{r}_{c}");
+    for r in 0..n {
+        for c in 0..n {
+            if c + 1 < n {
+                b.add_triple("E", name(r, c), "right", name(r, c + 1));
+            }
+            if r + 1 < n {
+                b.add_triple("E", name(r, c), "down", name(r + 1, c));
+            }
+        }
+    }
+    b.finish()
+}
+
+/// A directed clique over `n` nodes: every ordered pair of distinct nodes is
+/// connected by an `edge`-labelled triple.
+pub fn clique_store(n: usize) -> Triplestore {
+    let mut b = TriplestoreBuilder::new();
+    b.relation("E");
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                b.add_triple("E", format!("n{i}"), "edge", format!("n{j}"));
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trial_core::builder::queries;
+    use trial_eval::evaluate;
+
+    #[test]
+    fn chain_reachability_is_triangular() {
+        let store = chain_store(10);
+        assert_eq!(store.triple_count(), 10);
+        let reach = evaluate(&queries::reach_forward("E"), &store).unwrap();
+        assert_eq!(reach.result.len(), 10 * 11 / 2);
+    }
+
+    #[test]
+    fn cycle_reachability_is_complete() {
+        let store = cycle_store(6);
+        let reach = evaluate(&queries::reach_forward("E"), &store).unwrap();
+        // Every node reaches every node (including itself) in a cycle.
+        assert_eq!(reach.result.len(), 36);
+    }
+
+    #[test]
+    fn grid_counts() {
+        let store = grid_store(4);
+        // 4x4 grid: 2 * 4 * 3 = 24 edges.
+        assert_eq!(store.triple_count(), 24);
+        let reach = evaluate(&queries::reach_forward("E"), &store).unwrap();
+        assert!(!reach.result.is_empty());
+    }
+
+    #[test]
+    fn clique_counts() {
+        let store = clique_store(5);
+        assert_eq!(store.triple_count(), 20);
+        assert_eq!(store.object_count(), 6); // 5 nodes + the `edge` label
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(chain_store(0).triple_count(), 0);
+        assert_eq!(cycle_store(0).triple_count(), 0);
+        assert_eq!(grid_store(1).triple_count(), 0);
+        assert_eq!(clique_store(1).triple_count(), 0);
+    }
+}

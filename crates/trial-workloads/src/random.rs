@@ -1,0 +1,148 @@
+//! Random triplestores and graphs.
+
+use crate::transport::figure1_store;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trial_core::{Triplestore, TriplestoreBuilder, Value};
+use trial_graph::{GraphDb, GraphDbBuilder};
+
+/// Parameters for [`random_store`].
+#[derive(Debug, Clone, Copy)]
+pub struct RandomStoreConfig {
+    /// Number of objects.
+    pub objects: usize,
+    /// Number of triples (sampled uniformly over objects³, duplicates merged).
+    pub triples: usize,
+    /// Number of distinct data values assigned round-robin to objects
+    /// (0 = leave every ρ(o) null).
+    pub distinct_values: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomStoreConfig {
+    fn default() -> Self {
+        RandomStoreConfig {
+            objects: 100,
+            triples: 300,
+            distinct_values: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a uniform random triplestore with a single relation `E`.
+///
+/// This is the workload used for the Theorem 3 scaling experiments: the
+/// middle components are drawn from the full object set, so triples behave
+/// like genuine RDF (predicates are also subjects/objects), not like a
+/// fixed-alphabet graph.
+pub fn random_store(config: &RandomStoreConfig) -> Triplestore {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = TriplestoreBuilder::new();
+    b.relation("E");
+    let ids: Vec<_> = (0..config.objects)
+        .map(|i| {
+            if config.distinct_values > 0 {
+                b.object_with_value(
+                    format!("o{i}"),
+                    Value::int((i % config.distinct_values) as i64),
+                )
+            } else {
+                b.object(format!("o{i}"))
+            }
+        })
+        .collect();
+    for _ in 0..config.triples {
+        let s = ids[rng.random_range(0..ids.len())];
+        let p = ids[rng.random_range(0..ids.len())];
+        let o = ids[rng.random_range(0..ids.len())];
+        b.add_triple_ids("E", s, p, o);
+    }
+    b.finish()
+}
+
+/// Generates a random edge-labelled graph with `nodes` nodes, `edges` edges
+/// and `labels` distinct labels — the workload for the graph-language
+/// translation experiments (Theorem 7 / Corollary 2).
+pub fn random_graph(nodes: usize, edges: usize, labels: usize, seed: u64) -> GraphDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphDbBuilder::new();
+    for i in 0..nodes {
+        b.node_with_value(format!("n{i}"), Value::int((i % 5) as i64));
+    }
+    for _ in 0..edges {
+        let s = rng.random_range(0..nodes.max(1));
+        let t = rng.random_range(0..nodes.max(1));
+        let l = rng.random_range(0..labels.max(1));
+        b.edge(format!("n{s}"), format!("l{l}"), format!("n{t}"));
+    }
+    b.finish()
+}
+
+/// A store consisting of `copies` disjoint copies of the Figure 1 network —
+/// handy when a benchmark wants data whose answer shape is known but whose
+/// size grows linearly.
+pub fn replicated_figure1(copies: usize) -> Triplestore {
+    let base = figure1_store();
+    let mut b = TriplestoreBuilder::new();
+    b.relation("E");
+    for copy in 0..copies.max(1) {
+        for t in base.require_relation("E").expect("base relation").iter() {
+            let name = |o| format!("{}@{copy}", base.object_name(o));
+            b.add_triple("E", name(t.s()), name(t.p()), name(t.o()));
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trial_core::builder::queries;
+    use trial_eval::evaluate;
+
+    #[test]
+    fn random_store_is_deterministic() {
+        let cfg = RandomStoreConfig::default();
+        assert_eq!(random_store(&cfg), random_store(&cfg));
+        let other = random_store(&RandomStoreConfig { seed: 43, ..cfg });
+        assert_ne!(random_store(&cfg), other);
+    }
+
+    #[test]
+    fn random_store_respects_sizes() {
+        let cfg = RandomStoreConfig {
+            objects: 30,
+            triples: 100,
+            distinct_values: 4,
+            seed: 1,
+        };
+        let store = random_store(&cfg);
+        assert_eq!(store.object_count(), 30);
+        // Duplicates may collapse, but the count stays close to the target.
+        assert!(store.triple_count() <= 100);
+        assert!(store.triple_count() > 80);
+        // Data values are drawn from the configured set.
+        let distinct: std::collections::BTreeSet<_> =
+            store.objects().map(|o| store.value(o).clone()).collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn random_graph_shape() {
+        let g = random_graph(20, 60, 3, 5);
+        assert_eq!(g.node_count(), 20);
+        assert!(g.edge_count() <= 60);
+        assert!(g.alphabet().count() <= 3);
+    }
+
+    #[test]
+    fn replicated_figure1_scales_answers_linearly() {
+        let store = replicated_figure1(3);
+        assert_eq!(store.triple_count(), 21);
+        let result = evaluate(&queries::example2("E"), &store).unwrap();
+        // Three copies of the three Example 2 answers.
+        assert_eq!(result.result.len(), 9);
+    }
+}

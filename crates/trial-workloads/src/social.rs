@@ -1,0 +1,146 @@
+//! The Section 2.3 social network: users and connections as triples, with
+//! tuple-valued data values.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trial_core::{Triplestore, TriplestoreBuilder, Value};
+
+/// Parameters for [`social_network`].
+#[derive(Debug, Clone, Copy)]
+pub struct SocialConfig {
+    /// Number of users.
+    pub users: usize,
+    /// Number of connections (friendship/rivalry edges).
+    pub connections: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        SocialConfig {
+            users: 40,
+            connections: 120,
+            seed: 11,
+        }
+    }
+}
+
+const CONNECTION_TYPES: [&str; 4] = ["brother", "coworker", "rival", "friend"];
+
+/// Builds the exact social network of Section 2.3 (Mario, Luigi and
+/// Donkey Kong with their three connections).
+pub fn mario_network() -> Triplestore {
+    let mut b = TriplestoreBuilder::new();
+    let user = |b: &mut TriplestoreBuilder, id: &str, name: &str, email: &str, age: i64| {
+        b.object_with_value(
+            id,
+            Value::tuple([
+                Value::str(name),
+                Value::str(email),
+                Value::int(age),
+                Value::Null,
+                Value::Null,
+            ]),
+        )
+    };
+    let conn = |b: &mut TriplestoreBuilder, id: &str, kind: &str, created: &str| {
+        b.object_with_value(
+            id,
+            Value::tuple([
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::str(kind),
+                Value::str(created),
+            ]),
+        )
+    };
+    let mario = user(&mut b, "o175", "Mario", "m@nes.com", 23);
+    let dk = user(&mut b, "o122", "Donkey Kong", "d@nes.com", 117);
+    let luigi = user(&mut b, "o7521", "Luigi", "l@nes.com", 27);
+    let c163 = conn(&mut b, "c163", "rival", "12-07-89");
+    let c137 = conn(&mut b, "c137", "brother", "11-11-83");
+    let c177 = conn(&mut b, "c177", "coworker", "12-07-89");
+    b.add_triple_ids("E", mario, c163, dk);
+    b.add_triple_ids("E", mario, c137, luigi);
+    b.add_triple_ids("E", luigi, c177, dk);
+    b.finish()
+}
+
+/// Generates a random social network in the same shape: every connection is
+/// an object of its own, carrying a `(⊥,⊥,⊥,type,created)` tuple, and every
+/// user carries `(name,email,age,⊥,⊥)`.
+pub fn social_network(config: &SocialConfig) -> Triplestore {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = TriplestoreBuilder::new();
+    b.relation("E");
+    let users: Vec<_> = (0..config.users)
+        .map(|i| {
+            b.object_with_value(
+                format!("user{i}"),
+                Value::tuple([
+                    Value::str(format!("User {i}")),
+                    Value::str(format!("user{i}@example.org")),
+                    Value::int(18 + (i as i64 * 7) % 60),
+                    Value::Null,
+                    Value::Null,
+                ]),
+            )
+        })
+        .collect();
+    for c in 0..config.connections {
+        let from = users[rng.random_range(0..users.len())];
+        let to = users[rng.random_range(0..users.len())];
+        let kind = CONNECTION_TYPES[rng.random_range(0..CONNECTION_TYPES.len())];
+        let year = 1980 + rng.random_range(0..40);
+        let conn = b.object_with_value(
+            format!("conn{c}"),
+            Value::tuple([
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                Value::str(kind),
+                Value::str(format!("01-01-{year}")),
+            ]),
+        );
+        b.add_triple_ids("E", from, conn, to);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mario_network_matches_the_paper() {
+        let store = mario_network();
+        assert_eq!(store.triple_count(), 3);
+        assert_eq!(store.object_count(), 6);
+        let mario = store.object_id("o175").unwrap();
+        assert_eq!(
+            store.value(mario).component(0),
+            Some(&Value::str("Mario"))
+        );
+        let c163 = store.object_id("c163").unwrap();
+        assert_eq!(store.value(c163).component(3), Some(&Value::str("rival")));
+        // Same creation date for c163 and c177 (used for ∼-style queries).
+        let c177 = store.object_id("c177").unwrap();
+        assert!(store.value(c163).component_eq(store.value(c177), 4));
+    }
+
+    #[test]
+    fn generated_network_shape() {
+        let cfg = SocialConfig::default();
+        let store = social_network(&cfg);
+        assert_eq!(store.triple_count(), cfg.connections);
+        assert_eq!(store.object_count(), cfg.users + cfg.connections);
+        assert_eq!(social_network(&cfg), store);
+        // Every triple's middle element is a connection object with a type.
+        for t in store.require_relation("E").unwrap().iter() {
+            let conn_value = store.value(t.p());
+            assert!(conn_value.component(3).is_some());
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Transport-network workloads: the Figure 1 database and scaled versions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use trial_core::{Triplestore, TriplestoreBuilder};
+
+/// The exact RDF database of Figure 1, as a single-relation triplestore `E`.
+pub fn figure1_store() -> Triplestore {
+    let mut b = TriplestoreBuilder::new();
+    for (s, p, o) in [
+        ("St.Andrews", "BusOp1", "Edinburgh"),
+        ("Edinburgh", "TrainOp1", "London"),
+        ("London", "TrainOp2", "Brussels"),
+        ("BusOp1", "part_of", "NatExpress"),
+        ("TrainOp1", "part_of", "EastCoast"),
+        ("TrainOp2", "part_of", "Eurostar"),
+        ("EastCoast", "part_of", "NatExpress"),
+    ] {
+        b.add_triple("E", s, p, o);
+    }
+    b.finish()
+}
+
+/// Parameters for [`transport_network`].
+#[derive(Debug, Clone, Copy)]
+pub struct TransportConfig {
+    /// Number of cities.
+    pub cities: usize,
+    /// Number of transport operators.
+    pub operators: usize,
+    /// Number of parent companies.
+    pub companies: usize,
+    /// Number of city-to-city service triples.
+    pub services: usize,
+    /// Depth of the `part_of` ownership chains (operator → … → company).
+    pub ownership_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        TransportConfig {
+            cities: 50,
+            operators: 10,
+            companies: 3,
+            services: 150,
+            ownership_depth: 2,
+            seed: 7,
+        }
+    }
+}
+
+/// Generates a transport network in the style of Figure 1.
+///
+/// The relation `E` contains:
+/// * service triples `(city_i, operator_k, city_j)`;
+/// * ownership triples `(operator_k, part_of, holding)` and
+///   `(holding, part_of, company)` chains of the configured depth.
+///
+/// This is the natural workload for the paper's query `Q` (pairs of cities
+/// connected by services of a single company, closed under `part_of`).
+pub fn transport_network(config: &TransportConfig) -> Triplestore {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = TriplestoreBuilder::new();
+    b.relation("E");
+    let city = |i: usize| format!("city{i}");
+    let operator = |i: usize| format!("op{i}");
+    let company = |i: usize| format!("company{i}");
+    // Services between cities.
+    for _ in 0..config.services {
+        let from = rng.random_range(0..config.cities.max(1));
+        let mut to = rng.random_range(0..config.cities.max(1));
+        if to == from {
+            to = (to + 1) % config.cities.max(1);
+        }
+        let op = rng.random_range(0..config.operators.max(1));
+        b.add_triple("E", city(from), operator(op), city(to));
+    }
+    // Ownership chains: operator → intermediate holdings → company.
+    for op in 0..config.operators {
+        let target_company = op % config.companies.max(1);
+        let mut current = operator(op);
+        for level in 1..config.ownership_depth.max(1) {
+            let holding = format!("holding{op}_{level}");
+            b.add_triple("E", &current, "part_of", &holding);
+            current = holding;
+        }
+        b.add_triple("E", &current, "part_of", company(target_company));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trial_core::builder::queries;
+    use trial_eval::evaluate;
+
+    #[test]
+    fn figure1_has_the_paper_shape() {
+        let store = figure1_store();
+        assert_eq!(store.triple_count(), 7);
+        assert_eq!(store.object_count(), 11);
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_scales() {
+        let cfg = TransportConfig::default();
+        let a = transport_network(&cfg);
+        let b = transport_network(&cfg);
+        assert_eq!(a, b);
+        let bigger = transport_network(&TransportConfig {
+            services: 400,
+            ..cfg
+        });
+        assert!(bigger.triple_count() > a.triple_count());
+        // Every triple is either a service or a part_of edge.
+        let part_of = a.object_id("part_of").unwrap();
+        for t in a.require_relation("E").unwrap().iter() {
+            let is_ownership = t.p() == part_of;
+            let is_service = a.object_name(t.s()).starts_with("city");
+            assert!(is_ownership || is_service);
+        }
+    }
+
+    #[test]
+    fn query_q_runs_on_generated_networks() {
+        let store = transport_network(&TransportConfig {
+            cities: 12,
+            operators: 4,
+            companies: 2,
+            services: 30,
+            ownership_depth: 2,
+            seed: 3,
+        });
+        let q = queries::same_company_reachability("E");
+        let result = evaluate(&q, &store).unwrap();
+        // The result contains at least the one-hop services lifted to their
+        // companies, so it is non-empty on any non-trivial network.
+        assert!(!result.result.is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Expressiveness tour (Section 6.1): translate between TriAL and
+//! finite-variable logics and replay the separating examples from the proofs
+//! of Theorems 4 and 5.
+//!
+//! Run with `cargo run -p trial-bench --example expressiveness`.
+
+use trial_core::builder::queries;
+use trial_eval::evaluate;
+use trial_logic::structures::{
+    at_least_k_objects_sentence, full_store, structure_a, structure_b, theorem4_fo4_sentence,
+};
+use trial_logic::{answers3, evaluate_closed, fo3_to_trial, trial_to_fo, Formula};
+use trial_workloads::figure1_store;
+
+fn main() {
+    let store = figure1_store();
+
+    // --- FO³ → TriAL (Theorem 4, part 2) --------------------------------
+    // "x is connected to z by some service": ∃y E(x, y, z).
+    let formula = Formula::exists("y", Formula::rel_vars("E", "x", "y", "z"));
+    let expr = fo3_to_trial(&formula, ["x", "y", "z"]).expect("FO3 formula translates");
+    println!("FO3 formula   : {formula}");
+    println!("TriAL form    : {expr}");
+    let algebra = evaluate(&expr, &store).expect("evaluation").result;
+    let logic = answers3(&store, &formula, ["x", "y", "z"]).expect("evaluation");
+    println!(
+        "both give {} answer triples, identical = {}",
+        algebra.len(),
+        algebra.set_eq(&logic)
+    );
+
+    // --- TriAL → FO⁶ (Theorem 4, part 1) ---------------------------------
+    let example2 = queries::example2("E");
+    let report = trial_to_fo(&example2).expect("translation");
+    println!("\nTriAL Example 2: {example2}");
+    println!("FO translation : {}", report.formula);
+    println!(
+        "variables used : {} (Theorem 4 promises at most 6)",
+        report.width
+    );
+
+    // --- "At least k objects" on the full stores T_n ---------------------
+    println!("\nSeparating queries on the full stores T_n (Theorem 4):");
+    let q4 = queries::at_least_four_objects();
+    let s4 = at_least_k_objects_sentence(4);
+    for n in [3usize, 4] {
+        let t = full_store(n);
+        let algebra = !evaluate(&q4, &t).expect("evaluation").result.is_empty();
+        let logic = evaluate_closed(&t, &s4).expect("evaluation");
+        println!("  T{n}: TriAL ≥4-objects = {algebra}, FO⁴ sentence = {logic}");
+    }
+
+    // --- Structures A and B (Theorem 4, part 3) --------------------------
+    let a = structure_a();
+    let b = structure_b();
+    let phi = theorem4_fo4_sentence();
+    println!("\nStructures A and B from the proof of Theorem 4:");
+    println!(
+        "  A: {} objects, {} triples; B: {} objects, {} triples",
+        a.object_count(),
+        a.triple_count(),
+        b.object_count(),
+        b.triple_count()
+    );
+    println!(
+        "  FO⁴ sentence φ: on A = {}, on B = {} — while TriAL queries cannot tell them apart",
+        evaluate_closed(&a, &phi).expect("evaluation"),
+        evaluate_closed(&b, &phi).expect("evaluation")
+    );
+    let q = queries::same_company_reachability("E");
+    println!(
+        "  e.g. query Q is non-empty on A = {}, on B = {}",
+        !evaluate(&q, &a).expect("evaluation").result.is_empty(),
+        !evaluate(&q, &b).expect("evaluation").result.is_empty()
+    );
+}

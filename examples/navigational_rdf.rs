@@ -1,0 +1,82 @@
+//! Navigational RDF querying: why triple-based navigation matters.
+//!
+//! Replays the paper's motivating separation (Proposition 1 / Theorem 1) with
+//! the native nSPARQL axis semantics, and shows what register automata add on
+//! graphs with data (Proposition 6).
+//!
+//! Run with `cargo run -p trial-bench --example navigational_rdf`.
+
+use trial_core::builder::queries;
+use trial_eval::evaluate;
+use trial_graph::nsparql::{evaluate_nsparql, sample_expressions};
+use trial_graph::proposition1_documents;
+use trial_graph::register::{distinct_values_expression, evaluate_rem, Cond, Rem};
+use trial_graph::GraphDbBuilder;
+
+fn main() {
+    // --- Theorem 1: nSPARQL axes cannot express the query Q --------------
+    let (d1, d2) = proposition1_documents();
+    println!(
+        "D1 has {} triples, D2 has {} (D2 lacks (Edinburgh, TrainOp1, London))",
+        d1.triple_count(),
+        d2.triple_count()
+    );
+    println!("\nnSPARQL axis expressions evaluated natively over the triples:");
+    for (name, expr) in sample_expressions() {
+        let on_d1 = evaluate_nsparql(&d1, "E", &expr).len();
+        let on_d2 = evaluate_nsparql(&d2, "E", &expr).len();
+        println!("  {name:<22} |D1| = {on_d1:<4} |D2| = {on_d2:<4} (identical answer sets)");
+    }
+    let q = queries::same_company_reachability("E");
+    let q1 = evaluate(&q, &d1).expect("evaluation").result;
+    let q2 = evaluate(&q, &d2).expect("evaluation").result;
+    println!("\nTriAL* query Q answers: {} on D1, {} on D2 — Q tells them apart,", q1.len(), q2.len());
+    println!("so no nSPARQL navigation over the σ(·) encoding can express Q (Theorem 1).");
+
+    // --- Proposition 6: regular expressions with memory ------------------
+    // A small itinerary graph where each stop carries a price band as data.
+    let mut b = GraphDbBuilder::new();
+    for (name, band) in [
+        ("Edinburgh", 1i64),
+        ("York", 2),
+        ("London", 3),
+        ("Paris", 2),
+        ("Brussels", 1),
+    ] {
+        b.node_with_value(name, band);
+    }
+    for (s, t) in [
+        ("Edinburgh", "York"),
+        ("York", "London"),
+        ("London", "Paris"),
+        ("Paris", "Brussels"),
+    ] {
+        b.edge(s, "train", t);
+    }
+    let graph = b.finish();
+
+    // "A trip whose next two hops stay in a *different* price band than the
+    // origin": ↓x1 train[x1≠] train[x1≠].
+    let changing_band = Rem::Down(
+        vec![0],
+        Box::new(
+            Rem::label_if("train", Cond::NeqReg(0)).then(Rem::label_if("train", Cond::NeqReg(0))),
+        ),
+    );
+    println!("\nRegister-automaton query ↓x1 train[x1≠] train[x1≠] (two hops, both leaving the");
+    println!("origin's price band):");
+    for (from, to) in evaluate_rem(&graph, &changing_band) {
+        println!("  {} -> {}", graph.node_name(from), graph.node_name(to));
+    }
+
+    // The e_n family from Proposition 6: a path visiting n distinct bands.
+    for n in [3usize, 4] {
+        let e = distinct_values_expression("train", n);
+        println!(
+            "e_{n} (path through {n} distinct price bands) non-empty: {}",
+            !evaluate_rem(&graph, &e).is_empty()
+        );
+    }
+    println!("\nProperties like e_7 are beyond TriAL*, while TriAL*'s complement queries are");
+    println!("beyond register automata — the two formalisms are incomparable (Proposition 6).");
+}

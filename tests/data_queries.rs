@@ -1,0 +1,226 @@
+//! Cross-crate tests for the data-aware and navigational comparisons:
+//! register automata / regular expressions with memory (Proposition 6),
+//! native nSPARQL axis navigation (Theorem 1), and their relationship to the
+//! graph languages and the algebra.
+
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet};
+use trial_core::builder::queries;
+use trial_eval::evaluate;
+use trial_graph::nsparql::{evaluate_nsparql, sample_expressions, Axis, NsExpr};
+use trial_graph::register::{
+    compile_rem, distinct_values_expression, evaluate_ra, evaluate_rem, Cond, Rem,
+};
+use trial_graph::rpq::evaluate_rpq;
+use trial_graph::sigma::{sigma_encode, SIGMA_NEXT};
+use trial_graph::{proposition1_documents, GraphDb, GraphDbBuilder, Nre, Regex};
+use trial_workloads::random_graph;
+
+/// Register-free REMs are just RPQs: on any graph, `a*` evaluated as a
+/// regular path query and as a regular expression with memory agree.
+#[test]
+fn register_free_rems_agree_with_rpqs_on_random_graphs() {
+    for seed in 0..6u64 {
+        let graph = random_graph(12, 30, 2, seed);
+        for (rem, regex) in [
+            (Rem::label("l0"), Regex::label("l0")),
+            (
+                Rem::label("l0").then(Rem::label("l1")),
+                Regex::label("l0").then(Regex::label("l1")),
+            ),
+            (
+                Rem::label("l0").or(Rem::label("l1")).star(),
+                Regex::label("l0").or(Regex::label("l1")).star(),
+            ),
+        ] {
+            let via_rem = evaluate_rem(&graph, &rem);
+            let via_rpq = evaluate_rpq(&graph, &regex);
+            assert_eq!(
+                via_rem, via_rpq,
+                "REM {rem} and RPQ disagree on seed {seed}"
+            );
+        }
+    }
+}
+
+/// Compiling a REM to a register automaton and evaluating the automaton is
+/// the same as evaluating the REM directly (the REM evaluator *is* the
+/// compiled automaton, so this pins the public API).
+#[test]
+fn compiled_register_automata_match_rem_evaluation() {
+    let mut b = GraphDbBuilder::new();
+    for (n, v) in [("a", 1i64), ("b", 2), ("c", 1), ("d", 3)] {
+        b.node_with_value(n, v);
+    }
+    b.edge("a", "x", "b");
+    b.edge("b", "x", "c");
+    b.edge("c", "y", "d");
+    let g = b.finish();
+    let rem = Rem::Down(
+        vec![0],
+        Box::new(Rem::label("x").then(Rem::label_if("x", Cond::EqReg(0)))),
+    )
+    .or(Rem::label("y"));
+    let direct = evaluate_rem(&g, &rem);
+    let automaton = compile_rem(&rem);
+    let via_ra = evaluate_ra(&g, &automaton);
+    assert_eq!(direct, via_ra);
+    assert!(direct.contains(&(g.node_id("a").unwrap(), g.node_id("c").unwrap())));
+}
+
+/// Proposition 6, first half: the e_n expressions detect n distinct data
+/// values along a path, a property that grows strictly with n.
+#[test]
+fn distinct_value_expressions_form_a_strict_hierarchy() {
+    let mut b = GraphDbBuilder::new();
+    for i in 0..6 {
+        b.node_with_value(format!("n{i}"), i as i64);
+    }
+    for i in 0..5 {
+        b.edge(format!("n{i}"), "a", format!("n{}", i + 1));
+    }
+    let g = b.finish();
+    // The 6-node distinct chain satisfies e_2 .. e_6 but not e_7.
+    for n in 2..=6usize {
+        assert!(
+            !evaluate_rem(&g, &distinct_values_expression("a", n)).is_empty(),
+            "e_{n} should have a witness on a 6-value chain"
+        );
+    }
+    assert!(evaluate_rem(&g, &distinct_values_expression("a", 7)).is_empty());
+}
+
+/// Theorem 1: every nSPARQL axis expression answers identically on the
+/// Proposition 1 documents, while the TriAL* query Q separates them.
+#[test]
+fn nsparql_axes_cannot_express_query_q() {
+    let (d1, d2) = proposition1_documents();
+    for (name, expr) in sample_expressions() {
+        let to_names = |store: &trial_core::Triplestore,
+                        pairs: &HashSet<(trial_core::ObjectId, trial_core::ObjectId)>|
+         -> BTreeSet<(String, String)> {
+            pairs
+                .iter()
+                .map(|(a, b)| {
+                    (
+                        store.object_name(*a).to_string(),
+                        store.object_name(*b).to_string(),
+                    )
+                })
+                .collect()
+        };
+        let on_d1 = to_names(&d1, &evaluate_nsparql(&d1, "E", &expr));
+        let on_d2 = to_names(&d2, &evaluate_nsparql(&d2, "E", &expr));
+        assert_eq!(on_d1, on_d2, "axis expression {name} distinguishes D1/D2");
+    }
+    let q = queries::same_company_reachability("E");
+    let q1 = evaluate(&q, &d1).unwrap().result;
+    let q2 = evaluate(&q, &d2).unwrap().result;
+    assert!(!q1.set_eq(&q2), "Q must distinguish D1 from D2");
+}
+
+/// The `next` axis evaluated natively over the triples coincides with the
+/// `next`-labelled edges of the σ(·) encoding — the two views of nSPARQL
+/// navigation are consistent.
+fn next_axis_matches_sigma(store: &trial_core::Triplestore) {
+    let graph: GraphDb = sigma_encode(store, "E");
+    let via_axis: BTreeSet<(String, String)> = evaluate_nsparql(store, "E", &NsExpr::axis(Axis::Next))
+        .into_iter()
+        .map(|(a, b)| {
+            (
+                store.object_name(a).to_string(),
+                store.object_name(b).to_string(),
+            )
+        })
+        .collect();
+    let via_sigma: BTreeSet<(String, String)> = graph
+        .label_pairs(SIGMA_NEXT)
+        .into_iter()
+        .map(|(a, b)| (graph.node_name(a).to_string(), graph.node_name(b).to_string()))
+        .collect();
+    assert_eq!(via_axis, via_sigma);
+}
+
+#[test]
+fn next_axis_and_sigma_encoding_agree_on_the_paper_documents() {
+    let (d1, d2) = proposition1_documents();
+    next_axis_matches_sigma(&d1);
+    next_axis_matches_sigma(&d2);
+    next_axis_matches_sigma(&trial_workloads::figure1_store());
+}
+
+/// The starred `next` axis is plain reachability, so it agrees with the NRE
+/// `next*` over the σ-encoding.
+#[test]
+fn next_star_matches_nre_reachability() {
+    let store = trial_workloads::figure1_store();
+    let graph = sigma_encode(&store, "E");
+    let via_axis: BTreeSet<(String, String)> =
+        evaluate_nsparql(&store, "E", &NsExpr::axis(Axis::Next).star())
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| {
+                (
+                    store.object_name(a).to_string(),
+                    store.object_name(b).to_string(),
+                )
+            })
+            .collect();
+    let via_nre: BTreeSet<(String, String)> =
+        trial_graph::nre::evaluate_nre(&graph, &Nre::label(SIGMA_NEXT).plus())
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| (graph.node_name(a).to_string(), graph.node_name(b).to_string()))
+            .collect();
+    assert_eq!(via_axis, via_nre);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Register-automaton queries are monotone: evaluating on a graph with
+    /// one extra edge can only add answers (Proposition 6's second half
+    /// relies on exactly this).
+    #[test]
+    fn rem_queries_are_monotone_under_edge_addition(
+        seed in 0u64..1000,
+        extra_src in 0usize..10,
+        extra_dst in 0usize..10,
+    ) {
+        let small = random_graph(10, 18, 2, seed);
+        // Re-create the same graph and add one extra edge.
+        let mut b = GraphDbBuilder::new();
+        for node in small.nodes() {
+            b.node_with_value(small.node_name(node), small.value(node).clone());
+        }
+        for edge in small.edges() {
+            b.edge(
+                small.node_name(edge.source),
+                edge.label.clone(),
+                small.node_name(edge.target),
+            );
+        }
+        b.edge(format!("n{extra_src}"), "l0", format!("n{extra_dst}"));
+        let large = b.finish();
+
+        let queries = [
+            Rem::label("l0").star(),
+            Rem::Down(vec![0], Box::new(Rem::label_if("l0", Cond::NeqReg(0)))).star(),
+            Rem::label("l1").then(Rem::label("l0").or(Rem::Epsilon)),
+        ];
+        for q in queries {
+            let to_names = |g: &GraphDb, pairs: &HashSet<(trial_graph::NodeId, trial_graph::NodeId)>| {
+                pairs
+                    .iter()
+                    .map(|(a, b)| (g.node_name(*a).to_string(), g.node_name(*b).to_string()))
+                    .collect::<BTreeSet<_>>()
+            };
+            let on_small = to_names(&small, &evaluate_rem(&small, &q));
+            let on_large = to_names(&large, &evaluate_rem(&large, &q));
+            prop_assert!(
+                on_small.is_subset(&on_large),
+                "REM {q} lost answers when an edge was added (seed {seed})"
+            );
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Integration tests for the Proposition 2 / Theorem 2 capture results:
+//! Datalog programs and algebra expressions translate into each other and
+//! evaluate identically.
+
+use trial_core::builder::queries;
+use trial_core::Expr;
+use trial_datalog::{evaluate_program, expr_to_program, parse_program, program_to_expr, ProgramClass};
+use trial_eval::evaluate;
+use trial_workloads::{figure1_store, transport_network, TransportConfig};
+
+#[test]
+fn query_q_as_a_reach_triple_datalog_program() {
+    // The hand-written ReachTripleDatalog¬ program for query Q.
+    let program = parse_program(
+        "Lift(x, c, y) :- E(x, c, y).
+         Lift(x, c, y) :- Lift(x, w, y), E(w, u, c).
+         Same(x, c, y) :- Lift(x, c, y).
+         Same(x, c, y) :- Same(x, c, w), Lift(w, c2, y), c = c2.
+         Ans(x, c, y) :- Same(x, c, y).",
+    )
+    .unwrap();
+    assert_eq!(program.classify(), ProgramClass::ReachTripleDatalog);
+    let store = figure1_store();
+    let datalog = evaluate_program(&program, &store)
+        .unwrap()
+        .output_triples()
+        .unwrap();
+    let algebra = evaluate(&queries::same_company_reachability("E"), &store)
+        .unwrap()
+        .result;
+    assert_eq!(datalog, algebra);
+    // And the program translates back into an equivalent TriAL* expression.
+    let back = program_to_expr(&program).unwrap();
+    assert!(back.is_recursive());
+    assert_eq!(evaluate(&back, &store).unwrap().result, algebra);
+}
+
+#[test]
+fn algebra_to_datalog_to_algebra_roundtrip_on_larger_data() {
+    let store = transport_network(&TransportConfig {
+        cities: 12,
+        operators: 4,
+        companies: 2,
+        services: 30,
+        ownership_depth: 2,
+        seed: 19,
+    });
+    let rels: Vec<&str> = store.relation_names().collect();
+    for expr in [
+        queries::example2("E"),
+        queries::reach_forward("E"),
+        queries::same_company_reachability("E"),
+        Expr::rel("E").minus(queries::example2("E")),
+    ] {
+        let program = expr_to_program(&expr, &rels).unwrap();
+        let datalog = evaluate_program(&program, &store)
+            .unwrap()
+            .output_triples()
+            .unwrap();
+        let direct = evaluate(&expr, &store).unwrap().result;
+        assert_eq!(datalog, direct, "program disagrees for {expr}");
+        let back = program_to_expr(&program).unwrap();
+        assert_eq!(
+            evaluate(&back, &store).unwrap().result,
+            direct,
+            "roundtrip disagrees for {expr}"
+        );
+    }
+}
+
+#[test]
+fn classification_matches_the_capture_theorems() {
+    let store = figure1_store();
+    let rels: Vec<&str> = store.relation_names().collect();
+    // Non-recursive expressions land in TripleDatalog¬ (Proposition 2) …
+    let p = expr_to_program(&queries::example2("E"), &rels).unwrap();
+    assert_eq!(p.classify(), ProgramClass::NonRecursiveTripleDatalog);
+    // … recursive ones in ReachTripleDatalog¬ (Theorem 2).
+    let p = expr_to_program(&queries::same_company_reachability("E"), &rels).unwrap();
+    assert_eq!(p.classify(), ProgramClass::ReachTripleDatalog);
+}
+
+#[test]
+fn negation_and_sim_survive_both_translations() {
+    let store = figure1_store();
+    let program = parse_program(
+        "Part(x, y, z) :- E(x, y, z), y = 'part_of'.
+         Travel(x, y, z) :- E(x, y, z), not Part(x, y, z).
+         Ans(x, y, z) :- Travel(x, y, z), not sim(x, z).",
+    )
+    .unwrap();
+    let datalog = evaluate_program(&program, &store)
+        .unwrap()
+        .output_triples()
+        .unwrap();
+    // Travel triples are the three city-to-city services; none of the city
+    // pairs share a data value (all ρ are null ⇒ sim always holds), so the
+    // final negation empties nothing or everything — compute via the algebra
+    // translation and compare rather than hard-coding.
+    let expr = program_to_expr(&program).unwrap();
+    let algebra = evaluate(&expr, &store).unwrap().result;
+    assert_eq!(datalog, algebra);
+}

@@ -1,0 +1,148 @@
+//! Integration tests for Section 6.2: graph query languages evaluated
+//! natively agree with their TriAL* translations over the triplestore
+//! encoding, on generated graphs; and the σ(·)-encoding separation of
+//! Proposition 1 holds.
+
+use std::collections::BTreeSet;
+use trial_core::builder::queries;
+use trial_eval::evaluate;
+use trial_graph::gxpath::{evaluate_path, NodeExpr, PathExpr};
+use trial_graph::nre::{evaluate_nre, Nre};
+use trial_graph::rpq::evaluate_rpq;
+use trial_graph::sigma::sigma_encode;
+use trial_graph::{graph_to_triplestore, nre_to_trial, path_to_trial, regex_to_trial, GraphDb, Regex};
+use trial_workloads::random_graph;
+
+fn trial_pairs(expr: &trial_core::Expr, store: &trial_core::Triplestore) -> BTreeSet<(String, String)> {
+    evaluate(expr, store)
+        .unwrap()
+        .result
+        .iter()
+        .map(|t| {
+            (
+                store.object_name(t.s()).to_owned(),
+                store.object_name(t.o()).to_owned(),
+            )
+        })
+        .collect()
+}
+
+fn native_pairs(
+    graph: &GraphDb,
+    pairs: impl IntoIterator<Item = (trial_graph::NodeId, trial_graph::NodeId)>,
+) -> BTreeSet<(String, String)> {
+    pairs
+        .into_iter()
+        .map(|(a, b)| (graph.node_name(a).to_owned(), graph.node_name(b).to_owned()))
+        .collect()
+}
+
+#[test]
+fn rpq_and_nre_translations_on_random_graphs() {
+    for seed in 0..4u64 {
+        let graph = random_graph(14, 45, 3, seed);
+        let store = graph_to_triplestore(&graph);
+        let rpqs = [
+            Regex::label("l0").plus(),
+            Regex::label("l0").then(Regex::label("l1")).star(),
+            Regex::label("l2").or(Regex::label("l1").then(Regex::label("l0"))),
+        ];
+        for re in &rpqs {
+            assert_eq!(
+                native_pairs(&graph, evaluate_rpq(&graph, re)),
+                trial_pairs(&regex_to_trial(re), &store),
+                "RPQ {re} differs on seed {seed}"
+            );
+        }
+        let nres = [
+            Nre::label("l0").then(Nre::label("l1").test()).plus(),
+            Nre::inverse("l0").or(Nre::label("l2")).star(),
+        ];
+        for e in &nres {
+            assert_eq!(
+                native_pairs(&graph, evaluate_nre(&graph, e)),
+                trial_pairs(&nre_to_trial(e), &store),
+                "NRE {e} differs on seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gxpath_translations_including_negation_and_data() {
+    for seed in 0..3u64 {
+        let graph = random_graph(10, 30, 3, 100 + seed);
+        let store = graph_to_triplestore(&graph);
+        let paths = [
+            PathExpr::label("l0").star().complement(),
+            PathExpr::label("l1")
+                .then(PathExpr::test(NodeExpr::exists(PathExpr::label("l0")).not())),
+            PathExpr::label("l0").or(PathExpr::label("l1")).star().data_eq(),
+            PathExpr::label("l2").data_neq(),
+        ];
+        for alpha in &paths {
+            assert_eq!(
+                native_pairs(&graph, evaluate_path(&graph, alpha)),
+                trial_pairs(&path_to_trial(alpha), &store),
+                "GXPath {alpha} differs on seed {seed}"
+            );
+        }
+    }
+}
+
+#[test]
+fn proposition1_separation_end_to_end() {
+    // Build the two documents from the appendix proof of Proposition 1.
+    let shared = [
+        ("StAndrews", "BusOp1", "Edinburgh"),
+        ("Edinburgh", "TrainOp3", "London"),
+        ("Edinburgh", "TrainOp1", "Manchester"),
+        ("Newcastle", "TrainOp1", "London"),
+        ("London", "TrainOp2", "Brussels"),
+        ("BusOp1", "part_of", "NatExpress"),
+        ("TrainOp1", "part_of", "EastCoast"),
+        ("TrainOp2", "part_of", "Eurostar"),
+        ("EastCoast", "part_of", "NatExpress"),
+    ];
+    let build = |extra: bool| {
+        let mut b = trial_core::TriplestoreBuilder::new();
+        for (s, p, o) in shared {
+            b.add_triple("E", s, p, o);
+        }
+        if extra {
+            b.add_triple("E", "Edinburgh", "TrainOp1", "London");
+        }
+        b.finish()
+    };
+    let d1 = build(true);
+    let d2 = build(false);
+    // 1. The σ encodings coincide.
+    let edge_set = |g: &GraphDb| -> BTreeSet<String> {
+        g.edges()
+            .map(|e| format!("{} {} {}", g.node_name(e.source), e.label, g.node_name(e.target)))
+            .collect()
+    };
+    let g1 = sigma_encode(&d1, "E");
+    let g2 = sigma_encode(&d2, "E");
+    assert_eq!(edge_set(&g1), edge_set(&g2));
+    // 2. Hence a sample of NREs over σ(·) cannot distinguish D1 from D2.
+    for nre in [
+        Nre::label("next").plus(),
+        Nre::label("edge").then(Nre::label("node")).plus(),
+        Nre::label("edge")
+            .then(Nre::label("next").star().test())
+            .then(Nre::label("node"))
+            .star(),
+    ] {
+        let r1: BTreeSet<_> = native_pairs(&g1, evaluate_nre(&g1, &nre));
+        let r2: BTreeSet<_> = native_pairs(&g2, evaluate_nre(&g2, &nre));
+        assert_eq!(r1, r2, "NRE {nre} should not distinguish σ(D1) from σ(D2)");
+    }
+    // 3. But TriAL*'s query Q does distinguish the documents themselves.
+    let q = queries::same_company_reachability("E");
+    let witness = ("StAndrews".to_owned(), "London".to_owned());
+    let q1 = trial_pairs(&q, &d1);
+    let q2 = trial_pairs(&q, &d2);
+    assert!(q1.contains(&witness));
+    assert!(!q2.contains(&witness));
+}

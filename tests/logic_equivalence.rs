@@ -1,0 +1,172 @@
+//! Property-based cross-checks of the Section 6.1 translations:
+//!
+//! * random FO³ formulas evaluate identically to their TriAL translations
+//!   (Theorem 4, part 2 / Theorem 5);
+//! * random star-free TriAL expressions evaluate identically to their FO
+//!   translations and stay within six variables (Theorem 4, part 1);
+//! * positive FO³ formulas translate into the equality-only fragment TriAL⁼
+//!   (Theorem 5).
+//!
+//! Stores are kept tiny (≤ 5 objects) because the logic side is evaluated by
+//! exhaustive active-domain enumeration.
+
+use proptest::prelude::*;
+use trial_core::{output, Conditions, Expr, Pos, Triplestore, TriplestoreBuilder};
+use trial_eval::{Engine, SmartEngine};
+use trial_logic::{answers3, fo3_to_trial, trial_to_fo, Formula};
+
+const VARS: [&str; 3] = ["x", "y", "z"];
+
+/// A random store over at most 5 named objects (some sharing data values).
+fn arb_small_store() -> impl Strategy<Value = Triplestore> {
+    (2u32..5, prop::collection::vec((0u32..4, 0u32..4, 0u32..4), 1..10)).prop_map(
+        |(n, triples)| {
+            let mut b = TriplestoreBuilder::new();
+            for i in 0..n {
+                b.object_with_value(format!("o{i}"), trial_core::Value::int((i % 2) as i64));
+            }
+            b.relation("E");
+            for (s, p, o) in triples {
+                b.add_triple(
+                    "E",
+                    format!("o{}", s % n),
+                    format!("o{}", p % n),
+                    format!("o{}", o % n),
+                );
+            }
+            b.finish()
+        },
+    )
+}
+
+/// A random answer variable.
+fn arb_var() -> impl Strategy<Value = String> {
+    prop::sample::select(vec!["x".to_string(), "y".to_string(), "z".to_string()])
+}
+
+/// A random FO³ formula over relation `E`, `∼`, `=` and the three answer
+/// variables, with bounded quantifier depth.
+fn arb_fo3() -> impl Strategy<Value = Formula> {
+    let leaf = prop_oneof![
+        (arb_var(), arb_var(), arb_var())
+            .prop_map(|(a, b, c)| Formula::rel_vars("E", a, b, c)),
+        (arb_var(), arb_var()).prop_map(|(a, b)| Formula::eq_vars(a, b)),
+        (arb_var(), arb_var()).prop_map(|(a, b)| Formula::sim_vars(a, b)),
+        Just(Formula::True),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(Formula::not),
+            (arb_var(), inner.clone()).prop_map(|(v, f)| Formula::exists(v, f)),
+            (arb_var(), inner).prop_map(|(v, f)| Formula::forall(v, f)),
+        ]
+    })
+}
+
+/// A random join position.
+fn arb_pos() -> impl Strategy<Value = Pos> {
+    prop::sample::select(Pos::ALL.to_vec())
+}
+
+/// A random star-free TriAL expression over `E` (joins, selections, set
+/// operations, complement) — the Theorem 4 fragment.
+fn arb_star_free_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        3 => Just(Expr::rel("E")),
+        1 => Just(Expr::Universe),
+        1 => Just(Expr::Empty),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.minus(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
+            inner.clone().prop_map(Expr::complement),
+            (inner.clone(), inner.clone(), arb_pos(), arb_pos(), arb_pos(), arb_pos(), arb_pos())
+                .prop_map(|(a, b, i, j, k, x, y)| {
+                    a.join(b, output(i, j, k), Conditions::new().obj_eq(x, y.mirrored()))
+                }),
+            (inner.clone(), arb_pos(), arb_pos(), arb_pos(), any::<bool>()).prop_map(
+                |(a, i, j, k, data)| {
+                    let cond = if data {
+                        Conditions::new().data_eq(Pos::L1, Pos::L3)
+                    } else {
+                        Conditions::new().obj_neq(Pos::L1, Pos::L2)
+                    };
+                    a.join(Expr::rel("E"), output(i, j, k), Conditions::new())
+                        .select(cond)
+                }
+            ),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Theorem 4.2 / Theorem 5: a random FO3 formula and its TriAL
+    /// translation compute the same ternary query.
+    #[test]
+    fn fo3_formulas_agree_with_their_trial_translation(
+        store in arb_small_store(),
+        formula in arb_fo3(),
+    ) {
+        let expr = fo3_to_trial(&formula, VARS).expect("every FO3 formula translates");
+        let algebra = SmartEngine::new().run(&expr, &store).expect("algebra evaluation");
+        let logic = answers3(&store, &formula, VARS).expect("logic evaluation");
+        prop_assert!(
+            algebra.set_eq(&logic),
+            "disagreement for {} on a store with {} triples",
+            formula,
+            store.triple_count()
+        );
+    }
+
+    /// Theorem 4.1: a random star-free TriAL expression and its FO
+    /// translation compute the same ternary query, using at most six
+    /// variables.
+    #[test]
+    fn star_free_expressions_agree_with_their_fo_translation(
+        store in arb_small_store(),
+        expr in arb_star_free_expr(),
+    ) {
+        let report = trial_to_fo(&expr).expect("star-free expressions always translate");
+        prop_assert!(report.formula.is_first_order());
+        prop_assert!(
+            report.width <= 6,
+            "Theorem 4: expected at most 6 variables, got {} for {}",
+            report.width,
+            expr
+        );
+        let [x, y, z] = &report.answer_vars;
+        let logic = answers3(&store, &report.formula, [x, y, z]).expect("logic evaluation");
+        let algebra = SmartEngine::new().run(&expr, &store).expect("algebra evaluation");
+        prop_assert!(
+            algebra.set_eq(&logic),
+            "disagreement for {} on a store with {} triples",
+            expr,
+            store.triple_count()
+        );
+    }
+
+    /// The FO3 → TriAL translation never introduces inequalities (Theorem 5):
+    /// formulas built without negation land in the TriAL⁼ fragment.
+    #[test]
+    fn positive_fo3_translations_stay_equality_only(formula in arb_fo3()) {
+        let positive = formula
+            .subformulas()
+            .iter()
+            .all(|f| !matches!(f, Formula::Not(_) | Formula::Forall(_, _)));
+        prop_assume!(positive);
+        let expr = fo3_to_trial(&formula, VARS).expect("FO3 translation");
+        let report = trial_core::fragment::analyze(&expr);
+        prop_assert!(
+            report.fragment().equalities_only(),
+            "expected a TriAL= expression for {}, got {:?}",
+            formula,
+            report.fragment()
+        );
+    }
+}
