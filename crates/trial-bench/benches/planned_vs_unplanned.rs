@@ -1,0 +1,92 @@
+//! Planned (index-backed, cost-based) vs. unplanned (syntactic, rebuild-per-
+//! join) execution of the same queries on the chain and social workloads.
+//!
+//! The "unplanned" configuration disables the cost-based planner rewrites
+//! and the reuse of star build tables, reproducing the pre-plan-IR behaviour
+//! of the engine: every join rebuilds its hash table from scratch, stars
+//! included (one rebuild per fixpoint round). The planned configuration is
+//! the default `SmartEngine`. The star benchmarks disable the Proposition 5
+//! reachability specialisation in *both* configurations so that they isolate
+//! the build-once-vs-rebuild difference of the semi-naive fixpoint rather
+//! than comparing two different algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use trial_core::builder::queries;
+use trial_core::{output, Conditions, Expr, Pos};
+use trial_eval::{Engine, EvalOptions, SmartEngine};
+use trial_workloads::{chain_store, social_network, SocialConfig};
+
+fn engines(reach_specialisation: bool) -> [(&'static str, SmartEngine); 2] {
+    [
+        (
+            "planned",
+            SmartEngine::with_options(EvalOptions {
+                use_reach_specialisation: reach_specialisation,
+                ..EvalOptions::default()
+            }),
+        ),
+        (
+            "unplanned",
+            SmartEngine::with_options(EvalOptions {
+                use_reach_specialisation: reach_specialisation,
+                optimize_plans: false,
+                ..EvalOptions::default()
+            }),
+        ),
+    ]
+}
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planned_vs_unplanned/chain");
+    group.sample_size(10);
+    for len in [100usize, 400] {
+        let store = chain_store(len);
+        let star = queries::reach_forward("E");
+        for (name, engine) in engines(false) {
+            group.bench_with_input(BenchmarkId::new(name, len), &store, |b, store| {
+                b.iter(|| black_box(engine.run(&star, store).unwrap()))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_social(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planned_vs_unplanned/social");
+    group.sample_size(10);
+    let store = social_network(&SocialConfig {
+        users: 150,
+        connections: 600,
+        seed: 11,
+    });
+    // Friend-of-friend join chains (one and two hops of composition) plus
+    // the reachability star evaluated as a generic fixpoint.
+    let fof = Expr::rel("E").join(
+        Expr::rel("E"),
+        output(Pos::L1, Pos::L2, Pos::R3),
+        Conditions::new().obj_eq(Pos::L3, Pos::R1),
+    );
+    let fof3 = fof.clone().join(
+        Expr::rel("E"),
+        output(Pos::L1, Pos::L2, Pos::R3),
+        Conditions::new().obj_eq(Pos::L3, Pos::R1),
+    );
+    for (qname, query) in [("fof", &fof), ("fof3", &fof3)] {
+        for (ename, engine) in engines(true) {
+            group.bench_with_input(BenchmarkId::new(qname, ename), &store, |b, store| {
+                b.iter(|| black_box(engine.run(query, store).unwrap()))
+            });
+        }
+    }
+    let star = queries::reach_forward("E");
+    for (ename, engine) in engines(false) {
+        group.bench_with_input(BenchmarkId::new("reach", ename), &store, |b, store| {
+            b.iter(|| black_box(engine.run(&star, store).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_social);
+criterion_main!(benches);

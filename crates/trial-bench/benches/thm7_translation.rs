@@ -13,7 +13,9 @@ fn bench_thm7(c: &mut Criterion) {
     let engine = SmartEngine::new();
     let nre = Nre::label("l0").then(Nre::label("l1").test()).star();
     let gxpath = PathExpr::label("l0")
-        .then(PathExpr::test(NodeExpr::exists(PathExpr::label("l1")).not()))
+        .then(PathExpr::test(
+            NodeExpr::exists(PathExpr::label("l1")).not(),
+        ))
         .or(PathExpr::label("l2"))
         .star();
     for nodes in [10usize, 20, 40] {

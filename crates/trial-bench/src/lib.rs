@@ -147,9 +147,7 @@ pub fn e1_sigma_inexpressibility() -> Report {
     // two encodings (they must: the encodings are equal as graphs).
     let nres = [
         Nre::label(SIGMA_NEXT).plus(),
-        Nre::label(SIGMA_EDGE)
-            .then(Nre::label(SIGMA_NODE))
-            .plus(),
+        Nre::label(SIGMA_EDGE).then(Nre::label(SIGMA_NODE)).plus(),
         Nre::label(SIGMA_EDGE)
             .then(Nre::label(SIGMA_NEXT).star().test())
             .then(Nre::label(SIGMA_NODE))
@@ -164,10 +162,23 @@ pub fn e1_sigma_inexpressibility() -> Report {
     let mut body = String::new();
     let _ = writeln!(body, "| check | value |");
     let _ = writeln!(body, "|---|---|");
-    let _ = writeln!(body, "| D1 triples / D2 triples | {} / {} |", d1.triple_count(), d2.triple_count());
+    let _ = writeln!(
+        body,
+        "| D1 triples / D2 triples | {} / {} |",
+        d1.triple_count(),
+        d2.triple_count()
+    );
     let _ = writeln!(body, "| σ(D1) = σ(D2) (same edge set) | {sigma_equal} |");
-    let _ = writeln!(body, "| (StAndrews, London) ∈ Q(D1) | {} |", q1.contains(&witness));
-    let _ = writeln!(body, "| (StAndrews, London) ∈ Q(D2) | {} |", q2.contains(&witness));
+    let _ = writeln!(
+        body,
+        "| (StAndrews, London) ∈ Q(D1) | {} |",
+        q1.contains(&witness)
+    );
+    let _ = writeln!(
+        body,
+        "| (StAndrews, London) ∈ Q(D2) | {} |",
+        q2.contains(&witness)
+    );
     let _ = writeln!(body, "| Q(D1) = Q(D2) | {} |", q1 == q2);
     let _ = writeln!(body, "| sample NREs agree on σ(D1), σ(D2) | {nre_agree} |");
     let _ = writeln!(
@@ -196,8 +207,16 @@ pub fn e2_worked_examples() -> Report {
         let _ = writeln!(body);
     };
     show(&mut body, "Example 2", &queries::example2("E"));
-    show(&mut body, "Example 2 (extended)", &queries::example2_extended("E"));
-    show(&mut body, "Reach→ (Example 4)", &queries::reach_forward("E"));
+    show(
+        &mut body,
+        "Example 2 (extended)",
+        &queries::example2_extended("E"),
+    );
+    show(
+        &mut body,
+        "Reach→ (Example 4)",
+        &queries::reach_forward("E"),
+    );
     show(
         &mut body,
         "Query Q (Theorem 1 / Example 4)",
@@ -270,7 +289,10 @@ pub fn e4_trial_eq_scaling() -> Report {
     let naive = NaiveEngine::new();
     let smart = SmartEngine::new();
     let join = queries::example2("E");
-    let _ = writeln!(body, "| \\|T\\| | naive work | smart work | naive ms | smart ms |");
+    let _ = writeln!(
+        body,
+        "| \\|T\\| | naive work | smart work | naive ms | smart ms |"
+    );
     let _ = writeln!(body, "|---|---|---|---|---|");
     for triples in [200usize, 400, 800, 1600] {
         let store = random_store(&RandomStoreConfig {
@@ -361,7 +383,10 @@ pub fn e6_data_complexity() -> Report {
     let mut body = String::new();
     let smart = SmartEngine::new();
     let q = queries::same_company_reachability("E");
-    let _ = writeln!(body, "| cities | services | \\|T\\| | answers | work | ms |");
+    let _ = writeln!(
+        body,
+        "| cities | services | \\|T\\| | answers | work | ms |"
+    );
     let _ = writeln!(body, "|---|---|---|---|---|---|");
     for scale in [1usize, 2, 4, 8] {
         let store = transport_network(&TransportConfig {
@@ -460,9 +485,7 @@ pub fn e8_graph_language_translations() -> Report {
     let mut body = String::new();
     let _ = writeln!(body, "| language | queries checked | graphs | all agree |");
     let _ = writeln!(body, "|---|---|---|---|");
-    let graphs: Vec<_> = (0..3)
-        .map(|seed| random_graph(12, 40, 3, seed))
-        .collect();
+    let graphs: Vec<_> = (0..3).map(|seed| random_graph(12, 40, 3, seed)).collect();
     let engine = SmartEngine::new();
     // RPQs.
     let rpqs = vec![
@@ -493,7 +516,12 @@ pub fn e8_graph_language_translations() -> Report {
             rpq_ok &= native == translated;
         }
     }
-    let _ = writeln!(body, "| RPQ | {} | {} | {rpq_ok} |", rpqs.len(), graphs.len());
+    let _ = writeln!(
+        body,
+        "| RPQ | {} | {} | {rpq_ok} |",
+        rpqs.len(),
+        graphs.len()
+    );
     // NREs.
     let nres = vec![
         Nre::label("l0").then(Nre::label("l1").test()),
@@ -522,12 +550,18 @@ pub fn e8_graph_language_translations() -> Report {
             nre_ok &= native == translated;
         }
     }
-    let _ = writeln!(body, "| NRE | {} | {} | {nre_ok} |", nres.len(), graphs.len());
+    let _ = writeln!(
+        body,
+        "| NRE | {} | {} | {nre_ok} |",
+        nres.len(),
+        graphs.len()
+    );
     // GXPath (including data comparisons and complement).
     let paths = vec![
         PathExpr::label("l0").complement(),
-        PathExpr::label("l0")
-            .then(PathExpr::test(NodeExpr::exists(PathExpr::label("l1")).not())),
+        PathExpr::label("l0").then(PathExpr::test(
+            NodeExpr::exists(PathExpr::label("l1")).not(),
+        )),
         PathExpr::label("l0").or(PathExpr::label("l1")).star(),
         PathExpr::label("l0").then(PathExpr::label("l1")).data_eq(),
     ];
@@ -553,7 +587,12 @@ pub fn e8_graph_language_translations() -> Report {
             gx_ok &= native == translated;
         }
     }
-    let _ = writeln!(body, "| GXPath(∼) | {} | {} | {gx_ok} |", paths.len(), graphs.len());
+    let _ = writeln!(
+        body,
+        "| GXPath(∼) | {} | {} | {gx_ok} |",
+        paths.len(),
+        graphs.len()
+    );
     let _ = writeln!(
         body,
         "\nExpected (Thm. 7, Cor. 2, Cor. 4): every graph-language query equals the π₁,₃ \
@@ -642,11 +681,7 @@ pub fn e10_recursion_ablation() -> Report {
     let _ = writeln!(body, "| workload | query | engine | work | ms |");
     let _ = writeln!(body, "|---|---|---|---|---|");
     let workloads: Vec<(&str, Triplestore, Expr)> = vec![
-        (
-            "chain(300)",
-            chain_store(300),
-            queries::reach_forward("E"),
-        ),
+        ("chain(300)", chain_store(300), queries::reach_forward("E")),
         (
             "transport(×4)",
             transport_network(&TransportConfig {
@@ -750,17 +785,29 @@ mod tests {
     #[test]
     fn e1_confirms_the_separation() {
         let report = e1_sigma_inexpressibility();
-        assert!(report.body.contains("| σ(D1) = σ(D2) (same edge set) | true |"));
-        assert!(report.body.contains("| (StAndrews, London) ∈ Q(D1) | true |"));
-        assert!(report.body.contains("| (StAndrews, London) ∈ Q(D2) | false |"));
+        assert!(report
+            .body
+            .contains("| σ(D1) = σ(D2) (same edge set) | true |"));
+        assert!(report
+            .body
+            .contains("| (StAndrews, London) ∈ Q(D1) | true |"));
+        assert!(report
+            .body
+            .contains("| (StAndrews, London) ∈ Q(D2) | false |"));
     }
 
     #[test]
     fn e7_separates_the_proof_structures() {
         let report = e7_expressiveness_separations();
-        assert!(report.body.contains("| T3 (complete, 3 objects) | false | false |"));
-        assert!(report.body.contains("| T4 (complete, 4 objects) | true | false |"));
-        assert!(report.body.contains("| T6 (complete, 6 objects) | true | true |"));
+        assert!(report
+            .body
+            .contains("| T3 (complete, 3 objects) | false | false |"));
+        assert!(report
+            .body
+            .contains("| T4 (complete, 4 objects) | true | false |"));
+        assert!(report
+            .body
+            .contains("| T6 (complete, 6 objects) | true | true |"));
     }
 
     #[test]

@@ -50,14 +50,21 @@ pub fn e11_logic_translations() -> Report {
         ),
     ];
     let _ = writeln!(body, "### FO³ → TriAL (Theorem 4.2 / Theorem 5)\n");
-    let _ = writeln!(body, "| formula | fragment of translation | answers agree |");
+    let _ = writeln!(
+        body,
+        "| formula | fragment of translation | answers agree |"
+    );
     let _ = writeln!(body, "|---|---|---|");
     for (name, formula) in &fo3_queries {
         let expr = fo3_to_trial(formula, vars).expect("FO3 translation");
         let algebra = engine.run(&expr, &store).expect("algebra evaluation");
         let logic = answers3(&store, formula, vars).expect("logic evaluation");
         let agree = algebra.set_eq(&logic);
-        let _ = writeln!(body, "| {name} | {} | agree={agree} |", fragment::classify(&expr));
+        let _ = writeln!(
+            body,
+            "| {name} | {} | agree={agree} |",
+            fragment::classify(&expr)
+        );
     }
 
     // --- TriAL → FO⁶ (Theorem 4 part 1) ---------------------------------
@@ -84,7 +91,10 @@ pub fn e11_logic_translations() -> Report {
         ("≥4 distinct objects", queries::at_least_four_objects()),
     ];
     let _ = writeln!(body, "\n### TriAL → FO (Theorem 4.1)\n");
-    let _ = writeln!(body, "| expression | variables used | ≤ 6 | answers agree |");
+    let _ = writeln!(
+        body,
+        "| expression | variables used | ≤ 6 | answers agree |"
+    );
     let _ = writeln!(body, "|---|---|---|---|");
     for (name, expr) in &trial_queries {
         let report = trial_to_fo(expr).expect("translation");
@@ -101,8 +111,14 @@ pub fn e11_logic_translations() -> Report {
     }
 
     // --- Separating sentences on the full stores T_k ---------------------
-    let _ = writeln!(body, "\n### \"At least k objects\" on the full stores T_n\n");
-    let _ = writeln!(body, "| structure | FO⁴ sentence | FO⁶ sentence | TriAL ≥4 | TriAL ≥6 |");
+    let _ = writeln!(
+        body,
+        "\n### \"At least k objects\" on the full stores T_n\n"
+    );
+    let _ = writeln!(
+        body,
+        "| structure | FO⁴ sentence | FO⁶ sentence | TriAL ≥4 | TriAL ≥6 |"
+    );
     let _ = writeln!(body, "|---|---|---|---|---|");
     let s4 = at_least_k_objects_sentence(4);
     let s6 = at_least_k_objects_sentence(6);
@@ -126,8 +142,18 @@ pub fn e11_logic_translations() -> Report {
     let _ = writeln!(body, "\n### Structures A and B (Theorem 4.3)\n");
     let _ = writeln!(body, "| check | value |");
     let _ = writeln!(body, "|---|---|");
-    let _ = writeln!(body, "| objects in A / B | {} / {} |", a.object_count(), b.object_count());
-    let _ = writeln!(body, "| triples in A / B | {} / {} |", a.triple_count(), b.triple_count());
+    let _ = writeln!(
+        body,
+        "| objects in A / B | {} / {} |",
+        a.object_count(),
+        b.object_count()
+    );
+    let _ = writeln!(
+        body,
+        "| triples in A / B | {} / {} |",
+        a.triple_count(),
+        b.triple_count()
+    );
     let _ = writeln!(body, "| FO⁴ sentence φ on A | {phi_a} |");
     let _ = writeln!(body, "| FO⁴ sentence φ on B | {phi_b} |");
     // A panel of TriAL queries that (per the theorem) cannot distinguish A
@@ -139,8 +165,14 @@ pub fn e11_logic_translations() -> Report {
     for (name, q) in [
         ("Example 2 join non-empty", &queries::example2("E")),
         ("Reach→ non-empty", &queries::reach_forward("E")),
-        ("Same-label reach non-empty", &queries::reach_same_label("E")),
-        ("Query Q non-empty", &queries::same_company_reachability("E")),
+        (
+            "Same-label reach non-empty",
+            &queries::reach_same_label("E"),
+        ),
+        (
+            "Query Q non-empty",
+            &queries::same_company_reachability("E"),
+        ),
     ] {
         let on_a = !engine.run(q, &a).expect("algebra").is_empty();
         let on_b = !engine.run(q, &b).expect("algebra").is_empty();
@@ -177,7 +209,10 @@ pub fn e12_register_automata() -> Report {
         }
         b.finish()
     };
-    let _ = writeln!(body, "### The expressions e_n (≥ n distinct data values on a path)\n");
+    let _ = writeln!(
+        body,
+        "### The expressions e_n (≥ n distinct data values on a path)\n"
+    );
     let _ = writeln!(body, "| n | non-empty on distinct-value chain (10 nodes) | non-empty on constant chain (10 nodes) |");
     let _ = writeln!(body, "|---|---|---|");
     for n in [3usize, 5, 7] {
@@ -219,15 +254,23 @@ pub fn e12_register_automata() -> Report {
             Rem::Down(vec![0], Box::new(Rem::label_if("b", Cond::NeqReg(0)))),
         ),
     ];
-    let _ = writeln!(body, "\n### Monotonicity (G ⊂ G′ = G + the a-edge (v, a, v′))\n");
-    let _ = writeln!(body, "| query | answers on G | answers on G′ | preserved (monotone) |");
+    let _ = writeln!(
+        body,
+        "\n### Monotonicity (G ⊂ G′ = G + the a-edge (v, a, v′))\n"
+    );
+    let _ = writeln!(
+        body,
+        "| query | answers on G | answers on G′ | preserved (monotone) |"
+    );
     let _ = writeln!(body, "|---|---|---|---|");
-    let names = |g: &trial_graph::GraphDb, pairs: &std::collections::HashSet<(trial_graph::NodeId, trial_graph::NodeId)>| {
-        pairs
-            .iter()
-            .map(|(a, b)| (g.node_name(*a).to_string(), g.node_name(*b).to_string()))
-            .collect::<std::collections::BTreeSet<_>>()
-    };
+    let names =
+        |g: &trial_graph::GraphDb,
+         pairs: &std::collections::HashSet<(trial_graph::NodeId, trial_graph::NodeId)>| {
+            pairs
+                .iter()
+                .map(|(a, b)| (g.node_name(*a).to_string(), g.node_name(*b).to_string()))
+                .collect::<std::collections::BTreeSet<_>>()
+        };
     for (name, q) in &rem_queries {
         let small = names(&g_small, &evaluate_rem(&g_small, q));
         let large = names(&g_large, &evaluate_rem(&g_large, q));
@@ -280,7 +323,10 @@ pub fn e12_register_automata() -> Report {
 pub fn e13_nsparql_axes() -> Report {
     let mut body = String::new();
     let (d1, d2) = proposition1_documents();
-    let _ = writeln!(body, "| nSPARQL expression | |answers on D1| | |answers on D2| | identical |");
+    let _ = writeln!(
+        body,
+        "| nSPARQL expression | |answers on D1| | |answers on D2| | identical |"
+    );
     let _ = writeln!(body, "|---|---|---|---|");
     for (name, expr) in sample_expressions() {
         let on_d1: std::collections::BTreeSet<String> =
@@ -341,7 +387,9 @@ mod tests {
     fn e12_shows_monotone_rems_and_non_monotone_trial() {
         let report = e12_register_automata();
         assert!(report.body.contains("| 7 | true | false |"));
-        assert!(report.body.contains("contains (v,a,v') | true | false | false |"));
+        assert!(report
+            .body
+            .contains("contains (v,a,v') | true | false | false |"));
     }
 
     #[test]

@@ -187,12 +187,7 @@ impl Expr {
 
     /// Depth of the expression tree.
     pub fn depth(&self) -> usize {
-        1 + self
-            .children()
-            .iter()
-            .map(|c| c.depth())
-            .max()
-            .unwrap_or(0)
+        1 + self.children().iter().map(|c| c.depth()).max().unwrap_or(0)
     }
 
     /// Names of all relations referenced by the expression, sorted and
@@ -393,7 +388,11 @@ mod tests {
     fn display_star_without_conditions() {
         let e = Expr::rel("E").right_star(out(Pos::L1, Pos::L2, Pos::R3), Conditions::new());
         assert_eq!(e.to_string(), "STAR(E JOIN[1,2,3'])");
-        let j = Expr::rel("E").join(Expr::rel("E"), out(Pos::L1, Pos::L2, Pos::R3), Conditions::new());
+        let j = Expr::rel("E").join(
+            Expr::rel("E"),
+            out(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new(),
+        );
         assert_eq!(j.to_string(), "(E JOIN[1,2,3'] E)");
     }
 
@@ -406,7 +405,9 @@ mod tests {
         );
         let q = inner.right_star(
             out(Pos::L1, Pos::L2, Pos::R3),
-            Conditions::new().obj_eq(Pos::L3, Pos::R1).obj_eq(Pos::L2, Pos::R2),
+            Conditions::new()
+                .obj_eq(Pos::L3, Pos::R1)
+                .obj_eq(Pos::L2, Pos::R2),
         );
         assert_eq!(
             q.to_string(),

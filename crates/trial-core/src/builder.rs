@@ -231,7 +231,9 @@ mod tests {
             "STAR(STAR(E JOIN[1,3',3 | 2=1']) JOIN[1,2,3' | 3=1',2=2'])"
         );
         let ext = queries::example2_extended("E");
-        assert!(ext.to_string().starts_with("((E JOIN[1,3',3 | 2=1'] E) UNION"));
+        assert!(ext
+            .to_string()
+            .starts_with("((E JOIN[1,3',3 | 2=1'] E) UNION"));
     }
 
     #[test]

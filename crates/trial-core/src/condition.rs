@@ -306,11 +306,42 @@ impl Conditions {
         self
     }
 
+    /// The condition set with every position moved to the other side
+    /// (`1 ↔ 1'` etc.) — the `θ,η` half of the join-argument-swap identity
+    /// (see [`crate::OutputSpec::mirrored`]).
+    pub fn mirrored(&self) -> Conditions {
+        Conditions {
+            theta: self
+                .theta
+                .iter()
+                .map(|a| ObjAtom {
+                    lhs: a.lhs.mirrored(),
+                    cmp: a.cmp,
+                    rhs: match &a.rhs {
+                        ObjOperand::Pos(p) => ObjOperand::Pos(p.mirrored()),
+                        c @ ObjOperand::Const(_) => c.clone(),
+                    },
+                })
+                .collect(),
+            eta: self
+                .eta
+                .iter()
+                .map(|a| DataAtom {
+                    lhs: a.lhs.mirrored(),
+                    cmp: a.cmp,
+                    rhs: match &a.rhs {
+                        DataOperand::Pos(p) => DataOperand::Pos(p.mirrored()),
+                        c @ DataOperand::Const(_) => c.clone(),
+                    },
+                })
+                .collect(),
+        }
+    }
+
     /// Returns `true` if every atom only mentions unprimed positions, so the
     /// condition set is valid for a selection.
     pub fn is_left_only(&self) -> bool {
-        self.theta.iter().all(ObjAtom::is_left_only)
-            && self.eta.iter().all(DataAtom::is_left_only)
+        self.theta.iter().all(ObjAtom::is_left_only) && self.eta.iter().all(DataAtom::is_left_only)
     }
 
     /// Returns `true` if every atom is an equality (no inequalities).
@@ -413,10 +444,7 @@ mod tests {
             .data_eq_const(Pos::L1, Value::int(7));
         assert_eq!(c.len(), 4);
         assert!(!c.is_empty());
-        assert_eq!(
-            c.to_string(),
-            "2=1',1!='Edinburgh',rho(3)=rho(3'),rho(1)=7"
-        );
+        assert_eq!(c.to_string(), "2=1',1!='Edinburgh',rho(3)=rho(3'),rho(1)=7");
     }
 
     #[test]
@@ -458,9 +486,7 @@ mod tests {
 
     #[test]
     fn constants_detection() {
-        assert!(Conditions::new()
-            .obj_eq_const(Pos::L1, "a")
-            .has_constants());
+        assert!(Conditions::new().obj_eq_const(Pos::L1, "a").has_constants());
         assert!(Conditions::new()
             .data_neq_const(Pos::L1, Value::Null)
             .has_constants());

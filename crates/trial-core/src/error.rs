@@ -84,7 +84,9 @@ mod tests {
 
     #[test]
     fn display_selection_uses_right_position() {
-        let e = Error::SelectionUsesRightPosition { atom: "1'=2".into() };
+        let e = Error::SelectionUsesRightPosition {
+            atom: "1'=2".into(),
+        };
         assert!(e.to_string().contains("1'=2"));
     }
 

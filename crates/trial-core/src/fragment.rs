@@ -185,8 +185,7 @@ pub fn analyze(expr: &Expr) -> FragmentReport {
                 report.star_count += 1;
                 report.condition_atoms += cond.len();
                 report.equalities_only &= cond.equalities_only();
-                report.stars_are_reachability &=
-                    is_reachability_star(output, cond, *direction);
+                report.stars_are_reachability &= is_reachability_star(output, cond, *direction);
             }
             _ => {}
         }
@@ -239,7 +238,9 @@ mod tests {
     fn classify_star_with_inequality() {
         let e = Expr::rel("E").right_star(
             OutputSpec::new(Pos::L1, Pos::L2, Pos::R3),
-            Conditions::new().obj_eq(Pos::L3, Pos::R1).obj_neq(Pos::L1, Pos::R3),
+            Conditions::new()
+                .obj_eq(Pos::L3, Pos::R1)
+                .obj_neq(Pos::L1, Pos::R3),
         );
         assert_eq!(classify(&e), Fragment::TriAlStar);
     }
@@ -248,29 +249,51 @@ mod tests {
     fn reachability_star_shape_checks() {
         let out = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
         let plain = Conditions::new().obj_eq(Pos::L3, Pos::R1);
-        let labelled = Conditions::new().obj_eq(Pos::L3, Pos::R1).obj_eq(Pos::L2, Pos::R2);
+        let labelled = Conditions::new()
+            .obj_eq(Pos::L3, Pos::R1)
+            .obj_eq(Pos::L2, Pos::R2);
         assert!(is_reachability_star(&out, &plain, StarDirection::Right));
         assert!(is_reachability_star(&out, &labelled, StarDirection::Right));
         // Wrong direction.
         assert!(!is_reachability_star(&out, &plain, StarDirection::Left));
         // Wrong output spec.
         let wrong_out = OutputSpec::new(Pos::L1, Pos::R3, Pos::L3);
-        assert!(!is_reachability_star(&wrong_out, &plain, StarDirection::Right));
+        assert!(!is_reachability_star(
+            &wrong_out,
+            &plain,
+            StarDirection::Right
+        ));
         // Extra data condition.
         let with_data = Conditions::new()
             .obj_eq(Pos::L3, Pos::R1)
             .data_eq(Pos::L1, Pos::R1);
-        assert!(!is_reachability_star(&out, &with_data, StarDirection::Right));
+        assert!(!is_reachability_star(
+            &out,
+            &with_data,
+            StarDirection::Right
+        ));
         // Constant condition.
         let with_const = Conditions::new()
             .obj_eq(Pos::L3, Pos::R1)
             .obj_eq_const(Pos::L2, "part_of");
-        assert!(!is_reachability_star(&out, &with_const, StarDirection::Right));
+        assert!(!is_reachability_star(
+            &out,
+            &with_const,
+            StarDirection::Right
+        ));
         // Wrong equality pair.
         let wrong_pair = Conditions::new().obj_eq(Pos::L1, Pos::R1);
-        assert!(!is_reachability_star(&out, &wrong_pair, StarDirection::Right));
+        assert!(!is_reachability_star(
+            &out,
+            &wrong_pair,
+            StarDirection::Right
+        ));
         // Empty condition (cartesian-style star) is not a reachability star.
-        assert!(!is_reachability_star(&out, &Conditions::new(), StarDirection::Right));
+        assert!(!is_reachability_star(
+            &out,
+            &Conditions::new(),
+            StarDirection::Right
+        ));
     }
 
     #[test]

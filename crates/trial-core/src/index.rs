@@ -1,0 +1,400 @@
+//! Lazily-built, cached **permutation indexes** over triplestore relations.
+//!
+//! Mature RDF stores answer triple patterns from a family of sorted
+//! permutations of the triple table (SPO/POS/OSP &c.) rather than scanning
+//! one canonical order. This module brings the same idea to the TriAL data
+//! model:
+//!
+//! * every [`Triplestore`] owns a [`StoreIndexes`] cache, created empty and
+//!   populated on demand ([`Triplestore::indexes`]);
+//! * each relation gets a [`RelationIndex`]: the canonical sorted
+//!   [`TripleSet`] *is* the SPO permutation, and the POS / OSP permutations
+//!   plus per-component statistics and the adjacency lists used by the
+//!   reachability procedures are built lazily behind [`OnceLock`]s;
+//! * [`RelationIndex::matching`] answers "all triples with component *i*
+//!   equal to *o*" as a borrowed, contiguous slice of the appropriate
+//!   permutation — the primitive behind index scans and index nested-loop
+//!   joins in `trial-eval`.
+//!
+//! Indexes are caches, not state: cloning a store (e.g. via
+//! [`Triplestore::with_relation`]) starts from an empty cache so a derived
+//! store can never observe stale indexes.
+
+use crate::object::ObjectId;
+use crate::triple::{Triple, TripleSet};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// The three sort orders kept per relation, named by which component each
+/// makes the primary key (using RDF vocabulary: Subject/Predicate/Object for
+/// components 1/2/3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Permutation {
+    /// Sorted by (1, 2, 3) — the canonical [`TripleSet`] order.
+    Spo,
+    /// Sorted by (2, 3, 1).
+    Pos,
+    /// Sorted by (3, 1, 2).
+    Osp,
+}
+
+impl Permutation {
+    /// The permutation whose primary sort key is the given 0-based component.
+    ///
+    /// # Panics
+    /// Panics if `component > 2`.
+    pub fn keyed_on(component: usize) -> Permutation {
+        match component {
+            0 => Permutation::Spo,
+            1 => Permutation::Pos,
+            2 => Permutation::Osp,
+            _ => panic!("triple component index must be 0, 1 or 2 (got {component})"),
+        }
+    }
+
+    /// The 0-based component this permutation is keyed on.
+    pub fn key_component(self) -> usize {
+        match self {
+            Permutation::Spo => 0,
+            Permutation::Pos => 1,
+            Permutation::Osp => 2,
+        }
+    }
+
+    /// The sort key of a triple under this permutation.
+    #[inline]
+    fn sort_key(self, t: &Triple) -> [ObjectId; 3] {
+        let [s, p, o] = t.0;
+        match self {
+            Permutation::Spo => [s, p, o],
+            Permutation::Pos => [p, o, s],
+            Permutation::Osp => [o, s, p],
+        }
+    }
+}
+
+/// Successor adjacency lists of the "edge graph" of a relation: one edge
+/// `x → y` per triple `(x, ℓ, y)`. This is the structure walked by the
+/// Proposition 5 reachability procedures in `trial-eval`.
+#[derive(Debug, Clone, Default)]
+pub struct Adjacency {
+    succ: HashMap<ObjectId, Vec<ObjectId>>,
+}
+
+impl Adjacency {
+    /// Builds adjacency lists from `(source, _, target)` triples.
+    pub fn from_triples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> Adjacency {
+        let mut succ: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
+        for t in triples {
+            succ.entry(t.s()).or_default().push(t.o());
+        }
+        Adjacency { succ }
+    }
+
+    /// Adds a single edge `from → to`.
+    pub fn insert_edge(&mut self, from: ObjectId, to: ObjectId) {
+        self.succ.entry(from).or_default().push(to);
+    }
+
+    /// The direct successors of `node` (empty slice if none).
+    pub fn successors(&self, node: ObjectId) -> &[ObjectId] {
+        self.succ.get(&node).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of nodes with at least one outgoing edge.
+    pub fn source_count(&self) -> usize {
+        self.succ.len()
+    }
+}
+
+/// Per-relation permutation indexes, statistics and adjacency lists.
+///
+/// Everything is built lazily on first use and cached; the canonical SPO
+/// order is the relation's [`TripleSet`] itself and costs nothing. Accessors
+/// take the base triple set as an argument so the index never duplicates the
+/// store's ownership of the data.
+#[derive(Debug, Default)]
+pub struct RelationIndex {
+    pos: OnceLock<Vec<Triple>>,
+    osp: OnceLock<Vec<Triple>>,
+    distinct: OnceLock<[usize; 3]>,
+    adjacency: OnceLock<Adjacency>,
+    adjacency_by_label: OnceLock<HashMap<ObjectId, Adjacency>>,
+}
+
+/// Counts runs of equal values of `component` in a slice sorted so that the
+/// component is the primary key.
+fn count_runs(sorted: &[Triple], component: usize) -> usize {
+    let mut runs = 0;
+    let mut last: Option<ObjectId> = None;
+    for t in sorted {
+        let v = t.0[component];
+        if last != Some(v) {
+            runs += 1;
+            last = Some(v);
+        }
+    }
+    runs
+}
+
+impl RelationIndex {
+    /// Creates an index shell with nothing materialised yet.
+    pub fn new() -> Self {
+        RelationIndex::default()
+    }
+
+    fn sorted_by(base: &TripleSet, perm: Permutation) -> Vec<Triple> {
+        let mut v: Vec<Triple> = base.as_slice().to_vec();
+        v.sort_unstable_by_key(|t| perm.sort_key(t));
+        v
+    }
+
+    /// The triples of `base` in the given permutation's order.
+    ///
+    /// `Spo` is free (it borrows `base`); `Pos` and `Osp` are built on first
+    /// use and cached.
+    pub fn permutation<'a>(&'a self, base: &'a TripleSet, perm: Permutation) -> &'a [Triple] {
+        match perm {
+            Permutation::Spo => base.as_slice(),
+            Permutation::Pos => self.pos.get_or_init(|| Self::sorted_by(base, perm)),
+            Permutation::Osp => self.osp.get_or_init(|| Self::sorted_by(base, perm)),
+        }
+    }
+
+    /// All triples of `base` whose 0-based `component` equals `value`, as a
+    /// contiguous slice of the permutation keyed on that component.
+    ///
+    /// This is the index-scan / index-probe primitive: `O(log |base|)` to
+    /// locate the run, zero-copy to return it.
+    pub fn matching<'a>(
+        &'a self,
+        base: &'a TripleSet,
+        component: usize,
+        value: ObjectId,
+    ) -> &'a [Triple] {
+        let perm = Permutation::keyed_on(component);
+        let sorted = self.permutation(base, perm);
+        let start = sorted.partition_point(|t| t.0[component] < value);
+        let end = start + sorted[start..].partition_point(|t| t.0[component] == value);
+        &sorted[start..end]
+    }
+
+    /// Number of distinct values per component `[|π₁|, |π₂|, |π₃|]` — the
+    /// statistics behind the planner's selectivity estimates.
+    pub fn distinct_counts(&self, base: &TripleSet) -> [usize; 3] {
+        *self.distinct.get_or_init(|| {
+            [
+                count_runs(self.permutation(base, Permutation::Spo), 0),
+                count_runs(self.permutation(base, Permutation::Pos), 1),
+                count_runs(self.permutation(base, Permutation::Osp), 2),
+            ]
+        })
+    }
+
+    /// The `x → y` adjacency lists of `base` (Proposition 5's plain
+    /// reachability graph), built once and cached.
+    pub fn adjacency(&self, base: &TripleSet) -> &Adjacency {
+        self.adjacency
+            .get_or_init(|| Adjacency::from_triples(base.iter()))
+    }
+
+    /// Adjacency lists split by the middle element ("label"), for the
+    /// same-label reachability procedure.
+    pub fn adjacency_by_label(&self, base: &TripleSet) -> &HashMap<ObjectId, Adjacency> {
+        self.adjacency_by_label.get_or_init(|| {
+            let mut by_label: HashMap<ObjectId, Adjacency> = HashMap::new();
+            for t in base.iter() {
+                by_label.entry(t.p()).or_default().insert_edge(t.s(), t.o());
+            }
+            by_label
+        })
+    }
+}
+
+/// All per-relation indexes of one store, keyed by relation name.
+#[derive(Debug, Default)]
+pub struct StoreIndexes {
+    relations: HashMap<String, RelationIndex>,
+}
+
+impl StoreIndexes {
+    /// Creates an index cache with one empty shell per relation name.
+    pub fn for_relations<'a>(names: impl IntoIterator<Item = &'a str>) -> StoreIndexes {
+        StoreIndexes {
+            relations: names
+                .into_iter()
+                .map(|n| (n.to_owned(), RelationIndex::new()))
+                .collect(),
+        }
+    }
+
+    /// The index shell for a relation, if the relation exists.
+    pub fn relation(&self, name: &str) -> Option<&RelationIndex> {
+        self.relations.get(name)
+    }
+}
+
+/// The lazily-initialised index slot embedded in every [`Triplestore`].
+///
+/// Cloning yields an *empty* cache (indexes are derived data and a cloned
+/// store is usually about to diverge from the original); equality always
+/// holds (caches never participate in store identity).
+#[derive(Default)]
+pub struct IndexCache(OnceLock<Box<StoreIndexes>>);
+
+impl IndexCache {
+    /// The indexes, building the per-relation shells on first use.
+    pub fn get_or_init(&self, init: impl FnOnce() -> StoreIndexes) -> &StoreIndexes {
+        self.0.get_or_init(|| Box::new(init()))
+    }
+}
+
+impl Clone for IndexCache {
+    fn clone(&self) -> Self {
+        IndexCache::default()
+    }
+}
+
+impl PartialEq for IndexCache {
+    fn eq(&self, _other: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for IndexCache {}
+
+impl std::fmt::Debug for IndexCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.0.get() {
+            Some(ix) => write!(f, "IndexCache({} relations)", ix.relations.len()),
+            None => write!(f, "IndexCache(empty)"),
+        }
+    }
+}
+
+use crate::store::Triplestore;
+
+impl Triplestore {
+    /// The store's permutation indexes, built lazily and shared by reference.
+    ///
+    /// The first call creates an empty [`RelationIndex`] shell per relation;
+    /// individual permutations, statistics and adjacency lists materialise
+    /// only when an engine first asks for them and are cached for the
+    /// lifetime of the store.
+    pub fn indexes(&self) -> &StoreIndexes {
+        self.index_cache()
+            .get_or_init(|| StoreIndexes::for_relations(self.relation_names()))
+    }
+
+    /// The index plus triples of one relation, if it exists. Convenience for
+    /// engines that need both halves of the [`RelationIndex`] API.
+    pub fn relation_with_index(&self, name: &str) -> Option<(&TripleSet, &RelationIndex)> {
+        let triples = self.relation(name)?.triples();
+        let index = self.indexes().relation(name)?;
+        Some((triples, index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TriplestoreBuilder;
+
+    fn store() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        b.add_triple("E", "a", "p", "b");
+        b.add_triple("E", "b", "p", "c");
+        b.add_triple("E", "c", "q", "a");
+        b.add_triple("E", "a", "q", "c");
+        b.add_triple("F", "x", "r", "y");
+        b.finish()
+    }
+
+    #[test]
+    fn permutations_are_sorted_by_their_key() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        for perm in [Permutation::Spo, Permutation::Pos, Permutation::Osp] {
+            let sorted = ix.permutation(base, perm);
+            assert_eq!(sorted.len(), base.len());
+            assert!(sorted
+                .windows(2)
+                .all(|w| { perm.sort_key(&w[0]) <= perm.sort_key(&w[1]) }));
+        }
+    }
+
+    #[test]
+    fn matching_returns_exactly_the_bound_runs() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        let a = store.object_id("a").unwrap();
+        let p = store.object_id("p").unwrap();
+        let c = store.object_id("c").unwrap();
+        // Component 1 bound to `a`: the two triples starting at a.
+        let by_s = ix.matching(base, 0, a);
+        assert_eq!(by_s.len(), 2);
+        assert!(by_s.iter().all(|t| t.s() == a));
+        // Component 2 bound to `p`.
+        let by_p = ix.matching(base, 1, p);
+        assert_eq!(by_p.len(), 2);
+        assert!(by_p.iter().all(|t| t.p() == p));
+        // Component 3 bound to `c`.
+        let by_o = ix.matching(base, 2, c);
+        assert_eq!(by_o.len(), 2);
+        assert!(by_o.iter().all(|t| t.o() == c));
+        // A value that never occurs in the component yields an empty slice.
+        assert!(ix.matching(base, 1, a).is_empty());
+    }
+
+    #[test]
+    fn distinct_counts_match_reality() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        // Subjects {a, b, c}, predicates {p, q}, objects {a, b, c}.
+        assert_eq!(ix.distinct_counts(base), [3, 2, 3]);
+    }
+
+    #[test]
+    fn adjacency_follows_edges() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        let a = store.object_id("a").unwrap();
+        let adj = ix.adjacency(base);
+        let mut succ: Vec<_> = adj.successors(a).to_vec();
+        succ.sort_unstable();
+        let b = store.object_id("b").unwrap();
+        let c = store.object_id("c").unwrap();
+        assert_eq!(succ, vec![b, c]);
+        assert_eq!(adj.source_count(), 3);
+        // Per-label adjacency only follows same-labelled edges.
+        let p = store.object_id("p").unwrap();
+        let by_label = ix.adjacency_by_label(base);
+        assert_eq!(by_label[&p].successors(a), &[b]);
+    }
+
+    #[test]
+    fn clone_resets_the_cache_so_derived_stores_reindex() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        assert_eq!(ix.distinct_counts(base)[0], 3);
+        // Derive a store with E replaced; its indexes must reflect the new E.
+        let only: TripleSet = [store.triple_by_names("a", "p", "b").unwrap()]
+            .into_iter()
+            .collect();
+        let derived = store.with_relation("E", only);
+        let (base2, ix2) = derived.relation_with_index("E").unwrap();
+        assert_eq!(base2.len(), 1);
+        assert_eq!(ix2.distinct_counts(base2), [1, 1, 1]);
+        // The original store's cached statistics are untouched.
+        assert_eq!(ix.distinct_counts(base), [3, 2, 3]);
+    }
+
+    #[test]
+    fn indexes_cover_every_relation() {
+        let store = store();
+        assert!(store.indexes().relation("E").is_some());
+        assert!(store.indexes().relation("F").is_some());
+        assert!(store.indexes().relation("nope").is_none());
+        assert!(store.relation_with_index("nope").is_none());
+    }
+}

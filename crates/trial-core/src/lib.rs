@@ -51,6 +51,7 @@ pub mod builder;
 pub mod condition;
 pub mod error;
 pub mod fragment;
+pub mod index;
 pub mod object;
 pub mod position;
 pub mod store;
@@ -62,6 +63,7 @@ pub use builder::{output, ExprBuilderExt};
 pub use condition::{Cmp, Conditions, DataAtom, DataOperand, ObjAtom, ObjOperand};
 pub use error::{Error, Result};
 pub use fragment::{Fragment, FragmentReport};
+pub use index::{Adjacency, Permutation, RelationIndex, StoreIndexes};
 pub use object::ObjectId;
 pub use position::{OutputSpec, Pos, Side};
 pub use store::{Relation, Triplestore, TriplestoreBuilder};

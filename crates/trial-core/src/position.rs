@@ -160,6 +160,22 @@ impl OutputSpec {
     pub fn all_right(&self) -> bool {
         self.0.iter().all(|p| p.is_right())
     }
+
+    /// The output specification with every position moved to the other side
+    /// (`1 ↔ 1'` etc.).
+    ///
+    /// Because the triple join is symmetric up to relabelling —
+    /// `e1 ✶^{i,j,k}_{θ,η} e2 = e2 ✶^{m(i),m(j),m(k)}_{m(θ),m(η)} e1` where
+    /// `m` mirrors positions — the planner uses this (together with
+    /// [`crate::Conditions::mirrored`]) to swap join arguments, e.g. to hash
+    /// the smaller side.
+    pub fn mirrored(&self) -> OutputSpec {
+        OutputSpec([
+            self.0[0].mirrored(),
+            self.0[1].mirrored(),
+            self.0[2].mirrored(),
+        ])
+    }
 }
 
 impl fmt::Display for OutputSpec {

@@ -8,6 +8,7 @@
 //! (materialised) relation — handy for composing algebra results.
 
 use crate::error::{Error, Result};
+use crate::index::IndexCache;
 use crate::object::ObjectId;
 use crate::triple::{Triple, TripleSet};
 use crate::value::Value;
@@ -59,6 +60,9 @@ pub struct Triplestore {
     by_name: HashMap<String, ObjectId>,
     relations: Vec<Relation>,
     rel_index: HashMap<String, usize>,
+    /// Lazily-built permutation indexes (derived data: cloning a store
+    /// resets the cache, and the cache never affects equality).
+    index: IndexCache,
 }
 
 impl Triplestore {
@@ -200,6 +204,11 @@ impl Triplestore {
         store
     }
 
+    /// The store's index cache slot (see [`Triplestore::indexes`]).
+    pub(crate) fn index_cache(&self) -> &IndexCache {
+        &self.index
+    }
+
     /// Converts this store back into a builder, e.g. to add more triples.
     pub fn into_builder(self) -> TriplestoreBuilder {
         TriplestoreBuilder {
@@ -264,7 +273,11 @@ impl TriplestoreBuilder {
     }
 
     /// Interns an object and sets its data value `ρ(o) = value`.
-    pub fn object_with_value(&mut self, name: impl AsRef<str>, value: impl Into<Value>) -> ObjectId {
+    pub fn object_with_value(
+        &mut self,
+        name: impl AsRef<str>,
+        value: impl Into<Value>,
+    ) -> ObjectId {
         let id = self.object(name);
         self.values[id.index()] = value.into();
         id
@@ -330,6 +343,7 @@ impl TriplestoreBuilder {
             by_name: self.by_name,
             relations,
             rel_index,
+            index: IndexCache::default(),
         }
     }
 }
@@ -386,8 +400,10 @@ mod tests {
     #[test]
     fn values_and_data_eq() {
         let mut b = TriplestoreBuilder::new();
-        let mario = b.object_with_value("o175", Value::tuple([Value::str("Mario"), Value::int(23)]));
-        let luigi = b.object_with_value("o7521", Value::tuple([Value::str("Luigi"), Value::int(27)]));
+        let mario =
+            b.object_with_value("o175", Value::tuple([Value::str("Mario"), Value::int(23)]));
+        let luigi =
+            b.object_with_value("o7521", Value::tuple([Value::str("Luigi"), Value::int(27)]));
         let clone = b.object("o999");
         b.set_value(clone, Value::tuple([Value::str("Mario"), Value::int(23)]));
         b.add_triple_ids("E", mario, luigi, clone);
@@ -456,10 +472,7 @@ mod tests {
         assert_eq!(bigger.relation_count(), 1);
         assert!(bigger.object_id("Paris").is_some());
         // Names and values of existing objects are preserved.
-        assert_eq!(
-            store.object_id("Edinburgh"),
-            bigger.object_id("Edinburgh")
-        );
+        assert_eq!(store.object_id("Edinburgh"), bigger.object_id("Edinburgh"));
     }
 
     #[test]

@@ -112,6 +112,21 @@ impl TripleSet {
         TripleSet { triples }
     }
 
+    /// Zero-copy fast path: wraps a vector that is **already sorted and
+    /// duplicate-free** without re-sorting.
+    ///
+    /// Operators that provably preserve the canonical order (selections,
+    /// differences, merges of sorted inputs, index scans in SPO order) use
+    /// this to skip the `O(n log n)` sort of [`TripleSet::from_vec`]. The
+    /// invariant is checked in debug builds.
+    pub fn from_sorted_vec(triples: Vec<Triple>) -> Self {
+        debug_assert!(
+            triples.windows(2).all(|w| w[0] < w[1]),
+            "from_sorted_vec requires strictly increasing input"
+        );
+        TripleSet { triples }
+    }
+
     /// Number of triples in the set.
     pub fn len(&self) -> usize {
         self.triples.len()
@@ -158,39 +173,80 @@ impl TripleSet {
     }
 
     /// Set union (`e1 ∪ e2` in the algebra).
+    ///
+    /// Both representations are sorted, so this is a linear merge — no
+    /// re-sort, which matters inside fixpoint loops where the accumulator is
+    /// unioned with a delta every round.
     pub fn union(&self, other: &TripleSet) -> TripleSet {
-        let mut out = Vec::with_capacity(self.len() + other.len());
-        out.extend_from_slice(&self.triples);
-        out.extend_from_slice(&other.triples);
-        TripleSet::from_vec(out)
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let (a, b) = (&self.triples, &other.triples);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        TripleSet::from_sorted_vec(out)
     }
 
-    /// Set difference (`e1 − e2` in the algebra).
+    /// Set difference (`e1 − e2` in the algebra), as a linear two-pointer
+    /// walk over the sorted representations.
     pub fn difference(&self, other: &TripleSet) -> TripleSet {
-        let triples = self
-            .triples
-            .iter()
-            .filter(|t| !other.contains(t))
-            .copied()
-            .collect();
-        TripleSet { triples }
+        if self.is_empty() || other.is_empty() {
+            return self.clone();
+        }
+        let (a, b) = (&self.triples, &other.triples);
+        let mut out = Vec::with_capacity(a.len());
+        let mut j = 0;
+        for &t in a {
+            while j < b.len() && b[j] < t {
+                j += 1;
+            }
+            if j == b.len() || b[j] != t {
+                out.push(t);
+            }
+        }
+        TripleSet::from_sorted_vec(out)
     }
 
-    /// Set intersection (`e1 ∩ e2`, definable in the algebra via a join).
+    /// Set intersection (`e1 ∩ e2`, definable in the algebra via a join), as
+    /// a linear two-pointer walk over the sorted representations.
     pub fn intersection(&self, other: &TripleSet) -> TripleSet {
-        // Iterate over the smaller side and probe the larger one.
-        let (small, large) = if self.len() <= other.len() {
-            (self, other)
-        } else {
-            (other, self)
-        };
-        let triples = small
-            .triples
-            .iter()
-            .filter(|t| large.contains(t))
-            .copied()
-            .collect();
-        TripleSet { triples }
+        let (a, b) = (&self.triples, &other.triples);
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        TripleSet::from_sorted_vec(out)
     }
 
     /// Returns `true` if `self` and `other` contain exactly the same triples.

@@ -326,10 +326,7 @@ mod tests {
             rule.to_string(),
             "Ans(x, y, z) :- E(x, w, y), not F(x, y, z), sim(x, y), w != 'part_of'."
         );
-        assert_eq!(
-            rule.body_predicates(),
-            vec![("E", false), ("F", true)]
-        );
+        assert_eq!(rule.body_predicates(), vec![("E", false), ("F", true)]);
         assert_eq!(rule.positive_atom_count(), 1);
         assert_eq!(rule.relational_atom_count(), 2);
         assert_eq!(

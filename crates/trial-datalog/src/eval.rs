@@ -65,6 +65,32 @@ impl ProgramResult {
     }
 }
 
+/// Evaluates a program through the **planned algebra pipeline**: translates
+/// it to a TriAL / TriAL\* expression (Proposition 2 / Theorem 2) and runs
+/// `trial-eval`'s cost-based planner and index-backed executor over the
+/// store's permutation indexes.
+///
+/// Supports the fragments [`program_to_expr`](crate::program_to_expr)
+/// supports (TripleDatalog¬ and ReachTripleDatalog¬); general stratified
+/// programs must use the native [`evaluate_program`]. For supported
+/// programs the two entry points agree, but this one inherits every planner
+/// optimisation (hash/index joins, reachability procedures, memoisation)
+/// and reports the engine's work counters.
+pub fn evaluate_program_planned(
+    program: &Program,
+    store: &Triplestore,
+) -> Result<trial_eval::Evaluation> {
+    let expr = crate::to_algebra::program_to_expr(program)?;
+    trial_eval::evaluate(&expr, store)
+}
+
+/// Renders the physical plan chosen for a program's algebra translation,
+/// without executing it.
+pub fn explain_program(program: &Program, store: &Triplestore) -> Result<String> {
+    let expr = crate::to_algebra::program_to_expr(program)?;
+    trial_eval::explain(&expr, store)
+}
+
 /// Evaluates a program over a triplestore.
 ///
 /// Every EDB predicate must be a relation of the store. The result contains
@@ -277,9 +303,9 @@ fn eval_rule(
                     Some(tuple) => self.results.push(tuple),
                     None => {
                         return Err(Error::UnknownObject(format!(
-                            "head of rule `{}` mentions a constant that does not exist in the store",
-                            self.rule
-                        )))
+                        "head of rule `{}` mentions a constant that does not exist in the store",
+                        self.rule
+                    )))
                     }
                 }
                 return Ok(());
@@ -371,10 +397,8 @@ mod tests {
     #[test]
     fn example2_as_datalog() {
         let store = figure1();
-        let program = parse_program(
-            "Ans(x, c, y) :- E(x, op, y), E(op, p, c), p = 'part_of'.",
-        )
-        .unwrap();
+        let program =
+            parse_program("Ans(x, c, y) :- E(x, op, y), E(op, p, c), p = 'part_of'.").unwrap();
         let result = evaluate_program(&program, &store).unwrap();
         let triples = result.output_triples().unwrap();
         assert_eq!(
@@ -390,6 +414,31 @@ mod tests {
     }
 
     #[test]
+    fn planned_pipeline_matches_native_evaluation() {
+        let store = figure1();
+        let program = parse_program(
+            "Reach(x, y, z) :- E(x, y, z).
+             Reach(x, y, z) :- Reach(x, y, w), E(w, u, z).
+             Ans(x, y, z) :- Reach(x, y, z).",
+        )
+        .unwrap();
+        let native = evaluate_program(&program, &store)
+            .unwrap()
+            .output_triples()
+            .unwrap();
+        let planned = evaluate_program_planned(&program, &store).unwrap();
+        assert_eq!(native, planned.result);
+        assert!(planned.stats.work() > 0);
+        // The recursive program plans into a star over an index scan.
+        let plan_text = explain_program(&program, &store).unwrap();
+        assert!(
+            plan_text.contains("Star"),
+            "expected a star operator in:\n{plan_text}"
+        );
+        assert!(plan_text.contains("IndexScan E"), "got:\n{plan_text}");
+    }
+
+    #[test]
     fn recursive_reachability() {
         let store = figure1();
         let program = parse_program(
@@ -401,11 +450,9 @@ mod tests {
         let result = evaluate_program(&program, &store).unwrap();
         let triples = result.output_triples().unwrap();
         // Matches the algebra's Reach→ on the same store.
-        let algebra = trial_eval::evaluate(
-            &trial_core::builder::queries::reach_forward("E"),
-            &store,
-        )
-        .unwrap();
+        let algebra =
+            trial_eval::evaluate(&trial_core::builder::queries::reach_forward("E"), &store)
+                .unwrap();
         assert_eq!(triples, algebra.result);
         assert!(result.fixpoint_rounds >= 2);
     }
@@ -421,14 +468,16 @@ mod tests {
         b.object_with_value("b", Value::int(2));
         let store = b.finish();
         // Triples of E not in F, whose endpoints carry the same data value.
-        let program = parse_program(
-            "Ans(x, y, z) :- E(x, y, z), not F(x, y, z), not sim(x, z), x != z.",
-        )
-        .unwrap();
+        let program =
+            parse_program("Ans(x, y, z) :- E(x, y, z), not F(x, y, z), not sim(x, z), x != z.")
+                .unwrap();
         let result = evaluate_program(&program, &store).unwrap();
         let triples = result.output_triples().unwrap();
         // (b, p, c) is not in F; ρ(b)=2 ≠ ρ(c)=1 so "not sim" holds; b ≠ c.
-        assert_eq!(store.display_triples(&triples), vec!["(b, p, c)".to_string()]);
+        assert_eq!(
+            store.display_triples(&triples),
+            vec!["(b, p, c)".to_string()]
+        );
         // Flipping to positive sim selects nothing here: (a,p,b) is in F.
         let program = parse_program("Ans(x, y, z) :- E(x, y, z), sim(x, z).").unwrap();
         let result = evaluate_program(&program, &store).unwrap();

@@ -442,9 +442,8 @@ mod tests {
 
     #[test]
     fn data_constants_are_unsupported() {
-        let expr = Expr::rel("E").select(
-            Conditions::new().data_eq_const(Pos::L1, trial_core::Value::int(1)),
-        );
+        let expr = Expr::rel("E")
+            .select(Conditions::new().data_eq_const(Pos::L1, trial_core::Value::int(1)));
         assert!(matches!(
             expr_to_program(&expr, &["E"]),
             Err(Error::Unsupported(_))

@@ -44,7 +44,7 @@ pub mod program;
 pub mod to_algebra;
 
 pub use ast::{Atom, DlTerm, Literal, Rule};
-pub use eval::{evaluate_program, ProgramResult};
+pub use eval::{evaluate_program, evaluate_program_planned, explain_program, ProgramResult};
 pub use from_algebra::expr_to_program;
 pub use parser::parse_program;
 pub use program::{Program, ProgramClass};

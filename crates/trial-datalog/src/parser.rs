@@ -93,7 +93,9 @@ impl P {
             }
             other => Err(self.error(format!(
                 "expected `{expected}`, found `{}`",
-                other.map(String::from).unwrap_or_else(|| "end of input".into())
+                other
+                    .map(String::from)
+                    .unwrap_or_else(|| "end of input".into())
             ))),
         }
     }
@@ -165,9 +167,7 @@ impl P {
         let head = self.parse_atom(head_pred)?;
         self.skip_ws();
         // Accept ":-" or "<-".
-        if self.try_eat(':') {
-            self.eat('-')?;
-        } else if self.try_eat('<') {
+        if self.try_eat(':') || self.try_eat('<') {
             self.eat('-')?;
         } else {
             // A fact: `P(a, b, c).`
@@ -328,7 +328,8 @@ mod tests {
 
     #[test]
     fn display_roundtrip() {
-        let text = "Ans(x, y, z) :- E(x, w, y), E(y, w, z), not F(x, y, z), sim(x, y), w != 'part_of'.";
+        let text =
+            "Ans(x, y, z) :- E(x, w, y), E(y, w, z), not F(x, y, z), sim(x, y), w != 'part_of'.";
         let p = parse_program(text).unwrap();
         let rendered = p.rules()[0].to_string();
         let p2 = parse_program(&rendered).unwrap();
@@ -349,10 +350,8 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let p = parse_program(
-            "# leading comment\nAns(x,y,z) :- E(x,y,z). % trailing\n% another\n",
-        )
-        .unwrap();
+        let p = parse_program("# leading comment\nAns(x,y,z) :- E(x,y,z). % trailing\n% another\n")
+            .unwrap();
         assert_eq!(p.rules().len(), 1);
     }
 }

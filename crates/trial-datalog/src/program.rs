@@ -105,7 +105,10 @@ impl Program {
 
     /// Intensional predicates: those defined by at least one rule head.
     pub fn idb_predicates(&self) -> BTreeSet<&str> {
-        self.rules.iter().map(|r| r.head.predicate.as_str()).collect()
+        self.rules
+            .iter()
+            .map(|r| r.head.predicate.as_str())
+            .collect()
     }
 
     /// Extensional predicates: referenced in bodies but never defined by a
@@ -294,7 +297,10 @@ impl Program {
                 .body
                 .iter()
                 .filter_map(|l| match l {
-                    Literal::Atom { atom, negated: false } => Some(atom),
+                    Literal::Atom {
+                        atom,
+                        negated: false,
+                    } => Some(atom),
                     _ => None,
                 })
                 .collect();
@@ -335,8 +341,14 @@ mod tests {
         let p = parse_program("Ans(x, c, y) :- E(x, op, y), E(op, p, c).").unwrap();
         assert_eq!(p.classify(), ProgramClass::NonRecursiveTripleDatalog);
         assert!(!p.is_recursive());
-        assert_eq!(p.edb_predicates().into_iter().collect::<Vec<_>>(), vec!["E"]);
-        assert_eq!(p.idb_predicates().into_iter().collect::<Vec<_>>(), vec!["Ans"]);
+        assert_eq!(
+            p.edb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["E"]
+        );
+        assert_eq!(
+            p.idb_predicates().into_iter().collect::<Vec<_>>(),
+            vec!["Ans"]
+        );
     }
 
     #[test]
@@ -389,7 +401,12 @@ mod tests {
         )
         .unwrap();
         let strata = p.stratification().unwrap();
-        let pos = |name: &str| strata.iter().position(|s| s.iter().any(|p| p == name)).unwrap();
+        let pos = |name: &str| {
+            strata
+                .iter()
+                .position(|s| s.iter().any(|p| p == name))
+                .unwrap()
+        };
         assert!(pos("Base") < pos("Good"));
         assert!(pos("Good") <= pos("Ans"));
     }

@@ -431,10 +431,7 @@ mod tests {
         b.object_with_value("a", trial_core::Value::int(1));
         b.object_with_value("c", trial_core::Value::int(1));
         let store = b.finish();
-        assert_translation_agrees(
-            "Ans(x, y, z) :- E(x, y, w), E(w, u, z), sim(x, z).",
-            &store,
-        );
+        assert_translation_agrees("Ans(x, y, z) :- E(x, y, w), E(w, u, z), sim(x, z).", &store);
         assert_translation_agrees(
             "Ans(x, y, z) :- E(x, y, w), E(w, u, z), not sim(x, z).",
             &store,
@@ -457,7 +454,9 @@ mod tests {
             .output_triples()
             .unwrap();
         let algebra = evaluate(&expr, &store).unwrap().result;
-        let reach = evaluate(&queries::reach_forward("E"), &store).unwrap().result;
+        let reach = evaluate(&queries::reach_forward("E"), &store)
+            .unwrap()
+            .result;
         assert_eq!(datalog, algebra);
         assert_eq!(algebra, reach);
     }
@@ -469,7 +468,7 @@ mod tests {
             "Reach(x, y, z) :- E(x, y, z).
              Reach(x, y, z) :- Reach(x, y, w), E(w, u, z), y = u.
              Ans(x, y, z) :- Reach(x, y, z).",
-        &store,
+            &store,
         );
     }
 

@@ -165,7 +165,12 @@ impl CompiledConditions {
     pub fn cross_equalities(&self) -> Vec<(Pos, Pos)> {
         let mut out = Vec::new();
         for atom in &self.theta {
-            if let CompiledObjAtom::PosPos { lhs, cmp: Cmp::Eq, rhs } = atom {
+            if let CompiledObjAtom::PosPos {
+                lhs,
+                cmp: Cmp::Eq,
+                rhs,
+            } = atom
+            {
                 match (lhs.side(), rhs.side()) {
                     (Side::Left, Side::Right) => out.push((*lhs, *rhs)),
                     (Side::Right, Side::Left) => out.push((*rhs, *lhs)),
@@ -179,11 +184,7 @@ impl CompiledConditions {
 
 /// Projects a joined pair of triples through an output specification.
 #[inline]
-pub fn project(
-    left: &Triple,
-    right: &Triple,
-    output: &trial_core::OutputSpec,
-) -> Triple {
+pub fn project(left: &Triple, right: &Triple, output: &trial_core::OutputSpec) -> Triple {
     Triple::new(
         Triple::from_pair(left, right, output.get(0)),
         Triple::from_pair(left, right, output.get(1)),
@@ -213,27 +214,18 @@ mod tests {
     fn pair_checks_object_equalities() {
         let (store, t1, t2) = store();
         // 3 = 1' holds: t1.o = c, t2.s = c.
-        let c = CompiledConditions::compile(
-            &Conditions::new().obj_eq(Pos::L3, Pos::R1),
-            &store,
-        );
+        let c = CompiledConditions::compile(&Conditions::new().obj_eq(Pos::L3, Pos::R1), &store);
         assert!(c.check_pair(&store, &t1, &t2));
         assert!(!c.check_pair(&store, &t2, &t2)); // a != c
-        // Inequality flips it.
-        let c = CompiledConditions::compile(
-            &Conditions::new().obj_neq(Pos::L3, Pos::R1),
-            &store,
-        );
+                                                  // Inequality flips it.
+        let c = CompiledConditions::compile(&Conditions::new().obj_neq(Pos::L3, Pos::R1), &store);
         assert!(!c.check_pair(&store, &t1, &t2));
     }
 
     #[test]
     fn pair_checks_constants() {
         let (store, t1, t2) = store();
-        let c = CompiledConditions::compile(
-            &Conditions::new().obj_eq_const(Pos::L1, "a"),
-            &store,
-        );
+        let c = CompiledConditions::compile(&Conditions::new().obj_eq_const(Pos::L1, "a"), &store);
         assert!(c.check_single(&store, &t1));
         assert!(!c.check_single(&store, &t2));
         // Unknown constant: equality unsatisfiable, inequality always true.
@@ -253,16 +245,10 @@ mod tests {
     fn pair_checks_data_values() {
         let (store, t1, t2) = store();
         // ρ(1) = ρ(3'): ρ(a)=1, ρ(t2.o)=ρ(a)=1 → true.
-        let c = CompiledConditions::compile(
-            &Conditions::new().data_eq(Pos::L1, Pos::R3),
-            &store,
-        );
+        let c = CompiledConditions::compile(&Conditions::new().data_eq(Pos::L1, Pos::R3), &store);
         assert!(c.check_pair(&store, &t1, &t2));
         // ρ(1) = ρ(2): ρ(a)=1 vs ρ(b)=2 → false.
-        let c = CompiledConditions::compile(
-            &Conditions::new().data_eq(Pos::L1, Pos::L2),
-            &store,
-        );
+        let c = CompiledConditions::compile(&Conditions::new().data_eq(Pos::L1, Pos::L2), &store);
         assert!(!c.check_single(&store, &t1));
         // Constant data comparison.
         let c = CompiledConditions::compile(

@@ -81,8 +81,15 @@ pub struct EvalOptions {
     /// reachability-shaped stars to the Proposition 5 procedures.
     pub use_reach_specialisation: bool,
     /// If `true` (default), the [`crate::SmartEngine`] memoises repeated
-    /// sub-expressions.
+    /// sub-expressions (as [`crate::plan::PlanNode::Memo`] nodes).
     pub use_memo: bool,
+    /// If `true` (default), the planner applies its cost-based rewrites —
+    /// selection pushdown into index scans, join-argument swapping, index
+    /// nested-loop joins, and build-once star tables. When `false` the plan
+    /// mirrors the written expression operator by operator (every join
+    /// rebuilds its hash table, stars included), which is the baseline the
+    /// `planned_vs_unplanned` benchmark measures against.
+    pub optimize_plans: bool,
 }
 
 impl Default for EvalOptions {
@@ -92,6 +99,7 @@ impl Default for EvalOptions {
             max_fixpoint_rounds: u64::MAX,
             use_reach_specialisation: true,
             use_memo: true,
+            optimize_plans: true,
         }
     }
 }
@@ -150,6 +158,7 @@ mod tests {
         let opts = EvalOptions::default();
         assert!(opts.use_reach_specialisation);
         assert!(opts.use_memo);
+        assert!(opts.optimize_plans);
         assert!(opts.max_universe >= 1_000_000);
         assert_eq!(opts.max_fixpoint_rounds, u64::MAX);
     }

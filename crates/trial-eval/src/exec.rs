@@ -1,0 +1,233 @@
+//! The plan executor: interprets a [`PlanNode`] tree against a store.
+//!
+//! This is the only evaluation path of the [`crate::SmartEngine`] — the
+//! logical `Expr` tree is consumed by the planner and never inspected here.
+//! The executor owns the per-query memo slots and threads the shared
+//! [`EvalStats`] counters through every physical operator.
+
+use crate::compile::CompiledConditions;
+use crate::engine::{EvalOptions, EvalStats};
+use crate::ops;
+use crate::plan::{Plan, PlanNode};
+use crate::reach;
+use crate::seminaive::semi_naive_star;
+use trial_core::{Adjacency, Error, Result, TripleSet, Triplestore};
+
+/// Interprets plan trees; one instance per top-level evaluation.
+pub(crate) struct Executor<'a> {
+    store: &'a Triplestore,
+    options: &'a EvalOptions,
+    memo: Vec<Option<TripleSet>>,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor with one empty memo slot per [`PlanNode::Memo`]
+    /// in the plan.
+    pub(crate) fn new(store: &'a Triplestore, options: &'a EvalOptions, plan: &Plan) -> Self {
+        Executor {
+            store,
+            options,
+            memo: vec![None; plan.memo_slots],
+        }
+    }
+
+    /// Executes a plan node, returning its result set.
+    pub(crate) fn run(&mut self, node: &PlanNode, stats: &mut EvalStats) -> Result<TripleSet> {
+        match node {
+            PlanNode::IndexScan {
+                relation,
+                bound,
+                residual,
+                ..
+            } => self.index_scan(relation, *bound, residual, stats),
+            PlanNode::Universe { .. } => ops::universe(self.store, self.options, stats),
+            PlanNode::Empty => Ok(TripleSet::new()),
+            PlanNode::Filter { input, cond, .. } => {
+                let input = self.run(input, stats)?;
+                let cond = CompiledConditions::compile(cond, self.store);
+                Ok(ops::select(&input, &cond, self.store, stats))
+            }
+            PlanNode::HashJoin {
+                left,
+                right,
+                output,
+                cond,
+                keys,
+                ..
+            } => {
+                let l = self.run(left, stats)?;
+                let r = self.run(right, stats)?;
+                let cond = CompiledConditions::compile(cond, self.store);
+                // Build on the planner's chosen keys so execution always
+                // matches what explain() displays.
+                let table = ops::JoinTable::build(&r, keys, stats);
+                Ok(ops::hash_join_probe(
+                    &l, &table, output, &cond, self.store, stats,
+                ))
+            }
+            PlanNode::IndexNestedLoopJoin {
+                outer,
+                relation,
+                probe,
+                output,
+                cond,
+                ..
+            } => {
+                let outer = self.run(outer, stats)?;
+                let (base, index) = self
+                    .store
+                    .relation_with_index(relation)
+                    .ok_or_else(|| Error::UnknownRelation(relation.clone()))?;
+                let cond = CompiledConditions::compile(cond, self.store);
+                Ok(ops::index_nested_loop_join(
+                    &outer, base, index, *probe, output, &cond, self.store, stats,
+                ))
+            }
+            PlanNode::NestedLoopJoin {
+                left,
+                right,
+                output,
+                cond,
+                ..
+            } => {
+                let l = self.run(left, stats)?;
+                let r = self.run(right, stats)?;
+                let cond = CompiledConditions::compile(cond, self.store);
+                Ok(ops::nested_loop_join(
+                    &l, &r, output, &cond, self.store, stats,
+                ))
+            }
+            PlanNode::Union { left, right, .. } => {
+                let l = self.run(left, stats)?;
+                let r = self.run(right, stats)?;
+                stats.triples_scanned += (l.len() + r.len()) as u64;
+                Ok(l.union(&r))
+            }
+            PlanNode::Diff { left, right, .. } => {
+                let l = self.run(left, stats)?;
+                let r = self.run(right, stats)?;
+                stats.triples_scanned += (l.len() + r.len()) as u64;
+                Ok(l.difference(&r))
+            }
+            PlanNode::Intersect { left, right, .. } => {
+                let l = self.run(left, stats)?;
+                let r = self.run(right, stats)?;
+                stats.triples_scanned += (l.len() + r.len()) as u64;
+                Ok(l.intersection(&r))
+            }
+            PlanNode::Complement { input, .. } => {
+                let e = self.run(input, stats)?;
+                let u = ops::universe(self.store, self.options, stats)?;
+                stats.triples_scanned += (e.len() + u.len()) as u64;
+                Ok(u.difference(&e))
+            }
+            PlanNode::StarSemiNaive {
+                input,
+                output,
+                cond,
+                direction,
+                ..
+            } => {
+                let base = self.run(input, stats)?;
+                semi_naive_star(
+                    &base,
+                    output,
+                    cond,
+                    *direction,
+                    self.store,
+                    self.options,
+                    stats,
+                )
+            }
+            PlanNode::StarReach {
+                input,
+                same_label,
+                relation,
+                ..
+            } => {
+                let base = self.run(input, stats)?;
+                self.star_reach(&base, *same_label, relation.as_deref(), stats)
+            }
+            PlanNode::Memo { slot, input } => {
+                if let Some(cached) = &self.memo[*slot] {
+                    stats.memo_hits += 1;
+                    return Ok(cached.clone());
+                }
+                let result = self.run(input, stats)?;
+                self.memo[*slot] = Some(result.clone());
+                Ok(result)
+            }
+        }
+    }
+
+    /// Scans a relation, serving a pushed-down constant binding from the
+    /// matching permutation index.
+    fn index_scan(
+        &self,
+        relation: &str,
+        bound: Option<(usize, trial_core::ObjectId)>,
+        residual: &trial_core::Conditions,
+        stats: &mut EvalStats,
+    ) -> Result<TripleSet> {
+        let (base, index) = self
+            .store
+            .relation_with_index(relation)
+            .ok_or_else(|| Error::UnknownRelation(relation.to_owned()))?;
+        let Some((component, value)) = bound else {
+            if residual.is_empty() {
+                return Ok(base.clone());
+            }
+            let cond = CompiledConditions::compile(residual, self.store);
+            return Ok(ops::select(base, &cond, self.store, stats));
+        };
+        let slice = index.matching(base, component, value);
+        stats.triples_scanned += slice.len() as u64;
+        let residual =
+            (!residual.is_empty()).then(|| CompiledConditions::compile(residual, self.store));
+        let mut out = Vec::with_capacity(slice.len());
+        for t in slice {
+            if residual
+                .as_ref()
+                .is_none_or(|cond| cond.check_single(self.store, t))
+            {
+                out.push(*t);
+                stats.triples_emitted += 1;
+            }
+        }
+        // Runs of the SPO permutation are already in canonical order; the
+        // other permutations interleave, so their runs are re-sorted.
+        Ok(if component == 0 {
+            TripleSet::from_sorted_vec(out)
+        } else {
+            TripleSet::from_vec(out)
+        })
+    }
+
+    /// Runs a Proposition 5 reachability star, borrowing the store's cached
+    /// adjacency lists when the base is a stored relation.
+    fn star_reach(
+        &self,
+        base: &TripleSet,
+        same_label: bool,
+        relation: Option<&str>,
+        stats: &mut EvalStats,
+    ) -> Result<TripleSet> {
+        if let Some((rel_base, index)) =
+            relation.and_then(|name| self.store.relation_with_index(name))
+        {
+            debug_assert_eq!(rel_base, base, "relation hint must match the executed base");
+            return Ok(if same_label {
+                reach::reach_star_same_label(base, index.adjacency_by_label(rel_base), stats)
+            } else {
+                reach::reach_star_plain(base, index.adjacency(rel_base), stats)
+            });
+        }
+        Ok(if same_label {
+            let by_label = reach::label_adjacency(base);
+            reach::reach_star_same_label(base, &by_label, stats)
+        } else {
+            let adjacency = Adjacency::from_triples(base.iter());
+            reach::reach_star_plain(base, &adjacency, stats)
+        })
+    }
+}

@@ -10,11 +10,50 @@
 //! * [`NaiveEngine`] — the literal algorithms of Theorem 3: nested-loop
 //!   joins (`O(|T|²)` per join) and naive fixpoint iteration of Kleene
 //!   stars (`O(|T|³)` per star).
-//! * [`SmartEngine`] — the production engine: hash joins keyed on the
-//!   cross equalities of `θ`, semi-naive (delta) fixpoints for stars, the
-//!   specialised reachability procedures of Proposition 5 when a star has
-//!   one of the two reachTA⁼ shapes, and memoisation of repeated
-//!   sub-expressions.
+//! * [`SmartEngine`] — the production engine: a cost-based planner compiles
+//!   every expression into a physical [`Plan`] executed against the store's
+//!   permutation indexes (see *Query planning* below).
+//!
+//! # Query planning
+//!
+//! The [`SmartEngine`] never interprets the logical
+//! [`Expr`](trial_core::Expr) tree directly. Each evaluation first runs
+//! [`planner::plan`], which compiles the expression into a tree of physical
+//! [`PlanNode`]s over the store's lazily-cached permutation indexes
+//! ([`trial_core::index`]): selections with constants become index-scan
+//! bindings, joins with cross equalities become hash joins (the
+//! Proposition 4 optimisation) or index nested-loop joins probing a stored
+//! relation — with the argument order chosen from relation cardinalities
+//! and per-component distinct-value statistics — reachTA⁼ stars become the
+//! Proposition 5 reachability procedures over cached adjacency lists, all
+//! other stars become build-once semi-naive fixpoints, and repeated
+//! sub-expressions are memoised. [`explain`] (or [`Plan::explain`]) renders
+//! the chosen plan, e.g. for Example 2 of the paper
+//! (`E ✶^{1,3',3}_{2=1'} E`) on the Figure 1 store:
+//!
+//! ```text
+//! IndexNestedLoopJoin [1,3',3 | 2=1'] into E via 2=1'  (~7 rows)
+//! ╰─ IndexScan E  (7 rows)
+//! ```
+//!
+//! ```
+//! use trial_core::builder::queries;
+//! use trial_core::TriplestoreBuilder;
+//!
+//! let mut b = TriplestoreBuilder::new();
+//! b.add_triple("E", "Edinburgh", "TrainOp1", "London");
+//! b.add_triple("E", "TrainOp1", "part_of", "EastCoast");
+//! let store = b.finish();
+//!
+//! let plan = trial_eval::explain(&queries::example2("E"), &store).unwrap();
+//! assert!(plan.contains("IndexNestedLoopJoin"));
+//! assert!(plan.contains("IndexScan E"));
+//! ```
+//!
+//! The `examples/explain.rs` example at the repository root walks the
+//! paper's running queries and prints each plan next to its work counters.
+//!
+//! # Instrumentation
 //!
 //! Every evaluation returns an [`Evaluation`] bundling the result
 //! [`TripleSet`](trial_core::TripleSet) with [`EvalStats`] —
@@ -45,13 +84,15 @@
 
 pub mod compile;
 pub mod engine;
-pub mod memo;
+pub mod exec;
 pub mod naive;
 pub mod ops;
+pub mod plan;
 pub mod planner;
 pub mod reach;
 pub mod seminaive;
 
 pub use engine::{Engine, EvalOptions, EvalStats, Evaluation};
 pub use naive::NaiveEngine;
-pub use planner::{evaluate, evaluate_with, SmartEngine};
+pub use plan::{Plan, PlanNode};
+pub use planner::{evaluate, evaluate_with, explain, SmartEngine};

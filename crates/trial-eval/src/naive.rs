@@ -35,12 +35,7 @@ impl NaiveEngine {
         NaiveEngine { options }
     }
 
-    fn eval(
-        &self,
-        expr: &Expr,
-        store: &Triplestore,
-        stats: &mut EvalStats,
-    ) -> Result<TripleSet> {
+    fn eval(&self, expr: &Expr, store: &Triplestore, stats: &mut EvalStats) -> Result<TripleSet> {
         match expr {
             Expr::Rel(name) => Ok(store.require_relation(name)?.clone()),
             Expr::Universe => ops::universe(store, &self.options, stats),
@@ -209,11 +204,7 @@ mod tests {
         let engine = NaiveEngine::new();
         let r = engine.run(&right, &store).unwrap();
         let l = engine.run(&left, &store).unwrap();
-        let base: Vec<String> = vec![
-            "(a, b, c)".into(),
-            "(c, d, e)".into(),
-            "(d, e, f)".into(),
-        ];
+        let base: Vec<String> = vec!["(a, b, c)".into(), "(c, d, e)".into(), "(d, e, f)".into()];
         let mut expect_r = base.clone();
         expect_r.extend(["(a, b, d)".to_string(), "(a, b, e)".to_string()]);
         expect_r.sort();

@@ -1,15 +1,23 @@
 //! Shared physical operators: selections, joins, and the universal relation.
 //!
-//! Both engines are assembled from the primitives in this module; they differ
-//! only in *which* primitive they pick for a given operator and in how they
-//! iterate Kleene stars.
+//! Engines are assembled from the primitives in this module; they differ only
+//! in *which* primitive the planner picks for a given operator and in how
+//! they iterate Kleene stars. Hash joins are split into an explicit build
+//! phase ([`JoinTable::build`]) and probe phase ([`hash_join_probe`]) so that
+//! fixpoint iterations can hash their invariant side **once** and probe it
+//! every round.
 
 use crate::compile::{project, CompiledConditions};
 use crate::engine::{EvalOptions, EvalStats};
 use std::collections::HashMap;
-use trial_core::{Error, ObjectId, OutputSpec, Pos, Result, Triple, TripleSet, Triplestore};
+use trial_core::{
+    Error, ObjectId, OutputSpec, Pos, RelationIndex, Result, Triple, TripleSet, Triplestore,
+};
 
 /// Filters a triple set by compiled (left-only) conditions.
+///
+/// Filtering preserves the canonical order, so the result is assembled with
+/// the zero-copy [`TripleSet::from_sorted_vec`] fast path.
 pub fn select(
     input: &TripleSet,
     cond: &CompiledConditions,
@@ -17,14 +25,14 @@ pub fn select(
     stats: &mut EvalStats,
 ) -> TripleSet {
     stats.triples_scanned += input.len() as u64;
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(input.len());
     for t in input.iter() {
         if cond.check_single(store, t) {
             out.push(*t);
             stats.triples_emitted += 1;
         }
     }
-    TripleSet::from_vec(out)
+    TripleSet::from_sorted_vec(out)
 }
 
 /// Nested-loop join: inspects every pair of triples, exactly as in the
@@ -38,7 +46,7 @@ pub fn nested_loop_join(
     stats: &mut EvalStats,
 ) -> TripleSet {
     stats.joins_executed += 1;
-    let mut out = Vec::new();
+    let mut out = Vec::with_capacity(left.len().max(right.len()));
     for l in left.iter() {
         for r in right.iter() {
             stats.pairs_considered += 1;
@@ -51,12 +59,111 @@ pub fn nested_loop_join(
     TripleSet::from_vec(out)
 }
 
-/// Hash join keyed on the cross equalities of `θ`.
-///
-/// The right side is hashed on its key positions; each left triple probes the
-/// table and the remaining conditions are checked per matching pair. When the
-/// condition set has no cross equalities this degenerates to a nested-loop
-/// join (there is no key to hash on).
+/// A hash-join key: up to three object ids, inlined so single-column keys
+/// (the overwhelmingly common case — every reachability join) cost no
+/// allocation per probe. Keys wider than three columns fall back to a `Vec`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinKey {
+    /// One key column.
+    One(ObjectId),
+    /// Two key columns.
+    Two(ObjectId, ObjectId),
+    /// Three key columns.
+    Three([ObjectId; 3]),
+    /// More than three key columns (degenerate: conditions can repeat).
+    Wide(Vec<ObjectId>),
+}
+
+#[inline]
+fn key_of(t: &Triple, components: &[usize]) -> JoinKey {
+    match components {
+        [a] => JoinKey::One(t.0[*a]),
+        [a, b] => JoinKey::Two(t.0[*a], t.0[*b]),
+        [a, b, c] => JoinKey::Three([t.0[*a], t.0[*b], t.0[*c]]),
+        many => JoinKey::Wide(many.iter().map(|&i| t.0[i]).collect()),
+    }
+}
+
+/// The build side of a hash join: the right input hashed on the right-hand
+/// components of the cross equalities.
+#[derive(Debug)]
+pub struct JoinTable {
+    left_components: Vec<usize>,
+    table: HashMap<JoinKey, Vec<Triple>>,
+}
+
+impl JoinTable {
+    /// Hashes `right` on the key columns of `keys` (the cross equalities
+    /// `(left position, right position)`).
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty — key-free joins have no hashable column and
+    /// must use [`nested_loop_join`].
+    pub fn build(right: &TripleSet, keys: &[(Pos, Pos)], stats: &mut EvalStats) -> JoinTable {
+        assert!(!keys.is_empty(), "hash join requires at least one key");
+        let right_components = key_components(keys, false);
+        let left_components = key_components(keys, true);
+        let mut table: HashMap<JoinKey, Vec<Triple>> = HashMap::with_capacity(right.len());
+        for r in right.iter() {
+            stats.triples_scanned += 1;
+            table
+                .entry(key_of(r, &right_components))
+                .or_default()
+                .push(*r);
+        }
+        JoinTable {
+            left_components,
+            table,
+        }
+    }
+
+    /// Number of distinct keys in the table.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` if the build side was empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+/// Probe phase of a hash join: streams `left` against a pre-built
+/// [`JoinTable`], checking the full condition set per matching pair.
+pub fn hash_join_probe(
+    left: &TripleSet,
+    table: &JoinTable,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    stats.joins_executed += 1;
+    let mut out = Vec::with_capacity(left.len());
+    for l in left.iter() {
+        stats.triples_scanned += 1;
+        if let Some(matches) = table.get(&key_of(l, &table.left_components)) {
+            for r in matches {
+                stats.pairs_considered += 1;
+                if cond.check_pair(store, l, r) {
+                    out.push(project(l, r, output));
+                    stats.triples_emitted += 1;
+                }
+            }
+        }
+    }
+    TripleSet::from_vec(out)
+}
+
+impl JoinTable {
+    fn get(&self, key: &JoinKey) -> Option<&Vec<Triple>> {
+        self.table.get(key)
+    }
+}
+
+/// Hash join keyed on the cross equalities of `θ` (build + probe in one
+/// call). When the condition set has no cross equalities this degenerates to
+/// a nested-loop join (there is no key to hash on).
 pub fn hash_join(
     left: &TripleSet,
     right: &TripleSet,
@@ -69,32 +176,41 @@ pub fn hash_join(
     if keys.is_empty() {
         return nested_loop_join(left, right, output, cond, store, stats);
     }
+    let table = JoinTable::build(right, &keys, stats);
+    hash_join_probe(left, &table, output, cond, store, stats)
+}
+
+/// Index nested-loop join: probes a base relation's permutation index with
+/// each outer triple instead of building a hash table.
+///
+/// `probe` is the cross equality used for the index lookup — the outer
+/// triple's component at `probe.0` must equal the relation's component at
+/// `probe.1`. Remaining conditions (including further keys) are checked per
+/// candidate pair. The outer input plays the *left* role of the join.
+#[allow(clippy::too_many_arguments)]
+pub fn index_nested_loop_join(
+    outer: &TripleSet,
+    base: &TripleSet,
+    index: &RelationIndex,
+    probe: (Pos, Pos),
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+) -> TripleSet {
     stats.joins_executed += 1;
-    // Build phase: index the right side by its key columns.
-    let mut table: HashMap<Vec<ObjectId>, Vec<&Triple>> = HashMap::with_capacity(right.len());
-    for r in right.iter() {
+    let (outer_pos, inner_pos) = probe;
+    debug_assert!(outer_pos.is_left() && inner_pos.is_right());
+    let inner_component = inner_pos.component_index();
+    let mut out = Vec::with_capacity(outer.len());
+    for l in outer.iter() {
         stats.triples_scanned += 1;
-        let key: Vec<ObjectId> = keys
-            .iter()
-            .map(|(_, rp)| r.0[rp.component_index()])
-            .collect();
-        table.entry(key).or_default().push(r);
-    }
-    // Probe phase.
-    let mut out = Vec::new();
-    for l in left.iter() {
-        stats.triples_scanned += 1;
-        let key: Vec<ObjectId> = keys
-            .iter()
-            .map(|(lp, _)| l.0[lp.component_index()])
-            .collect();
-        if let Some(matches) = table.get(&key) {
-            for r in matches {
-                stats.pairs_considered += 1;
-                if cond.check_pair(store, l, r) {
-                    out.push(project(l, r, output));
-                    stats.triples_emitted += 1;
-                }
+        let value = l.0[outer_pos.component_index()];
+        for r in index.matching(base, inner_component, value) {
+            stats.pairs_considered += 1;
+            if cond.check_pair(store, l, r) {
+                out.push(project(l, r, output));
+                stats.triples_emitted += 1;
             }
         }
     }
@@ -127,9 +243,9 @@ pub fn universe(
         }
     }
     stats.triples_emitted += total as u64;
-    // Already sorted because adom is sorted and the loops are lexicographic,
-    // but from_vec re-checks cheaply and keeps the invariant in one place.
-    Ok(TripleSet::from_vec(out))
+    // adom is sorted and deduplicated and the loops are lexicographic, so the
+    // output is strictly increasing: take the zero-copy path.
+    Ok(TripleSet::from_sorted_vec(out))
 }
 
 /// Joins `left ✶ right` picking the strategy by whether the condition set has
@@ -150,7 +266,6 @@ pub fn join_auto(
 }
 
 /// Positions of a hash key restricted to one side, as component indices.
-/// Exposed for the reachability procedures that build per-label indexes.
 pub fn key_components(keys: &[(Pos, Pos)], left: bool) -> Vec<usize> {
     keys.iter()
         .map(|(l, r)| {
@@ -187,10 +302,8 @@ mod tests {
         let store = store();
         let e = rel(&store);
         let mut stats = EvalStats::new();
-        let cond = CompiledConditions::compile(
-            &Conditions::new().obj_eq_const(Pos::L2, "p"),
-            &store,
-        );
+        let cond =
+            CompiledConditions::compile(&Conditions::new().obj_eq_const(Pos::L2, "p"), &store);
         let out = select(&e, &cond, &store, &mut stats);
         assert_eq!(out.len(), 2);
         assert_eq!(stats.triples_scanned, 3);
@@ -202,10 +315,7 @@ mod tests {
         let store = store();
         let e = rel(&store);
         let out_spec = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
-        let cond = CompiledConditions::compile(
-            &Conditions::new().obj_eq(Pos::L3, Pos::R1),
-            &store,
-        );
+        let cond = CompiledConditions::compile(&Conditions::new().obj_eq(Pos::L3, Pos::R1), &store);
         let mut s1 = EvalStats::new();
         let mut s2 = EvalStats::new();
         let nl = nested_loop_join(&e, &e, &out_spec, &cond, &store, &mut s1);
@@ -222,15 +332,70 @@ mod tests {
     }
 
     #[test]
+    fn index_join_agrees_with_hash_join() {
+        let store = store();
+        let (base, index) = store.relation_with_index("E").unwrap();
+        let out_spec = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
+        let cond = CompiledConditions::compile(&Conditions::new().obj_eq(Pos::L3, Pos::R1), &store);
+        let mut s1 = EvalStats::new();
+        let mut s2 = EvalStats::new();
+        let hj = hash_join(base, base, &out_spec, &cond, &store, &mut s1);
+        let inlj = index_nested_loop_join(
+            base,
+            base,
+            index,
+            (Pos::L3, Pos::R1),
+            &out_spec,
+            &cond,
+            &store,
+            &mut s2,
+        );
+        assert_eq!(hj, inlj);
+        assert_eq!(s1.pairs_considered, s2.pairs_considered);
+    }
+
+    #[test]
+    fn prebuilt_tables_are_reusable() {
+        let store = store();
+        let e = rel(&store);
+        let out_spec = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
+        let cond = CompiledConditions::compile(&Conditions::new().obj_eq(Pos::L3, Pos::R1), &store);
+        let keys = cond.cross_equalities();
+        let mut stats = EvalStats::new();
+        let table = JoinTable::build(&e, &keys, &mut stats);
+        assert!(!table.is_empty());
+        assert_eq!(table.len(), 3); // distinct first components a, b, c
+        let first = hash_join_probe(&e, &table, &out_spec, &cond, &store, &mut stats);
+        let second = hash_join_probe(&first, &table, &out_spec, &cond, &store, &mut stats);
+        assert_eq!(first.len(), 2); // a→c, b→d
+        assert_eq!(second.len(), 1); // a→d
+                                     // Build scanned the 3 right triples exactly once.
+        assert_eq!(stats.triples_scanned, 3 + 3 + 2);
+    }
+
+    #[test]
+    fn single_column_keys_avoid_wide_variants() {
+        let t = Triple::new(ObjectId(1), ObjectId(2), ObjectId(3));
+        assert_eq!(key_of(&t, &[0]), JoinKey::One(ObjectId(1)));
+        assert_eq!(key_of(&t, &[2, 0]), JoinKey::Two(ObjectId(3), ObjectId(1)));
+        assert_eq!(
+            key_of(&t, &[0, 1, 2]),
+            JoinKey::Three([ObjectId(1), ObjectId(2), ObjectId(3)])
+        );
+        assert_eq!(
+            key_of(&t, &[0, 0, 1, 1]),
+            JoinKey::Wide(vec![ObjectId(1), ObjectId(1), ObjectId(2), ObjectId(2)])
+        );
+    }
+
+    #[test]
     fn hash_join_without_keys_falls_back() {
         let store = store();
         let e = rel(&store);
         let out_spec = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
         // Only an inequality: no hash key available.
-        let cond = CompiledConditions::compile(
-            &Conditions::new().obj_neq(Pos::L1, Pos::R1),
-            &store,
-        );
+        let cond =
+            CompiledConditions::compile(&Conditions::new().obj_neq(Pos::L1, Pos::R1), &store);
         let mut s = EvalStats::new();
         let out = hash_join(&e, &e, &out_spec, &cond, &store, &mut s);
         assert_eq!(s.pairs_considered, 9);
@@ -243,10 +408,8 @@ mod tests {
         let e = rel(&store);
         // Join triples whose endpoints carry the same data value:
         // ρ(1) = ρ(3') pairs (a,..) with (..,c) etc.
-        let cond = CompiledConditions::compile(
-            &Conditions::new().data_eq(Pos::L1, Pos::R3),
-            &store,
-        );
+        let cond =
+            CompiledConditions::compile(&Conditions::new().data_eq(Pos::L1, Pos::R3), &store);
         let mut s = EvalStats::new();
         let out = nested_loop_join(
             &e,
@@ -258,9 +421,7 @@ mod tests {
         );
         // ρ(a)=1 matches ρ(c)=1: left triples starting at a, right triples ending at c.
         // Also ρ(c)=1 matches ρ(c)=1 and ρ(a)=1.
-        assert!(out
-            .iter()
-            .any(|t| store.display_triple(t) == "(a, p, c)"));
+        assert!(out.iter().any(|t| store.display_triple(t) == "(a, p, c)"));
     }
 
     #[test]
@@ -283,14 +444,10 @@ mod tests {
         let store = store();
         let e = rel(&store);
         let out_spec = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
-        let eq_cond = CompiledConditions::compile(
-            &Conditions::new().obj_eq(Pos::L3, Pos::R1),
-            &store,
-        );
-        let neq_cond = CompiledConditions::compile(
-            &Conditions::new().obj_neq(Pos::L3, Pos::R1),
-            &store,
-        );
+        let eq_cond =
+            CompiledConditions::compile(&Conditions::new().obj_eq(Pos::L3, Pos::R1), &store);
+        let neq_cond =
+            CompiledConditions::compile(&Conditions::new().obj_neq(Pos::L3, Pos::R1), &store);
         let mut s = EvalStats::new();
         let a = join_auto(&e, &e, &out_spec, &eq_cond, &store, &mut s);
         let b = join_auto(&e, &e, &out_spec, &neq_cond, &store, &mut s);

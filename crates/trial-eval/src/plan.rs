@@ -1,0 +1,498 @@
+//! The physical plan IR: what the planner emits and the executor runs.
+//!
+//! A [`Plan`] is a tree of [`PlanNode`]s, each a concrete physical operator
+//! with its chosen strategy (index scan vs. filter, hash vs. index
+//! nested-loop join, semi-naive vs. reachability star) and an estimated
+//! output cardinality. The tree is produced once per `(expression, store)`
+//! pair by [`crate::planner`] and interpreted by [`crate::exec`]; the logical
+//! [`Expr`](trial_core::Expr) tree is never pattern-matched on the execution
+//! path.
+//!
+//! [`Plan::explain`] renders the tree in the usual `EXPLAIN` style:
+//!
+//! ```text
+//! Union  (~10 rows)
+//! ├─ Memo #0
+//! │  ╰─ HashJoin [1,3',3 | 2=1'] build=right  (~7 rows)
+//! │     ├─ IndexScan E  (7 rows)
+//! │     ╰─ IndexScan E  (7 rows)
+//! ╰─ StarReach plain on E  (~49 rows)
+//!    ╰─ IndexScan E  (7 rows)
+//! ```
+
+use std::fmt;
+use trial_core::{Conditions, ObjectId, OutputSpec, Pos, StarDirection};
+
+/// One physical operator with its inputs and cardinality estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Scan a stored relation, optionally binding one component to a
+    /// constant through the matching permutation index, with residual
+    /// selection conditions applied during the scan.
+    IndexScan {
+        /// Relation name.
+        relation: String,
+        /// Pushed-down constant binding `(component, object)` served by the
+        /// permutation index keyed on that component.
+        bound: Option<(usize, ObjectId)>,
+        /// Residual selection conditions checked per scanned triple.
+        residual: Conditions,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Materialise the universal relation `U = adom³`.
+    Universe {
+        /// Estimated output rows (`|adom|³`).
+        est: usize,
+    },
+    /// The empty relation.
+    Empty,
+    /// Filter the input by selection conditions (no index available).
+    Filter {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Selection conditions.
+        cond: Conditions,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Hash join: build a table on the right input keyed on the cross
+    /// equalities, probe with the left input.
+    HashJoin {
+        /// Probe side.
+        left: Box<PlanNode>,
+        /// Build side.
+        right: Box<PlanNode>,
+        /// Output specification.
+        output: OutputSpec,
+        /// Full join conditions.
+        cond: Conditions,
+        /// Cross equalities used as the hash key.
+        keys: Vec<(Pos, Pos)>,
+        /// `true` if the planner swapped the written argument order (so the
+        /// smaller side is built); output and conditions are already
+        /// mirrored accordingly.
+        swapped: bool,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Index nested-loop join: probe a base relation's permutation index
+    /// with each outer triple (no build phase at all).
+    IndexNestedLoopJoin {
+        /// Outer (probing, left) side.
+        outer: Box<PlanNode>,
+        /// Inner base relation, probed through its permutation index.
+        relation: String,
+        /// The cross equality used for the index probe.
+        probe: (Pos, Pos),
+        /// Output specification.
+        output: OutputSpec,
+        /// Full join conditions.
+        cond: Conditions,
+        /// `true` if the planner swapped the written argument order.
+        swapped: bool,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Nested-loop join (no hashable key).
+    NestedLoopJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Output specification.
+        output: OutputSpec,
+        /// Join conditions.
+        cond: Conditions,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Set union.
+    Union {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Set difference.
+    Diff {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Set intersection.
+    Intersect {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Complement against the universal relation.
+    Complement {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Kleene star by semi-naive (delta) fixpoint iteration; the base's hash
+    /// table is built once and probed every round.
+    StarSemiNaive {
+        /// Plan for the starred expression.
+        input: Box<PlanNode>,
+        /// Output specification of the iterated join.
+        output: OutputSpec,
+        /// Conditions of the iterated join.
+        cond: Conditions,
+        /// Closure direction.
+        direction: StarDirection,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Kleene star by the Proposition 5 reachability procedures (BFS over
+    /// adjacency lists).
+    StarReach {
+        /// Plan for the starred expression.
+        input: Box<PlanNode>,
+        /// `true` for the same-label shape `(R ✶^{1,2,3'}_{3=1',2=2'})^*`.
+        same_label: bool,
+        /// If the base is exactly a stored relation, its name — the executor
+        /// then walks the store's cached adjacency lists instead of building
+        /// its own.
+        relation: Option<String>,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Materialisation point for a repeated sub-expression: the first
+    /// execution stores the result in the slot, later executions reuse it.
+    Memo {
+        /// Slot number (one per distinct repeated sub-expression).
+        slot: usize,
+        /// Plan for the shared sub-expression.
+        input: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    /// The planner's estimate of this node's output cardinality.
+    pub fn est(&self) -> usize {
+        match self {
+            PlanNode::Empty => 0,
+            PlanNode::IndexScan { est, .. }
+            | PlanNode::Universe { est }
+            | PlanNode::Filter { est, .. }
+            | PlanNode::HashJoin { est, .. }
+            | PlanNode::IndexNestedLoopJoin { est, .. }
+            | PlanNode::NestedLoopJoin { est, .. }
+            | PlanNode::Union { est, .. }
+            | PlanNode::Diff { est, .. }
+            | PlanNode::Intersect { est, .. }
+            | PlanNode::Complement { est, .. }
+            | PlanNode::StarSemiNaive { est, .. }
+            | PlanNode::StarReach { est, .. } => *est,
+            PlanNode::Memo { input, .. } => input.est(),
+        }
+    }
+
+    /// Child plans, left to right.
+    pub fn children(&self) -> Vec<&PlanNode> {
+        match self {
+            PlanNode::IndexScan { .. } | PlanNode::Universe { .. } | PlanNode::Empty => vec![],
+            PlanNode::Filter { input, .. }
+            | PlanNode::Complement { input, .. }
+            | PlanNode::StarSemiNaive { input, .. }
+            | PlanNode::StarReach { input, .. }
+            | PlanNode::Memo { input, .. } => vec![input],
+            PlanNode::HashJoin { left, right, .. }
+            | PlanNode::NestedLoopJoin { left, right, .. }
+            | PlanNode::Union { left, right, .. }
+            | PlanNode::Diff { left, right, .. }
+            | PlanNode::Intersect { left, right, .. } => vec![left, right],
+            PlanNode::IndexNestedLoopJoin { outer, .. } => vec![outer],
+        }
+    }
+
+    /// The operator's one-line label (without children), as used by
+    /// [`Plan::explain`].
+    pub fn label(&self) -> String {
+        fn cond_part(output: &OutputSpec, cond: &Conditions) -> String {
+            if cond.is_empty() {
+                format!("[{output}]")
+            } else {
+                format!("[{output} | {cond}]")
+            }
+        }
+        match self {
+            PlanNode::IndexScan {
+                relation,
+                bound,
+                residual,
+                est,
+            } => {
+                let mut s = format!("IndexScan {relation}");
+                if let Some((component, id)) = bound {
+                    s.push_str(&format!(" where {}=#{}", component + 1, id.0));
+                }
+                if !residual.is_empty() {
+                    s.push_str(&format!(" filter [{residual}]"));
+                }
+                s.push_str(&format!("  ({est} rows)"));
+                s
+            }
+            PlanNode::Universe { est } => format!("Universe  (~{est} rows)"),
+            PlanNode::Empty => "Empty  (0 rows)".to_owned(),
+            PlanNode::Filter { cond, est, .. } => format!("Filter [{cond}]  (~{est} rows)"),
+            PlanNode::HashJoin {
+                output,
+                cond,
+                keys,
+                swapped,
+                est,
+                ..
+            } => {
+                let keys: Vec<String> = keys.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                format!(
+                    "HashJoin {} keys={}{}  (~{est} rows)",
+                    cond_part(output, cond),
+                    keys.join(","),
+                    if *swapped { " (args swapped)" } else { "" },
+                )
+            }
+            PlanNode::IndexNestedLoopJoin {
+                relation,
+                probe,
+                output,
+                cond,
+                swapped,
+                est,
+                ..
+            } => format!(
+                "IndexNestedLoopJoin {} into {relation} via {}={}{}  (~{est} rows)",
+                cond_part(output, cond),
+                probe.0,
+                probe.1,
+                if *swapped { " (args swapped)" } else { "" },
+            ),
+            PlanNode::NestedLoopJoin {
+                output, cond, est, ..
+            } => format!("NestedLoopJoin {}  (~{est} rows)", cond_part(output, cond)),
+            PlanNode::Union { est, .. } => format!("Union  (~{est} rows)"),
+            PlanNode::Diff { est, .. } => format!("Diff  (~{est} rows)"),
+            PlanNode::Intersect { est, .. } => format!("Intersect  (~{est} rows)"),
+            PlanNode::Complement { est, .. } => format!("Complement  (~{est} rows)"),
+            PlanNode::StarSemiNaive {
+                output,
+                cond,
+                direction,
+                est,
+                ..
+            } => {
+                let dir = match direction {
+                    StarDirection::Right => "right",
+                    StarDirection::Left => "left",
+                };
+                format!(
+                    "StarSemiNaive {dir} {}  (~{est} rows)",
+                    cond_part(output, cond)
+                )
+            }
+            PlanNode::StarReach {
+                same_label,
+                relation,
+                est,
+                ..
+            } => {
+                let shape = if *same_label { "same-label" } else { "plain" };
+                match relation {
+                    Some(rel) => format!("StarReach {shape} on {rel}  (~{est} rows)"),
+                    None => format!("StarReach {shape}  (~{est} rows)"),
+                }
+            }
+            PlanNode::Memo { slot, .. } => format!("Memo #{slot}"),
+        }
+    }
+
+    fn render(&self, out: &mut String, prefix: &str, is_last: Option<bool>) {
+        let (branch, next_prefix) = match is_last {
+            None => ("", String::new()),
+            Some(false) => ("├─ ", format!("{prefix}│  ")),
+            Some(true) => ("╰─ ", format!("{prefix}   ")),
+        };
+        out.push_str(prefix);
+        out.push_str(branch);
+        out.push_str(&self.label());
+        out.push('\n');
+        let children = self.children();
+        let count = children.len();
+        for (i, child) in children.into_iter().enumerate() {
+            child.render(out, &next_prefix, Some(i + 1 == count));
+        }
+    }
+
+    /// Renders this subtree in `EXPLAIN` style.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out, "", None);
+        out
+    }
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+/// A complete physical plan: the operator tree plus the number of memo slots
+/// the executor must allocate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Root operator.
+    pub root: PlanNode,
+    /// Number of [`PlanNode::Memo`] slots referenced by the tree.
+    pub memo_slots: usize,
+}
+
+impl Plan {
+    /// Renders the plan in `EXPLAIN` style (see the module docs for a
+    /// sample).
+    pub fn explain(&self) -> String {
+        self.root.explain()
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trial_core::{output, Conditions, Pos};
+
+    fn scan(rel: &str, est: usize) -> PlanNode {
+        PlanNode::IndexScan {
+            relation: rel.to_owned(),
+            bound: None,
+            residual: Conditions::new(),
+            est,
+        }
+    }
+
+    #[test]
+    fn explain_renders_tree_structure() {
+        let join = PlanNode::HashJoin {
+            left: Box::new(scan("E", 7)),
+            right: Box::new(scan("E", 7)),
+            output: output(Pos::L1, Pos::R3, Pos::L3),
+            cond: Conditions::new().obj_eq(Pos::L2, Pos::R1),
+            keys: vec![(Pos::L2, Pos::R1)],
+            swapped: false,
+            est: 7,
+        };
+        let plan = Plan {
+            root: PlanNode::Union {
+                left: Box::new(PlanNode::Memo {
+                    slot: 0,
+                    input: Box::new(join),
+                }),
+                right: Box::new(PlanNode::Empty),
+                est: 7,
+            },
+            memo_slots: 1,
+        };
+        let text = plan.explain();
+        assert!(text.contains("Union"));
+        assert!(text.contains("Memo #0"));
+        assert!(text.contains("HashJoin [1,3',3 | 2=1'] keys=2=1'"));
+        assert!(text.contains("├─"));
+        assert!(text.contains("╰─"));
+        assert!(text.contains("IndexScan E  (7 rows)"));
+        assert_eq!(plan.root.est(), 7);
+        assert_eq!(plan.to_string(), text);
+    }
+
+    #[test]
+    fn every_operator_has_a_label() {
+        let nodes = vec![
+            scan("E", 1),
+            PlanNode::Universe { est: 27 },
+            PlanNode::Empty,
+            PlanNode::Filter {
+                input: Box::new(PlanNode::Empty),
+                cond: Conditions::new().obj_eq_const(Pos::L2, "p"),
+                est: 1,
+            },
+            PlanNode::IndexNestedLoopJoin {
+                outer: Box::new(scan("E", 2)),
+                relation: "E".into(),
+                probe: (Pos::L3, Pos::R1),
+                output: output(Pos::L1, Pos::L2, Pos::R3),
+                cond: Conditions::new().obj_eq(Pos::L3, Pos::R1),
+                swapped: true,
+                est: 2,
+            },
+            PlanNode::NestedLoopJoin {
+                left: Box::new(scan("E", 2)),
+                right: Box::new(scan("E", 2)),
+                output: output(Pos::L1, Pos::L2, Pos::R3),
+                cond: Conditions::new(),
+                est: 4,
+            },
+            PlanNode::Diff {
+                left: Box::new(scan("E", 2)),
+                right: Box::new(PlanNode::Empty),
+                est: 2,
+            },
+            PlanNode::Intersect {
+                left: Box::new(scan("E", 2)),
+                right: Box::new(scan("F", 3)),
+                est: 2,
+            },
+            PlanNode::Complement {
+                input: Box::new(scan("E", 2)),
+                est: 25,
+            },
+            PlanNode::StarSemiNaive {
+                input: Box::new(scan("E", 2)),
+                output: output(Pos::L1, Pos::L2, Pos::R3),
+                cond: Conditions::new().obj_eq(Pos::L3, Pos::R1),
+                direction: StarDirection::Left,
+                est: 4,
+            },
+            PlanNode::StarReach {
+                input: Box::new(scan("E", 2)),
+                same_label: true,
+                relation: Some("E".into()),
+                est: 4,
+            },
+        ];
+        for node in nodes {
+            let label = node.label();
+            assert!(!label.is_empty());
+            // The tree rendering of a node always starts with its label.
+            assert!(node.explain().starts_with(&label));
+        }
+    }
+
+    #[test]
+    fn bound_scans_render_the_binding() {
+        let node = PlanNode::IndexScan {
+            relation: "E".into(),
+            bound: Some((1, trial_core::ObjectId(5))),
+            residual: Conditions::new().data_eq(Pos::L1, Pos::L3),
+            est: 3,
+        };
+        let label = node.label();
+        assert!(label.contains("where 2=#5"), "got: {label}");
+        assert!(label.contains("filter [rho(1)=rho(3)]"), "got: {label}");
+    }
+}

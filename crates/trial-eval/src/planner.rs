@@ -1,29 +1,48 @@
-//! The production engine: fragment-aware strategy selection.
+//! The cost-based query planner and the production [`SmartEngine`].
 //!
-//! [`SmartEngine`] walks the expression tree once per query and picks, for
-//! every operator, the cheapest applicable physical strategy:
+//! Planning turns a logical [`Expr`] tree into a physical [`Plan`] over the
+//! store's permutation indexes ([`trial_core::index`]), choosing for every
+//! operator the cheapest applicable strategy:
 //!
-//! * joins use hash joins keyed on the cross equalities of `θ` (the
-//!   Proposition 4 optimisation), falling back to nested loops when no
-//!   equality key exists;
-//! * Kleene stars that match one of the two reachTA⁼ shapes are routed to
-//!   the Proposition 5 reachability procedures; every other star is
-//!   evaluated by semi-naive delta iteration;
-//! * structurally repeated sub-expressions are evaluated once and memoised.
+//! * **selection pushdown** — constant equalities move into
+//!   [`PlanNode::IndexScan`] bindings answered from the matching permutation
+//!   (SPO/POS/OSP) in `O(log |R|)`; nested selections are merged; a
+//!   selection on an object name absent from the store folds to
+//!   [`PlanNode::Empty`];
+//! * **join strategy and order** — joins with cross equalities become
+//!   [`PlanNode::HashJoin`]s (the Proposition 4 optimisation) with the
+//!   *smaller* estimated side as the build side (arguments are swapped via
+//!   the mirroring identity when needed), or
+//!   [`PlanNode::IndexNestedLoopJoin`]s probing a base relation's cached
+//!   permutation index when one side is a stored relation; key order is
+//!   chosen by per-component distinct-value statistics;
+//! * **recursion strategy** — Kleene stars matching a reachTA⁼ shape are
+//!   routed to the Proposition 5 procedures ([`PlanNode::StarReach`]),
+//!   walking the store's cached adjacency lists when the base is a stored
+//!   relation; all other stars run as build-once semi-naive fixpoints
+//!   ([`PlanNode::StarSemiNaive`]);
+//! * **memoisation** — structurally repeated sub-expressions are wrapped in
+//!   [`PlanNode::Memo`] slots and executed once.
+//!
+//! Cardinality estimates come from exact relation sizes and per-component
+//! distinct counts (from [`trial_core::RelationIndex::distinct_counts`]) and
+//! textbook selectivity heuristics everywhere else.
 //!
 //! The free functions [`evaluate`] and [`evaluate_with`] are the main entry
-//! points used by examples, tests and downstream crates.
+//! points used by examples, tests and downstream crates; [`explain`] renders
+//! the chosen plan without running it.
 
-use crate::compile::CompiledConditions;
 use crate::engine::{Engine, EvalOptions, EvalStats, Evaluation};
-use crate::memo::Memo;
-use crate::ops;
-use crate::reach;
-use crate::seminaive::semi_naive_star;
+use crate::exec::Executor;
+use crate::plan::{Plan, PlanNode};
+use std::collections::{HashMap, HashSet};
+use trial_core::condition::{Cmp, ObjAtom, ObjOperand};
 use trial_core::fragment::is_reachability_star;
-use trial_core::{Expr, Pos, Result, TripleSet, Triplestore};
+use trial_core::{Conditions, Expr, ObjectId, Pos, Result, Triplestore};
 
-/// The default, optimisation-enabled evaluation engine.
+/// The default, optimisation-enabled evaluation engine: plans every query
+/// with [`plan`] and executes the physical plan against the store's
+/// permutation indexes.
 #[derive(Debug, Clone, Default)]
 pub struct SmartEngine {
     /// Evaluation options (limits and strategy switches).
@@ -41,115 +60,22 @@ impl SmartEngine {
         SmartEngine { options }
     }
 
-    fn eval(
-        &self,
-        expr: &Expr,
-        store: &Triplestore,
-        memo: &mut Memo,
-        stats: &mut EvalStats,
-    ) -> Result<TripleSet> {
-        if self.options.use_memo {
-            if let Some(hit) = memo.get(expr) {
-                stats.memo_hits += 1;
-                return Ok(hit);
-            }
-        }
-        let result = match expr {
-            Expr::Rel(name) => store.require_relation(name)?.clone(),
-            Expr::Universe => ops::universe(store, &self.options, stats)?,
-            Expr::Empty => TripleSet::new(),
-            Expr::Select { input, cond } => {
-                let input = self.eval(input, store, memo, stats)?;
-                let cond = CompiledConditions::compile(cond, store);
-                ops::select(&input, &cond, store, stats)
-            }
-            Expr::Union(a, b) => {
-                let a = self.eval(a, store, memo, stats)?;
-                let b = self.eval(b, store, memo, stats)?;
-                stats.triples_scanned += (a.len() + b.len()) as u64;
-                a.union(&b)
-            }
-            Expr::Diff(a, b) => {
-                let a = self.eval(a, store, memo, stats)?;
-                let b = self.eval(b, store, memo, stats)?;
-                stats.triples_scanned += (a.len() + b.len()) as u64;
-                a.difference(&b)
-            }
-            Expr::Intersect(a, b) => {
-                let a = self.eval(a, store, memo, stats)?;
-                let b = self.eval(b, store, memo, stats)?;
-                stats.triples_scanned += (a.len() + b.len()) as u64;
-                a.intersection(&b)
-            }
-            Expr::Complement(e) => {
-                let e = self.eval(e, store, memo, stats)?;
-                let u = ops::universe(store, &self.options, stats)?;
-                stats.triples_scanned += (e.len() + u.len()) as u64;
-                u.difference(&e)
-            }
-            Expr::Join {
-                left,
-                right,
-                output,
-                cond,
-            } => {
-                let l = self.eval(left, store, memo, stats)?;
-                let r = self.eval(right, store, memo, stats)?;
-                let cond = CompiledConditions::compile(cond, store);
-                ops::join_auto(&l, &r, output, &cond, store, stats)
-            }
-            Expr::Star {
-                input,
-                output,
-                cond,
-                direction,
-            } => {
-                let base = self.eval(input, store, memo, stats)?;
-                let compiled = CompiledConditions::compile(cond, store);
-                if self.options.use_reach_specialisation
-                    && is_reachability_star(output, cond, *direction)
-                {
-                    // Distinguish the two reachTA= shapes by whether the
-                    // label equality 2=2' is part of the condition.
-                    let same_label = cond
-                        .cross_equalities()
-                        .iter()
-                        .any(|&(l, r)| l == Pos::L2 && r == Pos::R2);
-                    if same_label {
-                        reach::reach_star_same_label(&base, stats)
-                    } else {
-                        reach::reach_star_plain(&base, stats)
-                    }
-                } else {
-                    semi_naive_star(
-                        &base,
-                        output,
-                        &compiled,
-                        *direction,
-                        store,
-                        &self.options,
-                        stats,
-                    )?
-                }
-            }
-        };
-        if self.options.use_memo {
-            memo.insert(expr, &result);
-        }
-        Ok(result)
+    /// Plans `expr` over `store` without executing it.
+    pub fn plan(&self, expr: &Expr, store: &Triplestore) -> Result<Plan> {
+        plan(expr, store, &self.options)
     }
 }
 
 impl Engine for SmartEngine {
     fn name(&self) -> &'static str {
-        "smart (hash joins + semi-naive + Prop. 5 reachability)"
+        "smart (planned: index scans + hash/index joins + semi-naive + Prop. 5 reachability)"
     }
 
     fn evaluate(&self, expr: &Expr, store: &Triplestore) -> Result<Evaluation> {
-        expr.validate()?;
+        let plan = self.plan(expr, store)?;
         let mut stats = EvalStats::new();
-        let mut memo = Memo::new();
-        let result = self.eval(expr, store, &mut memo, &mut stats)?;
+        let mut executor = Executor::new(store, &self.options, &plan);
+        let result = executor.run(&plan.root, &mut stats)?;
         Ok(Evaluation { result, stats })
     }
 }
@@ -162,6 +88,492 @@ pub fn evaluate(expr: &Expr, store: &Triplestore) -> Result<Evaluation> {
 /// Evaluates `expr` over `store` with explicit [`EvalOptions`].
 pub fn evaluate_with(expr: &Expr, store: &Triplestore, options: EvalOptions) -> Result<Evaluation> {
     SmartEngine::with_options(options).evaluate(expr, store)
+}
+
+/// Plans `expr` and renders the physical plan in `EXPLAIN` style.
+pub fn explain(expr: &Expr, store: &Triplestore) -> Result<String> {
+    Ok(SmartEngine::new().plan(expr, store)?.explain())
+}
+
+/// Builds the physical plan for `expr` over `store`.
+pub fn plan(expr: &Expr, store: &Triplestore, options: &EvalOptions) -> Result<Plan> {
+    expr.validate()?;
+    let mut planner = Planner {
+        store,
+        options,
+        universe_est: None,
+        repeated: repeated_subexpressions(expr),
+        slots: HashMap::new(),
+    };
+    let root = planner.plan_expr(expr)?;
+    Ok(Plan {
+        root,
+        memo_slots: planner.slots.len(),
+    })
+}
+
+/// Sub-expressions worth a memo slot: anything that performs work.
+fn memoizable(expr: &Expr) -> bool {
+    !matches!(expr, Expr::Rel(_) | Expr::Empty | Expr::Universe)
+}
+
+/// The set of sub-expressions occurring more than once.
+fn repeated_subexpressions(expr: &Expr) -> HashSet<Expr> {
+    let mut seen: HashSet<&Expr> = HashSet::new();
+    let mut repeated: HashSet<Expr> = HashSet::new();
+    for sub in expr.subexpressions() {
+        if memoizable(sub) && !seen.insert(sub) {
+            repeated.insert(sub.clone());
+        }
+    }
+    repeated
+}
+
+struct Planner<'a> {
+    store: &'a Triplestore,
+    options: &'a EvalOptions,
+    universe_est: Option<usize>,
+    repeated: HashSet<Expr>,
+    slots: HashMap<Expr, usize>,
+}
+
+impl Planner<'_> {
+    fn optimize(&self) -> bool {
+        self.options.optimize_plans
+    }
+
+    /// `|adom|³`, the cardinality of the universal relation.
+    fn universe_est(&mut self) -> usize {
+        *self.universe_est.get_or_insert_with(|| {
+            let n = self.store.active_domain().len();
+            n.saturating_mul(n).saturating_mul(n)
+        })
+    }
+
+    /// Exact `(cardinality, distinct counts per component)` when the plan
+    /// scans a stored relation unfiltered; `None` otherwise.
+    fn scan_stats(&self, node: &PlanNode) -> Option<(usize, [usize; 3])> {
+        let name = bare_scan(node)?;
+        let (base, index) = self.store.relation_with_index(name)?;
+        Some((base.len(), index.distinct_counts(base)))
+    }
+
+    fn plan_expr(&mut self, expr: &Expr) -> Result<PlanNode> {
+        if self.options.use_memo && memoizable(expr) && self.repeated.contains(expr) {
+            let slot = match self.slots.get(expr) {
+                Some(&slot) => slot,
+                None => {
+                    let next = self.slots.len();
+                    self.slots.insert(expr.clone(), next);
+                    next
+                }
+            };
+            let input = self.plan_inner(expr)?;
+            return Ok(PlanNode::Memo {
+                slot,
+                input: Box::new(input),
+            });
+        }
+        self.plan_inner(expr)
+    }
+
+    fn plan_inner(&mut self, expr: &Expr) -> Result<PlanNode> {
+        Ok(match expr {
+            Expr::Rel(name) => {
+                let est = self.store.require_relation(name)?.len();
+                PlanNode::IndexScan {
+                    relation: name.clone(),
+                    bound: None,
+                    residual: Conditions::new(),
+                    est,
+                }
+            }
+            Expr::Universe => PlanNode::Universe {
+                est: self.universe_est(),
+            },
+            Expr::Empty => PlanNode::Empty,
+            Expr::Select { input, cond } => self.plan_select(input, cond)?,
+            Expr::Union(a, b) => {
+                let left = self.plan_expr(a)?;
+                let right = self.plan_expr(b)?;
+                let est = left.est().saturating_add(right.est());
+                PlanNode::Union {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    est,
+                }
+            }
+            Expr::Diff(a, b) => {
+                let left = self.plan_expr(a)?;
+                let right = self.plan_expr(b)?;
+                let est = left.est();
+                PlanNode::Diff {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    est,
+                }
+            }
+            Expr::Intersect(a, b) => {
+                let left = self.plan_expr(a)?;
+                let right = self.plan_expr(b)?;
+                let est = left.est().min(right.est());
+                PlanNode::Intersect {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    est,
+                }
+            }
+            Expr::Complement(e) => {
+                let input = self.plan_expr(e)?;
+                let est = self.universe_est().saturating_sub(input.est());
+                PlanNode::Complement {
+                    input: Box::new(input),
+                    est,
+                }
+            }
+            Expr::Join {
+                left,
+                right,
+                output,
+                cond,
+            } => self.plan_join(left, right, output, cond)?,
+            Expr::Star {
+                input,
+                output,
+                cond,
+                direction,
+            } => {
+                let input_plan = self.plan_expr(input)?;
+                let est = star_est(input_plan.est(), self.universe_est());
+                if self.options.use_reach_specialisation
+                    && is_reachability_star(output, cond, *direction)
+                {
+                    // Distinguish the two reachTA⁼ shapes by whether the
+                    // label equality 2=2' is part of the condition.
+                    let same_label = cond
+                        .cross_equalities()
+                        .iter()
+                        .any(|&(l, r)| l == Pos::L2 && r == Pos::R2);
+                    let relation = bare_scan(&input_plan).map(str::to_owned);
+                    PlanNode::StarReach {
+                        input: Box::new(input_plan),
+                        same_label,
+                        relation,
+                        est,
+                    }
+                } else {
+                    PlanNode::StarSemiNaive {
+                        input: Box::new(input_plan),
+                        output: *output,
+                        cond: cond.clone(),
+                        direction: *direction,
+                        est,
+                    }
+                }
+            }
+        })
+    }
+
+    /// Plans `σ_cond(input)`: merges selection chains, then pushes constant
+    /// equalities into the scan when the input is a stored relation.
+    fn plan_select(&mut self, input: &Expr, cond: &Conditions) -> Result<PlanNode> {
+        // Merge σ_c1(σ_c2(e)) into σ_{c1 ∧ c2}(e).
+        let mut combined = cond.clone();
+        let mut inner = input;
+        if self.optimize() {
+            while let Expr::Select { input, cond } = inner {
+                combined = combined.and(cond.clone());
+                inner = input;
+            }
+        }
+        let input_plan = self.plan_expr(inner)?;
+        Ok(self.attach_selection(input_plan, combined))
+    }
+
+    /// Attaches selection conditions to a plan, pushing them into index
+    /// scans where possible.
+    fn attach_selection(&mut self, input: PlanNode, cond: Conditions) -> PlanNode {
+        if cond.is_empty() {
+            return input;
+        }
+        if self.optimize() {
+            if let PlanNode::IndexScan {
+                relation,
+                bound: None,
+                residual,
+                est,
+            } = &input
+            {
+                // An equality with an object name absent from the store can
+                // never hold: the whole selection is empty.
+                if cond.theta.iter().any(|a| {
+                    a.cmp == Cmp::Eq
+                        && matches!(&a.rhs, ObjOperand::Const(name)
+                            if self.store.object_id(name).is_none())
+                }) {
+                    return PlanNode::Empty;
+                }
+                let stats = self
+                    .store
+                    .relation_with_index(relation)
+                    .map(|(base, ix)| ix.distinct_counts(base));
+                // Bind the most selective constant equality (the component
+                // with the most distinct values) through the permutation
+                // index; everything else stays as a residual filter.
+                let mut best: Option<(usize, ObjectId, usize)> = None;
+                for atom in &cond.theta {
+                    if atom.cmp != Cmp::Eq {
+                        continue;
+                    }
+                    let ObjOperand::Const(name) = &atom.rhs else {
+                        continue;
+                    };
+                    let Some(id) = self.store.object_id(name) else {
+                        continue;
+                    };
+                    let component = atom.lhs.component_index();
+                    let distinct = stats.map(|d| d[component]).unwrap_or(1);
+                    if best.map(|(_, _, d)| distinct > d).unwrap_or(true) {
+                        best = Some((component, id, distinct));
+                    }
+                }
+                if let Some((component, id, distinct)) = best {
+                    let residual_cond = Conditions {
+                        theta: cond
+                            .theta
+                            .iter()
+                            .filter(|a| {
+                                !(a.cmp == Cmp::Eq
+                                    && a.lhs.component_index() == component
+                                    && matches!(&a.rhs, ObjOperand::Const(n)
+                                        if self.store.object_id(n) == Some(id)))
+                            })
+                            .cloned()
+                            .collect::<Vec<ObjAtom>>(),
+                        eta: cond.eta.clone(),
+                    };
+                    let bound_est = est / distinct.max(1);
+                    let est = selectivity_est(bound_est, &residual_cond);
+                    return PlanNode::IndexScan {
+                        relation: relation.clone(),
+                        bound: Some((component, id)),
+                        residual: residual_cond.and(residual.clone()),
+                        est: est.max(1),
+                    };
+                }
+            }
+            // Merge stacked filters produced by earlier planning stages.
+            if let PlanNode::Filter {
+                input: deeper,
+                cond: existing,
+                ..
+            } = input
+            {
+                let merged = existing.and(cond);
+                let est = selectivity_est(deeper.est(), &merged);
+                return PlanNode::Filter {
+                    input: deeper,
+                    cond: merged,
+                    est,
+                };
+            }
+        }
+        let est = selectivity_est(input.est(), &cond);
+        PlanNode::Filter {
+            input: Box::new(input),
+            cond,
+            est,
+        }
+    }
+
+    /// Plans a triple join: picks nested-loop, hash, or index nested-loop
+    /// strategy and the argument order.
+    fn plan_join(
+        &mut self,
+        left: &Expr,
+        right: &Expr,
+        output: &trial_core::OutputSpec,
+        cond: &Conditions,
+    ) -> Result<PlanNode> {
+        let left_plan = self.plan_expr(left)?;
+        let right_plan = self.plan_expr(right)?;
+        let mut keys = cond.cross_equalities();
+        keys.sort();
+        keys.dedup();
+        let est = self.join_est(&left_plan, &right_plan, &keys, cond);
+
+        if keys.is_empty() {
+            return Ok(PlanNode::NestedLoopJoin {
+                left: Box::new(left_plan),
+                right: Box::new(right_plan),
+                output: *output,
+                cond: cond.clone(),
+                est,
+            });
+        }
+        if !self.optimize() {
+            return Ok(PlanNode::HashJoin {
+                left: Box::new(left_plan),
+                right: Box::new(right_plan),
+                output: *output,
+                cond: cond.clone(),
+                keys,
+                swapped: false,
+                est,
+            });
+        }
+
+        // Index nested-loop join: probe a stored relation's cached
+        // permutation index instead of building a per-query hash table. The
+        // inner side must be an unfiltered stored relation and should not be
+        // smaller than the probing side.
+        let right_inner = bare_scan(&right_plan).is_some() && left_plan.est() <= right_plan.est();
+        let left_inner = bare_scan(&left_plan).is_some() && right_plan.est() <= left_plan.est();
+        if right_inner || left_inner {
+            // Keep the written orientation when the right side qualifies;
+            // otherwise mirror the join so the stored relation is inner.
+            let (outer, inner, output, cond, keys, swapped) =
+                orient_join(right_inner, left_plan, right_plan, output, cond, keys);
+            let relation = bare_scan(&inner).expect("checked above").to_owned();
+            let probe = self.best_probe_key(&keys, &relation);
+            return Ok(PlanNode::IndexNestedLoopJoin {
+                outer: Box::new(outer),
+                relation,
+                probe,
+                output,
+                cond,
+                swapped,
+                est,
+            });
+        }
+
+        // Hash join: build the table on the smaller estimated side.
+        let keep_order = right_plan.est() <= left_plan.est();
+        let (left_plan, right_plan, output, cond, keys, swapped) =
+            orient_join(keep_order, left_plan, right_plan, output, cond, keys);
+        Ok(PlanNode::HashJoin {
+            left: Box::new(left_plan),
+            right: Box::new(right_plan),
+            output,
+            cond,
+            keys,
+            swapped,
+            est,
+        })
+    }
+
+    /// The cross equality whose inner component has the most distinct values
+    /// (most selective index probe).
+    fn best_probe_key(&self, keys: &[(Pos, Pos)], relation: &str) -> (Pos, Pos) {
+        let distinct = self
+            .store
+            .relation_with_index(relation)
+            .map(|(base, ix)| ix.distinct_counts(base))
+            .unwrap_or([1, 1, 1]);
+        *keys
+            .iter()
+            .max_by_key(|(_, rp)| distinct[rp.component_index()])
+            .expect("keyed joins have at least one key")
+    }
+
+    /// Textbook join cardinality: `|L|·|R| / Π max(V(L,a), V(R,b))` over the
+    /// equality keys, degraded by the remaining conditions' selectivity.
+    fn join_est(
+        &self,
+        left: &PlanNode,
+        right: &PlanNode,
+        keys: &[(Pos, Pos)],
+        cond: &Conditions,
+    ) -> usize {
+        let l = left.est().max(1);
+        let r = right.est().max(1);
+        let l_stats = self.scan_stats(left);
+        let r_stats = self.scan_stats(right);
+        let mut est = l.saturating_mul(r) as f64;
+        for (lp, rp) in keys {
+            let vl = l_stats
+                .map(|(_, d)| d[lp.component_index()])
+                .unwrap_or_else(|| l.min(1000));
+            let vr = r_stats
+                .map(|(_, d)| d[rp.component_index()])
+                .unwrap_or_else(|| r.min(1000));
+            est /= vl.max(vr).max(1) as f64;
+        }
+        let non_key = cond.len().saturating_sub(keys.len());
+        est *= 0.5f64.powi(non_key as i32);
+        (est.ceil() as usize).max(1)
+    }
+}
+
+/// The two join arguments in execution order: `(probe/outer, build/inner,
+/// output, cond, keys, swapped)`. With `keep_order` the written orientation
+/// is preserved; otherwise the arguments are swapped through the mirroring
+/// identity and the keys are re-derived from the mirrored conditions.
+fn orient_join(
+    keep_order: bool,
+    left_plan: PlanNode,
+    right_plan: PlanNode,
+    output: &trial_core::OutputSpec,
+    cond: &Conditions,
+    keys: Vec<(Pos, Pos)>,
+) -> (
+    PlanNode,
+    PlanNode,
+    trial_core::OutputSpec,
+    Conditions,
+    Vec<(Pos, Pos)>,
+    bool,
+) {
+    if keep_order {
+        (left_plan, right_plan, *output, cond.clone(), keys, false)
+    } else {
+        let cond = cond.mirrored();
+        let mut keys = cond.cross_equalities();
+        keys.sort();
+        keys.dedup();
+        (right_plan, left_plan, output.mirrored(), cond, keys, true)
+    }
+}
+
+/// The relation name if `node` scans a stored relation without binding or
+/// residual filter.
+fn bare_scan(node: &PlanNode) -> Option<&str> {
+    match node {
+        PlanNode::IndexScan {
+            relation,
+            bound: None,
+            residual,
+            ..
+        } if residual.is_empty() => Some(relation),
+        _ => None,
+    }
+}
+
+/// Star output estimate: between the base size and the universal relation.
+fn star_est(input_est: usize, universe_est: usize) -> usize {
+    input_est
+        .saturating_mul(input_est)
+        .min(universe_est)
+        .max(input_est)
+}
+
+/// Selection selectivity heuristic: equalities keep ~20% of rows,
+/// inequalities ~80%.
+fn selectivity_est(input_est: usize, cond: &Conditions) -> usize {
+    let mut est = input_est as f64;
+    for atom in &cond.theta {
+        est *= match atom.cmp {
+            Cmp::Eq => 0.2,
+            Cmp::Neq => 0.8,
+        };
+    }
+    for atom in &cond.eta {
+        est *= match atom.cmp {
+            Cmp::Eq => 0.25,
+            Cmp::Neq => 0.75,
+        };
+    }
+    (est.ceil() as usize).max(1)
 }
 
 #[cfg(test)]
@@ -214,6 +626,21 @@ mod tests {
     fn smart_and_naive_agree_on_figure1() {
         let store = figure1();
         let smart = SmartEngine::new();
+        let naive = NaiveEngine::new();
+        for expr in expression_zoo() {
+            let a = smart.run(&expr, &store).unwrap();
+            let b = naive.run(&expr, &store).unwrap();
+            assert_eq!(a, b, "engines disagree on {expr}");
+        }
+    }
+
+    #[test]
+    fn unoptimized_plans_agree_too() {
+        let store = figure1();
+        let smart = SmartEngine::with_options(EvalOptions {
+            optimize_plans: false,
+            ..EvalOptions::default()
+        });
         let naive = NaiveEngine::new();
         for expr in expression_zoo() {
             let a = smart.run(&expr, &store).unwrap();
@@ -292,5 +719,148 @@ mod tests {
         let naive = NaiveEngine::new().run(&q, &store).unwrap();
         assert_eq!(eval.result, naive);
         assert!(eval.stats.reach_edges_traversed > 0);
+    }
+
+    #[test]
+    fn selections_are_pushed_into_index_scans() {
+        let store = figure1();
+        let q =
+            Expr::rel("E").select(Conditions::new().obj_eq_const(trial_core::Pos::L2, "part_of"));
+        let plan = SmartEngine::new().plan(&q, &store).unwrap();
+        match &plan.root {
+            PlanNode::IndexScan {
+                bound: Some((component, _)),
+                residual,
+                ..
+            } => {
+                assert_eq!(*component, 1);
+                assert!(residual.is_empty());
+            }
+            other => panic!("expected a bound IndexScan, got:\n{}", other.explain()),
+        }
+        // An unknown constant folds the scan to Empty.
+        let q = Expr::rel("E").select(Conditions::new().obj_eq_const(trial_core::Pos::L2, "nope"));
+        let plan = SmartEngine::new().plan(&q, &store).unwrap();
+        assert_eq!(plan.root, PlanNode::Empty);
+        assert!(SmartEngine::new().run(&q, &store).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nested_selections_merge() {
+        let store = figure1();
+        let q = Expr::rel("E")
+            .select(Conditions::new().obj_eq_const(trial_core::Pos::L2, "part_of"))
+            .select(Conditions::new().obj_neq(trial_core::Pos::L1, trial_core::Pos::L3));
+        let plan = SmartEngine::new().plan(&q, &store).unwrap();
+        match &plan.root {
+            PlanNode::IndexScan {
+                bound: Some(_),
+                residual,
+                ..
+            } => assert_eq!(residual.len(), 1),
+            other => panic!("expected one bound IndexScan, got:\n{}", other.explain()),
+        }
+        let smart = SmartEngine::new().run(&q, &store).unwrap();
+        let naive = NaiveEngine::new().run(&q, &store).unwrap();
+        assert_eq!(smart, naive);
+    }
+
+    #[test]
+    fn joins_against_relations_use_the_index() {
+        let store = figure1();
+        // E ✶ E with an equality key: both sides are stored relations, so
+        // the planner probes the cached permutation index directly.
+        let plan = SmartEngine::new()
+            .plan(&queries::example2("E"), &store)
+            .unwrap();
+        match &plan.root {
+            PlanNode::IndexNestedLoopJoin {
+                relation, probe, ..
+            } => {
+                assert_eq!(relation, "E");
+                assert_eq!(*probe, (Pos::L2, Pos::R1));
+            }
+            other => panic!("expected IndexNestedLoopJoin, got:\n{}", other.explain()),
+        }
+        // Without a hashable key the join stays a nested loop.
+        let neq = Expr::rel("E").join(
+            Expr::rel("E"),
+            trial_core::output(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new().obj_neq(Pos::L1, Pos::R1),
+        );
+        let plan = SmartEngine::new().plan(&neq, &store).unwrap();
+        assert!(matches!(plan.root, PlanNode::NestedLoopJoin { .. }));
+    }
+
+    #[test]
+    fn hash_join_builds_on_the_smaller_side() {
+        let store = figure1();
+        // Left side: a filtered (smaller) derivation; right side: the full
+        // relation twice joined (larger estimate). Neither side qualifies
+        // for an index probe once filtered, so a HashJoin is chosen and the
+        // smaller side must end up as the build (right) input.
+        let small = Expr::rel("E").select(Conditions::new().obj_eq_const(Pos::L2, "part_of"));
+        let big = Expr::rel("E").join(
+            Expr::rel("E"),
+            trial_core::output(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new()
+                .obj_eq(Pos::L3, Pos::R1)
+                .data_eq(Pos::L1, Pos::R3),
+        );
+        let q = big.clone().join(
+            small.clone(),
+            trial_core::output(Pos::L1, Pos::L2, Pos::R3),
+            Conditions::new().obj_eq(Pos::L3, Pos::R1),
+        );
+        let plan = SmartEngine::new().plan(&q, &store).unwrap();
+        match &plan.root {
+            PlanNode::HashJoin {
+                left,
+                right,
+                swapped,
+                ..
+            } => {
+                assert!(right.est() <= left.est(), "build side should be smaller");
+                assert!(!swapped, "written order already had the smaller side right");
+            }
+            PlanNode::IndexNestedLoopJoin { .. } => {
+                panic!("filtered sides must not be index-probed")
+            }
+            other => panic!("expected HashJoin, got:\n{}", other.explain()),
+        }
+        let smart = SmartEngine::new().run(&q, &store).unwrap();
+        let naive = NaiveEngine::new().run(&q, &store).unwrap();
+        assert_eq!(smart, naive);
+    }
+
+    #[test]
+    fn explain_covers_every_operator() {
+        let store = figure1();
+        let q = queries::example2("E")
+            .union(queries::reach_forward("E"))
+            .minus(Expr::rel("E").complement())
+            .intersect(Expr::Universe)
+            .select(Conditions::new().obj_neq(trial_core::Pos::L1, trial_core::Pos::L2));
+        let text = explain(&q, &store).unwrap();
+        for needle in [
+            "Intersect",
+            "Diff",
+            "Union",
+            "Complement",
+            "Universe",
+            "IndexScan",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn plans_stay_stable_for_repeated_calls() {
+        let store = figure1();
+        let q = queries::same_company_reachability("E");
+        let p1 = SmartEngine::new().plan(&q, &store).unwrap();
+        let p2 = SmartEngine::new().plan(&q, &store).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(p1.explain(), p2.explain());
     }
 }

@@ -12,49 +12,47 @@
 //!
 //! The paper's Procedures 3 and 4 compute these with a reachability matrix
 //! plus Warshall's transitive closure, giving `O(|e|·|O|·|T|)`. We obtain
-//! the same bound with per-source BFS over adjacency lists, which is also
-//! far cheaper in practice on sparse data — the benchmark
-//! `prop5_reach` compares both against the generic fixpoint engines.
+//! the same bound with per-source BFS over [`Adjacency`] lists, which is also
+//! far cheaper in practice on sparse data — the benchmark `prop5_reach`
+//! compares both against the generic fixpoint engines.
+//!
+//! The adjacency lists are taken **by reference**: when the starred base is a
+//! stored relation, the executor borrows the store's lazily-cached
+//! [`trial_core::RelationIndex::adjacency`] lists, so repeated reachability
+//! queries over the same relation never rebuild the graph.
 
 use crate::engine::EvalStats;
 use std::collections::{HashMap, HashSet, VecDeque};
-use trial_core::{ObjectId, Triple, TripleSet};
+use trial_core::{Adjacency, ObjectId, Triple, TripleSet};
 
-/// Adjacency lists of the "edge graph" of a triple relation: one edge
-/// `x → y` per triple `(x, ℓ, y)`.
-fn adjacency(base: &TripleSet) -> HashMap<ObjectId, Vec<ObjectId>> {
-    let mut adj: HashMap<ObjectId, Vec<ObjectId>> = HashMap::new();
+/// Builds per-label adjacency lists for a base that is not a stored relation
+/// (otherwise use the store's cached
+/// [`trial_core::RelationIndex::adjacency_by_label`]).
+pub fn label_adjacency(base: &TripleSet) -> HashMap<ObjectId, Adjacency> {
+    let mut by_label: HashMap<ObjectId, Adjacency> = HashMap::new();
     for t in base.iter() {
-        adj.entry(t.s()).or_default().push(t.o());
+        by_label.entry(t.p()).or_default().insert_edge(t.s(), t.o());
     }
-    adj
+    by_label
 }
 
 /// Objects reachable from `start` in **one or more** steps of `adj`.
-fn reachable_from(
-    start: ObjectId,
-    adj: &HashMap<ObjectId, Vec<ObjectId>>,
-    stats: &mut EvalStats,
-) -> Vec<ObjectId> {
+fn reachable_from(start: ObjectId, adj: &Adjacency, stats: &mut EvalStats) -> Vec<ObjectId> {
     let mut seen: HashSet<ObjectId> = HashSet::new();
     let mut queue: VecDeque<ObjectId> = VecDeque::new();
     // Seed with the direct successors so that `start` itself is only included
     // if it lies on a cycle (the closure has no implicit ε step).
-    if let Some(succs) = adj.get(&start) {
-        for &next in succs {
-            stats.reach_edges_traversed += 1;
-            if seen.insert(next) {
-                queue.push_back(next);
-            }
+    for &next in adj.successors(start) {
+        stats.reach_edges_traversed += 1;
+        if seen.insert(next) {
+            queue.push_back(next);
         }
     }
     while let Some(node) = queue.pop_front() {
-        if let Some(succs) = adj.get(&node) {
-            for &next in succs {
-                stats.reach_edges_traversed += 1;
-                if seen.insert(next) {
-                    queue.push_back(next);
-                }
+        for &next in adj.successors(node) {
+            stats.reach_edges_traversed += 1;
+            if seen.insert(next) {
+                queue.push_back(next);
             }
         }
     }
@@ -63,22 +61,23 @@ fn reachable_from(
     out
 }
 
-/// Procedure 3: computes `(base ✶^{1,2,3'}_{3=1'})^*`.
+/// Procedure 3: computes `(base ✶^{1,2,3'}_{3=1'})^*` over the given
+/// adjacency lists (which must be the edge graph of `base`).
 ///
 /// Every result triple is either an original triple `(x, ℓ, z)` or a triple
 /// `(x, ℓ, w)` such that `(x, ℓ, z) ∈ base` and `w` is reachable from `z`
 /// (in one or more steps) in the edge graph of `base`.
-pub fn reach_star_plain(base: &TripleSet, stats: &mut EvalStats) -> TripleSet {
-    let adj = adjacency(base);
+pub fn reach_star_plain(base: &TripleSet, adj: &Adjacency, stats: &mut EvalStats) -> TripleSet {
     // Group the base triples by their endpoint so each BFS is run once per
     // distinct endpoint rather than once per triple.
     let mut by_endpoint: HashMap<ObjectId, Vec<(ObjectId, ObjectId)>> = HashMap::new();
     for t in base.iter() {
         by_endpoint.entry(t.o()).or_default().push((t.s(), t.p()));
     }
-    let mut out: Vec<Triple> = base.iter().copied().collect();
+    let mut out: Vec<Triple> = Vec::with_capacity(base.len());
+    out.extend(base.iter().copied());
     for (endpoint, prefixes) in by_endpoint {
-        let reach = reachable_from(endpoint, &adj, stats);
+        let reach = reachable_from(endpoint, adj, stats);
         for &(s, p) in &prefixes {
             for &w in &reach {
                 out.push(Triple::new(s, p, w));
@@ -89,22 +88,17 @@ pub fn reach_star_plain(base: &TripleSet, stats: &mut EvalStats) -> TripleSet {
     TripleSet::from_vec(out)
 }
 
-/// Procedure 4: computes `(base ✶^{1,2,3'}_{3=1', 2=2'})^*`.
+/// Procedure 4: computes `(base ✶^{1,2,3'}_{3=1', 2=2'})^*` over per-label
+/// adjacency lists (which must be the label-split edge graph of `base`).
 ///
 /// Like [`reach_star_plain`], but reachability is computed separately within
 /// each "label" `ℓ` (the middle element): only edges whose middle element
 /// equals the original triple's middle element may be followed.
-pub fn reach_star_same_label(base: &TripleSet, stats: &mut EvalStats) -> TripleSet {
-    // Adjacency lists per middle element.
-    let mut adj_by_label: HashMap<ObjectId, HashMap<ObjectId, Vec<ObjectId>>> = HashMap::new();
-    for t in base.iter() {
-        adj_by_label
-            .entry(t.p())
-            .or_default()
-            .entry(t.s())
-            .or_default()
-            .push(t.o());
-    }
+pub fn reach_star_same_label(
+    base: &TripleSet,
+    adj_by_label: &HashMap<ObjectId, Adjacency>,
+    stats: &mut EvalStats,
+) -> TripleSet {
     // Group base triples by (label, endpoint).
     let mut by_label_endpoint: HashMap<(ObjectId, ObjectId), Vec<ObjectId>> = HashMap::new();
     for t in base.iter() {
@@ -113,11 +107,11 @@ pub fn reach_star_same_label(base: &TripleSet, stats: &mut EvalStats) -> TripleS
             .or_default()
             .push(t.s());
     }
-    let mut out: Vec<Triple> = base.iter().copied().collect();
+    let empty = Adjacency::default();
+    let mut out: Vec<Triple> = Vec::with_capacity(base.len());
+    out.extend(base.iter().copied());
     for ((label, endpoint), sources) in by_label_endpoint {
-        let adj = adj_by_label
-            .get(&label)
-            .expect("label present in base triples");
+        let adj = adj_by_label.get(&label).unwrap_or(&empty);
         let reach = reachable_from(endpoint, adj, stats);
         for &s in &sources {
             for &w in &reach {
@@ -141,6 +135,16 @@ mod tests {
         store.require_relation("E").unwrap().clone()
     }
 
+    fn plain(base: &TripleSet, stats: &mut EvalStats) -> TripleSet {
+        let adj = Adjacency::from_triples(base.iter());
+        reach_star_plain(base, &adj, stats)
+    }
+
+    fn same_label(base: &TripleSet, stats: &mut EvalStats) -> TripleSet {
+        let by_label = label_adjacency(base);
+        reach_star_same_label(base, &by_label, stats)
+    }
+
     fn labelled_chain() -> Triplestore {
         let mut b = TriplestoreBuilder::new();
         // Two interleaved labelled chains plus a cycle.
@@ -159,7 +163,7 @@ mod tests {
             .run(&queries::reach_forward("E"), &store)
             .unwrap();
         let mut stats = EvalStats::new();
-        let fast = reach_star_plain(&base(&store), &mut stats);
+        let fast = plain(&base(&store), &mut stats);
         assert_eq!(naive, fast);
         assert!(stats.reach_edges_traversed > 0);
     }
@@ -171,15 +175,32 @@ mod tests {
             .run(&queries::reach_same_label("E"), &store)
             .unwrap();
         let mut stats = EvalStats::new();
-        let fast = reach_star_same_label(&base(&store), &mut stats);
+        let fast = same_label(&base(&store), &mut stats);
         assert_eq!(naive, fast);
+    }
+
+    #[test]
+    fn cached_store_adjacency_gives_identical_results() {
+        let store = labelled_chain();
+        let (rel, index) = store.relation_with_index("E").unwrap();
+        let mut s1 = EvalStats::new();
+        let mut s2 = EvalStats::new();
+        assert_eq!(
+            reach_star_plain(rel, index.adjacency(rel), &mut s1),
+            plain(&base(&store), &mut s2),
+        );
+        assert_eq!(
+            reach_star_same_label(rel, index.adjacency_by_label(rel), &mut s1),
+            same_label(&base(&store), &mut s2),
+        );
+        assert_eq!(s1.reach_edges_traversed, s2.reach_edges_traversed);
     }
 
     #[test]
     fn plain_reach_follows_cycles() {
         let store = labelled_chain();
         let mut stats = EvalStats::new();
-        let fast = reach_star_plain(&base(&store), &mut stats);
+        let fast = plain(&base(&store), &mut stats);
         // a→b→c→d→a is a cycle, so (a, red, a) is derivable:
         // (a, red, b) extended along b→c→d→a.
         let t = store.triple_by_names("a", "red", "a").unwrap();
@@ -193,22 +214,22 @@ mod tests {
     fn same_label_reach_respects_labels() {
         let store = labelled_chain();
         let mut stats = EvalStats::new();
-        let fast = reach_star_same_label(&base(&store), &mut stats);
+        let fast = same_label(&base(&store), &mut stats);
         // (a, red, c) is reachable entirely through red edges.
         assert!(fast.contains(&store.triple_by_names("a", "red", "c").unwrap()));
         // (a, red, d) would need the blue edge c→d, so it must be absent.
         assert!(!fast.contains(&store.triple_by_names("a", "red", "d").unwrap()));
         // But the plain closure does contain it.
         let mut stats = EvalStats::new();
-        let plain = reach_star_plain(&base(&store), &mut stats);
-        assert!(plain.contains(&store.triple_by_names("a", "red", "d").unwrap()));
+        let all = plain(&base(&store), &mut stats);
+        assert!(all.contains(&store.triple_by_names("a", "red", "d").unwrap()));
     }
 
     #[test]
     fn empty_base_yields_empty_result() {
         let mut stats = EvalStats::new();
-        assert!(reach_star_plain(&TripleSet::new(), &mut stats).is_empty());
-        assert!(reach_star_same_label(&TripleSet::new(), &mut stats).is_empty());
+        assert!(plain(&TripleSet::new(), &mut stats).is_empty());
+        assert!(same_label(&TripleSet::new(), &mut stats).is_empty());
         assert_eq!(stats.reach_edges_traversed, 0);
     }
 
@@ -217,13 +238,13 @@ mod tests {
         let store = labelled_chain();
         let b = base(&store);
         let mut stats = EvalStats::new();
-        let plain = reach_star_plain(&b, &mut stats);
-        let same = reach_star_same_label(&b, &mut stats);
+        let all = plain(&b, &mut stats);
+        let same = same_label(&b, &mut stats);
         for t in b.iter() {
-            assert!(plain.contains(t));
+            assert!(all.contains(t));
             assert!(same.contains(t));
         }
         // The same-label closure is always a subset of the plain closure.
-        assert!(same.iter().all(|t| plain.contains(t)));
+        assert!(same.iter().all(|t| all.contains(t)));
     }
 }

@@ -183,9 +183,10 @@ mod tests {
     fn conjunction_joins_on_shared_variables() {
         let g = triangle_plus_tail();
         // Pairs (x, z) with a common l-successor: x --l--> y and z --l--> y.
-        let q = Cnre::new(["x", "z"])
-            .atom("x", Nre::label("l"), "y")
-            .atom("z", Nre::label("l"), "y");
+        let q =
+            Cnre::new(["x", "z"])
+                .atom("x", Nre::label("l"), "y")
+                .atom("z", Nre::label("l"), "y");
         let result = evaluate_cnre(&g, &q);
         let named: BTreeSet<(String, String)> = result
             .iter()

@@ -174,7 +174,10 @@ impl GraphDb {
     }
 
     /// Renders a set of node pairs with node names (sorted), for tests.
-    pub fn display_pairs(&self, pairs: &std::collections::HashSet<(NodeId, NodeId)>) -> Vec<String> {
+    pub fn display_pairs(
+        &self,
+        pairs: &std::collections::HashSet<(NodeId, NodeId)>,
+    ) -> Vec<String> {
         let mut out: Vec<String> = pairs
             .iter()
             .map(|(a, b)| format!("({}, {})", self.node_name(*a), self.node_name(*b)))
@@ -203,7 +206,10 @@ mod tests {
         let g = sample();
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 3);
-        assert_eq!(g.alphabet().collect::<Vec<_>>(), vec!["knows", "likes", "unused"]);
+        assert_eq!(
+            g.alphabet().collect::<Vec<_>>(),
+            vec!["knows", "likes", "unused"]
+        );
         let a = g.node_id("a").unwrap();
         assert_eq!(g.node_name(a), "a");
         assert_eq!(g.value(a), &Value::int(30));

@@ -117,6 +117,7 @@ impl NodeExpr {
     }
 
     /// `¬ϕ`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> NodeExpr {
         NodeExpr::Not(Box::new(self))
     }
@@ -272,7 +273,12 @@ pub fn evaluate_node(graph: &GraphDb, phi: &NodeExpr) -> HashSet<NodeId> {
     }
 }
 
-fn exists_data(graph: &GraphDb, alpha: &PathExpr, beta: &PathExpr, want_eq: bool) -> HashSet<NodeId> {
+fn exists_data(
+    graph: &GraphDb,
+    alpha: &PathExpr,
+    beta: &PathExpr,
+    want_eq: bool,
+) -> HashSet<NodeId> {
     let ea = evaluate_path(graph, alpha);
     let eb = evaluate_path(graph, beta);
     let mut out = HashSet::new();
@@ -325,10 +331,7 @@ mod tests {
     #[test]
     fn composition_union_star() {
         let g = social();
-        let two_hops = evaluate_path(
-            &g,
-            &PathExpr::label("knows").then(PathExpr::label("knows")),
-        );
+        let two_hops = evaluate_path(&g, &PathExpr::label("knows").then(PathExpr::label("knows")));
         assert_eq!(two_hops.len(), 1);
         assert!(two_hops.contains(&(id(&g, "mario"), id(&g, "peach"))));
         let any = evaluate_path(
@@ -347,10 +350,7 @@ mod tests {
         assert!(!not_knows.contains(&(id(&g, "mario"), id(&g, "luigi"))));
         assert!(not_knows.contains(&(id(&g, "luigi"), id(&g, "mario"))));
         // Complement twice is identity.
-        let back = evaluate_path(
-            &g,
-            &PathExpr::label("knows").complement().complement(),
-        );
+        let back = evaluate_path(&g, &PathExpr::label("knows").complement().complement());
         assert_eq!(back, evaluate_path(&g, &PathExpr::label("knows")));
     }
 
@@ -366,14 +366,16 @@ mod tests {
         assert_eq!(res, [id(&g, "luigi")].into_iter().collect());
         // ⟨knows⟩ ∧ ⟨likes⟩ = mario (knows luigi, likes peach).
         let both = NodeExpr::exists(PathExpr::label("knows")).and(likes_something.clone());
-        assert_eq!(evaluate_node(&g, &both), [id(&g, "mario")].into_iter().collect());
+        assert_eq!(
+            evaluate_node(&g, &both),
+            [id(&g, "mario")].into_iter().collect()
+        );
         // ⊤ ∨ anything = all nodes.
         let all = NodeExpr::Top.or(likes_something);
         assert_eq!(evaluate_node(&g, &all).len(), 3);
         // Using a node test inside a path: knows·[⟨likes⟩].
-        let path = PathExpr::label("knows").then(PathExpr::test(NodeExpr::exists(
-            PathExpr::label("likes"),
-        )));
+        let path = PathExpr::label("knows")
+            .then(PathExpr::test(NodeExpr::exists(PathExpr::label("likes"))));
         let res = evaluate_path(&g, &path);
         // luigi --knows--> peach, and peach likes mario.
         assert!(res.contains(&(id(&g, "luigi"), id(&g, "peach"))));
@@ -399,7 +401,10 @@ mod tests {
         assert!(evaluate_node(&g, &q).is_empty());
         // ⟨knows ≠ likes⟩: mario qualifies (27 vs 23).
         let q = NodeExpr::exists_neq(PathExpr::label("knows"), PathExpr::label("likes"));
-        assert_eq!(evaluate_node(&g, &q), [id(&g, "mario")].into_iter().collect());
+        assert_eq!(
+            evaluate_node(&g, &q),
+            [id(&g, "mario")].into_iter().collect()
+        );
     }
 
     #[test]

@@ -44,6 +44,6 @@ pub use gxpath::{NodeExpr, PathExpr};
 pub use nre::Nre;
 pub use nsparql::{evaluate_nsparql, Axis, NsExpr};
 pub use regex::Regex;
-pub use register::{evaluate_rem, Rem, RegisterAutomaton};
+pub use register::{evaluate_rem, RegisterAutomaton, Rem};
 pub use sigma::{proposition1_documents, sigma_encode};
 pub use translate::{graph_to_triplestore, nre_to_trial, path_to_trial, regex_to_trial};

@@ -149,7 +149,11 @@ pub fn evaluate_nre(graph: &GraphDb, nre: &Nre) -> NodePairs {
     match nre {
         Nre::Epsilon => graph.nodes().map(|v| (v, v)).collect(),
         Nre::Label(l) => graph.label_pairs(l).into_iter().collect(),
-        Nre::Inverse(l) => graph.label_pairs(l).into_iter().map(|(a, b)| (b, a)).collect(),
+        Nre::Inverse(l) => graph
+            .label_pairs(l)
+            .into_iter()
+            .map(|(a, b)| (b, a))
+            .collect(),
         Nre::Concat(a, b) => compose(&evaluate_nre(graph, a), &evaluate_nre(graph, b)),
         Nre::Alt(a, b) => {
             let mut out = evaluate_nre(graph, a);

@@ -197,12 +197,7 @@ pub fn evaluate_nsparql(store: &Triplestore, rel: &str, expr: &NsExpr) -> Object
     eval(store, rel, expr, &domain)
 }
 
-fn eval(
-    store: &Triplestore,
-    rel: &str,
-    expr: &NsExpr,
-    domain: &BTreeSet<ObjectId>,
-) -> ObjectPairs {
+fn eval(store: &Triplestore, rel: &str, expr: &NsExpr, domain: &BTreeSet<ObjectId>) -> ObjectPairs {
     match expr {
         NsExpr::Epsilon => domain.iter().map(|&v| (v, v)).collect(),
         NsExpr::Axis(a) => axis_pairs(store, rel, *a),
@@ -320,7 +315,9 @@ mod tests {
         let store = figure1_like();
         // [edge/next*]: nodes that are the subject of some triple (the edge
         // axis already requires that), kept as a diagonal.
-        let test = NsExpr::axis(Axis::Edge).then(NsExpr::axis(Axis::Next).star()).test();
+        let test = NsExpr::axis(Axis::Edge)
+            .then(NsExpr::axis(Axis::Next).star())
+            .test();
         let result = evaluate_nsparql(&store, "E", &test);
         assert!(result.contains(&pair(&store, "Edinburgh", "Edinburgh")));
         assert!(!result.contains(&pair(&store, "Brussels", "Brussels")));

@@ -243,15 +243,15 @@ mod tests {
         assert!(Regex::label("a").star().nullable());
         assert!(Regex::Epsilon.nullable());
         assert!(!Regex::Empty.nullable());
-        assert_eq!(
-            re.labels().into_iter().collect::<Vec<_>>(),
-            vec!["a", "b"]
-        );
+        assert_eq!(re.labels().into_iter().collect::<Vec<_>>(), vec!["a", "b"]);
     }
 
     #[test]
     fn display_forms() {
-        let re = Regex::label("a").then(Regex::label("b")).or(Regex::Epsilon).star();
+        let re = Regex::label("a")
+            .then(Regex::label("b"))
+            .or(Regex::Epsilon)
+            .star();
         assert_eq!(re.to_string(), "((a·b)+ε)*");
         assert_eq!(Regex::Empty.to_string(), "∅");
         assert_eq!(Regex::label("x").plus().to_string(), "x+");

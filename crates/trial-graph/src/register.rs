@@ -331,22 +331,36 @@ fn build(rem: &Rem, ra: &mut RegisterAutomaton, from: usize) -> usize {
         Rem::Union(a, b) => {
             let a_start = ra.push_state();
             let b_start = ra.push_state();
-            ra.transitions.push(RaTransition::Epsilon { from, to: a_start });
-            ra.transitions.push(RaTransition::Epsilon { from, to: b_start });
+            ra.transitions
+                .push(RaTransition::Epsilon { from, to: a_start });
+            ra.transitions
+                .push(RaTransition::Epsilon { from, to: b_start });
             let a_end = build(a, ra, a_start);
             let b_end = build(b, ra, b_start);
             let join = ra.push_state();
-            ra.transitions.push(RaTransition::Epsilon { from: a_end, to: join });
-            ra.transitions.push(RaTransition::Epsilon { from: b_end, to: join });
+            ra.transitions.push(RaTransition::Epsilon {
+                from: a_end,
+                to: join,
+            });
+            ra.transitions.push(RaTransition::Epsilon {
+                from: b_end,
+                to: join,
+            });
             join
         }
         Rem::Star(a) => {
             let hub = ra.push_state();
             ra.transitions.push(RaTransition::Epsilon { from, to: hub });
             let body_start = ra.push_state();
-            ra.transitions.push(RaTransition::Epsilon { from: hub, to: body_start });
+            ra.transitions.push(RaTransition::Epsilon {
+                from: hub,
+                to: body_start,
+            });
             let body_end = build(a, ra, body_start);
-            ra.transitions.push(RaTransition::Epsilon { from: body_end, to: hub });
+            ra.transitions.push(RaTransition::Epsilon {
+                from: body_end,
+                to: hub,
+            });
             hub
         }
     }

@@ -74,10 +74,7 @@ mod tests {
     fn single_label_rpq() {
         let g = transport();
         let pairs = evaluate_rpq(&g, &Regex::label("train"));
-        assert_eq!(
-            g.display_pairs(&pairs),
-            vec!["(Edi, Lon)", "(Lon, Bru)"]
-        );
+        assert_eq!(g.display_pairs(&pairs), vec!["(Edi, Lon)", "(Lon, Bru)"]);
     }
 
     #[test]

@@ -183,9 +183,6 @@ mod tests {
         b.object_with_value("a", trial_core::Value::int(7));
         let store = b.finish();
         let g = sigma_encode(&store, "E");
-        assert_eq!(
-            g.value(g.node_id("a").unwrap()),
-            &trial_core::Value::int(7)
-        );
+        assert_eq!(g.value(g.node_id("a").unwrap()), &trial_core::Value::int(7));
     }
 }

@@ -265,12 +265,7 @@ mod tests {
     ) -> BTreeSet<(String, String)> {
         pairs
             .into_iter()
-            .map(|(a, b)| {
-                (
-                    graph.node_name(a).to_owned(),
-                    graph.node_name(b).to_owned(),
-                )
-            })
+            .map(|(a, b)| (graph.node_name(a).to_owned(), graph.node_name(b).to_owned()))
             .collect()
     }
 
@@ -346,10 +341,13 @@ mod tests {
             PathExpr::label("knows").complement(),
             PathExpr::label("knows").star().complement(),
             PathExpr::test(NodeExpr::exists(PathExpr::label("likes"))),
-            PathExpr::label("knows")
-                .then(PathExpr::test(NodeExpr::exists(PathExpr::label("likes")).not())),
+            PathExpr::label("knows").then(PathExpr::test(
+                NodeExpr::exists(PathExpr::label("likes")).not(),
+            )),
             PathExpr::label("knows").data_eq(),
-            PathExpr::label("knows").then(PathExpr::label("knows")).data_eq(),
+            PathExpr::label("knows")
+                .then(PathExpr::label("knows"))
+                .data_eq(),
             PathExpr::label("knows").data_neq(),
         ];
         for alpha in paths {
@@ -367,8 +365,10 @@ mod tests {
             NodeExpr::Top,
             NodeExpr::exists(PathExpr::label("likes")),
             NodeExpr::exists(PathExpr::label("likes")).not(),
-            NodeExpr::exists(PathExpr::label("knows")).and(NodeExpr::exists(PathExpr::label("likes"))),
-            NodeExpr::exists(PathExpr::label("knows")).or(NodeExpr::exists(PathExpr::label("likes"))),
+            NodeExpr::exists(PathExpr::label("knows"))
+                .and(NodeExpr::exists(PathExpr::label("likes"))),
+            NodeExpr::exists(PathExpr::label("knows"))
+                .or(NodeExpr::exists(PathExpr::label("likes"))),
             NodeExpr::exists_eq(PathExpr::label("knows"), PathExpr::label("likes")),
             NodeExpr::exists_neq(PathExpr::label("knows"), PathExpr::label("likes")),
         ];

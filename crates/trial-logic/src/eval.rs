@@ -307,7 +307,7 @@ fn trcl_reachable(
 
 /// Evaluates a sentence (formula without free variables).
 pub fn evaluate_closed(store: &Triplestore, formula: &Formula) -> Result<bool> {
-    for v in formula.free_variables() {
+    if let Some(v) = formula.free_variables().into_iter().next() {
         return Err(LogicError::UnboundVariable(v));
     }
     satisfies(store, formula, &mut Assignment::new())
@@ -381,10 +381,7 @@ mod tests {
     fn quantifiers_use_active_domain() {
         let store = chain();
         // ∃x∃y∃z E(x,y,z) — true.
-        let f = Formula::exists_many(
-            ["x", "y", "z"],
-            Formula::rel_vars("E", "x", "y", "z"),
-        );
+        let f = Formula::exists_many(["x", "y", "z"], Formula::rel_vars("E", "x", "y", "z"));
         assert!(evaluate_closed(&store, &f).unwrap());
         // ∀x ∃y∃z E(x,y,z) — false: c (and r) have no outgoing triple.
         let g = Formula::forall(

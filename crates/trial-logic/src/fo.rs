@@ -140,6 +140,7 @@ impl Formula {
     }
 
     /// Negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Formula {
         Formula::Not(Box::new(self))
     }
@@ -448,9 +449,7 @@ mod tests {
         let f = Formula::Trcl {
             xs: vec!["a".into(), "b".into()],
             ys: vec!["c".into(), "d".into()],
-            phi: Box::new(
-                Formula::rel_vars("E", "a", "b", "c").and(Formula::eq_vars("d", "d")),
-            ),
+            phi: Box::new(Formula::rel_vars("E", "a", "b", "c").and(Formula::eq_vars("d", "d"))),
             from: vec![Term::var("x"), Term::var("y")],
             to: vec![Term::var("z"), Term::var("w")],
         };

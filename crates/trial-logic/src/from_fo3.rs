@@ -271,12 +271,7 @@ mod tests {
         check_equivalent(&Formula::rel_vars("E", "x", "x", "z"), &store);
         check_equivalent(&Formula::rel_vars("E", "x", "x", "x"), &store);
         check_equivalent(
-            &Formula::rel(
-                "E",
-                Term::var("x"),
-                Term::constant("b"),
-                Term::var("z"),
-            ),
+            &Formula::rel("E", Term::var("x"), Term::constant("b"), Term::var("z")),
             &store,
         );
     }
@@ -285,10 +280,7 @@ mod tests {
     fn equalities_and_boolean_connectives() {
         let store = small_store();
         check_equivalent(&Formula::eq_vars("x", "y"), &store);
-        check_equivalent(
-            &Formula::Eq(Term::var("x"), Term::constant("a")),
-            &store,
-        );
+        check_equivalent(&Formula::Eq(Term::var("x"), Term::constant("a")), &store);
         check_equivalent(
             &Formula::rel_vars("E", "x", "y", "z").and(Formula::eq_vars("x", "z").not()),
             &store,

@@ -19,9 +19,7 @@
 
 use crate::fo::{Formula, Term};
 use std::fmt;
-use trial_core::{
-    Cmp, Conditions, DataOperand, Expr, ObjOperand, OutputSpec, Pos, StarDirection,
-};
+use trial_core::{Cmp, Conditions, DataOperand, Expr, ObjOperand, OutputSpec, Pos, StarDirection};
 
 /// Errors raised by the TriAL → FO translation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -104,13 +102,13 @@ impl Translator {
     ) -> ([String; 6], Vec<String>, Vec<Formula>) {
         let mut names: [Option<String>; 6] = Default::default();
         let mut extra_eqs = Vec::new();
-        for slot in 0..3 {
+        for (slot, out_name) in out.iter().enumerate() {
             let pos = output.get(slot);
             let idx = position_index(pos);
             match &names[idx] {
-                None => names[idx] = Some(out[slot].clone()),
+                None => names[idx] = Some(out_name.clone()),
                 Some(existing) => extra_eqs.push(Formula::Eq(
-                    Term::var(out[slot].clone()),
+                    Term::var(out_name.clone()),
                     Term::var(existing.clone()),
                 )),
             }
@@ -209,9 +207,7 @@ impl Translator {
                 Ok(Formula::and_all(std::iter::once(inner).chain(atoms)))
             }
             Expr::Union(a, b) => Ok(self.translate(a, out)?.or(self.translate(b, out)?)),
-            Expr::Diff(a, b) => Ok(self
-                .translate(a, out)?
-                .and(self.translate(b, out)?.not())),
+            Expr::Diff(a, b) => Ok(self.translate(a, out)?.and(self.translate(b, out)?.not())),
             Expr::Intersect(a, b) => Ok(self.translate(a, out)?.and(self.translate(b, out)?)),
             Expr::Complement(a) => Ok(self.translate(a, out)?.not()),
             Expr::Join {
@@ -221,10 +217,8 @@ impl Translator {
                 cond,
             } => {
                 let (names, quantified, extra_eqs) = self.assign_positions(output, out);
-                let left_out: [String; 3] =
-                    [names[0].clone(), names[1].clone(), names[2].clone()];
-                let right_out: [String; 3] =
-                    [names[3].clone(), names[4].clone(), names[5].clone()];
+                let left_out: [String; 3] = [names[0].clone(), names[1].clone(), names[2].clone()];
+                let right_out: [String; 3] = [names[3].clone(), names[4].clone(), names[5].clone()];
                 let left_f = self.translate(left, &left_out)?;
                 let right_f = self.translate(right, &right_out)?;
                 let cond_atoms = self.conditions(cond, &names)?;
@@ -245,8 +239,7 @@ impl Translator {
             } => {
                 // (e ✶)^*: out is reachable from some starting triple of e by
                 // repeatedly joining with (another) triple of e.
-                let start: [String; 3] =
-                    [self.fresh(), self.fresh(), self.fresh()];
+                let start: [String; 3] = [self.fresh(), self.fresh(), self.fresh()];
                 let xs: [String; 3] = [self.fresh(), self.fresh(), self.fresh()];
                 let ys: [String; 3] = [self.fresh(), self.fresh(), self.fresh()];
                 let step_mate: [String; 3] = [self.fresh(), self.fresh(), self.fresh()];
@@ -282,9 +275,7 @@ impl Translator {
                 });
                 let step = Formula::exists_many(
                     step_mate.clone(),
-                    Formula::and_all(
-                        std::iter::once(mate_f).chain(cond_atoms).chain(out_eqs),
-                    ),
+                    Formula::and_all(std::iter::once(mate_f).chain(cond_atoms).chain(out_eqs)),
                 );
 
                 let base = self.translate(input, &start)?;
@@ -323,7 +314,11 @@ fn position_index(pos: Pos) -> usize {
 /// test-suite checks this on the paper's examples and on random stores.
 pub fn trial_to_fo(expr: &Expr) -> Result<TranslationReport, ToFoError> {
     let mut tr = Translator::new();
-    let out: [String; 3] = [POOL[0].to_string(), POOL[1].to_string(), POOL[2].to_string()];
+    let out: [String; 3] = [
+        POOL[0].to_string(),
+        POOL[1].to_string(),
+        POOL[2].to_string(),
+    ];
     let formula = tr.translate(expr, &out)?;
     let width = formula.width();
     let uses_trcl = !formula.is_first_order();
@@ -379,7 +374,9 @@ mod tests {
         let report = trial_to_fo(expr).expect("translation succeeds");
         let [x, y, z] = &report.answer_vars;
         let logic = answers3(store, &report.formula, [x, y, z]).expect("evaluation succeeds");
-        let algebra = evaluate(expr, store).expect("algebra evaluation succeeds").result;
+        let algebra = evaluate(expr, store)
+            .expect("algebra evaluation succeeds")
+            .result;
         assert!(
             logic.set_eq(&algebra),
             "translated formula disagrees with the algebra for {expr}:\n logic   {:?}\n algebra {:?}",
@@ -395,7 +392,9 @@ mod tests {
     fn check_members(expr: &Expr, store: &Triplestore, non_member_samples: usize) {
         let report = trial_to_fo(expr).expect("translation succeeds");
         let [x, y, z] = &report.answer_vars;
-        let algebra = evaluate(expr, store).expect("algebra evaluation succeeds").result;
+        let algebra = evaluate(expr, store)
+            .expect("algebra evaluation succeeds")
+            .result;
         let mut asg = Assignment::new();
         let mut assert_membership = |t: &Triple, expected: bool| {
             asg.set(x, t.s());
@@ -448,7 +447,9 @@ mod tests {
             .join(
                 Expr::rel("E").select(Conditions::new().obj_eq_const(Pos::L2, "part_of")),
                 output(Pos::L1, Pos::R2, Pos::L3),
-                Conditions::new().obj_eq(Pos::L3, Pos::R1).data_eq(Pos::L1, Pos::R3),
+                Conditions::new()
+                    .obj_eq(Pos::L3, Pos::R1)
+                    .data_eq(Pos::L1, Pos::R3),
             )
             .union(Expr::rel("E").complement().intersect(Expr::Universe))
             .minus(Expr::rel("E"));
@@ -470,7 +471,9 @@ mod tests {
         check_equivalent(&Expr::rel("E").minus(part_of_triples.clone()), &store);
         check_equivalent(&part_of_triples.clone().complement(), &store);
         check_equivalent(
-            &Expr::rel("E").intersect(part_of_triples.clone()).union(Expr::Empty),
+            &Expr::rel("E")
+                .intersect(part_of_triples.clone())
+                .union(Expr::Empty),
             &store,
         );
     }
@@ -488,7 +491,9 @@ mod tests {
         let e = Expr::rel("E").join(
             Expr::rel("E"),
             output(Pos::L1, Pos::R2, Pos::R3),
-            Conditions::new().obj_neq(Pos::L1, Pos::R1).obj_neq(Pos::L3, Pos::R3),
+            Conditions::new()
+                .obj_neq(Pos::L1, Pos::R1)
+                .obj_neq(Pos::L3, Pos::R3),
         );
         check_equivalent(&e, &store);
     }

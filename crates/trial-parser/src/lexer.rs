@@ -104,36 +104,60 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 continue;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, offset });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, offset });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, offset });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, offset });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset,
+                });
                 i += 1;
             }
             '|' => {
-                tokens.push(Token { kind: TokenKind::Pipe, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    offset,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, offset });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset,
+                });
                 i += 1;
             }
             '!' => {
                 if i + 1 < n && chars[i + 1] == '=' {
-                    tokens.push(Token { kind: TokenKind::Neq, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Neq,
+                        offset,
+                    });
                     i += 2;
                 } else {
                     return Err(Error::Parse {
@@ -155,13 +179,19 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                         offset,
                     });
                 }
-                tokens.push(Token { kind: TokenKind::Str(s), offset });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    offset,
+                });
                 i = j + 1;
             }
             '\'' => {
                 if prev_was_digit {
                     // Prime marker of a position like 3'.
-                    tokens.push(Token { kind: TokenKind::Prime, offset });
+                    tokens.push(Token {
+                        kind: TokenKind::Prime,
+                        offset,
+                    });
                     i += 1;
                 } else {
                     // Object constant 'Name'.
@@ -177,7 +207,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                             offset,
                         });
                     }
-                    tokens.push(Token { kind: TokenKind::ObjConst(s), offset });
+                    tokens.push(Token {
+                        kind: TokenKind::ObjConst(s),
+                        offset,
+                    });
                     i = j + 1;
                 }
             }
@@ -202,7 +235,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                 if negative {
                     value = -value;
                 }
-                tokens.push(Token { kind: TokenKind::Int(value), offset });
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    offset,
+                });
                 i = j;
                 prev_was_digit = true;
                 continue;
@@ -213,7 +249,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
                     j += 1;
                 }
                 let ident: String = chars[i..j].iter().collect();
-                tokens.push(Token { kind: TokenKind::Ident(ident), offset });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(ident),
+                    offset,
+                });
                 i = j;
             }
             other => {
@@ -237,7 +276,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<TokenKind> {
-        tokenize(input).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -283,10 +326,7 @@ mod tests {
     #[test]
     fn prime_vs_object_constant() {
         // After a digit, ' is a prime; elsewhere it opens an object constant.
-        assert_eq!(
-            kinds("3'")[..2],
-            [TokenKind::Int(3), TokenKind::Prime]
-        );
+        assert_eq!(kinds("3'")[..2], [TokenKind::Int(3), TokenKind::Prime]);
         assert_eq!(kinds("'x'")[0], TokenKind::ObjConst("x".into()));
         // Whitespace between digit and quote breaks the prime association.
         assert_eq!(kinds("3 'x'")[1], TokenKind::ObjConst("x".into()));

@@ -496,7 +496,7 @@ mod tests {
             "STAR(E)",
             "E JOIN[1,2] E",
             "E JOIN[1,2,4] E",
-            "SELECT[1=1'](E)",     // primed position in selection
+            "SELECT[1=1'](E)", // primed position in selection
             "E extra",
             "JOIN",
             "STAR(JOIN[1,2,3'])",

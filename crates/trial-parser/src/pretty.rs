@@ -134,13 +134,13 @@ mod tests {
             queries::same_company_reachability("E"),
             queries::at_least_six_objects(),
             Expr::rel("E").complement(),
-            Expr::rel("E").select(
-                trial_core::Conditions::new().obj_eq_const(trial_core::Pos::L2, "part_of"),
-            ),
+            Expr::rel("E")
+                .select(trial_core::Conditions::new().obj_eq_const(trial_core::Pos::L2, "part_of")),
         ];
         for e in exprs {
             let text = pretty(&e);
-            let parsed = parse(&text).unwrap_or_else(|err| panic!("pretty output\n{text}\nfailed: {err}"));
+            let parsed =
+                parse(&text).unwrap_or_else(|err| panic!("pretty output\n{text}\nfailed: {err}"));
             assert_eq!(parsed, e);
         }
     }

@@ -164,9 +164,12 @@ mod tests {
 
     #[test]
     fn from_iterator_and_iteration() {
-        let g: RdfGraph = [RdfTriple::iris("a", "p", "b"), RdfTriple::iris("a", "p", "b")]
-            .into_iter()
-            .collect();
+        let g: RdfGraph = [
+            RdfTriple::iris("a", "p", "b"),
+            RdfTriple::iris("a", "p", "b"),
+        ]
+        .into_iter()
+        .collect();
         assert_eq!(g.len(), 1);
         assert_eq!(g.iter().count(), 1);
         assert_eq!((&g).into_iter().count(), 1);

@@ -158,7 +158,7 @@ mod tests {
         assert!(parse_ntriples("\"lit\" <b> <c> .").is_err()); // literal subject
         assert!(parse_ntriples("<a> \"lit\" <c> .").is_err()); // literal predicate
         assert!(parse_ntriples("a b c .").is_err()); // bare words
-        // Errors carry an offset to the offending line.
+                                                     // Errors carry an offset to the offending line.
         match parse_ntriples("<ok> <ok> <ok> .\nbroken line .") {
             Err(Error::Parse { offset, .. }) => assert!(offset > 0),
             other => panic!("expected parse error, got {other:?}"),

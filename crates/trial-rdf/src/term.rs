@@ -88,15 +88,27 @@ mod tests {
 
     #[test]
     fn display_ntriples_style() {
-        assert_eq!(Term::iri("http://ex.org/a").to_string(), "<http://ex.org/a>");
+        assert_eq!(
+            Term::iri("http://ex.org/a").to_string(),
+            "<http://ex.org/a>"
+        );
         assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
-        assert_eq!(Term::literal("say \"hi\"").to_string(), "\"say \\\"hi\\\"\"");
+        assert_eq!(
+            Term::literal("say \"hi\"").to_string(),
+            "\"say \\\"hi\\\"\""
+        );
     }
 
     #[test]
     fn short_names() {
-        assert_eq!(Term::iri("http://ex.org/city#Edinburgh").short_name(), "Edinburgh");
-        assert_eq!(Term::iri("http://ex.org/city/London").short_name(), "London");
+        assert_eq!(
+            Term::iri("http://ex.org/city#Edinburgh").short_name(),
+            "Edinburgh"
+        );
+        assert_eq!(
+            Term::iri("http://ex.org/city/London").short_name(),
+            "London"
+        );
         assert_eq!(Term::iri("Edinburgh").short_name(), "Edinburgh");
         assert_eq!(Term::literal("42").short_name(), "42");
     }

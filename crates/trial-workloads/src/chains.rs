@@ -21,7 +21,12 @@ pub fn cycle_store(len: usize) -> Triplestore {
     let mut b = TriplestoreBuilder::new();
     b.relation("E");
     for i in 0..len {
-        b.add_triple("E", format!("n{i}"), "next", format!("n{}", (i + 1) % len.max(1)));
+        b.add_triple(
+            "E",
+            format!("n{i}"),
+            "next",
+            format!("n{}", (i + 1) % len.max(1)),
+        );
     }
     b.finish()
 }

@@ -119,10 +119,7 @@ mod tests {
         assert_eq!(store.triple_count(), 3);
         assert_eq!(store.object_count(), 6);
         let mario = store.object_id("o175").unwrap();
-        assert_eq!(
-            store.value(mario).component(0),
-            Some(&Value::str("Mario"))
-        );
+        assert_eq!(store.value(mario).component(0), Some(&Value::str("Mario")));
         let c163 = store.object_id("c163").unwrap();
         assert_eq!(store.value(c163).component(3), Some(&Value::str("rival")));
         // Same creation date for c163 and c177 (used for ∼-style queries).

@@ -14,8 +14,8 @@ use trial_graph::gxpath::{evaluate_path, NodeExpr, PathExpr};
 use trial_graph::nre::{evaluate_nre, Nre};
 use trial_graph::rpq::evaluate_rpq;
 use trial_graph::sigma::sigma_encode;
-use trial_graph::{graph_to_triplestore, nre_to_trial, path_to_trial, regex_to_trial, Regex};
 use trial_graph::GraphDbBuilder;
+use trial_graph::{graph_to_triplestore, nre_to_trial, path_to_trial, regex_to_trial, Regex};
 
 fn main() {
     // A small collaboration graph.
@@ -32,20 +32,32 @@ fn main() {
     let rpq = Regex::label("advises").plus();
     let native = evaluate_rpq(&graph, &rpq);
     let translated = evaluate(&regex_to_trial(&rpq), &store).unwrap();
-    println!("RPQ advises+ : {} pairs natively, {} via TriAL*", native.len(), translated.result.len());
+    println!(
+        "RPQ advises+ : {} pairs natively, {} via TriAL*",
+        native.len(),
+        translated.result.len()
+    );
     assert_eq!(native.len(), translated.result.len());
 
     // NRE: advisees of someone who cites ada.
     let nre = Nre::label("cites").test().then(Nre::label("advises"));
     let native = evaluate_nre(&graph, &nre);
     let translated = evaluate(&nre_to_trial(&nre), &store).unwrap();
-    println!("NRE [cites]·advises : {} pairs natively, {} via TriAL*", native.len(), translated.result.len());
+    println!(
+        "NRE [cites]·advises : {} pairs natively, {} via TriAL*",
+        native.len(),
+        translated.result.len()
+    );
 
     // GXPath with negation: pairs NOT related by advises*.
     let gx = PathExpr::label("advises").star().complement();
     let native = evaluate_path(&graph, &gx);
     let translated = evaluate(&path_to_trial(&gx), &store).unwrap();
-    println!("GXPath ~(advises*) : {} pairs natively, {} via TriAL*", native.len(), translated.result.len());
+    println!(
+        "GXPath ~(advises*) : {} pairs natively, {} via TriAL*",
+        native.len(),
+        translated.result.len()
+    );
 
     // A node expression: people who advise someone but are cited by no one.
     let phi = NodeExpr::exists(PathExpr::label("advises"))

@@ -30,7 +30,11 @@ fn main() {
     let q = queries::same_company_reachability("E");
     let q1 = evaluate(&q, &d1).expect("evaluation").result;
     let q2 = evaluate(&q, &d2).expect("evaluation").result;
-    println!("\nTriAL* query Q answers: {} on D1, {} on D2 — Q tells them apart,", q1.len(), q2.len());
+    println!(
+        "\nTriAL* query Q answers: {} on D1, {} on D2 — Q tells them apart,",
+        q1.len(),
+        q2.len()
+    );
     println!("so no nSPARQL navigation over the σ(·) encoding can express Q (Theorem 1).");
 
     // --- Proposition 6: regular expressions with memory ------------------

@@ -52,7 +52,10 @@ fn main() {
     // 4. The same query family is available in the text syntax …
     let reach = parse("STAR(E JOIN[1,2,3' | 3=1'])").expect("parses");
     let reachable = evaluate(&reach, &store).expect("evaluation").result;
-    println!("\nplain reachability (Reach->) finds {} pairs", reachable.len());
+    println!(
+        "\nplain reachability (Reach->) finds {} pairs",
+        reachable.len()
+    );
 
     // 5. … and as a ReachTripleDatalog¬ program (Theorem 2).
     let program = parse_program(

@@ -1,0 +1,491 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace pins
+//! `proptest` to this local path crate. It reimplements the subset of the
+//! proptest API the test-suite uses — the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, ranges and tuples as strategies,
+//! `prop::collection::vec`, `prop::sample::select`, `Just`, `any::<bool>()`,
+//! weighted `prop_oneof!`, and the `proptest!` test macro with
+//! `ProptestConfig` — as a *generate-only* harness:
+//!
+//! * values are generated from a deterministic per-test RNG (seeded from the
+//!   test's module path and name), so failures are reproducible;
+//! * there is **no shrinking**: a failing case panics with the standard
+//!   assertion message and the generated values are best inspected via the
+//!   assertion's own formatting;
+//! * `prop_assume!` rejects the sample and draws a fresh one, exactly like
+//!   the real crate.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub mod test_runner {
+    //! Test-driver types referenced by the [`proptest!`](crate::proptest) macro.
+
+    /// How many accepted samples each property runs.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) samples per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` samples.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Marker returned by `prop_assume!` when a sample is rejected.
+    #[derive(Debug)]
+    pub struct Reject;
+
+    /// Deterministic SplitMix64 generator used to drive strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator from an arbitrary string (test name).
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in name.bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng { state: hash }
+        }
+
+        /// Next raw 64 bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw below `bound` (> 0).
+        pub fn below(&mut self, bound: usize) -> usize {
+            (self.next_u64() % bound as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use super::test_runner::TestRng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a bounded recursive strategy: `f` receives the strategy for
+        /// the previous depth level and returns the strategy for one level
+        /// deeper; leaves are mixed in at every level so generation always
+        /// terminates. `_desired_size` and `_expected_branch` are accepted
+        /// for API compatibility and ignored.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = f(current.clone()).boxed();
+                current = Union::new(vec![(1, leaf.clone()), (3, deeper)]).boxed();
+            }
+            current
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// A cheaply clonable type-erased strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted choice between type-erased strategies ([`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a weighted union. Weights must sum to a positive value.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs at least one weighted arm");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total as usize) as u32;
+            for (weight, arm) in &self.arms {
+                if pick < *weight {
+                    return arm.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights are positive and sum to total")
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+use strategy::Strategy;
+use test_runner::TestRng;
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (rng.next_u64() as u128 % span) as i128;
+                (self.start as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+impl_tuple_strategy!(A, B, C, D, E, F, G);
+impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Strategy for types with a canonical "any value" distribution.
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T` (only `bool` is needed by this workspace).
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod prop {
+    //! The `prop::` namespace (`collection`, `sample`).
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Generates vectors of values from `element` with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let span = self.len.end.saturating_sub(self.len.start).max(1);
+                let len = self.len.start + rng.below(span);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Sampling strategies.
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Uniform choice from a fixed list.
+        pub struct Select<T: Clone>(Vec<T>);
+
+        /// Picks uniformly from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select from an empty list");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                self.0[rng.below(self.0.len())].clone()
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import via `use proptest::prelude::*`.
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Asserts inside a property; panics (no shrinking) on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Rejects the current sample; the driver draws a fresh one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Reject);
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs for
+/// `cases` accepted samples with deterministically generated arguments.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(100).saturating_add(1000),
+                    "too many samples rejected by prop_assume!"
+                );
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                let outcome: ::std::result::Result<(), $crate::test_runner::Reject> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    (($cfg:expr);) => {};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (0u32..10, 5usize..9), flag in any::<bool>()) {
+            prop_assert!(a < 10);
+            prop_assert!((5..9).contains(&b));
+            let _ = flag;
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recursive_strategies_terminate(n in arb_nested()) {
+            prop_assert!(depth(&n) <= 4);
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    enum Nested {
+        Leaf(#[allow(dead_code)] u32),
+        Node(Box<Nested>, Box<Nested>),
+    }
+
+    fn depth(n: &Nested) -> usize {
+        match n {
+            Nested::Leaf(_) => 1,
+            Nested::Node(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn arb_nested() -> impl Strategy<Value = Nested> {
+        (0u32..10)
+            .prop_map(Nested::Leaf)
+            .prop_recursive(3, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Nested::Node(Box::new(a), Box::new(b)))
+            })
+    }
+
+    #[test]
+    fn select_and_vec() {
+        let mut rng = crate::test_runner::TestRng::deterministic("select_and_vec");
+        let sel = prop::sample::select(vec![1, 2, 3]);
+        for _ in 0..20 {
+            assert!((1..=3).contains(&sel.generate(&mut rng)));
+        }
+        let v = prop::collection::vec(0u32..5, 2..6).generate(&mut rng);
+        assert!((2..6).contains(&v.len()));
+    }
+
+    #[test]
+    fn oneof_respects_arms() {
+        let mut rng = crate::test_runner::TestRng::deterministic("oneof");
+        let s = prop_oneof![3 => Just(1u32), 1 => Just(2u32)];
+        let mut seen = [0u32; 3];
+        for _ in 0..200 {
+            seen[s.generate(&mut rng) as usize - 1] += 1;
+        }
+        assert!(seen[0] > seen[1]);
+        assert!(seen[1] > 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace pins `serde` to this local path crate because the build
+//! environment has no network access to crates.io. The data-model crates use
+//! `#[derive(Serialize, Deserialize)]` purely as forward-looking annotations;
+//! no code path serializes anything yet. The traits here are empty markers and
+//! the re-exported derives expand to nothing, so swapping in the real serde
+//! later is a one-line Cargo.toml change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Empty marker matching `serde::Serialize`'s role in type bounds.
+pub trait Serialize {}
+
+/// Empty marker matching `serde::Deserialize`'s role in type bounds.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace builds in an offline environment, so the real `serde_derive`
+//! is unavailable. The crates only use `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations (nothing serializes yet), so the derives here
+//! accept the syntax (including `#[serde(...)]` helper attributes) and emit no
+//! code at all.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,18 @@
+//! Facade crate for the TriAL-for-RDF workspace.
+//!
+//! The implementation lives in the `trial-*` crates under `crates/`; this
+//! package exists to host the cross-crate integration tests (`tests/`) and
+//! runnable examples (`examples/`) at the repository root, and re-exports
+//! the member crates for convenience.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use trial_core as core;
+pub use trial_datalog as datalog;
+pub use trial_eval as eval;
+pub use trial_graph as graph;
+pub use trial_logic as logic;
+pub use trial_parser as parser;
+pub use trial_rdf as rdf;
+pub use trial_workloads as workloads;

@@ -124,19 +124,25 @@ fn nsparql_axes_cannot_express_query_q() {
 /// navigation are consistent.
 fn next_axis_matches_sigma(store: &trial_core::Triplestore) {
     let graph: GraphDb = sigma_encode(store, "E");
-    let via_axis: BTreeSet<(String, String)> = evaluate_nsparql(store, "E", &NsExpr::axis(Axis::Next))
-        .into_iter()
-        .map(|(a, b)| {
-            (
-                store.object_name(a).to_string(),
-                store.object_name(b).to_string(),
-            )
-        })
-        .collect();
+    let via_axis: BTreeSet<(String, String)> =
+        evaluate_nsparql(store, "E", &NsExpr::axis(Axis::Next))
+            .into_iter()
+            .map(|(a, b)| {
+                (
+                    store.object_name(a).to_string(),
+                    store.object_name(b).to_string(),
+                )
+            })
+            .collect();
     let via_sigma: BTreeSet<(String, String)> = graph
         .label_pairs(SIGMA_NEXT)
         .into_iter()
-        .map(|(a, b)| (graph.node_name(a).to_string(), graph.node_name(b).to_string()))
+        .map(|(a, b)| {
+            (
+                graph.node_name(a).to_string(),
+                graph.node_name(b).to_string(),
+            )
+        })
         .collect();
     assert_eq!(via_axis, via_sigma);
 }
@@ -170,7 +176,12 @@ fn next_star_matches_nre_reachability() {
         trial_graph::nre::evaluate_nre(&graph, &Nre::label(SIGMA_NEXT).plus())
             .into_iter()
             .filter(|(a, b)| a != b)
-            .map(|(a, b)| (graph.node_name(a).to_string(), graph.node_name(b).to_string()))
+            .map(|(a, b)| {
+                (
+                    graph.node_name(a).to_string(),
+                    graph.node_name(b).to_string(),
+                )
+            })
             .collect();
     assert_eq!(via_axis, via_nre);
 }

@@ -4,7 +4,9 @@
 
 use trial_core::builder::queries;
 use trial_core::Expr;
-use trial_datalog::{evaluate_program, expr_to_program, parse_program, program_to_expr, ProgramClass};
+use trial_datalog::{
+    evaluate_program, expr_to_program, parse_program, program_to_expr, ProgramClass,
+};
 use trial_eval::evaluate;
 use trial_workloads::{figure1_store, transport_network, TransportConfig};
 

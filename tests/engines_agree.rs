@@ -130,9 +130,13 @@ fn results_compose_through_materialisation() {
     let staged_store = store.with_relation("Lifted", inner_result);
     let outer_staged = Expr::rel("Lifted").right_star(
         trial_core::output(Pos::L1, Pos::L2, Pos::R3),
-        Conditions::new().obj_eq(Pos::L3, Pos::R1).obj_eq(Pos::L2, Pos::R2),
+        Conditions::new()
+            .obj_eq(Pos::L3, Pos::R1)
+            .obj_eq(Pos::L2, Pos::R2),
     );
-    let staged = SmartEngine::new().run(&outer_staged, &staged_store).unwrap();
+    let staged = SmartEngine::new()
+        .run(&outer_staged, &staged_store)
+        .unwrap();
     let nested = SmartEngine::new()
         .run(&queries::same_company_reachability("E"), &store)
         .unwrap();

@@ -10,10 +10,15 @@ use trial_graph::gxpath::{evaluate_path, NodeExpr, PathExpr};
 use trial_graph::nre::{evaluate_nre, Nre};
 use trial_graph::rpq::evaluate_rpq;
 use trial_graph::sigma::sigma_encode;
-use trial_graph::{graph_to_triplestore, nre_to_trial, path_to_trial, regex_to_trial, GraphDb, Regex};
+use trial_graph::{
+    graph_to_triplestore, nre_to_trial, path_to_trial, regex_to_trial, GraphDb, Regex,
+};
 use trial_workloads::random_graph;
 
-fn trial_pairs(expr: &trial_core::Expr, store: &trial_core::Triplestore) -> BTreeSet<(String, String)> {
+fn trial_pairs(
+    expr: &trial_core::Expr,
+    store: &trial_core::Triplestore,
+) -> BTreeSet<(String, String)> {
     evaluate(expr, store)
         .unwrap()
         .result
@@ -75,9 +80,13 @@ fn gxpath_translations_including_negation_and_data() {
         let store = graph_to_triplestore(&graph);
         let paths = [
             PathExpr::label("l0").star().complement(),
-            PathExpr::label("l1")
-                .then(PathExpr::test(NodeExpr::exists(PathExpr::label("l0")).not())),
-            PathExpr::label("l0").or(PathExpr::label("l1")).star().data_eq(),
+            PathExpr::label("l1").then(PathExpr::test(
+                NodeExpr::exists(PathExpr::label("l0")).not(),
+            )),
+            PathExpr::label("l0")
+                .or(PathExpr::label("l1"))
+                .star()
+                .data_eq(),
             PathExpr::label("l2").data_neq(),
         ];
         for alpha in &paths {
@@ -119,7 +128,14 @@ fn proposition1_separation_end_to_end() {
     // 1. The σ encodings coincide.
     let edge_set = |g: &GraphDb| -> BTreeSet<String> {
         g.edges()
-            .map(|e| format!("{} {} {}", g.node_name(e.source), e.label, g.node_name(e.target)))
+            .map(|e| {
+                format!(
+                    "{} {} {}",
+                    g.node_name(e.source),
+                    e.label,
+                    g.node_name(e.target)
+                )
+            })
             .collect()
     };
     let g1 = sigma_encode(&d1, "E");

@@ -19,8 +19,11 @@ const VARS: [&str; 3] = ["x", "y", "z"];
 
 /// A random store over at most 5 named objects (some sharing data values).
 fn arb_small_store() -> impl Strategy<Value = Triplestore> {
-    (2u32..5, prop::collection::vec((0u32..4, 0u32..4, 0u32..4), 1..10)).prop_map(
-        |(n, triples)| {
+    (
+        2u32..5,
+        prop::collection::vec((0u32..4, 0u32..4, 0u32..4), 1..10),
+    )
+        .prop_map(|(n, triples)| {
             let mut b = TriplestoreBuilder::new();
             for i in 0..n {
                 b.object_with_value(format!("o{i}"), trial_core::Value::int((i % 2) as i64));
@@ -35,8 +38,7 @@ fn arb_small_store() -> impl Strategy<Value = Triplestore> {
                 );
             }
             b.finish()
-        },
-    )
+        })
 }
 
 /// A random answer variable.
@@ -48,8 +50,7 @@ fn arb_var() -> impl Strategy<Value = String> {
 /// variables, with bounded quantifier depth.
 fn arb_fo3() -> impl Strategy<Value = Formula> {
     let leaf = prop_oneof![
-        (arb_var(), arb_var(), arb_var())
-            .prop_map(|(a, b, c)| Formula::rel_vars("E", a, b, c)),
+        (arb_var(), arb_var(), arb_var()).prop_map(|(a, b, c)| Formula::rel_vars("E", a, b, c)),
         (arb_var(), arb_var()).prop_map(|(a, b)| Formula::eq_vars(a, b)),
         (arb_var(), arb_var()).prop_map(|(a, b)| Formula::sim_vars(a, b)),
         Just(Formula::True),
@@ -84,12 +85,30 @@ fn arb_star_free_expr() -> impl Strategy<Value = Expr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.minus(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
             inner.clone().prop_map(Expr::complement),
-            (inner.clone(), inner.clone(), arb_pos(), arb_pos(), arb_pos(), arb_pos(), arb_pos())
+            (
+                inner.clone(),
+                inner.clone(),
+                arb_pos(),
+                arb_pos(),
+                arb_pos(),
+                arb_pos(),
+                arb_pos()
+            )
                 .prop_map(|(a, b, i, j, k, x, y)| {
-                    a.join(b, output(i, j, k), Conditions::new().obj_eq(x, y.mirrored()))
+                    a.join(
+                        b,
+                        output(i, j, k),
+                        Conditions::new().obj_eq(x, y.mirrored()),
+                    )
                 }),
-            (inner.clone(), arb_pos(), arb_pos(), arb_pos(), any::<bool>()).prop_map(
-                |(a, i, j, k, data)| {
+            (
+                inner.clone(),
+                arb_pos(),
+                arb_pos(),
+                arb_pos(),
+                any::<bool>()
+            )
+                .prop_map(|(a, i, j, k, data)| {
                     let cond = if data {
                         Conditions::new().data_eq(Pos::L1, Pos::L3)
                     } else {
@@ -97,8 +116,7 @@ fn arb_star_free_expr() -> impl Strategy<Value = Expr> {
                     };
                     a.join(Expr::rel("E"), output(i, j, k), Conditions::new())
                         .select(cond)
-                }
-            ),
+                }),
         ]
     })
 }

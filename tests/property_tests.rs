@@ -3,10 +3,8 @@
 
 use proptest::prelude::*;
 use trial_core::builder::queries;
-use trial_core::{
-    output, Conditions, Expr, ObjectId, Pos, Triple, TripleSet, TriplestoreBuilder,
-};
-use trial_eval::{Engine, NaiveEngine, SmartEngine};
+use trial_core::{output, Conditions, Expr, ObjectId, Pos, Triple, TripleSet, TriplestoreBuilder};
+use trial_eval::{Engine, EvalOptions, NaiveEngine, SmartEngine};
 use trial_parser::parse;
 
 /// Strategy for a small triple over at most `n` objects.
@@ -20,8 +18,11 @@ fn arb_tripleset(n: u32) -> impl Strategy<Value = TripleSet> {
 
 /// Strategy for a random store over `n` named objects with `m` triples.
 fn arb_store() -> impl Strategy<Value = trial_core::Triplestore> {
-    (3u32..10, prop::collection::vec((0u32..10, 0u32..10, 0u32..10), 1..40)).prop_map(
-        |(n, triples)| {
+    (
+        3u32..10,
+        prop::collection::vec((0u32..10, 0u32..10, 0u32..10), 1..40),
+    )
+        .prop_map(|(n, triples)| {
             let mut b = TriplestoreBuilder::new();
             // Give some objects data values so η-conditions are exercised.
             for i in 0..n {
@@ -29,11 +30,15 @@ fn arb_store() -> impl Strategy<Value = trial_core::Triplestore> {
             }
             b.relation("E");
             for (s, p, o) in triples {
-                b.add_triple("E", format!("o{}", s % n), format!("o{}", p % n), format!("o{}", o % n));
+                b.add_triple(
+                    "E",
+                    format!("o{}", s % n),
+                    format!("o{}", p % n),
+                    format!("o{}", o % n),
+                );
             }
             b.finish()
-        },
-    )
+        })
 }
 
 /// Strategy for a join position.
@@ -41,14 +46,27 @@ fn arb_pos() -> impl Strategy<Value = Pos> {
     prop::sample::select(Pos::ALL.to_vec())
 }
 
-/// Strategy for small non-recursive and recursive expressions over `E`.
+/// Strategy for small non-recursive and recursive expressions over `E`,
+/// covering every operator the planner handles: set operations, keyed and
+/// key-free joins, reachability-shaped and general stars in both directions,
+/// and selections with position, data and (known or unknown) constant
+/// comparisons.
 fn arb_expr() -> impl Strategy<Value = Expr> {
     let leaf = prop_oneof![Just(Expr::rel("E")), Just(Expr::Empty)];
     leaf.prop_recursive(3, 12, 2, |inner| {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.union(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.minus(b)),
-            (inner.clone(), inner.clone(), arb_pos(), arb_pos(), arb_pos(), arb_pos(), arb_pos())
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.intersect(b)),
+            (
+                inner.clone(),
+                inner.clone(),
+                arb_pos(),
+                arb_pos(),
+                arb_pos(),
+                arb_pos(),
+                arb_pos()
+            )
                 .prop_map(|(a, b, i, j, k, x, y)| a.join(
                     b,
                     output(i, j, k),
@@ -56,15 +74,33 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
                 )),
             (inner.clone(), any::<bool>()).prop_map(|(a, same_label)| {
                 let cond = if same_label {
-                    Conditions::new().obj_eq(Pos::L3, Pos::R1).obj_eq(Pos::L2, Pos::R2)
+                    Conditions::new()
+                        .obj_eq(Pos::L3, Pos::R1)
+                        .obj_eq(Pos::L2, Pos::R2)
                 } else {
                     Conditions::new().obj_eq(Pos::L3, Pos::R1)
                 };
                 a.right_star(output(Pos::L1, Pos::L2, Pos::R3), cond)
             }),
+            // General (non-reachability) stars in both directions.
+            (inner.clone(), any::<bool>()).prop_map(|(a, left)| {
+                let out = output(Pos::L1, Pos::L2, Pos::R2);
+                let cond = Conditions::new().obj_eq(Pos::L3, Pos::R1);
+                if left {
+                    a.left_star(out, cond)
+                } else {
+                    a.right_star(out, cond)
+                }
+            }),
             inner
                 .clone()
                 .prop_map(|a| a.select(Conditions::new().data_eq(Pos::L1, Pos::L3))),
+            // Constant selections: `o1` exists in every generated store
+            // (pushed into an index scan), `zzz` never does (folds to ∅).
+            (inner.clone(), any::<bool>()).prop_map(|(a, known)| {
+                let name = if known { "o1" } else { "zzz" };
+                a.select(Conditions::new().obj_eq_const(Pos::L2, name))
+            }),
         ]
     })
 }
@@ -100,13 +136,33 @@ proptest! {
         }
     }
 
-    /// The naive Theorem-3 engine and the optimised engine agree on random
-    /// stores and random expressions.
+    /// The naive Theorem-3 engine and the planned, index-backed engine agree
+    /// on random stores and random expressions (including stars in both
+    /// directions and pushed-down constant selections).
     #[test]
     fn engines_agree_on_random_inputs(store in arb_store(), expr in arb_expr()) {
         let naive = NaiveEngine::new().run(&expr, &store).unwrap();
         let smart = SmartEngine::new().run(&expr, &store).unwrap();
         prop_assert_eq!(naive, smart);
+    }
+
+    /// Planner rewrites never change answers: with cost-based optimisation
+    /// disabled (syntactic plans, rebuild-per-round stars) the engine still
+    /// agrees with the fully optimised plans, and planning is deterministic.
+    #[test]
+    fn unplanned_execution_agrees_with_planned(store in arb_store(), expr in arb_expr()) {
+        let planned = SmartEngine::new();
+        let unplanned = SmartEngine::with_options(EvalOptions {
+            optimize_plans: false,
+            use_memo: false,
+            ..EvalOptions::default()
+        });
+        let a = planned.run(&expr, &store).unwrap();
+        let b = unplanned.run(&expr, &store).unwrap();
+        prop_assert_eq!(a, b);
+        let p1 = planned.plan(&expr, &store).unwrap();
+        let p2 = planned.plan(&expr, &store).unwrap();
+        prop_assert_eq!(p1.explain(), p2.explain());
     }
 
     /// Display → parse is the identity on randomly generated expressions.
