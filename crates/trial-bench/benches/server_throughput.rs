@@ -1,0 +1,69 @@
+//! End-to-end serving throughput: full HTTP round trips against an
+//! in-process `trial-server`, separating the LRU cache-hit path (no parse,
+//! no plan, no eval) from the cache-miss path (the whole pipeline per
+//! request). The gap between the two is the headroom the cache buys a
+//! read-heavy workload; the miss number is the end-to-end cost a cold query
+//! pays on top of the engine microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use trial_server::{client, Server, ServerConfig};
+use trial_workloads::{transport_network, TransportConfig};
+
+const EXAMPLE2: &str = "(E JOIN[1,3',3 | 2=1'] E)";
+const REACH: &str = "STAR(E JOIN[1,2,3' | 3=1'])";
+
+fn spawn(cache_capacity: usize) -> Server {
+    let server = Server::spawn(ServerConfig {
+        cache_capacity,
+        workers: 4,
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral server");
+    server
+        .registry()
+        .set("transport", transport_network(&TransportConfig::default()));
+    server
+}
+
+fn server_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_throughput");
+    group.sample_size(40);
+
+    // Cache-hit path: warm the entry once, then every request is a lookup.
+    let warm = spawn(128);
+    let warm_addr = warm.addr();
+    let response = client::post(warm_addr, "/query", EXAMPLE2).expect("warm-up query");
+    assert!(response.is_ok(), "{}", response.body);
+    group.bench_function("query_example2_cache_hit", |b| {
+        b.iter(|| {
+            let r = client::post(warm_addr, "/query", EXAMPLE2).expect("query");
+            assert!(r.body.contains("\"cached\":true"));
+            r
+        })
+    });
+
+    // Cache-miss path: capacity 0 disables the cache, so every request runs
+    // parse + plan + evaluate + render.
+    let cold = spawn(0);
+    let cold_addr = cold.addr();
+    group.bench_function("query_example2_cache_miss", |b| {
+        b.iter(|| {
+            let r = client::post(cold_addr, "/query", EXAMPLE2).expect("query");
+            assert!(r.body.contains("\"cached\":false"));
+            r
+        })
+    });
+    group.bench_function("query_reach_star_cache_miss", |b| {
+        b.iter(|| client::post(cold_addr, "/query?limit=0", REACH).expect("query"))
+    });
+    group.bench_function("explain_example2_cache_miss", |b| {
+        b.iter(|| client::post(cold_addr, "/explain", EXAMPLE2).expect("explain"))
+    });
+
+    group.finish();
+    warm.shutdown();
+    cold.shutdown();
+}
+
+criterion_group!(benches, server_throughput);
+criterion_main!(benches);

@@ -41,6 +41,20 @@ pub enum Error {
     LimitExceeded(String),
 }
 
+impl Error {
+    /// The byte offset of a [`Error::Parse`] error, `None` for other kinds.
+    ///
+    /// Services that report errors structurally (e.g. the `trial-server`
+    /// `/query` endpoint) use this to point clients at the failing position
+    /// without scraping the `Display` rendering.
+    pub fn parse_offset(&self) -> Option<usize> {
+        match self {
+            Error::Parse { offset, .. } => Some(*offset),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -94,5 +108,15 @@ mod tests {
     fn error_is_std_error() {
         fn assert_std_error<E: std::error::Error>() {}
         assert_std_error::<Error>();
+    }
+
+    #[test]
+    fn parse_offset_accessor() {
+        let e = Error::Parse {
+            message: "boom".into(),
+            offset: 42,
+        };
+        assert_eq!(e.parse_offset(), Some(42));
+        assert_eq!(Error::UnknownRelation("E".into()).parse_offset(), None);
     }
 }

@@ -69,3 +69,18 @@ pub use position::{OutputSpec, Pos, Side};
 pub use store::{Relation, Triplestore, TriplestoreBuilder};
 pub use triple::{Triple, TripleSet};
 pub use value::Value;
+
+// Compile-time thread-safety contract. Concurrent services (`trial-server`)
+// share immutable stores across worker threads behind `Arc`s; the lazy index
+// cache must therefore stay `OnceLock`-based. If a future change introduces
+// `RefCell`/`Rc` interior state, this block fails to compile instead of the
+// server crate failing at a distance.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Triplestore>();
+    assert_send_sync::<TriplestoreBuilder>();
+    assert_send_sync::<TripleSet>();
+    assert_send_sync::<Expr>();
+    assert_send_sync::<Error>();
+    assert_send_sync::<StoreIndexes>();
+};

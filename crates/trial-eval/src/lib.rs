@@ -96,3 +96,17 @@ pub use engine::{Engine, EvalOptions, EvalStats, Evaluation};
 pub use naive::NaiveEngine;
 pub use plan::{Plan, PlanNode};
 pub use planner::{evaluate, evaluate_with, explain, SmartEngine};
+
+// Compile-time thread-safety contract: `trial-server` evaluates queries with
+// a shared `SmartEngine` from many worker threads and caches `Plan`s keyed by
+// query text. Locking `Send + Sync` in here means a regression (e.g. a
+// `RefCell` memo slot) is caught at the source, not in the server build.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SmartEngine>();
+    assert_send_sync::<NaiveEngine>();
+    assert_send_sync::<Plan>();
+    assert_send_sync::<PlanNode>();
+    assert_send_sync::<EvalOptions>();
+    assert_send_sync::<Evaluation>();
+};

@@ -507,6 +507,22 @@ mod tests {
     }
 
     #[test]
+    fn parse_error_offsets_point_at_the_failing_token() {
+        // `trial-server` returns these offsets in its JSON error bodies, so
+        // they must identify the failing byte, not just "somewhere".
+        let offset_of = |input: &str| match parse(input) {
+            Err(Error::Parse { offset, .. }) => offset,
+            other => panic!("expected a parse error for `{input}`, got {other:?}"),
+        };
+        assert_eq!(offset_of("E extra"), 2); // the trailing identifier
+        assert_eq!(offset_of("E JOIN[1,2,4] E"), 11); // the out-of-range position
+        assert_eq!(offset_of("E UNION"), 7); // end of input
+        assert_eq!(offset_of(""), 0);
+        assert_eq!(offset_of("(E"), 2); // missing `)`
+        assert_eq!(offset_of("E JOIN[1,2,3' | 1**2] E"), 17); // bad comparator
+    }
+
+    #[test]
     fn parse_uri_style_relation_names() {
         let e = parse("foaf:knows UNION http://example.org/pred").unwrap();
         assert_eq!(

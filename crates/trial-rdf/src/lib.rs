@@ -35,5 +35,5 @@ pub mod term;
 pub use convert::to_triplestore;
 pub use dictionary::Dictionary;
 pub use graph::{RdfGraph, RdfTriple};
-pub use ntriples::{parse_ntriples, serialize_ntriples};
+pub use ntriples::{parse_ntriples, parse_ntriples_iter, serialize_ntriples, NTriplesIter};
 pub use term::Term;

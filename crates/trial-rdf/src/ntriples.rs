@@ -13,18 +13,54 @@ use trial_core::{Error, Result};
 /// Parses an N-Triples document into an [`RdfGraph`].
 pub fn parse_ntriples(input: &str) -> Result<RdfGraph> {
     let mut graph = RdfGraph::new();
-    let mut offset = 0usize;
-    for line in input.lines() {
-        let line_offset = offset;
-        offset += line.len() + 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let triple = parse_line(trimmed, line_offset)?;
-        graph.insert(triple);
+    for triple in parse_ntriples_iter(input) {
+        graph.insert(triple?);
     }
     Ok(graph)
+}
+
+/// A streaming N-Triples reader: yields one [`RdfTriple`] (or error) per
+/// non-blank, non-comment line, without materialising a whole [`RdfGraph`].
+///
+/// Bulk ingestion paths (e.g. the `trial-server` `/load` endpoint) feed the
+/// triples straight into a `TriplestoreBuilder`, so peak memory is one parsed
+/// triple plus the builder — not document + graph + builder. Errors carry the
+/// byte offset of the offending line; iteration can meaningfully continue
+/// past an error (subsequent lines are still parsed), though most callers
+/// stop at the first `Err`.
+pub fn parse_ntriples_iter(input: &str) -> NTriplesIter<'_> {
+    NTriplesIter { input, offset: 0 }
+}
+
+/// Iterator returned by [`parse_ntriples_iter`].
+#[derive(Debug, Clone)]
+pub struct NTriplesIter<'a> {
+    input: &'a str,
+    offset: usize,
+}
+
+impl Iterator for NTriplesIter<'_> {
+    type Item = Result<RdfTriple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.offset >= self.input.len() {
+                return None;
+            }
+            let rest = &self.input[self.offset..];
+            let line_offset = self.offset;
+            let (line, consumed) = match rest.find('\n') {
+                Some(nl) => (&rest[..nl], nl + 1),
+                None => (rest, rest.len()),
+            };
+            self.offset += consumed;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(parse_line(trimmed, line_offset));
+        }
+    }
 }
 
 fn parse_line(line: &str, offset: usize) -> Result<RdfTriple> {
@@ -169,5 +205,30 @@ mod tests {
     fn empty_and_comment_only_documents() {
         assert!(parse_ntriples("").unwrap().is_empty());
         assert!(parse_ntriples("# nothing here\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn streaming_iterator_matches_batch_parser() {
+        let streamed: Vec<RdfTriple> = parse_ntriples_iter(DOC).map(|t| t.unwrap()).collect();
+        assert_eq!(streamed.len(), 4);
+        let graph = parse_ntriples(DOC).unwrap();
+        for t in &streamed {
+            assert!(graph.contains(t));
+        }
+        assert!(parse_ntriples_iter("# only comments\n").next().is_none());
+    }
+
+    #[test]
+    fn streaming_iterator_reports_offsets_and_continues() {
+        let doc = "<a> <b> <c> .\nbroken\n<d> <e> <f> .";
+        let items: Vec<_> = parse_ntriples_iter(doc).collect();
+        assert_eq!(items.len(), 3);
+        assert!(items[0].is_ok());
+        match &items[1] {
+            Err(Error::Parse { offset, .. }) => assert_eq!(*offset, 14),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // The reader resynchronises on the next line.
+        assert_eq!(items[2].as_ref().unwrap(), &RdfTriple::iris("d", "e", "f"));
     }
 }

@@ -1,0 +1,126 @@
+//! `trial-serve` — the TriAL query service as a standalone binary.
+//!
+//! ```bash
+//! trial-serve --preload transport --port 7878 --workers 8
+//! curl -s localhost:7878/query -d "(E JOIN[1,3',3 | 2=1'] E)"
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+use trial_server::{preload_workload, Server, ServerConfig, WORKLOAD_NAMES};
+
+const USAGE: &str = "\
+trial-serve — serve TriAL queries over HTTP
+
+USAGE:
+    trial-serve [OPTIONS]
+
+OPTIONS:
+    --host <ADDR>        interface to bind            [default: 127.0.0.1]
+    --port <PORT>        port to bind (0 = ephemeral) [default: 7878]
+    --workers <N>        worker threads               [default: 4]
+    --preload <NAME>     preload a workload store (repeatable);
+                         names: figure1 transport social random chain
+                                cycle grid clique
+    --cache <N>          query-cache entries (0 = off) [default: 128]
+    --max-body <BYTES>   request body limit            [default: 8388608]
+    --max-universe <N>   universal-relation cap        [default: 1000000]
+    --max-rounds <N>     fixpoint-round cap per star   [default: 10000]
+    -h, --help           print this help
+
+ENDPOINTS:
+    POST /query    TriAL expression (plain text) -> JSON triples + stats
+    POST /explain  TriAL expression -> rendered physical plan
+    POST /load     N-Triples document (?store=, ?relation=) -> new epoch
+    GET  /stores   store inventory
+    GET  /healthz  liveness + cache counters
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("trial-serve: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run() -> Result<ExitCode, String> {
+    let mut config = ServerConfig {
+        port: 7878,
+        ..ServerConfig::default()
+    };
+    let mut preloads: Vec<String> = Vec::new();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            "--host" => config.host = take_value(&args, &mut i)?,
+            "--port" => config.port = parse_num(&take_value(&args, &mut i)?, "--port")?,
+            "--workers" => {
+                config.workers =
+                    parse_num::<usize>(&take_value(&args, &mut i)?, "--workers")?.max(1)
+            }
+            "--preload" => preloads.push(take_value(&args, &mut i)?),
+            "--cache" => config.cache_capacity = parse_num(&take_value(&args, &mut i)?, "--cache")?,
+            "--max-body" => {
+                config.max_body_bytes = parse_num(&take_value(&args, &mut i)?, "--max-body")?
+            }
+            "--max-universe" => {
+                config.eval.max_universe = parse_num(&take_value(&args, &mut i)?, "--max-universe")?
+            }
+            "--max-rounds" => {
+                config.eval.max_fixpoint_rounds =
+                    parse_num(&take_value(&args, &mut i)?, "--max-rounds")?
+            }
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+        i += 1;
+    }
+
+    // Generate preloads before binding so a typo fails fast.
+    let mut stores = Vec::new();
+    for name in &preloads {
+        let store = preload_workload(name).ok_or_else(|| {
+            format!(
+                "unknown workload `{name}`; available: {}",
+                WORKLOAD_NAMES.join(" ")
+            )
+        })?;
+        stores.push((name.clone(), store));
+    }
+
+    let server = Server::spawn(config).map_err(|e| format!("failed to bind: {e}"))?;
+    for (name, store) in stores {
+        let triples = store.triple_count();
+        let epoch = server.registry().set(&name, store);
+        println!("preloaded store `{name}` (epoch {epoch}, {triples} triples)");
+    }
+    println!("trial-serve listening on http://{}", server.addr());
+    println!("try: curl -s http://{}/healthz", server.addr());
+
+    // Serve until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Consumes the value of the flag at `args[*i]`, advancing the cursor.
+fn take_value(args: &[String], i: &mut usize) -> Result<String, String> {
+    let flag = args[*i].clone();
+    *i += 1;
+    args.get(*i)
+        .cloned()
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+    raw.parse::<T>()
+        .map_err(|_| format!("unparsable value `{raw}` for {flag}"))
+}

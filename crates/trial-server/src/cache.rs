@@ -1,0 +1,266 @@
+//! An LRU cache for query results, keyed by `(store, epoch, kind, text)`.
+//!
+//! A repeat of a query against the *same epoch* of a store skips
+//! parse + plan + evaluate entirely and serves the rendered JSON fragment
+//! from memory. Because the epoch is part of the key, a `/load` (which bumps
+//! the store's epoch) invalidates every cached result for that store without
+//! any explicit eviction pass — stale entries simply stop being reachable
+//! and age out of the LRU order.
+//!
+//! Hit/miss counters are exposed on `/healthz`, which is how the integration
+//! tests (and operators) observe cache behaviour.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What the cached text answers — `/query` results and `/explain` plans are
+/// cached independently even for identical query text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// An evaluated result set (`/query`).
+    Query,
+    /// A rendered physical plan (`/explain`).
+    Explain,
+}
+
+/// Cache key: store name + store epoch + endpoint kind + exact query text +
+/// effective result limit.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Registry name of the store.
+    pub store: String,
+    /// Epoch of the snapshot the result was computed against.
+    pub epoch: u64,
+    /// Which endpoint produced the value.
+    pub kind: QueryKind,
+    /// The query text, byte-for-byte (no normalisation).
+    pub text: String,
+    /// The `?limit=` the fragment was rendered with — the triple list is
+    /// truncated at render time, so different limits are different results
+    /// (0 for `/explain`, which has no limit).
+    pub limit: u64,
+}
+
+#[derive(Debug)]
+struct Slot {
+    value: Arc<String>,
+    stamp: u64,
+}
+
+#[derive(Debug, Default)]
+struct LruInner {
+    map: HashMap<CacheKey, Slot>,
+    /// Recency queue of `(key, stamp)`; an entry is current only if its
+    /// stamp matches the map's. Touches push fresh pairs and leave stale
+    /// ones to be skipped at eviction (amortised O(1), no linked list).
+    order: VecDeque<(CacheKey, u64)>,
+    tick: u64,
+}
+
+/// A thread-safe LRU cache of rendered JSON fragments.
+#[derive(Debug)]
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<LruInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QueryCache {
+    /// Creates a cache holding at most `capacity` entries. Capacity 0
+    /// disables caching (every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        QueryCache {
+            capacity,
+            inner: Mutex::new(LruInner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up `key`, counting a hit or miss and refreshing recency.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(slot) => {
+                slot.stamp = tick;
+                let value = Arc::clone(&slot.value);
+                inner.order.push_back((key.clone(), tick));
+                Self::compact(&mut inner);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the least recently
+    /// used entries if the cache is over capacity.
+    pub fn insert(&self, key: CacheKey, value: Arc<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.map.insert(key.clone(), Slot { value, stamp: tick });
+        inner.order.push_back((key, tick));
+        while inner.map.len() > self.capacity {
+            match inner.order.pop_front() {
+                Some((victim, stamp)) => {
+                    let current = inner.map.get(&victim).map(|s| s.stamp) == Some(stamp);
+                    if current {
+                        inner.map.remove(&victim);
+                    }
+                }
+                None => break,
+            }
+        }
+        Self::compact(&mut inner);
+    }
+
+    /// Drops stale recency pairs when the queue outgrows the map (bounded
+    /// memory even under a workload of pure cache hits).
+    fn compact(inner: &mut LruInner) {
+        if inner.order.len() > inner.map.len() * 4 + 16 {
+            let map = &inner.map;
+            inner
+                .order
+                .retain(|(k, stamp)| map.get(k).map(|s| s.stamp) == Some(*stamp));
+        }
+    }
+
+    /// Cache hits since startup.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses since startup.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(store: &str, epoch: u64, text: &str) -> CacheKey {
+        CacheKey {
+            store: store.into(),
+            epoch,
+            kind: QueryKind::Query,
+            text: text.into(),
+            limit: 100,
+        }
+    }
+
+    fn val(s: &str) -> Arc<String> {
+        Arc::new(s.to_owned())
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = QueryCache::new(4);
+        assert!(cache.get(&key("s", 1, "E")).is_none());
+        cache.insert(key("s", 1, "E"), val("r"));
+        assert_eq!(cache.get(&key("s", 1, "E")).unwrap().as_str(), "r");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn epoch_bump_invalidates() {
+        let cache = QueryCache::new(4);
+        cache.insert(key("s", 1, "E"), val("old"));
+        // Same store and text, new epoch: different key, so a miss.
+        assert!(cache.get(&key("s", 2, "E")).is_none());
+        // The old epoch's entry is still present until evicted.
+        assert!(cache.get(&key("s", 1, "E")).is_some());
+        // Explain and Query results do not collide.
+        let explain = CacheKey {
+            kind: QueryKind::Explain,
+            ..key("s", 1, "E")
+        };
+        assert!(cache.get(&explain).is_none());
+        // Neither do renderings with different ?limit= values.
+        let other_limit = CacheKey {
+            limit: 1,
+            ..key("s", 1, "E")
+        };
+        assert!(cache.get(&other_limit).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache = QueryCache::new(2);
+        cache.insert(key("s", 1, "a"), val("1"));
+        cache.insert(key("s", 1, "b"), val("2"));
+        // Touch `a` so `b` is the LRU victim.
+        assert!(cache.get(&key("s", 1, "a")).is_some());
+        cache.insert(key("s", 1, "c"), val("3"));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(&key("s", 1, "a")).is_some());
+        assert!(cache.get(&key("s", 1, "b")).is_none());
+        assert!(cache.get(&key("s", 1, "c")).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache = QueryCache::new(0);
+        cache.insert(key("s", 1, "a"), val("1"));
+        assert!(cache.get(&key("s", 1, "a")).is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 0);
+        assert_eq!(cache.misses(), 1); // the lookup still counts as a miss
+    }
+
+    #[test]
+    fn recency_queue_stays_bounded_under_repeated_hits() {
+        let cache = QueryCache::new(2);
+        cache.insert(key("s", 1, "a"), val("1"));
+        for _ in 0..10_000 {
+            assert!(cache.get(&key("s", 1, "a")).is_some());
+        }
+        let inner = cache.inner.lock().unwrap();
+        assert!(inner.order.len() <= inner.map.len() * 4 + 17);
+    }
+}

@@ -1,0 +1,96 @@
+//! A minimal blocking HTTP client for the service's own endpoints.
+//!
+//! One connection per call, `Connection: close`. This is not a general HTTP
+//! client — it exists so the integration tests, benches and examples can
+//! drive a [`crate::Server`] without pulling in a dependency, and so the
+//! `server_demo` example can show the full over-the-wire round trip.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A decoded HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Response body as UTF-8 text.
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// `true` for 2xx statuses.
+    pub fn is_ok(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Issues `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> io::Result<HttpResponse> {
+    request(addr, "GET", path, "")
+}
+
+/// Issues `POST path` with a plain-text body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<HttpResponse> {
+    request(addr, "POST", path, body)
+}
+
+/// Issues a single request on a fresh connection and reads the response.
+pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: trial\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )?;
+    writer.write_all(body.as_bytes())?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line `{}`", status_line.trim_end()),
+            )
+        })?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8_lossy(&buf).into_owned()
+        }
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(HttpResponse { status, body })
+}

@@ -1,0 +1,462 @@
+//! A small hand-rolled HTTP/1.1 layer: request parsing and response writing.
+//!
+//! Deliberately minimal — exactly what the query service needs and no more:
+//!
+//! * request line + headers + `Content-Length` body (no chunked encoding);
+//! * URL query-string parameters with `%XX` / `+` decoding;
+//! * keep-alive by default, honouring `Connection: close`;
+//! * hard limits on header-section and body size, enforced *before* the
+//!   bytes are buffered, so an untrusted client cannot balloon memory.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on the request line + headers, independent of the body limit.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Decoded path without the query string (e.g. `/query`).
+    pub path: String,
+    /// Decoded query-string parameters, in order of appearance.
+    pub params: Vec<(String, String)>,
+    /// Raw request body.
+    pub body: Vec<u8>,
+    /// `true` if the client asked for `Connection: close`.
+    pub close: bool,
+}
+
+impl Request {
+    /// First value of query-string parameter `name`, if present.
+    pub fn param(&self, name: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8, or `None` if it is not valid UTF-8.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Outcome of reading one request off a connection.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete, well-formed request.
+    Request(Request),
+    /// The peer closed the connection (or timed out) before sending anything.
+    Closed,
+    /// The bytes were not a servable request; respond with this status and
+    /// a structured error, then close the connection.
+    Invalid {
+        /// HTTP status to reply with (`400`, `413`, `505`, …).
+        status: u16,
+        /// Machine-readable error kind for the JSON body.
+        kind: &'static str,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+fn invalid(status: u16, kind: &'static str, message: impl Into<String>) -> ReadOutcome {
+    ReadOutcome::Invalid {
+        status,
+        kind,
+        message: message.into(),
+    }
+}
+
+/// Reads one HTTP/1.1 request from `reader`, enforcing `max_body` on the
+/// declared `Content-Length` before buffering the body.
+///
+/// `writer` is the response side of the same connection: when the client
+/// sent `Expect: 100-continue` (curl does for bodies over 1 KiB), the
+/// interim `100 Continue` is written there before the body is read — without
+/// it every such request stalls for the client's expect timeout.
+pub fn read_request<R: BufRead, W: Write>(
+    reader: &mut R,
+    writer: &mut W,
+    max_body: usize,
+) -> io::Result<ReadOutcome> {
+    // The whole head (request line + headers) is read through a `Take` so a
+    // line that never ends cannot buffer more than MAX_HEAD_BYTES: when the
+    // cap is hit, `read_line` returns a line without `\n` while bytes remain.
+    // UFCS pins `Self = &mut R` so the reader is reborrowed, not moved.
+    let mut head = io::Read::take(&mut *reader, MAX_HEAD_BYTES as u64);
+
+    // Request line.
+    let mut line = String::new();
+    if head.read_line(&mut line)? == 0 {
+        return Ok(ReadOutcome::Closed);
+    }
+    if !line.ends_with('\n') && head.limit() == 0 {
+        return Ok(invalid(
+            431,
+            "headers_too_large",
+            "request head exceeds 16 KiB",
+        ));
+    }
+    let line_trimmed = line.trim_end();
+    let mut parts = line_trimmed.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_uppercase(), t.to_owned(), v),
+        _ => {
+            return Ok(invalid(
+                400,
+                "bad_request",
+                format!("malformed request line `{line_trimmed}`"),
+            ))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(invalid(
+            505,
+            "http_version",
+            format!("unsupported protocol version `{version}`"),
+        ));
+    }
+
+    // Headers (only the ones the service acts on are retained).
+    let mut headers: HashMap<String, String> = HashMap::new();
+    loop {
+        let mut header = String::new();
+        if head.read_line(&mut header)? == 0 {
+            return Ok(ReadOutcome::Closed);
+        }
+        if !header.ends_with('\n') && head.limit() == 0 {
+            return Ok(invalid(
+                431,
+                "headers_too_large",
+                "request head exceeds 16 KiB",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            // RFC 9110 §8.6: duplicate Content-Length headers must not be
+            // silently reconciled — a proxy in front may honour a different
+            // copy than we do, desyncing the framing (request smuggling).
+            if name == "content-length" && headers.get(&name).is_some_and(|prev| *prev != value) {
+                return Ok(invalid(
+                    400,
+                    "bad_request",
+                    "conflicting Content-Length headers",
+                ));
+            }
+            headers.insert(name, value);
+        }
+    }
+
+    if headers.contains_key("transfer-encoding") {
+        return Ok(invalid(
+            400,
+            "bad_request",
+            "chunked transfer encoding is not supported; send Content-Length",
+        ));
+    }
+
+    // Body, bounded by the declared Content-Length.
+    let content_length = match headers.get("content-length") {
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => n,
+            Err(_) => {
+                return Ok(invalid(
+                    400,
+                    "bad_request",
+                    format!("unparsable Content-Length `{v}`"),
+                ))
+            }
+        },
+        None => 0,
+    };
+    if content_length > max_body {
+        return Ok(invalid(
+            413,
+            "payload_too_large",
+            format!("request body of {content_length} bytes exceeds the {max_body}-byte limit"),
+        ));
+    }
+    if headers
+        .get("expect")
+        .map(|v| v.eq_ignore_ascii_case("100-continue"))
+        .unwrap_or(false)
+    {
+        writer.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        writer.flush()?;
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let close = headers
+        .get("connection")
+        .map(|v| v.eq_ignore_ascii_case("close"))
+        .unwrap_or(false);
+
+    let (path, params) = parse_target(&target);
+    Ok(ReadOutcome::Request(Request {
+        method,
+        path,
+        params,
+        body,
+        close,
+    }))
+}
+
+/// Splits a request target into its decoded path and query parameters.
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let params = query
+        .map(|q| {
+            q.split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((k, v)) => (percent_decode(k), percent_decode(v)),
+                    None => (percent_decode(pair), String::new()),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    (percent_decode(path), params)
+}
+
+/// Decodes `%XX` escapes and `+`-as-space. Invalid escapes pass through
+/// verbatim (lenient, like most servers).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP response: status plus JSON body (every endpoint speaks JSON).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (JSON text).
+    pub body: String,
+}
+
+impl Response {
+    /// A `200 OK` response.
+    pub fn ok(body: String) -> Response {
+        Response { status: 200, body }
+    }
+}
+
+/// The reason phrase for the status codes this server emits.
+pub fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Writes `response` to `writer` as an HTTP/1.1 message.
+pub fn write_response<W: Write>(
+    writer: &mut W,
+    response: &Response,
+    close: bool,
+) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    write!(
+        writer,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        response.status,
+        status_text(response.status),
+        response.body.len(),
+        connection
+    )?;
+    writer.write_all(response.body.as_bytes())?;
+    writer.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn read(raw: &str) -> ReadOutcome {
+        let mut reader = BufReader::new(raw.as_bytes());
+        read_request(&mut reader, &mut Vec::new(), 1024).unwrap()
+    }
+
+    #[test]
+    fn parses_get_with_params() {
+        let out = read("GET /query?store=my%20db&x=a+b&flag HTTP/1.1\r\nHost: x\r\n\r\n");
+        match out {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.path, "/query");
+                assert_eq!(req.param("store"), Some("my db"));
+                assert_eq!(req.param("x"), Some("a b"));
+                assert_eq!(req.param("flag"), Some(""));
+                assert_eq!(req.param("missing"), None);
+                assert!(req.body.is_empty());
+                assert!(!req.close);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_post_body_and_connection_close() {
+        let out =
+            read("POST /load HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\nhello");
+        match out {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.body_utf8(), Some("hello"));
+                assert!(req.close);
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let out = read("POST /load HTTP/1.1\r\nContent-Length: 99999\r\n\r\n");
+        match out {
+            ReadOutcome::Invalid { status, kind, .. } => {
+                assert_eq!(status, 413);
+                assert_eq!(kind, "payload_too_large");
+            }
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_and_unsupported_requests() {
+        assert!(matches!(
+            read("garbage\r\n\r\n"),
+            ReadOutcome::Invalid { status: 400, .. }
+        ));
+        assert!(matches!(
+            read("GET / HTTP/2.0\r\n\r\n"),
+            ReadOutcome::Invalid { status: 505, .. }
+        ));
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            ReadOutcome::Invalid { status: 400, .. }
+        ));
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: abc\r\n\r\n"),
+            ReadOutcome::Invalid { status: 400, .. }
+        ));
+        assert!(matches!(read(""), ReadOutcome::Closed));
+        // Conflicting duplicate Content-Length headers are a smuggling
+        // vector and must be rejected, not last-wins reconciled.
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 30\r\n\r\nhello"),
+            ReadOutcome::Invalid { status: 400, .. }
+        ));
+        // Identical duplicates are tolerated.
+        assert!(matches!(
+            read("POST / HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 5\r\n\r\nhello"),
+            ReadOutcome::Request(_)
+        ));
+    }
+
+    #[test]
+    fn expect_100_continue_gets_the_interim_response() {
+        let raw = "POST /load HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 2\r\n\r\nok";
+        let mut reader = BufReader::new(raw.as_bytes());
+        let mut interim = Vec::new();
+        match read_request(&mut reader, &mut interim, 1024).unwrap() {
+            ReadOutcome::Request(req) => assert_eq!(req.body_utf8(), Some("ok")),
+            other => panic!("expected request, got {other:?}"),
+        }
+        assert_eq!(interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+        // No Expect header: nothing interim is written.
+        let mut reader = BufReader::new("GET / HTTP/1.1\r\n\r\n".as_bytes());
+        let mut interim = Vec::new();
+        read_request(&mut reader, &mut interim, 1024).unwrap();
+        assert!(interim.is_empty());
+    }
+
+    #[test]
+    fn giant_head_lines_are_cut_off_at_the_cap() {
+        // A request line (or header line) with no newline must not buffer
+        // beyond MAX_HEAD_BYTES: the Take cap turns it into a 431.
+        let giant = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(64 * 1024));
+        let mut reader = BufReader::new(giant.as_bytes());
+        assert!(matches!(
+            read_request(&mut reader, &mut Vec::new(), 1024).unwrap(),
+            ReadOutcome::Invalid { status: 431, .. }
+        ));
+        let giant_header = format!(
+            "GET / HTTP/1.1\r\nX-Junk: {}\r\n\r\n",
+            "b".repeat(64 * 1024)
+        );
+        let mut reader = BufReader::new(giant_header.as_bytes());
+        assert!(matches!(
+            read_request(&mut reader, &mut Vec::new(), 1024).unwrap(),
+            ReadOutcome::Invalid { status: 431, .. }
+        ));
+    }
+
+    #[test]
+    fn percent_decoding_is_lenient() {
+        assert_eq!(percent_decode("a%2Fb"), "a/b");
+        assert_eq!(percent_decode("a+b"), "a b");
+        assert_eq!(percent_decode("bad%2"), "bad%2");
+        assert_eq!(percent_decode("bad%zz"), "bad%zz");
+        assert_eq!(percent_decode("%E2%9C%B6"), "✶");
+    }
+
+    #[test]
+    fn response_writing_includes_length_and_connection() {
+        let mut out = Vec::new();
+        write_response(&mut out, &Response::ok("{\"a\":1}".into()), true).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 7\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("{\"a\":1}"));
+    }
+}

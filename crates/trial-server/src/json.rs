@@ -1,0 +1,175 @@
+//! A hand-rolled JSON *emitter* (no parser).
+//!
+//! The server's request bodies are plain text — a TriAL query for `/query`
+//! and `/explain`, an N-Triples document for `/load` — and request options
+//! travel in the URL query string, so the crate only ever needs to *produce*
+//! JSON. Emission is append-only string building with correct escaping; the
+//! [`JsonObject`] builder keeps commas and braces right by construction.
+
+use std::fmt::Write;
+
+/// Escapes `s` as the contents of a JSON string (without the quotes).
+///
+/// Handles the two mandatory classes: `"` / `\` and the C0 control range
+/// (emitted as `\uXXXX`, with the usual short forms for `\n`, `\r`, `\t`).
+/// Everything else — including non-ASCII — passes through verbatim, which is
+/// valid JSON as long as the transport is UTF-8 (ours is).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a JSON string literal, quotes included.
+pub fn string(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+/// Renders a JSON array of string literals.
+pub fn string_array<I, S>(items: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let rendered: Vec<String> = items.into_iter().map(|s| string(s.as_ref())).collect();
+    format!("[{}]", rendered.join(","))
+}
+
+/// Renders a JSON array of pre-rendered JSON fragments.
+pub fn array<I, S>(items: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(item.as_ref());
+    }
+    out.push(']');
+    out
+}
+
+/// An append-only JSON object builder.
+///
+/// ```
+/// use trial_server::json::JsonObject;
+///
+/// let body = JsonObject::new()
+///     .str("status", "ok")
+///     .num("stores", 2)
+///     .boolean("cached", false)
+///     .finish();
+/// assert_eq!(body, r#"{"status":"ok","stores":2,"cached":false}"#);
+/// ```
+#[derive(Debug, Clone)]
+pub struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        self.buf.push_str(&escape(key));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(&string(value));
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn num(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        write!(self.buf, "{value}").expect("writing to String cannot fail");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn boolean(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is an already-rendered JSON fragment
+    /// (object, array, number — the caller guarantees validity).
+    pub fn raw(mut self, key: &str, fragment: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(fragment);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("line1\nline2\ttab\r"), "line1\\nline2\\ttab\\r");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+        assert_eq!(escape("héllo✶"), "héllo✶"); // non-ASCII passes through
+    }
+
+    #[test]
+    fn builders_produce_valid_shapes() {
+        assert_eq!(string("x\"y"), "\"x\\\"y\"");
+        assert_eq!(string_array(["a", "b\""]), "[\"a\",\"b\\\"\"]");
+        assert_eq!(string_array(Vec::<String>::new()), "[]");
+        assert_eq!(array(["1", "[2]"]), "[1,[2]]");
+        let obj = JsonObject::new()
+            .str("k", "v")
+            .num("n", 7)
+            .boolean("t", true)
+            .raw("a", "[1,2]")
+            .finish();
+        assert_eq!(obj, r#"{"k":"v","n":7,"t":true,"a":[1,2]}"#);
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}

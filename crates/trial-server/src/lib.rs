@@ -1,0 +1,99 @@
+//! # trial-server
+//!
+//! A concurrent HTTP/1.1 query service for TriAL over triplestores — the
+//! serving layer that turns the PODS'13 reproduction into something you can
+//! `curl`. Std-only: the listener is `std::net::TcpListener`, the HTTP and
+//! JSON layers are hand-rolled ([`http`], [`json`]), and concurrency is a
+//! fixed worker thread pool.
+//!
+//! ## Serving TriAL over HTTP
+//!
+//! Start a server with a preset workload:
+//!
+//! ```bash
+//! trial-serve --preload transport --port 7878
+//! ```
+//!
+//! then drive it with curl (bodies are plain text — a TriAL expression for
+//! `/query`/`/explain`, an N-Triples document for `/load`; options ride in
+//! the query string; responses are JSON):
+//!
+//! ```bash
+//! # Example 2 of the paper: cities connected by a service, with the company.
+//! curl -s localhost:7878/query -d "(E JOIN[1,3',3 | 2=1'] E)"
+//!
+//! # The physical plan the cost-based planner picked, without running it.
+//! curl -s localhost:7878/explain -d "STAR(E JOIN[1,2,3' | 3=1'])"
+//!
+//! # Load an N-Triples document into relation E of store `mydata`
+//! # (copy-on-write: in-flight queries keep their snapshot).
+//! curl -s "localhost:7878/load?store=mydata&relation=E" --data-binary @data.nt
+//!
+//! # Pick a store explicitly and cap the triples in the response body.
+//! curl -s "localhost:7878/query?store=mydata&limit=100" -d "E"
+//!
+//! # Store inventory and service/cache counters.
+//! curl -s localhost:7878/stores
+//! curl -s localhost:7878/healthz
+//! ```
+//!
+//! ## Architecture
+//!
+//! * **[`registry`]** — named stores as epoch-versioned immutable snapshots
+//!   behind `Arc`s. Readers clone the `Arc` under a momentary read lock and
+//!   evaluate lock-free; `/load` builds the replacement store entirely off
+//!   to the side and swaps the pointer. A query that started on epoch *n*
+//!   sees epoch *n* to completion — no reader ever blocks on a writer.
+//! * **[`cache`]** — an LRU of rendered result fragments keyed by
+//!   `(store, epoch, kind, query text)`. Epoch bumps invalidate implicitly;
+//!   hit/miss counters are served on `/healthz`.
+//! * **[`server`]** — listener + fixed worker pool with keep-alive
+//!   connections and graceful shutdown; [`Server::spawn_ephemeral`] gives
+//!   tests and benches an in-process instance on a free port.
+//! * **[`routes`]** — the endpoint handlers. Untrusted input is bounded
+//!   everywhere: request bodies by [`ServerConfig::max_body_bytes`], query
+//!   evaluation by the server's [`trial_eval::EvalOptions`] (universe size
+//!   and star-round caps), response bodies by `?limit=`, and registry
+//!   growth by [`ServerConfig::max_stores`] /
+//!   [`ServerConfig::max_store_triples`] (stores never expire, so `/load`
+//!   refuses to grow past them).
+//!
+//! ```
+//! use trial_server::{client, Server};
+//! use trial_workloads::figure1_store;
+//!
+//! let server = Server::spawn_ephemeral().unwrap();
+//! server.registry().set("transport", figure1_store());
+//! let response =
+//!     client::post(server.addr(), "/query", "(E JOIN[1,3',3 | 2=1'] E)").unwrap();
+//! assert_eq!(response.status, 200);
+//! assert!(response.body.contains("\"count\":3"));
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod preload;
+pub mod registry;
+pub mod routes;
+pub mod server;
+
+pub use cache::{CacheKey, QueryCache, QueryKind};
+pub use preload::{preload_workload, WORKLOAD_NAMES};
+pub use registry::{StoreRegistry, StoreSnapshot};
+pub use server::{Server, ServerConfig};
+
+// The server hands `Arc<ServerState>` and store snapshots across worker
+// threads; these mirror the assertions in trial-core / trial-eval at the
+// point of use.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Server>();
+    assert_send_sync::<StoreRegistry>();
+    assert_send_sync::<QueryCache>();
+};

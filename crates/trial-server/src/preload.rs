@@ -1,0 +1,56 @@
+//! Named workload presets for `trial-serve --preload` and the examples.
+//!
+//! Each name maps to a `trial-workloads` generator with its default (or a
+//! modest fixed) configuration, so a server with realistic data is one flag
+//! away: `trial-serve --preload transport`. The store is registered under
+//! the workload's name with its triples in relation `E` (every generator
+//! uses that relation).
+
+use trial_core::Triplestore;
+use trial_workloads::{
+    chain_store, clique_store, cycle_store, figure1_store, grid_store, random_store,
+    social_network, transport_network, RandomStoreConfig, SocialConfig, TransportConfig,
+};
+
+/// The names accepted by [`preload_workload`].
+pub const WORKLOAD_NAMES: &[&str] = &[
+    "figure1",
+    "transport",
+    "social",
+    "random",
+    "chain",
+    "cycle",
+    "grid",
+    "clique",
+];
+
+/// Generates the named preset workload, or `None` for an unknown name.
+pub fn preload_workload(name: &str) -> Option<Triplestore> {
+    match name {
+        "figure1" => Some(figure1_store()),
+        "transport" => Some(transport_network(&TransportConfig::default())),
+        "social" => Some(social_network(&SocialConfig::default())),
+        "random" => Some(random_store(&RandomStoreConfig::default())),
+        "chain" => Some(chain_store(512)),
+        "cycle" => Some(cycle_store(512)),
+        "grid" => Some(grid_store(24)),
+        "clique" => Some(clique_store(40)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_workload_generates() {
+        for name in WORKLOAD_NAMES {
+            let store = preload_workload(name)
+                .unwrap_or_else(|| panic!("workload `{name}` failed to generate"));
+            assert!(store.triple_count() > 0, "workload `{name}` is empty");
+            assert!(store.relation("E").is_some(), "workload `{name}` lacks E");
+        }
+        assert!(preload_workload("nope").is_none());
+    }
+}

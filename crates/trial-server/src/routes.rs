@@ -1,0 +1,458 @@
+//! Request routing and the five endpoint handlers.
+//!
+//! | Endpoint        | Method | Body        | Purpose                                  |
+//! |-----------------|--------|-------------|------------------------------------------|
+//! | `/query`        | POST   | TriAL text  | evaluate a query, JSON triples + stats   |
+//! | `/explain`      | POST   | TriAL text  | render the physical plan, don't execute  |
+//! | `/load`         | POST   | N-Triples   | (re)build a named store copy-on-write    |
+//! | `/stores`       | GET    | —           | per-store name/epoch/size statistics     |
+//! | `/healthz`      | GET    | —           | liveness + service & cache counters      |
+//!
+//! Request options ride in the query string (`?store=`, `?relation=`,
+//! `?limit=`); bodies are plain text. Responses are always JSON; errors are
+//! structured as `{"error":{"kind":...,"message":...,"offset":...}}` with
+//! the byte offset present for parse errors.
+
+use crate::cache::{CacheKey, QueryKind};
+use crate::http::{Request, Response};
+use crate::json::{self, JsonObject};
+use crate::registry::StoreSnapshot;
+use crate::server::ServerState;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+use trial_core::{Error, TriplestoreBuilder, Value};
+use trial_eval::{EvalStats, SmartEngine};
+use trial_rdf::{parse_ntriples_iter, Term};
+
+/// Default cap on the number of triples included in a `/query` response
+/// body; override per request with `?limit=`. The full cardinality is
+/// always reported in `count`.
+pub const DEFAULT_RESULT_LIMIT: usize = 10_000;
+
+/// Hard ceiling on `?limit=`: the limit is part of the cache key and each
+/// rendered fragment lives in the LRU, so an unbounded client-chosen limit
+/// would let well-formed requests pin unbounded memory. Requests above the
+/// ceiling are clamped (observable via `truncated`).
+pub const MAX_RESULT_LIMIT: usize = 100_000;
+
+/// Fragments larger than this are served but not cached — the LRU counts
+/// entries, not bytes, so giant renderings must not occupy slots.
+const MAX_CACHED_FRAGMENT_BYTES: usize = 1 << 20;
+
+/// Dispatches a request to its handler.
+pub(crate) fn route(state: &ServerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(state),
+        ("GET", "/stores") => stores(state),
+        ("POST", "/query") => query(state, req, QueryKind::Query),
+        ("POST", "/explain") => query(state, req, QueryKind::Explain),
+        ("POST", "/load") => load(state, req),
+        (_, "/healthz" | "/stores" | "/query" | "/explain" | "/load") => error_response(
+            405,
+            "method_not_allowed",
+            &format!("`{}` does not accept {}", req.path, req.method),
+            None,
+        ),
+        _ => error_response(
+            404,
+            "not_found",
+            &format!(
+                "no route for `{}`; endpoints: /query /explain /load /stores /healthz",
+                req.path
+            ),
+            None,
+        ),
+    }
+}
+
+/// Renders the structured JSON error body shared by all failure paths.
+pub(crate) fn error_body(kind: &str, message: &str, offset: Option<usize>) -> String {
+    let mut err = JsonObject::new().str("kind", kind).str("message", message);
+    if let Some(offset) = offset {
+        err = err.num("offset", offset as u64);
+    }
+    JsonObject::new().raw("error", &err.finish()).finish()
+}
+
+fn error_response(status: u16, kind: &str, message: &str, offset: Option<usize>) -> Response {
+    Response {
+        status,
+        body: error_body(kind, message, offset),
+    }
+}
+
+/// Maps evaluation-time [`Error`]s onto HTTP statuses and error kinds.
+fn eval_error_response(error: &Error) -> Response {
+    let (status, kind) = match error {
+        Error::Parse { .. } => (400, "parse"),
+        Error::UnknownRelation(_) => (400, "unknown_relation"),
+        Error::UnknownObject(_) => (400, "unknown_object"),
+        Error::LimitExceeded(_) => (422, "limit_exceeded"),
+        Error::Unsupported(_) => (422, "unsupported"),
+        Error::InvalidExpression(_) | Error::SelectionUsesRightPosition { .. } => {
+            (400, "invalid_expression")
+        }
+    };
+    error_response(status, kind, &error.to_string(), error.parse_offset())
+}
+
+fn healthz(state: &ServerState) -> Response {
+    let cache = JsonObject::new()
+        .num("hits", state.cache.hits())
+        .num("misses", state.cache.misses())
+        .num("entries", state.cache.len() as u64)
+        .num("capacity", state.cache.capacity() as u64)
+        .finish();
+    let body = JsonObject::new()
+        .str("status", "ok")
+        .num("uptime_ms", state.started.elapsed().as_millis() as u64)
+        .num("stores", state.registry.len() as u64)
+        .num(
+            "queries_served",
+            state.queries_served.load(Ordering::Relaxed),
+        )
+        .num(
+            "loads_completed",
+            state.loads_completed.load(Ordering::Relaxed),
+        )
+        .raw("cache", &cache)
+        .finish();
+    Response::ok(body)
+}
+
+fn stores(state: &ServerState) -> Response {
+    let entries: Vec<String> = state
+        .registry
+        .list()
+        .iter()
+        .map(|snapshot| {
+            let store = snapshot.store();
+            let relations: Vec<String> = store
+                .relations()
+                .map(|r| {
+                    JsonObject::new()
+                        .str("name", r.name())
+                        .num("triples", r.len() as u64)
+                        .finish()
+                })
+                .collect();
+            JsonObject::new()
+                .str("name", snapshot.name())
+                .num("epoch", snapshot.epoch())
+                .num("triples", store.triple_count() as u64)
+                .num("objects", store.object_count() as u64)
+                .raw("relations", &json::array(relations))
+                .finish()
+        })
+        .collect();
+    Response::ok(
+        JsonObject::new()
+            .raw("stores", &json::array(entries))
+            .finish(),
+    )
+}
+
+/// Resolves the target store: `?store=` if given, otherwise the single
+/// registered store, otherwise a structured error.
+fn resolve_store(state: &ServerState, req: &Request) -> Result<Arc<StoreSnapshot>, Box<Response>> {
+    match req.param("store") {
+        Some(name) => state.registry.snapshot(name).ok_or_else(|| {
+            Box::new(error_response(
+                404,
+                "unknown_store",
+                &format!("no store named `{name}` is loaded"),
+                None,
+            ))
+        }),
+        None => state.registry.single().ok_or_else(|| {
+            let message = if state.registry.is_empty() {
+                "no stores are loaded; POST an N-Triples document to /load?store=<name> first"
+                    .to_owned()
+            } else {
+                let names: Vec<String> = state
+                    .registry
+                    .list()
+                    .iter()
+                    .map(|s| s.name().to_owned())
+                    .collect();
+                format!(
+                    "multiple stores are loaded ({}); pick one with ?store=",
+                    names.join(", ")
+                )
+            };
+            Box::new(error_response(400, "no_store_selected", &message, None))
+        }),
+    }
+}
+
+/// `/query` and `/explain`: parse the TriAL text, consult the LRU cache
+/// keyed by `(store, epoch, kind, text)`, evaluate or plan on a miss.
+fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
+    let start = Instant::now();
+    let Some(text) = req.body_utf8() else {
+        return error_response(400, "bad_request", "query body is not valid UTF-8", None);
+    };
+    let text = text.trim();
+    if text.is_empty() {
+        return error_response(
+            400,
+            "bad_request",
+            "empty query body; POST the TriAL expression as plain text",
+            None,
+        );
+    }
+    let limit = match req.param("limit") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n.min(MAX_RESULT_LIMIT),
+            Err(_) => {
+                return error_response(
+                    400,
+                    "bad_request",
+                    &format!("unparsable ?limit= value `{raw}`"),
+                    None,
+                )
+            }
+        },
+        None => DEFAULT_RESULT_LIMIT,
+    };
+
+    let snapshot = match resolve_store(state, req) {
+        Ok(s) => s,
+        Err(response) => return *response,
+    };
+
+    let key = CacheKey {
+        store: snapshot.name().to_owned(),
+        epoch: snapshot.epoch(),
+        kind,
+        text: text.to_owned(),
+        // The rendered fragment depends on the effective limit, so requests
+        // with different limits must not share an entry. Plans don't.
+        limit: match kind {
+            QueryKind::Query => limit as u64,
+            QueryKind::Explain => 0,
+        },
+    };
+    if let Some(fragment) = state.cache.get(&key) {
+        state.queries_served.fetch_add(1, Ordering::Relaxed);
+        return Response::ok(wrap(&snapshot, true, &fragment, start));
+    }
+
+    let expr = match trial_parser::parse(text) {
+        Ok(expr) => expr,
+        Err(e) => return eval_error_response(&e),
+    };
+
+    let engine = SmartEngine::with_options(state.eval);
+    let fragment = match kind {
+        QueryKind::Query => {
+            let evaluation = match trial_eval::Engine::evaluate(&engine, &expr, snapshot.store()) {
+                Ok(ev) => ev,
+                Err(e) => return eval_error_response(&e),
+            };
+            render_result_fragment(
+                snapshot.store(),
+                &evaluation.result,
+                &evaluation.stats,
+                limit,
+            )
+        }
+        QueryKind::Explain => {
+            let plan = match engine.plan(&expr, snapshot.store()) {
+                Ok(p) => p,
+                Err(e) => return eval_error_response(&e),
+            };
+            JsonObject::new()
+                .str("query", &expr.to_string())
+                .str("plan", plan.explain().trim_end())
+                .finish()
+        }
+    };
+
+    let fragment = Arc::new(fragment);
+    if fragment.len() <= MAX_CACHED_FRAGMENT_BYTES {
+        state.cache.insert(key, Arc::clone(&fragment));
+    }
+    state.queries_served.fetch_add(1, Ordering::Relaxed);
+    Response::ok(wrap(&snapshot, false, &fragment, start))
+}
+
+/// Assembles the response envelope around a cached (or fresh) payload
+/// fragment. `elapsed_us` is measured per request, so cache hits visibly
+/// undercut misses.
+fn wrap(snapshot: &StoreSnapshot, cached: bool, fragment: &str, start: Instant) -> String {
+    JsonObject::new()
+        .str("store", snapshot.name())
+        .num("epoch", snapshot.epoch())
+        .boolean("cached", cached)
+        .num("elapsed_us", start.elapsed().as_micros() as u64)
+        .raw("result", fragment)
+        .finish()
+}
+
+/// Renders an evaluated result set: full count, up to `limit` triples (as
+/// `[subject, predicate, object]` name arrays in canonical order), and the
+/// work counters.
+fn render_result_fragment(
+    store: &trial_core::Triplestore,
+    result: &trial_core::TripleSet,
+    stats: &EvalStats,
+    limit: usize,
+) -> String {
+    let truncated = result.len() > limit;
+    let triples = if limit == 0 {
+        // Count-only request: skip materialising and sorting the rows.
+        "[]".to_owned()
+    } else {
+        let mut rows: Vec<[&str; 3]> = result
+            .iter()
+            .map(|t| {
+                [
+                    store.object_name(t.s()),
+                    store.object_name(t.p()),
+                    store.object_name(t.o()),
+                ]
+            })
+            .collect();
+        if truncated {
+            // Partition the `limit` smallest rows to the front, then sort
+            // only those — same canonical prefix as a full sort without the
+            // O(n log n) pass over rows the response discards.
+            rows.select_nth_unstable(limit);
+            rows.truncate(limit);
+        }
+        rows.sort_unstable();
+        json::array(rows.iter().map(|row| json::string_array(row.iter())))
+    };
+    let stats_json = JsonObject::new()
+        .num("pairs_considered", stats.pairs_considered)
+        .num("triples_emitted", stats.triples_emitted)
+        .num("triples_scanned", stats.triples_scanned)
+        .num("fixpoint_rounds", stats.fixpoint_rounds)
+        .num("joins_executed", stats.joins_executed)
+        .num("reach_edges_traversed", stats.reach_edges_traversed)
+        .num("memo_hits", stats.memo_hits)
+        .finish();
+    JsonObject::new()
+        .num("count", result.len() as u64)
+        .boolean("truncated", truncated)
+        .raw("triples", &triples)
+        .raw("stats", &stats_json)
+        .finish()
+}
+
+/// `/load`: stream-parse the N-Triples body into a **new** store built off
+/// to the side, then atomically swap it in with a bumped epoch. In-flight
+/// queries keep their snapshot; a parse error leaves the store untouched.
+fn load(state: &ServerState, req: &Request) -> Response {
+    let Some(store_name) = req.param("store") else {
+        return error_response(
+            400,
+            "bad_request",
+            "missing ?store= parameter naming the store to (re)load",
+            None,
+        );
+    };
+    let relation = req.param("relation").unwrap_or("E");
+    let Some(body) = req.body_utf8() else {
+        return error_response(
+            400,
+            "bad_request",
+            "N-Triples body is not valid UTF-8",
+            None,
+        );
+    };
+
+    // Stores have no expiry or delete endpoint, so cap how much resident
+    // memory well-formed clients can pin: a bounded number of stores, each
+    // of bounded size. This pre-check runs *before* touching the gate map
+    // so refused names don't leak gate entries; the `try_set` at the end
+    // re-checks under the registry write lock, which is what actually
+    // prevents concurrent first-loads from overshooting the cap.
+    let store_cap_error = || {
+        error_response(
+            422,
+            "limit_exceeded",
+            &format!(
+                "store limit reached ({} stores); reload an existing store instead",
+                state.max_stores
+            ),
+            None,
+        )
+    };
+    if state.registry.snapshot(store_name).is_none() && state.registry.len() >= state.max_stores {
+        return store_cap_error();
+    }
+
+    // Serialise writers to *this* store; loads to other stores proceed in
+    // parallel and readers are unaffected (they only clone Arcs).
+    let gate = state.registry.write_gate(store_name);
+    let _gate = gate
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let base = state.registry.snapshot(store_name);
+    let base_triples = base.as_ref().map(|s| s.store().triple_count()).unwrap_or(0);
+
+    let mut builder = match &base {
+        Some(snapshot) => (**snapshot.store()).clone().into_builder(),
+        None => TriplestoreBuilder::new(),
+    };
+    builder.relation(relation);
+
+    // Streaming ingestion: one triple in flight at a time — objects are
+    // named by the term's full lexical form (IRI text / literal text), and
+    // literals additionally carry their lexical form as the data value ρ(o).
+    let mut added: u64 = 0;
+    for item in parse_ntriples_iter(body) {
+        if base_triples + added as usize >= state.max_store_triples {
+            return error_response(
+                422,
+                "limit_exceeded",
+                &format!(
+                    "store `{store_name}` would exceed {} triples; the store is unchanged",
+                    state.max_store_triples
+                ),
+                None,
+            );
+        }
+        let triple = match item {
+            Ok(t) => t,
+            Err(e) => return eval_error_response(&e),
+        };
+        for term in triple.terms() {
+            if let Term::Literal(lexical) = term {
+                builder.object_with_value(lexical, Value::str(lexical.clone()));
+            }
+        }
+        builder.add_triple(
+            relation,
+            triple.subject.lexical(),
+            triple.predicate.lexical(),
+            triple.object.lexical(),
+        );
+        added += 1;
+    }
+
+    let store = builder.finish();
+    let triples_total = store.triple_count() as u64;
+    let relation_total = store
+        .relation(relation)
+        .map(|r| r.len() as u64)
+        .unwrap_or(0);
+    let Some(epoch) = state.registry.try_set(store_name, store, state.max_stores) else {
+        return store_cap_error();
+    };
+    state.loads_completed.fetch_add(1, Ordering::Relaxed);
+
+    Response::ok(
+        JsonObject::new()
+            .str("store", store_name)
+            .str("relation", relation)
+            .num("epoch", epoch)
+            .num("triples_added", added)
+            .num("relation_triples", relation_total)
+            .num("triples_total", triples_total)
+            .finish(),
+    )
+}

@@ -1,0 +1,266 @@
+//! Server lifecycle: listener, fixed worker thread pool, shutdown.
+//!
+//! The shape is the classic std-only accept loop: one acceptor thread pulls
+//! connections off a [`TcpListener`] and hands them to a fixed pool of
+//! worker threads over an `mpsc` channel (workers share the receiver behind
+//! a mutex). Each worker speaks HTTP/1.1 with keep-alive on its connection
+//! and dispatches requests through [`crate::routes`]. All shared state lives
+//! in one `Arc<ServerState>`; queries clone store snapshots out of the
+//! registry and never hold a lock while evaluating.
+
+use crate::cache::QueryCache;
+use crate::http::{self, ReadOutcome, Response};
+use crate::registry::StoreRegistry;
+use crate::routes;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use trial_eval::EvalOptions;
+
+/// Configuration for [`Server::spawn`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Interface to bind (default `127.0.0.1`).
+    pub host: String,
+    /// Port to bind; 0 asks the OS for an ephemeral port.
+    pub port: u16,
+    /// Number of worker threads handling connections.
+    pub workers: usize,
+    /// Per-request body size limit in bytes (requests above it get `413`).
+    pub max_body_bytes: usize,
+    /// Query-cache capacity in entries (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Evaluation limits applied to **every** query. The defaults are much
+    /// tighter than the library defaults because the input is untrusted: a
+    /// bounded universe (`COMPL`/`U` cannot cube a large store) and a
+    /// bounded number of star rounds.
+    pub eval: EvalOptions,
+    /// Read timeout per socket read on a kept-alive connection. Together
+    /// with the 16 KiB head cap and the body limit this bounds what a slow
+    /// client can make a worker buffer, but a deliberately drip-feeding
+    /// client can still pin a blocking worker for a long time (classic
+    /// slowloris) — an accepted trade-off of the thread-per-connection
+    /// design; front the service with a reverse proxy if exposed to
+    /// adversarial networks.
+    pub read_timeout: Duration,
+    /// Maximum number of named stores `/load` may create — together with
+    /// `max_store_triples` this caps how much resident memory well-formed
+    /// clients can pin, since stores have no expiry or delete endpoint.
+    pub max_stores: usize,
+    /// Maximum triples a single store may accumulate across loads; a load
+    /// that would exceed it gets a structured `422`.
+    pub max_store_triples: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            host: "127.0.0.1".into(),
+            port: 0,
+            workers: 4,
+            max_body_bytes: 8 * 1024 * 1024,
+            cache_capacity: 128,
+            eval: EvalOptions {
+                max_universe: 1_000_000,
+                max_fixpoint_rounds: 10_000,
+                ..EvalOptions::default()
+            },
+            read_timeout: Duration::from_secs(10),
+            max_stores: 64,
+            max_store_triples: 5_000_000,
+        }
+    }
+}
+
+/// Shared server state: the store registry, the query cache, evaluation
+/// limits, and service counters.
+#[derive(Debug)]
+pub struct ServerState {
+    pub(crate) registry: StoreRegistry,
+    pub(crate) cache: QueryCache,
+    pub(crate) eval: EvalOptions,
+    pub(crate) max_stores: usize,
+    pub(crate) max_store_triples: usize,
+    pub(crate) queries_served: AtomicU64,
+    pub(crate) loads_completed: AtomicU64,
+    pub(crate) started: Instant,
+}
+
+impl ServerState {
+    fn new(config: &ServerConfig) -> Self {
+        ServerState {
+            registry: StoreRegistry::new(),
+            cache: QueryCache::new(config.cache_capacity),
+            eval: config.eval,
+            max_stores: config.max_stores,
+            max_store_triples: config.max_store_triples,
+            queries_served: AtomicU64::new(0),
+            loads_completed: AtomicU64::new(0),
+            started: Instant::now(),
+        }
+    }
+}
+
+/// A running TriAL query service.
+///
+/// Dropping the handle shuts the server down and joins every thread; tests
+/// and benches use [`Server::spawn_ephemeral`] for an in-process instance on
+/// a free port.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts serving with `config`.
+    pub fn spawn(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind((config.host.as_str(), config.port))?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState::new(&config));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::with_capacity(config.workers + 1);
+        for _ in 0..config.workers.max(1) {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            let max_body = config.max_body_bytes;
+            let read_timeout = config.read_timeout;
+            threads.push(std::thread::spawn(move || loop {
+                let next = rx.lock().expect("worker receiver lock poisoned").recv();
+                match next {
+                    Ok(stream) => handle_connection(&state, stream, max_body, read_timeout),
+                    Err(_) => break, // acceptor gone: shutdown
+                }
+            }));
+        }
+
+        let acceptor_shutdown = Arc::clone(&shutdown);
+        threads.push(std::thread::spawn(move || {
+            // `tx` lives in this thread; when the acceptor exits, the channel
+            // closes and the workers drain out.
+            for stream in listener.incoming() {
+                if acceptor_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        }));
+
+        Ok(Server {
+            addr,
+            state,
+            shutdown,
+            threads,
+        })
+    }
+
+    /// Starts an in-process server on an OS-assigned port with default
+    /// configuration — the entry point for tests, benches and examples.
+    pub fn spawn_ephemeral() -> io::Result<Server> {
+        Server::spawn(ServerConfig::default())
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The store registry, e.g. to preload workloads before serving traffic.
+    pub fn registry(&self) -> &StoreRegistry {
+        &self.state.registry
+    }
+
+    /// The query cache (counters are also served on `/healthz`).
+    pub fn cache(&self) -> &QueryCache {
+        &self.state.cache
+    }
+
+    /// Stops accepting, drains the workers and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the acceptor out of `accept()` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Serves one connection: requests in a keep-alive loop until the peer
+/// closes, asks to close, errors, or times out.
+fn handle_connection(
+    state: &ServerState,
+    stream: TcpStream,
+    max_body: usize,
+    read_timeout: Duration,
+) {
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader, &mut writer, max_body) {
+            Ok(ReadOutcome::Request(request)) => {
+                // A panicking handler must cost at most its own request:
+                // without the catch, one panic per worker would silently
+                // drain the whole pool while the acceptor keeps queueing.
+                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    routes::route(state, &request)
+                }))
+                .unwrap_or_else(|_| Response {
+                    status: 500,
+                    body: routes::error_body("internal", "request handler panicked", None),
+                });
+                if http::write_response(&mut writer, &response, request.close).is_err() {
+                    return;
+                }
+                if request.close {
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Closed) => return,
+            Ok(ReadOutcome::Invalid {
+                status,
+                kind,
+                message,
+            }) => {
+                // Protocol-level failure: answer if possible, then drop the
+                // connection (framing may be lost).
+                let body = routes::error_body(kind, &message, None);
+                let _ = http::write_response(&mut writer, &Response { status, body }, true);
+                return;
+            }
+            Err(_) => return, // timeout or broken socket
+        }
+    }
+}

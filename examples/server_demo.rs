@@ -1,0 +1,50 @@
+//! Serving TriAL over HTTP: an in-process `trial-server` round trip.
+//!
+//! Spawns the query service on an ephemeral port, preloads the transport
+//! workload (the scaled Figure 1 network behind the paper's query `Q`), and
+//! issues Example 2 of the paper — plus its EXPLAIN — over real HTTP.
+//!
+//! ```bash
+//! cargo run --example server_demo
+//! ```
+
+use trial::server::{client, preload_workload, Server};
+
+fn main() -> std::io::Result<()> {
+    let server = Server::spawn_ephemeral()?;
+    let addr = server.addr();
+    let store = preload_workload("transport").expect("transport is a known workload");
+    println!(
+        "serving http://{addr}  (store `transport`: {} triples)\n",
+        store.triple_count()
+    );
+    server.registry().set("transport", store);
+
+    // Example 2 of the paper: cities connected by a service, output with the
+    // operating company in the middle —  E ✶^{1,3',3}_{2=1'} E.
+    let example2 = "(E JOIN[1,3',3 | 2=1'] E)";
+
+    println!("POST /explain  {example2}");
+    let explain = client::post(addr, "/explain", example2)?;
+    println!("  -> {}\n", explain.body);
+
+    println!("POST /query    {example2}   (first time: cache miss)");
+    let miss = client::post(addr, "/query?limit=3", example2)?;
+    println!("  -> {}\n", miss.body);
+
+    println!("POST /query    {example2}   (repeat: served from the LRU cache)");
+    let hit = client::post(addr, "/query?limit=3", example2)?;
+    println!("  -> {}\n", hit.body);
+    assert!(hit.body.contains("\"cached\":true"));
+
+    println!("GET  /healthz");
+    let health = client::get(addr, "/healthz")?;
+    println!("  -> {}\n", health.body);
+
+    println!("Equivalent curl session against a standalone server:");
+    println!("  cargo run --release -p trial-server --bin trial-serve -- --preload transport");
+    println!("  curl -s localhost:7878/query -d \"{example2}\"");
+
+    server.shutdown();
+    Ok(())
+}

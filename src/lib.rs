@@ -4,6 +4,30 @@
 //! package exists to host the cross-crate integration tests (`tests/`) and
 //! runnable examples (`examples/`) at the repository root, and re-exports
 //! the member crates for convenience.
+//!
+//! # Serving TriAL over HTTP
+//!
+//! The [`server`] crate wraps the engines in a concurrent HTTP/1.1 query
+//! service (std-only: hand-rolled HTTP and JSON, fixed worker thread pool,
+//! copy-on-write store snapshots, LRU query cache). Start one with a preset
+//! workload:
+//!
+//! ```bash
+//! cargo run --release -p trial-server --bin trial-serve -- --preload transport
+//! ```
+//!
+//! and drive it with curl — request bodies are plain text, responses JSON:
+//!
+//! ```bash
+//! curl -s localhost:7878/query   -d "(E JOIN[1,3',3 | 2=1'] E)"   # evaluate
+//! curl -s localhost:7878/explain -d "STAR(E JOIN[1,2,3' | 3=1'])" # plan only
+//! curl -s "localhost:7878/load?store=mydata" --data-binary @data.nt
+//! curl -s localhost:7878/stores                                   # inventory
+//! curl -s localhost:7878/healthz                                  # counters
+//! ```
+//!
+//! `examples/server_demo.rs` runs the same round trip in-process; the full
+//! endpoint reference is in the [`server`] crate docs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,4 +39,5 @@ pub use trial_graph as graph;
 pub use trial_logic as logic;
 pub use trial_parser as parser;
 pub use trial_rdf as rdf;
+pub use trial_server as server;
 pub use trial_workloads as workloads;
