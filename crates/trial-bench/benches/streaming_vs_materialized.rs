@@ -1,0 +1,215 @@
+//! Streaming cursor pipeline vs. materialize-everything execution.
+//!
+//! Two workload families over a ≥100k-triple random store:
+//!
+//! * **limit-bounded** (`?limit=`-style, limit ≤ 16) — where the pull-based
+//!   pipeline should win by orders of magnitude, because it stops the moment
+//!   the limit is satisfied while the materialized interpreter evaluates the
+//!   full result first;
+//! * **full-result** — where streaming must not regress (acceptance: no
+//!   slowdown beyond 10%), because both modes end up doing the same work.
+//!
+//! Besides the printed report, the bench records medians and speedups in
+//! `BENCH_streaming.json` at the repository root so results ride along with
+//! the code.
+
+use criterion::black_box;
+use std::time::{Duration, Instant};
+use trial_core::{Expr, Triplestore};
+use trial_eval::{Engine, EvalOptions, SmartEngine};
+use trial_parser::parse;
+use trial_workloads::{random_store, RandomStoreConfig};
+
+struct Workload {
+    name: &'static str,
+    query: &'static str,
+    /// `Some(k)` = limit-bounded (streamed with early termination vs.
+    /// materialized-then-truncated), `None` = full result both ways.
+    limit: Option<usize>,
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "limit/scan",
+        query: "E",
+        limit: Some(10),
+    },
+    Workload {
+        name: "limit/join-composition",
+        query: "(E JOIN[1,2,3' | 3=1'] E)",
+        limit: Some(10),
+    },
+    Workload {
+        name: "limit/union-of-joins",
+        query: "((E JOIN[1,2,3' | 3=1'] E) UNION (E JOIN[1,3',3 | 2=1'] E))",
+        limit: Some(16),
+    },
+    Workload {
+        name: "limit/filtered-join",
+        query: "SELECT[1!=3]((E JOIN[1,2,3' | 3=1'] E))",
+        limit: Some(8),
+    },
+    Workload {
+        name: "full/scan",
+        query: "E",
+        limit: None,
+    },
+    Workload {
+        name: "full/selection",
+        query: "SELECT[1=3](E)",
+        limit: None,
+    },
+    Workload {
+        name: "full/join-composition",
+        query: "(E JOIN[1,2,3' | 3=1'] E)",
+        limit: None,
+    },
+    Workload {
+        name: "full/union",
+        query: "(E UNION (E JOIN[1,2,3' | 3=1'] E))",
+        limit: None,
+    },
+];
+
+fn streaming_engine() -> SmartEngine {
+    SmartEngine::new()
+}
+
+fn materialized_engine() -> SmartEngine {
+    SmartEngine::with_options(EvalOptions {
+        streaming: false,
+        ..EvalOptions::default()
+    })
+}
+
+/// Runs one arm of a workload, returning the number of result rows.
+fn run_arm(engine: &SmartEngine, expr: &Expr, store: &Triplestore, limit: Option<usize>) -> usize {
+    match limit {
+        // The streamed arm pulls through the cursor API (early termination);
+        // the materialized arm must evaluate fully before truncating.
+        Some(k) if engine.options.streaming => {
+            let mut stream = engine.stream(expr, store, Some(k)).unwrap();
+            let mut n = 0;
+            while let Some(t) = stream.next_triple() {
+                black_box(t);
+                n += 1;
+            }
+            n
+        }
+        _ => engine
+            .evaluate_limited(expr, store, limit)
+            .unwrap()
+            .result
+            .len(),
+    }
+}
+
+/// One warm-up call, then `samples` timed runs; returns sorted durations.
+fn time_runs(samples: usize, mut f: impl FnMut() -> usize) -> (Vec<Duration>, usize) {
+    let rows = f();
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    (times, rows)
+}
+
+fn median(times: &[Duration]) -> Duration {
+    times[times.len() / 2]
+}
+
+fn main() {
+    // ≥100k triples, sparse enough that the composition join stays a
+    // realistic (sub-second) full-result workload.
+    let config = RandomStoreConfig {
+        objects: 20_000,
+        triples: 100_000,
+        distinct_values: 10,
+        seed: 7,
+    };
+    let store = random_store(&config);
+    let triples = store.triple_count();
+    assert!(triples >= 100_000, "store too small: {triples}");
+    println!(
+        "store: {} objects, {} triples",
+        store.object_count(),
+        triples
+    );
+
+    let streaming = streaming_engine();
+    let materialized = materialized_engine();
+
+    let mut entries = Vec::new();
+    let mut limit_speedups = Vec::new();
+    let mut full_ratios = Vec::new();
+
+    for w in WORKLOADS {
+        let expr = parse(w.query).unwrap();
+        // Correctness cross-check before timing: full results agree.
+        assert_eq!(
+            streaming.run(&expr, &store).unwrap(),
+            materialized.run(&expr, &store).unwrap(),
+            "modes disagree on {}",
+            w.name
+        );
+        let samples = if w.limit.is_some() { 30 } else { 12 };
+        let (s_times, s_rows) = time_runs(samples, || run_arm(&streaming, &expr, &store, w.limit));
+        let (m_times, m_rows) =
+            time_runs(samples, || run_arm(&materialized, &expr, &store, w.limit));
+        assert_eq!(s_rows, m_rows, "row counts diverge on {}", w.name);
+        let (s_med, m_med) = (median(&s_times), median(&m_times));
+        let speedup = m_med.as_secs_f64() / s_med.as_secs_f64().max(1e-12);
+        println!(
+            "{:<28} streaming: {:>12.3?}  materialized: {:>12.3?}  speedup: {:>8.2}x  ({} rows)",
+            w.name, s_med, m_med, speedup, s_rows
+        );
+        if w.limit.is_some() {
+            limit_speedups.push(speedup);
+        } else {
+            full_ratios.push(speedup);
+        }
+        entries.push(format!(
+            concat!(
+                "    {{\"workload\":\"{}\",\"query\":{:?},\"limit\":{},\"rows\":{},",
+                "\"streaming_median_ns\":{},\"materialized_median_ns\":{},",
+                "\"speedup\":{:.3}}}"
+            ),
+            w.name,
+            w.query,
+            w.limit.map(|k| k.to_string()).unwrap_or("null".into()),
+            s_rows,
+            s_med.as_nanos(),
+            m_med.as_nanos(),
+            speedup,
+        ));
+    }
+
+    let min_limit_speedup = limit_speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let min_full_ratio = full_ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "limit-bounded: min speedup {min_limit_speedup:.2}x (acceptance: >=5x) | \
+         full-result: worst streaming/materialized ratio {min_full_ratio:.3} \
+         (acceptance: >=0.9, i.e. no >10% regression)"
+    );
+
+    let json = format!(
+        "{{\n  \"store\": {{\"objects\": {}, \"triples\": {}, \"seed\": {}}},\n  \
+         \"min_limit_bounded_speedup\": {:.3},\n  \
+         \"worst_full_result_ratio\": {:.3},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        store.object_count(),
+        triples,
+        config.seed,
+        min_limit_speedup,
+        min_full_ratio,
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_streaming.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("recorded results in BENCH_streaming.json");
+    }
+}

@@ -25,6 +25,84 @@ use crate::triple::{Triple, TripleSet};
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
+/// A streaming cursor over a contiguous run of a permutation index.
+///
+/// This is the storage-layer primitive behind the pull-based operator
+/// pipeline in `trial-eval`: instead of cloning whole relations (or slices of
+/// them) into intermediate [`TripleSet`]s, executors pull one [`Triple`] at a
+/// time and can stop early — a `LIMIT 10` over a million-triple scan touches
+/// ten triples. The cursor borrows the index, so construction is `O(log n)`
+/// (for bounded runs) and iteration is zero-copy.
+#[derive(Debug, Clone)]
+pub struct RangeCursor<'a> {
+    slice: &'a [Triple],
+    pos: usize,
+}
+
+impl<'a> RangeCursor<'a> {
+    /// Wraps a borrowed run of triples (already in the desired order).
+    pub fn new(slice: &'a [Triple]) -> Self {
+        RangeCursor { slice, pos: 0 }
+    }
+
+    /// Number of triples not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.slice.len() - self.pos
+    }
+
+    /// The not-yet-yielded rest of the run as a borrowed slice.
+    pub fn rest(&self) -> &'a [Triple] {
+        &self.slice[self.pos..]
+    }
+}
+
+impl Iterator for RangeCursor<'_> {
+    type Item = Triple;
+
+    fn next(&mut self) -> Option<Triple> {
+        let t = self.slice.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(t)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RangeCursor<'_> {}
+
+/// A streaming cursor over the edges `from → to` of an [`Adjacency`].
+///
+/// Yields every edge exactly once, grouped by source (the order of sources is
+/// the hash map's iteration order). The per-node counterpart
+/// [`Adjacency::successor_cursor`] drives the Proposition 5 BFS in
+/// `trial-eval`; this whole-graph cursor is the primitive a partitioned
+/// (morsel-driven) reachability walk will consume — see the roadmap's
+/// intra-query parallelism item.
+#[derive(Debug, Clone)]
+pub struct AdjacencyCursor<'a> {
+    outer: std::collections::hash_map::Iter<'a, ObjectId, Vec<ObjectId>>,
+    current: Option<(ObjectId, std::slice::Iter<'a, ObjectId>)>,
+}
+
+impl Iterator for AdjacencyCursor<'_> {
+    type Item = (ObjectId, ObjectId);
+
+    fn next(&mut self) -> Option<(ObjectId, ObjectId)> {
+        loop {
+            if let Some((from, succ)) = &mut self.current {
+                if let Some(&to) = succ.next() {
+                    return Some((*from, to));
+                }
+            }
+            let (&from, succ) = self.outer.next()?;
+            self.current = Some((from, succ.iter()));
+        }
+    }
+}
+
 /// The three sort orders kept per relation, named by which component each
 /// makes the primary key (using RDF vocabulary: Subject/Predicate/Object for
 /// components 1/2/3).
@@ -105,6 +183,22 @@ impl Adjacency {
     pub fn source_count(&self) -> usize {
         self.succ.len()
     }
+
+    /// Streams every edge `from → to` exactly once.
+    pub fn edges(&self) -> AdjacencyCursor<'_> {
+        AdjacencyCursor {
+            outer: self.succ.iter(),
+            current: None,
+        }
+    }
+
+    /// Streams the successors of one node.
+    pub fn successor_cursor(
+        &self,
+        node: ObjectId,
+    ) -> std::iter::Copied<std::slice::Iter<'_, ObjectId>> {
+        self.successors(node).iter().copied()
+    }
 }
 
 /// Per-relation permutation indexes, statistics and adjacency lists.
@@ -177,6 +271,27 @@ impl RelationIndex {
         let start = sorted.partition_point(|t| t.0[component] < value);
         let end = start + sorted[start..].partition_point(|t| t.0[component] == value);
         &sorted[start..end]
+    }
+
+    /// Streams `base` in the given permutation's order without copying.
+    ///
+    /// Equivalent to iterating [`RelationIndex::permutation`], packaged as a
+    /// [`RangeCursor`] so executors can treat full scans and bounded runs
+    /// uniformly.
+    pub fn scan_cursor<'a>(&'a self, base: &'a TripleSet, perm: Permutation) -> RangeCursor<'a> {
+        RangeCursor::new(self.permutation(base, perm))
+    }
+
+    /// Streams all triples of `base` whose 0-based `component` equals
+    /// `value` — the cursor form of [`RelationIndex::matching`]: `O(log
+    /// |base|)` to position, zero-copy to iterate, early-terminatable.
+    pub fn matching_cursor<'a>(
+        &'a self,
+        base: &'a TripleSet,
+        component: usize,
+        value: ObjectId,
+    ) -> RangeCursor<'a> {
+        RangeCursor::new(self.matching(base, component, value))
     }
 
     /// Number of distinct values per component `[|π₁|, |π₂|, |π₃|]` — the
@@ -387,6 +502,53 @@ mod tests {
         assert_eq!(ix2.distinct_counts(base2), [1, 1, 1]);
         // The original store's cached statistics are untouched.
         assert_eq!(ix.distinct_counts(base), [3, 2, 3]);
+    }
+
+    #[test]
+    fn scan_cursors_stream_the_permutations() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        for perm in [Permutation::Spo, Permutation::Pos, Permutation::Osp] {
+            let mut cursor = ix.scan_cursor(base, perm);
+            assert_eq!(cursor.remaining(), base.len());
+            assert_eq!(cursor.len(), base.len());
+            let streamed: Vec<Triple> = cursor.by_ref().collect();
+            assert_eq!(streamed, ix.permutation(base, perm).to_vec());
+            assert_eq!(cursor.remaining(), 0);
+            assert_eq!(cursor.next(), None);
+        }
+    }
+
+    #[test]
+    fn matching_cursors_stream_bounded_runs() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        let a = store.object_id("a").unwrap();
+        let mut cursor = ix.matching_cursor(base, 0, a);
+        assert_eq!(cursor.remaining(), 2);
+        // Early termination: pull one triple, the rest stays borrowed.
+        let first = cursor.next().unwrap();
+        assert_eq!(first.s(), a);
+        assert_eq!(cursor.rest().len(), 1);
+        // A value absent from the component yields an empty cursor.
+        let p = store.object_id("p").unwrap();
+        assert_eq!(ix.matching_cursor(base, 0, p).count(), 0);
+    }
+
+    #[test]
+    fn adjacency_cursor_streams_every_edge_once() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        let adj = ix.adjacency(base);
+        let mut edges: Vec<_> = adj.edges().collect();
+        edges.sort_unstable();
+        let mut expected: Vec<_> = base.iter().map(|t| (t.s(), t.o())).collect();
+        expected.sort_unstable();
+        assert_eq!(edges, expected);
+        // Per-node successor cursor agrees with the slice accessor.
+        let a = store.object_id("a").unwrap();
+        let succ: Vec<_> = adj.successor_cursor(a).collect();
+        assert_eq!(succ, adj.successors(a).to_vec());
     }
 
     #[test]

@@ -1,0 +1,557 @@
+//! Pull-based streaming operators: the cursor half of the executor.
+//!
+//! The materialize-everything interpreter in [`crate::exec`] computes every
+//! intermediate [`TripleSet`] in full, so a `LIMIT 10` over a million-triple
+//! join pays the whole join. This module provides the alternative: each
+//! physical operator is compiled into a [`Cursor`] that yields one
+//! [`Triple`] per [`Cursor::next`] call and performs work only when pulled.
+//! Stopping early (a satisfied limit, a closed connection) abandons the
+//! remaining work for free.
+//!
+//! # Pipeline breakers
+//!
+//! Not every operator can stream. The executor materialises exactly the
+//! inputs that are consumed out of order ([`crate::plan::PlanNode::pipelined`]
+//! is `false` on the operators that own one):
+//!
+//! * **hash-join build sides** — the probe side then streams;
+//! * **nested-loop and difference/intersection right sides** — membership
+//!   probes need the whole set;
+//! * **complement inputs** — the complement then *streams* the universe,
+//!   skipping members, without materialising `adom³`;
+//! * **star fixpoints** — a Kleene closure is not known until it converges;
+//! * **memo slots** — a shared sub-result must exist to be shared.
+//!
+//! Everything else — scans, selections, unions (merging when both inputs are
+//! in canonical order, concatenating otherwise), index nested-loop joins and
+//! hash-join probes, limits — streams.
+//!
+//! # Order and distinctness
+//!
+//! A cursor whose plan node is [`ordered`](crate::plan::PlanNode::ordered)
+//! yields strictly increasing canonical-order triples and is therefore
+//! duplicate-free. Unordered cursors may emit duplicates (joins project,
+//! concatenating unions overlap); duplicates are resolved at the next
+//! materialisation point, by [`LimitCursor`]s (which count *distinct*
+//! triples), or by the final [`QueryStream`] / result-set assembly.
+
+use crate::compile::{project, CompiledConditions};
+use crate::engine::EvalStats;
+use crate::ops::JoinTable;
+use crate::plan::{Plan, PlanNode};
+use std::collections::HashSet;
+use std::sync::Arc;
+use trial_core::{
+    ObjectId, OutputSpec, Pos, RangeCursor, RelationIndex, Triple, TripleSet, Triplestore,
+};
+
+/// A pull-based operator: yields one output triple per call, or `None` once
+/// exhausted. Work counters accrue on the shared [`EvalStats`] exactly when
+/// the work happens, so a partially-drained pipeline reports partial work.
+pub trait Cursor {
+    /// The next output triple, or `None` when the operator is exhausted.
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple>;
+}
+
+/// The boxed form every composite cursor holds its children in.
+pub(crate) type BoxCursor<'a> = Box<dyn Cursor + 'a>;
+
+/// The always-empty cursor.
+pub(crate) struct EmptyCursor;
+
+impl Cursor for EmptyCursor {
+    fn next(&mut self, _stats: &mut EvalStats) -> Option<Triple> {
+        None
+    }
+}
+
+/// Streams a borrowed run of an index permutation (a full relation scan or a
+/// bounded `matching` run), applying residual selection conditions on the
+/// fly. The storage layer's [`RangeCursor`] does the iteration; this adds
+/// condition checks and instrumentation.
+pub(crate) struct ScanCursor<'a> {
+    /// Count scanned/emitted rows — set for indexed runs and filtered scans,
+    /// clear for plain relation passthroughs, mirroring the materialized
+    /// interpreter's instrumentation so both modes report comparable work.
+    pub(crate) instrument: bool,
+    pub(crate) run: RangeCursor<'a>,
+    pub(crate) residual: Option<CompiledConditions>,
+    pub(crate) store: &'a Triplestore,
+}
+
+impl Cursor for ScanCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            let t = self.run.next()?;
+            if self.instrument {
+                stats.triples_scanned += 1;
+            }
+            if let Some(cond) = &self.residual {
+                if !cond.check_single(self.store, &t) {
+                    continue;
+                }
+            }
+            if self.instrument {
+                stats.triples_emitted += 1;
+            }
+            return Some(t);
+        }
+    }
+}
+
+/// Streams an owned, already-materialised [`TripleSet`] (star fixpoints,
+/// pre-computed sub-results). Always ordered.
+pub(crate) struct SetCursor {
+    pub(crate) set: TripleSet,
+    pub(crate) pos: usize,
+}
+
+impl SetCursor {
+    pub(crate) fn new(set: TripleSet) -> Self {
+        SetCursor { set, pos: 0 }
+    }
+}
+
+impl Cursor for SetCursor {
+    fn next(&mut self, _stats: &mut EvalStats) -> Option<Triple> {
+        let t = self.set.as_slice().get(self.pos).copied()?;
+        self.pos += 1;
+        Some(t)
+    }
+}
+
+/// Streams a shared memo slot without cloning the underlying set.
+pub(crate) struct ArcSetCursor {
+    pub(crate) set: Arc<TripleSet>,
+    pub(crate) pos: usize,
+}
+
+impl Cursor for ArcSetCursor {
+    fn next(&mut self, _stats: &mut EvalStats) -> Option<Triple> {
+        let t = self.set.as_slice().get(self.pos).copied()?;
+        self.pos += 1;
+        Some(t)
+    }
+}
+
+/// Filters a child cursor by compiled (left-only) conditions. Preserves the
+/// child's order.
+pub(crate) struct FilterCursor<'a> {
+    pub(crate) input: BoxCursor<'a>,
+    pub(crate) cond: CompiledConditions,
+    pub(crate) store: &'a Triplestore,
+}
+
+impl Cursor for FilterCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            let t = self.input.next(stats)?;
+            stats.triples_scanned += 1;
+            if self.cond.check_single(self.store, &t) {
+                stats.triples_emitted += 1;
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Merge union of two cursors in canonical order: yields the sorted,
+/// duplicate-free union one triple at a time. Requires both inputs ordered.
+pub(crate) struct MergeUnionCursor<'a> {
+    pub(crate) left: BoxCursor<'a>,
+    pub(crate) right: BoxCursor<'a>,
+    pub(crate) l_peek: Option<Triple>,
+    pub(crate) r_peek: Option<Triple>,
+    pub(crate) primed: bool,
+}
+
+impl Cursor for MergeUnionCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        if !self.primed {
+            self.l_peek = self.left.next(stats);
+            self.r_peek = self.right.next(stats);
+            self.primed = true;
+        }
+        let out = match (self.l_peek, self.r_peek) {
+            (None, None) => return None,
+            (Some(l), None) => {
+                self.l_peek = self.left.next(stats);
+                l
+            }
+            (None, Some(r)) => {
+                self.r_peek = self.right.next(stats);
+                r
+            }
+            (Some(l), Some(r)) => match l.cmp(&r) {
+                std::cmp::Ordering::Less => {
+                    self.l_peek = self.left.next(stats);
+                    l
+                }
+                std::cmp::Ordering::Greater => {
+                    self.r_peek = self.right.next(stats);
+                    r
+                }
+                std::cmp::Ordering::Equal => {
+                    self.l_peek = self.left.next(stats);
+                    self.r_peek = self.right.next(stats);
+                    l
+                }
+            },
+        };
+        stats.triples_scanned += 1;
+        Some(out)
+    }
+}
+
+/// Concatenating union for unordered inputs: drains the left cursor, then
+/// the right. May emit duplicates (resolved downstream); fully pipelined.
+pub(crate) struct ChainUnionCursor<'a> {
+    pub(crate) left: BoxCursor<'a>,
+    pub(crate) right: BoxCursor<'a>,
+    pub(crate) on_right: bool,
+}
+
+impl Cursor for ChainUnionCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        if !self.on_right {
+            if let Some(t) = self.left.next(stats) {
+                stats.triples_scanned += 1;
+                return Some(t);
+            }
+            self.on_right = true;
+        }
+        let t = self.right.next(stats)?;
+        stats.triples_scanned += 1;
+        Some(t)
+    }
+}
+
+/// Streams the left input, dropping triples present in the materialised
+/// right set (the difference's **pipeline-breaking** side). Preserves the
+/// left input's order.
+pub(crate) struct DiffCursor<'a> {
+    pub(crate) input: BoxCursor<'a>,
+    pub(crate) rhs: TripleSet,
+}
+
+impl Cursor for DiffCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            let t = self.input.next(stats)?;
+            stats.triples_scanned += 1;
+            if !self.rhs.contains(&t) {
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Streams the left input, keeping triples present in the materialised
+/// right set. Preserves the left input's order.
+pub(crate) struct IntersectCursor<'a> {
+    pub(crate) input: BoxCursor<'a>,
+    pub(crate) rhs: TripleSet,
+}
+
+impl Cursor for IntersectCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            let t = self.input.next(stats)?;
+            stats.triples_scanned += 1;
+            if self.rhs.contains(&t) {
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Lazily enumerates the universal relation `U = adom³` in canonical order
+/// without materialising it. The `max_universe` guard is enforced by the
+/// executor at construction time, so a full drain can never exceed it.
+pub(crate) struct UniverseCursor {
+    pub(crate) adom: Vec<ObjectId>,
+    pub(crate) i: usize,
+    pub(crate) j: usize,
+    pub(crate) k: usize,
+}
+
+impl UniverseCursor {
+    pub(crate) fn new(adom: Vec<ObjectId>) -> Self {
+        UniverseCursor {
+            adom,
+            i: 0,
+            j: 0,
+            k: 0,
+        }
+    }
+
+    fn advance(&mut self) -> Option<Triple> {
+        let n = self.adom.len();
+        if self.i >= n {
+            return None;
+        }
+        let t = Triple::new(self.adom[self.i], self.adom[self.j], self.adom[self.k]);
+        self.k += 1;
+        if self.k == n {
+            self.k = 0;
+            self.j += 1;
+            if self.j == n {
+                self.j = 0;
+                self.i += 1;
+            }
+        }
+        Some(t)
+    }
+}
+
+impl Cursor for UniverseCursor {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        let t = self.advance()?;
+        stats.triples_emitted += 1;
+        Some(t)
+    }
+}
+
+/// Streams `U − e`: the lazily-enumerated universe minus a materialised
+/// input set. Ordered (the universe is) and duplicate-free.
+pub(crate) struct ComplementCursor {
+    pub(crate) universe: UniverseCursor,
+    pub(crate) exclude: TripleSet,
+}
+
+impl Cursor for ComplementCursor {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            let t = self.universe.advance()?;
+            stats.triples_scanned += 1;
+            if !self.exclude.contains(&t) {
+                stats.triples_emitted += 1;
+                return Some(t);
+            }
+        }
+    }
+}
+
+/// Streaming probe phase of a hash join: the build side was materialised
+/// into a [`JoinTable`] at construction; each pulled probe triple is looked
+/// up once and its (condition-checked, projected) matches buffered.
+pub(crate) struct HashJoinCursor<'a> {
+    pub(crate) probe: BoxCursor<'a>,
+    pub(crate) table: JoinTable,
+    pub(crate) output: OutputSpec,
+    pub(crate) cond: CompiledConditions,
+    pub(crate) store: &'a Triplestore,
+    pub(crate) buf: Vec<Triple>,
+    pub(crate) buf_pos: usize,
+}
+
+impl Cursor for HashJoinCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            if self.buf_pos < self.buf.len() {
+                let t = self.buf[self.buf_pos];
+                self.buf_pos += 1;
+                return Some(t);
+            }
+            let l = self.probe.next(stats)?;
+            stats.triples_scanned += 1;
+            self.buf.clear();
+            self.buf_pos = 0;
+            for r in self.table.probe(&l) {
+                stats.pairs_considered += 1;
+                if self.cond.check_pair(self.store, &l, r) {
+                    self.buf.push(project(&l, r, &self.output));
+                    stats.triples_emitted += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Streaming index nested-loop join: pulls outer triples and walks the
+/// matching run of the inner relation's permutation index — no build phase,
+/// no buffering (the run is a borrowed slice of the store's index).
+pub(crate) struct IndexJoinCursor<'a> {
+    pub(crate) outer: BoxCursor<'a>,
+    pub(crate) base: &'a TripleSet,
+    pub(crate) index: &'a RelationIndex,
+    pub(crate) probe: (Pos, Pos),
+    pub(crate) output: OutputSpec,
+    pub(crate) cond: CompiledConditions,
+    pub(crate) store: &'a Triplestore,
+    pub(crate) current: Option<Triple>,
+    pub(crate) run: &'a [Triple],
+    pub(crate) run_pos: usize,
+}
+
+impl Cursor for IndexJoinCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            if let Some(l) = self.current {
+                while self.run_pos < self.run.len() {
+                    let r = &self.run[self.run_pos];
+                    self.run_pos += 1;
+                    stats.pairs_considered += 1;
+                    if self.cond.check_pair(self.store, &l, r) {
+                        stats.triples_emitted += 1;
+                        return Some(project(&l, r, &self.output));
+                    }
+                }
+            }
+            let l = self.outer.next(stats)?;
+            stats.triples_scanned += 1;
+            let value = l.0[self.probe.0.component_index()];
+            self.run = self
+                .index
+                .matching(self.base, self.probe.1.component_index(), value);
+            self.run_pos = 0;
+            self.current = Some(l);
+        }
+    }
+}
+
+/// Streaming nested-loop join: the right side is materialised (breaker),
+/// the left side streams; every pair is inspected.
+pub(crate) struct NestedLoopCursor<'a> {
+    pub(crate) left: BoxCursor<'a>,
+    pub(crate) right: TripleSet,
+    pub(crate) output: OutputSpec,
+    pub(crate) cond: CompiledConditions,
+    pub(crate) store: &'a Triplestore,
+    pub(crate) current: Option<Triple>,
+    pub(crate) r_pos: usize,
+}
+
+impl Cursor for NestedLoopCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            if let Some(l) = self.current {
+                while self.r_pos < self.right.len() {
+                    let r = &self.right.as_slice()[self.r_pos];
+                    self.r_pos += 1;
+                    stats.pairs_considered += 1;
+                    if self.cond.check_pair(self.store, &l, r) {
+                        stats.triples_emitted += 1;
+                        return Some(project(&l, r, &self.output));
+                    }
+                }
+            }
+            let l = self.left.next(stats)?;
+            self.r_pos = 0;
+            self.current = Some(l);
+        }
+    }
+}
+
+/// Emits at most `limit` **distinct** triples of the input, then reports
+/// exhaustion without pulling further — the early-termination point.
+///
+/// Ordered inputs are duplicate-free by construction, so the countdown is
+/// allocation-free; unordered inputs are deduplicated through a seen-set
+/// (bounded by `limit` entries) so duplicates never eat into the budget.
+pub(crate) struct LimitCursor<'a> {
+    pub(crate) input: BoxCursor<'a>,
+    pub(crate) remaining: usize,
+    pub(crate) seen: Option<HashSet<Triple>>,
+}
+
+impl Cursor for LimitCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            if self.remaining == 0 {
+                return None;
+            }
+            let t = self.input.next(stats)?;
+            if let Some(seen) = &mut self.seen {
+                if !seen.insert(t) {
+                    continue;
+                }
+            }
+            self.remaining -= 1;
+            return Some(t);
+        }
+    }
+}
+
+/// A fully-compiled streaming query: the chosen [`Plan`], the root cursor,
+/// and the work counters accumulated so far.
+///
+/// This is the public face of the cursor pipeline, produced by
+/// [`SmartEngine::stream`](crate::SmartEngine::stream): callers pull
+/// *distinct* triples one at a time with [`QueryStream::next_triple`] and may
+/// stop at any point, abandoning all remaining work. The stream borrows the
+/// store (cursors walk its cached permutation indexes zero-copy) but owns
+/// everything else.
+pub struct QueryStream<'a> {
+    plan: Plan,
+    root: BoxCursor<'a>,
+    stats: EvalStats,
+    seen: Option<HashSet<Triple>>,
+}
+
+impl<'a> QueryStream<'a> {
+    pub(crate) fn new(plan: Plan, root: BoxCursor<'a>, stats: EvalStats) -> Self {
+        // Ordered roots are distinct by construction and limit roots
+        // deduplicate internally; everything else needs a seen-set so the
+        // stream's contract (distinct triples) holds.
+        let distinct = plan.root.ordered() || matches!(plan.root, PlanNode::Limit { .. });
+        QueryStream {
+            seen: (!distinct).then(HashSet::new),
+            plan,
+            root,
+            stats,
+        }
+    }
+
+    /// The physical plan the stream executes (e.g. for `explain` output).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Work counters accumulated so far; grows as the stream is pulled.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
+    }
+
+    /// The next distinct result triple, or `None` once the query is
+    /// exhausted (or its limit reached).
+    pub fn next_triple(&mut self) -> Option<Triple> {
+        loop {
+            let t = self.root.next(&mut self.stats)?;
+            if let Some(seen) = &mut self.seen {
+                if !seen.insert(t) {
+                    continue;
+                }
+            }
+            return Some(t);
+        }
+    }
+
+    /// Drains the stream, returning only the number of distinct triples —
+    /// the counting path behind count-only queries. For ordered pipelines
+    /// this allocates no per-row state at all.
+    pub fn count(mut self) -> (u64, EvalStats) {
+        let mut n = 0u64;
+        while self.next_triple().is_some() {
+            n += 1;
+        }
+        (n, self.stats)
+    }
+
+    /// Drains the stream into a [`TripleSet`] (plus final counters).
+    pub fn collect_set(mut self) -> (TripleSet, EvalStats) {
+        let ordered = self.plan.root.ordered();
+        let mut out = Vec::new();
+        // Drain the raw root: a trailing `from_vec` deduplicates more
+        // cheaply than the per-triple seen-set.
+        while let Some(t) = self.root.next(&mut self.stats) {
+            out.push(t);
+        }
+        let set = if ordered {
+            TripleSet::from_sorted_vec(out)
+        } else {
+            TripleSet::from_vec(out)
+        };
+        (set, self.stats)
+    }
+}

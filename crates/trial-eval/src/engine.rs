@@ -90,6 +90,14 @@ pub struct EvalOptions {
     /// rebuilds its hash table, stars included), which is the baseline the
     /// `planned_vs_unplanned` benchmark measures against.
     pub optimize_plans: bool,
+    /// If `true` (default), the [`crate::SmartEngine`] executes plans as a
+    /// pull-based cursor pipeline (see the *Execution model* section of the
+    /// crate docs): operators stream and only genuine pipeline breakers
+    /// materialise, so limit-bounded queries terminate early. When `false`
+    /// every operator materialises its full result — the reference
+    /// interpreter the `streaming_vs_materialized` bench and the
+    /// differential suite compare against.
+    pub streaming: bool,
 }
 
 impl Default for EvalOptions {
@@ -100,6 +108,7 @@ impl Default for EvalOptions {
             use_reach_specialisation: true,
             use_memo: true,
             optimize_plans: true,
+            streaming: true,
         }
     }
 }
@@ -159,6 +168,7 @@ mod tests {
         assert!(opts.use_reach_specialisation);
         assert!(opts.use_memo);
         assert!(opts.optimize_plans);
+        assert!(opts.streaming);
         assert!(opts.max_universe >= 1_000_000);
         assert_eq!(opts.max_fixpoint_rounds, u64::MAX);
     }

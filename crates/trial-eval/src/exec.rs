@@ -1,29 +1,56 @@
-//! The plan executor: interprets a [`PlanNode`] tree against a store.
+//! The plan executor: compiles a [`PlanNode`] tree into a streaming cursor
+//! pipeline, or interprets it with full materialisation.
 //!
 //! This is the only evaluation path of the [`crate::SmartEngine`] — the
 //! logical `Expr` tree is consumed by the planner and never inspected here.
 //! The executor owns the per-query memo slots and threads the shared
 //! [`EvalStats`] counters through every physical operator.
+//!
+//! Two execution modes share the executor:
+//!
+//! * **streaming** (the default) — [`Executor::cursor`] compiles each
+//!   operator into a pull-based [`Cursor`](crate::cursor::Cursor): work
+//!   happens as rows are pulled and stops the moment the consumer stops (a
+//!   satisfied [`PlanNode::Limit`], a closed connection). Pipeline breakers
+//!   (hash-join build sides, difference/intersection right sides, star
+//!   fixpoints, memo slots, complement inputs) are materialised at
+//!   cursor-construction time via [`Executor::materialize`]; everything
+//!   else streams. When a full result must be collected,
+//!   [`Executor::materialize`] runs set-at-a-time operators *above* any
+//!   limit boundary (building a set row-by-row through cursors would tax
+//!   full-result queries for nothing) and switches to cursors beneath it.
+//! * **materialised** ([`Executor::run`], kept as the reference
+//!   implementation behind [`EvalOptions::streaming`]` = false`) — every
+//!   operator computes its full [`TripleSet`] before the parent starts, and
+//!   limits take the canonical prefix of the full result. The differential
+//!   test-suite holds the two modes (and the naive engine) to identical
+//!   results.
 
 use crate::compile::CompiledConditions;
+use crate::cursor::{
+    ArcSetCursor, BoxCursor, ChainUnionCursor, ComplementCursor, DiffCursor, EmptyCursor,
+    FilterCursor, HashJoinCursor, IndexJoinCursor, IntersectCursor, LimitCursor, MergeUnionCursor,
+    NestedLoopCursor, ScanCursor, SetCursor, UniverseCursor,
+};
 use crate::engine::{EvalOptions, EvalStats};
 use crate::ops;
 use crate::plan::{Plan, PlanNode};
 use crate::reach;
 use crate::seminaive::semi_naive_star;
-use trial_core::{Adjacency, Error, Result, TripleSet, Triplestore};
+use std::sync::Arc;
+use trial_core::{Adjacency, Error, Permutation, Result, TripleSet, Triplestore};
 
 /// Interprets plan trees; one instance per top-level evaluation.
 pub(crate) struct Executor<'a> {
     store: &'a Triplestore,
-    options: &'a EvalOptions,
-    memo: Vec<Option<TripleSet>>,
+    options: EvalOptions,
+    memo: Vec<Option<Arc<TripleSet>>>,
 }
 
 impl<'a> Executor<'a> {
     /// Creates an executor with one empty memo slot per [`PlanNode::Memo`]
     /// in the plan.
-    pub(crate) fn new(store: &'a Triplestore, options: &'a EvalOptions, plan: &Plan) -> Self {
+    pub(crate) fn new(store: &'a Triplestore, options: EvalOptions, plan: &Plan) -> Self {
         Executor {
             store,
             options,
@@ -31,8 +58,279 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Executes a plan node, returning its result set.
+    /// Compiles a plan node into a streaming cursor, materialising exactly
+    /// the pipeline-breaking inputs.
+    pub(crate) fn cursor(
+        &mut self,
+        node: &PlanNode,
+        stats: &mut EvalStats,
+    ) -> Result<BoxCursor<'a>> {
+        Ok(match node {
+            PlanNode::IndexScan {
+                relation,
+                bound,
+                residual,
+                ..
+            } => {
+                let (base, index) = self
+                    .store
+                    .relation_with_index(relation)
+                    .ok_or_else(|| Error::UnknownRelation(relation.clone()))?;
+                let run = match bound {
+                    None => index.scan_cursor(base, Permutation::Spo),
+                    Some((component, value)) => index.matching_cursor(base, *component, *value),
+                };
+                let residual = (!residual.is_empty())
+                    .then(|| CompiledConditions::compile(residual, self.store));
+                Box::new(ScanCursor {
+                    // Mirror the materialized interpreter's instrumentation:
+                    // plain relation passthroughs are free, indexed runs and
+                    // filtered scans count their rows.
+                    instrument: bound.is_some() || residual.is_some(),
+                    run,
+                    residual,
+                    store: self.store,
+                })
+            }
+            PlanNode::Universe { .. } => {
+                let adom = ops::universe_domain(self.store, &self.options)?;
+                Box::new(UniverseCursor::new(adom))
+            }
+            PlanNode::Empty => Box::new(EmptyCursor),
+            PlanNode::Filter { input, cond, .. } => {
+                let input = self.cursor(input, stats)?;
+                Box::new(FilterCursor {
+                    input,
+                    cond: CompiledConditions::compile(cond, self.store),
+                    store: self.store,
+                })
+            }
+            PlanNode::HashJoin {
+                left,
+                right,
+                output,
+                cond,
+                keys,
+                ..
+            } => {
+                // Build side: the one genuine materialisation of a hash join.
+                let build = self.materialize(right, stats)?;
+                let table = ops::JoinTable::build(&build, keys, stats);
+                let probe = self.cursor(left, stats)?;
+                stats.joins_executed += 1;
+                Box::new(HashJoinCursor {
+                    probe,
+                    table,
+                    output: *output,
+                    cond: CompiledConditions::compile(cond, self.store),
+                    store: self.store,
+                    buf: Vec::new(),
+                    buf_pos: 0,
+                })
+            }
+            PlanNode::IndexNestedLoopJoin {
+                outer,
+                relation,
+                probe,
+                output,
+                cond,
+                ..
+            } => {
+                let (base, index) = self
+                    .store
+                    .relation_with_index(relation)
+                    .ok_or_else(|| Error::UnknownRelation(relation.clone()))?;
+                let outer = self.cursor(outer, stats)?;
+                stats.joins_executed += 1;
+                Box::new(IndexJoinCursor {
+                    outer,
+                    base,
+                    index,
+                    probe: *probe,
+                    output: *output,
+                    cond: CompiledConditions::compile(cond, self.store),
+                    store: self.store,
+                    current: None,
+                    run: &[],
+                    run_pos: 0,
+                })
+            }
+            PlanNode::NestedLoopJoin {
+                left,
+                right,
+                output,
+                cond,
+                ..
+            } => {
+                let right = self.materialize(right, stats)?;
+                let left = self.cursor(left, stats)?;
+                stats.joins_executed += 1;
+                Box::new(NestedLoopCursor {
+                    left,
+                    right,
+                    output: *output,
+                    cond: CompiledConditions::compile(cond, self.store),
+                    store: self.store,
+                    current: None,
+                    r_pos: 0,
+                })
+            }
+            PlanNode::Union { left, right, .. } => {
+                let l = self.cursor(left, stats)?;
+                let r = self.cursor(right, stats)?;
+                if left.ordered() && right.ordered() {
+                    Box::new(MergeUnionCursor {
+                        left: l,
+                        right: r,
+                        l_peek: None,
+                        r_peek: None,
+                        primed: false,
+                    })
+                } else {
+                    Box::new(ChainUnionCursor {
+                        left: l,
+                        right: r,
+                        on_right: false,
+                    })
+                }
+            }
+            PlanNode::Diff { left, right, .. } => {
+                let rhs = self.materialize(right, stats)?;
+                let input = self.cursor(left, stats)?;
+                Box::new(DiffCursor { input, rhs })
+            }
+            PlanNode::Intersect { left, right, .. } => {
+                let rhs = self.materialize(right, stats)?;
+                let input = self.cursor(left, stats)?;
+                Box::new(IntersectCursor { input, rhs })
+            }
+            PlanNode::Complement { input, .. } => {
+                let exclude = self.materialize(input, stats)?;
+                let adom = ops::universe_domain(self.store, &self.options)?;
+                Box::new(ComplementCursor {
+                    universe: UniverseCursor::new(adom),
+                    exclude,
+                })
+            }
+            PlanNode::StarSemiNaive {
+                input,
+                output,
+                cond,
+                direction,
+                ..
+            } => {
+                let base = self.materialize(input, stats)?;
+                let result = semi_naive_star(
+                    &base,
+                    output,
+                    cond,
+                    *direction,
+                    self.store,
+                    &self.options,
+                    stats,
+                )?;
+                Box::new(SetCursor::new(result))
+            }
+            PlanNode::StarReach {
+                input,
+                same_label,
+                relation,
+                ..
+            } => {
+                let base = self.materialize(input, stats)?;
+                let result = self.star_reach(&base, *same_label, relation.as_deref(), stats)?;
+                Box::new(SetCursor::new(result))
+            }
+            PlanNode::Memo { slot, input } => {
+                let set = match &self.memo[*slot] {
+                    Some(cached) => {
+                        stats.memo_hits += 1;
+                        Arc::clone(cached)
+                    }
+                    None => {
+                        let result = Arc::new(self.materialize(input, stats)?);
+                        self.memo[*slot] = Some(Arc::clone(&result));
+                        result
+                    }
+                };
+                Box::new(ArcSetCursor { set, pos: 0 })
+            }
+            PlanNode::Limit { input, limit, .. } => {
+                if *limit == 0 {
+                    return Ok(Box::new(EmptyCursor));
+                }
+                let seen = (!input.ordered()).then(std::collections::HashSet::new);
+                let input = self.cursor(input, stats)?;
+                Box::new(LimitCursor {
+                    input,
+                    remaining: *limit,
+                    seen,
+                })
+            }
+        })
+    }
+
+    /// Materialises a plan node for the streaming execution mode: set-at-a-
+    /// time operators everywhere **except** under [`PlanNode::Limit`], whose
+    /// subtree is compiled to a cursor pipeline and drained with early
+    /// termination.
+    ///
+    /// This is how pipeline breakers consume their blocking inputs and how
+    /// an unlimited evaluation collects its result: operators whose output
+    /// is naturally a full [`TripleSet`] build it directly (pulling a
+    /// million triples one-by-one through a cursor just to rebuild the set
+    /// would tax full-result queries for no benefit), while a limit boundary
+    /// switches the subtree beneath it to pull-based cursors.
+    pub(crate) fn materialize(
+        &mut self,
+        node: &PlanNode,
+        stats: &mut EvalStats,
+    ) -> Result<TripleSet> {
+        if let PlanNode::Limit { .. } = node {
+            // Streaming limit semantics: the first `limit` distinct triples
+            // the pipeline yields, evaluation stops at the boundary.
+            let ordered = node.ordered();
+            let mut cursor = self.cursor(node, stats)?;
+            // Seed capacity from the estimate, capped so a wild estimate
+            // cannot over-allocate.
+            let mut out = Vec::with_capacity(node.est().min(1 << 16));
+            while let Some(t) = cursor.next(stats) {
+                out.push(t);
+            }
+            return Ok(if ordered {
+                TripleSet::from_sorted_vec(out)
+            } else {
+                TripleSet::from_vec(out)
+            });
+        }
+        self.eval_set(node, stats, true)
+    }
+
+    /// Executes a plan node with full materialisation everywhere, including
+    /// canonical-prefix limits. This is the reference interpreter the
+    /// streaming pipeline is differentially tested against
+    /// ([`EvalOptions::streaming`]` = false`).
     pub(crate) fn run(&mut self, node: &PlanNode, stats: &mut EvalStats) -> Result<TripleSet> {
+        self.eval_set(node, stats, false)
+    }
+
+    /// The set-at-a-time interpreter shared by both execution modes;
+    /// `stream_limits` selects how [`PlanNode::Limit`] subtrees run
+    /// (cursor pipeline with early termination vs. canonical prefix of the
+    /// fully evaluated input).
+    fn eval_set(
+        &mut self,
+        node: &PlanNode,
+        stats: &mut EvalStats,
+        stream_limits: bool,
+    ) -> Result<TripleSet> {
+        let recurse = |this: &mut Self, n: &PlanNode, stats: &mut EvalStats| {
+            if stream_limits {
+                this.materialize(n, stats)
+            } else {
+                this.run(n, stats)
+            }
+        };
         match node {
             PlanNode::IndexScan {
                 relation,
@@ -40,10 +338,10 @@ impl<'a> Executor<'a> {
                 residual,
                 ..
             } => self.index_scan(relation, *bound, residual, stats),
-            PlanNode::Universe { .. } => ops::universe(self.store, self.options, stats),
+            PlanNode::Universe { .. } => ops::universe(self.store, &self.options, stats),
             PlanNode::Empty => Ok(TripleSet::new()),
             PlanNode::Filter { input, cond, .. } => {
-                let input = self.run(input, stats)?;
+                let input = recurse(self, input, stats)?;
                 let cond = CompiledConditions::compile(cond, self.store);
                 Ok(ops::select(&input, &cond, self.store, stats))
             }
@@ -55,8 +353,8 @@ impl<'a> Executor<'a> {
                 keys,
                 ..
             } => {
-                let l = self.run(left, stats)?;
-                let r = self.run(right, stats)?;
+                let l = recurse(self, left, stats)?;
+                let r = recurse(self, right, stats)?;
                 let cond = CompiledConditions::compile(cond, self.store);
                 // Build on the planner's chosen keys so execution always
                 // matches what explain() displays.
@@ -73,7 +371,7 @@ impl<'a> Executor<'a> {
                 cond,
                 ..
             } => {
-                let outer = self.run(outer, stats)?;
+                let outer = recurse(self, outer, stats)?;
                 let (base, index) = self
                     .store
                     .relation_with_index(relation)
@@ -90,34 +388,34 @@ impl<'a> Executor<'a> {
                 cond,
                 ..
             } => {
-                let l = self.run(left, stats)?;
-                let r = self.run(right, stats)?;
+                let l = recurse(self, left, stats)?;
+                let r = recurse(self, right, stats)?;
                 let cond = CompiledConditions::compile(cond, self.store);
                 Ok(ops::nested_loop_join(
                     &l, &r, output, &cond, self.store, stats,
                 ))
             }
             PlanNode::Union { left, right, .. } => {
-                let l = self.run(left, stats)?;
-                let r = self.run(right, stats)?;
+                let l = recurse(self, left, stats)?;
+                let r = recurse(self, right, stats)?;
                 stats.triples_scanned += (l.len() + r.len()) as u64;
                 Ok(l.union(&r))
             }
             PlanNode::Diff { left, right, .. } => {
-                let l = self.run(left, stats)?;
-                let r = self.run(right, stats)?;
+                let l = recurse(self, left, stats)?;
+                let r = recurse(self, right, stats)?;
                 stats.triples_scanned += (l.len() + r.len()) as u64;
                 Ok(l.difference(&r))
             }
             PlanNode::Intersect { left, right, .. } => {
-                let l = self.run(left, stats)?;
-                let r = self.run(right, stats)?;
+                let l = recurse(self, left, stats)?;
+                let r = recurse(self, right, stats)?;
                 stats.triples_scanned += (l.len() + r.len()) as u64;
                 Ok(l.intersection(&r))
             }
             PlanNode::Complement { input, .. } => {
-                let e = self.run(input, stats)?;
-                let u = ops::universe(self.store, self.options, stats)?;
+                let e = recurse(self, input, stats)?;
+                let u = ops::universe(self.store, &self.options, stats)?;
                 stats.triples_scanned += (e.len() + u.len()) as u64;
                 Ok(u.difference(&e))
             }
@@ -128,14 +426,14 @@ impl<'a> Executor<'a> {
                 direction,
                 ..
             } => {
-                let base = self.run(input, stats)?;
+                let base = recurse(self, input, stats)?;
                 semi_naive_star(
                     &base,
                     output,
                     cond,
                     *direction,
                     self.store,
-                    self.options,
+                    &self.options,
                     stats,
                 )
             }
@@ -145,17 +443,28 @@ impl<'a> Executor<'a> {
                 relation,
                 ..
             } => {
-                let base = self.run(input, stats)?;
+                let base = recurse(self, input, stats)?;
                 self.star_reach(&base, *same_label, relation.as_deref(), stats)
             }
             PlanNode::Memo { slot, input } => {
                 if let Some(cached) = &self.memo[*slot] {
                     stats.memo_hits += 1;
-                    return Ok(cached.clone());
+                    return Ok((**cached).clone());
                 }
-                let result = self.run(input, stats)?;
-                self.memo[*slot] = Some(result.clone());
+                let result = recurse(self, input, stats)?;
+                self.memo[*slot] = Some(Arc::new(result.clone()));
                 Ok(result)
+            }
+            PlanNode::Limit { input, limit, .. } => {
+                // Materialised limit semantics: the canonical prefix — the
+                // `limit` smallest triples of the (sorted) full result.
+                let result = recurse(self, input, stats)?;
+                if result.len() <= *limit {
+                    return Ok(result);
+                }
+                Ok(TripleSet::from_sorted_vec(
+                    result.into_vec().into_iter().take(*limit).collect(),
+                ))
             }
         }
     }

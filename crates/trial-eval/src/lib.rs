@@ -53,6 +53,38 @@
 //! The `examples/explain.rs` example at the repository root walks the
 //! paper's running queries and prints each plan next to its work counters.
 //!
+//! # Execution model
+//!
+//! Plans execute as a **pull-based cursor pipeline** ([`cursor`]): every
+//! physical operator is compiled into a [`Cursor`] that yields one triple
+//! per pull and performs work only when pulled. The paper's Theorem 3 prices
+//! evaluation per triple produced, and the pipeline makes that price real —
+//! a consumer that stops after ten triples pays for ten triples, not for the
+//! full intermediate relations.
+//!
+//! **Streaming operators** (first row costs O(1) beyond their children):
+//! index scans (over the store's cached SPO/POS/OSP permutation runs,
+//! zero-copy), selections, unions (merging when both inputs stream in
+//! canonical order, concatenating otherwise), hash-join *probe* sides,
+//! index nested-loop joins, complements (the universe `adom³` is enumerated
+//! lazily), and limits.
+//!
+//! **Pipeline breakers** (materialise an input before the first row):
+//! hash-join *build* sides, nested-loop / difference / intersection *right*
+//! sides, complement inputs, Kleene-star fixpoints, and memo slots.
+//! [`PlanNode::pipelined`] exposes the distinction and `explain()` tags
+//! every node `[pipelined]` or `[breaker]`.
+//!
+//! **Limit pushdown** ([`plan_limited`]): a result-cardinality bound becomes
+//! a [`PlanNode::Limit`] that folds into nested limits and distributes
+//! through unions; the streaming executor then terminates the entire
+//! pipeline after `k` *distinct* triples. Constant selections likewise
+//! distribute through union/difference/intersection down to index-scan
+//! bindings. [`SmartEngine::stream`] is the pull-based entry point
+//! ([`QueryStream`]); `EvalOptions { streaming: false, .. }` restores the
+//! materialize-everything reference interpreter that the differential suite
+//! and the `streaming_vs_materialized` benchmark compare against.
+//!
 //! # Instrumentation
 //!
 //! Every evaluation returns an [`Evaluation`] bundling the result
@@ -83,6 +115,7 @@
 #![warn(missing_docs)]
 
 pub mod compile;
+pub mod cursor;
 pub mod engine;
 pub mod exec;
 pub mod naive;
@@ -92,10 +125,11 @@ pub mod planner;
 pub mod reach;
 pub mod seminaive;
 
+pub use cursor::{Cursor, QueryStream};
 pub use engine::{Engine, EvalOptions, EvalStats, Evaluation};
 pub use naive::NaiveEngine;
 pub use plan::{Plan, PlanNode};
-pub use planner::{evaluate, evaluate_with, explain, SmartEngine};
+pub use planner::{evaluate, evaluate_with, explain, plan_limited, SmartEngine};
 
 // Compile-time thread-safety contract: `trial-server` evaluates queries with
 // a shared `SmartEngine` from many worker threads and caches `Plan`s keyed by

@@ -126,6 +126,17 @@ impl JoinTable {
     pub fn is_empty(&self) -> bool {
         self.table.is_empty()
     }
+
+    /// All build-side triples whose key columns match `left`'s — one hash
+    /// lookup, borrowed result. This is the probe primitive shared by the
+    /// materialised [`hash_join_probe`] and the streaming
+    /// [`crate::cursor::Cursor`] pipeline.
+    pub fn probe(&self, left: &Triple) -> &[Triple] {
+        self.table
+            .get(&key_of(left, &self.left_components))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
 }
 
 /// Probe phase of a hash join: streams `left` against a pre-built
@@ -142,23 +153,15 @@ pub fn hash_join_probe(
     let mut out = Vec::with_capacity(left.len());
     for l in left.iter() {
         stats.triples_scanned += 1;
-        if let Some(matches) = table.get(&key_of(l, &table.left_components)) {
-            for r in matches {
-                stats.pairs_considered += 1;
-                if cond.check_pair(store, l, r) {
-                    out.push(project(l, r, output));
-                    stats.triples_emitted += 1;
-                }
+        for r in table.probe(l) {
+            stats.pairs_considered += 1;
+            if cond.check_pair(store, l, r) {
+                out.push(project(l, r, output));
+                stats.triples_emitted += 1;
             }
         }
     }
     TripleSet::from_vec(out)
-}
-
-impl JoinTable {
-    fn get(&self, key: &JoinKey) -> Option<&Vec<Triple>> {
-        self.table.get(key)
-    }
 }
 
 /// Hash join keyed on the cross equalities of `θ` (build + probe in one
@@ -217,13 +220,11 @@ pub fn index_nested_loop_join(
     TripleSet::from_vec(out)
 }
 
-/// Materialises the universal relation `U = adom³` over the store's active
-/// domain, guarding against blow-up with `options.max_universe`.
-pub fn universe(
-    store: &Triplestore,
-    options: &EvalOptions,
-    stats: &mut EvalStats,
-) -> Result<TripleSet> {
+/// The store's active domain, checked against `options.max_universe`: the
+/// guard shared by the materialising [`universe`] and the streaming
+/// universe/complement cursors (which enumerate `adom³` lazily but must
+/// still refuse queries whose full drain would exceed the cap).
+pub fn universe_domain(store: &Triplestore, options: &EvalOptions) -> Result<Vec<ObjectId>> {
     let adom = store.active_domain();
     let n = adom.len();
     let total = n.saturating_mul(n).saturating_mul(n);
@@ -234,6 +235,19 @@ pub fn universe(
             options.max_universe
         )));
     }
+    Ok(adom)
+}
+
+/// Materialises the universal relation `U = adom³` over the store's active
+/// domain, guarding against blow-up with `options.max_universe`.
+pub fn universe(
+    store: &Triplestore,
+    options: &EvalOptions,
+    stats: &mut EvalStats,
+) -> Result<TripleSet> {
+    let adom = universe_domain(store, options)?;
+    let n = adom.len();
+    let total = n.saturating_mul(n).saturating_mul(n);
     let mut out = Vec::with_capacity(total);
     for &a in &adom {
         for &b in &adom {

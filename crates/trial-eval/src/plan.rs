@@ -8,16 +8,21 @@
 //! [`Expr`](trial_core::Expr) tree is never pattern-matched on the execution
 //! path.
 //!
-//! [`Plan::explain`] renders the tree in the usual `EXPLAIN` style:
+//! Each node also carries **pipeline metadata** consumed by the streaming
+//! executor: [`PlanNode::ordered`] (output streams in canonical order, hence
+//! duplicate-free) and [`PlanNode::pipelined`] (`false` marks a pipeline
+//! breaker that materialises an input before emitting its first row).
+//! [`Plan::explain`] renders the tree in the usual `EXPLAIN` style, tagging
+//! every operator with its pipeline behaviour:
 //!
 //! ```text
-//! Union  (~10 rows)
-//! ├─ Memo #0
-//! │  ╰─ HashJoin [1,3',3 | 2=1'] build=right  (~7 rows)
-//! │     ├─ IndexScan E  (7 rows)
-//! │     ╰─ IndexScan E  (7 rows)
-//! ╰─ StarReach plain on E  (~49 rows)
-//!    ╰─ IndexScan E  (7 rows)
+//! Union  (~10 rows) [pipelined]
+//! ├─ Memo #0 [breaker]
+//! │  ╰─ HashJoin [1,3',3 | 2=1'] build=right  (~7 rows) [breaker]
+//! │     ├─ IndexScan E  (7 rows) [pipelined]
+//! │     ╰─ IndexScan E  (7 rows) [pipelined]
+//! ╰─ StarReach plain on E  (~49 rows) [breaker]
+//!    ╰─ IndexScan E  (7 rows) [pipelined]
 //! ```
 
 use std::fmt;
@@ -177,6 +182,21 @@ pub enum PlanNode {
         /// Plan for the shared sub-expression.
         input: Box<PlanNode>,
     },
+    /// Emit at most `limit` **distinct** triples of the input, then stop
+    /// pulling — the early-termination point of the streaming executor.
+    ///
+    /// The planner pushes limits down through order-preserving operators
+    /// (nested limits fold, union children are limited individually); a limit
+    /// directly above a pipelined subtree bounds the number of rows the
+    /// whole subtree ever produces.
+    Limit {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Maximum number of distinct output triples.
+        limit: usize,
+        /// Estimated output rows (`min(input estimate, limit)`).
+        est: usize,
+    },
 }
 
 impl PlanNode {
@@ -195,8 +215,70 @@ impl PlanNode {
             | PlanNode::Intersect { est, .. }
             | PlanNode::Complement { est, .. }
             | PlanNode::StarSemiNaive { est, .. }
-            | PlanNode::StarReach { est, .. } => *est,
+            | PlanNode::StarReach { est, .. }
+            | PlanNode::Limit { est, .. } => *est,
             PlanNode::Memo { input, .. } => input.est(),
+        }
+    }
+
+    /// `true` if this operator's output streams in strictly increasing
+    /// canonical (SPO) order — and is therefore duplicate-free.
+    ///
+    /// Ordered streams unlock merge unions, allocation-free distinct counting
+    /// and limit enforcement without a seen-set; the streaming executor
+    /// consults this at cursor-compilation time and `explain` surfaces it as
+    /// part of the pipeline metadata.
+    pub fn ordered(&self) -> bool {
+        match self {
+            // The SPO permutation (and any of its contiguous runs) is the
+            // canonical order; runs of POS/OSP interleave arbitrarily.
+            PlanNode::IndexScan { bound, .. } => {
+                bound.map(|(component, _)| component == 0).unwrap_or(true)
+            }
+            // Lexicographic loops over the sorted active domain.
+            PlanNode::Universe { .. } | PlanNode::Empty => true,
+            // Filtering preserves order; so do streamed set operations on
+            // their left (streamed) side.
+            PlanNode::Filter { input, .. } | PlanNode::Limit { input, .. } => input.ordered(),
+            PlanNode::Diff { left, .. } | PlanNode::Intersect { left, .. } => left.ordered(),
+            // A union merges (ordered) only when both inputs are ordered;
+            // otherwise it concatenates.
+            PlanNode::Union { left, right, .. } => left.ordered() && right.ordered(),
+            // The universe streams in canonical order and removal preserves it.
+            PlanNode::Complement { .. } => true,
+            // Projection scrambles join outputs.
+            PlanNode::HashJoin { .. }
+            | PlanNode::IndexNestedLoopJoin { .. }
+            | PlanNode::NestedLoopJoin { .. } => false,
+            // Fixpoints and memo slots materialise into sorted `TripleSet`s.
+            PlanNode::StarSemiNaive { .. } | PlanNode::StarReach { .. } | PlanNode::Memo { .. } => {
+                true
+            }
+        }
+    }
+
+    /// `true` if this operator emits rows incrementally as its inputs are
+    /// pulled; `false` if it is a **pipeline breaker** that must fully
+    /// consume at least one input before emitting its first row (hash-join
+    /// build sides, nested-loop and difference/intersection right sides,
+    /// complement inputs, star fixpoints, memo slots).
+    pub fn pipelined(&self) -> bool {
+        match self {
+            PlanNode::IndexScan { .. }
+            | PlanNode::Universe { .. }
+            | PlanNode::Empty
+            | PlanNode::Filter { .. }
+            | PlanNode::Union { .. }
+            | PlanNode::IndexNestedLoopJoin { .. }
+            | PlanNode::Limit { .. } => true,
+            PlanNode::HashJoin { .. }
+            | PlanNode::NestedLoopJoin { .. }
+            | PlanNode::Diff { .. }
+            | PlanNode::Intersect { .. }
+            | PlanNode::Complement { .. }
+            | PlanNode::StarSemiNaive { .. }
+            | PlanNode::StarReach { .. }
+            | PlanNode::Memo { .. } => false,
         }
     }
 
@@ -208,7 +290,8 @@ impl PlanNode {
             | PlanNode::Complement { input, .. }
             | PlanNode::StarSemiNaive { input, .. }
             | PlanNode::StarReach { input, .. }
-            | PlanNode::Memo { input, .. } => vec![input],
+            | PlanNode::Memo { input, .. }
+            | PlanNode::Limit { input, .. } => vec![input],
             PlanNode::HashJoin { left, right, .. }
             | PlanNode::NestedLoopJoin { left, right, .. }
             | PlanNode::Union { left, right, .. }
@@ -228,7 +311,7 @@ impl PlanNode {
                 format!("[{output} | {cond}]")
             }
         }
-        match self {
+        let mut label = match self {
             PlanNode::IndexScan {
                 relation,
                 bound,
@@ -315,7 +398,14 @@ impl PlanNode {
                 }
             }
             PlanNode::Memo { slot, .. } => format!("Memo #{slot}"),
-        }
+            PlanNode::Limit { limit, est, .. } => format!("Limit {limit}  (~{est} rows)"),
+        };
+        label.push_str(if self.pipelined() {
+            " [pipelined]"
+        } else {
+            " [breaker]"
+        });
+        label
     }
 
     fn render(&self, out: &mut String, prefix: &str, is_last: Option<bool>) {
@@ -481,6 +571,77 @@ mod tests {
             // The tree rendering of a node always starts with its label.
             assert!(node.explain().starts_with(&label));
         }
+    }
+
+    #[test]
+    fn pipeline_metadata_is_reported() {
+        let scan_node = scan("E", 7);
+        assert!(scan_node.ordered());
+        assert!(scan_node.pipelined());
+        // A scan bound through POS/OSP interleaves; bound through SPO stays
+        // canonical.
+        let bound_pos = PlanNode::IndexScan {
+            relation: "E".into(),
+            bound: Some((1, trial_core::ObjectId(3))),
+            residual: Conditions::new(),
+            est: 2,
+        };
+        assert!(!bound_pos.ordered());
+        let bound_spo = PlanNode::IndexScan {
+            relation: "E".into(),
+            bound: Some((0, trial_core::ObjectId(3))),
+            residual: Conditions::new(),
+            est: 2,
+        };
+        assert!(bound_spo.ordered());
+        // Joins scramble order and break the pipeline on their build side.
+        let join = PlanNode::HashJoin {
+            left: Box::new(scan("E", 7)),
+            right: Box::new(scan("E", 7)),
+            output: output(Pos::L1, Pos::R3, Pos::L3),
+            cond: Conditions::new().obj_eq(Pos::L2, Pos::R1),
+            keys: vec![(Pos::L2, Pos::R1)],
+            swapped: false,
+            est: 7,
+        };
+        assert!(!join.ordered());
+        assert!(!join.pipelined());
+        assert!(join.label().contains("[breaker]"));
+        // Union of ordered inputs merges (ordered); over a join it chains.
+        let ordered_union = PlanNode::Union {
+            left: Box::new(scan("E", 7)),
+            right: Box::new(scan("F", 3)),
+            est: 10,
+        };
+        assert!(ordered_union.ordered());
+        assert!(ordered_union.pipelined());
+        let chained_union = PlanNode::Union {
+            left: Box::new(join.clone()),
+            right: Box::new(scan("F", 3)),
+            est: 10,
+        };
+        assert!(!chained_union.ordered());
+        assert!(chained_union.pipelined());
+        // Limits inherit ordering and never break the pipeline.
+        let limit = PlanNode::Limit {
+            input: Box::new(join),
+            limit: 5,
+            est: 5,
+        };
+        assert!(!limit.ordered());
+        assert!(limit.pipelined());
+        assert_eq!(limit.est(), 5);
+        assert!(limit.label().starts_with("Limit 5"));
+        assert_eq!(limit.children().len(), 1);
+        // Stars and memo slots materialise: ordered but breaking.
+        let star = PlanNode::StarReach {
+            input: Box::new(scan("E", 7)),
+            same_label: false,
+            relation: Some("E".into()),
+            est: 49,
+        };
+        assert!(star.ordered());
+        assert!(!star.pipelined());
     }
 
     #[test]

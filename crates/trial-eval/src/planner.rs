@@ -32,6 +32,7 @@
 //! points used by examples, tests and downstream crates; [`explain`] renders
 //! the chosen plan without running it.
 
+use crate::cursor::QueryStream;
 use crate::engine::{Engine, EvalOptions, EvalStats, Evaluation};
 use crate::exec::Executor;
 use crate::plan::{Plan, PlanNode};
@@ -64,6 +65,70 @@ impl SmartEngine {
     pub fn plan(&self, expr: &Expr, store: &Triplestore) -> Result<Plan> {
         plan(expr, store, &self.options)
     }
+
+    /// Plans `expr` with a result-cardinality limit pushed into the plan
+    /// (see [`plan_limited`]). `None` plans for the full result.
+    pub fn plan_limited(
+        &self,
+        expr: &Expr,
+        store: &Triplestore,
+        limit: Option<usize>,
+    ) -> Result<Plan> {
+        plan_limited(expr, store, &self.options, limit)
+    }
+
+    /// Evaluates `expr` with a limit pushed into the physical plan: at most
+    /// `limit` distinct triples are returned (`None` = unlimited).
+    ///
+    /// With streaming execution (the default) the result is the first
+    /// `limit` distinct triples the cursor pipeline yields, and evaluation
+    /// terminates the moment the limit is reached. With
+    /// [`EvalOptions::streaming`]` = false` the full result is materialised
+    /// and the **canonical prefix** (the `limit` smallest triples) is
+    /// returned — the deterministic reference the differential suite checks
+    /// streamed limits against.
+    pub fn evaluate_limited(
+        &self,
+        expr: &Expr,
+        store: &Triplestore,
+        limit: Option<usize>,
+    ) -> Result<Evaluation> {
+        let plan = self.plan_limited(expr, store, limit)?;
+        let mut stats = EvalStats::new();
+        let mut executor = Executor::new(store, self.options, &plan);
+        let result = if self.options.streaming {
+            // `materialize` runs the streaming pipeline but lets operators
+            // whose output is naturally a set (scans, set ops, stars) build
+            // it directly — full-result evaluations stay at materialized
+            // speed while limited subtrees still terminate early.
+            executor.materialize(&plan.root, &mut stats)?
+        } else {
+            executor.run(&plan.root, &mut stats)?
+        };
+        Ok(Evaluation { result, stats })
+    }
+
+    /// Compiles `expr` into a streaming [`QueryStream`] over `store`,
+    /// optionally bounded to `limit` distinct result triples.
+    ///
+    /// This is the pull-based entry point: pipeline breakers (hash-join
+    /// build sides, star fixpoints, difference right sides, memo slots) run
+    /// at compile time, everything else runs as the caller pulls. Dropping
+    /// the stream abandons all remaining work, so a bounded consumer pays
+    /// for the triples it reads, not for the full result — the behaviour the
+    /// `streaming_vs_materialized` benchmark quantifies.
+    pub fn stream<'s>(
+        &self,
+        expr: &Expr,
+        store: &'s Triplestore,
+        limit: Option<usize>,
+    ) -> Result<QueryStream<'s>> {
+        let plan = self.plan_limited(expr, store, limit)?;
+        let mut stats = EvalStats::new();
+        let mut executor = Executor::new(store, self.options, &plan);
+        let root = executor.cursor(&plan.root, &mut stats)?;
+        Ok(QueryStream::new(plan, root, stats))
+    }
 }
 
 impl Engine for SmartEngine {
@@ -72,11 +137,7 @@ impl Engine for SmartEngine {
     }
 
     fn evaluate(&self, expr: &Expr, store: &Triplestore) -> Result<Evaluation> {
-        let plan = self.plan(expr, store)?;
-        let mut stats = EvalStats::new();
-        let mut executor = Executor::new(store, &self.options, &plan);
-        let result = executor.run(&plan.root, &mut stats)?;
-        Ok(Evaluation { result, stats })
+        self.evaluate_limited(expr, store, None)
     }
 }
 
@@ -110,6 +171,69 @@ pub fn plan(expr: &Expr, store: &Triplestore, options: &EvalOptions) -> Result<P
         root,
         memo_slots: planner.slots.len(),
     })
+}
+
+/// Builds the physical plan for `expr` with a [`PlanNode::Limit`] pushed as
+/// deep as set semantics allow (`None` = unlimited, identical to [`plan`]).
+///
+/// Pushdown rules:
+///
+/// * nested limits fold to the smaller bound;
+/// * a limit distributes through **union** — `limitₖ(a ∪ b)` needs at most
+///   `k` distinct triples from each input (if either child limit truncated,
+///   the outer limit is what stops the merge; if neither did, the union is
+///   complete) — so both children are limited and the union stays wrapped;
+/// * a limit of `0` folds the subtree to [`PlanNode::Empty`];
+/// * everything else keeps the limit **above** it: limits never cross
+///   filters, joins, differences or stars (those need to see rows the limit
+///   would cut), but the streaming executor still terminates them early
+///   because the limit stops *pulling*.
+pub fn plan_limited(
+    expr: &Expr,
+    store: &Triplestore,
+    options: &EvalOptions,
+    limit: Option<usize>,
+) -> Result<Plan> {
+    let mut plan = plan(expr, store, options)?;
+    if let Some(k) = limit {
+        plan.root = push_limit(plan.root, k);
+    }
+    Ok(plan)
+}
+
+/// Rewrites `node` so at most `k` distinct triples are ever produced.
+fn push_limit(node: PlanNode, k: usize) -> PlanNode {
+    if k == 0 {
+        return PlanNode::Empty;
+    }
+    match node {
+        PlanNode::Empty => PlanNode::Empty,
+        PlanNode::Limit { input, limit, .. } => push_limit(*input, k.min(limit)),
+        PlanNode::Union { left, right, .. } => {
+            let left = push_limit(*left, k);
+            let right = push_limit(*right, k);
+            let est = left.est().saturating_add(right.est()).min(k);
+            limit_over(
+                PlanNode::Union {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    est,
+                },
+                k,
+            )
+        }
+        other => limit_over(other, k),
+    }
+}
+
+/// Wraps a node in a [`PlanNode::Limit`] of `k`.
+fn limit_over(input: PlanNode, k: usize) -> PlanNode {
+    let est = input.est().min(k);
+    PlanNode::Limit {
+        input: Box::new(input),
+        limit: k,
+        est,
+    }
 }
 
 /// Sub-expressions worth a memo slot: anything that performs work.
@@ -297,6 +421,43 @@ impl Planner<'_> {
             return input;
         }
         if self.optimize() {
+            // Selections distribute through the order-preserving set
+            // operations — σ(a ∪ b) = σ(a) ∪ σ(b), σ(a − b) = σ(a) − σ(b),
+            // σ(a ∩ b) = σ(a) ∩ σ(b) — which carries constant equalities all
+            // the way down to the index scans on both sides.
+            match input {
+                PlanNode::Union { left, right, .. } => {
+                    let left = self.attach_selection(*left, cond.clone());
+                    let right = self.attach_selection(*right, cond);
+                    let est = left.est().saturating_add(right.est());
+                    return PlanNode::Union {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        est,
+                    };
+                }
+                PlanNode::Diff { left, right, .. } => {
+                    let left = self.attach_selection(*left, cond.clone());
+                    let right = self.attach_selection(*right, cond);
+                    let est = left.est();
+                    return PlanNode::Diff {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        est,
+                    };
+                }
+                PlanNode::Intersect { left, right, .. } => {
+                    let left = self.attach_selection(*left, cond.clone());
+                    let right = self.attach_selection(*right, cond);
+                    let est = left.est().min(right.est());
+                    return PlanNode::Intersect {
+                        left: Box::new(left),
+                        right: Box::new(right),
+                        est,
+                    };
+                }
+                _ => {}
+            }
             if let PlanNode::IndexScan {
                 relation,
                 bound: None,
@@ -361,6 +522,16 @@ impl Planner<'_> {
                         est: est.max(1),
                     };
                 }
+                // No bindable constant: fold the whole selection into the
+                // scan's residual — one filtered pass over the relation
+                // instead of a scan followed by a Filter operator.
+                let est = selectivity_est(*est, &cond);
+                return PlanNode::IndexScan {
+                    relation: relation.clone(),
+                    bound: None,
+                    residual: cond.and(residual.clone()),
+                    est: est.max(1),
+                };
             }
             // Merge stacked filters produced by earlier planning stages.
             if let PlanNode::Filter {
@@ -852,6 +1023,145 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn streaming_and_materialized_execution_agree() {
+        let store = figure1();
+        let streaming = SmartEngine::new();
+        let materialized = SmartEngine::with_options(EvalOptions {
+            streaming: false,
+            ..EvalOptions::default()
+        });
+        for expr in expression_zoo() {
+            let a = streaming.run(&expr, &store).unwrap();
+            let b = materialized.run(&expr, &store).unwrap();
+            assert_eq!(a, b, "execution modes disagree on {expr}");
+        }
+    }
+
+    #[test]
+    fn limits_push_through_unions_and_fold() {
+        let store = figure1();
+        let q = Expr::rel("E").union(queries::example2("E"));
+        let plan = SmartEngine::new()
+            .plan_limited(&q, &store, Some(2))
+            .unwrap();
+        // Limit(2) over the union, and each union child individually limited.
+        let PlanNode::Limit {
+            input, limit: 2, ..
+        } = &plan.root
+        else {
+            panic!("expected a root Limit, got:\n{}", plan.root.explain());
+        };
+        let PlanNode::Union { left, right, .. } = &**input else {
+            panic!(
+                "expected a Union under the Limit, got:\n{}",
+                input.explain()
+            );
+        };
+        assert!(matches!(&**left, PlanNode::Limit { limit: 2, .. }));
+        assert!(matches!(&**right, PlanNode::Limit { limit: 2, .. }));
+        // Limit 0 folds the whole tree to Empty.
+        let empty = SmartEngine::new()
+            .plan_limited(&q, &store, Some(0))
+            .unwrap();
+        assert_eq!(empty.root, PlanNode::Empty);
+        // No limit plans identically to plan().
+        let unlimited = SmartEngine::new().plan_limited(&q, &store, None).unwrap();
+        assert_eq!(unlimited, SmartEngine::new().plan(&q, &store).unwrap());
+    }
+
+    #[test]
+    fn streams_deliver_distinct_triples_and_stop_at_the_limit() {
+        let store = figure1();
+        let engine = SmartEngine::new();
+        for expr in expression_zoo() {
+            let full = engine.run(&expr, &store).unwrap();
+            for limit in [0usize, 1, 3, usize::MAX] {
+                let mut stream = engine.stream(&expr, &store, Some(limit)).unwrap();
+                let mut got = Vec::new();
+                while let Some(t) = stream.next_triple() {
+                    got.push(t);
+                }
+                let expected = full.len().min(limit);
+                assert_eq!(got.len(), expected, "wrong row count for {expr} @ {limit}");
+                // Distinct and a subset of the full result.
+                let as_set: trial_core::TripleSet = got.iter().copied().collect();
+                assert_eq!(as_set.len(), got.len(), "duplicates streamed for {expr}");
+                assert!(got.iter().all(|t| full.contains(t)));
+            }
+            // An unlimited stream reproduces the full result exactly.
+            let (set, _) = engine.stream(&expr, &store, None).unwrap().collect_set();
+            assert_eq!(set, full, "unlimited stream diverges on {expr}");
+        }
+    }
+
+    #[test]
+    fn bounded_streams_skip_work() {
+        let store = figure1();
+        let engine = SmartEngine::new();
+        let q = queries::example2("E");
+        let full = engine.evaluate(&q, &store).unwrap();
+        let mut stream = engine.stream(&q, &store, Some(1)).unwrap();
+        assert!(stream.next_triple().is_some());
+        assert!(
+            stream.stats().work() < full.stats.work(),
+            "bounded stream should do strictly less work ({} vs {})",
+            stream.stats().work(),
+            full.stats.work()
+        );
+        // Counting drains everything without building a result set.
+        let (count, _) = engine.stream(&q, &store, None).unwrap().count();
+        assert_eq!(count as usize, full.result.len());
+    }
+
+    #[test]
+    fn selections_push_through_set_operations() {
+        let store = figure1();
+        let cond = Conditions::new().obj_eq_const(trial_core::Pos::L2, "part_of");
+        let q = Expr::rel("E").union(Expr::rel("E")).select(cond.clone());
+        let plan = SmartEngine::new().plan(&q, &store).unwrap();
+        // The selection reaches both scans as index bindings.
+        let PlanNode::Union { left, right, .. } = &plan.root else {
+            panic!("expected Union at the root, got:\n{}", plan.root.explain());
+        };
+        for side in [&**left, &**right] {
+            assert!(
+                matches!(side, PlanNode::IndexScan { bound: Some(_), .. }),
+                "expected a bound IndexScan, got:\n{}",
+                side.explain()
+            );
+        }
+        let smart = SmartEngine::new().run(&q, &store).unwrap();
+        let naive = NaiveEngine::new().run(&q, &store).unwrap();
+        assert_eq!(smart, naive);
+        // Same law for difference and intersection.
+        for q in [
+            Expr::rel("E")
+                .minus(queries::example2("E"))
+                .select(cond.clone()),
+            Expr::rel("E")
+                .intersect(queries::example2("E"))
+                .select(cond.clone()),
+        ] {
+            let smart = SmartEngine::new().run(&q, &store).unwrap();
+            let naive = NaiveEngine::new().run(&q, &store).unwrap();
+            assert_eq!(smart, naive, "pushdown broke {q}");
+        }
+    }
+
+    #[test]
+    fn explain_marks_pipeline_boundaries() {
+        let store = figure1();
+        let q = queries::example2("E").union(queries::reach_forward("E"));
+        let plan = SmartEngine::new()
+            .plan_limited(&q, &store, Some(5))
+            .unwrap();
+        let text = plan.explain();
+        assert!(text.contains("Limit 5"), "{text}");
+        assert!(text.contains("[pipelined]"), "{text}");
+        assert!(text.contains("[breaker]"), "{text}");
     }
 
     #[test]

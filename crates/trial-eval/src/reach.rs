@@ -42,14 +42,14 @@ fn reachable_from(start: ObjectId, adj: &Adjacency, stats: &mut EvalStats) -> Ve
     let mut queue: VecDeque<ObjectId> = VecDeque::new();
     // Seed with the direct successors so that `start` itself is only included
     // if it lies on a cycle (the closure has no implicit ε step).
-    for &next in adj.successors(start) {
+    for next in adj.successor_cursor(start) {
         stats.reach_edges_traversed += 1;
         if seen.insert(next) {
             queue.push_back(next);
         }
     }
     while let Some(node) = queue.pop_front() {
-        for &next in adj.successors(node) {
+        for next in adj.successor_cursor(node) {
             stats.reach_edges_traversed += 1;
             if seen.insert(next) {
                 queue.push_back(next);

@@ -29,8 +29,15 @@
 //! # (copy-on-write: in-flight queries keep their snapshot).
 //! curl -s "localhost:7878/load?store=mydata&relation=E" --data-binary @data.nt
 //!
-//! # Pick a store explicitly and cap the triples in the response body.
+//! # Cap the result: the limit is pushed into the physical plan, so
+//! # evaluation stops after 100 distinct triples instead of truncating a
+//! # fully evaluated result. ?limit=0 is the exact-count path.
 //! curl -s "localhost:7878/query?store=mydata&limit=100" -d "E"
+//! curl -s "localhost:7878/query?store=mydata&limit=0" -d "E"
+//!
+//! # The plan a bounded query runs, with per-node cardinality estimates and
+//! # pipelined/breaker flags in the structured `tree` field.
+//! curl -s "localhost:7878/explain?store=mydata&limit=100" -d "E"
 //!
 //! # Store inventory and service/cache counters.
 //! curl -s localhost:7878/stores
@@ -50,7 +57,13 @@
 //! * **[`server`]** — listener + fixed worker pool with keep-alive
 //!   connections and graceful shutdown; [`Server::spawn_ephemeral`] gives
 //!   tests and benches an in-process instance on a free port.
-//! * **[`routes`]** — the endpoint handlers. Untrusted input is bounded
+//! * **[`routes`]** — the endpoint handlers. `/query` executes through
+//!   `trial-eval`'s streaming cursor pipeline: `?limit=` becomes a `Limit`
+//!   plan node so bounded queries terminate early, rows are rendered into
+//!   the JSON body as the cursors yield them (the result set is never
+//!   buffered), and `?limit=0` drains a counting cursor that renders no
+//!   rows (order-preserving plans count allocation-free; unordered plans
+//!   track seen triples, never name strings). Untrusted input is bounded
 //!   everywhere: request bodies by [`ServerConfig::max_body_bytes`], query
 //!   evaluation by the server's [`trial_eval::EvalOptions`] (universe size
 //!   and star-round caps), response bodies by `?limit=`, and registry

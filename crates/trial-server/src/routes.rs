@@ -12,6 +12,20 @@
 //! `?limit=`); bodies are plain text. Responses are always JSON; errors are
 //! structured as `{"error":{"kind":...,"message":...,"offset":...}}` with
 //! the byte offset present for parse errors.
+//!
+//! `/query` executes through the **streaming cursor pipeline**: `?limit=` is
+//! compiled into the physical plan as a `Limit` node, so bounded queries
+//! terminate the moment the limit is satisfied instead of truncating a fully
+//! evaluated result, and rows are rendered into the JSON body as they are
+//! pulled — the full result set is never buffered. Consequently `count` is
+//! the number of rows **in the response**; `truncated: true` signals that
+//! the limit stopped evaluation early (more rows exist). The count-only path
+//! (`?limit=0`) drains a counting cursor — no rendered rows; order-preserving
+//! plans count allocation-free, unordered plans (joins) track seen triples
+//! (12 bytes each, never name strings or JSON) — and reports
+//! the exact cardinality. `/explain` accepts the same `?limit=` and returns
+//! both the rendered plan and a structured `tree` with per-node estimated
+//! cardinality and `pipelined` flags, making pushdown decisions observable.
 
 use crate::cache::{CacheKey, QueryKind};
 use crate::http::{Request, Response};
@@ -26,8 +40,10 @@ use trial_eval::{EvalStats, SmartEngine};
 use trial_rdf::{parse_ntriples_iter, Term};
 
 /// Default cap on the number of triples included in a `/query` response
-/// body; override per request with `?limit=`. The full cardinality is
-/// always reported in `count`.
+/// body; override per request with `?limit=`. The limit is pushed into the
+/// physical plan, so evaluation itself stops once the cap is reached
+/// (`truncated: true` marks a response whose evaluation was cut short; use
+/// `?limit=0` for an exact count).
 pub const DEFAULT_RESULT_LIMIT: usize = 10_000;
 
 /// Hard ceiling on `?limit=`: the limit is part of the cache key and each
@@ -202,9 +218,9 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
             None,
         );
     }
-    let limit = match req.param("limit") {
+    let requested_limit = match req.param("limit") {
         Some(raw) => match raw.parse::<usize>() {
-            Ok(n) => n.min(MAX_RESULT_LIMIT),
+            Ok(n) => Some(n.min(MAX_RESULT_LIMIT)),
             Err(_) => {
                 return error_response(
                     400,
@@ -214,8 +230,9 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
                 )
             }
         },
-        None => DEFAULT_RESULT_LIMIT,
+        None => None,
     };
+    let limit = requested_limit.unwrap_or(DEFAULT_RESULT_LIMIT);
 
     let snapshot = match resolve_store(state, req) {
         Ok(s) => s,
@@ -228,10 +245,11 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         kind,
         text: text.to_owned(),
         // The rendered fragment depends on the effective limit, so requests
-        // with different limits must not share an entry. Plans don't.
+        // with different limits must not share an entry. Explain plans also
+        // change shape under an explicit limit (the pushed-down Limit nodes).
         limit: match kind {
             QueryKind::Query => limit as u64,
-            QueryKind::Explain => 0,
+            QueryKind::Explain => requested_limit.filter(|&k| k > 0).unwrap_or(0) as u64,
         },
     };
     if let Some(fragment) = state.cache.get(&key) {
@@ -246,26 +264,22 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
 
     let engine = SmartEngine::with_options(state.eval);
     let fragment = match kind {
-        QueryKind::Query => {
-            let evaluation = match trial_eval::Engine::evaluate(&engine, &expr, snapshot.store()) {
-                Ok(ev) => ev,
-                Err(e) => return eval_error_response(&e),
-            };
-            render_result_fragment(
-                snapshot.store(),
-                &evaluation.result,
-                &evaluation.stats,
-                limit,
-            )
-        }
+        QueryKind::Query => match render_query_fragment(&engine, &expr, snapshot.store(), limit) {
+            Ok(fragment) => fragment,
+            Err(e) => return eval_error_response(&e),
+        },
         QueryKind::Explain => {
-            let plan = match engine.plan(&expr, snapshot.store()) {
+            // An explicit positive ?limit= shows the limit-pushed plan the
+            // equivalent /query would run.
+            let plan_limit = requested_limit.filter(|&k| k > 0);
+            let plan = match engine.plan_limited(&expr, snapshot.store(), plan_limit) {
                 Ok(p) => p,
                 Err(e) => return eval_error_response(&e),
             };
             JsonObject::new()
                 .str("query", &expr.to_string())
                 .str("plan", plan.explain().trim_end())
+                .raw("tree", &plan_tree_json(&plan.root))
                 .finish()
         }
     };
@@ -291,41 +305,63 @@ fn wrap(snapshot: &StoreSnapshot, cached: bool, fragment: &str, start: Instant) 
         .finish()
 }
 
-/// Renders an evaluated result set: full count, up to `limit` triples (as
-/// `[subject, predicate, object]` name arrays in canonical order), and the
-/// work counters.
-fn render_result_fragment(
+/// Evaluates a `/query` through the streaming pipeline and renders the
+/// result fragment: rows are written into the JSON body **as they are
+/// pulled** from the cursor tree, so the full result set is never buffered,
+/// and a satisfied limit stops evaluation itself.
+///
+/// `?limit=0` is the count-only path: a counting drain of the stream that
+/// renders no rows and reports the exact cardinality (allocation-free for
+/// order-preserving plans; unordered plans track seen triples, never rendered
+/// rows).
+fn render_query_fragment(
+    engine: &SmartEngine,
+    expr: &trial_core::Expr,
     store: &trial_core::Triplestore,
-    result: &trial_core::TripleSet,
-    stats: &EvalStats,
     limit: usize,
-) -> String {
-    let truncated = result.len() > limit;
-    let triples = if limit == 0 {
-        // Count-only request: skip materialising and sorting the rows.
-        "[]".to_owned()
-    } else {
-        let mut rows: Vec<[&str; 3]> = result
-            .iter()
-            .map(|t| {
-                [
-                    store.object_name(t.s()),
-                    store.object_name(t.p()),
-                    store.object_name(t.o()),
-                ]
-            })
-            .collect();
-        if truncated {
-            // Partition the `limit` smallest rows to the front, then sort
-            // only those — same canonical prefix as a full sort without the
-            // O(n log n) pass over rows the response discards.
-            rows.select_nth_unstable(limit);
-            rows.truncate(limit);
+) -> trial_core::Result<String> {
+    if limit == 0 {
+        let (count, stats) = engine.stream(expr, store, None)?.count();
+        return Ok(JsonObject::new()
+            .num("count", count)
+            .boolean("truncated", count > 0)
+            .raw("triples", "[]")
+            .raw("stats", &stats_json(&stats))
+            .finish());
+    }
+    // Ask for one distinct triple beyond the response cap: pulling it proves
+    // the limit cut evaluation short without rendering it.
+    let mut stream = engine.stream(expr, store, Some(limit.saturating_add(1)))?;
+    let mut triples = String::from("[");
+    let mut count: u64 = 0;
+    let mut truncated = false;
+    while let Some(t) = stream.next_triple() {
+        if count as usize == limit {
+            truncated = true;
+            break;
         }
-        rows.sort_unstable();
-        json::array(rows.iter().map(|row| json::string_array(row.iter())))
-    };
-    let stats_json = JsonObject::new()
+        if count > 0 {
+            triples.push(',');
+        }
+        triples.push_str(&json::string_array([
+            store.object_name(t.s()),
+            store.object_name(t.p()),
+            store.object_name(t.o()),
+        ]));
+        count += 1;
+    }
+    triples.push(']');
+    Ok(JsonObject::new()
+        .num("count", count)
+        .boolean("truncated", truncated)
+        .raw("triples", &triples)
+        .raw("stats", &stats_json(stream.stats()))
+        .finish())
+}
+
+/// Renders the work counters of an evaluation.
+fn stats_json(stats: &EvalStats) -> String {
+    JsonObject::new()
         .num("pairs_considered", stats.pairs_considered)
         .num("triples_emitted", stats.triples_emitted)
         .num("triples_scanned", stats.triples_scanned)
@@ -333,12 +369,20 @@ fn render_result_fragment(
         .num("joins_executed", stats.joins_executed)
         .num("reach_edges_traversed", stats.reach_edges_traversed)
         .num("memo_hits", stats.memo_hits)
-        .finish();
+        .finish()
+}
+
+/// Renders a physical plan tree as structured JSON: one object per operator
+/// with its label, estimated cardinality, and pipeline metadata — the
+/// machine-readable face of `explain()` served on `/explain`.
+fn plan_tree_json(node: &trial_eval::PlanNode) -> String {
+    let children: Vec<String> = node.children().into_iter().map(plan_tree_json).collect();
     JsonObject::new()
-        .num("count", result.len() as u64)
-        .boolean("truncated", truncated)
-        .raw("triples", &triples)
-        .raw("stats", &stats_json)
+        .str("op", &node.label())
+        .num("est", node.est() as u64)
+        .boolean("pipelined", node.pipelined())
+        .boolean("ordered", node.ordered())
+        .raw("children", &json::array(children))
         .finish()
 }
 

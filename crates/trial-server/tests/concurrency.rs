@@ -99,9 +99,10 @@ fn endpoints_roundtrip_over_http() {
     assert_eq!(unknown_rel.status, 400);
     assert!(unknown_rel.body.contains("unknown_relation"));
 
-    // ?limit= truncates the triple list but keeps the true count.
+    // ?limit= is pushed into the plan: evaluation stops after the limit, so
+    // the response carries exactly the returned rows plus a truncation flag.
     let limited = client::post(addr, "/query?store=fig1&limit=1", "E").unwrap();
-    assert_eq!(json_u64(&limited.body, "count"), 7);
+    assert_eq!(json_u64(&limited.body, "count"), 1);
     assert!(limited.body.contains("\"truncated\":true"));
 
     // Different limits are different cache entries: the same text with the
@@ -109,10 +110,75 @@ fn endpoints_roundtrip_over_http() {
     let full = client::post(addr, "/query?store=fig1", "E").unwrap();
     assert_eq!(json_u64(&full.body, "count"), 7);
     assert!(full.body.contains("\"truncated\":false"), "{}", full.body);
-    // And ?limit=0 is the count-only fast path.
+    // And ?limit=0 is the count-only fast path: exact cardinality, no rows.
     let count_only = client::post(addr, "/query?store=fig1&limit=0", "E").unwrap();
     assert_eq!(json_u64(&count_only.body, "count"), 7);
     assert!(count_only.body.contains("\"triples\":[]"));
+
+    server.shutdown();
+}
+
+/// `?limit=` rides the plan as a `Limit` node: bounded queries do strictly
+/// less evaluation work than unbounded ones, every distinct limit is its own
+/// cache entry, and `/explain` exposes the pushdown as plan metadata.
+#[test]
+fn limit_pushdown_terminates_early_and_keys_the_cache() {
+    let server = Server::spawn_ephemeral().unwrap();
+    let addr = server.addr();
+    // A 200-edge chain: reach-style joins over it emit plenty of rows.
+    let mut doc = String::new();
+    for i in 0..200 {
+        doc.push_str(&format!("<n{i}> <next> <n{}> .\n", i + 1));
+    }
+    client::post(addr, "/load?store=chain", &doc).unwrap();
+
+    // The join has 199 result rows; a limit of 3 returns exactly 3 and
+    // reports the early cut.
+    let query = "(E JOIN[1,2,3' | 3=1'] E)";
+    let bounded = client::post(addr, "/query?store=chain&limit=3", query).unwrap();
+    assert_eq!(bounded.status, 200, "{}", bounded.body);
+    assert_eq!(json_u64(&bounded.body, "count"), 3);
+    assert!(bounded.body.contains("\"truncated\":true"));
+    let full = client::post(addr, "/query?store=chain", query).unwrap();
+    assert_eq!(json_u64(&full.body, "count"), 199);
+    assert!(full.body.contains("\"truncated\":false"));
+
+    // Early termination is observable in the work counters: the bounded
+    // evaluation considered far fewer candidate pairs.
+    let bounded_pairs = json_u64(&bounded.body, "pairs_considered");
+    let full_pairs = json_u64(&full.body, "pairs_considered");
+    assert!(
+        bounded_pairs * 10 <= full_pairs,
+        "limit pushdown did not cut work: {bounded_pairs} vs {full_pairs} pairs"
+    );
+
+    // Each limit is a distinct cache key; repeats hit, different limits miss.
+    let again = client::post(addr, "/query?store=chain&limit=3", query).unwrap();
+    assert!(again.body.contains("\"cached\":true"), "{}", again.body);
+    assert_eq!(json_u64(&again.body, "count"), 3);
+    let other = client::post(addr, "/query?store=chain&limit=5", query).unwrap();
+    assert!(other.body.contains("\"cached\":false"));
+    assert_eq!(json_u64(&other.body, "count"), 5);
+
+    // The count-only path still reports the exact cardinality (it drains a
+    // counting cursor instead of rendering rows).
+    let count_only = client::post(addr, "/query?store=chain&limit=0", query).unwrap();
+    assert_eq!(json_u64(&count_only.body, "count"), 199);
+    assert!(count_only.body.contains("\"triples\":[]"));
+
+    // /explain shows the pushed-down limit and machine-readable pipeline
+    // metadata; limited and unlimited explains are cached separately.
+    let explained = client::post(addr, "/explain?store=chain&limit=3", query).unwrap();
+    assert!(explained.body.contains("Limit 3"), "{}", explained.body);
+    assert!(
+        explained.body.contains("\"pipelined\":true"),
+        "{}",
+        explained.body
+    );
+    assert!(explained.body.contains("\"tree\":"), "{}", explained.body);
+    let plain = client::post(addr, "/explain?store=chain", query).unwrap();
+    assert!(plain.body.contains("\"cached\":false"), "{}", plain.body);
+    assert!(!plain.body.contains("Limit 3"), "{}", plain.body);
 
     server.shutdown();
 }
