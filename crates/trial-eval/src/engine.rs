@@ -28,6 +28,10 @@ pub struct EvalStats {
     pub reach_edges_traversed: u64,
     /// Sub-expression evaluations answered from the memo cache.
     pub memo_hits: u64,
+    /// Morsels executed on parallel worker threads (0 for a fully
+    /// single-threaded evaluation — the signal behind the server's
+    /// parallel/sequential query counters).
+    pub parallel_morsels: u64,
 }
 
 impl EvalStats {
@@ -45,6 +49,7 @@ impl EvalStats {
         self.joins_executed += other.joins_executed;
         self.reach_edges_traversed += other.reach_edges_traversed;
         self.memo_hits += other.memo_hits;
+        self.parallel_morsels += other.parallel_morsels;
     }
 
     /// A single scalar summarising the dominant work performed: the sum of
@@ -98,6 +103,54 @@ pub struct EvalOptions {
     /// interpreter the `streaming_vs_materialized` bench and the
     /// differential suite compare against.
     pub streaming: bool,
+    /// Degree of intra-query parallelism: the number of worker threads
+    /// morsel-parallel operators may use (see the *Parallel execution*
+    /// section of the crate docs). `1` (the built-in default) is exactly the
+    /// historical single-threaded path and stays the differential reference;
+    /// `n > 1` lets qualifying operators — hash-join builds and probes,
+    /// index/plain nested-loop joins, filtered scans, star fixpoint rounds,
+    /// reachability BFS fan-outs, and the blocking sides of
+    /// difference/intersection/complement — split their input into morsels
+    /// executed on a scoped worker pool. Results are identical for every
+    /// value (the differential suite proves it); only wall-clock changes.
+    ///
+    /// The environment variable `TRIAL_EVAL_THREADS` overrides the default
+    /// (read once per process), which is how CI runs the whole test suite a
+    /// second time with parallelism on.
+    ///
+    /// The requested degree is honoured as-is: values above the host's
+    /// available parallelism **oversubscribe** (morsel workers are scoped
+    /// and joined per operator, so this is bounded churn, not a fork bomb —
+    /// and it is exactly what the differential suite uses to exercise the
+    /// multi-thread paths on small machines). Speedup is physically capped
+    /// by the core count; [`crate::available_threads`] reports it, and
+    /// `trial-serve --eval-threads 0` auto-detects it.
+    pub threads: usize,
+    /// Inputs smaller than this many rows are never split into morsels —
+    /// below it, thread spawn/join overhead dwarfs the work. Tests set it to
+    /// 0 to force the parallel code paths on tiny stores.
+    pub parallel_min_rows: usize,
+    /// If `true`, the executor records each plan node's **actual** output
+    /// cardinality alongside the planner's estimate (surfaced by
+    /// [`crate::SmartEngine::evaluate_analyzed`] and the server's
+    /// `/explain?analyze=1`), making cost-model mis-estimates that would
+    /// mislead morsel sizing observable. Off by default: the counters cost a
+    /// hash-map insert per operator.
+    pub collect_node_stats: bool,
+}
+
+/// The process-wide default for [`EvalOptions::threads`]: the
+/// `TRIAL_EVAL_THREADS` environment variable if set to a positive integer
+/// (read once), otherwise 1.
+pub fn default_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("TRIAL_EVAL_THREADS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
 }
 
 impl Default for EvalOptions {
@@ -109,6 +162,9 @@ impl Default for EvalOptions {
             use_memo: true,
             optimize_plans: true,
             streaming: true,
+            threads: default_threads(),
+            parallel_min_rows: 2048,
+            collect_node_stats: false,
         }
     }
 }
@@ -144,6 +200,7 @@ mod tests {
             joins_executed: 1,
             reach_edges_traversed: 7,
             memo_hits: 1,
+            parallel_morsels: 4,
         };
         let b = EvalStats {
             pairs_considered: 1,
@@ -153,11 +210,13 @@ mod tests {
             joins_executed: 1,
             reach_edges_traversed: 1,
             memo_hits: 1,
+            parallel_morsels: 2,
         };
         a.merge(&b);
         assert_eq!(a.pairs_considered, 11);
         assert_eq!(a.fixpoint_rounds, 3);
         assert_eq!(a.memo_hits, 2);
+        assert_eq!(a.parallel_morsels, 6);
         assert_eq!(a.work(), 11 + 4 + 8);
         assert_eq!(EvalStats::new(), EvalStats::default());
     }
@@ -171,5 +230,11 @@ mod tests {
         assert!(opts.streaming);
         assert!(opts.max_universe >= 1_000_000);
         assert_eq!(opts.max_fixpoint_rounds, u64::MAX);
+        // The default degree comes from TRIAL_EVAL_THREADS (or 1), so the
+        // suite can run with parallelism on; it is always at least 1.
+        assert!(opts.threads >= 1);
+        assert_eq!(opts.threads, default_threads());
+        assert!(opts.parallel_min_rows > 0);
+        assert!(!opts.collect_node_stats);
     }
 }

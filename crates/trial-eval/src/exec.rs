@@ -34,17 +34,42 @@ use crate::cursor::{
 };
 use crate::engine::{EvalOptions, EvalStats};
 use crate::ops;
+use crate::parallel;
 use crate::plan::{Plan, PlanNode};
 use crate::reach;
 use crate::seminaive::semi_naive_star;
+use std::collections::HashMap;
 use std::sync::Arc;
 use trial_core::{Adjacency, Error, Permutation, Result, TripleSet, Triplestore};
+
+/// Per-node actual output cardinalities, keyed by the plan node's address
+/// (stable for the lifetime of one evaluation — the plan tree is never
+/// mutated while an executor borrows it). [`node_key`] derives the key.
+pub(crate) type NodeActuals = HashMap<usize, u64>;
+
+/// The identity of a plan node for actual-row bookkeeping.
+pub(crate) fn node_key(node: &PlanNode) -> usize {
+    node as *const PlanNode as usize
+}
+
+/// Memo slots shared by an executor and its worker-thread siblings: one
+/// mutex-guarded slot per [`PlanNode::Memo`]. The slot's lock is **held
+/// while the shared sub-expression is computed**, so exactly one executor
+/// ever evaluates it (concurrent arrivals block, then hit) — work counters
+/// stay identical to the single-threaded run. Holding a lock across the
+/// recursive evaluation cannot deadlock: a memo slot can only wait on slots
+/// of its *strict* sub-expressions, and the sub-expression relation is
+/// acyclic.
+type MemoSlots = Arc<Vec<std::sync::Mutex<Option<Arc<TripleSet>>>>>;
 
 /// Interprets plan trees; one instance per top-level evaluation.
 pub(crate) struct Executor<'a> {
     store: &'a Triplestore,
     options: EvalOptions,
-    memo: Vec<Option<Arc<TripleSet>>>,
+    memo: MemoSlots,
+    /// Actual output rows per executed node, kept only when
+    /// [`EvalOptions::collect_node_stats`] is set.
+    actuals: Option<NodeActuals>,
 }
 
 impl<'a> Executor<'a> {
@@ -54,8 +79,68 @@ impl<'a> Executor<'a> {
         Executor {
             store,
             options,
-            memo: vec![None; plan.memo_slots],
+            memo: Arc::new((0..plan.memo_slots).map(|_| Default::default()).collect()),
+            actuals: options.collect_node_stats.then(HashMap::new),
         }
+    }
+
+    /// A sibling executor for evaluating an independent subtree on a worker
+    /// thread. It shares the store, options and **memo slots** (so a
+    /// repeated sub-expression is still computed exactly once, whichever
+    /// side reaches it first) and owns its own actuals map, merged back by
+    /// the coordinator after the join.
+    fn child(&self) -> Executor<'a> {
+        Executor {
+            store: self.store,
+            options: self.options,
+            memo: Arc::clone(&self.memo),
+            actuals: self.actuals.is_some().then(HashMap::new),
+        }
+    }
+
+    /// Resolves a memo slot: returns the cached sub-result or computes it
+    /// with `compute` while holding the slot's lock (see [`MemoSlots`]).
+    fn memo_slot(
+        &mut self,
+        slot: usize,
+        stats: &mut EvalStats,
+        compute: impl FnOnce(&mut Self, &mut EvalStats) -> Result<TripleSet>,
+    ) -> Result<Arc<TripleSet>> {
+        let slots = Arc::clone(&self.memo);
+        let mut guard = slots[slot]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(cached) = &*guard {
+            stats.memo_hits += 1;
+            return Ok(Arc::clone(cached));
+        }
+        let result = Arc::new(compute(self, stats)?);
+        *guard = Some(Arc::clone(&result));
+        Ok(result)
+    }
+
+    /// The morsel-parallel degree for an operator over `rows` input rows:
+    /// [`EvalOptions::threads`] when parallelism is on and the input is
+    /// large enough to amortise spawn/merge overhead, 1 otherwise.
+    fn degree(&self, rows: usize) -> usize {
+        if self.options.threads > 1 && rows >= self.options.parallel_min_rows {
+            self.options.threads
+        } else {
+            1
+        }
+    }
+
+    /// Records a node's actual output cardinality (no-op unless
+    /// [`EvalOptions::collect_node_stats`] is set).
+    fn record(&mut self, node: &PlanNode, rows: usize) {
+        if let Some(actuals) = &mut self.actuals {
+            actuals.insert(node_key(node), rows as u64);
+        }
+    }
+
+    /// Hands back the actual-row counters collected during execution.
+    pub(crate) fn take_actuals(&mut self) -> Option<NodeActuals> {
+        self.actuals.take()
     }
 
     /// Compiles a plan node into a streaming cursor, materialising exactly
@@ -113,9 +198,17 @@ impl<'a> Executor<'a> {
                 keys,
                 ..
             } => {
-                // Build side: the one genuine materialisation of a hash join.
+                // Build side: the one genuine materialisation of a hash
+                // join. The build itself shards across workers when large;
+                // the probe side stays a sequential pull-based stream (its
+                // consumer may stop at any triple).
                 let build = self.materialize(right, stats)?;
-                let table = ops::JoinTable::build(&build, keys, stats);
+                let degree = self.degree(build.len());
+                let table = if degree > 1 {
+                    ops::JoinTable::build_parallel(&build, keys, degree, stats)
+                } else {
+                    ops::JoinTable::build(&build, keys, stats)
+                };
                 let probe = self.cursor(left, stats)?;
                 stats.joins_executed += 1;
                 Box::new(HashJoinCursor {
@@ -242,17 +335,8 @@ impl<'a> Executor<'a> {
                 Box::new(SetCursor::new(result))
             }
             PlanNode::Memo { slot, input } => {
-                let set = match &self.memo[*slot] {
-                    Some(cached) => {
-                        stats.memo_hits += 1;
-                        Arc::clone(cached)
-                    }
-                    None => {
-                        let result = Arc::new(self.materialize(input, stats)?);
-                        self.memo[*slot] = Some(Arc::clone(&result));
-                        result
-                    }
-                };
+                let set =
+                    self.memo_slot(*slot, stats, |this, stats| this.materialize(input, stats))?;
                 Box::new(ArcSetCursor { set, pos: 0 })
             }
             PlanNode::Limit { input, limit, .. } => {
@@ -288,7 +372,12 @@ impl<'a> Executor<'a> {
     ) -> Result<TripleSet> {
         if let PlanNode::Limit { .. } = node {
             // Streaming limit semantics: the first `limit` distinct triples
-            // the pipeline yields, evaluation stops at the boundary.
+            // the pipeline yields, evaluation stops at the boundary. This is
+            // the **explicit sequential fallback** of the parallel executor:
+            // a limited subtree runs as a single pull-based pipeline because
+            // a parallel drain would race workers past the limit and forfeit
+            // early termination (breakers beneath the limit still
+            // parallelise inside their own materialisation).
             let ordered = node.ordered();
             let mut cursor = self.cursor(node, stats)?;
             // Seed capacity from the estimate, capped so a wild estimate
@@ -297,11 +386,13 @@ impl<'a> Executor<'a> {
             while let Some(t) = cursor.next(stats) {
                 out.push(t);
             }
-            return Ok(if ordered {
+            let result = if ordered {
                 TripleSet::from_sorted_vec(out)
             } else {
                 TripleSet::from_vec(out)
-            });
+            };
+            self.record(node, result.len());
+            return Ok(result);
         }
         self.eval_set(node, stats, true)
     }
@@ -317,8 +408,71 @@ impl<'a> Executor<'a> {
     /// The set-at-a-time interpreter shared by both execution modes;
     /// `stream_limits` selects how [`PlanNode::Limit`] subtrees run
     /// (cursor pipeline with early termination vs. canonical prefix of the
-    /// fully evaluated input).
+    /// fully evaluated input). Records per-node actual cardinalities when
+    /// [`EvalOptions::collect_node_stats`] is on.
     fn eval_set(
+        &mut self,
+        node: &PlanNode,
+        stats: &mut EvalStats,
+        stream_limits: bool,
+    ) -> Result<TripleSet> {
+        let result = self.eval_set_inner(node, stats, stream_limits)?;
+        self.record(node, result.len());
+        Ok(result)
+    }
+
+    /// Evaluates the two inputs of a binary operator, overlapping them on
+    /// two threads when parallelism is on and both sides are estimated
+    /// large enough to be worth a spawn: the right (blocking) side
+    /// materialises on a worker driven by a sibling executor while the left
+    /// side runs on the current thread — how difference/intersection right
+    /// sides and join build sides stop serialising behind their siblings.
+    fn eval_pair(
+        &mut self,
+        left: &PlanNode,
+        right: &PlanNode,
+        stats: &mut EvalStats,
+        stream_limits: bool,
+    ) -> Result<(TripleSet, TripleSet)> {
+        let overlap = self.options.threads > 1
+            && left.est().min(right.est()) >= self.options.parallel_min_rows;
+        if !overlap {
+            let l = self.eval_mode(left, stats, stream_limits)?;
+            let r = self.eval_mode(right, stats, stream_limits)?;
+            return Ok((l, r));
+        }
+        let mut far = self.child();
+        let (l, (r, far_actuals)) = parallel::join_pair(
+            |stats| self.eval_mode(left, stats, stream_limits),
+            move |stats| {
+                let result = far.eval_mode(right, stats, stream_limits);
+                (result, far.take_actuals())
+            },
+            stats,
+        );
+        if let (Some(mine), Some(theirs)) = (&mut self.actuals, far_actuals) {
+            mine.extend(theirs);
+        }
+        Ok((l?, r?))
+    }
+
+    /// Dispatches to the execution mode selected by `stream_limits`:
+    /// [`Executor::materialize`] (streaming limits) or [`Executor::run`]
+    /// (canonical-prefix limits).
+    fn eval_mode(
+        &mut self,
+        node: &PlanNode,
+        stats: &mut EvalStats,
+        stream_limits: bool,
+    ) -> Result<TripleSet> {
+        if stream_limits {
+            self.materialize(node, stats)
+        } else {
+            self.run(node, stats)
+        }
+    }
+
+    fn eval_set_inner(
         &mut self,
         node: &PlanNode,
         stats: &mut EvalStats,
@@ -343,7 +497,12 @@ impl<'a> Executor<'a> {
             PlanNode::Filter { input, cond, .. } => {
                 let input = recurse(self, input, stats)?;
                 let cond = CompiledConditions::compile(cond, self.store);
-                Ok(ops::select(&input, &cond, self.store, stats))
+                let degree = self.degree(input.len());
+                Ok(if degree > 1 {
+                    ops::select_parallel(&input, &cond, self.store, degree, stats)
+                } else {
+                    ops::select(&input, &cond, self.store, stats)
+                })
             }
             PlanNode::HashJoin {
                 left,
@@ -353,15 +512,32 @@ impl<'a> Executor<'a> {
                 keys,
                 ..
             } => {
-                let l = recurse(self, left, stats)?;
-                let r = recurse(self, right, stats)?;
+                let (l, r) = self.eval_pair(left, right, stats, stream_limits)?;
                 let cond = CompiledConditions::compile(cond, self.store);
                 // Build on the planner's chosen keys so execution always
-                // matches what explain() displays.
-                let table = ops::JoinTable::build(&r, keys, stats);
-                Ok(ops::hash_join_probe(
-                    &l, &table, output, &cond, self.store, stats,
-                ))
+                // matches what explain() displays; shard the build and
+                // partition the probe across workers when the sides are
+                // large enough.
+                let build_degree = self.degree(r.len());
+                let table = if build_degree > 1 {
+                    ops::JoinTable::build_parallel(&r, keys, build_degree, stats)
+                } else {
+                    ops::JoinTable::build(&r, keys, stats)
+                };
+                let probe_degree = self.degree(l.len());
+                Ok(if probe_degree > 1 {
+                    ops::hash_join_probe_parallel(
+                        &l,
+                        &table,
+                        output,
+                        &cond,
+                        self.store,
+                        probe_degree,
+                        stats,
+                    )
+                } else {
+                    ops::hash_join_probe(&l, &table, output, &cond, self.store, stats)
+                })
             }
             PlanNode::IndexNestedLoopJoin {
                 outer,
@@ -377,9 +553,16 @@ impl<'a> Executor<'a> {
                     .relation_with_index(relation)
                     .ok_or_else(|| Error::UnknownRelation(relation.clone()))?;
                 let cond = CompiledConditions::compile(cond, self.store);
-                Ok(ops::index_nested_loop_join(
-                    &outer, base, index, *probe, output, &cond, self.store, stats,
-                ))
+                let degree = self.degree(outer.len());
+                Ok(if degree > 1 {
+                    ops::index_nested_loop_join_parallel(
+                        &outer, base, index, *probe, output, &cond, self.store, degree, stats,
+                    )
+                } else {
+                    ops::index_nested_loop_join(
+                        &outer, base, index, *probe, output, &cond, self.store, stats,
+                    )
+                })
             }
             PlanNode::NestedLoopJoin {
                 left,
@@ -388,34 +571,55 @@ impl<'a> Executor<'a> {
                 cond,
                 ..
             } => {
-                let l = recurse(self, left, stats)?;
-                let r = recurse(self, right, stats)?;
+                let (l, r) = self.eval_pair(left, right, stats, stream_limits)?;
                 let cond = CompiledConditions::compile(cond, self.store);
-                Ok(ops::nested_loop_join(
-                    &l, &r, output, &cond, self.store, stats,
-                ))
+                let degree = self.degree(l.len());
+                Ok(if degree > 1 {
+                    ops::nested_loop_join_parallel(&l, &r, output, &cond, self.store, degree, stats)
+                } else {
+                    ops::nested_loop_join(&l, &r, output, &cond, self.store, stats)
+                })
             }
             PlanNode::Union { left, right, .. } => {
-                let l = recurse(self, left, stats)?;
-                let r = recurse(self, right, stats)?;
+                let (l, r) = self.eval_pair(left, right, stats, stream_limits)?;
                 stats.triples_scanned += (l.len() + r.len()) as u64;
                 Ok(l.union(&r))
             }
             PlanNode::Diff { left, right, .. } => {
-                let l = recurse(self, left, stats)?;
-                let r = recurse(self, right, stats)?;
+                // The right side materialises concurrently with the left
+                // when parallelism is on (see eval_pair).
+                let (l, r) = self.eval_pair(left, right, stats, stream_limits)?;
                 stats.triples_scanned += (l.len() + r.len()) as u64;
                 Ok(l.difference(&r))
             }
             PlanNode::Intersect { left, right, .. } => {
-                let l = recurse(self, left, stats)?;
-                let r = recurse(self, right, stats)?;
+                let (l, r) = self.eval_pair(left, right, stats, stream_limits)?;
                 stats.triples_scanned += (l.len() + r.len()) as u64;
                 Ok(l.intersection(&r))
             }
             PlanNode::Complement { input, .. } => {
-                let e = recurse(self, input, stats)?;
-                let u = ops::universe(self.store, &self.options, stats)?;
+                // With parallelism on, the excluded input materialises on a
+                // worker while the universe builds on the current thread.
+                let overlap =
+                    self.options.threads > 1 && input.est() >= self.options.parallel_min_rows;
+                let (e, u) = if overlap {
+                    let mut far = self.child();
+                    let (u, (e, far_actuals)) = parallel::join_pair(
+                        |stats| ops::universe(self.store, &self.options, stats),
+                        move |stats| {
+                            let result = far.eval_mode(input, stats, stream_limits);
+                            (result, far.take_actuals())
+                        },
+                        stats,
+                    );
+                    if let (Some(mine), Some(theirs)) = (&mut self.actuals, far_actuals) {
+                        mine.extend(theirs);
+                    }
+                    (e?, u?)
+                } else {
+                    let e = recurse(self, input, stats)?;
+                    (e, ops::universe(self.store, &self.options, stats)?)
+                };
                 stats.triples_scanned += (e.len() + u.len()) as u64;
                 Ok(u.difference(&e))
             }
@@ -447,13 +651,9 @@ impl<'a> Executor<'a> {
                 self.star_reach(&base, *same_label, relation.as_deref(), stats)
             }
             PlanNode::Memo { slot, input } => {
-                if let Some(cached) = &self.memo[*slot] {
-                    stats.memo_hits += 1;
-                    return Ok((**cached).clone());
-                }
-                let result = recurse(self, input, stats)?;
-                self.memo[*slot] = Some(Arc::new(result.clone()));
-                Ok(result)
+                let set =
+                    self.memo_slot(*slot, stats, |this, stats| recurse(this, input, stats))?;
+                Ok((*set).clone())
             }
             PlanNode::Limit { input, limit, .. } => {
                 // Materialised limit semantics: the canonical prefix — the
@@ -487,22 +687,47 @@ impl<'a> Executor<'a> {
                 return Ok(base.clone());
             }
             let cond = CompiledConditions::compile(residual, self.store);
+            let degree = self.degree(base.len());
+            if degree > 1 {
+                // Full filtered scan: morsels are carved at the storage
+                // layer (disjoint zero-copy sub-ranges of the SPO
+                // permutation), one pipeline instance per morsel. Morsel
+                // order is scan order, so concatenation keeps the canonical
+                // sort.
+                let morsels = index.partition_cursors(base, Permutation::Spo, degree);
+                let out = self.filter_morsels(morsels, &cond, degree, stats);
+                return Ok(TripleSet::from_sorted_vec(out));
+            }
             return Ok(ops::select(base, &cond, self.store, stats));
         };
         let slice = index.matching(base, component, value);
-        stats.triples_scanned += slice.len() as u64;
         let residual =
             (!residual.is_empty()).then(|| CompiledConditions::compile(residual, self.store));
-        let mut out = Vec::with_capacity(slice.len());
-        for t in slice {
-            if residual
-                .as_ref()
-                .is_none_or(|cond| cond.check_single(self.store, t))
-            {
-                out.push(*t);
-                stats.triples_emitted += 1;
+        let out = match &residual {
+            // A filtered run splits into morsels when large: the residual
+            // check is the per-row work worth spreading (an unfiltered run
+            // is a plain copy and stays sequential). The bounded run is
+            // carved by the index itself into disjoint sub-range cursors.
+            Some(cond) if self.degree(slice.len()) > 1 => {
+                let degree = self.degree(slice.len());
+                let morsels = index.partition_matching_cursors(base, component, value, degree);
+                self.filter_morsels(morsels, cond, degree, stats)
             }
-        }
+            _ => {
+                stats.triples_scanned += slice.len() as u64;
+                let mut out = Vec::with_capacity(slice.len());
+                for t in slice {
+                    if residual
+                        .as_ref()
+                        .is_none_or(|cond| cond.check_single(self.store, t))
+                    {
+                        out.push(*t);
+                        stats.triples_emitted += 1;
+                    }
+                }
+                out
+            }
+        };
         // Runs of the SPO permutation are already in canonical order; the
         // other permutations interleave, so their runs are re-sorted.
         Ok(if component == 0 {
@@ -510,6 +735,29 @@ impl<'a> Executor<'a> {
         } else {
             TripleSet::from_vec(out)
         })
+    }
+
+    /// Runs one filtering pipeline instance per partitioned scan morsel and
+    /// concatenates the outputs in morsel (= scan) order.
+    fn filter_morsels(
+        &self,
+        morsels: Vec<trial_core::RangeCursor<'_>>,
+        cond: &CompiledConditions,
+        degree: usize,
+        stats: &mut EvalStats,
+    ) -> Vec<trial_core::Triple> {
+        let tasks: Vec<_> = morsels
+            .into_iter()
+            .map(|morsel| {
+                move |stats: &mut EvalStats| {
+                    let run = morsel.rest();
+                    let mut out = Vec::with_capacity(run.len());
+                    ops::select_slice(run, cond, self.store, stats, &mut out);
+                    out
+                }
+            })
+            .collect();
+        parallel::run_tasks(degree, tasks, stats).concat()
     }
 
     /// Runs a Proposition 5 reachability star, borrowing the store's cached
@@ -521,22 +769,43 @@ impl<'a> Executor<'a> {
         relation: Option<&str>,
         stats: &mut EvalStats,
     ) -> Result<TripleSet> {
+        // One BFS per distinct endpoint: the base size bounds the number of
+        // roots, which is what the morsel fan-out partitions.
+        let degree = self.degree(base.len());
         if let Some((rel_base, index)) =
             relation.and_then(|name| self.store.relation_with_index(name))
         {
             debug_assert_eq!(rel_base, base, "relation hint must match the executed base");
-            return Ok(if same_label {
-                reach::reach_star_same_label(base, index.adjacency_by_label(rel_base), stats)
-            } else {
-                reach::reach_star_plain(base, index.adjacency(rel_base), stats)
+            return Ok(match (same_label, degree > 1) {
+                (true, true) => reach::reach_star_same_label_parallel(
+                    base,
+                    index.adjacency_by_label(rel_base),
+                    degree,
+                    stats,
+                ),
+                (true, false) => {
+                    reach::reach_star_same_label(base, index.adjacency_by_label(rel_base), stats)
+                }
+                (false, true) => {
+                    reach::reach_star_plain_parallel(base, index.adjacency(rel_base), degree, stats)
+                }
+                (false, false) => reach::reach_star_plain(base, index.adjacency(rel_base), stats),
             });
         }
         Ok(if same_label {
             let by_label = reach::label_adjacency(base);
-            reach::reach_star_same_label(base, &by_label, stats)
+            if degree > 1 {
+                reach::reach_star_same_label_parallel(base, &by_label, degree, stats)
+            } else {
+                reach::reach_star_same_label(base, &by_label, stats)
+            }
         } else {
             let adjacency = Adjacency::from_triples(base.iter());
-            reach::reach_star_plain(base, &adjacency, stats)
+            if degree > 1 {
+                reach::reach_star_plain_parallel(base, &adjacency, degree, stats)
+            } else {
+                reach::reach_star_plain(base, &adjacency, stats)
+            }
         })
     }
 }

@@ -85,6 +85,48 @@
 //! materialize-everything reference interpreter that the differential suite
 //! and the `streaming_vs_materialized` benchmark compare against.
 //!
+//! # Parallel execution
+//!
+//! [`EvalOptions::threads`]` = n` enables **morsel-driven intra-query
+//! parallelism** ([`parallel`]): operator inputs are carved into contiguous
+//! morsels — via [`trial_core::RelationIndex::partition_cursors`] at the
+//! storage layer, [`parallel`]'s slice chunking above it — and executed on a
+//! scoped `std::thread` worker pool, synchronising at the pipeline breakers
+//! that already exist in the streaming model. The default is 1 (the
+//! single-threaded path, unchanged, and the differential reference);
+//! `TRIAL_EVAL_THREADS` overrides the process default, which is how CI runs
+//! the suite a second time with parallelism on.
+//!
+//! **What parallelises** (tagged `[parallel×N]` by `explain()`):
+//!
+//! * **hash joins** — the build side is sharded across workers and merged
+//!   shard-by-shard (bucket order identical to a sequential build); the
+//!   set-at-a-time probe partitions the probe side against the shared
+//!   read-only `JoinTable`;
+//! * **index / plain nested-loop joins** — the outer side partitions;
+//!   workers probe the store's cached permutation index concurrently;
+//! * **filtered scans and selections** — the scanned run splits into
+//!   morsels (order-preserving: morsel outputs concatenate in run order);
+//! * **star fixpoints** — semi-naive rounds partition each round's delta
+//!   across workers probing the build-once hash table; the Proposition 5
+//!   procedures partition their BFS roots over the shared adjacency lists;
+//! * **union / difference / intersection / complement** — the two sides
+//!   (for complement: the excluded input and the universe) materialise
+//!   concurrently on sibling executors sharing the memo slots, so a
+//!   repeated sub-expression is still computed exactly once.
+//!
+//! **Fallback rules.** A [`PlanNode::Limit`] subtree always runs as one
+//! sequential pull-based pipeline — racing workers past a limit would
+//! forfeit early termination — and operators stay sequential beneath
+//! [`EvalOptions::parallel_min_rows`] (morsel overhead beats the work on
+//! small inputs; the heuristic default is a few thousand rows). Results are
+//! **identical** at every degree: morsels are contiguous and their outputs
+//! concatenate in input order, so even pre-deduplication row sequences match
+//! the single-threaded run (`tests/parallel_differential.rs` proves result
+//! equality across `threads ∈ {1, 2, 4}` against the materialized reference
+//! and the naive engine; counter totals are exact sums, with
+//! [`EvalStats::parallel_morsels`] recording the fan-out).
+//!
 //! # Instrumentation
 //!
 //! Every evaluation returns an [`Evaluation`] bundling the result
@@ -120,16 +162,20 @@ pub mod engine;
 pub mod exec;
 pub mod naive;
 pub mod ops;
+pub mod parallel;
 pub mod plan;
 pub mod planner;
 pub mod reach;
 pub mod seminaive;
 
 pub use cursor::{Cursor, QueryStream};
-pub use engine::{Engine, EvalOptions, EvalStats, Evaluation};
+pub use engine::{default_threads, Engine, EvalOptions, EvalStats, Evaluation};
 pub use naive::NaiveEngine;
+pub use parallel::available_threads;
 pub use plan::{Plan, PlanNode};
-pub use planner::{evaluate, evaluate_with, explain, plan_limited, SmartEngine};
+pub use planner::{
+    evaluate, evaluate_with, explain, plan_limited, AnalyzedEvaluation, SmartEngine,
+};
 
 // Compile-time thread-safety contract: `trial-server` evaluates queries with
 // a shared `SmartEngine` from many worker threads and caches `Plan`s keyed by

@@ -9,10 +9,28 @@
 
 use crate::compile::{project, CompiledConditions};
 use crate::engine::{EvalOptions, EvalStats};
+use crate::parallel;
 use std::collections::HashMap;
 use trial_core::{
     Error, ObjectId, OutputSpec, Pos, RelationIndex, Result, Triple, TripleSet, Triplestore,
 };
+
+/// The selection kernel over one morsel: filters `input` into `out`.
+pub(crate) fn select_slice(
+    input: &[Triple],
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+    out: &mut Vec<Triple>,
+) {
+    stats.triples_scanned += input.len() as u64;
+    for t in input {
+        if cond.check_single(store, t) {
+            out.push(*t);
+            stats.triples_emitted += 1;
+        }
+    }
+}
 
 /// Filters a triple set by compiled (left-only) conditions.
 ///
@@ -24,15 +42,55 @@ pub fn select(
     store: &Triplestore,
     stats: &mut EvalStats,
 ) -> TripleSet {
-    stats.triples_scanned += input.len() as u64;
     let mut out = Vec::with_capacity(input.len());
-    for t in input.iter() {
-        if cond.check_single(store, t) {
-            out.push(*t);
-            stats.triples_emitted += 1;
+    select_slice(input.as_slice(), cond, store, stats, &mut out);
+    TripleSet::from_sorted_vec(out)
+}
+
+/// Morsel-parallel [`select`]: carves `input` into one morsel per worker and
+/// filters them concurrently. Selection preserves order morsel-by-morsel and
+/// the morsels are concatenated in input order, so the output is
+/// byte-identical to the sequential [`select`].
+pub fn select_parallel(
+    input: &TripleSet,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    threads: usize,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    let tasks: Vec<_> = parallel::chunk(input.as_slice(), threads)
+        .into_iter()
+        .map(|morsel| {
+            move |stats: &mut EvalStats| {
+                let mut out = Vec::with_capacity(morsel.len());
+                select_slice(morsel, cond, store, stats, &mut out);
+                out
+            }
+        })
+        .collect();
+    let parts = parallel::run_tasks(threads, tasks, stats);
+    TripleSet::from_sorted_vec(parts.concat())
+}
+
+/// The nested-loop kernel over one morsel of the left side.
+pub(crate) fn nested_loop_join_slice(
+    left: &[Triple],
+    right: &TripleSet,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+    out: &mut Vec<Triple>,
+) {
+    for l in left {
+        for r in right.iter() {
+            stats.pairs_considered += 1;
+            if cond.check_pair(store, l, r) {
+                out.push(project(l, r, output));
+                stats.triples_emitted += 1;
+            }
         }
     }
-    TripleSet::from_sorted_vec(out)
 }
 
 /// Nested-loop join: inspects every pair of triples, exactly as in the
@@ -47,16 +105,35 @@ pub fn nested_loop_join(
 ) -> TripleSet {
     stats.joins_executed += 1;
     let mut out = Vec::with_capacity(left.len().max(right.len()));
-    for l in left.iter() {
-        for r in right.iter() {
-            stats.pairs_considered += 1;
-            if cond.check_pair(store, l, r) {
-                out.push(project(l, r, output));
-                stats.triples_emitted += 1;
-            }
-        }
-    }
+    nested_loop_join_slice(left.as_slice(), right, output, cond, store, stats, &mut out);
     TripleSet::from_vec(out)
+}
+
+/// Morsel-parallel [`nested_loop_join`]: partitions the **left** side; every
+/// worker inspects its morsel against the whole right side. Same quadratic
+/// pair count as the sequential join, divided across workers.
+pub fn nested_loop_join_parallel(
+    left: &TripleSet,
+    right: &TripleSet,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    threads: usize,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    stats.joins_executed += 1;
+    let tasks: Vec<_> = parallel::chunk(left.as_slice(), threads)
+        .into_iter()
+        .map(|morsel| {
+            move |stats: &mut EvalStats| {
+                let mut out = Vec::with_capacity(morsel.len());
+                nested_loop_join_slice(morsel, right, output, cond, store, stats, &mut out);
+                out
+            }
+        })
+        .collect();
+    let parts = parallel::run_tasks(threads, tasks, stats);
+    TripleSet::from_vec(parts.concat())
 }
 
 /// A hash-join key: up to three object ids, inlined so single-column keys
@@ -117,6 +194,61 @@ impl JoinTable {
         }
     }
 
+    /// Morsel-parallel [`JoinTable::build`]: carves `right` into one morsel
+    /// per worker, hashes each into a private shard, then merges the shards
+    /// **in morsel order** on the coordinating thread.
+    ///
+    /// Merging in morsel order makes every per-key bucket list the exact
+    /// sub-sequence of `right`'s iteration order that the sequential build
+    /// produces, so probe results (and therefore streamed row order under a
+    /// limit) are identical whichever build ran.
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty, like [`JoinTable::build`].
+    pub fn build_parallel(
+        right: &TripleSet,
+        keys: &[(Pos, Pos)],
+        threads: usize,
+        stats: &mut EvalStats,
+    ) -> JoinTable {
+        assert!(!keys.is_empty(), "hash join requires at least one key");
+        let right_components = key_components(keys, false);
+        let left_components = key_components(keys, true);
+        let components = &right_components;
+        let tasks: Vec<_> = parallel::chunk(right.as_slice(), threads)
+            .into_iter()
+            .map(|morsel| {
+                move |stats: &mut EvalStats| {
+                    let mut shard: HashMap<JoinKey, Vec<Triple>> =
+                        HashMap::with_capacity(morsel.len());
+                    for r in morsel {
+                        stats.triples_scanned += 1;
+                        shard.entry(key_of(r, components)).or_default().push(*r);
+                    }
+                    shard
+                }
+            })
+            .collect();
+        let shards = parallel::run_tasks(threads, tasks, stats);
+        let mut table: HashMap<JoinKey, Vec<Triple>> = HashMap::with_capacity(right.len());
+        for shard in shards {
+            for (key, mut bucket) in shard {
+                match table.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(bucket);
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut slot) => {
+                        slot.get_mut().append(&mut bucket);
+                    }
+                }
+            }
+        }
+        JoinTable {
+            left_components,
+            table,
+        }
+    }
+
     /// Number of distinct keys in the table.
     pub fn len(&self) -> usize {
         self.table.len()
@@ -139,6 +271,28 @@ impl JoinTable {
     }
 }
 
+/// The probe kernel of a hash join over one morsel of the probe side.
+pub(crate) fn hash_join_probe_slice(
+    left: &[Triple],
+    table: &JoinTable,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+    out: &mut Vec<Triple>,
+) {
+    for l in left {
+        stats.triples_scanned += 1;
+        for r in table.probe(l) {
+            stats.pairs_considered += 1;
+            if cond.check_pair(store, l, r) {
+                out.push(project(l, r, output));
+                stats.triples_emitted += 1;
+            }
+        }
+    }
+}
+
 /// Probe phase of a hash join: streams `left` against a pre-built
 /// [`JoinTable`], checking the full condition set per matching pair.
 pub fn hash_join_probe(
@@ -151,17 +305,36 @@ pub fn hash_join_probe(
 ) -> TripleSet {
     stats.joins_executed += 1;
     let mut out = Vec::with_capacity(left.len());
-    for l in left.iter() {
-        stats.triples_scanned += 1;
-        for r in table.probe(l) {
-            stats.pairs_considered += 1;
-            if cond.check_pair(store, l, r) {
-                out.push(project(l, r, output));
-                stats.triples_emitted += 1;
-            }
-        }
-    }
+    hash_join_probe_slice(left.as_slice(), table, output, cond, store, stats, &mut out);
     TripleSet::from_vec(out)
+}
+
+/// Morsel-parallel [`hash_join_probe`]: each worker runs the probe kernel
+/// over one contiguous morsel of the probe side against the shared read-only
+/// [`JoinTable`]; morsel outputs are concatenated in input order, so the
+/// pre-deduplication row sequence matches the sequential probe exactly.
+pub fn hash_join_probe_parallel(
+    left: &TripleSet,
+    table: &JoinTable,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    threads: usize,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    stats.joins_executed += 1;
+    let tasks: Vec<_> = parallel::chunk(left.as_slice(), threads)
+        .into_iter()
+        .map(|morsel| {
+            move |stats: &mut EvalStats| {
+                let mut out = Vec::with_capacity(morsel.len());
+                hash_join_probe_slice(morsel, table, output, cond, store, stats, &mut out);
+                out
+            }
+        })
+        .collect();
+    let parts = parallel::run_tasks(threads, tasks, stats);
+    TripleSet::from_vec(parts.concat())
 }
 
 /// Hash join keyed on the cross equalities of `θ` (build + probe in one
@@ -183,6 +356,35 @@ pub fn hash_join(
     hash_join_probe(left, &table, output, cond, store, stats)
 }
 
+/// The index-probe kernel over one morsel of the outer side.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn index_nested_loop_join_slice(
+    outer: &[Triple],
+    base: &TripleSet,
+    index: &RelationIndex,
+    probe: (Pos, Pos),
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+    out: &mut Vec<Triple>,
+) {
+    let (outer_pos, inner_pos) = probe;
+    debug_assert!(outer_pos.is_left() && inner_pos.is_right());
+    let inner_component = inner_pos.component_index();
+    for l in outer {
+        stats.triples_scanned += 1;
+        let value = l.0[outer_pos.component_index()];
+        for r in index.matching(base, inner_component, value) {
+            stats.pairs_considered += 1;
+            if cond.check_pair(store, l, r) {
+                out.push(project(l, r, output));
+                stats.triples_emitted += 1;
+            }
+        }
+    }
+}
+
 /// Index nested-loop join: probes a base relation's permutation index with
 /// each outer triple instead of building a hash table.
 ///
@@ -202,22 +404,56 @@ pub fn index_nested_loop_join(
     stats: &mut EvalStats,
 ) -> TripleSet {
     stats.joins_executed += 1;
-    let (outer_pos, inner_pos) = probe;
-    debug_assert!(outer_pos.is_left() && inner_pos.is_right());
-    let inner_component = inner_pos.component_index();
     let mut out = Vec::with_capacity(outer.len());
-    for l in outer.iter() {
-        stats.triples_scanned += 1;
-        let value = l.0[outer_pos.component_index()];
-        for r in index.matching(base, inner_component, value) {
-            stats.pairs_considered += 1;
-            if cond.check_pair(store, l, r) {
-                out.push(project(l, r, output));
-                stats.triples_emitted += 1;
-            }
-        }
-    }
+    index_nested_loop_join_slice(
+        outer.as_slice(),
+        base,
+        index,
+        probe,
+        output,
+        cond,
+        store,
+        stats,
+        &mut out,
+    );
     TripleSet::from_vec(out)
+}
+
+/// Morsel-parallel [`index_nested_loop_join`]: partitions the outer side;
+/// workers probe the shared permutation index concurrently (the probed
+/// permutation is forced into existence first, so workers never contend on
+/// the lazy `OnceLock` initialisation).
+#[allow(clippy::too_many_arguments)]
+pub fn index_nested_loop_join_parallel(
+    outer: &TripleSet,
+    base: &TripleSet,
+    index: &RelationIndex,
+    probe: (Pos, Pos),
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    threads: usize,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    stats.joins_executed += 1;
+    // Materialise the probed permutation on the coordinating thread so every
+    // worker starts with a cache hit.
+    let inner_component = probe.1.component_index();
+    index.permutation(base, trial_core::Permutation::keyed_on(inner_component));
+    let tasks: Vec<_> = parallel::chunk(outer.as_slice(), threads)
+        .into_iter()
+        .map(|morsel| {
+            move |stats: &mut EvalStats| {
+                let mut out = Vec::with_capacity(morsel.len());
+                index_nested_loop_join_slice(
+                    morsel, base, index, probe, output, cond, store, stats, &mut out,
+                );
+                out
+            }
+        })
+        .collect();
+    let parts = parallel::run_tasks(threads, tasks, stats);
+    TripleSet::from_vec(parts.concat())
 }
 
 /// The store's active domain, checked against `options.max_universe`: the
@@ -474,5 +710,92 @@ mod tests {
         let keys = vec![(Pos::L3, Pos::R1), (Pos::L2, Pos::R2)];
         assert_eq!(key_components(&keys, true), vec![2, 1]);
         assert_eq!(key_components(&keys, false), vec![0, 1]);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential_build_bucket_for_bucket() {
+        let store = store();
+        let e = rel(&store);
+        let cond = CompiledConditions::compile(&Conditions::new().obj_eq(Pos::L3, Pos::R1), &store);
+        let keys = cond.cross_equalities();
+        for threads in [1usize, 2, 4, 7] {
+            let mut s1 = EvalStats::new();
+            let mut s2 = EvalStats::new();
+            let seq = JoinTable::build(&e, &keys, &mut s1);
+            let par = JoinTable::build_parallel(&e, &keys, threads, &mut s2);
+            assert_eq!(seq.len(), par.len());
+            // Every probe answers with the same bucket in the same order.
+            for t in e.iter() {
+                assert_eq!(seq.probe(t), par.probe(t), "bucket diverges at {t:?}");
+            }
+            // The parallel build scanned each triple exactly once, like the
+            // sequential one.
+            assert_eq!(s1.triples_scanned, s2.triples_scanned);
+        }
+    }
+
+    #[test]
+    fn parallel_operators_agree_with_sequential_ones() {
+        let store = store();
+        let e = rel(&store);
+        let (base, index) = store.relation_with_index("E").unwrap();
+        let out_spec = OutputSpec::new(Pos::L1, Pos::L2, Pos::R3);
+        let eq = CompiledConditions::compile(&Conditions::new().obj_eq(Pos::L3, Pos::R1), &store);
+        let neq = CompiledConditions::compile(&Conditions::new().obj_neq(Pos::L1, Pos::R1), &store);
+        let sel =
+            CompiledConditions::compile(&Conditions::new().obj_eq_const(Pos::L2, "p"), &store);
+        for threads in [2usize, 3, 8] {
+            let mut seq = EvalStats::new();
+            let mut par = EvalStats::new();
+            // Selection.
+            assert_eq!(
+                select(&e, &sel, &store, &mut seq),
+                select_parallel(&e, &sel, &store, threads, &mut par)
+            );
+            // Hash probe (the shared table is built outside both arms).
+            let keys = eq.cross_equalities();
+            let table = JoinTable::build(&e, &keys, &mut EvalStats::new());
+            assert_eq!(
+                hash_join_probe(&e, &table, &out_spec, &eq, &store, &mut seq),
+                hash_join_probe_parallel(&e, &table, &out_spec, &eq, &store, threads, &mut par)
+            );
+            // Index nested-loop join.
+            assert_eq!(
+                index_nested_loop_join(
+                    base,
+                    base,
+                    index,
+                    (Pos::L3, Pos::R1),
+                    &out_spec,
+                    &eq,
+                    &store,
+                    &mut seq
+                ),
+                index_nested_loop_join_parallel(
+                    base,
+                    base,
+                    index,
+                    (Pos::L3, Pos::R1),
+                    &out_spec,
+                    &eq,
+                    &store,
+                    threads,
+                    &mut par
+                )
+            );
+            // Plain nested loop (no hashable key).
+            assert_eq!(
+                nested_loop_join(&e, &e, &out_spec, &neq, &store, &mut seq),
+                nested_loop_join_parallel(&e, &e, &out_spec, &neq, &store, threads, &mut par)
+            );
+            // Work counters are exact sums: identical to the sequential run,
+            // except for the morsel count.
+            assert_eq!(seq.pairs_considered, par.pairs_considered);
+            assert_eq!(seq.triples_scanned, par.triples_scanned);
+            assert_eq!(seq.triples_emitted, par.triples_emitted);
+            assert_eq!(seq.joins_executed, par.joins_executed);
+            assert_eq!(seq.parallel_morsels, 0);
+            assert!(par.parallel_morsels > 0, "parallel paths must be exercised");
+        }
     }
 }

@@ -1,0 +1,256 @@
+//! Scoped worker pool for morsel-driven intra-query parallelism.
+//!
+//! Morsel-driven execution (Leis et al., "Morsel-Driven Parallelism") carves
+//! an operator's input into small contiguous ranges — *morsels* — and lets a
+//! pool of worker threads pull morsels until none remain, so the degree of
+//! parallelism is a runtime parameter rather than a plan property. This
+//! module provides the pool in the only form a zero-dependency crate can:
+//! **scoped** `std::thread` workers, spawned per parallel section and joined
+//! before it returns. Scoped threads let morsel tasks borrow the store's
+//! permutation indexes and intermediate [`TripleSet`](trial_core::TripleSet)s
+//! directly (no `Arc`-wrapping of per-query state), and a panicking worker
+//! propagates to the coordinating thread on join — nothing is swallowed.
+//!
+//! Three primitives cover every parallel operator in [`crate::exec`]:
+//!
+//! * [`chunk`] — split a slice into near-equal contiguous morsels (the
+//!   in-memory mirror of `RelationIndex::partition_cursors` at the storage
+//!   layer);
+//! * [`run_tasks`] — execute a batch of morsel tasks on up to `threads`
+//!   workers pulling from a shared queue, returning results **in task
+//!   order** (concatenating them reproduces the sequential output exactly —
+//!   the determinism the differential suite relies on);
+//! * [`join_pair`] — overlap one blocking side computation (a
+//!   difference/intersection right side, a complement input) with the
+//!   current thread's own work.
+//!
+//! Every worker accumulates into its own [`EvalStats`] and the coordinator
+//! merges them after the join, so counters are exact sums regardless of the
+//! interleaving: a parallel evaluation reports the same `pairs_considered`/
+//! `triples_scanned`/… as the single-threaded reference, plus a non-zero
+//! [`EvalStats::parallel_morsels`].
+
+use crate::engine::EvalStats;
+use std::sync::Mutex;
+
+/// The host's available parallelism (1 if it cannot be determined) — the
+/// sensible upper bound when auto-configuring
+/// [`EvalOptions::threads`](crate::EvalOptions::threads), e.g. for
+/// `trial-serve --eval-threads 0`.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `slice` into at most `parts` near-equal contiguous morsels (the
+/// first `len % parts` morsels carry one extra element). Never returns an
+/// empty morsel: fewer than `parts` slices come back when `slice` is shorter
+/// than `parts`, and an empty slice yields no morsels at all.
+pub(crate) fn chunk<T>(slice: &[T], parts: usize) -> Vec<&[T]> {
+    let parts = parts.max(1).min(slice.len());
+    if parts == 0 {
+        return Vec::new();
+    }
+    let base = slice.len() / parts;
+    let extra = slice.len() % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(&slice[start..start + len]);
+        start += len;
+    }
+    debug_assert_eq!(start, slice.len());
+    out
+}
+
+/// Runs `tasks` on up to `threads` scoped worker threads and returns the
+/// results **in task order**.
+///
+/// Workers pull tasks from a shared queue (classic morsel dispatch: a fast
+/// worker takes more morsels, so skewed morsels don't idle the pool), each
+/// accumulating into a thread-local [`EvalStats`] that is merged into
+/// `stats` after all workers have joined — counter totals are therefore
+/// identical to a sequential run of the same tasks. With one thread or at
+/// most one task everything runs inline on the current thread and
+/// [`EvalStats::parallel_morsels`] stays untouched; otherwise it grows by
+/// the number of tasks. A panicking task propagates to the caller.
+pub(crate) fn run_tasks<T, F>(threads: usize, tasks: Vec<F>, stats: &mut EvalStats) -> Vec<T>
+where
+    F: FnOnce(&mut EvalStats) -> T + Send,
+    T: Send,
+{
+    if threads <= 1 || tasks.len() <= 1 {
+        return tasks.into_iter().map(|task| task(stats)).collect();
+    }
+    let count = tasks.len();
+    let workers = threads.min(count);
+    let queue = Mutex::new(tasks.into_iter().enumerate());
+    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(count).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = EvalStats::new();
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        // Hold the queue lock only to pop; the task body runs
+                        // unlocked. A poisoned queue means a sibling worker
+                        // panicked mid-pop, which the join below propagates.
+                        let next = queue
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .next();
+                        match next {
+                            Some((index, task)) => out.push((index, task(&mut local))),
+                            None => break,
+                        }
+                    }
+                    (local, out)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, out) = handle
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            stats.merge(&local);
+            for (index, value) in out {
+                results[index] = Some(value);
+            }
+        }
+    });
+    stats.parallel_morsels += count as u64;
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every morsel task produces a result"))
+        .collect()
+}
+
+/// Runs `near` on the current thread while `far` runs on one scoped worker,
+/// returning both results. This is how a pipeline's blocking side (a
+/// difference/intersection right side, a complement input) materialises
+/// concurrently with the left side instead of serialising behind it. The
+/// worker's counters merge into `stats` after the join; a panic in `far`
+/// propagates.
+pub(crate) fn join_pair<A, B, FA, FB>(near: FA, far: FB, stats: &mut EvalStats) -> (A, B)
+where
+    FA: FnOnce(&mut EvalStats) -> A,
+    FB: FnOnce(&mut EvalStats) -> B + Send,
+    B: Send,
+{
+    let (a, b, far_stats) = std::thread::scope(|scope| {
+        let handle = scope.spawn(move || {
+            let mut local = EvalStats::new();
+            let b = far(&mut local);
+            (b, local)
+        });
+        let a = near(stats);
+        let (b, far_stats) = handle
+            .join()
+            .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+        (a, b, far_stats)
+    });
+    stats.merge(&far_stats);
+    stats.parallel_morsels += 1;
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_covers_disjointly_without_empty_morsels() {
+        let data: Vec<u32> = (0..10).collect();
+        for parts in 1..=12 {
+            let chunks = chunk(&data, parts);
+            assert!(chunks.len() <= parts);
+            assert!(chunks.iter().all(|c| !c.is_empty()));
+            let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+            let (lo, hi) = (sizes.iter().min(), sizes.iter().max());
+            assert!(hi.unwrap() - lo.unwrap() <= 1, "skewed: {sizes:?}");
+            let flat: Vec<u32> = chunks.concat();
+            assert_eq!(flat, data, "parts={parts}");
+        }
+        assert!(chunk::<u32>(&[], 4).is_empty());
+        assert_eq!(chunk(&data, 0).len(), 1);
+    }
+
+    #[test]
+    fn run_tasks_preserves_task_order_and_merges_stats() {
+        for threads in [1usize, 2, 4, 9] {
+            let tasks: Vec<_> = (0u64..8)
+                .map(|i| {
+                    move |stats: &mut EvalStats| {
+                        stats.triples_scanned += i;
+                        i * 10
+                    }
+                })
+                .collect();
+            let mut stats = EvalStats::new();
+            let results = run_tasks(threads, tasks, &mut stats);
+            assert_eq!(results, (0u64..8).map(|i| i * 10).collect::<Vec<_>>());
+            assert_eq!(stats.triples_scanned, (0..8).sum::<u64>());
+            if threads > 1 {
+                assert_eq!(stats.parallel_morsels, 8);
+            } else {
+                assert_eq!(stats.parallel_morsels, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn run_tasks_inline_paths_touch_no_threads() {
+        // A single task runs inline even with many threads.
+        let mut stats = EvalStats::new();
+        let results = run_tasks(
+            8,
+            vec![|s: &mut EvalStats| {
+                s.triples_emitted += 1;
+                42
+            }],
+            &mut stats,
+        );
+        assert_eq!(results, vec![42]);
+        assert_eq!(stats.parallel_morsels, 0);
+        assert_eq!(stats.triples_emitted, 1);
+        // No tasks at all is fine.
+        let none: Vec<fn(&mut EvalStats) -> u32> = Vec::new();
+        assert!(run_tasks(4, none, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn join_pair_returns_both_sides_and_merges_stats() {
+        let mut stats = EvalStats::new();
+        let (a, b) = join_pair(
+            |s: &mut EvalStats| {
+                s.triples_scanned += 3;
+                "near"
+            },
+            |s: &mut EvalStats| {
+                s.triples_scanned += 4;
+                "far"
+            },
+            &mut stats,
+        );
+        assert_eq!((a, b), ("near", "far"));
+        assert_eq!(stats.triples_scanned, 7);
+        assert_eq!(stats.parallel_morsels, 1);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        type BoxedTask = Box<dyn FnOnce(&mut EvalStats) -> u32 + Send>;
+        let tasks: Vec<BoxedTask> = vec![
+            Box::new(|_s: &mut EvalStats| 1),
+            Box::new(|_s: &mut EvalStats| panic!("morsel exploded")),
+        ];
+        let mut stats = EvalStats::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_tasks(2, tasks, &mut stats)
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -257,6 +257,58 @@ impl PlanNode {
         }
     }
 
+    /// `true` if the set-at-a-time executor has a **morsel-parallel
+    /// strategy** for this operator: with [`crate::EvalOptions::threads`]
+    /// `> 1` (and an input large enough to beat spawn overhead) its work is
+    /// carved into contiguous morsels executed on a scoped worker pool.
+    ///
+    /// Parallel operators: hash joins (sharded build + partitioned probe,
+    /// sides evaluated concurrently), index and plain nested-loop joins
+    /// (partitioned outer/left side), filtered scans and standalone filters
+    /// (partitioned selection over storage-layer morsels), star fixpoints
+    /// (per-round delta partitioning / BFS fan-out), and the binary set
+    /// operations union/difference/intersection plus complement (the two
+    /// sides — for complement, the excluded input and the universe —
+    /// materialise concurrently). Plain scans, memo slots and limits stay
+    /// sequential — a limit's subtree runs as a pull-based pipeline whose
+    /// early termination a parallel drain would forfeit, so it falls back
+    /// explicitly.
+    pub fn parallelizable(&self) -> bool {
+        match self {
+            PlanNode::IndexScan { residual, .. } => !residual.is_empty(),
+            PlanNode::Filter { .. }
+            | PlanNode::HashJoin { .. }
+            | PlanNode::IndexNestedLoopJoin { .. }
+            | PlanNode::NestedLoopJoin { .. }
+            | PlanNode::Union { .. }
+            | PlanNode::Diff { .. }
+            | PlanNode::Intersect { .. }
+            | PlanNode::Complement { .. }
+            | PlanNode::StarSemiNaive { .. }
+            | PlanNode::StarReach { .. } => true,
+            PlanNode::Universe { .. }
+            | PlanNode::Empty
+            | PlanNode::Memo { .. }
+            | PlanNode::Limit { .. } => false,
+        }
+    }
+
+    /// This subtree in preorder (the node itself, then each child's subtree
+    /// left to right) — the indexing scheme shared by
+    /// [`crate::exec`]'s per-node actual-row counters and the server's
+    /// structured `/explain` tree.
+    pub fn preorder(&self) -> Vec<&PlanNode> {
+        fn walk<'n>(node: &'n PlanNode, out: &mut Vec<&'n PlanNode>) {
+            out.push(node);
+            for child in node.children() {
+                walk(child, out);
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
     /// `true` if this operator emits rows incrementally as its inputs are
     /// pulled; `false` if it is a **pipeline breaker** that must fully
     /// consume at least one input before emitting its first row (hash-join
@@ -299,6 +351,18 @@ impl PlanNode {
             | PlanNode::Intersect { left, right, .. } => vec![left, right],
             PlanNode::IndexNestedLoopJoin { outer, .. } => vec![outer],
         }
+    }
+
+    /// The operator's one-line label (without children) as rendered for an
+    /// evaluation running on `threads` worker threads: like
+    /// [`PlanNode::label`], plus a `[parallel×N]` tag on every operator the
+    /// executor would run morsel-parallel at that degree.
+    pub fn label_with_threads(&self, threads: usize) -> String {
+        let mut label = self.label();
+        if threads > 1 && self.parallelizable() {
+            label.push_str(&format!(" [parallel×{threads}]"));
+        }
+        label
     }
 
     /// The operator's one-line label (without children), as used by
@@ -408,7 +472,7 @@ impl PlanNode {
         label
     }
 
-    fn render(&self, out: &mut String, prefix: &str, is_last: Option<bool>) {
+    fn render(&self, out: &mut String, prefix: &str, is_last: Option<bool>, threads: usize) {
         let (branch, next_prefix) = match is_last {
             None => ("", String::new()),
             Some(false) => ("├─ ", format!("{prefix}│  ")),
@@ -416,19 +480,20 @@ impl PlanNode {
         };
         out.push_str(prefix);
         out.push_str(branch);
-        out.push_str(&self.label());
+        out.push_str(&self.label_with_threads(threads));
         out.push('\n');
         let children = self.children();
         let count = children.len();
         for (i, child) in children.into_iter().enumerate() {
-            child.render(out, &next_prefix, Some(i + 1 == count));
+            child.render(out, &next_prefix, Some(i + 1 == count), threads);
         }
     }
 
-    /// Renders this subtree in `EXPLAIN` style.
+    /// Renders this subtree in `EXPLAIN` style (single-threaded labels; use
+    /// [`Plan::explain`] for the thread-aware rendering of a whole plan).
     pub fn explain(&self) -> String {
         let mut out = String::new();
-        self.render(&mut out, "", None);
+        self.render(&mut out, "", None, 1);
         out
     }
 }
@@ -440,20 +505,27 @@ impl fmt::Display for PlanNode {
 }
 
 /// A complete physical plan: the operator tree plus the number of memo slots
-/// the executor must allocate.
+/// the executor must allocate and the degree of parallelism it was planned
+/// for.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Root operator.
     pub root: PlanNode,
     /// Number of [`PlanNode::Memo`] slots referenced by the tree.
     pub memo_slots: usize,
+    /// The [`crate::EvalOptions::threads`] the plan was built under; drives
+    /// the `[parallel×N]` tags in [`Plan::explain`] (always at least 1).
+    pub threads: usize,
 }
 
 impl Plan {
     /// Renders the plan in `EXPLAIN` style (see the module docs for a
-    /// sample).
+    /// sample). With [`Plan::threads`]` > 1`, operators the executor runs
+    /// morsel-parallel are tagged `[parallel×N]`.
     pub fn explain(&self) -> String {
-        self.root.explain()
+        let mut out = String::new();
+        self.root.render(&mut out, "", None, self.threads.max(1));
+        out
     }
 }
 
@@ -498,6 +570,7 @@ mod tests {
                 est: 7,
             },
             memo_slots: 1,
+            threads: 1,
         };
         let text = plan.explain();
         assert!(text.contains("Union"));
@@ -642,6 +715,73 @@ mod tests {
         };
         assert!(star.ordered());
         assert!(!star.pipelined());
+    }
+
+    #[test]
+    fn parallel_metadata_and_tags() {
+        let join = PlanNode::HashJoin {
+            left: Box::new(scan("E", 7)),
+            right: Box::new(scan("E", 7)),
+            output: output(Pos::L1, Pos::R3, Pos::L3),
+            cond: Conditions::new().obj_eq(Pos::L2, Pos::R1),
+            keys: vec![(Pos::L2, Pos::R1)],
+            swapped: false,
+            est: 7,
+        };
+        assert!(join.parallelizable());
+        // A plain scan is a passthrough (nothing to parallelise); a filtered
+        // scan partitions its residual check.
+        assert!(!scan("E", 7).parallelizable());
+        let filtered = PlanNode::IndexScan {
+            relation: "E".into(),
+            bound: None,
+            residual: Conditions::new().obj_neq(Pos::L1, Pos::L3),
+            est: 5,
+        };
+        assert!(filtered.parallelizable());
+        // Limits fall back to the sequential streaming pipeline.
+        let limit = PlanNode::Limit {
+            input: Box::new(join.clone()),
+            limit: 5,
+            est: 5,
+        };
+        assert!(!limit.parallelizable());
+        // Labels carry the tag only at degree > 1.
+        assert!(join.label_with_threads(4).contains("[parallel×4]"));
+        assert!(!join.label_with_threads(1).contains("parallel"));
+        assert!(!limit.label_with_threads(4).contains("parallel"));
+        // Plan::explain renders with the plan's own degree.
+        let parallel_plan = Plan {
+            root: join.clone(),
+            memo_slots: 0,
+            threads: 4,
+        };
+        assert!(parallel_plan.explain().contains("[parallel×4]"));
+        let sequential_plan = Plan {
+            root: join,
+            memo_slots: 0,
+            threads: 1,
+        };
+        assert!(!sequential_plan.explain().contains("parallel"));
+    }
+
+    #[test]
+    fn preorder_walk_matches_tree_shape() {
+        let tree = PlanNode::Union {
+            left: Box::new(PlanNode::Filter {
+                input: Box::new(scan("E", 3)),
+                cond: Conditions::new().obj_neq(Pos::L1, Pos::L2),
+                est: 2,
+            }),
+            right: Box::new(scan("F", 4)),
+            est: 6,
+        };
+        let order = tree.preorder();
+        assert_eq!(order.len(), 4);
+        assert!(matches!(order[0], PlanNode::Union { .. }));
+        assert!(matches!(order[1], PlanNode::Filter { .. }));
+        assert!(matches!(order[2], PlanNode::IndexScan { relation, .. } if relation == "E"));
+        assert!(matches!(order[3], PlanNode::IndexScan { relation, .. } if relation == "F"));
     }
 
     #[test]

@@ -108,6 +108,50 @@ impl SmartEngine {
         Ok(Evaluation { result, stats })
     }
 
+    /// Evaluates `expr` like [`SmartEngine::evaluate_limited`] while also
+    /// recording every plan node's **actual** output cardinality — the
+    /// `EXPLAIN ANALYZE` entry point behind the server's
+    /// `/explain?analyze=1`.
+    ///
+    /// Actuals are the cost-model feedback loop: comparing them to the
+    /// per-node `est` exposes the selectivity mis-estimates that would
+    /// mislead morsel sizing (and build-side choices). Node indexing follows
+    /// [`PlanNode::preorder`] of the returned plan; a node is `None` when it
+    /// was not individually materialised — the subtree beneath a streaming
+    /// [`PlanNode::Limit`] runs as one pull-based pipeline and only the
+    /// limit node itself observes a row count.
+    pub fn evaluate_analyzed(
+        &self,
+        expr: &Expr,
+        store: &Triplestore,
+        limit: Option<usize>,
+    ) -> Result<AnalyzedEvaluation> {
+        let options = EvalOptions {
+            collect_node_stats: true,
+            ..self.options
+        };
+        let plan = plan_limited(expr, store, &options, limit)?;
+        let mut stats = EvalStats::new();
+        let mut executor = Executor::new(store, options, &plan);
+        let result = if options.streaming {
+            executor.materialize(&plan.root, &mut stats)?
+        } else {
+            executor.run(&plan.root, &mut stats)?
+        };
+        let recorded = executor.take_actuals().unwrap_or_default();
+        let actuals = plan
+            .root
+            .preorder()
+            .into_iter()
+            .map(|node| recorded.get(&crate::exec::node_key(node)).copied())
+            .collect();
+        Ok(AnalyzedEvaluation {
+            plan,
+            evaluation: Evaluation { result, stats },
+            actuals,
+        })
+    }
+
     /// Compiles `expr` into a streaming [`QueryStream`] over `store`,
     /// optionally bounded to `limit` distinct result triples.
     ///
@@ -129,6 +173,21 @@ impl SmartEngine {
         let root = executor.cursor(&plan.root, &mut stats)?;
         Ok(QueryStream::new(plan, root, stats))
     }
+}
+
+/// The outcome of [`SmartEngine::evaluate_analyzed`]: the executed plan, the
+/// evaluation itself, and each node's actual output cardinality.
+#[derive(Debug, Clone)]
+pub struct AnalyzedEvaluation {
+    /// The physical plan that was executed (limit already pushed).
+    pub plan: Plan,
+    /// Result triples and work counters.
+    pub evaluation: Evaluation,
+    /// Actual output rows per plan node, indexed by the node's position in
+    /// [`PlanNode::preorder`] over `plan.root`. `None` marks nodes executed
+    /// only as part of a streaming pipeline (beneath a limit boundary)
+    /// rather than individually materialised.
+    pub actuals: Vec<Option<u64>>,
 }
 
 impl Engine for SmartEngine {
@@ -170,6 +229,7 @@ pub fn plan(expr: &Expr, store: &Triplestore, options: &EvalOptions) -> Result<P
     Ok(Plan {
         root,
         memo_slots: planner.slots.len(),
+        threads: options.threads.max(1),
     })
 }
 
@@ -1162,6 +1222,168 @@ mod tests {
         assert!(text.contains("Limit 5"), "{text}");
         assert!(text.contains("[pipelined]"), "{text}");
         assert!(text.contains("[breaker]"), "{text}");
+    }
+
+    #[test]
+    fn parallel_execution_agrees_with_every_engine() {
+        let store = figure1();
+        let sequential = SmartEngine::with_options(EvalOptions {
+            threads: 1,
+            ..EvalOptions::default()
+        });
+        for threads in [2usize, 4] {
+            // parallel_min_rows: 0 forces the morsel paths even on the tiny
+            // Figure 1 store, so this exercises the real worker pool.
+            let parallel = SmartEngine::with_options(EvalOptions {
+                threads,
+                parallel_min_rows: 0,
+                ..EvalOptions::default()
+            });
+            let mut saw_morsels = false;
+            for expr in expression_zoo() {
+                let seq = sequential.evaluate(&expr, &store).unwrap();
+                let par = parallel.evaluate(&expr, &store).unwrap();
+                assert_eq!(
+                    seq.result, par.result,
+                    "parallel diverges at {threads} threads on {expr}"
+                );
+                assert_eq!(seq.stats.parallel_morsels, 0);
+                saw_morsels |= par.stats.parallel_morsels > 0;
+                // The non-streaming reference interpreter parallelises too.
+                let par_mat = SmartEngine::with_options(EvalOptions {
+                    streaming: false,
+                    ..parallel.options
+                })
+                .evaluate(&expr, &store)
+                .unwrap();
+                assert_eq!(
+                    seq.result, par_mat.result,
+                    "materialized diverges on {expr}"
+                );
+            }
+            assert!(saw_morsels, "the parallel paths never ran");
+        }
+    }
+
+    #[test]
+    fn parallel_sides_share_memo_slots() {
+        // Both union sides are the same memoizable star: with overlapping
+        // side evaluation the sibling executors must share the memo slot, so
+        // the closure is computed exactly once (one side computes under the
+        // slot lock, the other blocks and then hits) and work counters stay
+        // identical to the single-threaded run.
+        let store = figure1();
+        let q = queries::reach_forward("E").union(queries::reach_forward("E"));
+        let seq = SmartEngine::with_options(EvalOptions {
+            threads: 1,
+            ..EvalOptions::default()
+        })
+        .evaluate(&q, &store)
+        .unwrap();
+        for threads in [2usize, 4] {
+            let par = SmartEngine::with_options(EvalOptions {
+                threads,
+                parallel_min_rows: 0,
+                ..EvalOptions::default()
+            })
+            .evaluate(&q, &store)
+            .unwrap();
+            assert_eq!(seq.result, par.result);
+            assert_eq!(
+                seq.stats.reach_edges_traversed, par.stats.reach_edges_traversed,
+                "memoized star recomputed at {threads} threads"
+            );
+            assert_eq!(seq.stats.pairs_considered, par.stats.pairs_considered);
+            assert_eq!(seq.stats.memo_hits, par.stats.memo_hits);
+            assert!(par.stats.memo_hits >= 1);
+        }
+    }
+
+    #[test]
+    fn parallel_streams_respect_limits() {
+        let store = figure1();
+        let parallel = SmartEngine::with_options(EvalOptions {
+            threads: 4,
+            parallel_min_rows: 0,
+            ..EvalOptions::default()
+        });
+        let sequential = SmartEngine::with_options(EvalOptions {
+            threads: 1,
+            ..EvalOptions::default()
+        });
+        for expr in expression_zoo() {
+            let full = sequential.run(&expr, &store).unwrap();
+            for limit in [0usize, 1, 3, usize::MAX] {
+                let par = parallel
+                    .evaluate_limited(&expr, &store, Some(limit))
+                    .unwrap()
+                    .result;
+                let seq = sequential
+                    .evaluate_limited(&expr, &store, Some(limit))
+                    .unwrap()
+                    .result;
+                assert_eq!(
+                    par.len(),
+                    full.len().min(limit),
+                    "length for {expr}@{limit}"
+                );
+                // The limited pipeline is the sequential fallback, so the
+                // *same* triples come back regardless of the thread count.
+                assert_eq!(par, seq, "limited results diverge on {expr}@{limit}");
+            }
+        }
+    }
+
+    #[test]
+    fn explain_tags_parallel_operators() {
+        let store = figure1();
+        let q = queries::example2("E");
+        let parallel = SmartEngine::with_options(EvalOptions {
+            threads: 4,
+            ..EvalOptions::default()
+        });
+        let text = parallel.plan(&q, &store).unwrap().explain();
+        assert!(text.contains("[parallel×4]"), "missing tag in:\n{text}");
+        let sequential = SmartEngine::with_options(EvalOptions {
+            threads: 1,
+            ..EvalOptions::default()
+        });
+        let text = sequential.plan(&q, &store).unwrap().explain();
+        assert!(!text.contains("parallel"), "unexpected tag in:\n{text}");
+    }
+
+    #[test]
+    fn evaluate_analyzed_reports_per_node_actuals() {
+        let store = figure1();
+        let engine = SmartEngine::new();
+        let q = queries::example2("E");
+        let analyzed = engine.evaluate_analyzed(&q, &store, None).unwrap();
+        let nodes = analyzed.plan.root.preorder();
+        assert_eq!(analyzed.actuals.len(), nodes.len());
+        // Every node materialised individually: all actuals present, and the
+        // root's actual equals the result cardinality.
+        assert!(analyzed.actuals.iter().all(Option::is_some));
+        assert_eq!(
+            analyzed.actuals[0],
+            Some(analyzed.evaluation.result.len() as u64)
+        );
+        // The analyzed run returns the same result as a plain evaluation.
+        assert_eq!(analyzed.evaluation.result, engine.run(&q, &store).unwrap());
+        // Under a limit, the limit node reports its actual while the
+        // streamed subtree beneath it reports None.
+        let analyzed = engine.evaluate_analyzed(&q, &store, Some(1)).unwrap();
+        assert!(matches!(analyzed.plan.root, PlanNode::Limit { .. }));
+        assert_eq!(analyzed.actuals[0], Some(1));
+        assert!(analyzed.actuals[1..].iter().all(Option::is_none));
+        // Actual collection also works on a parallel run.
+        let parallel = SmartEngine::with_options(EvalOptions {
+            threads: 4,
+            parallel_min_rows: 0,
+            ..EvalOptions::default()
+        });
+        let a = parallel.evaluate_analyzed(&q, &store, None).unwrap();
+        assert!(a.actuals.iter().all(Option::is_some));
+        assert_eq!(a.evaluation.result, engine.run(&q, &store).unwrap());
     }
 
     #[test]

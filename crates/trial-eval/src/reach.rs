@@ -22,6 +22,7 @@
 //! queries over the same relation never rebuild the graph.
 
 use crate::engine::EvalStats;
+use crate::parallel;
 use std::collections::{HashMap, HashSet, VecDeque};
 use trial_core::{Adjacency, ObjectId, Triple, TripleSet};
 
@@ -88,6 +89,48 @@ pub fn reach_star_plain(base: &TripleSet, adj: &Adjacency, stats: &mut EvalStats
     TripleSet::from_vec(out)
 }
 
+/// Morsel-parallel [`reach_star_plain`]: the distinct endpoints (one BFS
+/// each) are partitioned across workers probing the shared read-only
+/// adjacency lists. Each BFS is independent, so edge-traversal counts are
+/// exact sums and the result set is identical to the sequential procedure.
+pub fn reach_star_plain_parallel(
+    base: &TripleSet,
+    adj: &Adjacency,
+    threads: usize,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    let mut by_endpoint: HashMap<ObjectId, Vec<(ObjectId, ObjectId)>> = HashMap::new();
+    for t in base.iter() {
+        by_endpoint.entry(t.o()).or_default().push((t.s(), t.p()));
+    }
+    let entries: Vec<(ObjectId, Vec<(ObjectId, ObjectId)>)> = by_endpoint.into_iter().collect();
+    let tasks: Vec<_> = parallel::chunk(&entries, threads)
+        .into_iter()
+        .map(|morsel| {
+            move |stats: &mut EvalStats| {
+                let mut out: Vec<Triple> = Vec::new();
+                for (endpoint, prefixes) in morsel {
+                    let reach = reachable_from(*endpoint, adj, stats);
+                    for &(s, p) in prefixes {
+                        for &w in &reach {
+                            out.push(Triple::new(s, p, w));
+                            stats.triples_emitted += 1;
+                        }
+                    }
+                }
+                out
+            }
+        })
+        .collect();
+    let parts = parallel::run_tasks(threads, tasks, stats);
+    let mut out: Vec<Triple> = Vec::with_capacity(base.len());
+    out.extend(base.iter().copied());
+    for part in parts {
+        out.extend(part);
+    }
+    TripleSet::from_vec(out)
+}
+
 /// Procedure 4: computes `(base ✶^{1,2,3'}_{3=1', 2=2'})^*` over per-label
 /// adjacency lists (which must be the label-split edge graph of `base`).
 ///
@@ -119,6 +162,54 @@ pub fn reach_star_same_label(
                 stats.triples_emitted += 1;
             }
         }
+    }
+    TripleSet::from_vec(out)
+}
+
+/// Morsel-parallel [`reach_star_same_label`]: partitions the distinct
+/// `(label, endpoint)` BFS roots across workers sharing the read-only
+/// per-label adjacency lists.
+pub fn reach_star_same_label_parallel(
+    base: &TripleSet,
+    adj_by_label: &HashMap<ObjectId, Adjacency>,
+    threads: usize,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    let mut by_label_endpoint: HashMap<(ObjectId, ObjectId), Vec<ObjectId>> = HashMap::new();
+    for t in base.iter() {
+        by_label_endpoint
+            .entry((t.p(), t.o()))
+            .or_default()
+            .push(t.s());
+    }
+    let entries: Vec<((ObjectId, ObjectId), Vec<ObjectId>)> =
+        by_label_endpoint.into_iter().collect();
+    let empty = Adjacency::default();
+    let empty = &empty;
+    let tasks: Vec<_> = parallel::chunk(&entries, threads)
+        .into_iter()
+        .map(|morsel| {
+            move |stats: &mut EvalStats| {
+                let mut out: Vec<Triple> = Vec::new();
+                for ((label, endpoint), sources) in morsel {
+                    let adj = adj_by_label.get(label).unwrap_or(empty);
+                    let reach = reachable_from(*endpoint, adj, stats);
+                    for &s in sources {
+                        for &w in &reach {
+                            out.push(Triple::new(s, *label, w));
+                            stats.triples_emitted += 1;
+                        }
+                    }
+                }
+                out
+            }
+        })
+        .collect();
+    let parts = parallel::run_tasks(threads, tasks, stats);
+    let mut out: Vec<Triple> = Vec::with_capacity(base.len());
+    out.extend(base.iter().copied());
+    for part in parts {
+        out.extend(part);
     }
     TripleSet::from_vec(out)
 }
@@ -223,6 +314,46 @@ mod tests {
         let mut stats = EvalStats::new();
         let all = plain(&base(&store), &mut stats);
         assert!(all.contains(&store.triple_by_names("a", "red", "d").unwrap()));
+    }
+
+    #[test]
+    fn parallel_reachability_matches_sequential() {
+        let store = labelled_chain();
+        let b = base(&store);
+        let adj = Adjacency::from_triples(b.iter());
+        let by_label = label_adjacency(&b);
+        let mut seq = EvalStats::new();
+        let plain_seq = reach_star_plain(&b, &adj, &mut seq);
+        let same_seq = reach_star_same_label(&b, &by_label, &mut seq);
+        for threads in [1usize, 2, 4] {
+            let mut par = EvalStats::new();
+            assert_eq!(
+                plain_seq,
+                reach_star_plain_parallel(&b, &adj, threads, &mut par)
+            );
+            assert_eq!(
+                same_seq,
+                reach_star_same_label_parallel(&b, &by_label, threads, &mut par)
+            );
+            // BFS partitioning changes nothing about the work performed.
+            assert_eq!(seq.reach_edges_traversed, par.reach_edges_traversed);
+            assert_eq!(seq.triples_emitted, par.triples_emitted);
+            if threads > 1 {
+                assert!(par.parallel_morsels > 0, "morsels must actually run");
+            }
+        }
+        // Empty and singleton bases survive partitioning.
+        let empty = TripleSet::new();
+        let mut s = EvalStats::new();
+        assert!(reach_star_plain_parallel(&empty, &Adjacency::default(), 4, &mut s).is_empty());
+        let single: TripleSet = [b.as_slice()[0]].into_iter().collect();
+        let adj1 = Adjacency::from_triples(single.iter());
+        let mut s1 = EvalStats::new();
+        let mut s2 = EvalStats::new();
+        assert_eq!(
+            reach_star_plain(&single, &adj1, &mut s1),
+            reach_star_plain_parallel(&single, &adj1, 4, &mut s2)
+        );
     }
 
     #[test]

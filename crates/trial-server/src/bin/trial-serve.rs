@@ -23,6 +23,9 @@ OPTIONS:
                          names: figure1 transport social random chain
                                 cycle grid clique
     --cache <N>          query-cache entries (0 = off) [default: 128]
+    --eval-threads <N>   intra-query parallelism degree (0 = all cores);
+                         per-request override: ?threads= (clamped to 16)
+                                                       [default: 1]
     --max-body <BYTES>   request body limit            [default: 8388608]
     --max-universe <N>   universal-relation cap        [default: 1000000]
     --max-rounds <N>     fixpoint-round cap per star   [default: 10000]
@@ -30,10 +33,12 @@ OPTIONS:
 
 ENDPOINTS:
     POST /query    TriAL expression (plain text) -> JSON triples + stats
-    POST /explain  TriAL expression -> rendered physical plan
+                   (?limit=, ?threads=)
+    POST /explain  TriAL expression -> rendered physical plan; ?analyze=1
+                   also runs it and reports actual vs estimated rows
     POST /load     N-Triples document (?store=, ?relation=) -> new epoch
     GET  /stores   store inventory
-    GET  /healthz  liveness + cache counters
+    GET  /healthz  liveness + eval-thread & cache counters
 ";
 
 fn main() -> ExitCode {
@@ -69,6 +74,17 @@ fn run() -> Result<ExitCode, String> {
             }
             "--preload" => preloads.push(take_value(&args, &mut i)?),
             "--cache" => config.cache_capacity = parse_num(&take_value(&args, &mut i)?, "--cache")?,
+            "--eval-threads" => {
+                let n: usize = parse_num(&take_value(&args, &mut i)?, "--eval-threads")?;
+                // 0 = auto-detect; anything else is clamped to the same
+                // ceiling the per-request ?threads= knob gets.
+                let n = if n == 0 {
+                    trial_eval::available_threads()
+                } else {
+                    n
+                };
+                config.eval.threads = n.clamp(1, trial_server::MAX_EVAL_THREADS);
+            }
             "--max-body" => {
                 config.max_body_bytes = parse_num(&take_value(&args, &mut i)?, "--max-body")?
             }

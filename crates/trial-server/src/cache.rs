@@ -25,7 +25,7 @@ pub enum QueryKind {
 }
 
 /// Cache key: store name + store epoch + endpoint kind + exact query text +
-/// effective result limit.
+/// effective result limit + evaluation shape (threads, analyze).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CacheKey {
     /// Registry name of the store.
@@ -40,6 +40,13 @@ pub struct CacheKey {
     /// truncated at render time, so different limits are different results
     /// (0 for `/explain`, which has no limit).
     pub limit: u64,
+    /// The effective evaluation parallelism: `/explain` plans carry
+    /// `[parallel×N]` tags and `/query` stats report morsel counts, so
+    /// fragments rendered at different degrees must not share an entry.
+    pub threads: u64,
+    /// `true` for `/explain?analyze=1` fragments (they embed per-node
+    /// actual row counts that a plain explain lacks).
+    pub analyze: bool,
 }
 
 #[derive(Debug)]
@@ -189,6 +196,8 @@ mod tests {
             kind: QueryKind::Query,
             text: text.into(),
             limit: 100,
+            threads: 1,
+            analyze: false,
         }
     }
 
@@ -227,6 +236,18 @@ mod tests {
             ..key("s", 1, "E")
         };
         assert!(cache.get(&other_limit).is_none());
+        // Nor fragments evaluated at a different parallel degree, nor
+        // analyzed explains.
+        let other_threads = CacheKey {
+            threads: 4,
+            ..key("s", 1, "E")
+        };
+        assert!(cache.get(&other_threads).is_none());
+        let analyzed = CacheKey {
+            analyze: true,
+            ..key("s", 1, "E")
+        };
+        assert!(cache.get(&analyzed).is_none());
     }
 
     #[test]

@@ -44,6 +44,31 @@
 //! curl -s localhost:7878/healthz
 //! ```
 //!
+//! ## Parallel evaluation
+//!
+//! `trial-serve --eval-threads N` turns on morsel-driven intra-query
+//! parallelism (see the *Parallel execution* section of the `trial-eval`
+//! docs) for every query; `--eval-threads 0` auto-detects the core count.
+//! Individual requests override the degree with `?threads=`, clamped to
+//! [`routes::MAX_EVAL_THREADS`]:
+//!
+//! ```bash
+//! trial-serve --preload transport --eval-threads 4
+//!
+//! # Evaluate this query on 8 worker threads (same result, same counters —
+//! # only wall-clock changes); plans show which operators ran [parallel×8].
+//! curl -s "localhost:7878/query?threads=8" -d "(E JOIN[1,3',3 | 2=1'] E)"
+//! curl -s "localhost:7878/explain?threads=8" -d "(E JOIN[1,3',3 | 2=1'] E)"
+//!
+//! # EXPLAIN ANALYZE: run the (bounded) query and report actual per-node
+//! # rows next to the planner's estimates in the structured tree.
+//! curl -s "localhost:7878/explain?analyze=1" -d "(E JOIN[1,3',3 | 2=1'] E)"
+//!
+//! # /healthz reports the configured degree and how many fresh queries
+//! # actually executed parallel morsels vs. stayed sequential.
+//! curl -s localhost:7878/healthz
+//! ```
+//!
 //! ## Architecture
 //!
 //! * **[`registry`]** — named stores as epoch-versioned immutable snapshots
@@ -99,6 +124,7 @@ pub mod server;
 pub use cache::{CacheKey, QueryCache, QueryKind};
 pub use preload::{preload_workload, WORKLOAD_NAMES};
 pub use registry::{StoreRegistry, StoreSnapshot};
+pub use routes::MAX_EVAL_THREADS;
 pub use server::{Server, ServerConfig};
 
 // The server hands `Arc<ServerState>` and store snapshots across worker

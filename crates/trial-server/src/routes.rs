@@ -9,9 +9,21 @@
 //! | `/healthz`      | GET    | —           | liveness + service & cache counters      |
 //!
 //! Request options ride in the query string (`?store=`, `?relation=`,
-//! `?limit=`); bodies are plain text. Responses are always JSON; errors are
-//! structured as `{"error":{"kind":...,"message":...,"offset":...}}` with
-//! the byte offset present for parse errors.
+//! `?limit=`, `?threads=`, `?analyze=`); bodies are plain text. Responses
+//! are always JSON; errors are structured as
+//! `{"error":{"kind":...,"message":...,"offset":...}}` with the byte offset
+//! present for parse errors.
+//!
+//! **Parallelism**: `?threads=` overrides the server's configured
+//! evaluation degree (`trial-serve --eval-threads`) per request, clamped to
+//! `[1, MAX_EVAL_THREADS]`; the effective degree is reported as `threads`
+//! on `/explain` and (as the configured default) on `/healthz`, whose
+//! `eval` section also counts how many fresh `/query` evaluations actually
+//! executed parallel morsels vs. stayed sequential. `/explain?analyze=1`
+//! additionally **runs** the (bounded) query and reports each plan node's
+//! actual output rows next to the planner's `est` in the structured `tree`
+//! — the cost-model feedback that exposes estimates bad enough to mislead
+//! morsel sizing.
 //!
 //! `/query` executes through the **streaming cursor pipeline**: `?limit=` is
 //! compiled into the physical plan as a `Limit` node, so bounded queries
@@ -55,6 +67,17 @@ pub const MAX_RESULT_LIMIT: usize = 100_000;
 /// Fragments larger than this are served but not cached — the LRU counts
 /// entries, not bytes, so giant renderings must not occupy slots.
 const MAX_CACHED_FRAGMENT_BYTES: usize = 1 << 20;
+
+/// Hard ceiling on the per-request `?threads=` knob (and on `--eval-threads`
+/// via clamping in the binary): every evaluation thread is a real OS thread
+/// on a worker already owned by the connection, so an unbounded
+/// client-chosen degree would let one request fork the box. With the cap,
+/// transient evaluation threads are bounded by `workers × MAX_EVAL_THREADS`
+/// (morsel workers are scoped per operator and joined before the response
+/// renders). Requests above the ceiling are clamped, observable via the
+/// `threads` field of `/explain` and `/healthz`; degrees above the host's
+/// core count oversubscribe without changing results.
+pub const MAX_EVAL_THREADS: usize = 16;
 
 /// Dispatches a request to its handler.
 pub(crate) fn route(state: &ServerState, req: &Request) -> Response {
@@ -120,6 +143,25 @@ fn healthz(state: &ServerState) -> Response {
         .num("entries", state.cache.len() as u64)
         .num("capacity", state.cache.capacity() as u64)
         .finish();
+    // Evaluation-thread configuration plus per-query execution-shape
+    // counters: a fresh /query evaluation counts as `queries_parallel` when
+    // its execution actually ran parallel morsels, `queries_sequential`
+    // otherwise (cache hits run nothing and count as neither).
+    let eval = JsonObject::new()
+        .num(
+            "threads",
+            state.eval.threads.clamp(1, MAX_EVAL_THREADS) as u64,
+        )
+        .num("max_threads", MAX_EVAL_THREADS as u64)
+        .num(
+            "queries_parallel",
+            state.queries_parallel.load(Ordering::Relaxed),
+        )
+        .num(
+            "queries_sequential",
+            state.queries_sequential.load(Ordering::Relaxed),
+        )
+        .finish();
     let body = JsonObject::new()
         .str("status", "ok")
         .num("uptime_ms", state.started.elapsed().as_millis() as u64)
@@ -132,6 +174,7 @@ fn healthz(state: &ServerState) -> Response {
             "loads_completed",
             state.loads_completed.load(Ordering::Relaxed),
         )
+        .raw("eval", &eval)
         .raw("cache", &cache)
         .finish();
     Response::ok(body)
@@ -233,6 +276,27 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         None => None,
     };
     let limit = requested_limit.unwrap_or(DEFAULT_RESULT_LIMIT);
+    // Per-request parallelism override: `?threads=` is clamped to
+    // [1, MAX_EVAL_THREADS]; without it the server's configured degree
+    // (`--eval-threads`) applies.
+    let threads = match req.param("threads") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) => n.clamp(1, MAX_EVAL_THREADS),
+            Err(_) => {
+                return error_response(
+                    400,
+                    "bad_request",
+                    &format!("unparsable ?threads= value `{raw}`"),
+                    None,
+                )
+            }
+        },
+        None => state.eval.threads.clamp(1, MAX_EVAL_THREADS),
+    };
+    // `/explain?analyze=1` executes the (bounded) query and reports actual
+    // per-node row counts next to the estimates.
+    let analyze =
+        kind == QueryKind::Explain && matches!(req.param("analyze"), Some("1" | "true" | "yes"));
 
     let snapshot = match resolve_store(state, req) {
         Ok(s) => s,
@@ -251,6 +315,8 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
             QueryKind::Query => limit as u64,
             QueryKind::Explain => requested_limit.filter(|&k| k > 0).unwrap_or(0) as u64,
         },
+        threads: threads as u64,
+        analyze,
     };
     if let Some(fragment) = state.cache.get(&key) {
         state.queries_served.fetch_add(1, Ordering::Relaxed);
@@ -262,25 +328,63 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         Err(e) => return eval_error_response(&e),
     };
 
-    let engine = SmartEngine::with_options(state.eval);
+    let engine = SmartEngine::with_options(trial_eval::EvalOptions {
+        threads,
+        ..state.eval
+    });
     let fragment = match kind {
         QueryKind::Query => match render_query_fragment(&engine, &expr, snapshot.store(), limit) {
-            Ok(fragment) => fragment,
+            Ok((fragment, ran_parallel)) => {
+                // Count the execution shape of fresh evaluations (cache hits
+                // run nothing, so they count as neither).
+                if ran_parallel {
+                    state.queries_parallel.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    state.queries_sequential.fetch_add(1, Ordering::Relaxed);
+                }
+                fragment
+            }
             Err(e) => return eval_error_response(&e),
         },
         QueryKind::Explain => {
             // An explicit positive ?limit= shows the limit-pushed plan the
             // equivalent /query would run.
             let plan_limit = requested_limit.filter(|&k| k > 0);
-            let plan = match engine.plan_limited(&expr, snapshot.store(), plan_limit) {
-                Ok(p) => p,
-                Err(e) => return eval_error_response(&e),
-            };
-            JsonObject::new()
-                .str("query", &expr.to_string())
-                .str("plan", plan.explain().trim_end())
-                .raw("tree", &plan_tree_json(&plan.root))
-                .finish()
+            if analyze {
+                match engine.evaluate_analyzed(&expr, snapshot.store(), plan_limit) {
+                    Ok(analyzed) => {
+                        let mut index = 0;
+                        let tree = plan_tree_json(
+                            &analyzed.plan.root,
+                            threads,
+                            Some(&analyzed.actuals),
+                            &mut index,
+                        );
+                        JsonObject::new()
+                            .str("query", &expr.to_string())
+                            .num("threads", threads as u64)
+                            .str("plan", analyzed.plan.explain().trim_end())
+                            .num("rows", analyzed.evaluation.result.len() as u64)
+                            .raw("tree", &tree)
+                            .raw("stats", &stats_json(&analyzed.evaluation.stats))
+                            .finish()
+                    }
+                    Err(e) => return eval_error_response(&e),
+                }
+            } else {
+                let plan = match engine.plan_limited(&expr, snapshot.store(), plan_limit) {
+                    Ok(p) => p,
+                    Err(e) => return eval_error_response(&e),
+                };
+                let mut index = 0;
+                let tree = plan_tree_json(&plan.root, threads, None, &mut index);
+                JsonObject::new()
+                    .str("query", &expr.to_string())
+                    .num("threads", threads as u64)
+                    .str("plan", plan.explain().trim_end())
+                    .raw("tree", &tree)
+                    .finish()
+            }
         }
     };
 
@@ -314,20 +418,28 @@ fn wrap(snapshot: &StoreSnapshot, cached: bool, fragment: &str, start: Instant) 
 /// renders no rows and reports the exact cardinality (allocation-free for
 /// order-preserving plans; unordered plans track seen triples, never rendered
 /// rows).
+///
+/// The second returned value is `true` when the evaluation actually executed
+/// parallel morsels (pipeline breakers — hash-join builds, star fixpoints,
+/// blocking set-operation sides — parallelise even under the streaming row
+/// pump), feeding the `/healthz` parallel/sequential counters.
 fn render_query_fragment(
     engine: &SmartEngine,
     expr: &trial_core::Expr,
     store: &trial_core::Triplestore,
     limit: usize,
-) -> trial_core::Result<String> {
+) -> trial_core::Result<(String, bool)> {
     if limit == 0 {
         let (count, stats) = engine.stream(expr, store, None)?.count();
-        return Ok(JsonObject::new()
-            .num("count", count)
-            .boolean("truncated", count > 0)
-            .raw("triples", "[]")
-            .raw("stats", &stats_json(&stats))
-            .finish());
+        return Ok((
+            JsonObject::new()
+                .num("count", count)
+                .boolean("truncated", count > 0)
+                .raw("triples", "[]")
+                .raw("stats", &stats_json(&stats))
+                .finish(),
+            stats.parallel_morsels > 0,
+        ));
     }
     // Ask for one distinct triple beyond the response cap: pulling it proves
     // the limit cut evaluation short without rendering it.
@@ -351,12 +463,16 @@ fn render_query_fragment(
         count += 1;
     }
     triples.push(']');
-    Ok(JsonObject::new()
-        .num("count", count)
-        .boolean("truncated", truncated)
-        .raw("triples", &triples)
-        .raw("stats", &stats_json(stream.stats()))
-        .finish())
+    let ran_parallel = stream.stats().parallel_morsels > 0;
+    Ok((
+        JsonObject::new()
+            .num("count", count)
+            .boolean("truncated", truncated)
+            .raw("triples", &triples)
+            .raw("stats", &stats_json(stream.stats()))
+            .finish(),
+        ran_parallel,
+    ))
 }
 
 /// Renders the work counters of an evaluation.
@@ -369,19 +485,45 @@ fn stats_json(stats: &EvalStats) -> String {
         .num("joins_executed", stats.joins_executed)
         .num("reach_edges_traversed", stats.reach_edges_traversed)
         .num("memo_hits", stats.memo_hits)
+        .num("parallel_morsels", stats.parallel_morsels)
         .finish()
 }
 
 /// Renders a physical plan tree as structured JSON: one object per operator
-/// with its label, estimated cardinality, and pipeline metadata — the
-/// machine-readable face of `explain()` served on `/explain`.
-fn plan_tree_json(node: &trial_eval::PlanNode) -> String {
-    let children: Vec<String> = node.children().into_iter().map(plan_tree_json).collect();
-    JsonObject::new()
-        .str("op", &node.label())
-        .num("est", node.est() as u64)
+/// with its label, estimated cardinality, pipeline and parallelism metadata
+/// — the machine-readable face of `explain()` served on `/explain`.
+///
+/// `index` tracks the node's preorder position, which is how `actuals` (from
+/// an `?analyze=1` run, indexed per [`trial_eval::PlanNode::preorder`]) line
+/// up with the tree: when present, each node carries an `"actual"` row count
+/// next to its `"est"` (JSON `null` for nodes that streamed through a limit
+/// boundary without being individually materialised).
+fn plan_tree_json(
+    node: &trial_eval::PlanNode,
+    threads: usize,
+    actuals: Option<&[Option<u64>]>,
+    index: &mut usize,
+) -> String {
+    let position = *index;
+    *index += 1;
+    let children: Vec<String> = node
+        .children()
+        .into_iter()
+        .map(|child| plan_tree_json(child, threads, actuals, index))
+        .collect();
+    let mut object = JsonObject::new()
+        .str("op", &node.label_with_threads(threads))
+        .num("est", node.est() as u64);
+    if let Some(actuals) = actuals {
+        match actuals.get(position).copied().flatten() {
+            Some(actual) => object = object.num("actual", actual),
+            None => object = object.raw("actual", "null"),
+        }
+    }
+    object
         .boolean("pipelined", node.pipelined())
         .boolean("ordered", node.ordered())
+        .boolean("parallel", threads > 1 && node.parallelizable())
         .raw("children", &json::array(children))
         .finish()
 }

@@ -86,6 +86,11 @@ pub struct ServerState {
     pub(crate) max_store_triples: usize,
     pub(crate) queries_served: AtomicU64,
     pub(crate) loads_completed: AtomicU64,
+    /// Fresh (non-cached) `/query` evaluations whose execution actually ran
+    /// parallel morsels, and those that stayed single-threaded — the
+    /// per-query face of `EvalOptions::threads`, served on `/healthz`.
+    pub(crate) queries_parallel: AtomicU64,
+    pub(crate) queries_sequential: AtomicU64,
     pub(crate) started: Instant,
 }
 
@@ -99,6 +104,8 @@ impl ServerState {
             max_store_triples: config.max_store_triples,
             queries_served: AtomicU64::new(0),
             loads_completed: AtomicU64::new(0),
+            queries_parallel: AtomicU64::new(0),
+            queries_sequential: AtomicU64::new(0),
             started: Instant::now(),
         }
     }

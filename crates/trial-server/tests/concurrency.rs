@@ -406,3 +406,92 @@ fn load_appends_and_literals_carry_values() {
 
     server.shutdown();
 }
+
+/// `?threads=` rides every request into `EvalOptions`, `/explain` reports
+/// the effective degree and `[parallel×N]` tags, `/explain?analyze=1` runs
+/// the query and reports actual vs estimated rows, and `/healthz` counts
+/// parallel vs sequential executions.
+#[test]
+fn eval_threads_knob_and_analyze_explain() {
+    // parallel_min_rows: 0 forces morsel execution even on small stores so
+    // the parallel counters are observable end-to-end.
+    let mut config = ServerConfig::default();
+    config.eval.threads = 1;
+    config.eval.parallel_min_rows = 0;
+    let server = Server::spawn(config).unwrap();
+    let addr = server.addr();
+    // A 50-edge chain so the join actually composes rows.
+    let mut doc = String::new();
+    for i in 0..50 {
+        doc.push_str(&format!("<n{i}> <p> <n{}> .\n", i + 1));
+    }
+    client::post(addr, "/load?store=p", &doc).unwrap();
+
+    // Filtered join sides force a HashJoin whose build side materialises —
+    // the pipeline breaker where the streaming /query path parallelises
+    // (fully-pipelined plans like a bare index join stay sequential by
+    // design: their row pump is the limit-respecting cursor).
+    let query = "(SELECT[1!=3](E) JOIN[1,2,3' | 3=1'] SELECT[1!=3](E))";
+
+    // Sequential by default: the query runs, healthz counts it sequential.
+    let seq = client::post(addr, "/query?store=p", query).unwrap();
+    assert_eq!(seq.status, 200, "{}", seq.body);
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(json_u64(&health.body, "threads"), 1);
+    assert_eq!(json_u64(&health.body, "queries_sequential"), 1);
+    assert_eq!(json_u64(&health.body, "queries_parallel"), 0);
+
+    // ?threads=4: same result set, parallel morsels actually execute.
+    let par = client::post(addr, "/query?store=p&threads=4", query).unwrap();
+    assert_eq!(par.status, 200, "{}", par.body);
+    assert_eq!(json_u64(&par.body, "count"), json_u64(&seq.body, "count"));
+    assert!(par.body.contains("\"cached\":false"), "{}", par.body);
+    assert!(json_u64(&par.body, "parallel_morsels") > 0, "{}", par.body);
+    let health = client::get(addr, "/healthz").unwrap();
+    assert_eq!(json_u64(&health.body, "queries_parallel"), 1);
+    assert_eq!(json_u64(&health.body, "queries_sequential"), 1);
+    assert_eq!(json_u64(&health.body, "max_threads"), 16);
+
+    // The degree is part of the cache key: repeating the parallel request
+    // hits, and the sequential fragment was never shared with it.
+    let again = client::post(addr, "/query?store=p&threads=4", query).unwrap();
+    assert!(again.body.contains("\"cached\":true"), "{}", again.body);
+
+    // An absurd ?threads= clamps instead of erroring; a malformed one is 400.
+    let clamped = client::post(addr, "/explain?store=p&threads=9999", query).unwrap();
+    assert_eq!(json_u64(&clamped.body, "threads"), 16);
+    assert!(clamped.body.contains("[parallel×16]"), "{}", clamped.body);
+    let bad = client::post(addr, "/query?store=p&threads=lots", query).unwrap();
+    assert_eq!(bad.status, 400);
+
+    // /explain reports the effective degree and tags parallel operators
+    // (and at degree 1 it tags nothing).
+    let explain = client::post(addr, "/explain?store=p&threads=4", query).unwrap();
+    assert_eq!(json_u64(&explain.body, "threads"), 4);
+    assert!(explain.body.contains("[parallel×4]"), "{}", explain.body);
+    assert!(
+        explain.body.contains("\"parallel\":true"),
+        "{}",
+        explain.body
+    );
+    let explain1 = client::post(addr, "/explain?store=p", query).unwrap();
+    assert!(!explain1.body.contains("[parallel×"), "{}", explain1.body);
+
+    // analyze=1 executes the plan: every materialised node reports an
+    // `actual` row count next to its estimate, and the root actual equals
+    // the query's cardinality.
+    let analyzed = client::post(addr, "/explain?store=p&analyze=1", query).unwrap();
+    assert_eq!(analyzed.status, 200, "{}", analyzed.body);
+    assert!(analyzed.body.contains("\"actual\":"), "{}", analyzed.body);
+    assert_eq!(
+        json_u64(&analyzed.body, "rows"),
+        json_u64(&seq.body, "count")
+    );
+    // A plain explain of the same text is a distinct cache entry without
+    // actuals.
+    let plain = client::post(addr, "/explain?store=p", query).unwrap();
+    assert!(plain.body.contains("\"cached\":true"), "{}", plain.body);
+    assert!(!plain.body.contains("\"actual\":"), "{}", plain.body);
+
+    server.shutdown();
+}
