@@ -1,0 +1,200 @@
+//! Ordered execution vs. the hash-based baselines over a ≥100k-triple store.
+//!
+//! Two workload families:
+//!
+//! * **merge vs hash join** — the same two-sided relation join evaluated
+//!   with merge joins enabled (`use_merge_join: true`, the default: a
+//!   synchronized pass over two permutation runs, zero hash tables) and
+//!   disabled (the pre-ordered planner: hash or index nested-loop);
+//! * **topk vs limit+sort** — `?topk=k`-style queries (bounded heap, or a
+//!   plain early-terminating limit when the plan streams ordered) against
+//!   the client-side alternative: evaluate the full result, sort it by the
+//!   permutation key, truncate to k.
+//!
+//! Besides the printed report, medians land in `BENCH_ordered.json` at the
+//! repository root so results ride along with the code.
+
+use criterion::black_box;
+use std::time::{Duration, Instant};
+use trial_core::{Permutation, Triplestore};
+use trial_eval::{Engine, EvalOptions, SmartEngine};
+use trial_parser::parse;
+use trial_workloads::{random_store, RandomStoreConfig};
+
+fn merging() -> SmartEngine {
+    SmartEngine::new()
+}
+
+fn hashing() -> SmartEngine {
+    SmartEngine::with_options(EvalOptions {
+        use_merge_join: false,
+        ..EvalOptions::default()
+    })
+}
+
+/// One warm-up call, then `samples` timed runs; returns sorted durations.
+fn time_runs(samples: usize, mut f: impl FnMut() -> usize) -> (Vec<Duration>, usize) {
+    let rows = f();
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    (times, rows)
+}
+
+fn median(times: &[Duration]) -> Duration {
+    times[times.len() / 2]
+}
+
+fn report(
+    entries: &mut Vec<String>,
+    family: &str,
+    name: &str,
+    query: &str,
+    rows: usize,
+    ordered: Duration,
+    baseline: Duration,
+) -> f64 {
+    let speedup = baseline.as_secs_f64() / ordered.as_secs_f64().max(1e-12);
+    println!(
+        "{:<26} ordered: {:>12.3?}  baseline: {:>12.3?}  speedup: {:>7.2}x  ({} rows)",
+        name, ordered, baseline, speedup, rows
+    );
+    entries.push(format!(
+        concat!(
+            "    {{\"family\":\"{}\",\"workload\":\"{}\",\"query\":{:?},\"rows\":{},",
+            "\"ordered_median_ns\":{},\"baseline_median_ns\":{},\"speedup\":{:.3}}}"
+        ),
+        family,
+        name,
+        query,
+        rows,
+        ordered.as_nanos(),
+        baseline.as_nanos(),
+        speedup,
+    ));
+    speedup
+}
+
+fn main() {
+    let config = RandomStoreConfig {
+        objects: 20_000,
+        triples: 100_000,
+        distinct_values: 10,
+        seed: 11,
+    };
+    let store: Triplestore = random_store(&config);
+    let triples = store.triple_count();
+    assert!(triples >= 100_000, "store too small: {triples}");
+    println!(
+        "store: {} objects, {} triples",
+        store.object_count(),
+        triples
+    );
+
+    let mut entries = Vec::new();
+
+    // Family 1: merge join vs hash/index join, full results.
+    for (name, query) in [
+        ("join/composition-3=1'", "(E JOIN[1,2,3' | 3=1'] E)"),
+        ("join/label-2=1'", "(E JOIN[1,3',3 | 2=1'] E)"),
+        (
+            "join/filtered-3=1'",
+            "SELECT[1!=3]((E JOIN[1,2,3' | 3=1'] E))",
+        ),
+    ] {
+        let expr = parse(query).unwrap();
+        let merged = merging().evaluate(&expr, &store).unwrap();
+        let hashed = hashing().evaluate(&expr, &store).unwrap();
+        assert_eq!(
+            merged.result, hashed.result,
+            "strategies disagree on {name}"
+        );
+        assert_eq!(
+            merged.stats.hash_tables_built, 0,
+            "merge plan built a hash table on {name}"
+        );
+        assert!(hashed.stats.hash_tables_built <= 1);
+        let (m_times, rows) = time_runs(10, || merging().run(&expr, &store).unwrap().len());
+        let (h_times, h_rows) = time_runs(10, || hashing().run(&expr, &store).unwrap().len());
+        assert_eq!(rows, h_rows);
+        report(
+            &mut entries,
+            "merge_vs_hash",
+            name,
+            query,
+            rows,
+            median(&m_times),
+            median(&h_times),
+        );
+    }
+
+    // Family 2: top-k pushdown vs evaluate-fully-then-sort-then-truncate.
+    let k = 32;
+    for (name, query, perm) in [
+        ("topk/scan-pos", "E", Permutation::Pos),
+        (
+            "topk/filtered-scan-osp",
+            "SELECT[1!=3](E)",
+            Permutation::Osp,
+        ),
+        (
+            "topk/join-pos",
+            "(E JOIN[1,2,3' | 3=1'] E)",
+            Permutation::Pos,
+        ),
+    ] {
+        let expr = parse(query).unwrap();
+        let engine = merging();
+        // Cross-check: pushed-down top-k equals the client-side sort.
+        let pushed = engine
+            .evaluate_query(&expr, &store, None, Some(perm), Some(k))
+            .unwrap();
+        let mut sorted = engine.run(&expr, &store).unwrap().into_vec();
+        sorted.sort_unstable_by_key(|t| perm.key(t));
+        sorted.truncate(k);
+        let want: trial_core::TripleSet = sorted.iter().copied().collect();
+        assert_eq!(pushed.result, want, "top-k diverges on {name}");
+        let (p_times, rows) = time_runs(12, || {
+            engine
+                .evaluate_query(&expr, &store, None, Some(perm), Some(k))
+                .unwrap()
+                .result
+                .len()
+        });
+        let (s_times, _) = time_runs(12, || {
+            let mut rows = engine.run(&expr, &store).unwrap().into_vec();
+            rows.sort_unstable_by_key(|t| perm.key(t));
+            rows.truncate(k);
+            rows.len()
+        });
+        report(
+            &mut entries,
+            "topk_vs_limit_sort",
+            name,
+            query,
+            rows,
+            median(&p_times),
+            median(&s_times),
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"store\": {{\"objects\": {}, \"triples\": {}, \"seed\": {}}},\n  \
+         \"k\": {},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        store.object_count(),
+        triples,
+        config.seed,
+        k,
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ordered.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("recorded results in BENCH_ordered.json");
+    }
+}

@@ -148,6 +148,9 @@ pub enum Permutation {
 }
 
 impl Permutation {
+    /// All three permutations in declaration order.
+    pub const ALL: [Permutation; 3] = [Permutation::Spo, Permutation::Pos, Permutation::Osp];
+
     /// The permutation whose primary sort key is the given 0-based component.
     ///
     /// # Panics
@@ -170,15 +173,60 @@ impl Permutation {
         }
     }
 
+    /// The lowercase name (`"spo"`, `"pos"`, `"osp"`), as used by
+    /// `explain()` order tags and the server's `?order=` parameter.
+    pub fn name(self) -> &'static str {
+        match self {
+            Permutation::Spo => "spo",
+            Permutation::Pos => "pos",
+            Permutation::Osp => "osp",
+        }
+    }
+
+    /// Parses a permutation name as accepted by `?order=`
+    /// (case-insensitive `spo`/`pos`/`osp`).
+    pub fn parse(name: &str) -> Option<Permutation> {
+        match name.to_ascii_lowercase().as_str() {
+            "spo" => Some(Permutation::Spo),
+            "pos" => Some(Permutation::Pos),
+            "osp" => Some(Permutation::Osp),
+            _ => None,
+        }
+    }
+
     /// The sort key of a triple under this permutation.
+    ///
+    /// Keys are a *permutation* of all three components, so the induced
+    /// order is total: two triples compare equal under a permutation key iff
+    /// they are the same triple. This is what lets ordered streams double as
+    /// duplicate-free streams and lets top-k heaps deduplicate by key alone.
     #[inline]
-    fn sort_key(self, t: &Triple) -> [ObjectId; 3] {
+    pub fn key(self, t: &Triple) -> [ObjectId; 3] {
         let [s, p, o] = t.0;
         match self {
             Permutation::Spo => [s, p, o],
             Permutation::Pos => [p, o, s],
             Permutation::Osp => [o, s, p],
         }
+    }
+
+    /// Reconstructs the triple whose [`Permutation::key`] under `self` is
+    /// `key` — the inverse mapping used when a top-k heap of keys is turned
+    /// back into result triples.
+    #[inline]
+    pub fn from_key(self, key: [ObjectId; 3]) -> Triple {
+        let [a, b, c] = key;
+        match self {
+            Permutation::Spo => Triple::new(a, b, c),
+            Permutation::Pos => Triple::new(c, a, b),
+            Permutation::Osp => Triple::new(b, c, a),
+        }
+    }
+}
+
+impl std::fmt::Display for Permutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -270,7 +318,7 @@ impl RelationIndex {
 
     fn sorted_by(base: &TripleSet, perm: Permutation) -> Vec<Triple> {
         let mut v: Vec<Triple> = base.as_slice().to_vec();
-        v.sort_unstable_by_key(|t| perm.sort_key(t));
+        v.sort_unstable_by_key(|t| perm.key(t));
         v
     }
 
@@ -497,7 +545,7 @@ mod tests {
             assert_eq!(sorted.len(), base.len());
             assert!(sorted
                 .windows(2)
-                .all(|w| { perm.sort_key(&w[0]) <= perm.sort_key(&w[1]) }));
+                .all(|w| { perm.key(&w[0]) <= perm.key(&w[1]) }));
         }
     }
 
@@ -678,6 +726,27 @@ mod tests {
         // A value absent from the component yields no morsels.
         let p = store.object_id("p").unwrap();
         assert!(ix.partition_matching_cursors(base, 0, p, 3).is_empty());
+    }
+
+    #[test]
+    fn permutation_keys_round_trip_and_parse() {
+        let t = Triple::new(ObjectId(1), ObjectId(2), ObjectId(3));
+        for perm in Permutation::ALL {
+            assert_eq!(perm.from_key(perm.key(&t)), t, "round trip for {perm}");
+            assert_eq!(Permutation::parse(perm.name()), Some(perm));
+            assert_eq!(Permutation::parse(&perm.name().to_uppercase()), Some(perm));
+            assert_eq!(perm.key(&t)[0], t.0[perm.key_component()]);
+        }
+        assert_eq!(
+            Permutation::Pos.key(&t),
+            [ObjectId(2), ObjectId(3), ObjectId(1)]
+        );
+        assert_eq!(
+            Permutation::Osp.key(&t),
+            [ObjectId(3), ObjectId(1), ObjectId(2)]
+        );
+        assert_eq!(Permutation::parse("sop"), None);
+        assert_eq!(Permutation::Spo.to_string(), "spo");
     }
 
     #[test]

@@ -39,10 +39,11 @@ use crate::compile::{project, CompiledConditions};
 use crate::engine::EvalStats;
 use crate::ops::JoinTable;
 use crate::plan::{Plan, PlanNode};
-use std::collections::HashSet;
+use std::collections::{BTreeSet, HashSet};
 use std::sync::Arc;
 use trial_core::{
-    ObjectId, OutputSpec, Pos, RangeCursor, RelationIndex, Triple, TripleSet, Triplestore,
+    ObjectId, OutputSpec, Permutation, Pos, RangeCursor, RelationIndex, Triple, TripleSet,
+    Triplestore,
 };
 
 /// A pull-based operator: yields one output triple per call, or `None` once
@@ -155,11 +156,15 @@ impl Cursor for FilterCursor<'_> {
     }
 }
 
-/// Merge union of two cursors in canonical order: yields the sorted,
-/// duplicate-free union one triple at a time. Requires both inputs ordered.
+/// Merge union of two cursors sharing a sort order: yields the sorted,
+/// duplicate-free union one triple at a time. Requires both inputs ordered
+/// on `perm`'s key (the output then is too — permutation keys order all
+/// three components, so equal keys mean equal triples and deduplicate
+/// in-line).
 pub(crate) struct MergeUnionCursor<'a> {
     pub(crate) left: BoxCursor<'a>,
     pub(crate) right: BoxCursor<'a>,
+    pub(crate) perm: Permutation,
     pub(crate) l_peek: Option<Triple>,
     pub(crate) r_peek: Option<Triple>,
     pub(crate) primed: bool,
@@ -182,7 +187,7 @@ impl Cursor for MergeUnionCursor<'_> {
                 self.r_peek = self.right.next(stats);
                 r
             }
-            (Some(l), Some(r)) => match l.cmp(&r) {
+            (Some(l), Some(r)) => match self.perm.key(&l).cmp(&self.perm.key(&r)) {
                 std::cmp::Ordering::Less => {
                     self.l_peek = self.left.next(stats);
                     l
@@ -443,6 +448,184 @@ impl Cursor for NestedLoopCursor<'_> {
     }
 }
 
+/// Streaming sort-merge join: both inputs arrive sorted on their join-key
+/// component, so the join is one synchronized forward pass — **no build
+/// side, no hash table**, fully pipelined on the left input.
+///
+/// The only buffering is the current right-side *key group* (all right rows
+/// sharing one key value), retained while consecutive left rows carry the
+/// same key so duplicated left keys cross-product correctly. Memory is
+/// bounded by the widest right duplicate run, not by the input size.
+pub(crate) struct MergeJoinCursor<'a> {
+    pub(crate) left: BoxCursor<'a>,
+    pub(crate) right: BoxCursor<'a>,
+    /// 0-based component of the left / right triples carrying the join key.
+    pub(crate) lc: usize,
+    pub(crate) rc: usize,
+    pub(crate) output: OutputSpec,
+    pub(crate) cond: CompiledConditions,
+    pub(crate) store: &'a Triplestore,
+    pub(crate) l_cur: Option<Triple>,
+    /// Buffered right rows of the current key group, and that key.
+    pub(crate) group: Vec<Triple>,
+    pub(crate) group_key: Option<ObjectId>,
+    /// Cross-product progress of `l_cur` through `group`.
+    pub(crate) group_pos: usize,
+    /// The first right row *beyond* the buffered group.
+    pub(crate) r_peek: Option<Triple>,
+    pub(crate) primed: bool,
+}
+
+impl MergeJoinCursor<'_> {
+    /// Buffers the right-side key group for `key`, discarding smaller keys.
+    /// Returns `false` if the right input ran out before reaching `key`.
+    fn load_group(&mut self, key: ObjectId, stats: &mut EvalStats) -> bool {
+        // Skip right rows below the key.
+        while let Some(r) = self.r_peek {
+            if r.0[self.rc] >= key {
+                break;
+            }
+            stats.triples_scanned += 1;
+            self.r_peek = self.right.next(stats);
+        }
+        let Some(r) = self.r_peek else {
+            return false;
+        };
+        if r.0[self.rc] != key {
+            // The right side jumped past the key; the caller advances left.
+            return true;
+        }
+        self.group.clear();
+        self.group_key = Some(key);
+        while let Some(r) = self.r_peek {
+            if r.0[self.rc] != key {
+                break;
+            }
+            stats.triples_scanned += 1;
+            self.group.push(r);
+            self.r_peek = self.right.next(stats);
+        }
+        true
+    }
+}
+
+impl Cursor for MergeJoinCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        if !self.primed {
+            self.l_cur = self.left.next(stats);
+            self.r_peek = self.right.next(stats);
+            self.primed = true;
+        }
+        loop {
+            let l = self.l_cur?;
+            let lk = l.0[self.lc];
+            if self.group_key == Some(lk) {
+                // Continue the cross product of the current left row with
+                // the buffered right group.
+                while self.group_pos < self.group.len() {
+                    let r = self.group[self.group_pos];
+                    self.group_pos += 1;
+                    stats.pairs_considered += 1;
+                    if self.cond.check_pair(self.store, &l, &r) {
+                        stats.triples_emitted += 1;
+                        return Some(project(&l, &r, &self.output));
+                    }
+                }
+                // Group exhausted: next left row restarts the product (it
+                // may share the key and reuse the same group).
+                stats.triples_scanned += 1;
+                self.l_cur = self.left.next(stats);
+                self.group_pos = 0;
+                continue;
+            }
+            if self.group_key.is_some_and(|gk| gk > lk) {
+                // The buffered group is beyond this left key: no right
+                // partner exists for it.
+                stats.triples_scanned += 1;
+                self.l_cur = self.left.next(stats);
+                self.group_pos = 0;
+                continue;
+            }
+            if !self.load_group(lk, stats) {
+                // Right side exhausted: nothing further can join.
+                return None;
+            }
+            if self.group_key != Some(lk) {
+                // Right side skipped past lk (no partner); advance left.
+                stats.triples_scanned += 1;
+                self.l_cur = self.left.next(stats);
+                self.group_pos = 0;
+            }
+        }
+    }
+}
+
+/// Streams an owned vector of triples, already in the desired emit order —
+/// the output side of sorts and top-k heaps (whose order is generally not
+/// the canonical one a [`TripleSet`] could represent).
+pub(crate) struct RowsCursor {
+    pub(crate) rows: Vec<Triple>,
+    pub(crate) pos: usize,
+}
+
+impl Cursor for RowsCursor {
+    fn next(&mut self, _stats: &mut EvalStats) -> Option<Triple> {
+        let t = self.rows.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(t)
+    }
+}
+
+/// The `k` smallest distinct triples of the input under a permutation key,
+/// kept in a bounded ordered buffer of at most `k` keys.
+///
+/// The first pull drains the input completely (a top-k is unknowable
+/// earlier), inserting each row's permutation key into a `BTreeSet` capped
+/// at `k` entries: when full, a row beyond the current maximum is rejected
+/// in O(1) peek + O(log k) otherwise, and the maximum is evicted. Keys are
+/// permutations of all three components, so the set deduplicates exactly
+/// and converts back to triples losslessly. Survivors then stream in key
+/// order. Peak buffer size is recorded in
+/// [`EvalStats::topk_buffered_peak`] — never more than `k`.
+pub(crate) struct TopKCursor<'a> {
+    pub(crate) input: BoxCursor<'a>,
+    pub(crate) k: usize,
+    pub(crate) order: Permutation,
+    pub(crate) out: Vec<Triple>,
+    pub(crate) pos: usize,
+    pub(crate) drained: bool,
+}
+
+impl Cursor for TopKCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        if !self.drained {
+            self.drained = true;
+            let mut heap: BTreeSet<[ObjectId; 3]> = BTreeSet::new();
+            while let Some(t) = self.input.next(stats) {
+                stats.triples_scanned += 1;
+                let key = self.order.key(&t);
+                if heap.len() == self.k {
+                    match heap.last() {
+                        Some(max) if *max <= key => continue,
+                        _ => {}
+                    }
+                    if heap.insert(key) {
+                        heap.pop_last();
+                    }
+                } else {
+                    heap.insert(key);
+                }
+                stats.topk_buffered_peak = stats.topk_buffered_peak.max(heap.len() as u64);
+            }
+            self.out = heap.into_iter().map(|k| self.order.from_key(k)).collect();
+            stats.triples_emitted += self.out.len() as u64;
+        }
+        let t = self.out.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(t)
+    }
+}
+
 /// Emits at most `limit` **distinct** triples of the input, then reports
 /// exhaustion without pulling further — the early-termination point.
 ///
@@ -491,10 +674,12 @@ pub struct QueryStream<'a> {
 
 impl<'a> QueryStream<'a> {
     pub(crate) fn new(plan: Plan, root: BoxCursor<'a>, stats: EvalStats) -> Self {
-        // Ordered roots are distinct by construction and limit roots
-        // deduplicate internally; everything else needs a seen-set so the
-        // stream's contract (distinct triples) holds.
-        let distinct = plan.root.ordered() || matches!(plan.root, PlanNode::Limit { .. });
+        // Roots ordered under *any* permutation key are distinct by
+        // construction (the key orders all three components), and limit /
+        // top-k roots deduplicate internally; everything else needs a
+        // seen-set so the stream's contract (distinct triples) holds.
+        let distinct = plan.root.ordering().is_some()
+            || matches!(plan.root, PlanNode::Limit { .. } | PlanNode::TopK { .. });
         QueryStream {
             seen: (!distinct).then(HashSet::new),
             plan,

@@ -32,6 +32,16 @@ pub struct EvalStats {
     /// single-threaded evaluation — the signal behind the server's
     /// parallel/sequential query counters).
     pub parallel_morsels: u64,
+    /// Hash tables built by join operators (hash-join build sides, including
+    /// the build-once tables inside star fixpoints). A merge join performs
+    /// none — this counter is how the ordered test-suite asserts that a
+    /// two-sided ordered scan join really runs allocation-free.
+    pub hash_tables_built: u64,
+    /// Peak number of candidate rows buffered by any top-k heap — bounded by
+    /// `k` by construction, which is what makes `?topk=` memory-safe over
+    /// arbitrarily large inputs. Merged with `max`, not `+` (it is a high
+    /// watermark, not a volume).
+    pub topk_buffered_peak: u64,
 }
 
 impl EvalStats {
@@ -50,6 +60,8 @@ impl EvalStats {
         self.reach_edges_traversed += other.reach_edges_traversed;
         self.memo_hits += other.memo_hits;
         self.parallel_morsels += other.parallel_morsels;
+        self.hash_tables_built += other.hash_tables_built;
+        self.topk_buffered_peak = self.topk_buffered_peak.max(other.topk_buffered_peak);
     }
 
     /// A single scalar summarising the dominant work performed: the sum of
@@ -103,6 +115,15 @@ pub struct EvalOptions {
     /// interpreter the `streaming_vs_materialized` bench and the
     /// differential suite compare against.
     pub streaming: bool,
+    /// If `true` (default), the planner may compile a join into a
+    /// [`crate::plan::PlanNode::MergeJoin`] when both inputs can stream in a
+    /// sort order keyed on the join component — typically two index scans
+    /// served from complementary permutations (POS ⋈ SPO on a shared
+    /// component). Merge joins are fully pipelined and build **no hash
+    /// table** ([`EvalStats::hash_tables_built`] stays untouched). When
+    /// `false` the planner falls back to hash / index nested-loop joins —
+    /// the differential arm the ordered test-suite compares against.
+    pub use_merge_join: bool,
     /// Degree of intra-query parallelism: the number of worker threads
     /// morsel-parallel operators may use (see the *Parallel execution*
     /// section of the crate docs). `1` (the built-in default) is exactly the
@@ -162,6 +183,7 @@ impl Default for EvalOptions {
             use_memo: true,
             optimize_plans: true,
             streaming: true,
+            use_merge_join: true,
             threads: default_threads(),
             parallel_min_rows: 2048,
             collect_node_stats: false,
@@ -201,6 +223,8 @@ mod tests {
             reach_edges_traversed: 7,
             memo_hits: 1,
             parallel_morsels: 4,
+            hash_tables_built: 2,
+            topk_buffered_peak: 5,
         };
         let b = EvalStats {
             pairs_considered: 1,
@@ -211,12 +235,17 @@ mod tests {
             reach_edges_traversed: 1,
             memo_hits: 1,
             parallel_morsels: 2,
+            hash_tables_built: 1,
+            topk_buffered_peak: 3,
         };
         a.merge(&b);
         assert_eq!(a.pairs_considered, 11);
         assert_eq!(a.fixpoint_rounds, 3);
         assert_eq!(a.memo_hits, 2);
         assert_eq!(a.parallel_morsels, 6);
+        assert_eq!(a.hash_tables_built, 3);
+        // The heap peak is a high watermark: merge takes the max.
+        assert_eq!(a.topk_buffered_peak, 5);
         assert_eq!(a.work(), 11 + 4 + 8);
         assert_eq!(EvalStats::new(), EvalStats::default());
     }
@@ -228,6 +257,7 @@ mod tests {
         assert!(opts.use_memo);
         assert!(opts.optimize_plans);
         assert!(opts.streaming);
+        assert!(opts.use_merge_join);
         assert!(opts.max_universe >= 1_000_000);
         assert_eq!(opts.max_fixpoint_rounds, u64::MAX);
         // The default degree comes from TRIAL_EVAL_THREADS (or 1), so the

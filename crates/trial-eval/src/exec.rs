@@ -29,8 +29,9 @@
 use crate::compile::CompiledConditions;
 use crate::cursor::{
     ArcSetCursor, BoxCursor, ChainUnionCursor, ComplementCursor, DiffCursor, EmptyCursor,
-    FilterCursor, HashJoinCursor, IndexJoinCursor, IntersectCursor, LimitCursor, MergeUnionCursor,
-    NestedLoopCursor, ScanCursor, SetCursor, UniverseCursor,
+    FilterCursor, HashJoinCursor, IndexJoinCursor, IntersectCursor, LimitCursor, MergeJoinCursor,
+    MergeUnionCursor, NestedLoopCursor, RowsCursor, ScanCursor, SetCursor, TopKCursor,
+    UniverseCursor,
 };
 use crate::engine::{EvalOptions, EvalStats};
 use crate::ops;
@@ -38,9 +39,10 @@ use crate::parallel;
 use crate::plan::{Plan, PlanNode};
 use crate::reach;
 use crate::seminaive::semi_naive_star;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
-use trial_core::{Adjacency, Error, Permutation, Result, TripleSet, Triplestore};
+use trial_core::{Adjacency, Error, Permutation, Result, Triple, TripleSet, Triplestore};
 
 /// Per-node actual output cardinalities, keyed by the plan node's address
 /// (stable for the lifetime of one evaluation — the plan tree is never
@@ -155,6 +157,7 @@ impl<'a> Executor<'a> {
                 relation,
                 bound,
                 residual,
+                order,
                 ..
             } => {
                 let (base, index) = self
@@ -162,7 +165,7 @@ impl<'a> Executor<'a> {
                     .relation_with_index(relation)
                     .ok_or_else(|| Error::UnknownRelation(relation.clone()))?;
                 let run = match bound {
-                    None => index.scan_cursor(base, Permutation::Spo),
+                    None => index.scan_cursor(base, *order),
                     Some((component, value)) => index.matching_cursor(base, *component, *value),
                 };
                 let residual = (!residual.is_empty())
@@ -221,6 +224,36 @@ impl<'a> Executor<'a> {
                     buf_pos: 0,
                 })
             }
+            PlanNode::MergeJoin {
+                left,
+                right,
+                output,
+                cond,
+                key,
+                ..
+            } => {
+                // Both inputs stream pre-sorted on the join-key component
+                // (the planner guarantees it); the join is a synchronized
+                // pass with no build side and no hash table.
+                let l = self.cursor(left, stats)?;
+                let r = self.cursor(right, stats)?;
+                stats.joins_executed += 1;
+                Box::new(MergeJoinCursor {
+                    left: l,
+                    right: r,
+                    lc: key.0.component_index(),
+                    rc: key.1.component_index(),
+                    output: *output,
+                    cond: CompiledConditions::compile(cond, self.store),
+                    store: self.store,
+                    l_cur: None,
+                    group: Vec::new(),
+                    group_key: None,
+                    group_pos: 0,
+                    r_peek: None,
+                    primed: false,
+                })
+            }
             PlanNode::IndexNestedLoopJoin {
                 outer,
                 relation,
@@ -271,10 +304,15 @@ impl<'a> Executor<'a> {
             PlanNode::Union { left, right, .. } => {
                 let l = self.cursor(left, stats)?;
                 let r = self.cursor(right, stats)?;
-                if left.ordered() && right.ordered() {
+                // Merge whenever the two sides share *any* sort order (not
+                // just the canonical one), so ordered deliveries survive
+                // unions; concatenate otherwise.
+                let shared = left.ordering().filter(|p| right.ordering() == Some(*p));
+                if let Some(perm) = shared {
                     Box::new(MergeUnionCursor {
                         left: l,
                         right: r,
+                        perm,
                         l_peek: None,
                         r_peek: None,
                         primed: false,
@@ -343,12 +381,47 @@ impl<'a> Executor<'a> {
                 if *limit == 0 {
                     return Ok(Box::new(EmptyCursor));
                 }
-                let seen = (!input.ordered()).then(std::collections::HashSet::new);
+                // A stream sorted under *any* permutation key is strictly
+                // increasing in a total order, hence duplicate-free: the
+                // countdown needs no seen-set.
+                let seen = input
+                    .ordering()
+                    .is_none()
+                    .then(std::collections::HashSet::new);
                 let input = self.cursor(input, stats)?;
                 Box::new(LimitCursor {
                     input,
                     remaining: *limit,
                     seen,
+                })
+            }
+            PlanNode::Sort { input, order, .. } => {
+                // The order breaker: materialise the input (set-at-a-time,
+                // breakers beneath still parallelise), then re-emit in the
+                // requested permutation's key order.
+                let set = self.materialize(input, stats)?;
+                if *order == Permutation::Spo {
+                    Box::new(SetCursor::new(set))
+                } else {
+                    let mut rows = set.into_vec();
+                    rows.sort_unstable_by_key(|t| order.key(t));
+                    Box::new(RowsCursor { rows, pos: 0 })
+                }
+            }
+            PlanNode::TopK {
+                input, k, order, ..
+            } => {
+                if *k == 0 {
+                    return Ok(Box::new(EmptyCursor));
+                }
+                let input = self.cursor(input, stats)?;
+                Box::new(TopKCursor {
+                    input,
+                    k: *k,
+                    order: *order,
+                    out: Vec::new(),
+                    pos: 0,
+                    drained: false,
                 })
             }
         })
@@ -370,7 +443,7 @@ impl<'a> Executor<'a> {
         node: &PlanNode,
         stats: &mut EvalStats,
     ) -> Result<TripleSet> {
-        if let PlanNode::Limit { .. } = node {
+        if matches!(node, PlanNode::Limit { .. } | PlanNode::TopK { .. }) {
             // Streaming limit semantics: the first `limit` distinct triples
             // the pipeline yields, evaluation stops at the boundary. This is
             // the **explicit sequential fallback** of the parallel executor:
@@ -378,6 +451,11 @@ impl<'a> Executor<'a> {
             // a parallel drain would race workers past the limit and forfeit
             // early termination (breakers beneath the limit still
             // parallelise inside their own materialisation).
+            //
+            // Top-k subtrees take the same route for a different reason: the
+            // cursor's bounded heap is what keeps memory at ≤ k buffered
+            // rows above the deepest breaker — the set-at-a-time reference
+            // (`run`) would materialise the whole input first.
             let ordered = node.ordered();
             let mut cursor = self.cursor(node, stats)?;
             // Seed capacity from the estimate, capped so a wild estimate
@@ -539,6 +617,34 @@ impl<'a> Executor<'a> {
                     ops::hash_join_probe(&l, &table, output, &cond, self.store, stats)
                 })
             }
+            PlanNode::MergeJoin {
+                left,
+                right,
+                output,
+                cond,
+                key,
+                ..
+            } => {
+                let (l, r) = self.eval_pair(left, right, stats, stream_limits)?;
+                let cond = CompiledConditions::compile(cond, self.store);
+                let lc = key.0.component_index();
+                let rc = key.1.component_index();
+                // Key-sorted views of the two sides: borrowed straight from
+                // a store permutation when a side is a stored relation,
+                // sorted copies otherwise. SPO keys borrow the set itself.
+                let l_sorted = self.key_sorted_view(left, &l, lc);
+                let r_sorted = self.key_sorted_view(right, &r, rc);
+                let degree = self.degree(l.len().max(r.len()));
+                Ok(if degree > 1 {
+                    ops::merge_join_parallel(
+                        &l_sorted, &r_sorted, lc, rc, output, &cond, self.store, degree, stats,
+                    )
+                } else {
+                    ops::merge_join(
+                        &l_sorted, &r_sorted, lc, rc, output, &cond, self.store, stats,
+                    )
+                })
+            }
             PlanNode::IndexNestedLoopJoin {
                 outer,
                 relation,
@@ -656,17 +762,96 @@ impl<'a> Executor<'a> {
                 Ok((*set).clone())
             }
             PlanNode::Limit { input, limit, .. } => {
-                // Materialised limit semantics: the canonical prefix — the
-                // `limit` smallest triples of the (sorted) full result.
+                // Materialised limit semantics: the *ordered* prefix — the
+                // `limit` smallest triples of the full result under the
+                // input's delivered order (canonical SPO when the input is
+                // unordered). For ordered inputs this is exactly what the
+                // streaming pipeline's first `limit` rows are — the two
+                // modes agree deterministically, which is what lets the
+                // planner collapse a top-k over an ordered input to a plain
+                // limit.
                 let result = recurse(self, input, stats)?;
                 if result.len() <= *limit {
                     return Ok(result);
                 }
-                Ok(TripleSet::from_sorted_vec(
-                    result.into_vec().into_iter().take(*limit).collect(),
-                ))
+                match input.ordering() {
+                    Some(perm) if perm != Permutation::Spo => {
+                        let mut rows = result.into_vec();
+                        rows.sort_unstable_by_key(|t| perm.key(t));
+                        rows.truncate(*limit);
+                        Ok(TripleSet::from_vec(rows))
+                    }
+                    _ => Ok(TripleSet::from_sorted_vec(
+                        result.into_vec().into_iter().take(*limit).collect(),
+                    )),
+                }
+            }
+            PlanNode::Sort { input, .. } => {
+                // Sets carry no order: a sort is an emit-order directive for
+                // the streaming pipeline and the identity on materialised
+                // results.
+                recurse(self, input, stats)
+            }
+            PlanNode::TopK {
+                input, k, order, ..
+            } => {
+                // Reference top-k semantics: the k smallest triples of the
+                // fully evaluated input under the permutation key. Unlike a
+                // streamed limit this is deterministic — permutation keys
+                // are total, so the streaming heap must produce exactly this
+                // set (the ordered differential suite holds it to that).
+                let result = recurse(self, input, stats)?;
+                if result.len() <= *k {
+                    return Ok(result);
+                }
+                if *order == Permutation::Spo {
+                    return Ok(TripleSet::from_sorted_vec(
+                        result.into_vec().into_iter().take(*k).collect(),
+                    ));
+                }
+                let mut rows = result.into_vec();
+                rows.sort_unstable_by_key(|t| order.key(t));
+                rows.truncate(*k);
+                Ok(TripleSet::from_vec(rows))
             }
         }
+    }
+
+    /// A view of `set` sorted by the key component `component`, borrowing
+    /// where the order is already available: the set itself for component 0
+    /// (canonical order) or the store's cached permutation when `node` scans
+    /// a stored relation unfiltered; a sorted copy otherwise.
+    fn key_sorted_view<'s>(
+        &self,
+        node: &PlanNode,
+        set: &'s TripleSet,
+        component: usize,
+    ) -> Cow<'s, [Triple]>
+    where
+        'a: 's,
+    {
+        if component == 0 {
+            return Cow::Borrowed(set.as_slice());
+        }
+        if let PlanNode::IndexScan {
+            relation,
+            bound: None,
+            residual,
+            ..
+        } = node
+        {
+            if residual.is_empty() {
+                if let Some((base, index)) = self.store.relation_with_index(relation) {
+                    return Cow::Borrowed(
+                        index.permutation(base, Permutation::keyed_on(component)),
+                    );
+                }
+            }
+        }
+        let mut rows = set.as_slice().to_vec();
+        let perm = Permutation::keyed_on(component);
+        rows.sort_unstable_by_key(|t| perm.key(t));
+        Cow::Owned(rows)
     }
 
     /// Scans a relation, serving a pushed-down constant binding from the

@@ -29,10 +29,12 @@
 //! other stars become build-once semi-naive fixpoints, and repeated
 //! sub-expressions are memoised. [`explain`] (or [`Plan::explain`]) renders
 //! the chosen plan, e.g. for Example 2 of the paper
-//! (`E ✶^{1,3',3}_{2=1'} E`) on the Figure 1 store:
+//! (`E ✶^{1,3',3}_{2=1'} E`) on the Figure 1 store — a sort-merge join of
+//! the POS permutation against the SPO permutation on the shared component:
 //!
 //! ```text
-//! IndexNestedLoopJoin [1,3',3 | 2=1'] into E via 2=1'  (~7 rows)
+//! MergeJoin [1,3',3 | 2=1'] on 2=1'  (~7 rows) [merge pos⋈spo]
+//! ├─ IndexScan E order=pos  (7 rows)
 //! ╰─ IndexScan E  (7 rows)
 //! ```
 //!
@@ -46,7 +48,7 @@
 //! let store = b.finish();
 //!
 //! let plan = trial_eval::explain(&queries::example2("E"), &store).unwrap();
-//! assert!(plan.contains("IndexNestedLoopJoin"));
+//! assert!(plan.contains("MergeJoin"));
 //! assert!(plan.contains("IndexScan E"));
 //! ```
 //!
@@ -84,6 +86,54 @@
 //! ([`QueryStream`]); `EvalOptions { streaming: false, .. }` restores the
 //! materialize-everything reference interpreter that the differential suite
 //! and the `streaming_vs_materialized` benchmark compare against.
+//!
+//! # Ordered execution
+//!
+//! Every operator advertises the sort order its output streams in —
+//! [`PlanNode::ordering`] returns the [`trial_core::Permutation`]
+//! (`spo`/`pos`/`osp`) whose key is strictly increasing across the emitted
+//! rows, or `None`. Because permutation keys order all three components, an
+//! ordered stream is automatically duplicate-free, which is what makes the
+//! following cheap:
+//!
+//! * **Merge joins** ([`PlanNode::MergeJoin`]) — when both join inputs can
+//!   stream sorted on the two sides of a cross equality *for free* (an
+//!   unbound scan just picks the permutation keyed on the joined component:
+//!   `E ✶_{2=1'} E` merges POS against SPO), the planner emits a fully
+//!   pipelined sort-merge join: **no build side, no hash table**
+//!   ([`EvalStats::hash_tables_built`] stays 0), only the current right-side
+//!   key group buffered. Merge beats hash whenever both orders are free;
+//!   an index nested-loop probe is still chosen when its outer side is ≫
+//!   smaller than the two linear scans (factor 8 in the cost gate), and
+//!   the planner never *inserts a sort* just to enable a merge join.
+//!   The set-at-a-time executor runs merge joins morsel-parallel by carving
+//!   the left run at key-run boundaries (aligned sorted runs), each worker
+//!   binary-searching its matching right sub-run.
+//! * **Order delivery** (`plan_query` with an order) — requesting an output
+//!   order rewrites the plan so the root streams in that permutation's key
+//!   order: unbound scans switch permutation, filters / difference and
+//!   intersection left sides / merge unions pass the requirement down, and
+//!   only when nothing below can deliver does an explicit
+//!   [`PlanNode::Sort`] breaker materialise and re-sort. `explain()` tags
+//!   the imposed orders (`[merge pos⋈spo]`, `[sort pos]`, `[topk osp]`).
+//! * **Top-k pushdown** ([`PlanNode::TopK`]) — "the k smallest by component
+//!   ordering" generalises the limit machinery: a bounded heap of at most
+//!   `k` permutation keys (peak recorded in
+//!   [`EvalStats::topk_buffered_peak`]) consumes the stream and re-emits the
+//!   survivors in key order. Top-k bounds fold, distribute through unions,
+//!   drop redundant same-order sorts, and collapse to a plain streaming
+//!   [`PlanNode::Limit`] whenever the input already delivers the order —
+//!   the first `k` rows of an ordered stream *are* the `k` smallest, so
+//!   `?topk=` over a scan terminates early without any heap. Unlike a
+//!   streamed limit, a top-k result is **deterministic** (permutation keys
+//!   are total), so the streaming heap and the materialized reference are
+//!   held to set equality by `tests/ordered_differential.rs`.
+//!
+//! Ordering metadata is deliberately conservative: joins never claim an
+//! order (duplicate emissions break strictness even when the projection
+//! wouldn't), and the differential suite's `every_claimed_order_is_real`
+//! property streams each claimed-ordered root and asserts the rows really
+//! arrive strictly key-ascending.
 //!
 //! # Parallel execution
 //!
@@ -174,7 +224,7 @@ pub use naive::NaiveEngine;
 pub use parallel::available_threads;
 pub use plan::{Plan, PlanNode};
 pub use planner::{
-    evaluate, evaluate_with, explain, plan_limited, AnalyzedEvaluation, SmartEngine,
+    evaluate, evaluate_with, explain, plan_limited, plan_query, AnalyzedEvaluation, SmartEngine,
 };
 
 // Compile-time thread-safety contract: `trial-server` evaluates queries with

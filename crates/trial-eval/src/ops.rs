@@ -178,6 +178,7 @@ impl JoinTable {
     /// must use [`nested_loop_join`].
     pub fn build(right: &TripleSet, keys: &[(Pos, Pos)], stats: &mut EvalStats) -> JoinTable {
         assert!(!keys.is_empty(), "hash join requires at least one key");
+        stats.hash_tables_built += 1;
         let right_components = key_components(keys, false);
         let left_components = key_components(keys, true);
         let mut table: HashMap<JoinKey, Vec<Triple>> = HashMap::with_capacity(right.len());
@@ -212,6 +213,7 @@ impl JoinTable {
         stats: &mut EvalStats,
     ) -> JoinTable {
         assert!(!keys.is_empty(), "hash join requires at least one key");
+        stats.hash_tables_built += 1;
         let right_components = key_components(keys, false);
         let left_components = key_components(keys, true);
         let components = &right_components;
@@ -447,6 +449,151 @@ pub fn index_nested_loop_join_parallel(
                 let mut out = Vec::with_capacity(morsel.len());
                 index_nested_loop_join_slice(
                     morsel, base, index, probe, output, cond, store, stats, &mut out,
+                );
+                out
+            }
+        })
+        .collect();
+    let parts = parallel::run_tasks(threads, tasks, stats);
+    TripleSet::from_vec(parts.concat())
+}
+
+/// The merge-join kernel over one pair of key-sorted runs: both slices are
+/// sorted by (at least) their key component, so the join is one synchronized
+/// forward pass expanding equal-key run pairs into cross products. No hash
+/// table, no build phase — the set-at-a-time twin of
+/// [`crate::cursor`]'s `MergeJoinCursor`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_join_slice(
+    left: &[Triple],
+    right: &[Triple],
+    lc: usize,
+    rc: usize,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+    out: &mut Vec<Triple>,
+) {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < left.len() && j < right.len() {
+        let lk = left[i].0[lc];
+        let rk = right[j].0[rc];
+        if lk < rk {
+            stats.triples_scanned += 1;
+            i += 1;
+        } else if rk < lk {
+            stats.triples_scanned += 1;
+            j += 1;
+        } else {
+            let i_end = i + left[i..].partition_point(|t| t.0[lc] == lk);
+            let j_end = j + right[j..].partition_point(|t| t.0[rc] == rk);
+            stats.triples_scanned += (i_end - i + j_end - j) as u64;
+            for l in &left[i..i_end] {
+                for r in &right[j..j_end] {
+                    stats.pairs_considered += 1;
+                    if cond.check_pair(store, l, r) {
+                        out.push(project(l, r, output));
+                        stats.triples_emitted += 1;
+                    }
+                }
+            }
+            i = i_end;
+            j = j_end;
+        }
+    }
+}
+
+/// Sort-merge join over two key-sorted runs (see [`merge_join_slice`]).
+#[allow(clippy::too_many_arguments)]
+pub fn merge_join(
+    left: &[Triple],
+    right: &[Triple],
+    lc: usize,
+    rc: usize,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    stats.joins_executed += 1;
+    let mut out = Vec::with_capacity(left.len().min(right.len()));
+    merge_join_slice(left, right, lc, rc, output, cond, store, stats, &mut out);
+    TripleSet::from_vec(out)
+}
+
+/// Carves a key-sorted run into at most `parts` contiguous morsels whose
+/// boundaries fall on key-run boundaries: every run of equal `component`
+/// values lands wholly inside one morsel. This is the alignment step of the
+/// morsel-parallel merge join — near-equal splits (the shape
+/// `RangeCursor::split` / `partition_cursors` produce) are snapped forward
+/// to the end of the key run they cut through, so no worker ever sees half
+/// a cross product. Morsels are never empty; fewer than `parts` come back
+/// when runs are wide.
+pub(crate) fn align_key_runs(
+    sorted: &[Triple],
+    component: usize,
+    parts: usize,
+) -> Vec<(usize, usize)> {
+    let parts = parts.max(1).min(sorted.len());
+    if parts == 0 {
+        return Vec::new();
+    }
+    let target = sorted.len().div_ceil(parts);
+    let mut bounds = Vec::with_capacity(parts);
+    let mut start = 0;
+    while start < sorted.len() {
+        let mut end = (start + target).min(sorted.len());
+        // Snap forward past the key run the naive boundary would cut.
+        if end < sorted.len() {
+            let key = sorted[end - 1].0[component];
+            end += sorted[end..].partition_point(|t| t.0[component] == key);
+        }
+        bounds.push((start, end));
+        start = end;
+    }
+    bounds
+}
+
+/// Morsel-parallel [`merge_join`]: the left run is carved into key-aligned
+/// morsels ([`align_key_runs`]); each worker binary-searches the matching
+/// right sub-run for its key range and merges the pair independently.
+/// Morsel outputs concatenate in left order, so the pre-deduplication row
+/// sequence is identical to the sequential merge.
+#[allow(clippy::too_many_arguments)]
+pub fn merge_join_parallel(
+    left: &[Triple],
+    right: &[Triple],
+    lc: usize,
+    rc: usize,
+    output: &OutputSpec,
+    cond: &CompiledConditions,
+    store: &Triplestore,
+    threads: usize,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    stats.joins_executed += 1;
+    let tasks: Vec<_> = align_key_runs(left, lc, threads)
+        .into_iter()
+        .map(|(start, end)| {
+            let morsel = &left[start..end];
+            move |stats: &mut EvalStats| {
+                // The aligned right sub-run covering this morsel's key range.
+                let lo = morsel[0].0[lc];
+                let hi = morsel[morsel.len() - 1].0[lc];
+                let r_start = right.partition_point(|t| t.0[rc] < lo);
+                let r_end = r_start + right[r_start..].partition_point(|t| t.0[rc] <= hi);
+                let mut out = Vec::with_capacity(morsel.len());
+                merge_join_slice(
+                    morsel,
+                    &right[r_start..r_end],
+                    lc,
+                    rc,
+                    output,
+                    cond,
+                    store,
+                    stats,
+                    &mut out,
                 );
                 out
             }

@@ -26,7 +26,7 @@
 //! ```
 
 use std::fmt;
-use trial_core::{Conditions, ObjectId, OutputSpec, Pos, StarDirection};
+use trial_core::{Conditions, ObjectId, OutputSpec, Permutation, Pos, StarDirection};
 
 /// One physical operator with its inputs and cardinality estimate.
 #[derive(Debug, Clone, PartialEq)]
@@ -42,6 +42,11 @@ pub enum PlanNode {
         bound: Option<(usize, ObjectId)>,
         /// Residual selection conditions checked per scanned triple.
         residual: Conditions,
+        /// Which permutation an **unbound** scan streams — the planner's
+        /// free order-delivery knob (merge-join inputs, `?order=` roots).
+        /// Bound scans ignore it: their run comes from the permutation keyed
+        /// on the bound component.
+        order: Permutation,
         /// Estimated output rows.
         est: usize,
     },
@@ -96,6 +101,26 @@ pub enum PlanNode {
         cond: Conditions,
         /// `true` if the planner swapped the written argument order.
         swapped: bool,
+        /// Estimated output rows.
+        est: usize,
+    },
+    /// Sort-merge join: both inputs stream in a sort order keyed on the join
+    /// component (left on `key.0`'s component, right on `key.1`'s), so the
+    /// join is a single synchronized pass — fully pipelined, **no build
+    /// side, no hash table**. Only the current right-side key group is
+    /// buffered (bounded by the widest duplicate run).
+    MergeJoin {
+        /// Left input, streaming ordered on `key.0`'s component.
+        left: Box<PlanNode>,
+        /// Right input, streaming ordered on `key.1`'s component.
+        right: Box<PlanNode>,
+        /// Output specification.
+        output: OutputSpec,
+        /// Full join conditions (checked per matching pair; includes the
+        /// merge key equality).
+        cond: Conditions,
+        /// The cross equality the merge is synchronized on.
+        key: (Pos, Pos),
         /// Estimated output rows.
         est: usize,
     },
@@ -197,6 +222,37 @@ pub enum PlanNode {
         /// Estimated output rows (`min(input estimate, limit)`).
         est: usize,
     },
+    /// Materialise the input and re-emit it sorted by the given permutation
+    /// key — the explicit **order breaker** the planner inserts when an
+    /// order is required (a `?order=` response) but no operator below can
+    /// deliver it.
+    Sort {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// The permutation key the output streams in.
+        order: Permutation,
+        /// Estimated output rows (same as the input's).
+        est: usize,
+    },
+    /// The `k` smallest distinct triples of the input under the given
+    /// permutation key, via a bounded heap of at most `k` entries — the
+    /// generalisation of [`PlanNode::Limit`] to "k smallest by component
+    /// ordering". Consumes its whole input before emitting (a *bounded*
+    /// breaker: memory never exceeds `k` buffered keys, asserted through
+    /// [`crate::EvalStats::topk_buffered_peak`]), then streams the survivors
+    /// in key order. Unlike a streamed limit the result is deterministic:
+    /// permutation keys induce a total order, so "the k smallest" is a
+    /// unique set.
+    TopK {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Number of smallest triples kept.
+        k: usize,
+        /// The permutation key defining "smallest" (and the output order).
+        order: Permutation,
+        /// Estimated output rows (`min(input estimate, k)`).
+        est: usize,
+    },
 }
 
 impl PlanNode {
@@ -208,6 +264,7 @@ impl PlanNode {
             | PlanNode::Universe { est }
             | PlanNode::Filter { est, .. }
             | PlanNode::HashJoin { est, .. }
+            | PlanNode::MergeJoin { est, .. }
             | PlanNode::IndexNestedLoopJoin { est, .. }
             | PlanNode::NestedLoopJoin { est, .. }
             | PlanNode::Union { est, .. }
@@ -216,45 +273,75 @@ impl PlanNode {
             | PlanNode::Complement { est, .. }
             | PlanNode::StarSemiNaive { est, .. }
             | PlanNode::StarReach { est, .. }
-            | PlanNode::Limit { est, .. } => *est,
+            | PlanNode::Limit { est, .. }
+            | PlanNode::Sort { est, .. }
+            | PlanNode::TopK { est, .. } => *est,
             PlanNode::Memo { input, .. } => input.est(),
         }
     }
 
-    /// `true` if this operator's output streams in strictly increasing
-    /// canonical (SPO) order — and is therefore duplicate-free.
+    /// The sort order this operator's streamed output follows, if any: the
+    /// permutation whose key is strictly increasing across the emitted rows.
+    /// Because permutation keys order all three components, `Some(_)` also
+    /// means the stream is duplicate-free.
     ///
-    /// Ordered streams unlock merge unions, allocation-free distinct counting
-    /// and limit enforcement without a seen-set; the streaming executor
-    /// consults this at cursor-compilation time and `explain` surfaces it as
-    /// part of the pipeline metadata.
-    pub fn ordered(&self) -> bool {
+    /// Ordered streams unlock merge joins and merge unions, allocation-free
+    /// distinct counting, limit enforcement without a seen-set, and
+    /// `?order=` responses that stream without a sort breaker. The metadata
+    /// is deliberately **conservative**: joins never claim an order, even
+    /// when the output spec projects only left positions in scan order —
+    /// a probe row matching several build rows is emitted several times, and
+    /// a duplicated row breaks the *strictly*-increasing contract that the
+    /// dedup-free paths rely on. (Claiming order through a mirrored hash
+    /// join is exactly the kind of optimism the
+    /// `every_claimed_order_is_real` regression test exists to catch.)
+    pub fn ordering(&self) -> Option<Permutation> {
         match self {
-            // The SPO permutation (and any of its contiguous runs) is the
-            // canonical order; runs of POS/OSP interleave arbitrarily.
-            PlanNode::IndexScan { bound, .. } => {
-                bound.map(|(component, _)| component == 0).unwrap_or(true)
-            }
+            // An unbound scan streams whichever permutation the planner
+            // chose; a bound scan streams the run of the permutation keyed on
+            // the bound component (constant there, sorted on the rest — a
+            // contiguous, strictly increasing slice of that permutation).
+            PlanNode::IndexScan { bound, order, .. } => match bound {
+                None => Some(*order),
+                Some((component, _)) => Some(Permutation::keyed_on(*component)),
+            },
             // Lexicographic loops over the sorted active domain.
-            PlanNode::Universe { .. } | PlanNode::Empty => true,
+            PlanNode::Universe { .. } | PlanNode::Empty => Some(Permutation::Spo),
             // Filtering preserves order; so do streamed set operations on
             // their left (streamed) side.
-            PlanNode::Filter { input, .. } | PlanNode::Limit { input, .. } => input.ordered(),
-            PlanNode::Diff { left, .. } | PlanNode::Intersect { left, .. } => left.ordered(),
-            // A union merges (ordered) only when both inputs are ordered;
+            PlanNode::Filter { input, .. } | PlanNode::Limit { input, .. } => input.ordering(),
+            PlanNode::Diff { left, .. } | PlanNode::Intersect { left, .. } => left.ordering(),
+            // A union merges (ordered) only when both inputs share an order;
             // otherwise it concatenates.
-            PlanNode::Union { left, right, .. } => left.ordered() && right.ordered(),
-            // The universe streams in canonical order and removal preserves it.
-            PlanNode::Complement { .. } => true,
-            // Projection scrambles join outputs.
+            PlanNode::Union { left, right, .. } => {
+                let order = left.ordering()?;
+                (right.ordering() == Some(order)).then_some(order)
+            }
+            // The universe streams in canonical order and removal preserves
+            // it.
+            PlanNode::Complement { .. } => Some(Permutation::Spo),
+            // Projection scrambles join outputs — and duplicate emissions
+            // break strictness even when it wouldn't (see above). This
+            // includes the merge join: its *inputs* are ordered, its output
+            // is not.
             PlanNode::HashJoin { .. }
+            | PlanNode::MergeJoin { .. }
             | PlanNode::IndexNestedLoopJoin { .. }
-            | PlanNode::NestedLoopJoin { .. } => false,
+            | PlanNode::NestedLoopJoin { .. } => None,
             // Fixpoints and memo slots materialise into sorted `TripleSet`s.
             PlanNode::StarSemiNaive { .. } | PlanNode::StarReach { .. } | PlanNode::Memo { .. } => {
-                true
+                Some(Permutation::Spo)
             }
+            // Sort and top-k exist to impose their order.
+            PlanNode::Sort { order, .. } | PlanNode::TopK { order, .. } => Some(*order),
         }
+    }
+
+    /// `true` if this operator's output streams in strictly increasing
+    /// canonical (SPO) order — the order [`trial_core::TripleSet`]s store,
+    /// so such streams collect via the zero-copy sorted path.
+    pub fn ordered(&self) -> bool {
+        self.ordering() == Some(Permutation::Spo)
     }
 
     /// `true` if the set-at-a-time executor has a **morsel-parallel
@@ -278,6 +365,7 @@ impl PlanNode {
             PlanNode::IndexScan { residual, .. } => !residual.is_empty(),
             PlanNode::Filter { .. }
             | PlanNode::HashJoin { .. }
+            | PlanNode::MergeJoin { .. }
             | PlanNode::IndexNestedLoopJoin { .. }
             | PlanNode::NestedLoopJoin { .. }
             | PlanNode::Union { .. }
@@ -286,10 +374,15 @@ impl PlanNode {
             | PlanNode::Complement { .. }
             | PlanNode::StarSemiNaive { .. }
             | PlanNode::StarReach { .. } => true,
+            // Sort and top-k drain sequentially like limits (the heap and
+            // the sorted emit are inherently serial); breakers beneath them
+            // still parallelise inside their own materialisation.
             PlanNode::Universe { .. }
             | PlanNode::Empty
             | PlanNode::Memo { .. }
-            | PlanNode::Limit { .. } => false,
+            | PlanNode::Limit { .. }
+            | PlanNode::Sort { .. }
+            | PlanNode::TopK { .. } => false,
         }
     }
 
@@ -321,6 +414,7 @@ impl PlanNode {
             | PlanNode::Empty
             | PlanNode::Filter { .. }
             | PlanNode::Union { .. }
+            | PlanNode::MergeJoin { .. }
             | PlanNode::IndexNestedLoopJoin { .. }
             | PlanNode::Limit { .. } => true,
             PlanNode::HashJoin { .. }
@@ -330,7 +424,12 @@ impl PlanNode {
             | PlanNode::Complement { .. }
             | PlanNode::StarSemiNaive { .. }
             | PlanNode::StarReach { .. }
-            | PlanNode::Memo { .. } => false,
+            | PlanNode::Memo { .. }
+            // A sort materialises its whole input; a top-k heap must see
+            // every row before the smallest k are known (but buffers at most
+            // k of them — a *bounded* breaker).
+            | PlanNode::Sort { .. }
+            | PlanNode::TopK { .. } => false,
         }
     }
 
@@ -343,8 +442,11 @@ impl PlanNode {
             | PlanNode::StarSemiNaive { input, .. }
             | PlanNode::StarReach { input, .. }
             | PlanNode::Memo { input, .. }
-            | PlanNode::Limit { input, .. } => vec![input],
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::TopK { input, .. } => vec![input],
             PlanNode::HashJoin { left, right, .. }
+            | PlanNode::MergeJoin { left, right, .. }
             | PlanNode::NestedLoopJoin { left, right, .. }
             | PlanNode::Union { left, right, .. }
             | PlanNode::Diff { left, right, .. }
@@ -380,11 +482,16 @@ impl PlanNode {
                 relation,
                 bound,
                 residual,
+                order,
                 est,
             } => {
                 let mut s = format!("IndexScan {relation}");
                 if let Some((component, id)) = bound {
                     s.push_str(&format!(" where {}=#{}", component + 1, id.0));
+                } else if *order != Permutation::Spo {
+                    // A non-canonical scan order is a deliberate planner
+                    // choice (merge-join input, ?order= root): surface it.
+                    s.push_str(&format!(" order={order}"));
                 }
                 if !residual.is_empty() {
                     s.push_str(&format!(" filter [{residual}]"));
@@ -409,6 +516,24 @@ impl PlanNode {
                     cond_part(output, cond),
                     keys.join(","),
                     if *swapped { " (args swapped)" } else { "" },
+                )
+            }
+            PlanNode::MergeJoin {
+                left,
+                right,
+                output,
+                cond,
+                key,
+                est,
+            } => {
+                let side = |n: &PlanNode| n.ordering().map(|p| p.name()).unwrap_or("?");
+                format!(
+                    "MergeJoin {} on {}={}  (~{est} rows) [merge {}⋈{}]",
+                    cond_part(output, cond),
+                    key.0,
+                    key.1,
+                    side(left),
+                    side(right),
                 )
             }
             PlanNode::IndexNestedLoopJoin {
@@ -463,6 +588,10 @@ impl PlanNode {
             }
             PlanNode::Memo { slot, .. } => format!("Memo #{slot}"),
             PlanNode::Limit { limit, est, .. } => format!("Limit {limit}  (~{est} rows)"),
+            PlanNode::Sort { order, est, .. } => format!("Sort  (~{est} rows) [sort {order}]"),
+            PlanNode::TopK { k, order, est, .. } => {
+                format!("TopK {k}  (~{est} rows) [topk {order}]")
+            }
         };
         label.push_str(if self.pipelined() {
             " [pipelined]"
@@ -545,6 +674,7 @@ mod tests {
             relation: rel.to_owned(),
             bound: None,
             residual: Conditions::new(),
+            order: Permutation::Spo,
             est,
         }
     }
@@ -637,6 +767,25 @@ mod tests {
                 relation: Some("E".into()),
                 est: 4,
             },
+            PlanNode::MergeJoin {
+                left: Box::new(scan("E", 2)),
+                right: Box::new(scan("E", 2)),
+                output: output(Pos::L1, Pos::L2, Pos::R3),
+                cond: Conditions::new().obj_eq(Pos::L1, Pos::R1),
+                key: (Pos::L1, Pos::R1),
+                est: 2,
+            },
+            PlanNode::Sort {
+                input: Box::new(scan("E", 2)),
+                order: Permutation::Pos,
+                est: 2,
+            },
+            PlanNode::TopK {
+                input: Box::new(scan("E", 2)),
+                k: 1,
+                order: Permutation::Osp,
+                est: 1,
+            },
         ];
         for node in nodes {
             let label = node.label();
@@ -657,13 +806,16 @@ mod tests {
             relation: "E".into(),
             bound: Some((1, trial_core::ObjectId(3))),
             residual: Conditions::new(),
+            order: Permutation::Spo,
             est: 2,
         };
         assert!(!bound_pos.ordered());
+        assert_eq!(bound_pos.ordering(), Some(Permutation::Pos));
         let bound_spo = PlanNode::IndexScan {
             relation: "E".into(),
             bound: Some((0, trial_core::ObjectId(3))),
             residual: Conditions::new(),
+            order: Permutation::Spo,
             est: 2,
         };
         assert!(bound_spo.ordered());
@@ -736,6 +888,7 @@ mod tests {
             relation: "E".into(),
             bound: None,
             residual: Conditions::new().obj_neq(Pos::L1, Pos::L3),
+            order: Permutation::Spo,
             est: 5,
         };
         assert!(filtered.parallelizable());
@@ -790,10 +943,91 @@ mod tests {
             relation: "E".into(),
             bound: Some((1, trial_core::ObjectId(5))),
             residual: Conditions::new().data_eq(Pos::L1, Pos::L3),
+            order: Permutation::Spo,
             est: 3,
         };
         let label = node.label();
         assert!(label.contains("where 2=#5"), "got: {label}");
         assert!(label.contains("filter [rho(1)=rho(3)]"), "got: {label}");
+        // An unbound scan in a non-canonical order surfaces the choice.
+        let pos_scan = PlanNode::IndexScan {
+            relation: "E".into(),
+            bound: None,
+            residual: Conditions::new(),
+            order: Permutation::Pos,
+            est: 7,
+        };
+        assert!(
+            pos_scan.label().contains("order=pos"),
+            "{}",
+            pos_scan.label()
+        );
+        assert_eq!(pos_scan.ordering(), Some(Permutation::Pos));
+        assert!(!pos_scan.ordered());
+    }
+
+    #[test]
+    fn ordered_operators_report_their_metadata() {
+        // Merge join: ordered inputs, fully pipelined, *unordered* output.
+        let left = PlanNode::IndexScan {
+            relation: "E".into(),
+            bound: None,
+            residual: Conditions::new(),
+            order: Permutation::Pos,
+            est: 7,
+        };
+        let join = PlanNode::MergeJoin {
+            left: Box::new(left),
+            right: Box::new(scan("E", 7)),
+            output: output(Pos::L1, Pos::R3, Pos::L3),
+            cond: Conditions::new().obj_eq(Pos::L2, Pos::R1),
+            key: (Pos::L2, Pos::R1),
+            est: 7,
+        };
+        assert!(join.pipelined(), "merge joins must not break the pipeline");
+        assert_eq!(join.ordering(), None, "projection scrambles the output");
+        assert!(join.parallelizable());
+        let label = join.label();
+        assert!(label.contains("MergeJoin"), "{label}");
+        assert!(label.contains("on 2=1'"), "{label}");
+        assert!(label.contains("[merge pos⋈spo]"), "{label}");
+        assert!(label.contains("[pipelined]"), "{label}");
+        // Sort: a breaker that imposes its order.
+        let sort = PlanNode::Sort {
+            input: Box::new(join.clone()),
+            order: Permutation::Osp,
+            est: 7,
+        };
+        assert_eq!(sort.ordering(), Some(Permutation::Osp));
+        assert!(!sort.pipelined());
+        assert!(sort.label().contains("[sort osp]"), "{}", sort.label());
+        assert!(sort.label().contains("[breaker]"), "{}", sort.label());
+        // TopK: a bounded breaker that imposes its order.
+        let topk = PlanNode::TopK {
+            input: Box::new(join),
+            k: 5,
+            order: Permutation::Pos,
+            est: 5,
+        };
+        assert_eq!(topk.ordering(), Some(Permutation::Pos));
+        assert!(!topk.pipelined());
+        assert!(!topk.parallelizable());
+        assert_eq!(topk.est(), 5);
+        assert_eq!(topk.children().len(), 1);
+        assert!(topk.label().contains("TopK 5"), "{}", topk.label());
+        assert!(topk.label().contains("[topk pos]"), "{}", topk.label());
+        // A union only claims an order its two sides share.
+        let mixed = PlanNode::Union {
+            left: Box::new(PlanNode::IndexScan {
+                relation: "E".into(),
+                bound: None,
+                residual: Conditions::new(),
+                order: Permutation::Pos,
+                est: 7,
+            }),
+            right: Box::new(scan("F", 3)),
+            est: 10,
+        };
+        assert_eq!(mixed.ordering(), None);
     }
 }

@@ -39,7 +39,7 @@ use crate::plan::{Plan, PlanNode};
 use std::collections::{HashMap, HashSet};
 use trial_core::condition::{Cmp, ObjAtom, ObjOperand};
 use trial_core::fragment::is_reachability_star;
-use trial_core::{Conditions, Expr, ObjectId, Pos, Result, Triplestore};
+use trial_core::{Conditions, Expr, ObjectId, Permutation, Pos, Result, Triplestore};
 
 /// The default, optimisation-enabled evaluation engine: plans every query
 /// with [`plan`] and executes the physical plan against the store's
@@ -77,6 +77,65 @@ impl SmartEngine {
         plan_limited(expr, store, &self.options, limit)
     }
 
+    /// Plans `expr` with an output order, a top-k bound and/or a limit
+    /// compiled into the plan (see [`plan_query`]). With all three `None`
+    /// this is identical to [`SmartEngine::plan`].
+    pub fn plan_query(
+        &self,
+        expr: &Expr,
+        store: &Triplestore,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> Result<Plan> {
+        plan_query(expr, store, &self.options, limit, order, topk)
+    }
+
+    /// Evaluates `expr` through a [`plan_query`] plan: the result set of an
+    /// ordered query equals the unordered one (sets carry no order), and a
+    /// top-k query returns exactly the `k` smallest distinct triples under
+    /// `order`'s permutation key — deterministic in both execution modes,
+    /// which is what the ordered differential suite exploits.
+    pub fn evaluate_query(
+        &self,
+        expr: &Expr,
+        store: &Triplestore,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> Result<Evaluation> {
+        let plan = self.plan_query(expr, store, limit, order, topk)?;
+        let mut stats = EvalStats::new();
+        let mut executor = Executor::new(store, self.options, &plan);
+        let result = if self.options.streaming {
+            executor.materialize(&plan.root, &mut stats)?
+        } else {
+            executor.run(&plan.root, &mut stats)?
+        };
+        Ok(Evaluation { result, stats })
+    }
+
+    /// Compiles `expr` into a streaming [`QueryStream`] whose rows arrive in
+    /// `order`'s key order (when requested) and honour a top-k bound — the
+    /// pull-based face of [`plan_query`] behind the server's
+    /// `?order=`/`?topk=` parameters. Row order is deterministic whenever an
+    /// order is requested: the root either delivers the permutation order
+    /// natively or sits above an explicit sort/top-k operator.
+    pub fn stream_query<'s>(
+        &self,
+        expr: &Expr,
+        store: &'s Triplestore,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> Result<QueryStream<'s>> {
+        let plan = self.plan_query(expr, store, limit, order, topk)?;
+        let mut stats = EvalStats::new();
+        let mut executor = Executor::new(store, self.options, &plan);
+        let root = executor.cursor(&plan.root, &mut stats)?;
+        Ok(QueryStream::new(plan, root, stats))
+    }
+
     /// Evaluates `expr` with a limit pushed into the physical plan: at most
     /// `limit` distinct triples are returned (`None` = unlimited).
     ///
@@ -84,9 +143,11 @@ impl SmartEngine {
     /// `limit` distinct triples the cursor pipeline yields, and evaluation
     /// terminates the moment the limit is reached. With
     /// [`EvalOptions::streaming`]` = false` the full result is materialised
-    /// and the **canonical prefix** (the `limit` smallest triples) is
-    /// returned — the deterministic reference the differential suite checks
-    /// streamed limits against.
+    /// and the **ordered prefix** is returned: the `limit` smallest triples
+    /// under the limit input's delivered stream order — the canonical SPO
+    /// prefix when the input is unordered. For ordered inputs this is
+    /// exactly what the streaming pipeline yields, so the two modes agree
+    /// deterministically; the differential suite checks both.
     pub fn evaluate_limited(
         &self,
         expr: &Expr,
@@ -126,11 +187,25 @@ impl SmartEngine {
         store: &Triplestore,
         limit: Option<usize>,
     ) -> Result<AnalyzedEvaluation> {
+        self.evaluate_analyzed_query(expr, store, limit, None, None)
+    }
+
+    /// [`SmartEngine::evaluate_analyzed`] over a [`plan_query`] plan: the
+    /// `EXPLAIN ANALYZE` path for ordered / top-k queries, behind the
+    /// server's `/explain?analyze=1&order=…&topk=…`.
+    pub fn evaluate_analyzed_query(
+        &self,
+        expr: &Expr,
+        store: &Triplestore,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> Result<AnalyzedEvaluation> {
         let options = EvalOptions {
             collect_node_stats: true,
             ..self.options
         };
-        let plan = plan_limited(expr, store, &options, limit)?;
+        let plan = plan_query(expr, store, &options, limit, order, topk)?;
         let mut stats = EvalStats::new();
         let mut executor = Executor::new(store, options, &plan);
         let result = if options.streaming {
@@ -167,11 +242,7 @@ impl SmartEngine {
         store: &'s Triplestore,
         limit: Option<usize>,
     ) -> Result<QueryStream<'s>> {
-        let plan = self.plan_limited(expr, store, limit)?;
-        let mut stats = EvalStats::new();
-        let mut executor = Executor::new(store, self.options, &plan);
-        let root = executor.cursor(&plan.root, &mut stats)?;
-        Ok(QueryStream::new(plan, root, stats))
+        self.stream_query(expr, store, limit, None, None)
     }
 }
 
@@ -296,6 +367,241 @@ fn limit_over(input: PlanNode, k: usize) -> PlanNode {
     }
 }
 
+/// Builds the physical plan for an **ordered** (and optionally top-k /
+/// limited) query — the entry point behind the server's
+/// `?order=`/`?topk=`/`?limit=` parameters.
+///
+/// * With `topk = Some(k)` the plan computes the `k` smallest distinct
+///   triples under `order`'s permutation key (`order` defaults to `spo`):
+///   [`push_topk`] distributes the bound through unions, folds nested
+///   top-ks, and turns it into a plain [`PlanNode::Limit`] wherever the
+///   input already streams in the target order (the first `k` of an ordered
+///   stream *are* the `k` smallest — early termination for free). Elsewhere
+///   a [`PlanNode::TopK`] bounded heap does the work; no sort is ever
+///   inserted on this path.
+/// * With only `order = Some(p)` the plan's root is rewritten to stream in
+///   `p`'s key order: unbound scans switch permutation and order-preserving
+///   operators pass the requirement down ([`ensure_order`]); if no operator
+///   below can deliver, an explicit [`PlanNode::Sort`] breaker is inserted
+///   at the root.
+/// * `limit` is then pushed as in [`plan_limited`] (it never disturbs the
+///   delivered order — limits are order-preserving).
+pub fn plan_query(
+    expr: &Expr,
+    store: &Triplestore,
+    options: &EvalOptions,
+    limit: Option<usize>,
+    order: Option<Permutation>,
+    topk: Option<usize>,
+) -> Result<Plan> {
+    let mut plan = plan(expr, store, options)?;
+    if let Some(k) = topk {
+        plan.root = push_topk(plan.root, k, order.unwrap_or(Permutation::Spo));
+    } else if let Some(perm) = order {
+        plan.root = ensure_order(plan.root, perm);
+    }
+    if let Some(k) = limit {
+        plan.root = push_limit(plan.root, k);
+    }
+    Ok(plan)
+}
+
+/// Rewrites an unbound scan to stream the permutation keyed on `component`;
+/// other nodes must already be ordered on it (checked by the caller).
+fn deliver_order(node: PlanNode, component: usize) -> PlanNode {
+    if node.ordering().map(Permutation::key_component) == Some(component) {
+        return node;
+    }
+    match node {
+        PlanNode::IndexScan {
+            relation,
+            bound: None,
+            residual,
+            est,
+            ..
+        } => PlanNode::IndexScan {
+            relation,
+            bound: None,
+            residual,
+            order: Permutation::keyed_on(component),
+            est,
+        },
+        other => other,
+    }
+}
+
+/// Rewrites `node` so its output streams in `perm`'s key order, inserting a
+/// [`PlanNode::Sort`] breaker at the root only if the tree below cannot
+/// deliver the order itself (see [`try_order`]).
+fn ensure_order(node: PlanNode, perm: Permutation) -> PlanNode {
+    match try_order(node, perm) {
+        Ok(ordered) => ordered,
+        Err(node) => {
+            let est = node.est();
+            PlanNode::Sort {
+                input: Box::new(node),
+                order: perm,
+                est,
+            }
+        }
+    }
+}
+
+/// Attempts to deliver `perm`'s order without a sort breaker: unbound index
+/// scans switch to the permutation keyed on `perm`'s key component, filters
+/// and the streamed (left) sides of difference/intersection pass the
+/// requirement through, unions deliver when **both** sides do (the executor
+/// then merge-unions them), and an existing sort is re-targeted. `Err`
+/// hands the node back unchanged.
+fn try_order(node: PlanNode, perm: Permutation) -> std::result::Result<PlanNode, PlanNode> {
+    if node.ordering() == Some(perm) {
+        return Ok(node);
+    }
+    match node {
+        PlanNode::IndexScan {
+            relation,
+            bound: None,
+            residual,
+            est,
+            ..
+        } => Ok(PlanNode::IndexScan {
+            relation,
+            bound: None,
+            residual,
+            order: perm,
+            est,
+        }),
+        PlanNode::Filter { input, cond, est } => match try_order(*input, perm) {
+            Ok(input) => Ok(PlanNode::Filter {
+                input: Box::new(input),
+                cond,
+                est,
+            }),
+            Err(input) => Err(PlanNode::Filter {
+                input: Box::new(input),
+                cond,
+                est,
+            }),
+        },
+        PlanNode::Union { left, right, est } => match try_order(*left, perm) {
+            Ok(l) => match try_order(*right, perm) {
+                Ok(r) => Ok(PlanNode::Union {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    est,
+                }),
+                Err(r) => Err(PlanNode::Union {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    est,
+                }),
+            },
+            Err(l) => Err(PlanNode::Union {
+                left: Box::new(l),
+                right,
+                est,
+            }),
+        },
+        PlanNode::Diff { left, right, est } => match try_order(*left, perm) {
+            Ok(l) => Ok(PlanNode::Diff {
+                left: Box::new(l),
+                right,
+                est,
+            }),
+            Err(l) => Err(PlanNode::Diff {
+                left: Box::new(l),
+                right,
+                est,
+            }),
+        },
+        PlanNode::Intersect { left, right, est } => match try_order(*left, perm) {
+            Ok(l) => Ok(PlanNode::Intersect {
+                left: Box::new(l),
+                right,
+                est,
+            }),
+            Err(l) => Err(PlanNode::Intersect {
+                left: Box::new(l),
+                right,
+                est,
+            }),
+        },
+        PlanNode::Sort { input, est, .. } => Ok(PlanNode::Sort {
+            input,
+            order: perm,
+            est,
+        }),
+        other => Err(other),
+    }
+}
+
+/// Rewrites `node` so it produces the `k` smallest distinct triples under
+/// `perm`'s key: top-k bounds fold, distribute through unions (the k
+/// smallest of a union are among the union of each side's k smallest), drop
+/// same-order sorts (the heap imposes the order itself), and collapse to a
+/// plain streaming [`PlanNode::Limit`] over inputs that already deliver the
+/// order.
+fn push_topk(node: PlanNode, k: usize, perm: Permutation) -> PlanNode {
+    if k == 0 {
+        return PlanNode::Empty;
+    }
+    match node {
+        PlanNode::Empty => PlanNode::Empty,
+        PlanNode::TopK {
+            input,
+            k: k2,
+            order,
+            ..
+        } if order == perm => push_topk(*input, k.min(k2), perm),
+        // A sort below a top-k of the same order is redundant: the heap
+        // orders its survivors itself.
+        PlanNode::Sort { input, order, .. } if order == perm => push_topk(*input, k, perm),
+        PlanNode::Union { left, right, .. } => {
+            let left = push_topk(*left, k, perm);
+            let right = push_topk(*right, k, perm);
+            let est = left.est().saturating_add(right.est()).min(k);
+            topk_over(
+                PlanNode::Union {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    est,
+                },
+                k,
+                perm,
+            )
+        }
+        other => topk_over(other, k, perm),
+    }
+}
+
+/// Wraps a node in the cheapest operator computing its `k` smallest under
+/// `perm`: a streaming [`PlanNode::Limit`] when the input (possibly after
+/// free order delivery) already streams in that order, a bounded-heap
+/// [`PlanNode::TopK`] otherwise.
+fn topk_over(input: PlanNode, k: usize, perm: Permutation) -> PlanNode {
+    match try_order(input, perm) {
+        Ok(ordered) => {
+            // Ordered input: the first k distinct rows are the k smallest,
+            // and the limit terminates the pipeline early.
+            let est = ordered.est().min(k);
+            PlanNode::Limit {
+                input: Box::new(ordered),
+                limit: k,
+                est,
+            }
+        }
+        Err(input) => {
+            let est = input.est().min(k);
+            PlanNode::TopK {
+                input: Box::new(input),
+                k,
+                order: perm,
+                est,
+            }
+        }
+    }
+}
+
 /// Sub-expressions worth a memo slot: anything that performs work.
 fn memoizable(expr: &Expr) -> bool {
     !matches!(expr, Expr::Rel(_) | Expr::Empty | Expr::Universe)
@@ -369,6 +675,7 @@ impl Planner<'_> {
                     relation: name.clone(),
                     bound: None,
                     residual: Conditions::new(),
+                    order: Permutation::Spo,
                     est,
                 }
             }
@@ -523,6 +830,7 @@ impl Planner<'_> {
                 bound: None,
                 residual,
                 est,
+                ..
             } = &input
             {
                 // An equality with an object name absent from the store can
@@ -579,6 +887,7 @@ impl Planner<'_> {
                         relation: relation.clone(),
                         bound: Some((component, id)),
                         residual: residual_cond.and(residual.clone()),
+                        order: Permutation::Spo,
                         est: est.max(1),
                     };
                 }
@@ -590,6 +899,7 @@ impl Planner<'_> {
                     relation: relation.clone(),
                     bound: None,
                     residual: cond.and(residual.clone()),
+                    order: Permutation::Spo,
                     est: est.max(1),
                 };
             }
@@ -660,6 +970,49 @@ impl Planner<'_> {
         // smaller than the probing side.
         let right_inner = bare_scan(&right_plan).is_some() && left_plan.est() <= right_plan.est();
         let left_inner = bare_scan(&left_plan).is_some() && right_plan.est() <= left_plan.est();
+
+        // Sort-merge join: when both inputs can stream sorted on the two
+        // sides of the cross equality *for free* — an unbound scan switches
+        // to the permutation keyed on the joined component (e.g. POS ⋈ SPO
+        // on 2=1'), an already-ordered operator qualifies as-is — the join
+        // is a single synchronized pass with no build side and no hash
+        // table. Only single-key joins qualify: a merge synchronizes on one
+        // equality and would re-check further keys pair-by-pair across
+        // whole duplicate-run cross products, while a hash join keys on the
+        // composite and never touches non-matching pairs. An index
+        // nested-loop probe still wins when its outer side is much smaller
+        // than the two linear scans a merge would read (factor 8: a probe
+        // costs a binary search per outer row, a merge reads both inputs
+        // end to end).
+        let merge_cost = left_plan.est().saturating_add(right_plan.est());
+        let inlj_outer_est = if right_inner {
+            left_plan.est()
+        } else {
+            right_plan.est()
+        };
+        let prefer_inlj =
+            (right_inner || left_inner) && inlj_outer_est.saturating_mul(8) < merge_cost;
+        if self.options.use_merge_join && keys.len() == 1 && !prefer_inlj {
+            let deliverable = |node: &PlanNode, component: usize| {
+                node.ordering().map(Permutation::key_component) == Some(component)
+                    || matches!(node, PlanNode::IndexScan { bound: None, .. })
+            };
+            let chosen = keys.iter().copied().find(|&(l, r)| {
+                deliverable(&left_plan, l.component_index())
+                    && deliverable(&right_plan, r.component_index())
+            });
+            if let Some(key) = chosen {
+                return Ok(PlanNode::MergeJoin {
+                    left: Box::new(deliver_order(left_plan, key.0.component_index())),
+                    right: Box::new(deliver_order(right_plan, key.1.component_index())),
+                    output: *output,
+                    cond: cond.clone(),
+                    key,
+                    est,
+                });
+            }
+        }
+
         if right_inner || left_inner {
             // Keep the written orientation when the right side qualifies;
             // otherwise mirror the join so the stored relation is inner.
@@ -999,11 +1352,30 @@ mod tests {
     #[test]
     fn joins_against_relations_use_the_index() {
         let store = figure1();
-        // E ✶ E with an equality key: both sides are stored relations, so
-        // the planner probes the cached permutation index directly.
+        // E ✶ E with an equality key: both sides are stored relations whose
+        // permutations deliver the key order for free, so the planner merges
+        // POS against SPO instead of probing or hashing.
         let plan = SmartEngine::new()
             .plan(&queries::example2("E"), &store)
             .unwrap();
+        match &plan.root {
+            PlanNode::MergeJoin {
+                left, right, key, ..
+            } => {
+                assert_eq!(*key, (Pos::L2, Pos::R1));
+                assert_eq!(left.ordering(), Some(trial_core::Permutation::Pos));
+                assert_eq!(right.ordering(), Some(trial_core::Permutation::Spo));
+            }
+            other => panic!("expected MergeJoin, got:\n{}", other.explain()),
+        }
+        // With merge joins disabled the same query probes the cached
+        // permutation index (the historical plan shape).
+        let plan = SmartEngine::with_options(EvalOptions {
+            use_merge_join: false,
+            ..EvalOptions::default()
+        })
+        .plan(&queries::example2("E"), &store)
+        .unwrap();
         match &plan.root {
             PlanNode::IndexNestedLoopJoin {
                 relation, probe, ..
@@ -1013,6 +1385,22 @@ mod tests {
             }
             other => panic!("expected IndexNestedLoopJoin, got:\n{}", other.explain()),
         }
+        // A small bound-scan outer cannot deliver the key order (it is
+        // pinned to the bound component's permutation) and is much smaller
+        // than a two-sided scan: the index nested-loop probe stays.
+        let probing = Expr::rel("E")
+            .select(Conditions::new().obj_eq_const(Pos::L2, "part_of"))
+            .join(
+                Expr::rel("E"),
+                trial_core::output(Pos::L1, Pos::L2, Pos::R3),
+                Conditions::new().obj_eq(Pos::L3, Pos::R1),
+            );
+        let plan = SmartEngine::new().plan(&probing, &store).unwrap();
+        assert!(
+            matches!(plan.root, PlanNode::IndexNestedLoopJoin { .. }),
+            "expected IndexNestedLoopJoin, got:\n{}",
+            plan.root.explain()
+        );
         // Without a hashable key the join stays a nested loop.
         let neq = Expr::rel("E").join(
             Expr::rel("E"),
@@ -1384,6 +1772,177 @@ mod tests {
         let a = parallel.evaluate_analyzed(&q, &store, None).unwrap();
         assert!(a.actuals.iter().all(Option::is_some));
         assert_eq!(a.evaluation.result, engine.run(&q, &store).unwrap());
+    }
+
+    #[test]
+    fn merge_joins_run_without_hash_tables() {
+        let store = figure1();
+        let q = queries::example2("E");
+        let merged = SmartEngine::new().evaluate(&q, &store).unwrap();
+        let hashed = SmartEngine::with_options(EvalOptions {
+            use_merge_join: false,
+            ..EvalOptions::default()
+        })
+        .evaluate(&q, &store)
+        .unwrap();
+        let naive = NaiveEngine::new().run(&q, &store).unwrap();
+        assert_eq!(merged.result, naive);
+        assert_eq!(hashed.result, naive);
+        // The acceptance bar: a two-sided ordered scan join allocates no
+        // hash table at all.
+        assert_eq!(merged.stats.hash_tables_built, 0);
+        assert_eq!(merged.stats.joins_executed, 1);
+        // The streaming cursor path is equally allocation-free.
+        let (set, stats) = SmartEngine::new()
+            .stream(&q, &store, None)
+            .unwrap()
+            .collect_set();
+        assert_eq!(set, naive);
+        assert_eq!(stats.hash_tables_built, 0);
+    }
+
+    #[test]
+    fn order_delivery_prefers_index_permutations_over_sorts() {
+        use trial_core::Permutation;
+        let store = figure1();
+        let engine = SmartEngine::new();
+        // A bare scan delivers any order by switching permutation: no Sort.
+        for perm in Permutation::ALL {
+            let plan = engine
+                .plan_query(&Expr::rel("E"), &store, None, Some(perm), None)
+                .unwrap();
+            assert_eq!(plan.root.ordering(), Some(perm), "{}", plan.explain());
+            assert!(
+                !plan.explain().contains("Sort"),
+                "scan order should be free:\n{}",
+                plan.explain()
+            );
+        }
+        // A join output has no order to pass through: a Sort breaker lands
+        // at the root, tagged with the order it imposes.
+        let plan = engine
+            .plan_query(
+                &queries::example2("E"),
+                &store,
+                None,
+                Some(Permutation::Pos),
+                None,
+            )
+            .unwrap();
+        assert!(
+            matches!(plan.root, PlanNode::Sort { .. }),
+            "{}",
+            plan.explain()
+        );
+        assert_eq!(plan.root.ordering(), Some(Permutation::Pos));
+        assert!(plan.explain().contains("[sort pos]"), "{}", plan.explain());
+        // Order-preserving operators pass the requirement down to the scans:
+        // a union delivers by merge-unioning two re-ordered scans.
+        let plan = engine
+            .plan_query(
+                &Expr::rel("E").union(Expr::rel("E")),
+                &store,
+                None,
+                Some(Permutation::Osp),
+                None,
+            )
+            .unwrap();
+        assert!(
+            matches!(plan.root, PlanNode::Union { .. }),
+            "{}",
+            plan.explain()
+        );
+        assert_eq!(plan.root.ordering(), Some(Permutation::Osp));
+    }
+
+    #[test]
+    fn ordered_streams_yield_sorted_rows() {
+        use trial_core::Permutation;
+        let store = figure1();
+        let engine = SmartEngine::new();
+        for q in [
+            Expr::rel("E"),
+            Expr::rel("E").union(Expr::rel("E")),
+            queries::example2("E"),
+            queries::reach_forward("E"),
+        ] {
+            let full = engine.run(&q, &store).unwrap();
+            for perm in Permutation::ALL {
+                let mut stream = engine
+                    .stream_query(&q, &store, None, Some(perm), None)
+                    .unwrap();
+                let mut rows = Vec::new();
+                while let Some(t) = stream.next_triple() {
+                    rows.push(t);
+                }
+                assert!(
+                    rows.windows(2).all(|w| perm.key(&w[0]) < perm.key(&w[1])),
+                    "rows not strictly {perm}-sorted for {q}"
+                );
+                let as_set: trial_core::TripleSet = rows.iter().copied().collect();
+                assert_eq!(
+                    as_set, full,
+                    "ordered stream lost rows for {q} under {perm}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn topk_returns_the_k_smallest_and_folds_to_limits_when_ordered() {
+        use trial_core::Permutation;
+        let store = figure1();
+        let engine = SmartEngine::new();
+        let q = queries::example2("E");
+        let full = engine.run(&q, &store).unwrap();
+        for perm in Permutation::ALL {
+            let mut expected = full.as_slice().to_vec();
+            expected.sort_unstable_by_key(|t| perm.key(t));
+            for k in [0usize, 1, 2, full.len(), full.len() + 5] {
+                let eval = engine
+                    .evaluate_query(&q, &store, None, Some(perm), Some(k))
+                    .unwrap();
+                let want: trial_core::TripleSet = expected.iter().take(k).copied().collect();
+                assert_eq!(eval.result, want, "top-{k} under {perm} diverges");
+                // The bounded heap never buffers more than k rows.
+                assert!(
+                    eval.stats.topk_buffered_peak <= k as u64,
+                    "heap exceeded k: {} > {k}",
+                    eval.stats.topk_buffered_peak
+                );
+            }
+        }
+        // Over an input that already streams in the requested order, the
+        // planner collapses top-k to a plain limit: early termination, no
+        // heap at all.
+        let plan = engine
+            .plan_query(
+                &Expr::rel("E"),
+                &store,
+                None,
+                Some(Permutation::Pos),
+                Some(3),
+            )
+            .unwrap();
+        assert!(
+            matches!(plan.root, PlanNode::Limit { limit: 3, .. }),
+            "{}",
+            plan.explain()
+        );
+        let eval = engine
+            .evaluate_query(
+                &Expr::rel("E"),
+                &store,
+                None,
+                Some(Permutation::Pos),
+                Some(3),
+            )
+            .unwrap();
+        assert_eq!(
+            eval.stats.topk_buffered_peak, 0,
+            "limit path must skip the heap"
+        );
+        assert_eq!(eval.result.len(), 3);
     }
 
     #[test]

@@ -47,6 +47,14 @@ pub struct CacheKey {
     /// `true` for `/explain?analyze=1` fragments (they embed per-node
     /// actual row counts that a plain explain lacks).
     pub analyze: bool,
+    /// The requested `?order=` permutation (`"spo"`/`"pos"`/`"osp"`), or
+    /// `None`: ordered fragments render rows in a different sequence (and
+    /// ordered explains show different scan permutations / sort breakers),
+    /// so they must not share an entry with unordered ones.
+    pub order: Option<&'static str>,
+    /// The requested `?topk=` bound, or `None`: a top-k fragment is a
+    /// different result than a limit-truncated one.
+    pub topk: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -198,6 +206,8 @@ mod tests {
             limit: 100,
             threads: 1,
             analyze: false,
+            order: None,
+            topk: None,
         }
     }
 
@@ -248,6 +258,17 @@ mod tests {
             ..key("s", 1, "E")
         };
         assert!(cache.get(&analyzed).is_none());
+        // Ordered and top-k renderings are their own entries too.
+        let ordered = CacheKey {
+            order: Some("pos"),
+            ..key("s", 1, "E")
+        };
+        assert!(cache.get(&ordered).is_none());
+        let topk = CacheKey {
+            topk: Some(5),
+            ..key("s", 1, "E")
+        };
+        assert!(cache.get(&topk).is_none());
     }
 
     #[test]

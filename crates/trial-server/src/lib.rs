@@ -44,6 +44,33 @@
 //! curl -s localhost:7878/healthz
 //! ```
 //!
+//! ## Ordered responses and top-k
+//!
+//! `?order=spo|pos|osp` streams the result rows in that permutation's key
+//! order — served straight from the matching index permutation whenever the
+//! plan can deliver it (bare scans, filters, merge unions), an explicit
+//! sort breaker otherwise — making the response row sequence deterministic.
+//! `?topk=k` returns the `k` smallest distinct triples under the order
+//! (default `spo`) via a bounded heap that never buffers more than `k`
+//! rows; over an already-ordered plan it collapses to a plain limit and
+//! terminates early. Both are cache-keyed and work on `/explain` too:
+//!
+//! ```bash
+//! # Rows in predicate-object-subject order, deterministic across runs.
+//! curl -s "localhost:7878/query?order=pos" -d "E"
+//!
+//! # The 5 canonically smallest connections Example 2 derives.
+//! curl -s "localhost:7878/query?topk=5" -d "(E JOIN[1,3',3 | 2=1'] E)"
+//!
+//! # Top-k under a non-canonical order: bounded heap, ≤ k rows buffered
+//! # (watch stats.topk_buffered_peak and stats.hash_tables_built).
+//! curl -s "localhost:7878/query?order=osp&topk=10" -d "(E JOIN[1,3',3 | 2=1'] E)"
+//!
+//! # The ordered plan: scan permutations, [merge pos⋈spo] joins and
+//! # [sort]/[topk] tags, plus per-node "ordering" in the structured tree.
+//! curl -s "localhost:7878/explain?order=pos&topk=3" -d "E"
+//! ```
+//!
 //! ## Parallel evaluation
 //!
 //! `trial-serve --eval-threads N` turns on morsel-driven intra-query

@@ -9,8 +9,8 @@
 //! | `/healthz`      | GET    | —           | liveness + service & cache counters      |
 //!
 //! Request options ride in the query string (`?store=`, `?relation=`,
-//! `?limit=`, `?threads=`, `?analyze=`); bodies are plain text. Responses
-//! are always JSON; errors are structured as
+//! `?limit=`, `?threads=`, `?analyze=`, `?order=`, `?topk=`); bodies are
+//! plain text. Responses are always JSON; errors are structured as
 //! `{"error":{"kind":...,"message":...,"offset":...}}` with the byte offset
 //! present for parse errors.
 //!
@@ -38,6 +38,18 @@
 //! the exact cardinality. `/explain` accepts the same `?limit=` and returns
 //! both the rendered plan and a structured `tree` with per-node estimated
 //! cardinality and `pipelined` flags, making pushdown decisions observable.
+//!
+//! **Ordered responses**: `?order=spo|pos|osp` streams the rows in that
+//! permutation's key order — served from the matching index permutation
+//! (and merge unions of such) whenever the plan can deliver it, an explicit
+//! `[sort]` breaker otherwise — so the response row sequence is
+//! deterministic. `?topk=k` returns the `k` smallest distinct triples under
+//! the order (default `spo`) through a bounded heap that never buffers more
+//! than `k` rows; over an already-ordered plan it collapses to a plain
+//! early-terminating limit. Both knobs apply to `/explain` too (the plan
+//! shows the chosen scan permutations and `[merge]`/`[sort]`/`[topk]`
+//! tags), are echoed in the result fragment, and are part of the cache key;
+//! epoch bumps invalidate ordered fragments like any other.
 
 use crate::cache::{CacheKey, QueryKind};
 use crate::http::{Request, Response};
@@ -47,7 +59,7 @@ use crate::server::ServerState;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
-use trial_core::{Error, TriplestoreBuilder, Value};
+use trial_core::{Error, Permutation, TriplestoreBuilder, Value};
 use trial_eval::{EvalStats, SmartEngine};
 use trial_rdf::{parse_ntriples_iter, Term};
 
@@ -297,6 +309,40 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
     // per-node row counts next to the estimates.
     let analyze =
         kind == QueryKind::Explain && matches!(req.param("analyze"), Some("1" | "true" | "yes"));
+    // `?order=spo|pos|osp` asks for rows in that permutation's key order
+    // (delivered from the matching index permutation when possible, an
+    // explicit sort breaker otherwise); `?topk=k` asks for the k smallest
+    // distinct triples under that order (default spo) via a bounded heap —
+    // or a plain early-terminating limit when the plan already streams
+    // ordered. Both are part of the cache key.
+    let order = match req.param("order") {
+        Some(raw) => match Permutation::parse(raw) {
+            Some(p) => Some(p),
+            None => {
+                return error_response(
+                    400,
+                    "bad_request",
+                    &format!("unparsable ?order= value `{raw}` (expected spo, pos or osp)"),
+                    None,
+                )
+            }
+        },
+        None => None,
+    };
+    let topk = match req.param("topk") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(k) => Some(k.min(MAX_RESULT_LIMIT)),
+            Err(_) => {
+                return error_response(
+                    400,
+                    "bad_request",
+                    &format!("unparsable ?topk= value `{raw}`"),
+                    None,
+                )
+            }
+        },
+        None => None,
+    };
 
     let snapshot = match resolve_store(state, req) {
         Ok(s) => s,
@@ -317,6 +363,8 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         },
         threads: threads as u64,
         analyze,
+        order: order.map(Permutation::name),
+        topk: topk.map(|k| k as u64),
     };
     if let Some(fragment) = state.cache.get(&key) {
         state.queries_served.fetch_add(1, Ordering::Relaxed);
@@ -333,25 +381,34 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         ..state.eval
     });
     let fragment = match kind {
-        QueryKind::Query => match render_query_fragment(&engine, &expr, snapshot.store(), limit) {
-            Ok((fragment, ran_parallel)) => {
-                // Count the execution shape of fresh evaluations (cache hits
-                // run nothing, so they count as neither).
-                if ran_parallel {
-                    state.queries_parallel.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    state.queries_sequential.fetch_add(1, Ordering::Relaxed);
+        QueryKind::Query => {
+            match render_query_fragment(&engine, &expr, snapshot.store(), limit, order, topk) {
+                Ok((fragment, ran_parallel)) => {
+                    // Count the execution shape of fresh evaluations (cache hits
+                    // run nothing, so they count as neither).
+                    if ran_parallel {
+                        state.queries_parallel.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        state.queries_sequential.fetch_add(1, Ordering::Relaxed);
+                    }
+                    fragment
                 }
-                fragment
+                Err(e) => return eval_error_response(&e),
             }
-            Err(e) => return eval_error_response(&e),
-        },
+        }
         QueryKind::Explain => {
             // An explicit positive ?limit= shows the limit-pushed plan the
-            // equivalent /query would run.
+            // equivalent /query would run; ?order=/?topk= likewise show the
+            // ordered plan (scan permutations, sort breakers, top-k heaps).
             let plan_limit = requested_limit.filter(|&k| k > 0);
             if analyze {
-                match engine.evaluate_analyzed(&expr, snapshot.store(), plan_limit) {
+                match engine.evaluate_analyzed_query(
+                    &expr,
+                    snapshot.store(),
+                    plan_limit,
+                    order,
+                    topk,
+                ) {
                     Ok(analyzed) => {
                         let mut index = 0;
                         let tree = plan_tree_json(
@@ -372,7 +429,8 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
                     Err(e) => return eval_error_response(&e),
                 }
             } else {
-                let plan = match engine.plan_limited(&expr, snapshot.store(), plan_limit) {
+                let plan = match engine.plan_query(&expr, snapshot.store(), plan_limit, order, topk)
+                {
                     Ok(p) => p,
                     Err(e) => return eval_error_response(&e),
                 };
@@ -428,22 +486,47 @@ fn render_query_fragment(
     expr: &trial_core::Expr,
     store: &trial_core::Triplestore,
     limit: usize,
+    order: Option<Permutation>,
+    topk: Option<usize>,
 ) -> trial_core::Result<(String, bool)> {
+    // With ?order= or ?topk= the fragment echoes the effective knobs so
+    // cached and fresh responses are self-describing.
+    let annotate = |mut obj: JsonObject| {
+        if let Some(p) = order.or_else(|| topk.map(|_| Permutation::Spo)) {
+            obj = obj.str("order", p.name());
+        }
+        if let Some(k) = topk {
+            obj = obj.num("topk", k as u64);
+        }
+        obj
+    };
     if limit == 0 {
-        let (count, stats) = engine.stream(expr, store, None)?.count();
+        // Count-only: the cardinality is order-independent, so don't pay
+        // for a sort breaker the drain would never observe (a top-k bound
+        // still changes the count and keeps its order).
+        let plan_order = if topk.is_some() { order } else { None };
+        let (count, stats) = engine
+            .stream_query(expr, store, None, plan_order, topk)?
+            .count();
         return Ok((
-            JsonObject::new()
-                .num("count", count)
-                .boolean("truncated", count > 0)
-                .raw("triples", "[]")
-                .raw("stats", &stats_json(&stats))
-                .finish(),
+            annotate(
+                JsonObject::new()
+                    .num("count", count)
+                    .boolean("truncated", count > 0),
+            )
+            .raw("triples", "[]")
+            .raw("stats", &stats_json(&stats))
+            .finish(),
             stats.parallel_morsels > 0,
         ));
     }
     // Ask for one distinct triple beyond the response cap: pulling it proves
-    // the limit cut evaluation short without rendering it.
-    let mut stream = engine.stream(expr, store, Some(limit.saturating_add(1)))?;
+    // the limit cut evaluation short without rendering it. Under ?order= the
+    // rows arrive in that permutation's key order (the plan root either
+    // delivers it from an index permutation or sits above an explicit
+    // sort/top-k), so the response sequence is deterministic.
+    let mut stream =
+        engine.stream_query(expr, store, Some(limit.saturating_add(1)), order, topk)?;
     let mut triples = String::from("[");
     let mut count: u64 = 0;
     let mut truncated = false;
@@ -465,12 +548,14 @@ fn render_query_fragment(
     triples.push(']');
     let ran_parallel = stream.stats().parallel_morsels > 0;
     Ok((
-        JsonObject::new()
-            .num("count", count)
-            .boolean("truncated", truncated)
-            .raw("triples", &triples)
-            .raw("stats", &stats_json(stream.stats()))
-            .finish(),
+        annotate(
+            JsonObject::new()
+                .num("count", count)
+                .boolean("truncated", truncated),
+        )
+        .raw("triples", &triples)
+        .raw("stats", &stats_json(stream.stats()))
+        .finish(),
         ran_parallel,
     ))
 }
@@ -486,6 +571,8 @@ fn stats_json(stats: &EvalStats) -> String {
         .num("reach_edges_traversed", stats.reach_edges_traversed)
         .num("memo_hits", stats.memo_hits)
         .num("parallel_morsels", stats.parallel_morsels)
+        .num("hash_tables_built", stats.hash_tables_built)
+        .num("topk_buffered_peak", stats.topk_buffered_peak)
         .finish()
 }
 
@@ -520,9 +607,15 @@ fn plan_tree_json(
             None => object = object.raw("actual", "null"),
         }
     }
+    // "ordering" is the permutation the node's stream follows (null when
+    // unordered); it subsumes the old `ordered` boolean (== "spo").
+    if let Some(perm) = node.ordering() {
+        object = object.str("ordering", perm.name());
+    } else {
+        object = object.raw("ordering", "null");
+    }
     object
         .boolean("pipelined", node.pipelined())
-        .boolean("ordered", node.ordered())
         .boolean("parallel", threads > 1 && node.parallelizable())
         .raw("children", &json::array(children))
         .finish()

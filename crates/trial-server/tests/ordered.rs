@@ -1,0 +1,155 @@
+//! Integration tests for ordered and top-k responses: `?order=`/`?topk=`
+//! stream deterministic row sequences, collapse to early-terminating limits
+//! over ordered plans (observable in the work counters), occupy their own
+//! cache entries, and are invalidated by epoch bumps like any fragment.
+
+use trial_server::{client, Server};
+
+/// Extracts the integer value of `"field":N` from a flat JSON rendering.
+fn json_u64(body: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\":");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no `{needle}` in `{body}`"));
+    body[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric `{needle}` in `{body}`"))
+}
+
+/// Extracts the rendered `"triples":[...]` array as a raw string (it is
+/// always followed by the stats object in the fragment).
+fn triples_of(body: &str) -> &str {
+    let start = body.find("\"triples\":").expect("triples field") + "\"triples\":".len();
+    let end = body[start..]
+        .find(",\"stats\"")
+        .expect("stats after triples")
+        + start;
+    &body[start..end]
+}
+
+#[test]
+fn order_and_topk_terminate_early_and_key_the_cache() {
+    let server = Server::spawn_ephemeral().unwrap();
+    let addr = server.addr();
+    // A 200-edge chain; the self-inequality filter makes scans instrumented
+    // so early termination shows up in the work counters.
+    let mut doc = String::new();
+    for i in 0..200 {
+        doc.push_str(&format!("<n{i}> <next> <n{}> .\n", i + 1));
+    }
+    client::post(addr, "/load?store=chain", &doc).unwrap();
+    let filtered = "SELECT[1!=3](E)";
+
+    // Top-k over an order the scan delivers for free compiles to a plain
+    // limit: evaluation stops after k rows instead of draining the store.
+    let bounded = client::post(addr, "/query?store=chain&order=spo&topk=3", filtered).unwrap();
+    assert_eq!(bounded.status, 200, "{}", bounded.body);
+    assert_eq!(json_u64(&bounded.body, "count"), 3);
+    assert!(
+        bounded.body.contains("\"order\":\"spo\""),
+        "{}",
+        bounded.body
+    );
+    assert!(bounded.body.contains("\"topk\":3"), "{}", bounded.body);
+    // No heap was needed (the limit path), and the scan stopped early.
+    assert_eq!(json_u64(&bounded.body, "topk_buffered_peak"), 0);
+    let full = client::post(addr, "/query?store=chain", filtered).unwrap();
+    assert_eq!(json_u64(&full.body, "count"), 200);
+    let bounded_scanned = json_u64(&bounded.body, "triples_scanned");
+    let full_scanned = json_u64(&full.body, "triples_scanned");
+    assert!(
+        bounded_scanned * 10 <= full_scanned,
+        "ordered top-k did not terminate early: {bounded_scanned} vs {full_scanned} rows scanned"
+    );
+
+    // Top-k over an unordered join output runs the bounded heap: never more
+    // than k rows buffered, exactly k returned.
+    let join = "(E JOIN[1,2,3' | 3=1'] E)";
+    let heap = client::post(addr, "/query?store=chain&topk=4&order=pos", join).unwrap();
+    assert_eq!(json_u64(&heap.body, "count"), 4);
+    let peak = json_u64(&heap.body, "topk_buffered_peak");
+    assert!(peak > 0 && peak <= 4, "heap peak out of bounds: {peak}");
+    assert!(heap.body.contains("\"truncated\":false"), "{}", heap.body);
+
+    // order and topk are part of the cache key: repeats hit, variants miss.
+    let again = client::post(addr, "/query?store=chain&order=spo&topk=3", filtered).unwrap();
+    assert!(again.body.contains("\"cached\":true"), "{}", again.body);
+    let other_order = client::post(addr, "/query?store=chain&order=osp&topk=3", filtered).unwrap();
+    assert!(other_order.body.contains("\"cached\":false"));
+    let no_topk = client::post(addr, "/query?store=chain&order=spo", filtered).unwrap();
+    assert!(no_topk.body.contains("\"cached\":false"));
+
+    // An epoch bump (reload) invalidates ordered cached fragments too.
+    client::post(addr, "/load?store=chain", "<x> <next> <y> .\n").unwrap();
+    let after_bump = client::post(addr, "/query?store=chain&order=spo&topk=3", filtered).unwrap();
+    assert!(
+        after_bump.body.contains("\"cached\":false"),
+        "{}",
+        after_bump.body
+    );
+
+    // Unparsable knobs are structured 400s.
+    let bad_order = client::post(addr, "/query?store=chain&order=sop", "E").unwrap();
+    assert_eq!(bad_order.status, 400);
+    assert!(bad_order.body.contains("bad_request"));
+    let bad_topk = client::post(addr, "/query?store=chain&topk=many", "E").unwrap();
+    assert_eq!(bad_topk.status, 400);
+}
+
+#[test]
+fn ordered_responses_stream_deterministic_permutation_order() {
+    let server = Server::spawn_ephemeral().unwrap();
+    let addr = server.addr();
+    // Object ids are assigned in first-seen order: b=0, p=1, a=2, q=3.
+    // Triples as id-triples: (b,p,a)=(0,1,2), (a,q,b)=(2,3,0), (a,p,a)=(2,1,2).
+    let doc = "<b> <p> <a> .\n<a> <q> <b> .\n<a> <p> <a> .\n";
+    client::post(addr, "/load?store=tiny", doc).unwrap();
+
+    // SPO: (0,1,2) < (2,1,2) < (2,3,0).
+    let spo = client::post(addr, "/query?store=tiny&order=spo", "E").unwrap();
+    assert_eq!(
+        triples_of(&spo.body),
+        r#"[["b","p","a"],["a","p","a"],["a","q","b"]]"#,
+        "{}",
+        spo.body
+    );
+    // OSP keys: (2,0,1), (0,2,3), (2,2,1) → (a,q,b) < (b,p,a) < (a,p,a).
+    let osp = client::post(addr, "/query?store=tiny&order=osp", "E").unwrap();
+    assert_eq!(
+        triples_of(&osp.body),
+        r#"[["a","q","b"],["b","p","a"],["a","p","a"]]"#,
+        "{}",
+        osp.body
+    );
+    // Top-1 under OSP is the head of that sequence.
+    let top = client::post(addr, "/query?store=tiny&order=osp&topk=1", "E").unwrap();
+    assert_eq!(triples_of(&top.body), r#"[["a","q","b"]]"#, "{}", top.body);
+
+    // /explain shows the order machinery: a re-ordered scan for the free
+    // delivery, a [sort] breaker when a join output must be ordered, and
+    // per-node "ordering" in the structured tree.
+    let explained = client::post(addr, "/explain?store=tiny&order=osp", "E").unwrap();
+    assert!(explained.body.contains("order=osp"), "{}", explained.body);
+    assert!(
+        explained.body.contains("\"ordering\":\"osp\""),
+        "{}",
+        explained.body
+    );
+    let sorted = client::post(
+        addr,
+        "/explain?store=tiny&order=pos",
+        "(E JOIN[1,2,3' | 3=1'] E)",
+    )
+    .unwrap();
+    assert!(sorted.body.contains("[sort pos]"), "{}", sorted.body);
+    let topk_plan = client::post(
+        addr,
+        "/explain?store=tiny&order=pos&topk=2",
+        "(E JOIN[1,2,3' | 3=1'] E)",
+    )
+    .unwrap();
+    assert!(topk_plan.body.contains("[topk pos]"), "{}", topk_plan.body);
+}

@@ -22,6 +22,8 @@
 //! curl -s localhost:7878/query   -d "(E JOIN[1,3',3 | 2=1'] E)"   # evaluate
 //! curl -s localhost:7878/explain -d "STAR(E JOIN[1,2,3' | 3=1'])" # plan only
 //! curl -s "localhost:7878/load?store=mydata" --data-binary @data.nt
+//! curl -s "localhost:7878/query?order=pos" -d "E"                 # sorted rows
+//! curl -s "localhost:7878/query?order=osp&topk=10" -d "E"         # k smallest
 //! curl -s localhost:7878/stores                                   # inventory
 //! curl -s localhost:7878/healthz                                  # counters
 //! ```
