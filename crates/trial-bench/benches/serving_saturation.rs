@@ -1,0 +1,405 @@
+//! Saturation load harness for the streaming serving path.
+//!
+//! Two experiments against one in-process `trial-server`:
+//!
+//! * **Time-to-first-byte** — a full scan of a 100k-triple store, buffered
+//!   vs. `?stream=1`. The buffered path renders the entire body before the
+//!   first byte leaves; the chunked path flushes its head right after
+//!   planning, so TTFB collapses from "evaluation + render time" to
+//!   "planning time" while total transfer time stays comparable. Measured
+//!   on a raw socket (first readable byte), medians over several runs.
+//!
+//! * **Saturation** — hundreds of concurrent keep-alive clients driving a
+//!   mixed workload (cache-friendly point joins, fresh bounded scans,
+//!   ordered responses, cursor-paginated walks) against a server whose
+//!   admission control is deliberately tight. The server is
+//!   thread-per-connection, so sockets are provisioned per client and the
+//!   scarce resource is the per-store evaluation permit pool. The harness
+//!   asserts the saturation contract: **every** request ends in a complete
+//!   `200` or a structured `429` with `Retry-After` — no hangs, no resets,
+//!   no truncated bodies — and reports throughput, latency quantiles and
+//!   the shed rate.
+//!
+//! Results land in `BENCH_serving.json` at the repository root (host core
+//! count, TTFB medians + ratio, throughput, p50/p99, peak RSS via
+//! `/proc/self/status` `VmHWM`). `TRIAL_BENCH_SMOKE=1` shrinks the client
+//! fleet and duration for CI smoke runs; the committed JSON comes from a
+//! full run.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use trial_server::client::HttpClient;
+use trial_server::{Server, ServerConfig};
+use trial_workloads::{random_store, transport_network, RandomStoreConfig, TransportConfig};
+
+const EXAMPLE2: &str = "(E JOIN[1,3',3 | 2=1'] E)";
+
+struct Knobs {
+    clients: usize,
+    duration: Duration,
+    ttfb_samples: usize,
+    permits: usize,
+    max_waiters: usize,
+}
+
+fn knobs() -> Knobs {
+    if std::env::var("TRIAL_BENCH_SMOKE").is_ok() {
+        Knobs {
+            clients: 16,
+            duration: Duration::from_millis(750),
+            ttfb_samples: 3,
+            permits: 2,
+            max_waiters: 4,
+        }
+    } else {
+        Knobs {
+            clients: 200,
+            duration: Duration::from_secs(4),
+            ttfb_samples: 7,
+            permits: 8,
+            max_waiters: 32,
+        }
+    }
+}
+
+/// Issues one `Connection: close` POST on a raw socket and returns
+/// `(time to first response byte, time to full body, bytes received)`.
+fn timed_request(addr: SocketAddr, path: &str, body: &str) -> (Duration, Duration, usize) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).ok();
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let start = Instant::now();
+    stream.write_all(head.as_bytes()).expect("write head");
+    stream.write_all(body.as_bytes()).expect("write body");
+    stream.flush().expect("flush");
+    let mut first = [0_u8; 1];
+    stream.read_exact(&mut first).expect("first byte");
+    let ttfb = start.elapsed();
+    let mut rest = Vec::new();
+    stream.read_to_end(&mut rest).expect("drain");
+    (ttfb, start.elapsed(), 1 + rest.len())
+}
+
+fn median(samples: &mut [Duration]) -> Duration {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+/// `VmHWM` (peak resident set) of this process in KiB, Linux only.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Per-client tally; merged after the fleet joins.
+#[derive(Default)]
+struct Tally {
+    ok: u64,
+    rejected: u64,
+    streamed: u64,
+    pages: u64,
+    latencies_ns: Vec<u64>,
+}
+
+/// One client's request loop: a keep-alive connection cycling through the
+/// mixed workload until the stop flag flips. Every response must be a
+/// complete 200 or a structured 429 — anything else panics the harness.
+fn client_loop(addr: SocketAddr, id: usize, stop: &AtomicBool, seq: &AtomicU64) -> Tally {
+    let mut http = HttpClient::new(addr);
+    let mut tally = Tally::default();
+    while !stop.load(Ordering::Relaxed) {
+        let ticket = seq.fetch_add(1, Ordering::Relaxed);
+        // Vary ?limit= so scan traffic stays cache-cold: each distinct limit
+        // is a distinct cache key, so these requests pay parse + admission +
+        // evaluation — the path saturation is about.
+        let fresh_limit = 1_000 + (ticket * 37) % 4_000;
+        let started = Instant::now();
+        let (response, streamed) = match id % 4 {
+            // Cache-friendly point join on the small store: the read-heavy
+            // baseline traffic that must keep flowing while scans saturate.
+            0 => (http.post("/query?store=transport", EXAMPLE2), false),
+            // Fresh bounded scan, buffered.
+            1 => (
+                http.post(&format!("/query?store=scan&limit={fresh_limit}"), "E"),
+                false,
+            ),
+            // Fresh bounded scan, streamed through the exchange.
+            2 => (
+                http.post(
+                    &format!("/query?store=scan&limit={fresh_limit}&stream=1"),
+                    "E",
+                ),
+                true,
+            ),
+            // Ordered + paginated: first page here, cursor pages below.
+            _ => (
+                http.post("/query?store=scan&order=spo&limit=500&stream=1", "E"),
+                true,
+            ),
+        };
+        let response = response.expect("request failed (hang/reset/truncation)");
+        match response.status {
+            200 => {
+                tally.ok += 1;
+                if streamed {
+                    tally.streamed += 1;
+                    assert!(response.chunked, "streamed 200 without chunking");
+                    assert!(
+                        response.trailer("X-Trial-Count").is_some(),
+                        "chunked response missing its trailers: truncated body?"
+                    );
+                }
+            }
+            429 => {
+                assert!(
+                    response.header("Retry-After").is_some(),
+                    "429 without Retry-After"
+                );
+                assert!(response.body.contains("saturated"), "{}", response.body);
+                tally.rejected += 1;
+            }
+            other => panic!("unexpected status {other}: {}", response.body),
+        }
+        tally.latencies_ns.push(started.elapsed().as_nanos() as u64);
+
+        // Walk the pagination chain while the page stream stays truncated.
+        if id % 4 == 3 && response.status == 200 {
+            let mut cursor = response.trailer("X-Trial-Cursor").map(str::to_owned);
+            let mut hops = 0;
+            while let Some(token) = cursor.take() {
+                if stop.load(Ordering::Relaxed) || hops >= 3 {
+                    break;
+                }
+                let page_started = Instant::now();
+                let page = http
+                    .post(&format!("/query?store=scan&limit=500&cursor={token}"), "E")
+                    .expect("cursor page failed");
+                match page.status {
+                    200 => {
+                        tally.ok += 1;
+                        tally.streamed += 1;
+                        tally.pages += 1;
+                        cursor = page.trailer("X-Trial-Cursor").map(str::to_owned);
+                    }
+                    429 => tally.rejected += 1,
+                    other => panic!("unexpected page status {other}: {}", page.body),
+                }
+                tally
+                    .latencies_ns
+                    .push(page_started.elapsed().as_nanos() as u64);
+                hops += 1;
+            }
+        }
+    }
+    tally
+}
+
+fn main() {
+    let k = knobs();
+    let host_cpus = trial_eval::available_threads();
+
+    // Thread-per-connection: each keep-alive client pins one worker, so the
+    // socket pool is provisioned per client and the *evaluation permit pool*
+    // is what saturates — admission control, not accept backlog, decides who
+    // gets served.
+    let server = Server::spawn(ServerConfig {
+        workers: k.clients + 8,
+        admission_permits: k.permits,
+        admission_max_waiters: k.max_waiters,
+        admission_wait: Duration::from_millis(250),
+        ..ServerConfig::default()
+    })
+    .expect("bind ephemeral server");
+    let addr = server.addr();
+    server
+        .registry()
+        .set("transport", transport_network(&TransportConfig::default()));
+    let scan = random_store(&RandomStoreConfig {
+        objects: 20_000,
+        triples: 100_000,
+        distinct_values: 10,
+        seed: 7,
+    });
+    assert!(scan.triple_count() >= 100_000);
+    let scan_triples = scan.triple_count();
+    server.registry().set("scan", scan);
+    println!(
+        "serving saturation: {} clients for {:?} against {} permits / {} waiters on {host_cpus} core(s)",
+        k.clients, k.duration, k.permits, k.max_waiters
+    );
+
+    // ---- TTFB: buffered vs. streamed full scan of the 100k store --------
+    let scan_path = "/query?store=scan&limit=100000";
+    let stream_path = "/query?store=scan&limit=100000&stream=1";
+    timed_request(addr, scan_path, "E"); // warm both paths (plan + page in)
+    timed_request(addr, stream_path, "E");
+    let mut buffered_ttfb = Vec::new();
+    let mut buffered_total = Vec::new();
+    let mut streamed_ttfb = Vec::new();
+    let mut streamed_total = Vec::new();
+    let mut bytes = 0;
+    for _ in 0..k.ttfb_samples {
+        // The buffered fragment is cached after the warm-up; ?threads= is
+        // part of the cache key, so alternate it to keep the render fresh.
+        let (t, total, _) = timed_request(addr, &format!("{scan_path}&threads=2"), "E");
+        buffered_ttfb.push(t);
+        buffered_total.push(total);
+        let (t, total, b) = timed_request(addr, &format!("{stream_path}&threads=2"), "E");
+        streamed_ttfb.push(t);
+        streamed_total.push(total);
+        bytes = b;
+    }
+    let b_ttfb = median(&mut buffered_ttfb);
+    let s_ttfb = median(&mut streamed_ttfb);
+    let b_total = median(&mut buffered_total);
+    let s_total = median(&mut streamed_total);
+    let ttfb_ratio = b_ttfb.as_secs_f64() / s_ttfb.as_secs_f64().max(1e-12);
+    println!(
+        "ttfb 100k-scan: buffered {b_ttfb:?} (total {b_total:?})  streamed {s_ttfb:?} \
+         (total {s_total:?})  ratio {ttfb_ratio:.1}x  ({bytes} bytes on the wire)"
+    );
+    assert!(
+        ttfb_ratio >= 10.0,
+        "streaming must improve first-byte latency >=10x on the 100k scan, got {ttfb_ratio:.1}x"
+    );
+
+    // ---- Saturation: the mixed-traffic client fleet ----------------------
+    let stop = Arc::new(AtomicBool::new(false));
+    let seq = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..k.clients)
+            .map(|id| {
+                let stop = Arc::clone(&stop);
+                let seq = Arc::clone(&seq);
+                scope.spawn(move || client_loop(addr, id, &stop, &seq))
+            })
+            .collect();
+        std::thread::sleep(k.duration);
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut ok = 0;
+    let mut rejected = 0;
+    let mut streamed = 0;
+    let mut pages = 0;
+    let mut latencies: Vec<u64> = Vec::new();
+    for t in tallies {
+        ok += t.ok;
+        rejected += t.rejected;
+        streamed += t.streamed;
+        pages += t.pages;
+        latencies.extend(t.latencies_ns);
+    }
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let at = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[at]
+    };
+    let total = ok + rejected;
+    let throughput = ok as f64 / elapsed.as_secs_f64();
+    let p50 = quantile(0.50);
+    let p99 = quantile(0.99);
+    assert!(ok > 0, "no request succeeded under saturation");
+    assert!(
+        streamed > 0 && pages > 0,
+        "the mixed workload must exercise streaming and pagination"
+    );
+    println!(
+        "saturation: {total} requests in {elapsed:?} — {ok} ok ({throughput:.0} rps), \
+         {rejected} shed as 429 ({:.1}%), {streamed} streamed, {pages} cursor pages",
+        100.0 * rejected as f64 / total.max(1) as f64
+    );
+    println!(
+        "latency: p50 {:?}  p99 {:?}",
+        Duration::from_nanos(p50),
+        Duration::from_nanos(p99)
+    );
+
+    // Health must agree: nothing left in flight or queued once the fleet is
+    // gone. A client observes its complete response a hair before the
+    // server-side job drops the permit, so poll briefly instead of trusting
+    // the first snapshot.
+    let mut health_client = HttpClient::new(addr);
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let health = health_client.get("/healthz").expect("healthz");
+        assert_eq!(health.status, 200);
+        let in_flight = health
+            .body
+            .split("\"in_flight\":")
+            .nth(1)
+            .and_then(|s| s.split(',').next())
+            .and_then(|s| s.parse::<u64>().ok())
+            .expect("in_flight counter");
+        if in_flight == 0 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "permits leaked: {}", health.body);
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let peak_rss = peak_rss_kb();
+    if let Some(kb) = peak_rss {
+        println!("peak rss: {:.1} MiB", kb as f64 / 1024.0);
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"host_cpus\": {host_cpus},\n",
+            "  \"smoke\": {smoke},\n",
+            "  \"config\": {{\"clients\": {clients}, \"duration_ms\": {duration_ms}, ",
+            "\"admission_permits\": {permits}, \"admission_max_waiters\": {waiters}}},\n",
+            "  \"scan_store_triples\": {scan_triples},\n",
+            "  \"ttfb_100k_scan\": {{\"buffered_ns\": {b_ttfb}, \"streamed_ns\": {s_ttfb}, ",
+            "\"buffered_total_ns\": {b_total}, \"streamed_total_ns\": {s_total}, ",
+            "\"ratio\": {ratio:.1}, \"body_bytes\": {bytes}}},\n",
+            "  \"saturation\": {{\"requests\": {total}, \"ok\": {ok}, \"rejected_429\": {rejected}, ",
+            "\"failures\": 0, \"streamed\": {streamed}, \"cursor_pages\": {pages}, ",
+            "\"throughput_rps\": {rps:.1}, \"p50_ns\": {p50}, \"p99_ns\": {p99}}},\n",
+            "  \"peak_rss_kb\": {rss}\n",
+            "}}\n"
+        ),
+        host_cpus = host_cpus,
+        smoke = std::env::var("TRIAL_BENCH_SMOKE").is_ok(),
+        clients = k.clients,
+        duration_ms = k.duration.as_millis(),
+        permits = k.permits,
+        waiters = k.max_waiters,
+        scan_triples = scan_triples,
+        b_ttfb = b_ttfb.as_nanos(),
+        s_ttfb = s_ttfb.as_nanos(),
+        b_total = b_total.as_nanos(),
+        s_total = s_total.as_nanos(),
+        ratio = ttfb_ratio,
+        bytes = bytes,
+        total = total,
+        ok = ok,
+        rejected = rejected,
+        streamed = streamed,
+        pages = pages,
+        rps = throughput,
+        p50 = p50,
+        p99 = p99,
+        rss = peak_rss.map_or("null".to_owned(), |kb| kb.to_string()),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("recorded results in BENCH_serving.json");
+    }
+    server.shutdown();
+}

@@ -85,6 +85,23 @@ impl<'a> RangeCursor<'a> {
         debug_assert_eq!(start, rest.len());
         out
     }
+
+    /// Advances the cursor past every triple whose [`Permutation::key`]
+    /// under `perm` is `<= key`, in `O(log remaining)`.
+    ///
+    /// The run must already be sorted by `perm` (as every permutation run
+    /// handed out by [`RelationIndex`] is) — seeking is a
+    /// [`partition_point`](slice::partition_point) over the not-yet-yielded
+    /// rest, so a cursor that has already yielded rows only ever moves
+    /// forward. Because permutation keys are total (equal key ⟺ equal
+    /// triple), `seek` is exact: after `seek(perm, perm.key(&t))` the next
+    /// triple yielded is the successor of `t` in the run, which is what
+    /// makes resumable pagination a logarithmic re-entry instead of an
+    /// `O(offset)` re-scan.
+    pub fn seek(&mut self, perm: Permutation, key: [ObjectId; 3]) {
+        let skip = self.rest().partition_point(|t| perm.key(t) <= key);
+        self.pos += skip;
+    }
 }
 
 impl Iterator for RangeCursor<'_> {
@@ -726,6 +743,45 @@ mod tests {
         // A value absent from the component yields no morsels.
         let p = store.object_id("p").unwrap();
         assert!(ix.partition_matching_cursors(base, 0, p, 3).is_empty());
+    }
+
+    #[test]
+    fn seek_resumes_exactly_after_a_key() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        for perm in Permutation::ALL {
+            let run = ix.permutation(base, perm).to_vec();
+            // Seeking to each triple's own key resumes at its successor.
+            for (i, t) in run.iter().enumerate() {
+                let mut cursor = ix.scan_cursor(base, perm);
+                cursor.seek(perm, perm.key(t));
+                let rest: Vec<Triple> = cursor.collect();
+                assert_eq!(rest, run[i + 1..].to_vec(), "perm={perm} i={i}");
+            }
+            // Seeking below the first key is a no-op; past the last empties.
+            let mut cursor = ix.scan_cursor(base, perm);
+            cursor.seek(perm, [ObjectId(0); 3]);
+            assert_eq!(cursor.remaining(), run.len());
+            cursor.seek(perm, [ObjectId(u32::MAX); 3]);
+            assert_eq!(cursor.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn seek_only_moves_forward() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        let run = ix.permutation(base, Permutation::Spo).to_vec();
+        let mut cursor = ix.scan_cursor(base, Permutation::Spo);
+        // Consume past the midpoint, then seek to an earlier key: the cursor
+        // must not rewind into already-yielded territory.
+        let consumed = run.len() - 1;
+        for _ in 0..consumed {
+            cursor.next().unwrap();
+        }
+        cursor.seek(Permutation::Spo, [ObjectId(0); 3]);
+        assert_eq!(cursor.remaining(), run.len() - consumed);
+        assert_eq!(cursor.next(), Some(run[consumed]));
     }
 
     #[test]

@@ -54,8 +54,11 @@ pub trait Cursor {
     fn next(&mut self, stats: &mut EvalStats) -> Option<Triple>;
 }
 
-/// The boxed form every composite cursor holds its children in.
-pub(crate) type BoxCursor<'a> = Box<dyn Cursor + 'a>;
+/// The boxed form every composite cursor holds its children in. The `Send`
+/// bound is what lets a compiled pipeline migrate onto an exchange producer
+/// thread ([`QueryStream::channel`]) — cursors only ever hold shared borrows
+/// of the store plus owned state, so every operator satisfies it naturally.
+pub(crate) type BoxCursor<'a> = Box<dyn Cursor + Send + 'a>;
 
 /// The always-empty cursor.
 pub(crate) struct EmptyCursor;
@@ -656,6 +659,33 @@ impl Cursor for LimitCursor<'_> {
     }
 }
 
+/// Drops input rows while their permutation key under `order` is `<= after`,
+/// then streams the rest — the linear seek fallback of resumable pagination
+/// for ordered roots that cannot push the seek into the storage layer
+/// (sort and top-k outputs re-emit from owned buffers). Ordered inputs are
+/// strictly increasing, so once one row passes the comparison stops.
+pub(crate) struct SkipCursor<'a> {
+    pub(crate) input: BoxCursor<'a>,
+    pub(crate) order: Permutation,
+    pub(crate) after: [ObjectId; 3],
+    pub(crate) skipping: bool,
+}
+
+impl Cursor for SkipCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        loop {
+            let t = self.input.next(stats)?;
+            if self.skipping {
+                if self.order.key(&t) <= self.after {
+                    continue;
+                }
+                self.skipping = false;
+            }
+            return Some(t);
+        }
+    }
+}
+
 /// A fully-compiled streaming query: the chosen [`Plan`], the root cursor,
 /// and the work counters accumulated so far.
 ///
@@ -670,6 +700,13 @@ pub struct QueryStream<'a> {
     root: BoxCursor<'a>,
     stats: EvalStats,
     seen: Option<HashSet<Triple>>,
+    /// Optional exchange fan-out: independently drainable morsel pipelines
+    /// whose in-order concatenation equals the root's row sequence, plus the
+    /// limit peeled off the root (morsel pipelines are limit-less — the
+    /// consumer side enforces it). Only attached for ordered, morselizable
+    /// roots (see `Executor::morsel_cursors`); `channel()` falls back to the
+    /// single root pipeline otherwise.
+    morsels: Option<(Vec<BoxCursor<'a>>, Option<usize>)>,
 }
 
 impl<'a> QueryStream<'a> {
@@ -685,7 +722,25 @@ impl<'a> QueryStream<'a> {
             plan,
             root,
             stats,
+            morsels: None,
         }
+    }
+
+    /// Attaches exchange morsel pipelines (see the `morsels` field).
+    pub(crate) fn with_morsels(
+        mut self,
+        cursors: Vec<BoxCursor<'a>>,
+        limit: Option<usize>,
+    ) -> Self {
+        self.morsels = Some((cursors, limit));
+        self
+    }
+
+    /// `true` when [`QueryStream::channel`] would run multiple producers —
+    /// surfaced so callers can report whether a streamed response actually
+    /// fanned out.
+    pub fn parallelized(&self) -> bool {
+        matches!(&self.morsels, Some((cursors, _)) if cursors.len() > 1)
     }
 
     /// The physical plan the stream executes (e.g. for `explain` output).
@@ -721,6 +776,112 @@ impl<'a> QueryStream<'a> {
             n += 1;
         }
         (n, self.stats)
+    }
+
+    /// Runs the stream through a bounded **exchange**: producer threads
+    /// evaluate the pipeline and pump rows into lanes of `depth` batches
+    /// while `consume` pulls them back out of the [`Exchange`] on the
+    /// current thread — evaluation overlaps with whatever the consumer does
+    /// (typically socket writes).
+    ///
+    /// The rows the exchange yields are exactly the rows
+    /// [`QueryStream::next_triple`] would have yielded, in the same order:
+    /// with attached morsel pipelines (ordered, morselizable roots under
+    /// `EvalOptions::threads > 1`) one producer per morsel pumps its own
+    /// lane and the consumer drains lanes in morsel order; otherwise a
+    /// single producer runs the root pipeline. Returning from `consume`
+    /// without draining — or dropping the exchange — disconnects the lanes
+    /// and terminates every producer early, which is how a satisfied
+    /// `Limit`/`TopK` (or a closed connection) stops the pipeline.
+    ///
+    /// Returns `consume`'s result plus the final merged work counters
+    /// (exact sums across producers, with
+    /// [`EvalStats::parallel_morsels`](crate::EvalStats) counting the
+    /// fan-out). A panicking producer propagates after the scope joins.
+    pub fn channel<R>(
+        mut self,
+        depth: usize,
+        consume: impl FnOnce(&mut crate::parallel::Exchange) -> R,
+    ) -> (R, EvalStats) {
+        use std::sync::mpsc::sync_channel;
+        let depth = depth.max(1);
+        match self.morsels.take() {
+            Some((cursors, limit)) if cursors.len() > 1 => {
+                let count = cursors.len() as u64;
+                let mut stats = self.stats;
+                let (result, worker_stats) = std::thread::scope(|scope| {
+                    let mut lanes = Vec::with_capacity(cursors.len());
+                    let handles: Vec<_> = cursors
+                        .into_iter()
+                        .map(|mut cursor| {
+                            let (tx, rx) = sync_channel(depth);
+                            lanes.push(rx);
+                            scope.spawn(move || {
+                                let mut local = EvalStats::new();
+                                crate::parallel::pump(|s| cursor.next(s), &tx, &mut local);
+                                local
+                            })
+                        })
+                        .collect();
+                    let mut exchange = crate::parallel::Exchange::new(lanes, limit);
+                    let result = consume(&mut exchange);
+                    // Hang up before joining so blocked producers wind down.
+                    drop(exchange);
+                    let worker_stats: Vec<EvalStats> = handles
+                        .into_iter()
+                        .map(|handle| {
+                            handle
+                                .join()
+                                .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                        })
+                        .collect();
+                    (result, worker_stats)
+                });
+                for local in &worker_stats {
+                    stats.merge(local);
+                }
+                stats.parallel_morsels += count;
+                (result, stats)
+            }
+            _ => {
+                // Single producer: the root pipeline (with its seen-set when
+                // the plan needs one) moves onto one worker thread, so even
+                // a sequential evaluation overlaps with the consumer.
+                let QueryStream {
+                    mut root,
+                    stats,
+                    mut seen,
+                    ..
+                } = self;
+                std::thread::scope(|scope| {
+                    let (tx, rx) = sync_channel(depth);
+                    let handle = scope.spawn(move || {
+                        let mut local = stats;
+                        crate::parallel::pump(
+                            |s| loop {
+                                let t = root.next(s)?;
+                                if let Some(seen) = &mut seen {
+                                    if !seen.insert(t) {
+                                        continue;
+                                    }
+                                }
+                                return Some(t);
+                            },
+                            &tx,
+                            &mut local,
+                        );
+                        local
+                    });
+                    let mut exchange = crate::parallel::Exchange::new(vec![rx], None);
+                    let result = consume(&mut exchange);
+                    drop(exchange);
+                    let stats = handle
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                    (result, stats)
+                })
+            }
+        }
     }
 
     /// Drains the stream into a [`TripleSet`] (plus final counters).

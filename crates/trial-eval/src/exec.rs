@@ -30,7 +30,7 @@ use crate::compile::CompiledConditions;
 use crate::cursor::{
     ArcSetCursor, BoxCursor, ChainUnionCursor, ComplementCursor, DiffCursor, EmptyCursor,
     FilterCursor, HashJoinCursor, IndexJoinCursor, IntersectCursor, LimitCursor, MergeJoinCursor,
-    MergeUnionCursor, NestedLoopCursor, RowsCursor, ScanCursor, SetCursor, TopKCursor,
+    MergeUnionCursor, NestedLoopCursor, RowsCursor, ScanCursor, SetCursor, SkipCursor, TopKCursor,
     UniverseCursor,
 };
 use crate::engine::{EvalOptions, EvalStats};
@@ -42,7 +42,7 @@ use crate::seminaive::semi_naive_star;
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::Arc;
-use trial_core::{Adjacency, Error, Permutation, Result, Triple, TripleSet, Triplestore};
+use trial_core::{Adjacency, Error, ObjectId, Permutation, Result, Triple, TripleSet, Triplestore};
 
 /// Per-node actual output cardinalities, keyed by the plan node's address
 /// (stable for the lifetime of one evaluation — the plan tree is never
@@ -424,6 +424,151 @@ impl<'a> Executor<'a> {
                     drained: false,
                 })
             }
+        })
+    }
+
+    /// Compiles `node` into independently drainable **morsel pipelines**
+    /// whose in-order concatenation yields exactly the rows of
+    /// [`Executor::cursor`] on the same node — the producer side of
+    /// [`crate::QueryStream::channel`]'s ordered multi-lane exchange.
+    ///
+    /// Only operators whose parallel instances are contiguous ranges of one
+    /// permutation run qualify: index scans (bound or not, residuals
+    /// included) carve via the storage layer's partitioned cursors, and
+    /// filters distribute over a morselizable input. Everything else returns
+    /// `None` and the exchange falls back to a single producer.
+    pub(crate) fn morsel_cursors(
+        &mut self,
+        node: &PlanNode,
+        parts: usize,
+    ) -> Result<Option<Vec<BoxCursor<'a>>>> {
+        Ok(match node {
+            PlanNode::IndexScan {
+                relation,
+                bound,
+                residual,
+                order,
+                ..
+            } => {
+                let (base, index) = self
+                    .store
+                    .relation_with_index(relation)
+                    .ok_or_else(|| Error::UnknownRelation(relation.clone()))?;
+                let runs = match bound {
+                    None => index.partition_cursors(base, *order, parts),
+                    Some((component, value)) => {
+                        index.partition_matching_cursors(base, *component, *value, parts)
+                    }
+                };
+                let instrument = bound.is_some() || !residual.is_empty();
+                Some(
+                    runs.into_iter()
+                        .map(|run| {
+                            let residual = (!residual.is_empty())
+                                .then(|| CompiledConditions::compile(residual, self.store));
+                            Box::new(ScanCursor {
+                                instrument,
+                                run,
+                                residual,
+                                store: self.store,
+                            }) as BoxCursor<'a>
+                        })
+                        .collect(),
+                )
+            }
+            PlanNode::Filter { input, cond, .. } => {
+                self.morsel_cursors(input, parts)?.map(|inputs| {
+                    inputs
+                        .into_iter()
+                        .map(|input| {
+                            Box::new(FilterCursor {
+                                input,
+                                cond: CompiledConditions::compile(cond, self.store),
+                                store: self.store,
+                            }) as BoxCursor<'a>
+                        })
+                        .collect()
+                })
+            }
+            _ => None,
+        })
+    }
+
+    /// Compiles `node` — whose stream must be ordered under `order`'s key —
+    /// into a cursor resumed strictly **after** the key `after`: the
+    /// executor half of resumable pagination.
+    ///
+    /// The seek is pushed into the storage layer where the root shape allows
+    /// it (index scans seek their permutation run in `O(log n)`, filters and
+    /// limits pass the seek through), and otherwise degrades to a
+    /// [`SkipCursor`] that drops the already-served prefix — correct for any
+    /// ordered root, linear in the rows skipped.
+    pub(crate) fn cursor_seek(
+        &mut self,
+        node: &PlanNode,
+        order: Permutation,
+        after: [ObjectId; 3],
+        stats: &mut EvalStats,
+    ) -> Result<BoxCursor<'a>> {
+        debug_assert_eq!(
+            node.ordering(),
+            Some(order),
+            "cursor_seek requires a root ordered on the seek permutation"
+        );
+        Ok(match node {
+            PlanNode::Limit { input, limit, .. } => {
+                if *limit == 0 {
+                    return Ok(Box::new(EmptyCursor));
+                }
+                // The limit's input is ordered (it delivers this node's
+                // order), hence distinct: no seen-set, and the countdown
+                // restarts fresh for the resumed page.
+                let input = self.cursor_seek(input, order, after, stats)?;
+                Box::new(LimitCursor {
+                    input,
+                    remaining: *limit,
+                    seen: None,
+                })
+            }
+            PlanNode::IndexScan {
+                relation,
+                bound,
+                residual,
+                order: scan_order,
+                ..
+            } => {
+                let (base, index) = self
+                    .store
+                    .relation_with_index(relation)
+                    .ok_or_else(|| Error::UnknownRelation(relation.clone()))?;
+                let mut run = match bound {
+                    None => index.scan_cursor(base, *scan_order),
+                    Some((component, value)) => index.matching_cursor(base, *component, *value),
+                };
+                run.seek(order, after);
+                let residual = (!residual.is_empty())
+                    .then(|| CompiledConditions::compile(residual, self.store));
+                Box::new(ScanCursor {
+                    instrument: bound.is_some() || residual.is_some(),
+                    run,
+                    residual,
+                    store: self.store,
+                })
+            }
+            PlanNode::Filter { input, cond, .. } => {
+                let input = self.cursor_seek(input, order, after, stats)?;
+                Box::new(FilterCursor {
+                    input,
+                    cond: CompiledConditions::compile(cond, self.store),
+                    store: self.store,
+                })
+            }
+            other => Box::new(SkipCursor {
+                input: self.cursor(other, stats)?,
+                order,
+                after,
+                skipping: true,
+            }),
         })
     }
 

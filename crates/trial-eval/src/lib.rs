@@ -221,7 +221,7 @@ pub mod seminaive;
 pub use cursor::{Cursor, QueryStream};
 pub use engine::{default_threads, Engine, EvalOptions, EvalStats, Evaluation};
 pub use naive::NaiveEngine;
-pub use parallel::available_threads;
+pub use parallel::{available_threads, Exchange};
 pub use plan::{Plan, PlanNode};
 pub use planner::{
     evaluate, evaluate_with, explain, plan_limited, plan_query, AnalyzedEvaluation, SmartEngine,

@@ -31,7 +31,9 @@
 //! [`EvalStats::parallel_morsels`].
 
 use crate::engine::EvalStats;
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Mutex;
+use trial_core::Triple;
 
 /// The host's available parallelism (1 if it cannot be determined) — the
 /// sensible upper bound when auto-configuring
@@ -157,6 +159,100 @@ where
     (a, b)
 }
 
+/// Rows per batch sent through an exchange lane. Batching amortises the
+/// channel's lock/wake cost over many rows while keeping the consumer's
+/// first-row latency and the per-lane buffer (`depth × batch`) small.
+pub(crate) const EXCHANGE_BATCH_ROWS: usize = 256;
+
+/// The consumer endpoint of a row **exchange**: one or more producer threads
+/// pump triples into bounded lanes ([`std::sync::mpsc::sync_channel`]) and a
+/// single consumer pulls them back out one at a time.
+///
+/// The exchange is the pipeline's concurrency seam for *serving*: producers
+/// run the evaluation (one lane per morsel for ordered, morselizable roots;
+/// a single lane otherwise) while the consumer overlaps socket writes with
+/// that evaluation. Two properties the server relies on:
+///
+/// * **Determinism** — lanes are drained strictly in morsel order, so the
+///   concatenated rows are exactly the sequential pipeline's rows (the
+///   morsels are contiguous ranges of one permutation run).
+/// * **Early termination with backpressure** — lanes are bounded, so
+///   producers block (rather than buffer) when the consumer is slow, and
+///   **dropping the exchange** disconnects every lane: a blocked or future
+///   `send` fails and each producer winds down without draining its input.
+///   A satisfied limit therefore stops the whole pipeline, just as
+///   abandoning a [`crate::QueryStream`] would.
+#[derive(Debug)]
+pub struct Exchange {
+    lanes: std::vec::IntoIter<Receiver<Vec<Triple>>>,
+    current: Option<Receiver<Vec<Triple>>>,
+    batch: std::vec::IntoIter<Triple>,
+    /// Rows still allowed out when a limit was peeled off the plan root for
+    /// the morsel path (each producer morsel is limit-less); `None` when the
+    /// producers enforce any limit themselves.
+    remaining: Option<usize>,
+}
+
+impl Exchange {
+    pub(crate) fn new(lanes: Vec<Receiver<Vec<Triple>>>, limit: Option<usize>) -> Exchange {
+        let mut lanes = lanes.into_iter();
+        let current = lanes.next();
+        Exchange {
+            lanes,
+            current,
+            batch: Vec::new().into_iter(),
+            remaining: limit,
+        }
+    }
+
+    /// The next result triple, in deterministic pipeline order, or `None`
+    /// once every producer has finished (or the peeled limit is reached).
+    pub fn next_triple(&mut self) -> Option<Triple> {
+        if self.remaining == Some(0) {
+            return None;
+        }
+        loop {
+            if let Some(t) = self.batch.next() {
+                if let Some(left) = &mut self.remaining {
+                    *left -= 1;
+                }
+                return Some(t);
+            }
+            match self.current.as_ref()?.recv() {
+                Ok(batch) => self.batch = batch.into_iter(),
+                // Lane disconnected: its producer is done; move to the next
+                // morsel's lane (or report exhaustion after the last).
+                Err(_) => self.current = self.lanes.next(),
+            }
+        }
+    }
+}
+
+/// The producer side of an exchange lane: pulls rows from `pull` and sends
+/// them downstream in batches of [`EXCHANGE_BATCH_ROWS`]. Returns as soon as
+/// the input is exhausted **or the consumer hangs up** (a `send` on a
+/// disconnected lane fails) — the latter is how dropping an [`Exchange`]
+/// terminates producers early.
+pub(crate) fn pump(
+    mut pull: impl FnMut(&mut EvalStats) -> Option<Triple>,
+    lane: &SyncSender<Vec<Triple>>,
+    stats: &mut EvalStats,
+) {
+    let mut batch = Vec::with_capacity(EXCHANGE_BATCH_ROWS);
+    while let Some(t) = pull(stats) {
+        batch.push(t);
+        if batch.len() == EXCHANGE_BATCH_ROWS {
+            let full = std::mem::replace(&mut batch, Vec::with_capacity(EXCHANGE_BATCH_ROWS));
+            if lane.send(full).is_err() {
+                return;
+            }
+        }
+    }
+    if !batch.is_empty() {
+        let _ = lane.send(batch);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +334,97 @@ mod tests {
         assert_eq!((a, b), ("near", "far"));
         assert_eq!(stats.triples_scanned, 7);
         assert_eq!(stats.parallel_morsels, 1);
+    }
+
+    #[test]
+    fn exchange_preserves_lane_order_across_batch_boundaries() {
+        use std::sync::mpsc::sync_channel;
+        use trial_core::ObjectId;
+        let t = |i: u32| Triple::new(ObjectId(i), ObjectId(0), ObjectId(0));
+        // Two lanes with more rows than one batch each: the consumer must see
+        // lane 0 fully, then lane 1 — the concatenation-in-morsel-order
+        // contract streaming responses rely on.
+        let per_lane = EXCHANGE_BATCH_ROWS + 7;
+        let mut lanes = Vec::new();
+        std::thread::scope(|scope| {
+            for lane_no in 0..2u32 {
+                let (tx, rx) = sync_channel(2);
+                lanes.push(rx);
+                scope.spawn(move || {
+                    let mut next = lane_no * per_lane as u32;
+                    let end = next + per_lane as u32;
+                    let mut stats = EvalStats::new();
+                    pump(
+                        |_s| {
+                            (next < end).then(|| {
+                                let row = t(next);
+                                next += 1;
+                                row
+                            })
+                        },
+                        &tx,
+                        &mut stats,
+                    );
+                });
+            }
+            let mut exchange = Exchange::new(std::mem::take(&mut lanes), None);
+            let mut got = Vec::new();
+            while let Some(row) = exchange.next_triple() {
+                got.push(row);
+            }
+            let expected: Vec<Triple> = (0..2 * per_lane as u32).map(t).collect();
+            assert_eq!(got, expected);
+        });
+    }
+
+    #[test]
+    fn exchange_enforces_a_peeled_limit() {
+        use std::sync::mpsc::sync_channel;
+        use trial_core::ObjectId;
+        let (tx, rx) = sync_channel(4);
+        tx.send(vec![
+            Triple::new(ObjectId(1), ObjectId(1), ObjectId(1)),
+            Triple::new(ObjectId(2), ObjectId(2), ObjectId(2)),
+            Triple::new(ObjectId(3), ObjectId(3), ObjectId(3)),
+        ])
+        .unwrap();
+        drop(tx);
+        let mut exchange = Exchange::new(vec![rx], Some(2));
+        assert!(exchange.next_triple().is_some());
+        assert!(exchange.next_triple().is_some());
+        assert_eq!(exchange.next_triple(), None);
+    }
+
+    #[test]
+    fn dropping_the_exchange_stops_a_blocked_producer() {
+        use std::sync::mpsc::sync_channel;
+        use trial_core::ObjectId;
+        // Depth-1 lane and an endless input: the producer must block on
+        // `send` after a couple of batches, then exit once the consumer side
+        // is dropped — early termination through disconnect, not draining.
+        let (tx, rx) = sync_channel(1);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(move || {
+                let mut stats = EvalStats::new();
+                let mut pumped = 0u64;
+                pump(
+                    |_s| {
+                        pumped += 1;
+                        Some(Triple::new(ObjectId(1), ObjectId(1), ObjectId(1)))
+                    },
+                    &tx,
+                    &mut stats,
+                );
+                pumped
+            });
+            let mut exchange = Exchange::new(vec![rx], None);
+            assert!(exchange.next_triple().is_some());
+            drop(exchange);
+            let pumped = handle.join().expect("producer thread panicked");
+            // The producer stopped long before anything unbounded happened:
+            // at most the in-flight batches plus one being built.
+            assert!(pumped <= 4 * EXCHANGE_BATCH_ROWS as u64, "pumped={pumped}");
+        });
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! An LRU cache for query results, keyed by `(store, epoch, kind, text)`.
+//! LRU caches for query results, keyed by `(store, epoch, kind, text)`.
 //!
 //! A repeat of a query against the *same epoch* of a store skips
 //! parse + plan + evaluate entirely and serves the rendered JSON fragment
@@ -7,10 +7,23 @@
 //! any explicit eviction pass — stale entries simply stop being reachable
 //! and age out of the LRU order.
 //!
-//! Hit/miss counters are exposed on `/healthz`, which is how the integration
+//! Two caches share the same LRU core:
+//!
+//! * [`QueryCache`] — exact-key fragments: the whole rendered response for
+//!   one `(limit, threads, analyze, order, topk)` combination.
+//! * [`PrefixCache`] — **prefix-closed ordered results**: an ordered query's
+//!   rows under a fixed `(store, epoch, text, threads, order)` are the same
+//!   rows for every limit, just cut at a different length, so one cached
+//!   prefix of `k` rendered rows serves *every* `?limit=L` with `L ≤ k` by
+//!   slicing (and every limit at all once the prefix is known complete).
+//!   Deeper evaluations replace shallower entries, never the reverse.
+//!
+//! Hit/miss counters for both (the prefix cache's hits surface as
+//! `hits_prefix`) are exposed on `/healthz`, which is how the integration
 //! tests (and operators) observe cache behaviour.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -58,26 +71,91 @@ pub struct CacheKey {
 }
 
 #[derive(Debug)]
-struct Slot {
-    value: Arc<String>,
+struct Slot<V> {
+    value: V,
     stamp: u64,
 }
 
-#[derive(Debug, Default)]
-struct LruInner {
-    map: HashMap<CacheKey, Slot>,
+/// The shared LRU core: a map plus an amortised recency queue. Not
+/// thread-safe by itself — both caches wrap it in a `Mutex`.
+#[derive(Debug)]
+struct Lru<K, V> {
+    map: HashMap<K, Slot<V>>,
     /// Recency queue of `(key, stamp)`; an entry is current only if its
     /// stamp matches the map's. Touches push fresh pairs and leave stale
     /// ones to be skipped at eviction (amortised O(1), no linked list).
-    order: VecDeque<(CacheKey, u64)>,
+    order: VecDeque<(K, u64)>,
     tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> Lru<K, V> {
+    fn new() -> Self {
+        Lru {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        let value = match self.map.get_mut(key) {
+            Some(slot) => {
+                slot.stamp = tick;
+                Some(slot.value.clone())
+            }
+            None => return None,
+        };
+        self.order.push_back((key.clone(), tick));
+        self.compact();
+        value
+    }
+
+    /// Peeks at `key` without touching recency (used for replace-if-longer
+    /// decisions that must not promote the entry they might evict).
+    fn peek(&self, key: &K) -> Option<&V> {
+        self.map.get(key).map(|slot| &slot.value)
+    }
+
+    /// Inserts (or refreshes) `key → value`, evicting the least recently
+    /// used entries if the map is over `capacity`.
+    fn insert(&mut self, key: K, value: V, capacity: usize) {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.insert(key.clone(), Slot { value, stamp: tick });
+        self.order.push_back((key, tick));
+        while self.map.len() > capacity {
+            match self.order.pop_front() {
+                Some((victim, stamp)) => {
+                    let current = self.map.get(&victim).map(|s| s.stamp) == Some(stamp);
+                    if current {
+                        self.map.remove(&victim);
+                    }
+                }
+                None => break,
+            }
+        }
+        self.compact();
+    }
+
+    /// Drops stale recency pairs when the queue outgrows the map (bounded
+    /// memory even under a workload of pure cache hits).
+    fn compact(&mut self) {
+        if self.order.len() > self.map.len() * 4 + 16 {
+            let map = &self.map;
+            self.order
+                .retain(|(k, stamp)| map.get(k).map(|s| s.stamp) == Some(*stamp));
+        }
+    }
 }
 
 /// A thread-safe LRU cache of rendered JSON fragments.
 #[derive(Debug)]
 pub struct QueryCache {
     capacity: usize,
-    inner: Mutex<LruInner>,
+    inner: Mutex<Lru<CacheKey, Arc<String>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -88,7 +166,7 @@ impl QueryCache {
     pub fn new(capacity: usize) -> Self {
         QueryCache {
             capacity,
-            inner: Mutex::new(LruInner::default()),
+            inner: Mutex::new(Lru::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -100,24 +178,17 @@ impl QueryCache {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return None;
         }
-        let mut inner = self
+        let value = self
             .inner
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(key) {
-            Some(slot) => {
-                slot.stamp = tick;
-                let value = Arc::clone(&slot.value);
-                inner.order.push_back((key.clone(), tick));
-                Self::compact(&mut inner);
-                drop(inner);
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(key);
+        match value {
+            Some(value) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(value)
             }
             None => {
-                drop(inner);
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -130,37 +201,10 @@ impl QueryCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self
-            .inner
+        self.inner
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.map.insert(key.clone(), Slot { value, stamp: tick });
-        inner.order.push_back((key, tick));
-        while inner.map.len() > self.capacity {
-            match inner.order.pop_front() {
-                Some((victim, stamp)) => {
-                    let current = inner.map.get(&victim).map(|s| s.stamp) == Some(stamp);
-                    if current {
-                        inner.map.remove(&victim);
-                    }
-                }
-                None => break,
-            }
-        }
-        Self::compact(&mut inner);
-    }
-
-    /// Drops stale recency pairs when the queue outgrows the map (bounded
-    /// memory even under a workload of pure cache hits).
-    fn compact(inner: &mut LruInner) {
-        if inner.order.len() > inner.map.len() * 4 + 16 {
-            let map = &inner.map;
-            inner
-                .order
-                .retain(|(k, stamp)| map.get(k).map(|s| s.stamp) == Some(*stamp));
-        }
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, value, self.capacity);
     }
 
     /// Cache hits since startup.
@@ -190,6 +234,140 @@ impl QueryCache {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+}
+
+/// Key for the prefix-closed ordered cache. **No limit**: that is the whole
+/// point — one entry serves every limit up to its depth. Top-k and analyze
+/// results never reach this cache (a top-k set is not a prefix of anything).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PrefixKey {
+    /// Registry name of the store.
+    pub store: String,
+    /// Epoch of the snapshot the rows were computed against.
+    pub epoch: u64,
+    /// The query text, byte-for-byte.
+    pub text: String,
+    /// Evaluation parallelism (stats embedded in served fragments differ).
+    pub threads: u64,
+    /// The order the rows stream in (`"spo"`/`"pos"`/`"osp"`).
+    pub order: &'static str,
+}
+
+/// A cached ordered result prefix: the first `rows.len()` rows of the
+/// ordered result, each pre-rendered as a `["s","p","o"]` JSON fragment.
+#[derive(Debug)]
+pub struct PrefixEntry {
+    /// Rendered row fragments in the order's key order.
+    pub rows: Vec<String>,
+    /// `true` when more rows exist beyond `rows` (the prefix is proper);
+    /// `false` means `rows` is the **complete** result, serving any limit.
+    pub complete: bool,
+    /// Rendered work counters of the evaluation that produced the prefix
+    /// (served verbatim on prefix hits, like exact-cache hits serve their
+    /// original stats).
+    pub stats: String,
+}
+
+impl PrefixEntry {
+    /// `true` when this entry can answer `?limit=limit` by slicing.
+    pub fn covers(&self, limit: usize) -> bool {
+        self.complete || self.rows.len() >= limit
+    }
+}
+
+/// A thread-safe LRU of prefix-closed ordered results.
+#[derive(Debug)]
+pub struct PrefixCache {
+    capacity: usize,
+    inner: Mutex<Lru<PrefixKey, Arc<PrefixEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PrefixCache {
+    /// Creates a cache holding at most `capacity` entries (0 disables).
+    pub fn new(capacity: usize) -> Self {
+        PrefixCache {
+            capacity,
+            inner: Mutex::new(Lru::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up an entry deep enough to serve `limit` rows. An entry that is
+    /// too shallow counts as a miss (the caller will evaluate deeper and
+    /// [`PrefixCache::offer`] the longer prefix back).
+    pub fn get_covering(&self, key: &PrefixKey, limit: usize) -> Option<Arc<PrefixEntry>> {
+        if self.capacity == 0 {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let covering = matches!(inner.peek(key), Some(entry) if entry.covers(limit));
+        let value = if covering { inner.get(key) } else { None };
+        drop(inner);
+        match value {
+            Some(entry) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Offers a freshly evaluated prefix. Kept only if it is **deeper** than
+    /// the current entry (or completes it) — prefix-closure means a longer
+    /// prefix strictly subsumes a shorter one, so replacement only ever goes
+    /// deeper and a shallow re-evaluation can never clobber a deep prefix.
+    pub fn offer(&self, key: PrefixKey, entry: Arc<PrefixEntry>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let keep = match inner.peek(&key) {
+            Some(current) => {
+                !current.complete && (entry.complete || entry.rows.len() > current.rows.len())
+            }
+            None => true,
+        };
+        if keep {
+            inner.insert(key, entry, self.capacity);
+        }
+    }
+
+    /// Prefix-cache hits since startup (`hits_prefix` on `/healthz`).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Prefix-cache misses (including too-shallow entries) since startup.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Current number of cached prefixes.
+    pub fn len(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .map
+            .len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -304,5 +482,79 @@ mod tests {
         }
         let inner = cache.inner.lock().unwrap();
         assert!(inner.order.len() <= inner.map.len() * 4 + 17);
+    }
+
+    fn pkey(text: &str, epoch: u64) -> PrefixKey {
+        PrefixKey {
+            store: "s".into(),
+            epoch,
+            text: text.into(),
+            threads: 1,
+            order: "pos",
+        }
+    }
+
+    fn prefix(rows: usize, complete: bool) -> Arc<PrefixEntry> {
+        Arc::new(PrefixEntry {
+            rows: (0..rows).map(|i| format!("[{i}]")).collect(),
+            complete,
+            stats: "{}".into(),
+        })
+    }
+
+    #[test]
+    fn a_deep_prefix_serves_every_shallower_limit() {
+        let cache = PrefixCache::new(4);
+        assert!(cache.get_covering(&pkey("E", 1), 10).is_none());
+        cache.offer(pkey("E", 1), prefix(100, false));
+        // Any limit ≤ 100 slices out of the entry; 101 is too deep.
+        for limit in [1, 50, 100] {
+            let entry = cache.get_covering(&pkey("E", 1), limit).unwrap();
+            assert!(entry.rows.len() >= limit);
+        }
+        assert!(cache.get_covering(&pkey("E", 1), 101).is_none());
+        // A *complete* prefix covers any limit at all.
+        cache.offer(pkey("E", 1), prefix(100, true));
+        assert!(cache.get_covering(&pkey("E", 1), 100_000).is_some());
+        assert_eq!(cache.hits(), 4);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn replacement_only_goes_deeper() {
+        let cache = PrefixCache::new(4);
+        cache.offer(pkey("E", 1), prefix(50, false));
+        // A shallower re-evaluation must not clobber the deeper prefix.
+        cache.offer(pkey("E", 1), prefix(10, false));
+        assert_eq!(
+            cache.get_covering(&pkey("E", 1), 50).unwrap().rows.len(),
+            50
+        );
+        // Deeper replaces; complete replaces deeper; nothing replaces
+        // complete (it already serves everything).
+        cache.offer(pkey("E", 1), prefix(80, false));
+        assert_eq!(
+            cache.get_covering(&pkey("E", 1), 60).unwrap().rows.len(),
+            80
+        );
+        cache.offer(pkey("E", 1), prefix(80, true));
+        cache.offer(pkey("E", 1), prefix(200, false));
+        let entry = cache.get_covering(&pkey("E", 1), 1).unwrap();
+        assert!(entry.complete);
+        assert_eq!(entry.rows.len(), 80);
+    }
+
+    #[test]
+    fn prefix_entries_are_epoch_scoped_and_lru_bounded() {
+        let cache = PrefixCache::new(2);
+        cache.offer(pkey("E", 1), prefix(10, true));
+        assert!(cache.get_covering(&pkey("E", 2), 5).is_none());
+        cache.offer(pkey("a", 1), prefix(10, true));
+        cache.offer(pkey("b", 1), prefix(10, true));
+        assert_eq!(cache.len(), 2);
+        let disabled = PrefixCache::new(0);
+        disabled.offer(pkey("E", 1), prefix(10, true));
+        assert!(disabled.get_covering(&pkey("E", 1), 1).is_none());
+        assert!(disabled.is_empty());
     }
 }

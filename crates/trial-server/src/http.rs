@@ -2,11 +2,16 @@
 //!
 //! Deliberately minimal — exactly what the query service needs and no more:
 //!
-//! * request line + headers + `Content-Length` body (no chunked encoding);
+//! * request line + headers + `Content-Length` body (request bodies are
+//!   never chunked);
 //! * URL query-string parameters with `%XX` / `+` decoding;
 //! * keep-alive by default, honouring `Connection: close`;
 //! * hard limits on header-section and body size, enforced *before* the
-//!   bytes are buffered, so an untrusted client cannot balloon memory.
+//!   bytes are buffered, so an untrusted client cannot balloon memory;
+//! * **chunked transfer encoding on the response side** ([`ChunkedWriter`]):
+//!   streamed query responses write rows as they are produced — first byte
+//!   before the result size is known — and carry `count`/`truncated`/stats
+//!   in HTTP **trailers**, keeping the connection reusable afterwards.
 
 use std::collections::HashMap;
 use std::io::{self, BufRead, Write};
@@ -272,12 +277,28 @@ pub struct Response {
     pub status: u16,
     /// Response body (JSON text).
     pub body: String,
+    /// Optional `Retry-After` header value in seconds — set on `429` when
+    /// admission control turns a request away.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
     /// A `200 OK` response.
     pub fn ok(body: String) -> Response {
-        Response { status: 200, body }
+        Response {
+            status: 200,
+            body,
+            retry_after: None,
+        }
+    }
+
+    /// A response with `status` and `body` and no extra headers.
+    pub fn new(status: u16, body: String) -> Response {
+        Response {
+            status,
+            body,
+            retry_after: None,
+        }
     }
 }
 
@@ -288,8 +309,10 @@ pub fn status_text(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        410 => "Gone",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         505 => "HTTP Version Not Supported",
@@ -306,14 +329,109 @@ pub fn write_response<W: Write>(
     let connection = if close { "close" } else { "keep-alive" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_text(response.status),
         response.body.len(),
         connection
     )?;
+    if let Some(seconds) = response.retry_after {
+        write!(writer, "Retry-After: {seconds}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(response.body.as_bytes())?;
     writer.flush()
+}
+
+/// Target size of one response chunk: the streaming emitter buffers at most
+/// this many body bytes before flushing them as a chunk, so server-side
+/// response memory is O(chunk size) regardless of result cardinality.
+pub const CHUNK_BYTES: usize = 8 * 1024;
+
+/// A streaming HTTP/1.1 response using **chunked transfer encoding** with
+/// trailers.
+///
+/// [`ChunkedWriter::begin`] writes the response head (status, headers, the
+/// `Trailer:` declaration) and flushes it immediately — the client's
+/// time-to-first-byte does not wait for the first result row, let alone the
+/// last. Body bytes then accumulate into a bounded buffer flushed as HTTP
+/// chunks of about [`CHUNK_BYTES`]; [`ChunkedWriter::finish`] writes the
+/// terminal chunk plus the trailer fields (response facts unknowable up
+/// front: row count, truncation, work counters). Keep-alive is preserved —
+/// chunked framing delimits the message without a `Content-Length`.
+///
+/// If the connection dies mid-stream the response simply stops before the
+/// terminal chunk; any HTTP client can detect the truncation, which is the
+/// protocol-level reason streamed errors close the connection instead of
+/// inventing an in-band error frame.
+#[derive(Debug)]
+pub struct ChunkedWriter<'w, W: Write> {
+    writer: &'w mut W,
+    buf: Vec<u8>,
+}
+
+impl<'w, W: Write> ChunkedWriter<'w, W> {
+    /// Writes and flushes the chunked response head, declaring `trailers`
+    /// (header names sent after the body), and returns the body writer.
+    pub fn begin(
+        writer: &'w mut W,
+        status: u16,
+        close: bool,
+        trailers: &[&str],
+    ) -> io::Result<Self> {
+        let connection = if close { "close" } else { "keep-alive" };
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nTransfer-Encoding: chunked\r\nConnection: {}\r\n",
+            status,
+            status_text(status),
+            connection
+        )?;
+        if !trailers.is_empty() {
+            write!(writer, "Trailer: {}\r\n", trailers.join(", "))?;
+        }
+        writer.write_all(b"\r\n")?;
+        writer.flush()?;
+        Ok(ChunkedWriter {
+            writer,
+            buf: Vec::with_capacity(CHUNK_BYTES),
+        })
+    }
+
+    /// Appends body text, flushing a chunk whenever the buffer reaches
+    /// [`CHUNK_BYTES`].
+    pub fn write_text(&mut self, text: &str) -> io::Result<()> {
+        self.buf.extend_from_slice(text.as_bytes());
+        if self.buf.len() >= CHUNK_BYTES {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered bytes as one chunk (no-op when empty).
+    pub fn flush_chunk(&mut self) -> io::Result<()> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        write!(self.writer, "{:x}\r\n", self.buf.len())?;
+        self.writer.write_all(&self.buf)?;
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()?;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Writes the terminal chunk and the trailer fields, completing the
+    /// message (the connection stays usable under keep-alive).
+    pub fn finish(mut self, trailers: &[(&str, String)]) -> io::Result<()> {
+        self.flush_chunk()?;
+        self.writer.write_all(b"0\r\n")?;
+        for (name, value) in trailers {
+            write!(self.writer, "{name}: {value}\r\n")?;
+        }
+        self.writer.write_all(b"\r\n")?;
+        self.writer.flush()
+    }
 }
 
 #[cfg(test)]
@@ -458,5 +576,52 @@ mod tests {
         assert!(text.contains("Content-Length: 7\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"a\":1}"));
+    }
+
+    #[test]
+    fn rejected_responses_can_carry_retry_after() {
+        let mut out = Vec::new();
+        let mut response = Response::new(429, "{}".into());
+        response.retry_after = Some(2);
+        write_response(&mut out, &response, false).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 2\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn chunked_responses_frame_body_and_trailers() {
+        let mut out = Vec::new();
+        let mut writer = ChunkedWriter::begin(&mut out, 200, false, &["X-Count"]).unwrap();
+        writer.write_text("{\"rows\":[").unwrap();
+        writer.write_text("1,2,3]}").unwrap();
+        writer.finish(&[("X-Count", "3".into())]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("Trailer: X-Count\r\n"));
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Content-Length"));
+        // One 16-byte chunk, terminal chunk, then the trailer.
+        let body = text.split("\r\n\r\n").nth(1).unwrap();
+        assert_eq!(body, "10\r\n{\"rows\":[1,2,3]}\r\n0\r\nX-Count: 3");
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn chunked_writer_flushes_at_the_chunk_size() {
+        let mut out = Vec::new();
+        let mut writer = ChunkedWriter::begin(&mut out, 200, true, &[]).unwrap();
+        let big = "x".repeat(CHUNK_BYTES + 10);
+        writer.write_text(&big).unwrap();
+        // The full buffer was flushed as one chunk the moment it crossed the
+        // threshold; the terminal chunk follows on finish.
+        writer.finish(&[]).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let chunk_header = format!("{:x}\r\n", CHUNK_BYTES + 10);
+        assert!(text.contains(&chunk_header));
+        assert!(text.ends_with("0\r\n\r\n"));
+        assert!(!text.contains("Trailer"));
     }
 }

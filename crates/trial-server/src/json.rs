@@ -64,6 +64,56 @@ where
     out
 }
 
+/// An incremental JSON array emitter for streaming responses.
+///
+/// Elements are written **one at a time** into a caller-supplied sink (the
+/// chunked-transfer writer on `/query?stream=1`), so the array as a whole is
+/// never materialised — memory stays bounded by one rendered element no
+/// matter how many rows flow through. The emitter only keeps the
+/// comma/bracket discipline; errors from the sink propagate immediately.
+///
+/// ```
+/// use trial_server::json::ArrayStream;
+///
+/// let mut out = String::new();
+/// let mut rows = ArrayStream::begin(|s: &str| {
+///     out.push_str(s);
+///     Ok::<(), std::io::Error>(())
+/// })
+/// .unwrap();
+/// rows.element("[1,2]").unwrap();
+/// rows.element("[3,4]").unwrap();
+/// rows.finish().unwrap();
+/// assert_eq!(out, "[[1,2],[3,4]]");
+/// ```
+#[derive(Debug)]
+pub struct ArrayStream<E, F: FnMut(&str) -> Result<(), E>> {
+    sink: F,
+    first: bool,
+}
+
+impl<E, F: FnMut(&str) -> Result<(), E>> ArrayStream<E, F> {
+    /// Opens the array, writing `[` to the sink.
+    pub fn begin(mut sink: F) -> Result<Self, E> {
+        sink("[")?;
+        Ok(ArrayStream { sink, first: true })
+    }
+
+    /// Appends one pre-rendered JSON element.
+    pub fn element(&mut self, fragment: &str) -> Result<(), E> {
+        if !self.first {
+            (self.sink)(",")?;
+        }
+        self.first = false;
+        (self.sink)(fragment)
+    }
+
+    /// Closes the array with `]`.
+    pub fn finish(mut self) -> Result<(), E> {
+        (self.sink)("]")
+    }
+}
+
 /// An append-only JSON object builder.
 ///
 /// ```
@@ -171,5 +221,30 @@ mod tests {
             .finish();
         assert_eq!(obj, r#"{"k":"v","n":7,"t":true,"a":[1,2]}"#);
         assert_eq!(JsonObject::new().finish(), "{}");
+    }
+
+    #[test]
+    fn array_stream_matches_batch_rendering() {
+        let mut out = String::new();
+        let sink = |s: &str| {
+            out.push_str(s);
+            Ok::<(), ()>(())
+        };
+        let mut rows = ArrayStream::begin(sink).unwrap();
+        for fragment in ["1", "[2,3]", "\"x\""] {
+            rows.element(fragment).unwrap();
+        }
+        rows.finish().unwrap();
+        assert_eq!(out, array(["1", "[2,3]", "\"x\""]));
+
+        let mut empty = String::new();
+        ArrayStream::begin(|s: &str| {
+            empty.push_str(s);
+            Ok::<(), ()>(())
+        })
+        .unwrap()
+        .finish()
+        .unwrap();
+        assert_eq!(empty, "[]");
     }
 }

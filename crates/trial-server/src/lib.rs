@@ -71,6 +71,53 @@
 //! curl -s "localhost:7878/explain?order=pos&topk=3" -d "E"
 //! ```
 //!
+//! ## Streaming and pagination
+//!
+//! `?stream=1` switches `/query` from a buffered `Content-Length` body to
+//! **chunked transfer encoding** fed by a parallel exchange operator:
+//! producer threads evaluate morsels and pump row batches through bounded
+//! channels while the connection worker renders them straight onto the
+//! socket. The head is flushed before evaluation starts, so time-to-first-
+//! byte is planning time, not evaluation time, and the server never buffers
+//! more than one 8 KiB chunk plus the bounded exchange lanes regardless of
+//! result size. `count`/`truncated` can't be known up front, so they arrive
+//! as HTTP **trailers** (`X-Trial-Count`, `X-Trial-Truncated`,
+//! `X-Trial-Elapsed-Us`) after the terminal chunk — and a missing terminal
+//! chunk is the unambiguous truncation signal if a stream dies mid-flight:
+//!
+//! ```bash
+//! # Rows on the wire as they are produced; trailers close the stream.
+//! curl -sN --raw "localhost:7878/query?stream=1&order=spo&limit=1000" -d "E"
+//! ```
+//!
+//! A truncated **ordered** stream is resumable: its `X-Trial-Cursor`
+//! trailer is an opaque token `(store, epoch, order, last row key)` that the
+//! next request presents to continue the row sequence exactly where the
+//! page stopped — the engine seeks the index past the last delivered key
+//! instead of replaying and discarding:
+//!
+//! ```bash
+//! curl -s "localhost:7878/query?cursor=$TOKEN&limit=1000" -d "E"  # next page
+//! ```
+//!
+//! Cursor failure modes are structured and happen before any bytes stream:
+//! a malformed or cross-store token is `400 bad_cursor`, a token minted
+//! against a reloaded store is `410 stale_cursor` (restart pagination —
+//! row keys from the old epoch are meaningless), and top-k responses never
+//! mint cursors (they are complete sets, not stream positions).
+//!
+//! Two more pieces round out the serving path. A **prefix-closed ordered
+//! cache**: an ordered result under a fixed `(store, epoch, query, threads,
+//! order)` is the same row sequence for every limit, so one deep evaluation
+//! serves every smaller `?limit=` by slicing (hits show up as
+//! `hits_prefix` on `/healthz`). And **admission control**: each store has
+//! a bounded pool of concurrent-evaluation permits plus a bounded wait
+//! queue; beyond both, requests are shed immediately with a complete
+//! `429 {"error":{"kind":"saturated",...}}` and a `Retry-After` hint rather
+//! than queueing without bound (cache hits bypass admission entirely).
+//! `/healthz` exposes the live picture: `in_flight`, `waiting`, `admitted`,
+//! `rejected`.
+//!
 //! ## Parallel evaluation
 //!
 //! `trial-serve --eval-threads N` turns on morsel-driven intra-query
@@ -104,8 +151,17 @@
 //!   to the side and swaps the pointer. A query that started on epoch *n*
 //!   sees epoch *n* to completion — no reader ever blocks on a writer.
 //! * **[`cache`]** — an LRU of rendered result fragments keyed by
-//!   `(store, epoch, kind, query text)`. Epoch bumps invalidate implicitly;
-//!   hit/miss counters are served on `/healthz`.
+//!   `(store, epoch, kind, query text)`, plus the prefix-closed ordered
+//!   cache that serves any smaller limit by slicing a deeper cached prefix.
+//!   Epoch bumps invalidate implicitly; hit/miss counters are served on
+//!   `/healthz`.
+//! * **[`admission`]** — per-store concurrent-evaluation permits with a
+//!   bounded wait queue; saturation sheds load as structured `429`s with
+//!   `Retry-After` instead of queueing unboundedly.
+//! * **[`token`]** — opaque resumable pagination cursors: base64url over
+//!   `(store, epoch, order, last row key)` with an integrity checksum,
+//!   minted as `X-Trial-Cursor` trailers and validated before any bytes
+//!   stream.
 //! * **[`server`]** — listener + fixed worker pool with keep-alive
 //!   connections and graceful shutdown; [`Server::spawn_ephemeral`] gives
 //!   tests and benches an in-process instance on a free port.
@@ -139,6 +195,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod http;
@@ -147,12 +204,15 @@ pub mod preload;
 pub mod registry;
 pub mod routes;
 pub mod server;
+pub mod token;
 
-pub use cache::{CacheKey, QueryCache, QueryKind};
+pub use admission::{Admission, AdmissionPermit};
+pub use cache::{CacheKey, PrefixCache, PrefixEntry, PrefixKey, QueryCache, QueryKind};
 pub use preload::{preload_workload, WORKLOAD_NAMES};
 pub use registry::{StoreRegistry, StoreSnapshot};
 pub use routes::MAX_EVAL_THREADS;
 pub use server::{Server, ServerConfig};
+pub use token::CursorToken;
 
 // The server hands `Arc<ServerState>` and store snapshots across worker
 // threads; these mirror the assertions in trial-core / trial-eval at the

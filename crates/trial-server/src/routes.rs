@@ -51,15 +51,18 @@
 //! tags), are echoed in the result fragment, and are part of the cache key;
 //! epoch bumps invalidate ordered fragments like any other.
 
-use crate::cache::{CacheKey, QueryKind};
-use crate::http::{Request, Response};
-use crate::json::{self, JsonObject};
+use crate::admission::AdmissionPermit;
+use crate::cache::{CacheKey, PrefixEntry, PrefixKey, QueryKind};
+use crate::http::{self, ChunkedWriter, Request, Response};
+use crate::json::{self, ArrayStream, JsonObject};
 use crate::registry::StoreSnapshot;
 use crate::server::ServerState;
+use crate::token::CursorToken;
+use std::io::{self, Write};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
-use trial_core::{Error, Permutation, TriplestoreBuilder, Value};
+use trial_core::{Error, Expr, Permutation, Triplestore, TriplestoreBuilder, Value};
 use trial_eval::{EvalStats, SmartEngine};
 use trial_rdf::{parse_ntriples_iter, Term};
 
@@ -91,8 +94,44 @@ const MAX_CACHED_FRAGMENT_BYTES: usize = 1 << 20;
 /// core count oversubscribe without changing results.
 pub const MAX_EVAL_THREADS: usize = 16;
 
+/// Per-lane depth (in [`trial_eval::Exchange`] batches) of the streaming
+/// exchange: enough buffering to overlap evaluation with socket writes,
+/// small enough that a slow client backpressures producers instead of
+/// accumulating the result in channel memory.
+const EXCHANGE_DEPTH_BATCHES: usize = 4;
+
+/// How a request is answered. Almost everything is a fully-buffered
+/// [`Response`] written with `Content-Length`; `/query?stream=1` (or
+/// `?cursor=`) validates everything it can up front and returns a
+/// [`StreamingQuery`] job that the connection worker then drives against
+/// the socket with chunked transfer encoding.
+#[allow(clippy::large_enum_variant)] // Response dominates; Stream is boxed
+pub(crate) enum Routed {
+    /// A buffered response.
+    Buffered(Response),
+    /// A validated streaming query, ready to run against the socket.
+    Stream(Box<StreamingQuery>),
+}
+
 /// Dispatches a request to its handler.
-pub(crate) fn route(state: &ServerState, req: &Request) -> Response {
+pub(crate) fn route(state: &ServerState, req: &Request) -> Routed {
+    if req.method == "POST" && req.path == "/query" && wants_stream(req) {
+        return match streaming_query(state, req) {
+            Ok(job) => Routed::Stream(Box::new(job)),
+            Err(response) => Routed::Buffered(*response),
+        };
+    }
+    Routed::Buffered(route_buffered(state, req))
+}
+
+/// `?stream=1` opts into chunked streaming; presenting a pagination cursor
+/// implies it (resumed pages are always streamed).
+fn wants_stream(req: &Request) -> bool {
+    matches!(req.param("stream"), Some("1" | "true" | "yes")) || req.param("cursor").is_some()
+}
+
+/// Dispatches a request to its buffered handler.
+fn route_buffered(state: &ServerState, req: &Request) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/stores") => stores(state),
@@ -127,10 +166,7 @@ pub(crate) fn error_body(kind: &str, message: &str, offset: Option<usize>) -> St
 }
 
 fn error_response(status: u16, kind: &str, message: &str, offset: Option<usize>) -> Response {
-    Response {
-        status,
-        body: error_body(kind, message, offset),
-    }
+    Response::new(status, error_body(kind, message, offset))
 }
 
 /// Maps evaluation-time [`Error`]s onto HTTP statuses and error kinds.
@@ -154,6 +190,21 @@ fn healthz(state: &ServerState) -> Response {
         .num("misses", state.cache.misses())
         .num("entries", state.cache.len() as u64)
         .num("capacity", state.cache.capacity() as u64)
+        // The prefix-closed ordered cache: hits served by slicing a cached
+        // ordered prefix that an exact-key lookup missed.
+        .num("hits_prefix", state.prefix.hits())
+        .num("prefix_entries", state.prefix.len() as u64)
+        .finish();
+    // Admission control: per-store evaluation permits, live occupancy and
+    // the shed counter — the observable face of saturation behaviour.
+    let (in_flight, waiting) = state.admission.live();
+    let admission = JsonObject::new()
+        .num("permits", state.admission.permits() as u64)
+        .num("max_waiters", state.admission.max_waiters() as u64)
+        .num("in_flight", in_flight)
+        .num("waiting", waiting)
+        .num("admitted", state.admission.admitted())
+        .num("rejected", state.admission.rejected())
         .finish();
     // Evaluation-thread configuration plus per-query execution-shape
     // counters: a fresh /query evaluation counts as `queries_parallel` when
@@ -173,6 +224,10 @@ fn healthz(state: &ServerState) -> Response {
             "queries_sequential",
             state.queries_sequential.load(Ordering::Relaxed),
         )
+        .num(
+            "queries_streamed",
+            state.queries_streamed.load(Ordering::Relaxed),
+        )
         .finish();
     let body = JsonObject::new()
         .str("status", "ok")
@@ -188,6 +243,7 @@ fn healthz(state: &ServerState) -> Response {
         )
         .raw("eval", &eval)
         .raw("cache", &cache)
+        .raw("admission", &admission)
         .finish();
     Response::ok(body)
 }
@@ -257,51 +313,44 @@ fn resolve_store(state: &ServerState, req: &Request) -> Result<Arc<StoreSnapshot
     }
 }
 
-/// `/query` and `/explain`: parse the TriAL text, consult the LRU cache
-/// keyed by `(store, epoch, kind, text)`, evaluate or plan on a miss.
-fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
-    let start = Instant::now();
-    let Some(text) = req.body_utf8() else {
-        return error_response(400, "bad_request", "query body is not valid UTF-8", None);
-    };
-    let text = text.trim();
-    if text.is_empty() {
-        return error_response(
-            400,
-            "bad_request",
-            "empty query body; POST the TriAL expression as plain text",
-            None,
-        );
-    }
+/// The parsed request knobs shared by the buffered and streaming `/query`
+/// paths (and `/explain`).
+struct QueryParams {
+    /// The explicit `?limit=` (clamped), if any.
+    requested_limit: Option<usize>,
+    /// The effective response cap (`DEFAULT_RESULT_LIMIT` when unset).
+    limit: usize,
+    /// The effective evaluation parallelism.
+    threads: usize,
+    /// `true` for `/explain?analyze=1`.
+    analyze: bool,
+    /// The `?order=` permutation, if any.
+    order: Option<Permutation>,
+    /// The `?topk=` bound, if any.
+    topk: Option<usize>,
+}
+
+/// Parses and validates the query-string knobs shared by every query path.
+fn parse_query_params(
+    state: &ServerState,
+    req: &Request,
+    kind: QueryKind,
+) -> Result<QueryParams, Box<Response>> {
+    let bad = |message: String| Box::new(error_response(400, "bad_request", &message, None));
     let requested_limit = match req.param("limit") {
         Some(raw) => match raw.parse::<usize>() {
             Ok(n) => Some(n.min(MAX_RESULT_LIMIT)),
-            Err(_) => {
-                return error_response(
-                    400,
-                    "bad_request",
-                    &format!("unparsable ?limit= value `{raw}`"),
-                    None,
-                )
-            }
+            Err(_) => return Err(bad(format!("unparsable ?limit= value `{raw}`"))),
         },
         None => None,
     };
-    let limit = requested_limit.unwrap_or(DEFAULT_RESULT_LIMIT);
     // Per-request parallelism override: `?threads=` is clamped to
     // [1, MAX_EVAL_THREADS]; without it the server's configured degree
     // (`--eval-threads`) applies.
     let threads = match req.param("threads") {
         Some(raw) => match raw.parse::<usize>() {
             Ok(n) => n.clamp(1, MAX_EVAL_THREADS),
-            Err(_) => {
-                return error_response(
-                    400,
-                    "bad_request",
-                    &format!("unparsable ?threads= value `{raw}`"),
-                    None,
-                )
-            }
+            Err(_) => return Err(bad(format!("unparsable ?threads= value `{raw}`"))),
         },
         None => state.eval.threads.clamp(1, MAX_EVAL_THREADS),
     };
@@ -319,12 +368,9 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         Some(raw) => match Permutation::parse(raw) {
             Some(p) => Some(p),
             None => {
-                return error_response(
-                    400,
-                    "bad_request",
-                    &format!("unparsable ?order= value `{raw}` (expected spo, pos or osp)"),
-                    None,
-                )
+                return Err(bad(format!(
+                    "unparsable ?order= value `{raw}` (expected spo, pos or osp)"
+                )))
             }
         },
         None => None,
@@ -332,17 +378,78 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
     let topk = match req.param("topk") {
         Some(raw) => match raw.parse::<usize>() {
             Ok(k) => Some(k.min(MAX_RESULT_LIMIT)),
-            Err(_) => {
-                return error_response(
-                    400,
-                    "bad_request",
-                    &format!("unparsable ?topk= value `{raw}`"),
-                    None,
-                )
-            }
+            Err(_) => return Err(bad(format!("unparsable ?topk= value `{raw}`"))),
         },
         None => None,
     };
+    Ok(QueryParams {
+        requested_limit,
+        limit: requested_limit.unwrap_or(DEFAULT_RESULT_LIMIT),
+        threads,
+        analyze,
+        order,
+        topk,
+    })
+}
+
+/// The trimmed plain-text query body, or a structured 400.
+fn query_text(req: &Request) -> Result<&str, Box<Response>> {
+    let Some(text) = req.body_utf8() else {
+        return Err(Box::new(error_response(
+            400,
+            "bad_request",
+            "query body is not valid UTF-8",
+            None,
+        )));
+    };
+    let text = text.trim();
+    if text.is_empty() {
+        return Err(Box::new(error_response(
+            400,
+            "bad_request",
+            "empty query body; POST the TriAL expression as plain text",
+            None,
+        )));
+    }
+    Ok(text)
+}
+
+/// The structured `429 Too Many Requests` an admission rejection turns
+/// into: a complete, parseable body plus a `Retry-After` hint — saturated
+/// stores shed load visibly instead of hanging sockets.
+fn rejected_response(store: &str, retry_after: u64) -> Response {
+    let mut response = error_response(
+        429,
+        "saturated",
+        &format!(
+            "store `{store}` is at its concurrent-evaluation limit; retry after {retry_after}s"
+        ),
+        None,
+    );
+    response.retry_after = Some(retry_after);
+    response
+}
+
+/// `/query` and `/explain`: parse the TriAL text, consult the LRU cache
+/// keyed by `(store, epoch, kind, text)`, evaluate or plan on a miss.
+fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
+    let start = Instant::now();
+    let text = match query_text(req) {
+        Ok(text) => text,
+        Err(response) => return *response,
+    };
+    let params = match parse_query_params(state, req, kind) {
+        Ok(p) => p,
+        Err(response) => return *response,
+    };
+    let QueryParams {
+        requested_limit,
+        limit,
+        threads,
+        analyze,
+        order,
+        topk,
+    } = params;
 
     let snapshot = match resolve_store(state, req) {
         Ok(s) => s,
@@ -371,9 +478,49 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         return Response::ok(wrap(&snapshot, true, &fragment, start));
     }
 
+    // Prefix-closed ordered cache: an ordered (non-top-k) result under a
+    // fixed `(store, epoch, text, threads, order)` is the same row sequence
+    // for every limit, so a cached prefix of ≥ limit rows answers this
+    // request by slicing — no parse, no plan, no evaluation, no admission.
+    let ordered_prefix = match (kind, order, topk) {
+        (QueryKind::Query, Some(order), None) if limit > 0 => Some(PrefixKey {
+            store: snapshot.name().to_owned(),
+            epoch: snapshot.epoch(),
+            text: text.to_owned(),
+            threads: threads as u64,
+            order: order.name(),
+        }),
+        _ => None,
+    };
+    if let Some(prefix_key) = &ordered_prefix {
+        if let Some(entry) = state.prefix.get_covering(prefix_key, limit) {
+            let order = order.expect("ordered_prefix implies an order");
+            let count = entry.rows.len().min(limit);
+            let truncated = count < entry.rows.len() || !entry.complete;
+            let fragment = Arc::new(ordered_fragment(
+                order,
+                &entry.rows[..count],
+                truncated,
+                &entry.stats,
+            ));
+            if fragment.len() <= MAX_CACHED_FRAGMENT_BYTES {
+                state.cache.insert(key, Arc::clone(&fragment));
+            }
+            state.queries_served.fetch_add(1, Ordering::Relaxed);
+            return Response::ok(wrap(&snapshot, true, &fragment, start));
+        }
+    }
+
     let expr = match trial_parser::parse(text) {
         Ok(expr) => expr,
         Err(e) => return eval_error_response(&e),
+    };
+
+    // Admission: every fresh evaluation (cache hits never get here) takes a
+    // per-store permit; saturated stores shed load with a structured 429.
+    let _permit = match state.admission.acquire(snapshot.name()) {
+        Ok(permit) => permit,
+        Err(retry_after) => return rejected_response(snapshot.name(), retry_after),
     };
 
     let engine = SmartEngine::with_options(trial_eval::EvalOptions {
@@ -381,6 +528,34 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         ..state.eval
     });
     let fragment = match kind {
+        QueryKind::Query if ordered_prefix.is_some() => {
+            // Ordered path: render per-row fragments so the prefix cache can
+            // keep them for slicing under any smaller limit.
+            let order = order.expect("ordered_prefix implies an order");
+            match render_ordered_rows(&engine, &expr, snapshot.store(), limit, order) {
+                Ok((rows, truncated, stats, ran_parallel)) => {
+                    if ran_parallel {
+                        state.queries_parallel.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        state.queries_sequential.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let entry = PrefixEntry {
+                        rows,
+                        complete: !truncated,
+                        stats,
+                    };
+                    let fragment = ordered_fragment(order, &entry.rows, truncated, &entry.stats);
+                    let bytes: usize = entry.rows.iter().map(String::len).sum();
+                    if bytes <= MAX_CACHED_FRAGMENT_BYTES {
+                        state
+                            .prefix
+                            .offer(ordered_prefix.expect("checked above"), Arc::new(entry));
+                    }
+                    fragment
+                }
+                Err(e) => return eval_error_response(&e),
+            }
+        }
         QueryKind::Query => {
             match render_query_fragment(&engine, &expr, snapshot.store(), limit, order, topk) {
                 Ok((fragment, ran_parallel)) => {
@@ -538,11 +713,7 @@ fn render_query_fragment(
         if count > 0 {
             triples.push(',');
         }
-        triples.push_str(&json::string_array([
-            store.object_name(t.s()),
-            store.object_name(t.p()),
-            store.object_name(t.o()),
-        ]));
+        triples.push_str(&render_row(store, &t));
         count += 1;
     }
     triples.push(']');
@@ -558,6 +729,300 @@ fn render_query_fragment(
         .finish(),
         ran_parallel,
     ))
+}
+
+/// Renders one result row as a `["s","p","o"]` JSON fragment.
+fn render_row(store: &Triplestore, t: &trial_core::Triple) -> String {
+    json::string_array([
+        store.object_name(t.s()),
+        store.object_name(t.p()),
+        store.object_name(t.o()),
+    ])
+}
+
+/// Evaluates an ordered (non-top-k) `/query` and returns the rendered rows
+/// **individually** — the shape the prefix cache stores, so any smaller
+/// limit can later be served by slicing. Returns
+/// `(rows, truncated, stats_json, ran_parallel)`.
+fn render_ordered_rows(
+    engine: &SmartEngine,
+    expr: &Expr,
+    store: &Triplestore,
+    limit: usize,
+    order: Permutation,
+) -> trial_core::Result<(Vec<String>, bool, String, bool)> {
+    let mut stream = engine.stream_query(
+        expr,
+        store,
+        Some(limit.saturating_add(1)),
+        Some(order),
+        None,
+    )?;
+    let mut rows = Vec::new();
+    let mut truncated = false;
+    while let Some(t) = stream.next_triple() {
+        if rows.len() == limit {
+            truncated = true;
+            break;
+        }
+        rows.push(render_row(store, &t));
+    }
+    let ran_parallel = stream.stats().parallel_morsels > 0;
+    let stats = stats_json(stream.stats());
+    Ok((rows, truncated, stats, ran_parallel))
+}
+
+/// Assembles an ordered `/query` result fragment from pre-rendered rows —
+/// field-for-field identical to what [`render_query_fragment`] produces for
+/// the same ordered query, so prefix-cache hits are byte-compatible with
+/// fresh evaluations.
+fn ordered_fragment(order: Permutation, rows: &[String], truncated: bool, stats: &str) -> String {
+    JsonObject::new()
+        .num("count", rows.len() as u64)
+        .boolean("truncated", truncated)
+        .str("order", order.name())
+        .raw("triples", &json::array(rows))
+        .raw("stats", stats)
+        .finish()
+}
+
+/// A fully validated `/query?stream=1` job.
+///
+/// Everything that can fail with a clean buffered error — parameter
+/// parsing, store resolution, cursor-token validation, admission — happened
+/// in [`route`] before this exists. What remains (planning and evaluation)
+/// runs against the live socket: plan-time errors still produce a buffered
+/// error response (nothing has been sent), but once the chunked head is on
+/// the wire the only failure signal left is closing the connection early,
+/// which the client detects as a chunk stream without a terminal chunk.
+pub(crate) struct StreamingQuery {
+    snapshot: Arc<StoreSnapshot>,
+    expr: Expr,
+    threads: usize,
+    limit: usize,
+    order: Option<Permutation>,
+    topk: Option<usize>,
+    /// `Some(key)` when resuming from a cursor token: the stream is seeked
+    /// strictly past this permutation key instead of replaying from row 0.
+    resume: Option<[trial_core::ObjectId; 3]>,
+    close: bool,
+    /// Held for the whole response; dropping it (with the job) releases the
+    /// store's admission slot.
+    _permit: Option<AdmissionPermit>,
+}
+
+/// Validates a streaming `/query` request up front. Errors come back as
+/// complete buffered responses (the stream never starts): malformed or
+/// cross-store cursors are `400 bad_cursor`, cursors minted against a
+/// reloaded store are `410 stale_cursor`, saturation is `429`.
+fn streaming_query(state: &ServerState, req: &Request) -> Result<StreamingQuery, Box<Response>> {
+    let text = query_text(req)?;
+    let params = parse_query_params(state, req, QueryKind::Query)?;
+    if params.limit == 0 {
+        return Err(Box::new(error_response(
+            400,
+            "bad_request",
+            "?limit=0 (count-only) has no streaming form; drop ?stream=1",
+            None,
+        )));
+    }
+    let snapshot = resolve_store(state, req)?;
+    let mut order = params.order;
+    let mut resume = None;
+    if let Some(raw) = req.param("cursor") {
+        let bad_cursor = |message: &str| Box::new(error_response(400, "bad_cursor", message, None));
+        let Ok(token) = CursorToken::decode(raw) else {
+            return Err(bad_cursor(
+                "malformed ?cursor= token; pass the X-Trial-Cursor trailer value verbatim",
+            ));
+        };
+        if params.topk.is_some() {
+            return Err(bad_cursor(
+                "top-k responses are complete sets, not stream positions; they cannot resume",
+            ));
+        }
+        if token.store != snapshot.name() {
+            return Err(bad_cursor(&format!(
+                "cursor was issued for store `{}`, not `{}`",
+                token.store,
+                snapshot.name()
+            )));
+        }
+        if token.epoch != snapshot.epoch() {
+            // The store was reloaded: row keys from the old snapshot are
+            // meaningless in the new one. 410 tells clients to restart
+            // pagination rather than retry.
+            return Err(Box::new(error_response(
+                410,
+                "stale_cursor",
+                &format!(
+                    "cursor was issued against epoch {} of store `{}`, which is now at epoch {}; restart pagination",
+                    token.epoch,
+                    snapshot.name(),
+                    snapshot.epoch()
+                ),
+                None,
+            )));
+        }
+        if let Some(requested) = order {
+            if requested != token.order {
+                return Err(bad_cursor(&format!(
+                    "cursor resumes a ?order={} stream but the request asks for ?order={}",
+                    token.order.name(),
+                    requested.name()
+                )));
+            }
+        }
+        order = Some(token.order);
+        resume = Some(token.last);
+    }
+    let expr = match trial_parser::parse(text) {
+        Ok(expr) => expr,
+        Err(e) => return Err(Box::new(eval_error_response(&e))),
+    };
+    let permit = match state.admission.acquire(snapshot.name()) {
+        Ok(permit) => Some(permit),
+        Err(retry_after) => return Err(Box::new(rejected_response(snapshot.name(), retry_after))),
+    };
+    Ok(StreamingQuery {
+        snapshot,
+        expr,
+        threads: params.threads,
+        limit: params.limit,
+        order,
+        topk: params.topk,
+        resume,
+        close: req.close,
+        _permit: permit,
+    })
+}
+
+impl StreamingQuery {
+    /// Runs the job against the socket: plans, evaluates through the
+    /// exchange-fed [`trial_eval::QueryStream::channel`] (producer threads
+    /// overlap evaluation with these writes), and emits the body as chunked
+    /// transfer encoding with `X-Trial-Count` / `X-Trial-Truncated` /
+    /// `X-Trial-Elapsed-Us` (and, for truncated ordered streams,
+    /// `X-Trial-Cursor`) trailers.
+    ///
+    /// Returns whether the connection should be kept alive; any `Err` means
+    /// the chunk stream is unfinishable and the caller must close.
+    pub(crate) fn run<W: Write>(self, state: &ServerState, writer: &mut W) -> io::Result<bool> {
+        let start = Instant::now();
+        let engine = SmartEngine::with_options(trial_eval::EvalOptions {
+            threads: self.threads,
+            ..state.eval
+        });
+        let store = self.snapshot.store();
+        let probe_limit = Some(self.limit.saturating_add(1));
+        let stream = match self.resume {
+            Some(after) => {
+                let order = self.order.expect("cursor tokens always carry an order");
+                engine.stream_query_after(&self.expr, store, probe_limit, order, after)
+            }
+            None => engine.stream_query(&self.expr, store, probe_limit, self.order, self.topk),
+        };
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                // Nothing is on the wire yet: plan-time failures still get
+                // an ordinary buffered error and keep-alive survives.
+                let response = eval_error_response(&e);
+                http::write_response(writer, &response, self.close)?;
+                return Ok(!self.close);
+            }
+        };
+
+        // Head first, flushed immediately: time-to-first-byte is planning
+        // time, not evaluation time.
+        let mut chunked = ChunkedWriter::begin(
+            writer,
+            200,
+            self.close,
+            &[
+                "X-Trial-Count",
+                "X-Trial-Truncated",
+                "X-Trial-Elapsed-Us",
+                "X-Trial-Cursor",
+            ],
+        )?;
+        let mut head = String::from("{\"store\":");
+        head.push_str(&json::string(self.snapshot.name()));
+        head.push_str(&format!(
+            ",\"epoch\":{},\"cached\":false,\"stream\":true",
+            self.snapshot.epoch()
+        ));
+        if let Some(p) = self.order.or_else(|| self.topk.map(|_| Permutation::Spo)) {
+            head.push_str(&format!(",\"order\":\"{}\"", p.name()));
+        }
+        if let Some(k) = self.topk {
+            head.push_str(&format!(",\"topk\":{k}"));
+        }
+        if self.resume.is_some() {
+            head.push_str(",\"resumed\":true");
+        }
+        head.push_str(",\"triples\":");
+        chunked.write_text(&head)?;
+
+        let limit = self.limit;
+        let mut count: u64 = 0;
+        let mut truncated = false;
+        let mut last = None;
+        let (rows_written, stats) =
+            stream.channel(EXCHANGE_DEPTH_BATCHES, |rows| -> io::Result<()> {
+                let mut array = ArrayStream::begin(|s: &str| chunked.write_text(s))?;
+                while let Some(t) = rows.next_triple() {
+                    if count as usize == limit {
+                        // The probe row past the cap proves the stream was
+                        // cut short; returning drops the exchange and
+                        // terminates the producers.
+                        truncated = true;
+                        break;
+                    }
+                    array.element(&render_row(store, &t))?;
+                    count += 1;
+                    last = Some(t);
+                }
+                array.finish()?;
+                Ok(())
+            });
+        rows_written?;
+        chunked.write_text("}")?;
+
+        state.queries_served.fetch_add(1, Ordering::Relaxed);
+        state.queries_streamed.fetch_add(1, Ordering::Relaxed);
+        if stats.parallel_morsels > 0 {
+            state.queries_parallel.fetch_add(1, Ordering::Relaxed);
+        } else {
+            state.queries_sequential.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let mut trailers: Vec<(&str, String)> = vec![
+            ("X-Trial-Count", count.to_string()),
+            ("X-Trial-Truncated", truncated.to_string()),
+            (
+                "X-Trial-Elapsed-Us",
+                (start.elapsed().as_micros() as u64).to_string(),
+            ),
+        ];
+        // A truncated *ordered* stream is resumable: the next page picks up
+        // strictly after the last row we delivered. Top-k results are
+        // complete sets, and unordered streams have no stable position —
+        // neither gets a cursor.
+        if truncated && self.topk.is_none() {
+            if let (Some(order), Some(t)) = (self.order, last) {
+                let token = CursorToken {
+                    store: self.snapshot.name().to_owned(),
+                    epoch: self.snapshot.epoch(),
+                    order,
+                    last: order.key(&t),
+                };
+                trailers.push(("X-Trial-Cursor", token.encode()));
+            }
+        }
+        chunked.finish(&trailers)?;
+        Ok(!self.close)
+    }
 }
 
 /// Renders the work counters of an evaluation.

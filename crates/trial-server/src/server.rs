@@ -8,10 +8,11 @@
 //! in one `Arc<ServerState>`; queries clone store snapshots out of the
 //! registry and never hold a lock while evaluating.
 
-use crate::cache::QueryCache;
+use crate::admission::Admission;
+use crate::cache::{PrefixCache, QueryCache};
 use crate::http::{self, ReadOutcome, Response};
 use crate::registry::StoreRegistry;
-use crate::routes;
+use crate::routes::{self, Routed};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -53,6 +54,16 @@ pub struct ServerConfig {
     /// Maximum triples a single store may accumulate across loads; a load
     /// that would exceed it gets a structured `422`.
     pub max_store_triples: usize,
+    /// Maximum concurrent query evaluations **per store** before admission
+    /// control starts queueing and shedding (0 disables admission). Cache
+    /// hits bypass admission entirely.
+    pub admission_permits: usize,
+    /// How many saturated requests per store may **wait** for a permit
+    /// before further arrivals are rejected outright with `429`.
+    pub admission_max_waiters: usize,
+    /// How long a queued request waits for a permit before giving up with
+    /// `429` (also the basis of the `Retry-After` hint).
+    pub admission_wait: Duration,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +82,11 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             max_stores: 64,
             max_store_triples: 5_000_000,
+            // Generous defaults: admission only bites when a store is
+            // genuinely saturated, far beyond the default 4-worker pool.
+            admission_permits: 64,
+            admission_max_waiters: 64,
+            admission_wait: Duration::from_millis(500),
         }
     }
 }
@@ -81,6 +97,12 @@ impl Default for ServerConfig {
 pub struct ServerState {
     pub(crate) registry: StoreRegistry,
     pub(crate) cache: QueryCache,
+    /// Prefix-closed cache of ordered results: one deep prefix serves every
+    /// smaller `?limit=` by slicing.
+    pub(crate) prefix: PrefixCache,
+    /// Per-store admission semaphore; `Arc` so streaming responses can hold
+    /// their permit across the whole chunked write.
+    pub(crate) admission: Arc<Admission>,
     pub(crate) eval: EvalOptions,
     pub(crate) max_stores: usize,
     pub(crate) max_store_triples: usize,
@@ -91,6 +113,8 @@ pub struct ServerState {
     /// per-query face of `EvalOptions::threads`, served on `/healthz`.
     pub(crate) queries_parallel: AtomicU64,
     pub(crate) queries_sequential: AtomicU64,
+    /// `/query?stream=1` responses completed (a subset of `queries_served`).
+    pub(crate) queries_streamed: AtomicU64,
     pub(crate) started: Instant,
 }
 
@@ -99,6 +123,12 @@ impl ServerState {
         ServerState {
             registry: StoreRegistry::new(),
             cache: QueryCache::new(config.cache_capacity),
+            prefix: PrefixCache::new(config.cache_capacity),
+            admission: Arc::new(Admission::new(
+                config.admission_permits,
+                config.admission_max_waiters,
+                config.admission_wait,
+            )),
             eval: config.eval,
             max_stores: config.max_stores,
             max_store_triples: config.max_store_triples,
@@ -106,6 +136,7 @@ impl ServerState {
             loads_completed: AtomicU64::new(0),
             queries_parallel: AtomicU64::new(0),
             queries_sequential: AtomicU64::new(0),
+            queries_streamed: AtomicU64::new(0),
             started: Instant::now(),
         }
     }
@@ -197,6 +228,18 @@ impl Server {
         &self.state.cache
     }
 
+    /// The prefix-closed ordered-result cache.
+    pub fn prefix_cache(&self) -> &PrefixCache {
+        &self.state.prefix
+    }
+
+    /// The per-store admission semaphore (counters on `/healthz`). Returned
+    /// as the `Arc` so tests and harnesses can hold permits of their own to
+    /// saturate a store deterministically.
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.state.admission
+    }
+
     /// Stops accepting, drains the workers and joins all threads.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -241,18 +284,39 @@ fn handle_connection(
                 // A panicking handler must cost at most its own request:
                 // without the catch, one panic per worker would silently
                 // drain the whole pool while the acceptor keeps queueing.
-                let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let routed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     routes::route(state, &request)
                 }))
-                .unwrap_or_else(|_| Response {
-                    status: 500,
-                    body: routes::error_body("internal", "request handler panicked", None),
+                .unwrap_or_else(|_| {
+                    Routed::Buffered(Response::new(
+                        500,
+                        routes::error_body("internal", "request handler panicked", None),
+                    ))
                 });
-                if http::write_response(&mut writer, &response, request.close).is_err() {
-                    return;
-                }
-                if request.close {
-                    return;
+                match routed {
+                    Routed::Buffered(response) => {
+                        if http::write_response(&mut writer, &response, request.close).is_err() {
+                            return;
+                        }
+                        if request.close {
+                            return;
+                        }
+                    }
+                    Routed::Stream(job) => {
+                        // The job writes its own chunked head, body and
+                        // trailers. A panic or I/O error mid-stream leaves
+                        // the chunk stream without its terminal chunk — the
+                        // client's truncation signal — and the only safe
+                        // recovery is dropping the connection.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                job.run(state, &mut writer)
+                            }));
+                        match outcome {
+                            Ok(Ok(true)) => {} // keep-alive continues
+                            _ => return,
+                        }
+                    }
                 }
             }
             Ok(ReadOutcome::Closed) => return,
@@ -264,7 +328,7 @@ fn handle_connection(
                 // Protocol-level failure: answer if possible, then drop the
                 // connection (framing may be lost).
                 let body = routes::error_body(kind, &message, None);
-                let _ = http::write_response(&mut writer, &Response { status, body }, true);
+                let _ = http::write_response(&mut writer, &Response::new(status, body), true);
                 return;
             }
             Err(_) => return, // timeout or broken socket

@@ -24,9 +24,19 @@
 //! curl -s "localhost:7878/load?store=mydata" --data-binary @data.nt
 //! curl -s "localhost:7878/query?order=pos" -d "E"                 # sorted rows
 //! curl -s "localhost:7878/query?order=osp&topk=10" -d "E"         # k smallest
+//! curl -sN "localhost:7878/query?stream=1" -d "E"                 # chunked rows
+//! curl -s "localhost:7878/query?cursor=$TOKEN" -d "E"             # next page
 //! curl -s localhost:7878/stores                                   # inventory
 //! curl -s localhost:7878/healthz                                  # counters
 //! ```
+//!
+//! `?stream=1` switches the response to chunked transfer encoding fed by a
+//! parallel exchange — rows hit the wire as evaluation produces them, and
+//! `X-Trial-Count` / `X-Trial-Truncated` / `X-Trial-Cursor` arrive as HTTP
+//! trailers. A truncated ordered stream's cursor token resumes the row
+//! sequence exactly where the page stopped (`410` if the store was reloaded
+//! in between); saturated stores shed load with structured `429`s instead
+//! of queueing unboundedly.
 //!
 //! `examples/server_demo.rs` runs the same round trip in-process; the full
 //! endpoint reference is in the [`server`] crate docs.
