@@ -69,6 +69,90 @@ impl Cursor for EmptyCursor {
     }
 }
 
+/// The profiling shim wrapped around every compiled cursor when the
+/// per-node profiler is active: counts rows pulled through the node and
+/// times one in `stride` pulls (see [`crate::profile`]).
+///
+/// Measurements accumulate in **locals** and flush into the shared
+/// [`NodeTimer`](crate::profile::NodeTimer) on exhaustion and on drop — the
+/// hot path performs no atomic operations, only (sampled) clock reads.
+pub(crate) struct ProfiledCursor<'a> {
+    inner: BoxCursor<'a>,
+    timer: Arc<crate::profile::NodeTimer>,
+    stride: u32,
+    tick: u32,
+    local_rows: u64,
+    local_ns: u64,
+}
+
+impl<'a> ProfiledCursor<'a> {
+    pub(crate) fn new(
+        inner: BoxCursor<'a>,
+        timer: Arc<crate::profile::NodeTimer>,
+        stride: u32,
+    ) -> Self {
+        ProfiledCursor {
+            inner,
+            timer,
+            stride: stride.max(1),
+            tick: 0,
+            local_rows: 0,
+            local_ns: 0,
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.local_rows > 0 || self.tick > 0 {
+            self.timer.add_cur_rows(self.local_rows);
+            self.local_rows = 0;
+        }
+        if self.local_ns > 0 {
+            let elapsed = std::time::Duration::from_nanos(self.local_ns);
+            if self.stride == 1 {
+                self.timer.add_full(elapsed);
+            } else {
+                self.timer.add_sampled(elapsed);
+            }
+            self.local_ns = 0;
+        }
+    }
+}
+
+impl Cursor for ProfiledCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        self.tick += 1;
+        let t = if self.tick >= self.stride {
+            self.tick = 0;
+            let start = std::time::Instant::now();
+            let t = self.inner.next(stats);
+            self.local_ns += start.elapsed().as_nanos() as u64;
+            t
+        } else {
+            self.inner.next(stats)
+        };
+        match t {
+            Some(t) => {
+                self.local_rows += 1;
+                Some(t)
+            }
+            None => {
+                // Exhausted: make the measurements visible now, so profiles
+                // read after a drain (but before the drop) are complete.
+                self.tick = 1; // mark touched so zero-row pulls still flush
+                self.flush();
+                None
+            }
+        }
+    }
+}
+
+impl Drop for ProfiledCursor<'_> {
+    fn drop(&mut self) {
+        self.tick = self.tick.max(1);
+        self.flush();
+    }
+}
+
 /// Streams a borrowed run of an index permutation (a full relation scan or a
 /// bounded `matching` run), applying residual selection conditions on the
 /// fly. The storage layer's [`RangeCursor`] does the iteration; this adds
@@ -707,6 +791,9 @@ pub struct QueryStream<'a> {
     /// roots (see `Executor::morsel_cursors`); `channel()` falls back to the
     /// single root pipeline otherwise.
     morsels: Option<(Vec<BoxCursor<'a>>, Option<usize>)>,
+    /// Read handle onto the per-node profiler, when active (see
+    /// [`QueryStream::profile`]).
+    profile: Option<crate::profile::QueryProfile>,
 }
 
 impl<'a> QueryStream<'a> {
@@ -723,6 +810,7 @@ impl<'a> QueryStream<'a> {
             root,
             stats,
             morsels: None,
+            profile: None,
         }
     }
 
@@ -734,6 +822,23 @@ impl<'a> QueryStream<'a> {
     ) -> Self {
         self.morsels = Some((cursors, limit));
         self
+    }
+
+    /// Attaches the per-node profiler handle.
+    pub(crate) fn with_profile(mut self, profile: Option<crate::profile::QueryProfile>) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// A handle onto the stream's per-node wall-clock profiler, present when
+    /// the compiling [`EvalOptions`](crate::EvalOptions) had
+    /// `collect_node_stats` or a positive `profile_sample`. Clone it before
+    /// consuming the stream (e.g. with [`QueryStream::channel`]) and read
+    /// [`QueryProfile::snapshot`](crate::profile::QueryProfile::snapshot)
+    /// once the stream has finished — cursors flush their measurements on
+    /// exhaustion and drop.
+    pub fn profile(&self) -> Option<crate::profile::QueryProfile> {
+        self.profile.clone()
     }
 
     /// `true` when [`QueryStream::channel`] would run multiple producers —

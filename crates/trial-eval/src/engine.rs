@@ -155,9 +155,23 @@ pub struct EvalOptions {
     /// cardinality alongside the planner's estimate (surfaced by
     /// [`crate::SmartEngine::evaluate_analyzed`] and the server's
     /// `/explain?analyze=1`), making cost-model mis-estimates that would
-    /// mislead morsel sizing observable. Off by default: the counters cost a
-    /// hash-map insert per operator.
+    /// mislead morsel sizing observable — and runs the per-node wall-clock
+    /// profiler at stride 1 (every cursor pull timed), so `EXPLAIN ANALYZE`
+    /// reports exact `elapsed_us` per operator. Off by default: the counters
+    /// cost a hash-map insert per operator plus two clock reads per row.
     pub collect_node_stats: bool,
+    /// Sampling stride for per-node wall-clock profiling on **regular**
+    /// (non-analyze) evaluations: `0` disables the profiler entirely (the
+    /// default — zero overhead), `n ≥ 1` wraps every cursor in a timing
+    /// shim that measures one in `n` pulls and scales the estimate by `n`
+    /// (see [`crate::profile::NodeProfile`]). Row counts stay exact at any
+    /// stride. The server's slow-query flight recorder turns this on to
+    /// attach per-operator timings to sampled production queries.
+    ///
+    /// The environment variable `TRIAL_PROFILE_SAMPLE` overrides the default
+    /// (read once per process), which is how CI reruns the whole suite with
+    /// the profiling shims active.
+    pub profile_sample: u32,
 }
 
 /// The process-wide default for [`EvalOptions::threads`]: the
@@ -174,6 +188,19 @@ pub fn default_threads() -> usize {
     })
 }
 
+/// The process-wide default for [`EvalOptions::profile_sample`]: the
+/// `TRIAL_PROFILE_SAMPLE` environment variable if set to a non-negative
+/// integer (read once), otherwise 0 (profiling off).
+pub fn default_profile_sample() -> u32 {
+    static DEFAULT: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("TRIAL_PROFILE_SAMPLE")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u32>().ok())
+            .unwrap_or(0)
+    })
+}
+
 impl Default for EvalOptions {
     fn default() -> Self {
         EvalOptions {
@@ -187,6 +214,7 @@ impl Default for EvalOptions {
             threads: default_threads(),
             parallel_min_rows: 2048,
             collect_node_stats: false,
+            profile_sample: default_profile_sample(),
         }
     }
 }
@@ -266,5 +294,8 @@ mod tests {
         assert_eq!(opts.threads, default_threads());
         assert!(opts.parallel_min_rows > 0);
         assert!(!opts.collect_node_stats);
+        // The default stride comes from TRIAL_PROFILE_SAMPLE (or 0), so CI
+        // can rerun the suite with the profiling shims active.
+        assert_eq!(opts.profile_sample, default_profile_sample());
     }
 }

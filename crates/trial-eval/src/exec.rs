@@ -30,28 +30,46 @@ use crate::compile::CompiledConditions;
 use crate::cursor::{
     ArcSetCursor, BoxCursor, ChainUnionCursor, ComplementCursor, DiffCursor, EmptyCursor,
     FilterCursor, HashJoinCursor, IndexJoinCursor, IntersectCursor, LimitCursor, MergeJoinCursor,
-    MergeUnionCursor, NestedLoopCursor, RowsCursor, ScanCursor, SetCursor, SkipCursor, TopKCursor,
-    UniverseCursor,
+    MergeUnionCursor, NestedLoopCursor, ProfiledCursor, RowsCursor, ScanCursor, SetCursor,
+    SkipCursor, TopKCursor, UniverseCursor,
 };
 use crate::engine::{EvalOptions, EvalStats};
 use crate::ops;
 use crate::parallel;
 use crate::plan::{Plan, PlanNode};
+use crate::profile::{Profiler, QueryProfile};
 use crate::reach;
 use crate::seminaive::semi_naive_star;
 use std::borrow::Cow;
-use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 use trial_core::{Adjacency, Error, ObjectId, Permutation, Result, Triple, TripleSet, Triplestore};
 
-/// Per-node actual output cardinalities, keyed by the plan node's address
-/// (stable for the lifetime of one evaluation — the plan tree is never
-/// mutated while an executor borrows it). [`node_key`] derives the key.
-pub(crate) type NodeActuals = HashMap<usize, u64>;
-
-/// The identity of a plan node for actual-row bookkeeping.
+/// The identity of a plan node for per-node bookkeeping (actuals and wall
+/// timers): its address, stable for the lifetime of one evaluation — the
+/// plan tree is never mutated while an executor borrows it.
 pub(crate) fn node_key(node: &PlanNode) -> usize {
     node as *const PlanNode as usize
+}
+
+/// Plan nodes that perform **blocking work at cursor-construction time**
+/// (materialising an input, building a table, running a fixpoint) — the
+/// pipeline breakers whose construction latency the profiler reports as
+/// `build_us`, separate from per-row pull time.
+fn records_build_time(node: &PlanNode) -> bool {
+    matches!(
+        node,
+        PlanNode::HashJoin { .. }
+            | PlanNode::NestedLoopJoin { .. }
+            | PlanNode::Diff { .. }
+            | PlanNode::Intersect { .. }
+            | PlanNode::Complement { .. }
+            | PlanNode::StarSemiNaive { .. }
+            | PlanNode::StarReach { .. }
+            | PlanNode::Memo { .. }
+            | PlanNode::Sort { .. }
+            | PlanNode::Universe { .. }
+    )
 }
 
 /// Memo slots shared by an executor and its worker-thread siblings: one
@@ -69,34 +87,42 @@ pub(crate) struct Executor<'a> {
     store: &'a Triplestore,
     options: EvalOptions,
     memo: MemoSlots,
-    /// Actual output rows per executed node, kept only when
-    /// [`EvalOptions::collect_node_stats`] is set.
-    actuals: Option<NodeActuals>,
+    /// Per-node wall timers and actual-cardinality records, active when
+    /// [`EvalOptions::collect_node_stats`] is set (exact, stride 1) or
+    /// [`EvalOptions::profile_sample`] is positive (sampled).
+    profiler: Option<Profiler>,
 }
 
 impl<'a> Executor<'a> {
     /// Creates an executor with one empty memo slot per [`PlanNode::Memo`]
     /// in the plan.
     pub(crate) fn new(store: &'a Triplestore, options: EvalOptions, plan: &Plan) -> Self {
+        let profiler = if options.collect_node_stats {
+            Some(Profiler::new(1))
+        } else if options.profile_sample > 0 {
+            Some(Profiler::new(options.profile_sample))
+        } else {
+            None
+        };
         Executor {
             store,
             options,
             memo: Arc::new((0..plan.memo_slots).map(|_| Default::default()).collect()),
-            actuals: options.collect_node_stats.then(HashMap::new),
+            profiler,
         }
     }
 
     /// A sibling executor for evaluating an independent subtree on a worker
-    /// thread. It shares the store, options and **memo slots** (so a
-    /// repeated sub-expression is still computed exactly once, whichever
-    /// side reaches it first) and owns its own actuals map, merged back by
-    /// the coordinator after the join.
+    /// thread. It shares the store, options, **memo slots** (so a repeated
+    /// sub-expression is still computed exactly once, whichever side reaches
+    /// it first) and the **profiler** — sibling measurements land in the
+    /// same per-node timers, no merge step needed.
     fn child(&self) -> Executor<'a> {
         Executor {
             store: self.store,
             options: self.options,
             memo: Arc::clone(&self.memo),
-            actuals: self.actuals.is_some().then(HashMap::new),
+            profiler: self.profiler.clone(),
         }
     }
 
@@ -132,26 +158,64 @@ impl<'a> Executor<'a> {
         }
     }
 
-    /// Records a node's actual output cardinality (no-op unless
-    /// [`EvalOptions::collect_node_stats`] is set).
+    /// Records a node's **materialised** output cardinality (no-op unless
+    /// the profiler is active).
     fn record(&mut self, node: &PlanNode, rows: usize) {
-        if let Some(actuals) = &mut self.actuals {
-            actuals.insert(node_key(node), rows as u64);
+        if let Some(profiler) = &self.profiler {
+            profiler.timer(node_key(node)).set_mat_rows(rows as u64);
         }
     }
 
-    /// Hands back the actual-row counters collected during execution.
-    pub(crate) fn take_actuals(&mut self) -> Option<NodeActuals> {
-        self.actuals.take()
+    /// `EXPLAIN ANALYZE` actuals in plan preorder: each node's materialised
+    /// output cardinality, `None` for nodes that only executed inside a
+    /// streaming pipeline (or with the profiler off).
+    pub(crate) fn node_actuals(&self, plan: &Plan) -> Vec<Option<u64>> {
+        let nodes = plan.root.preorder();
+        match &self.profiler {
+            Some(profiler) => nodes
+                .into_iter()
+                .map(|node| profiler.mat_rows_of(node_key(node)))
+                .collect(),
+            None => vec![None; nodes.len()],
+        }
+    }
+
+    /// A read handle onto this evaluation's per-node timers, valid after the
+    /// executor (and any cursors it compiled) are gone; `None` with the
+    /// profiler off.
+    pub(crate) fn query_profile(&self, plan: &Plan) -> Option<QueryProfile> {
+        self.profiler
+            .as_ref()
+            .map(|profiler| QueryProfile::new(profiler.clone(), plan))
     }
 
     /// Compiles a plan node into a streaming cursor, materialising exactly
-    /// the pipeline-breaking inputs.
+    /// the pipeline-breaking inputs. With the profiler active every compiled
+    /// operator is wrapped in a [`ProfiledCursor`] shim, and pipeline
+    /// breakers additionally record their blocking construction work as
+    /// build time.
     pub(crate) fn cursor(
         &mut self,
         node: &PlanNode,
         stats: &mut EvalStats,
     ) -> Result<BoxCursor<'a>> {
+        let Some(profiler) = self.profiler.clone() else {
+            return self.cursor_inner(node, stats);
+        };
+        let start = Instant::now();
+        let inner = self.cursor_inner(node, stats)?;
+        let timer = profiler.timer(node_key(node));
+        if records_build_time(node) {
+            timer.add_build(start.elapsed());
+        }
+        Ok(Box::new(ProfiledCursor::new(
+            inner,
+            timer,
+            profiler.stride(),
+        )))
+    }
+
+    fn cursor_inner(&mut self, node: &PlanNode, stats: &mut EvalStats) -> Result<BoxCursor<'a>> {
         Ok(match node {
             PlanNode::IndexScan {
                 relation,
@@ -442,6 +506,28 @@ impl<'a> Executor<'a> {
         node: &PlanNode,
         parts: usize,
     ) -> Result<Option<Vec<BoxCursor<'a>>>> {
+        let morsels = self.morsel_cursors_inner(node, parts)?;
+        let Some(profiler) = self.profiler.clone() else {
+            return Ok(morsels);
+        };
+        // Every morsel instance shares the node's timer: rows and time sum
+        // across the fan-out (elapsed reads as worker time, not wall time).
+        Ok(morsels.map(|cursors| {
+            cursors
+                .into_iter()
+                .map(|cursor| {
+                    let timer = profiler.timer(node_key(node));
+                    Box::new(ProfiledCursor::new(cursor, timer, profiler.stride())) as BoxCursor<'a>
+                })
+                .collect()
+        }))
+    }
+
+    fn morsel_cursors_inner(
+        &mut self,
+        node: &PlanNode,
+        parts: usize,
+    ) -> Result<Option<Vec<BoxCursor<'a>>>> {
         Ok(match node {
             PlanNode::IndexScan {
                 relation,
@@ -504,6 +590,25 @@ impl<'a> Executor<'a> {
     /// [`SkipCursor`] that drops the already-served prefix — correct for any
     /// ordered root, linear in the rows skipped.
     pub(crate) fn cursor_seek(
+        &mut self,
+        node: &PlanNode,
+        order: Permutation,
+        after: [ObjectId; 3],
+        stats: &mut EvalStats,
+    ) -> Result<BoxCursor<'a>> {
+        let Some(profiler) = self.profiler.clone() else {
+            return self.cursor_seek_inner(node, order, after, stats);
+        };
+        let inner = self.cursor_seek_inner(node, order, after, stats)?;
+        let timer = profiler.timer(node_key(node));
+        Ok(Box::new(ProfiledCursor::new(
+            inner,
+            timer,
+            profiler.stride(),
+        )))
+    }
+
+    fn cursor_seek_inner(
         &mut self,
         node: &PlanNode,
         order: Permutation,
@@ -639,7 +744,13 @@ impl<'a> Executor<'a> {
         stats: &mut EvalStats,
         stream_limits: bool,
     ) -> Result<TripleSet> {
+        let start = self.profiler.is_some().then(Instant::now);
         let result = self.eval_set_inner(node, stats, stream_limits)?;
+        if let (Some(profiler), Some(start)) = (&self.profiler, start) {
+            // Inclusive wall time: a parent's measurement covers its
+            // children (mirroring the cursor shim's semantics).
+            profiler.timer(node_key(node)).add_full(start.elapsed());
+        }
         self.record(node, result.len());
         Ok(result)
     }
@@ -665,17 +776,13 @@ impl<'a> Executor<'a> {
             return Ok((l, r));
         }
         let mut far = self.child();
-        let (l, (r, far_actuals)) = parallel::join_pair(
+        // The sibling shares the profiler: its per-node measurements land in
+        // the same timers, so nothing needs merging back.
+        let (l, r) = parallel::join_pair(
             |stats| self.eval_mode(left, stats, stream_limits),
-            move |stats| {
-                let result = far.eval_mode(right, stats, stream_limits);
-                (result, far.take_actuals())
-            },
+            move |stats| far.eval_mode(right, stats, stream_limits),
             stats,
         );
-        if let (Some(mine), Some(theirs)) = (&mut self.actuals, far_actuals) {
-            mine.extend(theirs);
-        }
         Ok((l?, r?))
     }
 
@@ -742,11 +849,17 @@ impl<'a> Executor<'a> {
                 // partition the probe across workers when the sides are
                 // large enough.
                 let build_degree = self.degree(r.len());
+                let build_start = self.profiler.is_some().then(Instant::now);
                 let table = if build_degree > 1 {
                     ops::JoinTable::build_parallel(&r, keys, build_degree, stats)
                 } else {
                     ops::JoinTable::build(&r, keys, stats)
                 };
+                // Mirror the cursor path's breaker semantics: the blocking
+                // table construction is reported as build time.
+                if let (Some(profiler), Some(start)) = (&self.profiler, build_start) {
+                    profiler.timer(node_key(node)).add_build(start.elapsed());
+                }
                 let probe_degree = self.degree(l.len());
                 Ok(if probe_degree > 1 {
                     ops::hash_join_probe_parallel(
@@ -855,17 +968,11 @@ impl<'a> Executor<'a> {
                     self.options.threads > 1 && input.est() >= self.options.parallel_min_rows;
                 let (e, u) = if overlap {
                     let mut far = self.child();
-                    let (u, (e, far_actuals)) = parallel::join_pair(
+                    let (u, e) = parallel::join_pair(
                         |stats| ops::universe(self.store, &self.options, stats),
-                        move |stats| {
-                            let result = far.eval_mode(input, stats, stream_limits);
-                            (result, far.take_actuals())
-                        },
+                        move |stats| far.eval_mode(input, stats, stream_limits),
                         stats,
                     );
-                    if let (Some(mine), Some(theirs)) = (&mut self.actuals, far_actuals) {
-                        mine.extend(theirs);
-                    }
                     (e?, u?)
                 } else {
                     let e = recurse(self, input, stats)?;

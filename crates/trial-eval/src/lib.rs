@@ -215,17 +215,21 @@ pub mod ops;
 pub mod parallel;
 pub mod plan;
 pub mod planner;
+pub mod profile;
 pub mod reach;
 pub mod seminaive;
 
 pub use cursor::{Cursor, QueryStream};
-pub use engine::{default_threads, Engine, EvalOptions, EvalStats, Evaluation};
+pub use engine::{
+    default_profile_sample, default_threads, Engine, EvalOptions, EvalStats, Evaluation,
+};
 pub use naive::NaiveEngine;
 pub use parallel::{available_threads, Exchange};
 pub use plan::{Plan, PlanNode};
 pub use planner::{
     evaluate, evaluate_with, explain, plan_limited, plan_query, AnalyzedEvaluation, SmartEngine,
 };
+pub use profile::{NodeProfile, QueryProfile};
 
 // Compile-time thread-safety contract: `trial-server` evaluates queries with
 // a shared `SmartEngine` from many worker threads and caches `Plan`s keyed by

@@ -155,7 +155,8 @@ impl SmartEngine {
         } else {
             None
         };
-        let stream = QueryStream::new(plan, root, stats);
+        let profile = executor.query_profile(&plan);
+        let stream = QueryStream::new(plan, root, stats).with_profile(profile);
         Ok(match morsels {
             Some((cursors, peeled)) => stream.with_morsels(cursors, peeled),
             None => stream,
@@ -183,7 +184,8 @@ impl SmartEngine {
         let mut stats = EvalStats::new();
         let mut executor = Executor::new(store, self.options, &plan);
         let root = executor.cursor_seek(&plan.root, order, after, &mut stats)?;
-        Ok(QueryStream::new(plan, root, stats))
+        let profile = executor.query_profile(&plan);
+        Ok(QueryStream::new(plan, root, stats).with_profile(profile))
     }
 
     /// Evaluates `expr` with a limit pushed into the physical plan: at most
@@ -263,17 +265,16 @@ impl SmartEngine {
         } else {
             executor.run(&plan.root, &mut stats)?
         };
-        let recorded = executor.take_actuals().unwrap_or_default();
-        let actuals = plan
-            .root
-            .preorder()
-            .into_iter()
-            .map(|node| recorded.get(&crate::exec::node_key(node)).copied())
-            .collect();
+        let actuals = executor.node_actuals(&plan);
+        let profiles = executor
+            .query_profile(&plan)
+            .map(|profile| profile.snapshot())
+            .unwrap_or_default();
         Ok(AnalyzedEvaluation {
             plan,
             evaluation: Evaluation { result, stats },
             actuals,
+            profiles,
         })
     }
 
@@ -309,6 +310,12 @@ pub struct AnalyzedEvaluation {
     /// only as part of a streaming pipeline (beneath a limit boundary)
     /// rather than individually materialised.
     pub actuals: Vec<Option<u64>>,
+    /// Per-node wall-clock profiles (exact — `EXPLAIN ANALYZE` runs the
+    /// profiler at stride 1), indexed like `actuals`. Unlike an actual, a
+    /// profile's [`NodeProfile::rows`](crate::NodeProfile) is also present
+    /// for streamed nodes: it counts the rows pulled through the node's
+    /// cursor.
+    pub profiles: Vec<crate::NodeProfile>,
 }
 
 impl Engine for SmartEngine {
@@ -1982,6 +1989,62 @@ mod tests {
         let a = parallel.evaluate_analyzed(&q, &store, None).unwrap();
         assert!(a.actuals.iter().all(Option::is_some));
         assert_eq!(a.evaluation.result, engine.run(&q, &store).unwrap());
+    }
+
+    #[test]
+    fn evaluate_analyzed_reports_per_node_profiles() {
+        let store = figure1();
+        let engine = SmartEngine::new();
+        let q = queries::example2("E");
+        let analyzed = engine.evaluate_analyzed(&q, &store, None).unwrap();
+        let nodes = analyzed.plan.root.preorder();
+        assert_eq!(analyzed.profiles.len(), nodes.len());
+        // Materialised analyze: profile rows mirror the actuals exactly.
+        for (profile, actual) in analyzed.profiles.iter().zip(&analyzed.actuals) {
+            assert_eq!(profile.rows, *actual);
+        }
+        // Inclusive timing: no child can have spent longer than the root.
+        let root_us = analyzed.profiles[0].elapsed_us;
+        assert!(analyzed
+            .profiles
+            .iter()
+            .all(|p| p.elapsed_us <= root_us.max(1)));
+        // Under a limit the subtree streams: actuals are None but the
+        // profiles still report rows pulled through each cursor, and the
+        // root's streamed row count equals the limit.
+        let analyzed = engine.evaluate_analyzed(&q, &store, Some(1)).unwrap();
+        assert!(matches!(analyzed.plan.root, PlanNode::Limit { .. }));
+        assert_eq!(analyzed.profiles[0].rows, Some(1));
+        assert!(analyzed.profiles.iter().all(|p| p.rows.is_some()));
+        assert!(analyzed.actuals[1..].iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn sampled_streams_expose_query_profiles() {
+        let store = figure1();
+        let engine = SmartEngine::with_options(EvalOptions {
+            profile_sample: 2,
+            ..EvalOptions::default()
+        });
+        let q = queries::example2("E");
+        let mut stream = engine.stream(&q, &store, None).unwrap();
+        let profile = stream.profile().expect("profiler active");
+        let preorder_len = stream.plan().root.preorder().len();
+        let mut rows = 0u64;
+        while stream.next_triple().is_some() {
+            rows += 1;
+        }
+        let profiles = profile.snapshot();
+        assert_eq!(profiles.len(), preorder_len);
+        assert_eq!(profile.stride(), 2);
+        // The root cursor flushed on exhaustion: its row count is final.
+        assert_eq!(profiles[0].rows, Some(rows));
+        // With the profiler off, streams carry no handle.
+        let plain = SmartEngine::with_options(EvalOptions {
+            profile_sample: 0,
+            ..EvalOptions::default()
+        });
+        assert!(plain.stream(&q, &store, None).unwrap().profile().is_none());
     }
 
     #[test]

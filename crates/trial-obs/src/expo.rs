@@ -1,0 +1,325 @@
+//! A small parser/validator for the Prometheus text exposition format.
+//!
+//! This is the consumer half of the crate: tests and the CI scrape smoke
+//! feed `/metrics` output through [`parse`] and assert on the returned
+//! samples. Validation is deliberately strict about the invariants a real
+//! scraper relies on:
+//!
+//! - every line is `# HELP`, `# TYPE`, a sample, or blank;
+//! - a family's `# TYPE` appears before any of its samples;
+//! - sample names match their family (`_bucket`/`_sum`/`_count` suffixes
+//!   only under a `histogram` type);
+//! - histogram buckets carry `le`, are cumulative (non-decreasing), and the
+//!   `+Inf` bucket equals `_count`.
+
+use std::collections::HashMap;
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name as written (including `_bucket`/`_sum`/`_count`).
+    pub name: String,
+    /// Label pairs in source order (histogram `le` included).
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+/// A parsed exposition: samples plus the declared family types.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    /// Every sample line, in source order.
+    pub samples: Vec<Sample>,
+    /// Family name → declared type (`counter`/`gauge`/`histogram`/…).
+    pub types: HashMap<String, String>,
+}
+
+impl Exposition {
+    /// The value of the series with exactly the given labels.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .map(|s| s.value)
+    }
+
+    /// Sum of every series sharing `name` (any labels).
+    pub fn sum(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+/// The family a sample name belongs to, honouring histogram suffixes.
+fn family_of<'a>(name: &'a str, types: &HashMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(stem) = name.strip_suffix(suffix) {
+            if types.get(stem).map(String::as_str) == Some("histogram") {
+                return stem;
+            }
+        }
+    }
+    name
+}
+
+/// Parses and validates an exposition; returns the first violation as `Err`.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut expo = Exposition::default();
+    let mut helped: HashMap<String, ()> = HashMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, _) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: HELP without text"))?;
+            helped.insert(name.to_owned(), ());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {n}: TYPE without kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(format!("line {n}: unknown TYPE {kind:?}"));
+            }
+            if expo
+                .types
+                .insert(name.to_owned(), kind.to_owned())
+                .is_some()
+            {
+                return Err(format!("line {n}: duplicate TYPE for {name}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        let sample = parse_sample(line).map_err(|e| format!("line {n}: {e}"))?;
+        let family = family_of(&sample.name, &expo.types);
+        if !expo.types.contains_key(family) {
+            return Err(format!(
+                "line {n}: sample {} before its # TYPE",
+                sample.name
+            ));
+        }
+        // A histogram suffix on a non-histogram family is fine (the stem is
+        // its own family); but a histogram family must only emit suffixed
+        // samples.
+        if expo.types.get(family).map(String::as_str) == Some("histogram") && sample.name == *family
+        {
+            return Err(format!(
+                "line {n}: bare sample {family} under histogram type"
+            ));
+        }
+        expo.samples.push(sample);
+    }
+    validate_histograms(&expo)?;
+    Ok(expo)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (name_labels, value) = match line.rfind(' ') {
+        Some(idx) => (&line[..idx], &line[idx + 1..]),
+        None => return Err("sample without value".into()),
+    };
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("bad sample value {value:?}"))?;
+    let (name, labels) = match name_labels.split_once('{') {
+        Some((name, rest)) => {
+            let rest = rest
+                .strip_suffix('}')
+                .ok_or_else(|| "unterminated label set".to_owned())?;
+            (name, parse_labels(rest)?)
+        }
+        None => (name_labels, Vec::new()),
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    Ok(Sample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = text.chars().peekable();
+    loop {
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err("empty label name".into());
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key} value not quoted"));
+        }
+        let mut value = String::new();
+        let mut closed = false;
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                '"' => {
+                    closed = true;
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        if !closed {
+            return Err("unterminated label value".into());
+        }
+        labels.push((key, value));
+        match chars.next() {
+            None => return Ok(labels),
+            Some(',') => continue,
+            Some(c) => return Err(format!("unexpected {c:?} after label value")),
+        }
+    }
+}
+
+/// Checks bucket monotonicity and `+Inf == _count` for every histogram
+/// series, grouping by label set (minus `le`).
+fn validate_histograms(expo: &Exposition) -> Result<(), String> {
+    let histograms: Vec<&String> = expo
+        .types
+        .iter()
+        .filter(|(_, kind)| kind.as_str() == "histogram")
+        .map(|(name, _)| name)
+        .collect();
+    for name in histograms {
+        let bucket_name = format!("{name}_bucket");
+        let count_name = format!("{name}_count");
+        // Group buckets by their non-`le` label signature.
+        type BucketGroup = (Vec<(String, String)>, Vec<(String, f64)>);
+        let mut groups: Vec<BucketGroup> = Vec::new();
+        for sample in expo.samples.iter().filter(|s| s.name == bucket_name) {
+            let mut sig = sample.labels.clone();
+            let le = match sig.iter().position(|(k, _)| k == "le") {
+                Some(idx) => sig.remove(idx).1,
+                None => return Err(format!("{bucket_name} sample without le label")),
+            };
+            match groups.iter_mut().find(|(s, _)| *s == sig) {
+                Some((_, buckets)) => buckets.push((le, sample.value)),
+                None => groups.push((sig, vec![(le, sample.value)])),
+            }
+        }
+        for (sig, buckets) in groups {
+            let mut prev = 0.0;
+            let mut inf = None;
+            for (le, value) in &buckets {
+                if *value < prev {
+                    return Err(format!("{bucket_name}{sig:?}: buckets not cumulative"));
+                }
+                prev = *value;
+                if le == "+Inf" {
+                    inf = Some(*value);
+                }
+            }
+            let inf = inf.ok_or_else(|| format!("{bucket_name}{sig:?}: missing +Inf bucket"))?;
+            let sig_refs: Vec<(&str, &str)> =
+                sig.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            let count = expo
+                .value(&count_name, &sig_refs)
+                .ok_or_else(|| format!("{count_name}{sig:?}: missing"))?;
+            if (inf - count).abs() > f64::EPSILON {
+                return Err(format!(
+                    "{bucket_name}{sig:?}: +Inf ({inf}) != count ({count})"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_exposition() {
+        let text = "\
+# HELP trial_x_total Things.
+# TYPE trial_x_total counter
+trial_x_total{op=\"scan\"} 3
+trial_x_total{op=\"join\"} 1
+";
+        let expo = parse(text).unwrap();
+        assert_eq!(expo.value("trial_x_total", &[("op", "scan")]), Some(3.0));
+        assert_eq!(expo.sum("trial_x_total"), 4.0);
+        assert_eq!(expo.types["trial_x_total"], "counter");
+    }
+
+    #[test]
+    fn rejects_sample_before_type() {
+        let err = parse("trial_x 1\n").unwrap_err();
+        assert!(err.contains("before its # TYPE"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_cumulative_histogram() {
+        let text = "\
+# TYPE trial_h histogram
+trial_h_bucket{le=\"10\"} 5
+trial_h_bucket{le=\"100\"} 3
+trial_h_bucket{le=\"+Inf\"} 5
+trial_h_sum 1
+trial_h_count 5
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("not cumulative"), "{err}");
+    }
+
+    #[test]
+    fn rejects_inf_count_mismatch() {
+        let text = "\
+# TYPE trial_h histogram
+trial_h_bucket{le=\"+Inf\"} 5
+trial_h_sum 1
+trial_h_count 4
+";
+        let err = parse(text).unwrap_err();
+        assert!(err.contains("!= count"), "{err}");
+    }
+
+    #[test]
+    fn parses_escaped_label_values() {
+        let text = "\
+# TYPE trial_q_total counter
+trial_q_total{query=\"a\\\"b\\\\c\\nd\"} 1
+";
+        let expo = parse(text).unwrap();
+        assert_eq!(expo.samples[0].labels[0].1, "a\"b\\c\nd".to_owned());
+    }
+}

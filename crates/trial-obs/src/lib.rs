@@ -1,0 +1,642 @@
+//! Lock-cheap observability primitives for the TriAL engine.
+//!
+//! The crate provides exactly three instrument kinds — [`Counter`],
+//! [`Gauge`] and fixed-bucket [`Histogram`] — plus a [`Registry`] that owns
+//! them by `(name, labels)` and renders the whole collection in the
+//! Prometheus text exposition format. There are no dependencies: everything
+//! is `std` atomics, and the only lock in the crate (the registry's family
+//! list) is taken at registration and render time, never on the hot path.
+//! Handles returned by the registry are plain `Arc`s; recording a sample is
+//! one or two relaxed atomic adds.
+//!
+//! Two extra registration forms, [`Registry::counter_fn`] and
+//! [`Registry::gauge_fn`], expose *existing* counters (a cache's hit count,
+//! an admission semaphore's live depth) through a closure read at scrape
+//! time. This is how the server keeps `/healthz` and `/metrics` from ever
+//! disagreeing: both surfaces read the same underlying atomic.
+//!
+//! [`expo`] contains a small parser/validator for the exposition format,
+//! used by tests and the CI scrape smoke to assert `/metrics` output is
+//! well-formed (TYPE before samples, cumulative histogram buckets, `+Inf`
+//! bucket equals `_count`, …).
+//!
+//! Metric naming follows the Prometheus conventions: `trial_` prefix,
+//! `snake_case`, unit suffix (`_us`, `_total`) — e.g.
+//! `trial_request_duration_us` or `trial_eval_hash_tables_built_total`.
+
+pub mod expo;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Log-scaled latency buckets in microseconds: 50µs … 10s.
+///
+/// The 1–2.5–5 ladder keeps relative error under ~2.5× per bucket across
+/// five decades, which is enough to tell a cache hit (double-digit µs) from
+/// a morsel-parallel scan (ms) from a saturated fixpoint (hundreds of ms).
+pub const LATENCY_BUCKETS_US: &[u64] = &[
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// Decade buckets for row counts: 1 … 1M rows.
+pub const ROW_BUCKETS: &[u64] = &[1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can move both ways (or track a high watermark).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Sets the gauge to `v`.
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger (high-watermark semantics).
+    pub fn set_max(&self, v: u64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtracts `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let mut current = self.value.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(n);
+            match self.value.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket histogram over `u64` observations.
+///
+/// Bucket bounds are inclusive upper bounds in ascending order; an implicit
+/// `+Inf` bucket catches everything above the last bound. Observation is
+/// two relaxed atomic adds plus a branchless scan over the (small, fixed)
+/// bound slice — no locks, no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            // One extra bucket for +Inf.
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// `(upper_bound, cumulative_count)` per finite bucket, ascending.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut acc = 0;
+        self.bounds
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                acc += self.buckets[i].load(Ordering::Relaxed);
+                (b, acc)
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    CounterFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    Gauge(Arc<Gauge>),
+    GaugeFn(Box<dyn Fn() -> u64 + Send + Sync>),
+    Histogram(Arc<Histogram>),
+}
+
+impl std::fmt::Debug for Instrument {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Instrument::Counter(_) => "Counter",
+            Instrument::CounterFn(_) => "CounterFn",
+            Instrument::Gauge(_) => "Gauge",
+            Instrument::GaugeFn(_) => "GaugeFn",
+            Instrument::Histogram(_) => "Histogram",
+        };
+        f.write_str(name)
+    }
+}
+
+#[derive(Debug)]
+struct Series {
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<Series>,
+}
+
+/// Owns every registered metric family and renders them for scraping.
+///
+/// Registration is get-or-create on `(name, labels)`: asking twice for the
+/// same series returns the same handle, so call sites don't need to thread
+/// `Arc`s around. Registering a name under two different kinds panics —
+/// that is a programming error, not an operational condition.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        && !name.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn labels_owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect()
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register<T, F, G>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        reuse: F,
+        create: G,
+    ) -> T
+    where
+        F: Fn(&Instrument) -> Option<T>,
+        G: FnOnce() -> (Instrument, T),
+    {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        assert!(
+            labels.iter().all(|(k, _)| valid_name(k)),
+            "invalid label name in {labels:?}"
+        );
+        let mut families = self
+            .families
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(family) => {
+                assert!(
+                    family.kind == kind,
+                    "metric {name} already registered as {}",
+                    family.kind.as_str()
+                );
+                family
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_owned(),
+                    help: help.to_owned(),
+                    kind,
+                    series: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        let owned = labels_owned(labels);
+        if let Some(series) = family.series.iter().find(|s| s.labels == owned) {
+            if let Some(handle) = reuse(&series.instrument) {
+                return handle;
+            }
+            panic!("metric {name}{labels:?} already registered with a different backing");
+        }
+        let (instrument, handle) = create();
+        family.series.push(Series {
+            labels: owned,
+            instrument,
+        });
+        handle
+    }
+
+    /// Gets or creates a counter series.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.register(
+            name,
+            help,
+            labels,
+            Kind::Counter,
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (Instrument::Counter(Arc::clone(&c)), c)
+            },
+        )
+    }
+
+    /// Gets or creates a gauge series.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.register(
+            name,
+            help,
+            labels,
+            Kind::Gauge,
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (Instrument::Gauge(Arc::clone(&g)), g)
+            },
+        )
+    }
+
+    /// Gets or creates a histogram series with the given bucket bounds.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[u64],
+    ) -> Arc<Histogram> {
+        self.register(
+            name,
+            help,
+            labels,
+            Kind::Histogram,
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new(bounds));
+                (Instrument::Histogram(Arc::clone(&h)), h)
+            },
+        )
+    }
+
+    /// Registers a counter whose value is read from `f` at scrape time.
+    ///
+    /// For exposing counters that already live elsewhere (cache hits,
+    /// admission totals) without double-counting: `/metrics` and any other
+    /// surface read the same source. `f` must be monotonic.
+    pub fn counter_fn<F>(&self, name: &str, help: &str, labels: &[(&str, &str)], f: F)
+    where
+        F: Fn() -> u64 + Send + Sync + 'static,
+    {
+        self.register(
+            name,
+            help,
+            labels,
+            Kind::Counter,
+            |i| match i {
+                Instrument::CounterFn(_) => Some(()),
+                _ => None,
+            },
+            move || (Instrument::CounterFn(Box::new(f)), ()),
+        )
+    }
+
+    /// Registers a gauge whose value is read from `f` at scrape time.
+    pub fn gauge_fn<F>(&self, name: &str, help: &str, labels: &[(&str, &str)], f: F)
+    where
+        F: Fn() -> u64 + Send + Sync + 'static,
+    {
+        self.register(
+            name,
+            help,
+            labels,
+            Kind::Gauge,
+            |i| match i {
+                Instrument::GaugeFn(_) => Some(()),
+                _ => None,
+            },
+            move || (Instrument::GaugeFn(Box::new(f)), ()),
+        )
+    }
+
+    /// Renders every family in the Prometheus text exposition format.
+    ///
+    /// Families appear in registration order; series within a family in
+    /// their own registration order — the output is deterministic.
+    pub fn render(&self) -> String {
+        let families = self
+            .families
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut out = String::with_capacity(4096);
+        for family in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(&escape_help(&family.help));
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for series in &family.series {
+                render_series(&mut out, &family.name, series);
+            }
+        }
+        out
+    }
+}
+
+fn render_series(out: &mut String, name: &str, series: &Series) {
+    match &series.instrument {
+        Instrument::Counter(c) => render_sample(out, name, &series.labels, &[], c.get()),
+        Instrument::CounterFn(f) => render_sample(out, name, &series.labels, &[], f()),
+        Instrument::Gauge(g) => render_sample(out, name, &series.labels, &[], g.get()),
+        Instrument::GaugeFn(f) => render_sample(out, name, &series.labels, &[], f()),
+        Instrument::Histogram(h) => {
+            let mut cumulative = 0;
+            for (bound, count) in h.cumulative() {
+                cumulative = count;
+                render_sample(
+                    out,
+                    &format!("{name}_bucket"),
+                    &series.labels,
+                    &[("le", &bound.to_string())],
+                    cumulative,
+                );
+            }
+            let total = h.count();
+            debug_assert!(total >= cumulative);
+            render_sample(
+                out,
+                &format!("{name}_bucket"),
+                &series.labels,
+                &[("le", "+Inf")],
+                total,
+            );
+            render_sample(out, &format!("{name}_sum"), &series.labels, &[], h.sum());
+            render_sample(out, &format!("{name}_count"), &series.labels, &[], total);
+        }
+    }
+}
+
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    extra: &[(&str, &str)],
+    value: u64,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (k, v) in labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_label(v));
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&value.to_string());
+    out.push('\n');
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_record() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::new();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.sub(100);
+        assert_eq!(g.get(), 0);
+        g.set_max(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for v in [5, 10, 11, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 5126);
+        assert_eq!(h.cumulative(), vec![(10, 2), (100, 4), (1000, 4)]);
+    }
+
+    #[test]
+    fn registry_get_or_create_returns_same_handle() {
+        let r = Registry::new();
+        let a = r.counter("trial_x_total", "x", &[("op", "scan")]);
+        let b = r.counter("trial_x_total", "x", &[("op", "scan")]);
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let other = r.counter("trial_x_total", "x", &[("op", "join")]);
+        assert_eq!(other.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("trial_x", "x", &[]);
+        r.gauge("trial_x", "x", &[]);
+    }
+
+    #[test]
+    fn render_is_valid_exposition() {
+        let r = Registry::new();
+        let c = r.counter(
+            "trial_requests_total",
+            "Requests served.",
+            &[("endpoint", "query")],
+        );
+        c.add(3);
+        let g = r.gauge("trial_in_flight", "Live requests.", &[]);
+        g.set(2);
+        r.gauge_fn("trial_uptime_seconds", "Uptime.", &[], || 42);
+        let h = r.histogram(
+            "trial_latency_us",
+            "Latency.",
+            &[("endpoint", "query")],
+            &[100, 1000],
+        );
+        h.observe(50);
+        h.observe(5000);
+
+        let text = r.render();
+        let expo = expo::parse(&text).expect("valid exposition");
+        assert_eq!(
+            expo.value("trial_requests_total", &[("endpoint", "query")]),
+            Some(3.0)
+        );
+        assert_eq!(expo.value("trial_in_flight", &[]), Some(2.0));
+        assert_eq!(expo.value("trial_uptime_seconds", &[]), Some(42.0));
+        assert_eq!(
+            expo.value(
+                "trial_latency_us_bucket",
+                &[("endpoint", "query"), ("le", "+Inf")]
+            ),
+            Some(2.0)
+        );
+        assert_eq!(
+            expo.value("trial_latency_us_count", &[("endpoint", "query")]),
+            Some(2.0)
+        );
+        assert_eq!(
+            expo.value("trial_latency_us_sum", &[("endpoint", "query")]),
+            Some(5050.0)
+        );
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        let c = r.counter("trial_q_total", "q", &[("query", "a\"b\\c")]);
+        c.inc();
+        let text = r.render();
+        assert!(text.contains("query=\"a\\\"b\\\\c\""), "{text}");
+        expo::parse(&text).expect("escaped labels still parse");
+    }
+}

@@ -29,16 +29,27 @@ OPTIONS:
     --max-body <BYTES>   request body limit            [default: 8388608]
     --max-universe <N>   universal-relation cap        [default: 1000000]
     --max-rounds <N>     fixpoint-round cap per star   [default: 10000]
+    --profile-sample <N> per-operator profiling stride: time every N-th
+                         cursor pull (0 = off outside ?analyze=1; also
+                         settable via TRIAL_PROFILE_SAMPLE)  [default: 0]
+    --flight-slots <N>   flight-recorder capacity (slowest + errored spans
+                         each; 0 disables /debug/slow)       [default: 16]
+    --no-obs             disable request tracing and latency histograms
+                         (service counters and /metrics itself stay live)
     -h, --help           print this help
 
 ENDPOINTS:
-    POST /query    TriAL expression (plain text) -> JSON triples + stats
-                   (?limit=, ?threads=)
-    POST /explain  TriAL expression -> rendered physical plan; ?analyze=1
-                   also runs it and reports actual vs estimated rows
-    POST /load     N-Triples document (?store=, ?relation=) -> new epoch
-    GET  /stores   store inventory
-    GET  /healthz  liveness + eval-thread & cache counters
+    POST /query       TriAL expression (plain text) -> JSON triples + stats
+                      (?limit=, ?threads=)
+    POST /explain     TriAL expression -> rendered physical plan; ?analyze=1
+                      also runs it and reports actual rows + per-node
+                      elapsed_us next to the estimates
+    POST /load        N-Triples document (?store=, ?relation=) -> new epoch
+    GET  /stores      store inventory
+    GET  /healthz     liveness + eval-thread & cache counters
+    GET  /metrics     Prometheus text exposition of every server metric
+    GET  /debug/slow  slow-query flight recorder: phase-timed span records
+                      for the slowest and all errored/shed requests
 ";
 
 fn main() -> ExitCode {
@@ -95,6 +106,14 @@ fn run() -> Result<ExitCode, String> {
                 config.eval.max_fixpoint_rounds =
                     parse_num(&take_value(&args, &mut i)?, "--max-rounds")?
             }
+            "--profile-sample" => {
+                config.eval.profile_sample =
+                    parse_num(&take_value(&args, &mut i)?, "--profile-sample")?
+            }
+            "--flight-slots" => {
+                config.flight_slots = parse_num(&take_value(&args, &mut i)?, "--flight-slots")?
+            }
+            "--no-obs" => config.observe = false,
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
         i += 1;

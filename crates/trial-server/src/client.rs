@@ -70,11 +70,22 @@ pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<HttpResponse
 
 /// Issues a single request on a fresh connection and reads the response.
 pub fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+    request_with(addr, method, path, body, &[])
+}
+
+/// [`request`] with extra request headers (e.g. `X-Request-Id`).
+pub fn request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+) -> io::Result<HttpResponse> {
     let stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
-    write_request(&mut writer, method, path, body, true)?;
+    write_request(&mut writer, method, path, body, true, headers)?;
     let mut reader = BufReader::new(stream);
     let (response, _server_closes) = read_response(&mut reader)?;
     Ok(response)
@@ -118,8 +129,19 @@ impl HttpClient {
 
     /// Issues one request, reusing the connection when possible.
     pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request_with(method, path, body, &[])
+    }
+
+    /// [`HttpClient::request`] with extra request headers.
+    pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<HttpResponse> {
         let reused = self.conn.is_some();
-        match self.request_once(method, path, body) {
+        match self.request_once(method, path, body, headers) {
             Ok(response) => Ok(response),
             Err(e) if reused => {
                 // The idle socket died between requests (server timeout,
@@ -127,13 +149,19 @@ impl HttpClient {
                 // mid-fresh-request is real and propagates.
                 let _ = e;
                 self.conn = None;
-                self.request_once(method, path, body)
+                self.request_once(method, path, body, headers)
             }
             Err(e) => Err(e),
         }
     }
 
-    fn request_once(&mut self, method: &str, path: &str, body: &str) -> io::Result<HttpResponse> {
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<HttpResponse> {
         if self.conn.is_none() {
             let stream = TcpStream::connect(self.addr)?;
             stream.set_read_timeout(Some(self.read_timeout))?;
@@ -142,7 +170,7 @@ impl HttpClient {
         }
         let reader = self.conn.as_mut().expect("connection just ensured");
         let mut writer = reader.get_ref().try_clone()?;
-        let outcome = write_request(&mut writer, method, path, body, false)
+        let outcome = write_request(&mut writer, method, path, body, false, headers)
             .and_then(|()| read_response(reader));
         match outcome {
             Ok((response, server_closes)) => {
@@ -165,13 +193,18 @@ fn write_request(
     path: &str,
     body: &str,
     close: bool,
+    headers: &[(&str, &str)],
 ) -> io::Result<()> {
     write!(
         writer,
-        "{method} {path} HTTP/1.1\r\nHost: trial\r\nConnection: {}\r\nContent-Length: {}\r\n\r\n",
+        "{method} {path} HTTP/1.1\r\nHost: trial\r\nConnection: {}\r\nContent-Length: {}\r\n",
         if close { "close" } else { "keep-alive" },
         body.len()
     )?;
+    for (name, value) in headers {
+        write!(writer, "{name}: {value}\r\n")?;
+    }
+    writer.write_all(b"\r\n")?;
     writer.write_all(body.as_bytes())?;
     writer.flush()
 }
@@ -225,7 +258,10 @@ fn read_response<R: BufRead>(reader: &mut R) -> io::Result<(HttpResponse, bool)>
     }
 
     if chunked {
-        let (body, trailers) = read_chunked(reader)?;
+        // Surface the pre-body headers (e.g. `X-Request-Id`) through the
+        // same lookup as the trailers that follow the terminal chunk.
+        let (body, mut trailers) = read_chunked(reader)?;
+        trailers.extend(headers);
         return Ok((
             HttpResponse {
                 status,
@@ -384,7 +420,8 @@ mod tests {
         // parses back.
         let mut wire = Vec::new();
         let mut writer =
-            crate::http::ChunkedWriter::begin(&mut wire, 200, false, &["X-Trial-Count"]).unwrap();
+            crate::http::ChunkedWriter::begin(&mut wire, 200, false, &["X-Trial-Count"], None)
+                .unwrap();
         writer.write_text("{\"triples\":[").unwrap();
         writer.write_text("[\"a\",\"b\",\"c\"]]}").unwrap();
         writer.finish(&[("X-Trial-Count", "1".to_owned())]).unwrap();

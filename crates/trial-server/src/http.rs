@@ -32,6 +32,12 @@ pub struct Request {
     pub body: Vec<u8>,
     /// `true` if the client asked for `Connection: close`.
     pub close: bool,
+    /// The client-supplied `X-Request-Id` header, if it was present and
+    /// well-formed (≤ 64 chars of `[A-Za-z0-9._-]`). The router generates an
+    /// ID when absent; either way the ID is echoed on the response and keyed
+    /// into the flight recorder, so a request can be correlated across
+    /// client logs, server traces and `/debug/slow`.
+    pub request_id: Option<String>,
 }
 
 impl Request {
@@ -206,6 +212,16 @@ pub fn read_request<R: BufRead, W: Write>(
         .map(|v| v.eq_ignore_ascii_case("close"))
         .unwrap_or(false);
 
+    let request_id = headers
+        .get("x-request-id")
+        .filter(|v| {
+            !v.is_empty()
+                && v.len() <= 64
+                && v.bytes()
+                    .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+        })
+        .cloned();
+
     let (path, params) = parse_target(&target);
     Ok(ReadOutcome::Request(Request {
         method,
@@ -213,6 +229,7 @@ pub fn read_request<R: BufRead, W: Write>(
         params,
         body,
         close,
+        request_id,
     }))
 }
 
@@ -270,26 +287,27 @@ pub fn percent_decode(s: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-/// An HTTP response: status plus JSON body (every endpoint speaks JSON).
+/// An HTTP response: status plus body (JSON on every endpoint except
+/// `/metrics`, which speaks the Prometheus text exposition format).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
-    /// Response body (JSON text).
+    /// Response body.
     pub body: String,
     /// Optional `Retry-After` header value in seconds — set on `429` when
     /// admission control turns a request away.
     pub retry_after: Option<u64>,
+    /// `Content-Type` of the body (default `application/json`).
+    pub content_type: &'static str,
+    /// Request ID echoed back as the `X-Request-Id` header.
+    pub request_id: Option<String>,
 }
 
 impl Response {
     /// A `200 OK` response.
     pub fn ok(body: String) -> Response {
-        Response {
-            status: 200,
-            body,
-            retry_after: None,
-        }
+        Response::new(200, body)
     }
 
     /// A response with `status` and `body` and no extra headers.
@@ -298,6 +316,17 @@ impl Response {
             status,
             body,
             retry_after: None,
+            content_type: "application/json",
+            request_id: None,
+        }
+    }
+
+    /// A `200 OK` response with an explicit content type (the `/metrics`
+    /// exposition is `text/plain`).
+    pub fn with_content_type(body: String, content_type: &'static str) -> Response {
+        Response {
+            content_type,
+            ..Response::new(200, body)
         }
     }
 }
@@ -329,14 +358,18 @@ pub fn write_response<W: Write>(
     let connection = if close { "close" } else { "keep-alive" };
     write!(
         writer,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_text(response.status),
+        response.content_type,
         response.body.len(),
         connection
     )?;
     if let Some(seconds) = response.retry_after {
         write!(writer, "Retry-After: {seconds}\r\n")?;
+    }
+    if let Some(id) = &response.request_id {
+        write!(writer, "X-Request-Id: {id}\r\n")?;
     }
     writer.write_all(b"\r\n")?;
     writer.write_all(response.body.as_bytes())?;
@@ -372,12 +405,14 @@ pub struct ChunkedWriter<'w, W: Write> {
 
 impl<'w, W: Write> ChunkedWriter<'w, W> {
     /// Writes and flushes the chunked response head, declaring `trailers`
-    /// (header names sent after the body), and returns the body writer.
+    /// (header names sent after the body) and echoing `request_id` as the
+    /// `X-Request-Id` header, and returns the body writer.
     pub fn begin(
         writer: &'w mut W,
         status: u16,
         close: bool,
         trailers: &[&str],
+        request_id: Option<&str>,
     ) -> io::Result<Self> {
         let connection = if close { "close" } else { "keep-alive" };
         write!(
@@ -387,6 +422,9 @@ impl<'w, W: Write> ChunkedWriter<'w, W> {
             status_text(status),
             connection
         )?;
+        if let Some(id) = request_id {
+            write!(writer, "X-Request-Id: {id}\r\n")?;
+        }
         if !trailers.is_empty() {
             write!(writer, "Trailer: {}\r\n", trailers.join(", "))?;
         }
@@ -593,13 +631,15 @@ mod tests {
     #[test]
     fn chunked_responses_frame_body_and_trailers() {
         let mut out = Vec::new();
-        let mut writer = ChunkedWriter::begin(&mut out, 200, false, &["X-Count"]).unwrap();
+        let mut writer =
+            ChunkedWriter::begin(&mut out, 200, false, &["X-Count"], Some("req-1")).unwrap();
         writer.write_text("{\"rows\":[").unwrap();
         writer.write_text("1,2,3]}").unwrap();
         writer.finish(&[("X-Count", "3".into())]).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(text.contains("X-Request-Id: req-1\r\n"));
         assert!(text.contains("Trailer: X-Count\r\n"));
         assert!(text.contains("Connection: keep-alive\r\n"));
         assert!(!text.contains("Content-Length"));
@@ -612,7 +652,7 @@ mod tests {
     #[test]
     fn chunked_writer_flushes_at_the_chunk_size() {
         let mut out = Vec::new();
-        let mut writer = ChunkedWriter::begin(&mut out, 200, true, &[]).unwrap();
+        let mut writer = ChunkedWriter::begin(&mut out, 200, true, &[], None).unwrap();
         let big = "x".repeat(CHUNK_BYTES + 10);
         writer.write_text(&big).unwrap();
         // The full buffer was flushed as one chunk the moment it crossed the

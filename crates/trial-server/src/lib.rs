@@ -143,6 +143,54 @@
 //! curl -s localhost:7878/healthz
 //! ```
 //!
+//! ## Observability
+//!
+//! The server is instrumented end to end with the std-only `trial-obs`
+//! registry — atomic counters, gauges and fixed-bucket histograms, rendered
+//! in Prometheus text exposition format:
+//!
+//! ```bash
+//! # Every server metric, scrape-ready (text/plain; version=0.0.4).
+//! curl -s localhost:7878/metrics
+//!
+//! # The slow-query flight recorder: phase-timed span records (with plan
+//! # and per-operator timings) for the N slowest requests plus every
+//! # errored or shed one.
+//! curl -s localhost:7878/debug/slow
+//! ```
+//!
+//! **Naming conventions.** Metrics are prefixed `trial_`; counters end in
+//! `_total`, durations are histograms in microseconds ending in `_us`
+//! (log-scaled buckets 50µs–10s), row-count histograms use power-of-ten
+//! buckets. Cardinality rides in labels: `trial_requests_total{endpoint,
+//! status}` (status is the class, `2xx`/`4xx`/`5xx`),
+//! `trial_request_duration_us{endpoint}`, `trial_phase_duration_us{phase}`
+//! for the five request phases (`parse`, `plan`, `admission`, `eval`,
+//! `serialize`), `trial_errors_total{kind}` for structured error kinds.
+//! Engine work counters surface as `trial_eval_hash_tables_built_total`,
+//! `trial_eval_parallel_morsels_total` and the
+//! `trial_eval_topk_buffered_peak` high-water gauge. `/healthz` and
+//! `/metrics` read the *same* registry-owned counters and the same
+//! cache/admission structs, so the two surfaces cannot disagree.
+//!
+//! **Request IDs.** Every response carries an `X-Request-Id` header — the
+//! client's own (when it sent a well-formed one, ≤ 64 chars of
+//! `[A-Za-z0-9._-]`) or a generated one — on buffered and chunked responses
+//! alike, and the same ID keys the span in `/debug/slow`:
+//!
+//! ```bash
+//! curl -s -H "X-Request-Id: deploy-42" localhost:7878/query -d "E" -i
+//! ```
+//!
+//! **Per-operator timing.** `/explain?analyze=1` reports `elapsed_us` (and
+//! `build_us` for breakers) on every node of the structured `tree`, next to
+//! the estimated and actual rows. Outside analyze, per-node timing is off
+//! unless sampled: `trial-serve --profile-sample N` (or the
+//! `TRIAL_PROFILE_SAMPLE` env var) times every N-th cursor pull and spans
+//! in `/debug/slow` then carry node timings too. `--no-obs` turns off
+//! tracing and latency histograms entirely for overhead-sensitive
+//! deployments; service counters and `/metrics` itself stay live.
+//!
 //! ## Architecture
 //!
 //! * **[`registry`]** — named stores as epoch-versioned immutable snapshots
@@ -162,6 +210,12 @@
 //!   `(store, epoch, order, last row key)` with an integrity checksum,
 //!   minted as `X-Trial-Cursor` trailers and validated before any bytes
 //!   stream.
+//! * **[`metrics`]** — the server's `trial-obs` registry wiring: owned
+//!   service counters (read by both `/healthz` and `/metrics`), fn-backed
+//!   gauges over the cache/admission/registry structs, per-endpoint and
+//!   per-phase latency histograms.
+//! * **[`trace`]** — request IDs, phase-timed spans and the bounded
+//!   flight recorder behind `GET /debug/slow`.
 //! * **[`server`]** — listener + fixed worker pool with keep-alive
 //!   connections and graceful shutdown; [`Server::spawn_ephemeral`] gives
 //!   tests and benches an in-process instance on a free port.
@@ -200,19 +254,23 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod preload;
 pub mod registry;
 pub mod routes;
 pub mod server;
 pub mod token;
+pub mod trace;
 
 pub use admission::{Admission, AdmissionPermit};
 pub use cache::{CacheKey, PrefixCache, PrefixEntry, PrefixKey, QueryCache, QueryKind};
+pub use metrics::Metrics;
 pub use preload::{preload_workload, WORKLOAD_NAMES};
 pub use registry::{StoreRegistry, StoreSnapshot};
 pub use routes::MAX_EVAL_THREADS;
 pub use server::{Server, ServerConfig};
 pub use token::CursorToken;
+pub use trace::{next_request_id, FlightRecorder, Span};
 
 // The server hands `Arc<ServerState>` and store snapshots across worker
 // threads; these mirror the assertions in trial-core / trial-eval at the

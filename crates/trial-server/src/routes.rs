@@ -1,4 +1,4 @@
-//! Request routing and the five endpoint handlers.
+//! Request routing and the endpoint handlers.
 //!
 //! | Endpoint        | Method | Body        | Purpose                                  |
 //! |-----------------|--------|-------------|------------------------------------------|
@@ -7,6 +7,8 @@
 //! | `/load`         | POST   | N-Triples   | (re)build a named store copy-on-write    |
 //! | `/stores`       | GET    | —           | per-store name/epoch/size statistics     |
 //! | `/healthz`      | GET    | —           | liveness + service & cache counters      |
+//! | `/metrics`      | GET    | —           | Prometheus text exposition of all metrics|
+//! | `/debug/slow`   | GET    | —           | slow-query flight recorder (span trees)  |
 //!
 //! Request options ride in the query string (`?store=`, `?relation=`,
 //! `?limit=`, `?threads=`, `?analyze=`, `?order=`, `?topk=`); bodies are
@@ -58,12 +60,12 @@ use crate::json::{self, ArrayStream, JsonObject};
 use crate::registry::StoreSnapshot;
 use crate::server::ServerState;
 use crate::token::CursorToken;
+use crate::trace::{self, Span, Trace};
 use std::io::{self, Write};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 use trial_core::{Error, Expr, Permutation, Triplestore, TriplestoreBuilder, Value};
-use trial_eval::{EvalStats, SmartEngine};
+use trial_eval::{EvalStats, NodeProfile, SmartEngine};
 use trial_rdf::{parse_ntriples_iter, Term};
 
 /// Default cap on the number of triples included in a `/query` response
@@ -114,14 +116,85 @@ pub(crate) enum Routed {
 }
 
 /// Dispatches a request to its handler.
+///
+/// Every request gets a trace here: its ID (client-supplied `X-Request-Id`
+/// or generated) is echoed on the response, and the finished span feeds the
+/// per-endpoint metrics and the flight recorder. Buffered responses
+/// finalize before returning; streaming jobs carry their trace and
+/// finalize when the chunked response completes.
 pub(crate) fn route(state: &ServerState, req: &Request) -> Routed {
+    let request_id = req
+        .request_id
+        .clone()
+        .unwrap_or_else(trace::next_request_id);
+    let mut trace = Trace::begin(request_id, &req.method, &req.path, state.observe);
     if req.method == "POST" && req.path == "/query" && wants_stream(req) {
-        return match streaming_query(state, req) {
-            Ok(job) => Routed::Stream(Box::new(job)),
-            Err(response) => Routed::Buffered(*response),
+        trace.set_streamed();
+        return match streaming_query(state, req, &mut trace) {
+            Ok(mut job) => {
+                job.trace = Some(trace);
+                Routed::Stream(Box::new(job))
+            }
+            Err(response) => Routed::Buffered(finalize(state, trace, *response, "query")),
         };
     }
-    Routed::Buffered(route_buffered(state, req))
+    let endpoint = endpoint_label(&req.path);
+    let response = route_buffered(state, req, &mut trace);
+    Routed::Buffered(finalize(state, trace, response, endpoint))
+}
+
+/// The bounded `endpoint` label value for a request path.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/query" => "query",
+        "/explain" => "explain",
+        "/load" => "load",
+        "/stores" => "stores",
+        "/healthz" => "healthz",
+        "/metrics" => "metrics",
+        "/debug/slow" => "debug_slow",
+        _ => "other",
+    }
+}
+
+/// Extracts the structured error kind from an [`error_body`] rendering.
+/// The kind is always the first field, so a prefix match suffices (kinds
+/// are a fixed vocabulary without escapes).
+fn error_kind_of(body: &str) -> Option<String> {
+    let rest = body.strip_prefix("{\"error\":{\"kind\":\"")?;
+    Some(rest[..rest.find('"')?].to_owned())
+}
+
+/// Completes a buffered request: echoes the request ID, counts sheds and
+/// structured errors, records the per-endpoint latency sample and files the
+/// span with the flight recorder (every errored/shed request is retained;
+/// successes compete for the slowest slots).
+fn finalize(
+    state: &ServerState,
+    trace: Trace,
+    mut response: Response,
+    endpoint: &'static str,
+) -> Response {
+    if response.status == 429 {
+        state.metrics.queries_shed.inc();
+    }
+    let kind = (response.status >= 400)
+        .then(|| error_kind_of(&response.body))
+        .flatten();
+    if let Some(kind) = &kind {
+        state.metrics.observe_error(kind);
+    }
+    response.request_id = Some(trace.request_id().to_owned());
+    if let Some(span) = trace.finish(response.status, kind) {
+        state
+            .metrics
+            .observe_request(endpoint, span.status, span.total_us);
+        for (phase, us) in &span.phases {
+            state.metrics.observe_phase(phase, *us);
+        }
+        state.recorder.record(span);
+    }
+    response
 }
 
 /// `?stream=1` opts into chunked streaming; presenting a pagination cursor
@@ -131,14 +204,19 @@ fn wants_stream(req: &Request) -> bool {
 }
 
 /// Dispatches a request to its buffered handler.
-fn route_buffered(state: &ServerState, req: &Request) -> Response {
+fn route_buffered(state: &ServerState, req: &Request, trace: &mut Trace) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => healthz(state),
         ("GET", "/stores") => stores(state),
-        ("POST", "/query") => query(state, req, QueryKind::Query),
-        ("POST", "/explain") => query(state, req, QueryKind::Explain),
+        ("GET", "/metrics") => metrics_text(state),
+        ("GET", "/debug/slow") => debug_slow(state),
+        ("POST", "/query") => query(state, req, QueryKind::Query, trace),
+        ("POST", "/explain") => query(state, req, QueryKind::Explain, trace),
         ("POST", "/load") => load(state, req),
-        (_, "/healthz" | "/stores" | "/query" | "/explain" | "/load") => error_response(
+        (
+            _,
+            "/healthz" | "/stores" | "/metrics" | "/debug/slow" | "/query" | "/explain" | "/load",
+        ) => error_response(
             405,
             "method_not_allowed",
             &format!("`{}` does not accept {}", req.path, req.method),
@@ -148,7 +226,7 @@ fn route_buffered(state: &ServerState, req: &Request) -> Response {
             404,
             "not_found",
             &format!(
-                "no route for `{}`; endpoints: /query /explain /load /stores /healthz",
+                "no route for `{}`; endpoints: /query /explain /load /stores /healthz /metrics /debug/slow",
                 req.path
             ),
             None,
@@ -184,6 +262,11 @@ fn eval_error_response(error: &Error) -> Response {
     error_response(status, kind, &error.to_string(), error.parse_offset())
 }
 
+/// `/healthz` reads every counter from the same sources `/metrics` renders
+/// — the service counters are the registry's own [`trial_obs::Counter`]s
+/// and the cache/admission numbers are the structs the registry's
+/// fn-backed series read at scrape time — so the two surfaces cannot
+/// disagree about any shared value.
 fn healthz(state: &ServerState) -> Response {
     let cache = JsonObject::new()
         .num("hits", state.cache.hits())
@@ -216,36 +299,102 @@ fn healthz(state: &ServerState) -> Response {
             state.eval.threads.clamp(1, MAX_EVAL_THREADS) as u64,
         )
         .num("max_threads", MAX_EVAL_THREADS as u64)
-        .num(
-            "queries_parallel",
-            state.queries_parallel.load(Ordering::Relaxed),
-        )
-        .num(
-            "queries_sequential",
-            state.queries_sequential.load(Ordering::Relaxed),
-        )
-        .num(
-            "queries_streamed",
-            state.queries_streamed.load(Ordering::Relaxed),
-        )
+        .num("queries_parallel", state.metrics.queries_parallel.get())
+        .num("queries_sequential", state.metrics.queries_sequential.get())
+        .num("queries_streamed", state.metrics.queries_streamed.get())
         .finish();
     let body = JsonObject::new()
         .str("status", "ok")
         .num("uptime_ms", state.started.elapsed().as_millis() as u64)
         .num("stores", state.registry.len() as u64)
-        .num(
-            "queries_served",
-            state.queries_served.load(Ordering::Relaxed),
-        )
-        .num(
-            "loads_completed",
-            state.loads_completed.load(Ordering::Relaxed),
-        )
+        .num("queries_served", state.metrics.queries_served.get())
+        .num("loads_completed", state.metrics.loads_completed.get())
         .raw("eval", &eval)
         .raw("cache", &cache)
         .raw("admission", &admission)
         .finish();
     Response::ok(body)
+}
+
+/// `GET /metrics`: the whole registry in Prometheus text exposition format.
+fn metrics_text(state: &ServerState) -> Response {
+    Response::with_content_type(state.metrics.render(), "text/plain; version=0.0.4")
+}
+
+/// `GET /debug/slow`: the flight recorder's retained spans — the N slowest
+/// successful requests plus every recent errored/shed request — each with
+/// its phase breakdown, plan and (when profiling sampled it) per-operator
+/// timings.
+fn debug_slow(state: &ServerState) -> Response {
+    let slow: Vec<String> = state.recorder.slow().iter().map(|s| span_json(s)).collect();
+    let errors: Vec<String> = state
+        .recorder
+        .errors()
+        .iter()
+        .map(|s| span_json(s))
+        .collect();
+    Response::ok(
+        JsonObject::new()
+            .boolean("observe", state.observe)
+            .num("profile_sample", state.eval.profile_sample as u64)
+            .raw("slow", &json::array(slow))
+            .raw("errors", &json::array(errors))
+            .finish(),
+    )
+}
+
+/// Renders one recorded request span for `/debug/slow`.
+fn span_json(span: &Span) -> String {
+    let mut phases = JsonObject::new();
+    for (name, us) in &span.phases {
+        phases = phases.num(&format!("{name}_us"), *us);
+    }
+    let mut obj = JsonObject::new()
+        .str("request_id", &span.request_id)
+        .str("method", &span.method)
+        .str("path", &span.path)
+        .num("status", span.status as u64)
+        .num("total_us", span.total_us)
+        .boolean("cached", span.cached)
+        .boolean("streamed", span.streamed);
+    obj = match &span.store {
+        Some(store) => obj.str("store", store),
+        None => obj.raw("store", "null"),
+    };
+    obj = match &span.query {
+        Some(query) => obj.str("query", query),
+        None => obj.raw("query", "null"),
+    };
+    obj = match &span.error_kind {
+        Some(kind) => obj.str("error", kind),
+        None => obj.raw("error", "null"),
+    };
+    obj = obj.raw("phases", &phases.finish());
+    obj = match &span.plan {
+        Some(plan) => obj.str("plan", plan),
+        None => obj.raw("plan", "null"),
+    };
+    if span.profile_stride > 0 {
+        let nodes: Vec<String> = span.nodes.iter().map(node_profile_json).collect();
+        obj = obj
+            .num("profile_stride", span.profile_stride as u64)
+            .raw("nodes", &json::array(nodes));
+    }
+    obj.finish()
+}
+
+/// Renders one per-operator profile (preorder-indexed like the `/explain`
+/// tree).
+fn node_profile_json(profile: &NodeProfile) -> String {
+    let mut obj = JsonObject::new().num("elapsed_us", profile.elapsed_us);
+    obj = match profile.rows {
+        Some(rows) => obj.num("rows", rows),
+        None => obj.raw("rows", "null"),
+    };
+    if let Some(build_us) = profile.build_us {
+        obj = obj.num("build_us", build_us);
+    }
+    obj.finish()
 }
 
 fn stores(state: &ServerState) -> Response {
@@ -432,12 +581,13 @@ fn rejected_response(store: &str, retry_after: u64) -> Response {
 
 /// `/query` and `/explain`: parse the TriAL text, consult the LRU cache
 /// keyed by `(store, epoch, kind, text)`, evaluate or plan on a miss.
-fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
+fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace) -> Response {
     let start = Instant::now();
     let text = match query_text(req) {
         Ok(text) => text,
         Err(response) => return *response,
     };
+    trace.set_query(text);
     let params = match parse_query_params(state, req, kind) {
         Ok(p) => p,
         Err(response) => return *response,
@@ -455,6 +605,7 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         Ok(s) => s,
         Err(response) => return *response,
     };
+    trace.set_store(snapshot.name());
 
     let key = CacheKey {
         store: snapshot.name().to_owned(),
@@ -474,7 +625,8 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         topk: topk.map(|k| k as u64),
     };
     if let Some(fragment) = state.cache.get(&key) {
-        state.queries_served.fetch_add(1, Ordering::Relaxed);
+        state.metrics.queries_served.inc();
+        trace.set_cached();
         return Response::ok(wrap(&snapshot, true, &fragment, start));
     }
 
@@ -506,22 +658,28 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
             if fragment.len() <= MAX_CACHED_FRAGMENT_BYTES {
                 state.cache.insert(key, Arc::clone(&fragment));
             }
-            state.queries_served.fetch_add(1, Ordering::Relaxed);
+            state.metrics.queries_served.inc();
+            trace.set_cached();
             return Response::ok(wrap(&snapshot, true, &fragment, start));
         }
     }
 
+    let parse_started = trace.now();
     let expr = match trial_parser::parse(text) {
         Ok(expr) => expr,
         Err(e) => return eval_error_response(&e),
     };
+    trace.phase("parse", parse_started);
 
     // Admission: every fresh evaluation (cache hits never get here) takes a
     // per-store permit; saturated stores shed load with a structured 429.
+    // The traced phase is the wait for a permit (zero when uncontended).
+    let admission_started = trace.now();
     let _permit = match state.admission.acquire(snapshot.name()) {
         Ok(permit) => permit,
         Err(retry_after) => return rejected_response(snapshot.name(), retry_after),
     };
+    trace.phase("admission", admission_started);
 
     let engine = SmartEngine::with_options(trial_eval::EvalOptions {
         threads,
@@ -532,17 +690,14 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
             // Ordered path: render per-row fragments so the prefix cache can
             // keep them for slicing under any smaller limit.
             let order = order.expect("ordered_prefix implies an order");
-            match render_ordered_rows(&engine, &expr, snapshot.store(), limit, order) {
-                Ok((rows, truncated, stats, ran_parallel)) => {
-                    if ran_parallel {
-                        state.queries_parallel.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        state.queries_sequential.fetch_add(1, Ordering::Relaxed);
-                    }
+            match render_ordered_rows(&engine, &expr, snapshot.store(), limit, order, trace) {
+                Ok((rows, truncated, stats_rendered, stats)) => {
+                    observe_fresh_eval(state, &stats);
+                    state.metrics.observe_rows(rows.len() as u64);
                     let entry = PrefixEntry {
                         rows,
                         complete: !truncated,
-                        stats,
+                        stats: stats_rendered,
                     };
                     let fragment = ordered_fragment(order, &entry.rows, truncated, &entry.stats);
                     let bytes: usize = entry.rows.iter().map(String::len).sum();
@@ -557,15 +712,13 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
             }
         }
         QueryKind::Query => {
-            match render_query_fragment(&engine, &expr, snapshot.store(), limit, order, topk) {
-                Ok((fragment, ran_parallel)) => {
+            match render_query_fragment(&engine, &expr, snapshot.store(), limit, order, topk, trace)
+            {
+                Ok((fragment, rows, stats)) => {
                     // Count the execution shape of fresh evaluations (cache hits
                     // run nothing, so they count as neither).
-                    if ran_parallel {
-                        state.queries_parallel.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        state.queries_sequential.fetch_add(1, Ordering::Relaxed);
-                    }
+                    observe_fresh_eval(state, &stats);
+                    state.metrics.observe_rows(rows);
                     fragment
                 }
                 Err(e) => return eval_error_response(&e),
@@ -577,6 +730,7 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
             // ordered plan (scan permutations, sort breakers, top-k heaps).
             let plan_limit = requested_limit.filter(|&k| k > 0);
             if analyze {
+                let eval_started = trace.now();
                 match engine.evaluate_analyzed_query(
                     &expr,
                     snapshot.store(),
@@ -585,11 +739,18 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
                     topk,
                 ) {
                     Ok(analyzed) => {
+                        // Analyze runs plan + evaluation in one call; the
+                        // combined wall time lands in the `eval` phase.
+                        trace.phase("eval", eval_started);
+                        trace.set_plan(|| analyzed.plan.explain().trim_end().to_owned());
+                        trace.set_nodes(analyzed.profiles.clone(), 1);
+                        observe_fresh_eval(state, &analyzed.evaluation.stats);
                         let mut index = 0;
                         let tree = plan_tree_json(
                             &analyzed.plan.root,
                             threads,
                             Some(&analyzed.actuals),
+                            Some(&analyzed.profiles),
                             &mut index,
                         );
                         JsonObject::new()
@@ -604,13 +765,16 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
                     Err(e) => return eval_error_response(&e),
                 }
             } else {
+                let plan_started = trace.now();
                 let plan = match engine.plan_query(&expr, snapshot.store(), plan_limit, order, topk)
                 {
                     Ok(p) => p,
                     Err(e) => return eval_error_response(&e),
                 };
+                trace.phase("plan", plan_started);
+                trace.set_plan(|| plan.explain().trim_end().to_owned());
                 let mut index = 0;
-                let tree = plan_tree_json(&plan.root, threads, None, &mut index);
+                let tree = plan_tree_json(&plan.root, threads, None, None, &mut index);
                 JsonObject::new()
                     .str("query", &expr.to_string())
                     .num("threads", threads as u64)
@@ -621,12 +785,26 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind) -> Response {
         }
     };
 
+    let serialize_started = trace.now();
     let fragment = Arc::new(fragment);
     if fragment.len() <= MAX_CACHED_FRAGMENT_BYTES {
         state.cache.insert(key, Arc::clone(&fragment));
     }
-    state.queries_served.fetch_add(1, Ordering::Relaxed);
-    Response::ok(wrap(&snapshot, false, &fragment, start))
+    state.metrics.queries_served.inc();
+    let response = Response::ok(wrap(&snapshot, false, &fragment, start));
+    trace.phase("serialize", serialize_started);
+    response
+}
+
+/// Counts one fresh evaluation's execution shape (parallel vs. sequential)
+/// and folds its work counters into the metric surface.
+fn observe_fresh_eval(state: &ServerState, stats: &EvalStats) {
+    if stats.parallel_morsels > 0 {
+        state.metrics.queries_parallel.inc();
+    } else {
+        state.metrics.queries_sequential.inc();
+    }
+    state.metrics.observe_eval(stats);
 }
 
 /// Assembles the response envelope around a cached (or fresh) payload
@@ -652,10 +830,11 @@ fn wrap(snapshot: &StoreSnapshot, cached: bool, fragment: &str, start: Instant) 
 /// order-preserving plans; unordered plans track seen triples, never rendered
 /// rows).
 ///
-/// The second returned value is `true` when the evaluation actually executed
-/// parallel morsels (pipeline breakers — hash-join builds, star fixpoints,
-/// blocking set-operation sides — parallelise even under the streaming row
-/// pump), feeding the `/healthz` parallel/sequential counters.
+/// Returns the rendered fragment, the number of rows rendered into it, and
+/// the evaluation's work counters (which feed the `/healthz` and `/metrics`
+/// parallel/sequential counters and the eval-stat aggregates). `trace`
+/// records the plan/eval phase boundaries, the chosen plan and — when the
+/// profiling stride is on — the per-operator timer handle.
 fn render_query_fragment(
     engine: &SmartEngine,
     expr: &trial_core::Expr,
@@ -663,7 +842,8 @@ fn render_query_fragment(
     limit: usize,
     order: Option<Permutation>,
     topk: Option<usize>,
-) -> trial_core::Result<(String, bool)> {
+    trace: &mut Trace,
+) -> trial_core::Result<(String, u64, EvalStats)> {
     // With ?order= or ?topk= the fragment echoes the effective knobs so
     // cached and fresh responses are self-describing.
     let annotate = |mut obj: JsonObject| {
@@ -680,9 +860,14 @@ fn render_query_fragment(
         // for a sort breaker the drain would never observe (a top-k bound
         // still changes the count and keeps its order).
         let plan_order = if topk.is_some() { order } else { None };
-        let (count, stats) = engine
-            .stream_query(expr, store, None, plan_order, topk)?
-            .count();
+        let plan_started = trace.now();
+        let stream = engine.stream_query(expr, store, None, plan_order, topk)?;
+        trace.phase("plan", plan_started);
+        trace.set_plan(|| stream.plan().explain().trim_end().to_owned());
+        trace.set_profile(stream.profile());
+        let eval_started = trace.now();
+        let (count, stats) = stream.count();
+        trace.phase("eval", eval_started);
         return Ok((
             annotate(
                 JsonObject::new()
@@ -692,7 +877,8 @@ fn render_query_fragment(
             .raw("triples", "[]")
             .raw("stats", &stats_json(&stats))
             .finish(),
-            stats.parallel_morsels > 0,
+            0,
+            stats,
         ));
     }
     // Ask for one distinct triple beyond the response cap: pulling it proves
@@ -700,8 +886,13 @@ fn render_query_fragment(
     // rows arrive in that permutation's key order (the plan root either
     // delivers it from an index permutation or sits above an explicit
     // sort/top-k), so the response sequence is deterministic.
+    let plan_started = trace.now();
     let mut stream =
         engine.stream_query(expr, store, Some(limit.saturating_add(1)), order, topk)?;
+    trace.phase("plan", plan_started);
+    trace.set_plan(|| stream.plan().explain().trim_end().to_owned());
+    trace.set_profile(stream.profile());
+    let eval_started = trace.now();
     let mut triples = String::from("[");
     let mut count: u64 = 0;
     let mut truncated = false;
@@ -717,7 +908,8 @@ fn render_query_fragment(
         count += 1;
     }
     triples.push(']');
-    let ran_parallel = stream.stats().parallel_morsels > 0;
+    trace.phase("eval", eval_started);
+    let stats = *stream.stats();
     Ok((
         annotate(
             JsonObject::new()
@@ -725,9 +917,10 @@ fn render_query_fragment(
                 .boolean("truncated", truncated),
         )
         .raw("triples", &triples)
-        .raw("stats", &stats_json(stream.stats()))
+        .raw("stats", &stats_json(&stats))
         .finish(),
-        ran_parallel,
+        count,
+        stats,
     ))
 }
 
@@ -743,14 +936,16 @@ fn render_row(store: &Triplestore, t: &trial_core::Triple) -> String {
 /// Evaluates an ordered (non-top-k) `/query` and returns the rendered rows
 /// **individually** — the shape the prefix cache stores, so any smaller
 /// limit can later be served by slicing. Returns
-/// `(rows, truncated, stats_json, ran_parallel)`.
+/// `(rows, truncated, stats_json, stats)`.
 fn render_ordered_rows(
     engine: &SmartEngine,
     expr: &Expr,
     store: &Triplestore,
     limit: usize,
     order: Permutation,
-) -> trial_core::Result<(Vec<String>, bool, String, bool)> {
+    trace: &mut Trace,
+) -> trial_core::Result<(Vec<String>, bool, String, EvalStats)> {
+    let plan_started = trace.now();
     let mut stream = engine.stream_query(
         expr,
         store,
@@ -758,6 +953,10 @@ fn render_ordered_rows(
         Some(order),
         None,
     )?;
+    trace.phase("plan", plan_started);
+    trace.set_plan(|| stream.plan().explain().trim_end().to_owned());
+    trace.set_profile(stream.profile());
+    let eval_started = trace.now();
     let mut rows = Vec::new();
     let mut truncated = false;
     while let Some(t) = stream.next_triple() {
@@ -767,9 +966,10 @@ fn render_ordered_rows(
         }
         rows.push(render_row(store, &t));
     }
-    let ran_parallel = stream.stats().parallel_morsels > 0;
-    let stats = stats_json(stream.stats());
-    Ok((rows, truncated, stats, ran_parallel))
+    trace.phase("eval", eval_started);
+    let stats = *stream.stats();
+    let rendered = stats_json(&stats);
+    Ok((rows, truncated, rendered, stats))
 }
 
 /// Assembles an ordered `/query` result fragment from pre-rendered rows —
@@ -809,14 +1009,23 @@ pub(crate) struct StreamingQuery {
     /// Held for the whole response; dropping it (with the job) releases the
     /// store's admission slot.
     _permit: Option<AdmissionPermit>,
+    /// Attached by [`route`] after validation (the `Option` only exists to
+    /// let the two construction steps stay separate); [`StreamingQuery::run`]
+    /// finalizes it when the chunked response completes.
+    trace: Option<Trace>,
 }
 
 /// Validates a streaming `/query` request up front. Errors come back as
 /// complete buffered responses (the stream never starts): malformed or
 /// cross-store cursors are `400 bad_cursor`, cursors minted against a
 /// reloaded store are `410 stale_cursor`, saturation is `429`.
-fn streaming_query(state: &ServerState, req: &Request) -> Result<StreamingQuery, Box<Response>> {
+fn streaming_query(
+    state: &ServerState,
+    req: &Request,
+    trace: &mut Trace,
+) -> Result<StreamingQuery, Box<Response>> {
     let text = query_text(req)?;
+    trace.set_query(text);
     let params = parse_query_params(state, req, QueryKind::Query)?;
     if params.limit == 0 {
         return Err(Box::new(error_response(
@@ -827,6 +1036,7 @@ fn streaming_query(state: &ServerState, req: &Request) -> Result<StreamingQuery,
         )));
     }
     let snapshot = resolve_store(state, req)?;
+    trace.set_store(snapshot.name());
     let mut order = params.order;
     let mut resume = None;
     if let Some(raw) = req.param("cursor") {
@@ -876,14 +1086,18 @@ fn streaming_query(state: &ServerState, req: &Request) -> Result<StreamingQuery,
         order = Some(token.order);
         resume = Some(token.last);
     }
+    let parse_started = trace.now();
     let expr = match trial_parser::parse(text) {
         Ok(expr) => expr,
         Err(e) => return Err(Box::new(eval_error_response(&e))),
     };
+    trace.phase("parse", parse_started);
+    let admission_started = trace.now();
     let permit = match state.admission.acquire(snapshot.name()) {
         Ok(permit) => Some(permit),
         Err(retry_after) => return Err(Box::new(rejected_response(snapshot.name(), retry_after))),
     };
+    trace.phase("admission", admission_started);
     Ok(StreamingQuery {
         snapshot,
         expr,
@@ -894,6 +1108,7 @@ fn streaming_query(state: &ServerState, req: &Request) -> Result<StreamingQuery,
         resume,
         close: req.close,
         _permit: permit,
+        trace: None,
     })
 }
 
@@ -907,14 +1122,19 @@ impl StreamingQuery {
     ///
     /// Returns whether the connection should be kept alive; any `Err` means
     /// the chunk stream is unfinishable and the caller must close.
-    pub(crate) fn run<W: Write>(self, state: &ServerState, writer: &mut W) -> io::Result<bool> {
+    pub(crate) fn run<W: Write>(mut self, state: &ServerState, writer: &mut W) -> io::Result<bool> {
         let start = Instant::now();
+        let mut trace = self
+            .trace
+            .take()
+            .unwrap_or_else(|| Trace::begin(trace::next_request_id(), "POST", "/query", false));
         let engine = SmartEngine::with_options(trial_eval::EvalOptions {
             threads: self.threads,
             ..state.eval
         });
         let store = self.snapshot.store();
         let probe_limit = Some(self.limit.saturating_add(1));
+        let plan_started = trace.now();
         let stream = match self.resume {
             Some(after) => {
                 let order = self.order.expect("cursor tokens always carry an order");
@@ -927,14 +1147,20 @@ impl StreamingQuery {
             Err(e) => {
                 // Nothing is on the wire yet: plan-time failures still get
                 // an ordinary buffered error and keep-alive survives.
-                let response = eval_error_response(&e);
+                let response = finalize(state, trace, eval_error_response(&e), "query");
                 http::write_response(writer, &response, self.close)?;
                 return Ok(!self.close);
             }
         };
+        trace.phase("plan", plan_started);
+        trace.set_plan(|| stream.plan().explain().trim_end().to_owned());
+        trace.set_profile(stream.profile());
 
         // Head first, flushed immediately: time-to-first-byte is planning
-        // time, not evaluation time.
+        // time, not evaluation time. The `serialize` phase of a streamed
+        // span covers only the head — row rendering happens inside the
+        // `eval` pump, where serialization overlaps evaluation.
+        let serialize_started = trace.now();
         let mut chunked = ChunkedWriter::begin(
             writer,
             200,
@@ -945,6 +1171,7 @@ impl StreamingQuery {
                 "X-Trial-Elapsed-Us",
                 "X-Trial-Cursor",
             ],
+            Some(trace.request_id()),
         )?;
         let mut head = String::from("{\"store\":");
         head.push_str(&json::string(self.snapshot.name()));
@@ -963,7 +1190,9 @@ impl StreamingQuery {
         }
         head.push_str(",\"triples\":");
         chunked.write_text(&head)?;
+        trace.phase("serialize", serialize_started);
 
+        let eval_started = trace.now();
         let limit = self.limit;
         let mut count: u64 = 0;
         let mut truncated = false;
@@ -988,14 +1217,12 @@ impl StreamingQuery {
             });
         rows_written?;
         chunked.write_text("}")?;
+        trace.phase("eval", eval_started);
 
-        state.queries_served.fetch_add(1, Ordering::Relaxed);
-        state.queries_streamed.fetch_add(1, Ordering::Relaxed);
-        if stats.parallel_morsels > 0 {
-            state.queries_parallel.fetch_add(1, Ordering::Relaxed);
-        } else {
-            state.queries_sequential.fetch_add(1, Ordering::Relaxed);
-        }
+        state.metrics.queries_served.inc();
+        state.metrics.queries_streamed.inc();
+        observe_fresh_eval(state, &stats);
+        state.metrics.observe_rows(count);
 
         let mut trailers: Vec<(&str, String)> = vec![
             ("X-Trial-Count", count.to_string()),
@@ -1021,6 +1248,19 @@ impl StreamingQuery {
             }
         }
         chunked.finish(&trailers)?;
+
+        // The stream flushed its cursors (the exchange joined its producers
+        // before `channel` returned), so the profile snapshot inside
+        // `finish` sees complete per-node timings.
+        if let Some(span) = trace.finish(200, None) {
+            state
+                .metrics
+                .observe_request("query", span.status, span.total_us);
+            for (phase, us) in &span.phases {
+                state.metrics.observe_phase(phase, *us);
+            }
+            state.recorder.record(span);
+        }
         Ok(!self.close)
     }
 }
@@ -1049,11 +1289,15 @@ fn stats_json(stats: &EvalStats) -> String {
 /// an `?analyze=1` run, indexed per [`trial_eval::PlanNode::preorder`]) line
 /// up with the tree: when present, each node carries an `"actual"` row count
 /// next to its `"est"` (JSON `null` for nodes that streamed through a limit
-/// boundary without being individually materialised).
+/// boundary without being individually materialised). `profiles` (also
+/// preorder-indexed, from the same analyze run) adds wall-clock
+/// `"elapsed_us"` — inclusive of children — and, for pipeline breakers,
+/// `"build_us"` next to the cardinalities.
 fn plan_tree_json(
     node: &trial_eval::PlanNode,
     threads: usize,
     actuals: Option<&[Option<u64>]>,
+    profiles: Option<&[NodeProfile]>,
     index: &mut usize,
 ) -> String {
     let position = *index;
@@ -1061,7 +1305,7 @@ fn plan_tree_json(
     let children: Vec<String> = node
         .children()
         .into_iter()
-        .map(|child| plan_tree_json(child, threads, actuals, index))
+        .map(|child| plan_tree_json(child, threads, actuals, profiles, index))
         .collect();
     let mut object = JsonObject::new()
         .str("op", &node.label_with_threads(threads))
@@ -1070,6 +1314,14 @@ fn plan_tree_json(
         match actuals.get(position).copied().flatten() {
             Some(actual) => object = object.num("actual", actual),
             None => object = object.raw("actual", "null"),
+        }
+    }
+    if let Some(profiles) = profiles {
+        if let Some(profile) = profiles.get(position) {
+            object = object.num("elapsed_us", profile.elapsed_us);
+            if let Some(build_us) = profile.build_us {
+                object = object.num("build_us", build_us);
+            }
         }
     }
     // "ordering" is the permutation the node's stream follows (null when
@@ -1187,7 +1439,7 @@ fn load(state: &ServerState, req: &Request) -> Response {
     let Some(epoch) = state.registry.try_set(store_name, store, state.max_stores) else {
         return store_cap_error();
     };
-    state.loads_completed.fetch_add(1, Ordering::Relaxed);
+    state.metrics.loads_completed.inc();
 
     Response::ok(
         JsonObject::new()

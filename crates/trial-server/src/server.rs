@@ -11,11 +11,13 @@
 use crate::admission::Admission;
 use crate::cache::{PrefixCache, QueryCache};
 use crate::http::{self, ReadOutcome, Response};
+use crate::metrics::Metrics;
 use crate::registry::StoreRegistry;
 use crate::routes::{self, Routed};
+use crate::trace::FlightRecorder;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -64,6 +66,17 @@ pub struct ServerConfig {
     /// How long a queued request waits for a permit before giving up with
     /// `429` (also the basis of the `Retry-After` hint).
     pub admission_wait: Duration,
+    /// Whether request tracing and latency histograms are recorded
+    /// (`trial-serve --no-obs` turns this off). Service counters and
+    /// `/metrics` itself stay live either way — disabling observation only
+    /// skips the per-request clock reads, span allocation, histogram
+    /// samples and flight-recorder writes, which is what the
+    /// `observability_overhead` bench measures.
+    pub observe: bool,
+    /// Flight-recorder capacity: keep this many slowest successful spans
+    /// plus this many most-recent errored/shed spans (0 disables the
+    /// recorder; `/debug/slow` then serves empty lists).
+    pub flight_slots: usize,
 }
 
 impl Default for ServerConfig {
@@ -87,57 +100,67 @@ impl Default for ServerConfig {
             admission_permits: 64,
             admission_max_waiters: 64,
             admission_wait: Duration::from_millis(500),
+            observe: true,
+            flight_slots: 16,
         }
     }
 }
 
 /// Shared server state: the store registry, the query cache, evaluation
-/// limits, and service counters.
+/// limits, and the observability surface (metrics + flight recorder).
+///
+/// The caches, the admission semaphore and the store registry sit behind
+/// `Arc`s because the metric registry's fn-backed series read them at
+/// scrape time — `/metrics` and `/healthz` observe the same atomics by
+/// construction. Service counters live in [`Metrics`] for the same reason.
 #[derive(Debug)]
 pub struct ServerState {
-    pub(crate) registry: StoreRegistry,
-    pub(crate) cache: QueryCache,
+    pub(crate) registry: Arc<StoreRegistry>,
+    pub(crate) cache: Arc<QueryCache>,
     /// Prefix-closed cache of ordered results: one deep prefix serves every
     /// smaller `?limit=` by slicing.
-    pub(crate) prefix: PrefixCache,
+    pub(crate) prefix: Arc<PrefixCache>,
     /// Per-store admission semaphore; `Arc` so streaming responses can hold
     /// their permit across the whole chunked write.
     pub(crate) admission: Arc<Admission>,
     pub(crate) eval: EvalOptions,
     pub(crate) max_stores: usize,
     pub(crate) max_store_triples: usize,
-    pub(crate) queries_served: AtomicU64,
-    pub(crate) loads_completed: AtomicU64,
-    /// Fresh (non-cached) `/query` evaluations whose execution actually ran
-    /// parallel morsels, and those that stayed single-threaded — the
-    /// per-query face of `EvalOptions::threads`, served on `/healthz`.
-    pub(crate) queries_parallel: AtomicU64,
-    pub(crate) queries_sequential: AtomicU64,
-    /// `/query?stream=1` responses completed (a subset of `queries_served`).
-    pub(crate) queries_streamed: AtomicU64,
+    /// The metric registry behind `GET /metrics`, also owning the service
+    /// counters `/healthz` reports.
+    pub(crate) metrics: Metrics,
+    /// Slow/errored request spans behind `GET /debug/slow`.
+    pub(crate) recorder: FlightRecorder,
+    /// Whether per-request tracing and histogram sampling run (see
+    /// [`ServerConfig::observe`]).
+    pub(crate) observe: bool,
     pub(crate) started: Instant,
 }
 
 impl ServerState {
     fn new(config: &ServerConfig) -> Self {
+        let started = Instant::now();
+        let registry = Arc::new(StoreRegistry::new());
+        let cache = Arc::new(QueryCache::new(config.cache_capacity));
+        let prefix = Arc::new(PrefixCache::new(config.cache_capacity));
+        let admission = Arc::new(Admission::new(
+            config.admission_permits,
+            config.admission_max_waiters,
+            config.admission_wait,
+        ));
+        let metrics = Metrics::new(&registry, &cache, &prefix, &admission, started);
         ServerState {
-            registry: StoreRegistry::new(),
-            cache: QueryCache::new(config.cache_capacity),
-            prefix: PrefixCache::new(config.cache_capacity),
-            admission: Arc::new(Admission::new(
-                config.admission_permits,
-                config.admission_max_waiters,
-                config.admission_wait,
-            )),
+            registry,
+            cache,
+            prefix,
+            admission,
             eval: config.eval,
             max_stores: config.max_stores,
             max_store_triples: config.max_store_triples,
-            queries_served: AtomicU64::new(0),
-            loads_completed: AtomicU64::new(0),
-            queries_parallel: AtomicU64::new(0),
-            queries_sequential: AtomicU64::new(0),
-            queries_streamed: AtomicU64::new(0),
-            started: Instant::now(),
+            metrics,
+            recorder: FlightRecorder::new(config.flight_slots),
+            observe: config.observe,
+            started,
         }
     }
 }
@@ -240,6 +263,11 @@ impl Server {
         &self.state.admission
     }
 
+    /// The metric surface served on `GET /metrics`.
+    pub fn metrics(&self) -> &Metrics {
+        &self.state.metrics
+    }
+
     /// Stops accepting, drains the workers and joins all threads.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
@@ -288,10 +316,12 @@ fn handle_connection(
                     routes::route(state, &request)
                 }))
                 .unwrap_or_else(|_| {
-                    Routed::Buffered(Response::new(
+                    let mut response = Response::new(
                         500,
                         routes::error_body("internal", "request handler panicked", None),
-                    ))
+                    );
+                    response.request_id = request.request_id.clone();
+                    Routed::Buffered(response)
                 });
                 match routed {
                     Routed::Buffered(response) => {

@@ -38,6 +38,28 @@
 //! in between); saturated stores shed load with structured `429`s instead
 //! of queueing unboundedly.
 //!
+//! # Observability
+//!
+//! The server ships its own scrape surface and a slow-query flight
+//! recorder, built on the std-only [`obs`] metrics registry:
+//!
+//! ```bash
+//! curl -s localhost:7878/metrics                     # Prometheus text format
+//! curl -s localhost:7878/debug/slow                  # slowest + errored spans
+//! curl -s "localhost:7878/explain?analyze=1" -d "E"  # per-node elapsed_us
+//! curl -s -H "X-Request-Id: deploy-42" localhost:7878/query -d "E" -i
+//! ```
+//!
+//! Metrics follow Prometheus conventions (`trial_` prefix, `_total`
+//! counters, `_us` microsecond histograms, low-cardinality labels like
+//! `{endpoint}`, `{phase}`, `{kind}`). Every response echoes an
+//! `X-Request-Id` header — client-supplied or generated — that keys the
+//! request's phase-timed span in `/debug/slow`. `trial-serve
+//! --profile-sample N` samples per-operator timings outside `?analyze=1`;
+//! `--no-obs` disables tracing and latency histograms while keeping the
+//! service counters and `/metrics` live. The full metric reference is in
+//! the [`server`] crate's *Observability* section.
+//!
 //! `examples/server_demo.rs` runs the same round trip in-process; the full
 //! endpoint reference is in the [`server`] crate docs.
 
@@ -49,6 +71,7 @@ pub use trial_datalog as datalog;
 pub use trial_eval as eval;
 pub use trial_graph as graph;
 pub use trial_logic as logic;
+pub use trial_obs as obs;
 pub use trial_parser as parser;
 pub use trial_rdf as rdf;
 pub use trial_server as server;
