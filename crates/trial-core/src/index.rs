@@ -227,6 +227,28 @@ impl Permutation {
         }
     }
 
+    /// The **secondary order** of this permutation's bound runs: the
+    /// permutation under which a run of `self` with a fixed primary
+    /// component is *also* strictly sorted.
+    ///
+    /// Within such a run the keyed component is constant and the rows are
+    /// sorted by the remaining two components in key order — which is
+    /// exactly the full key of the permutation keyed on the *second* sort
+    /// component (its trailing component is the constant one, so it never
+    /// disturbs the comparison). Concretely: a bound SPO run is also
+    /// POS-sorted, a bound POS run is also OSP-sorted, and a bound OSP run
+    /// is also SPO-sorted. This is what lets a bound index scan deliver two
+    /// sort orders for free — the planner exploits it to merge-join
+    /// bound ⋈ bound shapes without inserting a sort.
+    #[inline]
+    pub fn secondary(self) -> Permutation {
+        match self {
+            Permutation::Spo => Permutation::Pos,
+            Permutation::Pos => Permutation::Osp,
+            Permutation::Osp => Permutation::Spo,
+        }
+    }
+
     /// Reconstructs the triple whose [`Permutation::key`] under `self` is
     /// `key` — the inverse mapping used when a top-k heap of keys is turned
     /// back into result triples.
@@ -587,6 +609,27 @@ mod tests {
         assert!(by_o.iter().all(|t| t.o() == c));
         // A value that never occurs in the component yields an empty slice.
         assert!(ix.matching(base, 1, a).is_empty());
+    }
+
+    #[test]
+    fn bound_runs_are_strictly_sorted_under_the_secondary_order() {
+        let store = store();
+        let (base, ix) = store.relation_with_index("E").unwrap();
+        for component in 0..3 {
+            let primary = Permutation::keyed_on(component);
+            let secondary = primary.secondary();
+            assert_eq!(secondary.key_component(), (component + 1) % 3);
+            // Every bound run of the primary permutation must be strictly
+            // increasing under the secondary permutation's full key.
+            for t in base.iter() {
+                let value = t.0[component];
+                let run = ix.matching(base, component, value);
+                assert!(!run.is_empty());
+                assert!(run
+                    .windows(2)
+                    .all(|w| secondary.key(&w[0]) < secondary.key(&w[1])));
+            }
+        }
     }
 
     #[test]

@@ -552,6 +552,12 @@ pub(crate) struct MergeJoinCursor<'a> {
     pub(crate) output: OutputSpec,
     pub(crate) cond: CompiledConditions,
     pub(crate) store: &'a Triplestore,
+    /// Identity-output semijoin mode: emit each left row at most once,
+    /// skipping the rest of its right group after the first surviving
+    /// partner. With the identity output every partner would project to the
+    /// same left row, so the skip removes duplicates — which is what lets
+    /// [`crate::PlanNode::ordering`] pass the left order claim through.
+    pub(crate) emit_once: bool,
     pub(crate) l_cur: Option<Triple>,
     /// Buffered right rows of the current key group, and that key.
     pub(crate) group: Vec<Triple>,
@@ -614,6 +620,12 @@ impl Cursor for MergeJoinCursor<'_> {
                     self.group_pos += 1;
                     stats.pairs_considered += 1;
                     if self.cond.check_pair(self.store, &l, &r) {
+                        if self.emit_once {
+                            // Semijoin short-circuit: every partner projects
+                            // to the same identity row, so skip the rest of
+                            // the group.
+                            self.group_pos = self.group.len();
+                        }
                         stats.triples_emitted += 1;
                         return Some(project(&l, &r, &self.output));
                     }

@@ -310,6 +310,7 @@ impl<'a> Executor<'a> {
                     output: *output,
                     cond: CompiledConditions::compile(cond, self.store),
                     store: self.store,
+                    emit_once: *output == trial_core::OutputSpec::IDENTITY,
                     l_cur: None,
                     group: Vec::new(),
                     group_key: None,

@@ -131,9 +131,46 @@
 //!
 //! Ordering metadata is deliberately conservative: joins never claim an
 //! order (duplicate emissions break strictness even when the projection
-//! wouldn't), and the differential suite's `every_claimed_order_is_real`
-//! property streams each claimed-ordered root and asserts the rows really
-//! arrive strictly key-ascending.
+//! wouldn't) — except the identity-output merge join, which the executor
+//! runs as a semijoin (each left row emitted at most once) so its output is
+//! a subsequence of the ordered left input. The differential suite's
+//! `every_claimed_order_is_real` property streams each claimed-ordered root
+//! and asserts the rows really arrive strictly key-ascending.
+//!
+//! Two further order sources feed the planner:
+//!
+//! * **secondary orders** — a bound index run (one component fixed) is
+//!   strictly sorted under *two* permutations: the one it was read from and
+//!   that permutation's [`trial_core::Permutation::secondary`] (a bound POS
+//!   run is also OSP-sorted). Declaring the secondary order on a bound scan
+//!   costs nothing physically and unlocks merge joins between two bound
+//!   scans — shapes that previously always built hash tables — as well as
+//!   sort-free `?order=` delivery over selections.
+//! * **interesting orders** — [`plan_query`] pushes the requested root
+//!   order down into join planning, so an identity-output join picks the
+//!   merge key (and prefers a merge over an index probe) that makes the
+//!   root stream in the requested order natively, dissolving the final
+//!   [`PlanNode::Sort`].
+//!
+//! # Adaptive planning
+//!
+//! The planner's selectivity constants are only a cold-start default: a
+//! [`SmartEngine`] built via [`SmartEngine::with_stats`] shares a
+//! [`stats::StatsStore`] that closes the feedback loop. Every
+//! `evaluate_analyzed` run ingests its per-node **actual** row counts,
+//! keyed by a normalized plan-shape fingerprint ([`stats::fingerprint`]:
+//! scanned relation + binding + condition shapes; estimates, scan orders
+//! and physical join variants are deliberately excluded, and the two join
+//! orientations are normalized together). Later plans substitute the
+//! observed cardinality — exponentially decayed across observations —
+//! wherever a fingerprint is known, which re-steers join strategy, build
+//! sides, merge-vs-probe gates and morsel granularity. Statistics describe
+//! one immutable snapshot: [`stats::StatsStore::invalidate`] atomically
+//! clears them when the store's epoch moves (the server calls it under the
+//! `/load` write gate), and observations recorded against a stale epoch are
+//! dropped. The server surfaces the loop as `est_src=stats|heuristic` per
+//! `/explain` node, a `?nostats=1` escape hatch, and planner counters on
+//! `/metrics`.
 //!
 //! # Parallel execution
 //!
@@ -218,6 +255,7 @@ pub mod planner;
 pub mod profile;
 pub mod reach;
 pub mod seminaive;
+pub mod stats;
 
 pub use cursor::{Cursor, QueryStream};
 pub use engine::{
@@ -230,6 +268,7 @@ pub use planner::{
     evaluate, evaluate_with, explain, plan_limited, plan_query, AnalyzedEvaluation, SmartEngine,
 };
 pub use profile::{NodeProfile, QueryProfile};
+pub use stats::{ObserveSummary, StatsStore};
 
 // Compile-time thread-safety contract: `trial-server` evaluates queries with
 // a shared `SmartEngine` from many worker threads and caches `Plan`s keyed by

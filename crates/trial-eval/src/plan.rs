@@ -44,8 +44,16 @@ pub enum PlanNode {
         residual: Conditions,
         /// Which permutation an **unbound** scan streams — the planner's
         /// free order-delivery knob (merge-join inputs, `?order=` roots).
-        /// Bound scans ignore it: their run comes from the permutation keyed
-        /// on the bound component.
+        ///
+        /// Bound scans always read the run of the permutation keyed on the
+        /// bound component, but that run is *also* strictly sorted under the
+        /// permutation's [`Permutation::secondary`] order (the bound
+        /// component is constant, so the remaining two components — exactly
+        /// the secondary key prefix — decide every comparison). Setting this
+        /// field to the secondary permutation makes [`PlanNode::ordering`]
+        /// advertise that order instead of the primary one, which is how the
+        /// planner unlocks merge joins between two *bound* scans without
+        /// inserting a sort. Any other value on a bound scan is ignored.
         order: Permutation,
         /// Estimated output rows.
         est: usize,
@@ -280,6 +288,35 @@ impl PlanNode {
         }
     }
 
+    /// Returns this node with its cardinality estimate replaced — how the
+    /// planner applies an observed (feedback-statistics) row count to a
+    /// freshly built operator without re-deriving it. Nodes whose estimate
+    /// is structural ([`PlanNode::Empty`], [`PlanNode::Memo`]) are returned
+    /// unchanged.
+    #[must_use]
+    pub fn with_est(mut self, new_est: usize) -> PlanNode {
+        match &mut self {
+            PlanNode::Empty | PlanNode::Memo { .. } => {}
+            PlanNode::IndexScan { est, .. }
+            | PlanNode::Universe { est }
+            | PlanNode::Filter { est, .. }
+            | PlanNode::HashJoin { est, .. }
+            | PlanNode::MergeJoin { est, .. }
+            | PlanNode::IndexNestedLoopJoin { est, .. }
+            | PlanNode::NestedLoopJoin { est, .. }
+            | PlanNode::Union { est, .. }
+            | PlanNode::Diff { est, .. }
+            | PlanNode::Intersect { est, .. }
+            | PlanNode::Complement { est, .. }
+            | PlanNode::StarSemiNaive { est, .. }
+            | PlanNode::StarReach { est, .. }
+            | PlanNode::Limit { est, .. }
+            | PlanNode::Sort { est, .. }
+            | PlanNode::TopK { est, .. } => *est = new_est,
+        }
+        self
+    }
+
     /// The sort order this operator's streamed output follows, if any: the
     /// permutation whose key is strictly increasing across the emitted rows.
     /// Because permutation keys order all three components, `Some(_)` also
@@ -292,18 +329,34 @@ impl PlanNode {
     /// when the output spec projects only left positions in scan order —
     /// a probe row matching several build rows is emitted several times, and
     /// a duplicated row breaks the *strictly*-increasing contract that the
-    /// dedup-free paths rely on. (Claiming order through a mirrored hash
-    /// join is exactly the kind of optimism the
-    /// `every_claimed_order_is_real` regression test exists to catch.)
+    /// dedup-free paths rely on. The one exception is the merge join with an
+    /// **identity output** (`[1,2,3]`): the executor then short-circuits
+    /// each left row after its first surviving partner (a semijoin — the
+    /// projected row would be the same left row every time), so the output
+    /// is a subsequence of the already-ordered, already-distinct left stream
+    /// and the claim is real. (Claiming order through a mirrored hash join
+    /// is exactly the kind of optimism the `every_claimed_order_is_real`
+    /// regression test exists to catch.)
     pub fn ordering(&self) -> Option<Permutation> {
         match self {
             // An unbound scan streams whichever permutation the planner
             // chose; a bound scan streams the run of the permutation keyed on
             // the bound component (constant there, sorted on the rest — a
             // contiguous, strictly increasing slice of that permutation).
+            // That same run is also strictly sorted under the permutation's
+            // *secondary* order, and the planner opts into advertising it by
+            // setting `order` to exactly that permutation (see the field
+            // docs); every other `order` value means the primary claim.
             PlanNode::IndexScan { bound, order, .. } => match bound {
                 None => Some(*order),
-                Some((component, _)) => Some(Permutation::keyed_on(*component)),
+                Some((component, _)) => {
+                    let primary = Permutation::keyed_on(*component);
+                    Some(if *order == primary.secondary() {
+                        *order
+                    } else {
+                        primary
+                    })
+                }
             },
             // Lexicographic loops over the sorted active domain.
             PlanNode::Universe { .. } | PlanNode::Empty => Some(Permutation::Spo),
@@ -320,10 +373,17 @@ impl PlanNode {
             // The universe streams in canonical order and removal preserves
             // it.
             PlanNode::Complement { .. } => Some(Permutation::Spo),
+            // An identity-output merge join runs as a semijoin: each left
+            // row is emitted at most once (the executor short-circuits the
+            // right group after the first surviving partner), so the output
+            // is a subsequence of the left stream and inherits its order.
+            PlanNode::MergeJoin { left, output, .. } if *output == OutputSpec::IDENTITY => {
+                left.ordering()
+            }
             // Projection scrambles join outputs — and duplicate emissions
             // break strictness even when it wouldn't (see above). This
-            // includes the merge join: its *inputs* are ordered, its output
-            // is not.
+            // includes the projecting merge join: its *inputs* are ordered,
+            // its output is not.
             PlanNode::HashJoin { .. }
             | PlanNode::MergeJoin { .. }
             | PlanNode::IndexNestedLoopJoin { .. }
@@ -488,6 +548,11 @@ impl PlanNode {
                 let mut s = format!("IndexScan {relation}");
                 if let Some((component, id)) = bound {
                     s.push_str(&format!(" where {}=#{}", component + 1, id.0));
+                    // A bound run advertising its secondary sort order is a
+                    // deliberate planner choice (bound⋈bound merge input).
+                    if *order == Permutation::keyed_on(*component).secondary() {
+                        s.push_str(&format!(" order={order}"));
+                    }
                 } else if *order != Permutation::Spo {
                     // A non-canonical scan order is a deliberate planner
                     // choice (merge-join input, ?order= root): surface it.
@@ -916,6 +981,71 @@ mod tests {
             threads: 1,
         };
         assert!(!sequential_plan.explain().contains("parallel"));
+    }
+
+    #[test]
+    fn bound_scans_can_advertise_their_secondary_order() {
+        // A POS-bound run (component 2 fixed) is also OSP-sorted; declaring
+        // `order: osp` switches the advertised ordering without changing the
+        // physical scan.
+        let bound = |order| PlanNode::IndexScan {
+            relation: "E".into(),
+            bound: Some((1, trial_core::ObjectId(3))),
+            residual: Conditions::new(),
+            order,
+            est: 2,
+        };
+        assert_eq!(bound(Permutation::Spo).ordering(), Some(Permutation::Pos));
+        assert_eq!(bound(Permutation::Pos).ordering(), Some(Permutation::Pos));
+        assert_eq!(bound(Permutation::Osp).ordering(), Some(Permutation::Osp));
+        // The secondary claim is surfaced in the label; the primary is not.
+        assert!(
+            bound(Permutation::Osp).label().contains("order=osp"),
+            "{}",
+            bound(Permutation::Osp).label()
+        );
+        assert!(!bound(Permutation::Spo).label().contains("order="));
+    }
+
+    #[test]
+    fn identity_merge_joins_inherit_the_left_order() {
+        let left = PlanNode::IndexScan {
+            relation: "E".into(),
+            bound: None,
+            residual: Conditions::new(),
+            order: Permutation::Pos,
+            est: 7,
+        };
+        let semi = PlanNode::MergeJoin {
+            left: Box::new(left.clone()),
+            right: Box::new(scan("E", 7)),
+            output: OutputSpec::IDENTITY,
+            cond: Conditions::new().obj_eq(Pos::L2, Pos::R1),
+            key: (Pos::L2, Pos::R1),
+            est: 7,
+        };
+        assert_eq!(semi.ordering(), Some(Permutation::Pos));
+        // A projecting output still scrambles: no claim.
+        let projecting = PlanNode::MergeJoin {
+            left: Box::new(left),
+            right: Box::new(scan("E", 7)),
+            output: output(Pos::L1, Pos::R3, Pos::L3),
+            cond: Conditions::new().obj_eq(Pos::L2, Pos::R1),
+            key: (Pos::L2, Pos::R1),
+            est: 7,
+        };
+        assert_eq!(projecting.ordering(), None);
+    }
+
+    #[test]
+    fn with_est_replaces_the_estimate() {
+        assert_eq!(scan("E", 7).with_est(42).est(), 42);
+        assert_eq!(PlanNode::Empty.with_est(42).est(), 0);
+        let memo = PlanNode::Memo {
+            slot: 0,
+            input: Box::new(scan("E", 7)),
+        };
+        assert_eq!(memo.with_est(42).est(), 7);
     }
 
     #[test]

@@ -36,7 +36,9 @@ use crate::cursor::QueryStream;
 use crate::engine::{Engine, EvalOptions, EvalStats, Evaluation};
 use crate::exec::Executor;
 use crate::plan::{Plan, PlanNode};
+use crate::stats::{ObserveSummary, StatsStore};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use trial_core::condition::{Cmp, ObjAtom, ObjOperand};
 use trial_core::fragment::is_reachability_star;
 use trial_core::{Conditions, Expr, ObjectId, Permutation, Pos, Result, Triplestore};
@@ -44,10 +46,20 @@ use trial_core::{Conditions, Expr, ObjectId, Permutation, Pos, Result, Triplesto
 /// The default, optimisation-enabled evaluation engine: plans every query
 /// with [`plan`] and executes the physical plan against the store's
 /// permutation indexes.
+///
+/// An engine built with [`SmartEngine::with_stats`] also carries a shared
+/// [`StatsStore`]: planning substitutes observed cardinalities for the
+/// heuristic estimates wherever a plan shape has been executed before, and
+/// every `evaluate_analyzed` run feeds its actual row counts back in — the
+/// adaptive-planning feedback loop (see [`crate::stats`]).
 #[derive(Debug, Clone, Default)]
 pub struct SmartEngine {
     /// Evaluation options (limits and strategy switches).
     pub options: EvalOptions,
+    /// Feedback statistics consulted while planning and fed by
+    /// `evaluate_analyzed`, with the store epoch captured at construction
+    /// (observations are dropped if the epoch moved underneath the request).
+    stats: Option<(Arc<StatsStore>, u64)>,
 }
 
 impl SmartEngine {
@@ -56,14 +68,50 @@ impl SmartEngine {
         SmartEngine::default()
     }
 
-    /// Creates the engine with explicit options.
+    /// Creates the engine with explicit options (and no feedback
+    /// statistics: every estimate comes from the static heuristics).
     pub fn with_options(options: EvalOptions) -> Self {
-        SmartEngine { options }
+        SmartEngine {
+            options,
+            stats: None,
+        }
+    }
+
+    /// Creates the engine with explicit options and a shared feedback
+    /// [`StatsStore`]. The store's current epoch is captured here: an
+    /// `evaluate_analyzed` observation is only ingested if the store is
+    /// still at that epoch (see [`StatsStore::observe_plan`]).
+    pub fn with_stats(options: EvalOptions, stats: Arc<StatsStore>) -> Self {
+        let epoch = stats.epoch();
+        SmartEngine {
+            options,
+            stats: Some((stats, epoch)),
+        }
+    }
+
+    /// The feedback statistics this engine consults, if any.
+    pub fn stats(&self) -> Option<&StatsStore> {
+        self.stats.as_ref().map(|(stats, _)| &**stats)
+    }
+
+    /// Per plan node (indexed like [`PlanNode::preorder`]), whether the
+    /// node's estimate would come from observed statistics (`true`,
+    /// `est_src=stats`) rather than the static heuristics — what the
+    /// server's `/explain` reports.
+    pub fn estimate_sources(&self, plan: &Plan) -> Vec<bool> {
+        let nodes = plan.root.preorder();
+        match self.stats() {
+            Some(stats) => nodes
+                .iter()
+                .map(|node| stats.estimate_node(node).is_some())
+                .collect(),
+            None => vec![false; nodes.len()],
+        }
     }
 
     /// Plans `expr` over `store` without executing it.
     pub fn plan(&self, expr: &Expr, store: &Triplestore) -> Result<Plan> {
-        plan(expr, store, &self.options)
+        plan_with(expr, store, &self.options, self.stats(), None)
     }
 
     /// Plans `expr` with a result-cardinality limit pushed into the plan
@@ -74,7 +122,7 @@ impl SmartEngine {
         store: &Triplestore,
         limit: Option<usize>,
     ) -> Result<Plan> {
-        plan_limited(expr, store, &self.options, limit)
+        plan_query_with(expr, store, &self.options, self.stats(), limit, None, None)
     }
 
     /// Plans `expr` with an output order, a top-k bound and/or a limit
@@ -88,7 +136,7 @@ impl SmartEngine {
         order: Option<Permutation>,
         topk: Option<usize>,
     ) -> Result<Plan> {
-        plan_query(expr, store, &self.options, limit, order, topk)
+        plan_query_with(expr, store, &self.options, self.stats(), limit, order, topk)
     }
 
     /// Evaluates `expr` through a [`plan_query`] plan: the result set of an
@@ -146,8 +194,22 @@ impl SmartEngine {
                 other => (other, None),
             };
             if inner.ordering().is_some() && inner.est() >= self.options.parallel_min_rows {
+                // Adaptive morsel granularity: size the fan-out from the
+                // (feedback-corrected) row estimate instead of always
+                // carving thread-count-equal splits — a stream barely past
+                // the parallel threshold gets two full morsels instead of
+                // `threads` slivers, and only estimates several thresholds
+                // deep fan out to the full degree.
+                let parts = if self.options.parallel_min_rows == 0 {
+                    self.options.threads
+                } else {
+                    inner
+                        .est()
+                        .div_ceil(self.options.parallel_min_rows)
+                        .clamp(2, self.options.threads)
+                };
                 executor
-                    .morsel_cursors(inner, self.options.threads)?
+                    .morsel_cursors(inner, parts)?
                     .map(|cursors| (cursors, peeled))
             } else {
                 None
@@ -257,7 +319,11 @@ impl SmartEngine {
             collect_node_stats: true,
             ..self.options
         };
-        let plan = plan_query(expr, store, &options, limit, order, topk)?;
+        let plan = plan_query_with(expr, store, &options, self.stats(), limit, order, topk)?;
+        // Captured before execution: ingesting this run's actuals below
+        // would otherwise make a cold (heuristic) plan report itself as
+        // stats-sourced.
+        let est_sources = self.estimate_sources(&plan);
         let mut stats = EvalStats::new();
         let mut executor = Executor::new(store, options, &plan);
         let result = if options.streaming {
@@ -270,11 +336,20 @@ impl SmartEngine {
             .query_profile(&plan)
             .map(|profile| profile.snapshot())
             .unwrap_or_default();
+        // The feedback loop: every analyzed run teaches the stats store the
+        // observed cardinalities, gated on the epoch captured when this
+        // engine was built.
+        let feedback = self
+            .stats
+            .as_ref()
+            .map(|(stats, epoch)| stats.observe_plan(&plan, &actuals, *epoch));
         Ok(AnalyzedEvaluation {
             plan,
             evaluation: Evaluation { result, stats },
             actuals,
             profiles,
+            est_sources,
+            feedback,
         })
     }
 
@@ -316,6 +391,15 @@ pub struct AnalyzedEvaluation {
     /// for streamed nodes: it counts the rows pulled through the node's
     /// cursor.
     pub profiles: Vec<crate::NodeProfile>,
+    /// Per node (indexed like `actuals`), whether its estimate came from
+    /// observed feedback statistics rather than the static heuristics —
+    /// captured **before** this run's actuals were ingested, so a cold plan
+    /// honestly reports `heuristic`.
+    pub est_sources: Vec<bool>,
+    /// What this run taught the engine's [`StatsStore`] (`None` when the
+    /// engine has no statistics attached): ingested-node count and per-node
+    /// relative estimate errors.
+    pub feedback: Option<ObserveSummary>,
 }
 
 impl Engine for SmartEngine {
@@ -345,15 +429,38 @@ pub fn explain(expr: &Expr, store: &Triplestore) -> Result<String> {
 
 /// Builds the physical plan for `expr` over `store`.
 pub fn plan(expr: &Expr, store: &Triplestore, options: &EvalOptions) -> Result<Plan> {
+    plan_with(expr, store, options, None, None)
+}
+
+/// [`plan`] with the adaptive-planner inputs: optional feedback statistics
+/// (observed cardinalities override the heuristic estimates wherever a plan
+/// shape has been executed before) and an optional **interesting order** —
+/// the root output order the query will be asked for, pushed down so join
+/// strategy and merge-key choice can deliver it without a final sort.
+fn plan_with(
+    expr: &Expr,
+    store: &Triplestore,
+    options: &EvalOptions,
+    stats: Option<&StatsStore>,
+    interesting: Option<Permutation>,
+) -> Result<Plan> {
     expr.validate()?;
     let mut planner = Planner {
         store,
         options,
+        stats,
+        interesting,
+        used_stats: false,
         universe_est: None,
         repeated: repeated_subexpressions(expr),
         slots: HashMap::new(),
     };
     let root = planner.plan_expr(expr)?;
+    if planner.used_stats {
+        if let Some(stats) = stats {
+            stats.note_replan();
+        }
+    }
     Ok(Plan {
         root,
         memo_slots: planner.slots.len(),
@@ -451,7 +558,28 @@ pub fn plan_query(
     order: Option<Permutation>,
     topk: Option<usize>,
 ) -> Result<Plan> {
-    let mut plan = plan(expr, store, options)?;
+    plan_query_with(expr, store, options, None, limit, order, topk)
+}
+
+/// [`plan_query`] with feedback statistics. The requested order (explicit,
+/// or the key a top-k bound ranks by) is handed to [`plan_with`] as the
+/// **interesting order**, so the join planner can choose merge keys that
+/// deliver it natively and the `ensure_order`/`push_topk` rewrites below
+/// find an already-ordered root instead of inserting a breaker.
+fn plan_query_with(
+    expr: &Expr,
+    store: &Triplestore,
+    options: &EvalOptions,
+    stats: Option<&StatsStore>,
+    limit: Option<usize>,
+    order: Option<Permutation>,
+    topk: Option<usize>,
+) -> Result<Plan> {
+    let interesting = match topk {
+        Some(_) => Some(order.unwrap_or(Permutation::Spo)),
+        None => order,
+    };
+    let mut plan = plan_with(expr, store, options, stats, interesting)?;
     if let Some(k) = topk {
         plan.root = push_topk(plan.root, k, order.unwrap_or(Permutation::Spo));
     } else if let Some(perm) = order {
@@ -463,8 +591,12 @@ pub fn plan_query(
     Ok(plan)
 }
 
-/// Rewrites an unbound scan to stream the permutation keyed on `component`;
-/// other nodes must already be ordered on it (checked by the caller).
+/// Rewrites a scan to stream sorted on `component`: an unbound scan
+/// switches to the permutation keyed on it, a bound scan whose run's
+/// [secondary order](Permutation::secondary) keys it declares that order
+/// (the run is physically unchanged — it is already sorted both ways).
+/// Other nodes must already be ordered on the component (checked by the
+/// caller).
 fn deliver_order(node: PlanNode, component: usize) -> PlanNode {
     if node.ordering().map(Permutation::key_component) == Some(component) {
         return node;
@@ -483,6 +615,21 @@ fn deliver_order(node: PlanNode, component: usize) -> PlanNode {
             order: Permutation::keyed_on(component),
             est,
         },
+        PlanNode::IndexScan {
+            relation,
+            bound: Some((bc, id)),
+            residual,
+            est,
+            ..
+        } if Permutation::keyed_on(bc).secondary().key_component() == component => {
+            PlanNode::IndexScan {
+                relation,
+                bound: Some((bc, id)),
+                residual,
+                order: Permutation::keyed_on(bc).secondary(),
+                est,
+            }
+        }
         other => other,
     }
 }
@@ -524,6 +671,22 @@ fn try_order(node: PlanNode, perm: Permutation) -> std::result::Result<PlanNode,
         } => Ok(PlanNode::IndexScan {
             relation,
             bound: None,
+            residual,
+            order: perm,
+            est,
+        }),
+        // A bound run is also strictly sorted under its permutation's
+        // secondary order ([`Permutation::secondary`]): declaring it
+        // delivers `perm` with zero physical change — no sort breaker.
+        PlanNode::IndexScan {
+            relation,
+            bound: Some((bc, id)),
+            residual,
+            est,
+            ..
+        } if Permutation::keyed_on(bc).secondary() == perm => Ok(PlanNode::IndexScan {
+            relation,
+            bound: Some((bc, id)),
             residual,
             order: perm,
             est,
@@ -679,6 +842,13 @@ fn repeated_subexpressions(expr: &Expr) -> HashSet<Expr> {
 struct Planner<'a> {
     store: &'a Triplestore,
     options: &'a EvalOptions,
+    /// Observed-cardinality feedback consulted for every node built.
+    stats: Option<&'a StatsStore>,
+    /// The root output order the query will be asked for (interesting
+    /// orders), pushed down into join-strategy choices.
+    interesting: Option<Permutation>,
+    /// Whether any node's estimate came from observed statistics.
+    used_stats: bool,
     universe_est: Option<usize>,
     repeated: HashSet<Expr>,
     slots: HashMap<Expr, usize>,
@@ -705,6 +875,22 @@ impl Planner<'_> {
         Some((base.len(), index.distinct_counts(base)))
     }
 
+    /// Replaces a freshly built node's heuristic estimate with the observed
+    /// cardinality for its plan shape, when feedback statistics know it.
+    /// Applied bottom-up (children before their parent's strategy choice),
+    /// so a corrected child estimate steers join orientation, build-side and
+    /// merge-vs-probe decisions — the adaptive re-planning step.
+    fn apply_stats(&mut self, node: PlanNode) -> PlanNode {
+        let Some(stats) = self.stats else { return node };
+        match stats.estimate_node(&node) {
+            Some(rows) => {
+                self.used_stats = true;
+                node.with_est(rows as usize)
+            }
+            None => node,
+        }
+    }
+
     fn plan_expr(&mut self, expr: &Expr) -> Result<PlanNode> {
         if self.options.use_memo && memoizable(expr) && self.repeated.contains(expr) {
             let slot = match self.slots.get(expr) {
@@ -716,12 +902,14 @@ impl Planner<'_> {
                 }
             };
             let input = self.plan_inner(expr)?;
+            let input = self.apply_stats(input);
             return Ok(PlanNode::Memo {
                 slot,
                 input: Box::new(input),
             });
         }
-        self.plan_inner(expr)
+        let node = self.plan_inner(expr)?;
+        Ok(self.apply_stats(node))
     }
 
     fn plan_inner(&mut self, expr: &Expr) -> Result<PlanNode> {
@@ -938,7 +1126,10 @@ impl Planner<'_> {
                             .collect::<Vec<ObjAtom>>(),
                         eta: cond.eta.clone(),
                     };
-                    let bound_est = est / distinct.max(1);
+                    // Integer division underflows a nonzero relation to 0
+                    // bound rows whenever `est < distinct`; clamp so only a
+                    // provably empty relation estimates empty.
+                    let bound_est = (est / distinct.max(1)).max(usize::from(*est > 0));
                     let est = selectivity_est(bound_est, &residual_cond);
                     return PlanNode::IndexScan {
                         relation: relation.clone(),
@@ -1031,32 +1222,58 @@ impl Planner<'_> {
         // Sort-merge join: when both inputs can stream sorted on the two
         // sides of the cross equality *for free* — an unbound scan switches
         // to the permutation keyed on the joined component (e.g. POS ⋈ SPO
-        // on 2=1'), an already-ordered operator qualifies as-is — the join
-        // is a single synchronized pass with no build side and no hash
-        // table. Only single-key joins qualify: a merge synchronizes on one
-        // equality and would re-check further keys pair-by-pair across
-        // whole duplicate-run cross products, while a hash join keys on the
+        // on 2=1'), a **bound** scan declares its run's secondary order
+        // ([`Permutation::secondary`]: a POS-bound run is also OSP-sorted),
+        // an already-ordered operator qualifies as-is — the join is a single
+        // synchronized pass with no build side and no hash table. Only
+        // single-key joins qualify: a merge synchronizes on one equality and
+        // would re-check further keys pair-by-pair across whole
+        // duplicate-run cross products, while a hash join keys on the
         // composite and never touches non-matching pairs. An index
         // nested-loop probe still wins when its outer side is much smaller
         // than the two linear scans a merge would read (factor 8: a probe
         // costs a binary search per outer row, a merge reads both inputs
         // end to end).
+        let deliverable = |node: &PlanNode, component: usize| {
+            node.ordering().map(Permutation::key_component) == Some(component)
+                || matches!(node, PlanNode::IndexScan { bound: None, .. })
+                || matches!(node, PlanNode::IndexScan { bound: Some((bc, _)), .. }
+                    if Permutation::keyed_on(*bc).secondary().key_component() == component)
+        };
+        // Interesting orders: an identity-output merge join emits a
+        // subsequence of its ordered left input, so merging on the requested
+        // root order's component delivers that order natively — the final
+        // sort (or top-k heap) dissolves. When that is on the table it
+        // outbids the index nested-loop probe, whose scrambled output would
+        // force a sort breaker back in at the root.
+        let interesting_key = if self.options.use_merge_join && keys.len() == 1 {
+            self.interesting
+                .filter(|_| *output == trial_core::OutputSpec::IDENTITY)
+                .and_then(|perm| {
+                    keys.iter().copied().find(|&(l, r)| {
+                        l.component_index() == perm.key_component()
+                            && deliverable(&left_plan, l.component_index())
+                            && deliverable(&right_plan, r.component_index())
+                    })
+                })
+        } else {
+            None
+        };
         let merge_cost = left_plan.est().saturating_add(right_plan.est());
         let inlj_outer_est = if right_inner {
             left_plan.est()
         } else {
             right_plan.est()
         };
-        let prefer_inlj =
-            (right_inner || left_inner) && inlj_outer_est.saturating_mul(8) < merge_cost;
+        let prefer_inlj = (right_inner || left_inner)
+            && inlj_outer_est.saturating_mul(8) < merge_cost
+            && interesting_key.is_none();
         if self.options.use_merge_join && keys.len() == 1 && !prefer_inlj {
-            let deliverable = |node: &PlanNode, component: usize| {
-                node.ordering().map(Permutation::key_component) == Some(component)
-                    || matches!(node, PlanNode::IndexScan { bound: None, .. })
-            };
-            let chosen = keys.iter().copied().find(|&(l, r)| {
-                deliverable(&left_plan, l.component_index())
-                    && deliverable(&right_plan, r.component_index())
+            let chosen = interesting_key.or_else(|| {
+                keys.iter().copied().find(|&(l, r)| {
+                    deliverable(&left_plan, l.component_index())
+                        && deliverable(&right_plan, r.component_index())
+                })
             });
             if let Some(key) = chosen {
                 return Ok(PlanNode::MergeJoin {
@@ -1200,21 +1417,34 @@ fn star_est(input_est: usize, universe_est: usize) -> usize {
 
 /// Selection selectivity heuristic: equalities keep ~20% of rows,
 /// inequalities ~80%.
+///
+/// Returns 0 only when the input is **provably empty** (`input_est == 0`);
+/// otherwise every intermediate is clamped to at least one row, so a long
+/// chain of equalities cannot underflow a nonzero estimate to 0 — an
+/// estimate [`push_limit`] and the Empty-propagation rewrites would treat
+/// as "no rows ever", turning a mis-estimate into a wrong plan shape.
 fn selectivity_est(input_est: usize, cond: &Conditions) -> usize {
+    if input_est == 0 {
+        return 0;
+    }
     let mut est = input_est as f64;
     for atom in &cond.theta {
-        est *= match atom.cmp {
-            Cmp::Eq => 0.2,
-            Cmp::Neq => 0.8,
-        };
+        est = (est
+            * match atom.cmp {
+                Cmp::Eq => 0.2,
+                Cmp::Neq => 0.8,
+            })
+        .max(1.0);
     }
     for atom in &cond.eta {
-        est *= match atom.cmp {
-            Cmp::Eq => 0.25,
-            Cmp::Neq => 0.75,
-        };
+        est = (est
+            * match atom.cmp {
+                Cmp::Eq => 0.25,
+                Cmp::Neq => 0.75,
+            })
+        .max(1.0);
     }
-    (est.ceil() as usize).max(1)
+    est.ceil() as usize
 }
 
 #[cfg(test)]
@@ -1602,9 +1832,11 @@ mod tests {
             }
             other => panic!("expected IndexNestedLoopJoin, got:\n{}", other.explain()),
         }
-        // A small bound-scan outer cannot deliver the key order (it is
-        // pinned to the bound component's permutation) and is much smaller
-        // than a two-sided scan: the index nested-loop probe stays.
+        // A bound scan (pinned to the bound component's POS run) delivers
+        // the key component 3 through its *secondary* order — a bound POS
+        // run is also OSP-sorted — so on this small store (where the
+        // factor-8 probe gate does not fire) the join merges OSP against
+        // SPO with no sort and no hash table.
         let probing = Expr::rel("E")
             .select(Conditions::new().obj_eq_const(Pos::L2, "part_of"))
             .join(
@@ -1613,6 +1845,25 @@ mod tests {
                 Conditions::new().obj_eq(Pos::L3, Pos::R1),
             );
         let plan = SmartEngine::new().plan(&probing, &store).unwrap();
+        match &plan.root {
+            PlanNode::MergeJoin {
+                left, right, key, ..
+            } => {
+                assert_eq!(*key, (Pos::L3, Pos::R1));
+                assert_eq!(left.ordering(), Some(trial_core::Permutation::Osp));
+                assert_eq!(right.ordering(), Some(trial_core::Permutation::Spo));
+            }
+            other => panic!("expected MergeJoin, got:\n{}", other.explain()),
+        }
+        // When the bound outer is ≫ smaller than the two runs a merge would
+        // read end-to-end, the index nested-loop probe still wins.
+        let mut big = TriplestoreBuilder::new();
+        for i in 0..40 {
+            big.add_triple("E", format!("s{i}"), format!("p{i}"), format!("o{i}"));
+        }
+        big.add_triple("E", "TrainOp1", "part_of", "EastCoast");
+        let big = big.finish();
+        let plan = SmartEngine::new().plan(&probing, &big).unwrap();
         assert!(
             matches!(plan.root, PlanNode::IndexNestedLoopJoin { .. }),
             "expected IndexNestedLoopJoin, got:\n{}",
@@ -2226,5 +2477,177 @@ mod tests {
         let p2 = SmartEngine::new().plan(&q, &store).unwrap();
         assert_eq!(p1, p2);
         assert_eq!(p1.explain(), p2.explain());
+    }
+
+    #[test]
+    fn bound_scans_merge_against_each_other_via_secondary_orders() {
+        // Two label-bound scans joined on their third components: each bound
+        // POS run is also OSP-sorted, so the planner merges OSP against OSP
+        // with no sort and no hash table.
+        let mut b = TriplestoreBuilder::new();
+        for (s, p, o) in [
+            ("a", "x", "c"),
+            ("d", "x", "e"),
+            ("g", "x", "h"),
+            ("b", "y", "c"),
+            ("f", "y", "e"),
+            ("i", "z", "c"),
+        ] {
+            b.add_triple("E", s, p, o);
+        }
+        let store = b.finish();
+        let q = Expr::rel("E")
+            .select(Conditions::new().obj_eq_const(Pos::L2, "x"))
+            .join(
+                Expr::rel("E").select(Conditions::new().obj_eq_const(Pos::L2, "y")),
+                trial_core::OutputSpec::IDENTITY,
+                Conditions::new().obj_eq(Pos::L3, Pos::R3),
+            );
+        let plan = SmartEngine::new().plan(&q, &store).unwrap();
+        match &plan.root {
+            PlanNode::MergeJoin {
+                left, right, key, ..
+            } => {
+                assert_eq!(*key, (Pos::L3, Pos::R3));
+                assert_eq!(left.ordering(), Some(trial_core::Permutation::Osp));
+                assert_eq!(right.ordering(), Some(trial_core::Permutation::Osp));
+                // Identity output: the merge itself claims the left order.
+                assert_eq!(plan.root.ordering(), Some(trial_core::Permutation::Osp));
+            }
+            other => panic!("expected MergeJoin, got:\n{}", other.explain()),
+        }
+        assert!(
+            plan.root
+                .preorder()
+                .iter()
+                .all(|n| !matches!(n, PlanNode::Sort { .. })),
+            "no sort should be needed:\n{}",
+            plan.explain()
+        );
+        let eval = SmartEngine::new()
+            .evaluate_query(&q, &store, None, None, None)
+            .unwrap();
+        assert_eq!(eval.stats.hash_tables_built, 0);
+        let naive = NaiveEngine::new().run(&q, &store).unwrap();
+        assert_eq!(eval.result, naive);
+    }
+
+    #[test]
+    fn interesting_orders_flip_probes_to_order_delivering_merges() {
+        // On a store where the bound outer is tiny the probe gate normally
+        // picks an index nested-loop join — which cannot deliver any order.
+        let mut b = TriplestoreBuilder::new();
+        for i in 0..40 {
+            b.add_triple("E", format!("s{i}"), format!("p{i}"), format!("o{i}"));
+        }
+        b.add_triple("E", "TrainOp1", "part_of", "EastCoast");
+        b.add_triple("E", "EastCoast", "part_of", "NatExpress");
+        let store = b.finish();
+        let q = Expr::rel("E")
+            .select(Conditions::new().obj_eq_const(Pos::L2, "part_of"))
+            .join(
+                Expr::rel("E"),
+                trial_core::OutputSpec::IDENTITY,
+                Conditions::new().obj_eq(Pos::L3, Pos::R1),
+            );
+        let engine = SmartEngine::new();
+        let cold = engine.plan(&q, &store).unwrap();
+        assert!(
+            matches!(cold.root, PlanNode::IndexNestedLoopJoin { .. }),
+            "without an order request the probe should win:\n{}",
+            cold.explain()
+        );
+        // Requesting OSP order makes the key's order interesting: the bound
+        // scan's secondary order delivers it, so the planner flips to a
+        // merge join and the requested order arrives sort-free.
+        let ordered = engine
+            .plan_query(&q, &store, None, Some(Permutation::Osp), None)
+            .unwrap();
+        match &ordered.root {
+            PlanNode::MergeJoin { left, key, .. } => {
+                assert_eq!(*key, (Pos::L3, Pos::R1));
+                assert_eq!(left.ordering(), Some(trial_core::Permutation::Osp));
+            }
+            other => panic!("expected MergeJoin, got:\n{}", other.explain()),
+        }
+        assert!(
+            ordered
+                .root
+                .preorder()
+                .iter()
+                .all(|n| !matches!(n, PlanNode::Sort { .. })),
+            "the interesting order must arrive without a sort:\n{}",
+            ordered.explain()
+        );
+        // Both shapes agree with the naive engine.
+        let naive = NaiveEngine::new().run(&q, &store).unwrap();
+        assert_eq!(engine.run(&q, &store).unwrap(), naive);
+        let eval = engine
+            .evaluate_query(&q, &store, None, Some(Permutation::Osp), None)
+            .unwrap();
+        assert_eq!(eval.result, naive);
+    }
+
+    #[test]
+    fn selectivity_estimates_never_underflow_nonempty_inputs() {
+        // A long chain of equalities decays geometrically but must bottom
+        // out at one row while the input is nonempty: rounding to 0 would
+        // let Empty-propagation rewrites discard rows that still exist.
+        let mut cond = Conditions::new();
+        for _ in 0..30 {
+            cond = cond.obj_eq(Pos::L1, Pos::L3).data_eq(Pos::L1, Pos::L2);
+        }
+        assert_eq!(selectivity_est(0, &cond), 0, "provably empty stays empty");
+        assert!(selectivity_est(1, &cond) >= 1);
+        assert!(selectivity_est(7, &cond) >= 1);
+        assert!(selectivity_est(1_000_000, &cond) >= 1);
+        assert_eq!(selectivity_est(500, &Conditions::new()), 500);
+        // End to end: the heavily-filtered scan plans with a nonzero
+        // estimate and does not fold to an Empty node.
+        let store = figure1();
+        let q = Expr::rel("E").select(cond);
+        let plan = SmartEngine::new().plan(&q, &store).unwrap();
+        assert!(
+            plan.root.est() >= 1,
+            "nonempty input must keep est >= 1:\n{}",
+            plan.explain()
+        );
+        assert!(!matches!(plan.root, PlanNode::Empty));
+    }
+
+    #[test]
+    fn feedback_stats_shrink_estimate_errors_without_changing_results() {
+        let store = grid(4_000);
+        let stats = Arc::new(StatsStore::new());
+        let engine = SmartEngine::with_stats(EvalOptions::default(), Arc::clone(&stats));
+        // The heuristic badly over-estimates this self-equality filter
+        // (20% of 4 007 rows vs. 0 actual matches), so the first analyzed
+        // run reports a large error and teaches the stats store better.
+        let q = Expr::rel("E").select(Conditions::new().obj_eq(Pos::L1, Pos::L3));
+        let cold = engine.evaluate_analyzed(&q, &store, None).unwrap();
+        assert!(
+            cold.est_sources.iter().all(|s| !s),
+            "a cold engine has no stats to draw on"
+        );
+        let cold_feedback = cold.feedback.as_ref().expect("stats engine gives feedback");
+        assert!(cold_feedback.ingested > 0);
+        let warm = engine.evaluate_analyzed(&q, &store, None).unwrap();
+        assert!(
+            warm.est_sources.iter().any(|s| *s),
+            "the second run must use observed estimates"
+        );
+        assert!(stats.replans() >= 1, "stats-driven replans are counted");
+        let err_sum = |s: &crate::stats::ObserveSummary| s.est_errors.iter().sum::<u64>();
+        let warm_feedback = warm.feedback.as_ref().unwrap();
+        assert!(
+            err_sum(warm_feedback) < err_sum(cold_feedback),
+            "estimate error must shrink: cold {:?} vs warm {:?}",
+            cold_feedback.est_errors,
+            warm_feedback.est_errors
+        );
+        // Feedback changes estimates, never answers.
+        assert_eq!(cold.evaluation.result, warm.evaluation.result);
+        let naive = NaiveEngine::new().run(&q, &store).unwrap();
+        assert_eq!(warm.evaluation.result, naive);
     }
 }

@@ -68,6 +68,16 @@ pub struct CacheKey {
     /// The requested `?topk=` bound, or `None`: a top-k fragment is a
     /// different result than a limit-truncated one.
     pub topk: Option<u64>,
+    /// `true` for `?nostats=1` requests, which plan with pure heuristics:
+    /// their explain fragments (and stats blocks) differ from the
+    /// feedback-driven default and must not share an entry with it.
+    pub nostats: bool,
+    /// The [`trial_eval::StatsStore`] generation the fragment was planned
+    /// against (0 under `?nostats=1`). Feedback changes plans *within* an
+    /// epoch, so a warmed table must stop re-serving fragments planned cold
+    /// — and a cached `analyze` must not short-circuit the very runs that
+    /// feed the table.
+    pub stats_generation: u64,
 }
 
 #[derive(Debug)]
@@ -386,6 +396,8 @@ mod tests {
             analyze: false,
             order: None,
             topk: None,
+            nostats: false,
+            stats_generation: 0,
         }
     }
 
@@ -447,6 +459,19 @@ mod tests {
             ..key("s", 1, "E")
         };
         assert!(cache.get(&topk).is_none());
+        // A warmed stats table (new generation) and the ?nostats=1 escape
+        // hatch each get fresh entries: feedback changes plans within an
+        // epoch.
+        let warmed = CacheKey {
+            stats_generation: 3,
+            ..key("s", 1, "E")
+        };
+        assert!(cache.get(&warmed).is_none());
+        let nostats = CacheKey {
+            nostats: true,
+            ..key("s", 1, "E")
+        };
+        assert!(cache.get(&nostats).is_none());
     }
 
     #[test]

@@ -23,8 +23,14 @@ use crate::cache::{PrefixCache, QueryCache};
 use crate::registry::StoreRegistry;
 use std::sync::Arc;
 use std::time::Instant;
-use trial_eval::EvalStats;
+use trial_eval::{EvalStats, ObserveSummary};
 use trial_obs::{Counter, Gauge, Histogram, Registry, LATENCY_BUCKETS_US, ROW_BUCKETS};
+
+/// Relative estimate-error buckets in percent: 0 % (exact) through 10×
+/// off and beyond. The shape of this histogram is the health signal of the
+/// feedback loop — mass migrating toward the low buckets means the observed
+/// statistics are converging on the workload.
+const EST_ERROR_BUCKETS: &[u64] = &[0, 1, 5, 10, 25, 50, 100, 250, 500, 1_000, 10_000];
 
 /// The request phases a traced request is broken into, in wall order.
 /// `eval` covers planning's cursor compilation onward for buffered queries;
@@ -62,6 +68,11 @@ pub struct Metrics {
     pub(crate) topk_buffered_peak: Arc<Gauge>,
     /// Rows rendered into `/query` responses (decade buckets).
     rows_returned: Arc<Histogram>,
+    /// Per-node relative estimate error (percent) reported by analyzed
+    /// runs — the feedback loop's convergence signal.
+    est_error_pct: Arc<Histogram>,
+    /// Plan-node observations ingested into feedback statistics.
+    stats_observations: Arc<Counter>,
 }
 
 impl Metrics {
@@ -126,6 +137,17 @@ impl Metrics {
             "Rows rendered into one /query response.",
             &[],
             ROW_BUCKETS,
+        );
+        let est_error_pct = r.histogram(
+            "trial_planner_est_error_pct",
+            "Per-node relative estimate error (percent) from analyzed runs.",
+            &[],
+            EST_ERROR_BUCKETS,
+        );
+        let stats_observations = r.counter(
+            "trial_planner_stats_observations_total",
+            "Plan-node cardinality observations ingested into feedback statistics.",
+            &[],
         );
 
         // Fn-backed series: /metrics and /healthz read the same atomics.
@@ -215,6 +237,32 @@ impl Metrics {
             &[],
             move || s.len() as u64,
         );
+        // Feedback-statistics state, read at scrape time from the same
+        // StatsStores the planner consults.
+        let s = Arc::clone(stores);
+        r.gauge_fn(
+            "trial_planner_stats_entries",
+            "Observed-cardinality fingerprints held across all stores.",
+            &[],
+            move || {
+                s.stats_list()
+                    .iter()
+                    .map(|(_, stats)| stats.entries() as u64)
+                    .sum()
+            },
+        );
+        let s = Arc::clone(stores);
+        r.counter_fn(
+            "trial_planner_replans_total",
+            "Plans that drew on at least one observed estimate.",
+            &[],
+            move || {
+                s.stats_list()
+                    .iter()
+                    .map(|(_, stats)| stats.replans())
+                    .sum()
+            },
+        );
         r.gauge_fn(
             "trial_uptime_seconds",
             "Seconds since the server started.",
@@ -234,6 +282,8 @@ impl Metrics {
             parallel_morsels,
             topk_buffered_peak,
             rows_returned,
+            est_error_pct,
+            stats_observations,
         }
     }
 
@@ -309,5 +359,15 @@ impl Metrics {
     /// Records the number of rows rendered into one `/query` response.
     pub(crate) fn observe_rows(&self, rows: u64) {
         self.rows_returned.observe(rows);
+    }
+
+    /// Folds one analyzed run's feedback into the surface: every per-node
+    /// estimate error lands in the histogram, every ingested observation in
+    /// the counter.
+    pub(crate) fn observe_feedback(&self, feedback: &ObserveSummary) {
+        for &error in &feedback.est_errors {
+            self.est_error_pct.observe(error);
+        }
+        self.stats_observations.add(feedback.ingested as u64);
     }
 }

@@ -477,6 +477,11 @@ struct QueryParams {
     order: Option<Permutation>,
     /// The `?topk=` bound, if any.
     topk: Option<usize>,
+    /// `true` for `?nostats=1`: plan with pure heuristics, ignoring the
+    /// store's observed-cardinality feedback — the escape hatch for
+    /// comparing adaptive and static plans (and for pinning down a
+    /// regression to the feedback loop).
+    nostats: bool,
 }
 
 /// Parses and validates the query-string knobs shared by every query path.
@@ -531,6 +536,8 @@ fn parse_query_params(
         },
         None => None,
     };
+    // `?nostats=1` opts the request out of feedback-driven planning.
+    let nostats = matches!(req.param("nostats"), Some("1" | "true" | "yes"));
     Ok(QueryParams {
         requested_limit,
         limit: requested_limit.unwrap_or(DEFAULT_RESULT_LIMIT),
@@ -538,6 +545,7 @@ fn parse_query_params(
         analyze,
         order,
         topk,
+        nostats,
     })
 }
 
@@ -599,6 +607,7 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
         analyze,
         order,
         topk,
+        nostats,
     } = params;
 
     let snapshot = match resolve_store(state, req) {
@@ -607,6 +616,12 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
     };
     trace.set_store(snapshot.name());
 
+    // The store's feedback statistics (skipped under ?nostats=1). Fetched
+    // before the cache probe: the key carries the table's generation, so a
+    // fragment planned against cold statistics stops being served once the
+    // table has warmed — and a cached analyze cannot starve the feedback
+    // loop that warms it.
+    let stats = (!nostats).then(|| state.registry.stats_for(snapshot.name()));
     let key = CacheKey {
         store: snapshot.name().to_owned(),
         epoch: snapshot.epoch(),
@@ -623,6 +638,8 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
         analyze,
         order: order.map(Permutation::name),
         topk: topk.map(|k| k as u64),
+        nostats,
+        stats_generation: stats.as_ref().map_or(0, |s| s.generation()),
     };
     if let Some(fragment) = state.cache.get(&key) {
         state.metrics.queries_served.inc();
@@ -681,10 +698,14 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
     };
     trace.phase("admission", admission_started);
 
-    let engine = SmartEngine::with_options(trial_eval::EvalOptions {
+    let options = trial_eval::EvalOptions {
         threads,
         ..state.eval
-    });
+    };
+    let engine = match &stats {
+        Some(stats) => SmartEngine::with_stats(options, Arc::clone(stats)),
+        None => SmartEngine::with_options(options),
+    };
     let fragment = match kind {
         QueryKind::Query if ordered_prefix.is_some() => {
             // Ordered path: render per-row fragments so the prefix cache can
@@ -745,10 +766,17 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                         trace.set_plan(|| analyzed.plan.explain().trim_end().to_owned());
                         trace.set_nodes(analyzed.profiles.clone(), 1);
                         observe_fresh_eval(state, &analyzed.evaluation.stats);
+                        // The analyze run is what feeds the planner's
+                        // statistics; its per-node estimate errors land in
+                        // the est_error histogram.
+                        if let Some(feedback) = &analyzed.feedback {
+                            state.metrics.observe_feedback(feedback);
+                        }
                         let mut index = 0;
                         let tree = plan_tree_json(
                             &analyzed.plan.root,
                             threads,
+                            Some(&analyzed.est_sources),
                             Some(&analyzed.actuals),
                             Some(&analyzed.profiles),
                             &mut index,
@@ -773,8 +801,16 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                 };
                 trace.phase("plan", plan_started);
                 trace.set_plan(|| plan.explain().trim_end().to_owned());
+                let est_sources = engine.estimate_sources(&plan);
                 let mut index = 0;
-                let tree = plan_tree_json(&plan.root, threads, None, None, &mut index);
+                let tree = plan_tree_json(
+                    &plan.root,
+                    threads,
+                    Some(&est_sources),
+                    None,
+                    None,
+                    &mut index,
+                );
                 JsonObject::new()
                     .str("query", &expr.to_string())
                     .num("threads", threads as u64)
@@ -1002,6 +1038,8 @@ pub(crate) struct StreamingQuery {
     limit: usize,
     order: Option<Permutation>,
     topk: Option<usize>,
+    /// `true` for `?nostats=1`: plan with pure heuristics.
+    nostats: bool,
     /// `Some(key)` when resuming from a cursor token: the stream is seeked
     /// strictly past this permutation key instead of replaying from row 0.
     resume: Option<[trial_core::ObjectId; 3]>,
@@ -1105,6 +1143,7 @@ fn streaming_query(
         limit: params.limit,
         order,
         topk: params.topk,
+        nostats: params.nostats,
         resume,
         close: req.close,
         _permit: permit,
@@ -1128,10 +1167,17 @@ impl StreamingQuery {
             .trace
             .take()
             .unwrap_or_else(|| Trace::begin(trace::next_request_id(), "POST", "/query", false));
-        let engine = SmartEngine::with_options(trial_eval::EvalOptions {
+        let options = trial_eval::EvalOptions {
             threads: self.threads,
             ..state.eval
-        });
+        };
+        let engine = if self.nostats {
+            SmartEngine::with_options(options)
+        } else {
+            // Streamed queries plan with (but never feed) the store's
+            // observed statistics: only analyzed runs report actuals.
+            SmartEngine::with_stats(options, state.registry.stats_for(self.snapshot.name()))
+        };
         let store = self.snapshot.store();
         let probe_limit = Some(self.limit.saturating_add(1));
         let plan_started = trace.now();
@@ -1288,7 +1334,9 @@ fn stats_json(stats: &EvalStats) -> String {
 /// `index` tracks the node's preorder position, which is how `actuals` (from
 /// an `?analyze=1` run, indexed per [`trial_eval::PlanNode::preorder`]) line
 /// up with the tree: when present, each node carries an `"actual"` row count
-/// next to its `"est"` (JSON `null` for nodes that streamed through a limit
+/// next to its `"est"` (and `"est_src"` says whether that estimate came from
+/// observed `"stats"` or the static `"heuristic"`; JSON `null` for nodes
+/// that streamed through a limit
 /// boundary without being individually materialised). `profiles` (also
 /// preorder-indexed, from the same analyze run) adds wall-clock
 /// `"elapsed_us"` — inclusive of children — and, for pipeline breakers,
@@ -1296,6 +1344,7 @@ fn stats_json(stats: &EvalStats) -> String {
 fn plan_tree_json(
     node: &trial_eval::PlanNode,
     threads: usize,
+    est_sources: Option<&[bool]>,
     actuals: Option<&[Option<u64>]>,
     profiles: Option<&[NodeProfile]>,
     index: &mut usize,
@@ -1305,11 +1354,23 @@ fn plan_tree_json(
     let children: Vec<String> = node
         .children()
         .into_iter()
-        .map(|child| plan_tree_json(child, threads, actuals, profiles, index))
+        .map(|child| plan_tree_json(child, threads, est_sources, actuals, profiles, index))
         .collect();
     let mut object = JsonObject::new()
         .str("op", &node.label_with_threads(threads))
         .num("est", node.est() as u64);
+    // Where the estimate came from: an observed cardinality from the store's
+    // feedback statistics, or the static selectivity heuristics.
+    if let Some(sources) = est_sources {
+        object = object.str(
+            "est_src",
+            if sources.get(position).copied().unwrap_or(false) {
+                "stats"
+            } else {
+                "heuristic"
+            },
+        );
+    }
     if let Some(actuals) = actuals {
         match actuals.get(position).copied().flatten() {
             Some(actual) => object = object.num("actual", actual),
@@ -1439,6 +1500,11 @@ fn load(state: &ServerState, req: &Request) -> Response {
     let Some(epoch) = state.registry.try_set(store_name, store, state.max_stores) else {
         return store_cap_error();
     };
+    // Still under the write gate: the snapshot swap and the statistics
+    // invalidation land as one atomic step with respect to other loads, so
+    // no observation taken against the old snapshot can slip into the new
+    // epoch's table between them.
+    state.registry.invalidate_stats(store_name, epoch);
     state.metrics.loads_completed.inc();
 
     Response::ok(

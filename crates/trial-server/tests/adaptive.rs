@@ -1,0 +1,141 @@
+//! End-to-end tests for the adaptive planning loop: `/explain?analyze=1`
+//! feeds per-store observed cardinalities, later plans report
+//! `est_src: stats`, `?nostats=1` opts out, `/load` atomically invalidates
+//! the statistics with the epoch bump, and `/metrics` exposes the feedback
+//! counters.
+
+use trial_server::client;
+use trial_server::Server;
+
+/// Extracts the integer value of `"field":N` from a flat JSON rendering.
+fn json_u64(body: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\":");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no `{needle}` in `{body}`"));
+    body[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric `{needle}` in `{body}`"))
+}
+
+/// The value of a Prometheus sample line `name 42` (no labels).
+fn metric(body: &str, name: &str) -> f64 {
+    body.lines()
+        .find_map(|line| line.strip_prefix(&format!("{name} ")))
+        .unwrap_or_else(|| panic!("no `{name}` sample in exposition"))
+        .trim()
+        .parse()
+        .unwrap()
+}
+
+/// A skewed N-Triples document: 200 `hot` edges, 4 `rare` edges.
+fn skewed_doc() -> String {
+    let mut doc = String::new();
+    for i in 0..200 {
+        doc.push_str(&format!("<n{i}> <hot> <n{}> .\n", i + 1));
+    }
+    for i in 0..4 {
+        doc.push_str(&format!("<r{i}> <rare> <n{}> .\n", i * 9));
+    }
+    doc
+}
+
+#[test]
+fn analyze_feeds_stats_and_later_explains_report_them() {
+    let server = Server::spawn_ephemeral().unwrap();
+    let addr = server.addr();
+    client::post(addr, "/load?store=skew", &skewed_doc()).unwrap();
+    let query = "(SELECT[2='rare'](E) JOIN[1,2,3' | 3=1'] SELECT[2='hot'](E))";
+
+    // Cold: every estimate is heuristic, and the analyze run itself reports
+    // so honestly (its plan was built before any feedback existed).
+    let cold = client::post(addr, "/explain?store=skew&analyze=1", query).unwrap();
+    assert!(cold.is_ok(), "{}", cold.body);
+    assert!(
+        cold.body.contains("\"est_src\":\"heuristic\""),
+        "{}",
+        cold.body
+    );
+    assert!(
+        !cold.body.contains("\"est_src\":\"stats\""),
+        "{}",
+        cold.body
+    );
+    assert!(cold.body.contains("\"actual\":"), "{}", cold.body);
+
+    // Warm: the next explain draws on the observed cardinalities.
+    let warm = client::post(addr, "/explain?store=skew", query).unwrap();
+    assert!(warm.body.contains("\"est_src\":\"stats\""), "{}", warm.body);
+
+    // ?nostats=1 is the escape hatch back to pure heuristics — a distinct
+    // cache entry from the stats-fed fragment.
+    let opted_out = client::post(addr, "/explain?store=skew&nostats=1", query).unwrap();
+    assert!(
+        !opted_out.body.contains("\"est_src\":\"stats\""),
+        "{}",
+        opted_out.body
+    );
+    assert!(
+        opted_out.body.contains("\"est_src\":\"heuristic\""),
+        "{}",
+        opted_out.body
+    );
+
+    // Adaptive and heuristic plans answer identically.
+    let with_stats = client::post(addr, "/query?store=skew", query).unwrap();
+    let without = client::post(addr, "/query?store=skew&nostats=1", query).unwrap();
+    assert_eq!(
+        json_u64(&with_stats.body, "count"),
+        json_u64(&without.body, "count")
+    );
+
+    // The feedback loop is on the metric surface.
+    let metrics = client::get(addr, "/metrics").unwrap().body;
+    assert!(metric(&metrics, "trial_planner_stats_entries") >= 1.0);
+    assert!(metric(&metrics, "trial_planner_replans_total") >= 1.0);
+    assert!(metric(&metrics, "trial_planner_stats_observations_total") >= 1.0);
+    assert!(metric(&metrics, "trial_planner_est_error_pct_count") >= 1.0);
+
+    server.shutdown();
+}
+
+#[test]
+fn load_invalidates_stats_with_the_epoch_bump() {
+    let server = Server::spawn_ephemeral().unwrap();
+    let addr = server.addr();
+    client::post(addr, "/load?store=skew", &skewed_doc()).unwrap();
+    let query = "(SELECT[2='rare'](E) JOIN[1,2,3' | 3=1'] SELECT[2='hot'](E))";
+
+    // Warm the statistics, confirm they are visible.
+    client::post(addr, "/explain?store=skew&analyze=1", query).unwrap();
+    let warm = client::post(addr, "/explain?store=skew", query).unwrap();
+    assert!(warm.body.contains("\"est_src\":\"stats\""), "{}", warm.body);
+    let metrics = client::get(addr, "/metrics").unwrap().body;
+    assert!(metric(&metrics, "trial_planner_stats_entries") >= 1.0);
+
+    // Reload the store: the data changed, so every observed cardinality
+    // (and every ObjectId baked into a fingerprint) is invalid.
+    let reload = client::post(addr, "/load?store=skew", &skewed_doc()).unwrap();
+    assert_eq!(json_u64(&reload.body, "epoch"), 2);
+    let metrics = client::get(addr, "/metrics").unwrap().body;
+    assert_eq!(metric(&metrics, "trial_planner_stats_entries"), 0.0);
+
+    // Post-reload plans are heuristic until a fresh analyze feeds the new
+    // epoch's table.
+    let cold = client::post(addr, "/explain?store=skew", query).unwrap();
+    assert!(
+        !cold.body.contains("\"est_src\":\"stats\""),
+        "{}",
+        cold.body
+    );
+    assert!(
+        cold.body.contains("\"est_src\":\"heuristic\""),
+        "{}",
+        cold.body
+    );
+
+    server.shutdown();
+}

@@ -487,11 +487,21 @@ fn eval_threads_knob_and_analyze_explain() {
         json_u64(&analyzed.body, "rows"),
         json_u64(&seq.body, "count")
     );
-    // A plain explain of the same text is a distinct cache entry without
-    // actuals.
+    // A plain explain of the same text re-plans rather than re-serving the
+    // pre-analyze fragment: the analyze run warmed the store's feedback
+    // statistics, and the cache key carries their generation. The fresh
+    // fragment has no actuals, reports its estimate sources, and *is*
+    // cached at the new generation.
+    let plain = client::post(addr, "/explain?store=p", query).unwrap();
+    assert!(plain.body.contains("\"cached\":false"), "{}", plain.body);
+    assert!(!plain.body.contains("\"actual\":"), "{}", plain.body);
+    assert!(
+        plain.body.contains("\"est_src\":\"stats\""),
+        "{}",
+        plain.body
+    );
     let plain = client::post(addr, "/explain?store=p", query).unwrap();
     assert!(plain.body.contains("\"cached\":true"), "{}", plain.body);
-    assert!(!plain.body.contains("\"actual\":"), "{}", plain.body);
 
     server.shutdown();
 }

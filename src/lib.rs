@@ -28,7 +28,16 @@
 //! curl -s "localhost:7878/query?cursor=$TOKEN" -d "E"             # next page
 //! curl -s localhost:7878/stores                                   # inventory
 //! curl -s localhost:7878/healthz                                  # counters
+//! curl -s "localhost:7878/explain?analyze=1" -d "E"  # run + feed planner stats
+//! curl -s "localhost:7878/query?nostats=1" -d "E"    # opt out of learned stats
 //! ```
+//!
+//! The planner is adaptive: `?analyze=1` runs feed observed per-node
+//! cardinalities into a per-store statistics table, later plans draw on
+//! them (each `/explain` node reports `est_src: stats` or `heuristic`),
+//! `?nostats=1` opts a request back out, and `/load` invalidates the
+//! table with the epoch bump. See the [`eval`] crate's *Adaptive
+//! planning* section.
 //!
 //! `?stream=1` switches the response to chunked transfer encoding fed by a
 //! parallel exchange — rows hit the wire as evaluation produces them, and

@@ -12,8 +12,9 @@
 //!
 //! then review the `tests/golden/*.txt` diff like any other code change.
 
+use std::sync::Arc;
 use trial_core::{Permutation, Triplestore, TriplestoreBuilder};
-use trial_eval::{EvalOptions, SmartEngine};
+use trial_eval::{EvalOptions, SmartEngine, StatsStore};
 
 /// One golden case: a parsed query plus the planner knobs under test.
 struct Case {
@@ -65,6 +66,23 @@ const CASES: &[Case] = &[
         "((E JOIN[1,2,3' | 3=1',rho(1)=rho(3')] E) JOIN[1,2,3' | 3=1'] SELECT[2='part_of'](E))",
     ),
     case("join-nested-loop", "(E JOIN[1,2,3' | 1!=1'] E)"),
+    // Two label-bound scans joined on their third components: each bound
+    // POS run is also OSP-sorted (the secondary order), so this merges
+    // OSP⋈OSP where it previously had to hash.
+    case(
+        "join-merge-bound-bound",
+        "(SELECT[2='part_of'](E) JOIN[1,2,3' | 3=3'] SELECT[2='BusOp1'](E))",
+    ),
+    // An identity-output (semijoin-shaped) join under ?order=osp: the merge
+    // join inherits its left side's secondary order, so the requested order
+    // arrives with no sort breaker.
+    Case {
+        order: Some(Permutation::Osp),
+        ..case(
+            "order-semijoin-no-sort",
+            "(SELECT[2='part_of'](E) JOIN[1,2,3 | 3=1'] E)",
+        )
+    },
     // Set operations, stars, memoisation.
     case("union-pushdown", "SELECT[2='part_of']((E UNION E))"),
     case("diff-complement", "(E MINUS COMPL(E))"),
@@ -117,13 +135,28 @@ fn store() -> Triplestore {
 }
 
 /// Renders one case: a reproducibility header plus the explain tree.
-fn render(case: &Case, store: &Triplestore) -> String {
+///
+/// With `warmed`, the engine carries a fresh `StatsStore` fed by one
+/// analyzed execution of the same query, so the rendered plan is what a
+/// server produces *after* feedback — the corpus pins both halves of the
+/// adaptive loop. The store and feed run are fixed, so the warmed plans
+/// are exactly as deterministic as the cold ones.
+fn render(case: &Case, store: &Triplestore, warmed: bool) -> String {
     let expr = trial_parser::parse(case.query)
         .unwrap_or_else(|e| panic!("case `{}` does not parse: {e}", case.name));
-    let engine = SmartEngine::with_options(EvalOptions {
+    let options = EvalOptions {
         threads: case.threads,
         ..EvalOptions::default()
-    });
+    };
+    let engine = if warmed {
+        let engine = SmartEngine::with_stats(options, Arc::new(StatsStore::new()));
+        engine
+            .evaluate_analyzed_query(&expr, store, case.limit, case.order, case.topk)
+            .unwrap_or_else(|e| panic!("case `{}` does not warm up: {e}", case.name));
+        engine
+    } else {
+        SmartEngine::with_options(options)
+    };
     let plan = engine
         .plan_query(&expr, store, case.limit, case.order, case.topk)
         .unwrap_or_else(|e| panic!("case `{}` does not plan: {e}", case.name));
@@ -132,7 +165,7 @@ fn render(case: &Case, store: &Triplestore) -> String {
         None => String::new(),
     };
     format!(
-        "# query: {}\n# knobs:{}{}{}{}\n{}",
+        "# query: {}\n# knobs:{}{}{}{}\n{}{}",
         case.query,
         knob("limit", case.limit.map(|k| k.to_string())),
         knob("order", case.order.map(|p| p.to_string())),
@@ -141,18 +174,32 @@ fn render(case: &Case, store: &Triplestore) -> String {
             "threads",
             (case.threads > 1).then(|| case.threads.to_string())
         ),
+        if warmed { "# stats: warmed\n" } else { "" },
         plan.explain(),
     )
 }
 
-fn golden_path(name: &str) -> std::path::PathBuf {
+fn golden_path(subdir: &str, name: &str) -> std::path::PathBuf {
     std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/golden")
+        .join(subdir)
         .join(format!("{name}.txt"))
 }
 
 #[test]
 fn golden_explain_corpus() {
+    run_corpus("", false);
+}
+
+/// The same corpus planned with warmed statistics: every estimate the
+/// feedback loop can improve — and every plan shape it can flip — is a
+/// reviewed golden diff under `tests/golden/warmed/`, not a silent change.
+#[test]
+fn golden_explain_corpus_warmed() {
+    run_corpus("warmed", true);
+}
+
+fn run_corpus(subdir: &str, warmed: bool) {
     let bless = std::env::var("TRIAL_BLESS")
         .map(|v| v == "1")
         .unwrap_or(false);
@@ -165,8 +212,8 @@ fn golden_explain_corpus() {
 
     let mut failures = Vec::new();
     for case in CASES {
-        let actual = render(case, &store);
-        let path = golden_path(case.name);
+        let actual = render(case, &store, warmed);
+        let path = golden_path(subdir, case.name);
         if bless {
             std::fs::create_dir_all(path.parent().unwrap()).unwrap();
             std::fs::write(&path, &actual).unwrap();
