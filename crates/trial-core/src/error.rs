@@ -39,6 +39,11 @@ pub enum Error {
     /// A resource limit (configured by the caller) was exceeded during
     /// evaluation, e.g. the materialised universal relation would be too big.
     LimitExceeded(String),
+    /// The evaluation was cancelled before completion — the deadline passed
+    /// or the caller gave up. The payload is a machine-readable reason slug
+    /// (`deadline_exceeded`, `shutdown`, `disconnected`), which services use
+    /// verbatim as the structured error kind.
+    Cancelled(String),
 }
 
 impl Error {
@@ -70,6 +75,7 @@ impl fmt::Display for Error {
             }
             Error::Unsupported(msg) => write!(f, "unsupported expression: {msg}"),
             Error::LimitExceeded(msg) => write!(f, "resource limit exceeded: {msg}"),
+            Error::Cancelled(reason) => write!(f, "query cancelled: {reason}"),
         }
     }
 }

@@ -1,0 +1,345 @@
+//! Cooperative cancellation and deadlines for query evaluation.
+//!
+//! A [`CancelToken`] travels inside [`crate::EvalOptions`] and is observed
+//! at every long-running boundary of the engine: cursor pulls (via a
+//! stride-counting wrapper installed by the executor), morsel worker loops,
+//! exchange producer pumps, star fixpoint rounds, reachability BFS
+//! frontiers, and the drain loops that build hash tables, sorts and top-k
+//! heaps. Cancellation is **cooperative**: nothing is interrupted
+//! preemptively; instead every checkpoint either returns
+//! [`trial_core::Error::Cancelled`] (Result-returning layers) or ends its
+//! stream early (the infallible [`crate::Cursor`] pulls), after which the
+//! owning Result layer converts the latched token into the structured
+//! error.
+//!
+//! Tokens are cheap to clone (`Option<Arc<_>>`) and the no-token fast path
+//! is a single `None` test, so evaluations without a deadline pay nothing.
+//! With a token, hot loops amortise the clock read through a
+//! [`CancelChecker`] that performs the real check once every
+//! [`CANCEL_CHECK_STRIDE`] rows.
+//!
+//! Cancellation is **first-reason-wins**: once a token latches a
+//! [`CancelReason`] (explicitly via [`CancelToken::cancel`] or implicitly
+//! when the deadline passes), later cancels do not overwrite it, so the
+//! error a client finally sees names the original cause.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in checkpoint hits) a [`CancelChecker`] performs the real
+/// token check. One clock read per 1024 rows keeps the overhead of an armed
+/// token well under the 2% budget on full scans while still bounding the
+/// reaction latency to microseconds of work.
+pub const CANCEL_CHECK_STRIDE: u32 = 1024;
+
+/// Why an evaluation was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The deadline carried by the token passed.
+    Deadline,
+    /// The serving process is draining for shutdown.
+    Shutdown,
+    /// The consumer went away (client disconnect / dropped stream).
+    Disconnected,
+}
+
+impl CancelReason {
+    /// The machine-readable slug used as the structured error kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CancelReason::Deadline => "deadline_exceeded",
+            CancelReason::Shutdown => "shutdown",
+            CancelReason::Disconnected => "disconnected",
+        }
+    }
+
+    fn from_code(code: u8) -> Option<CancelReason> {
+        match code {
+            1 => Some(CancelReason::Deadline),
+            2 => Some(CancelReason::Shutdown),
+            3 => Some(CancelReason::Disconnected),
+            _ => None,
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            CancelReason::Deadline => 1,
+            CancelReason::Shutdown => 2,
+            CancelReason::Disconnected => 3,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CancelInner {
+    /// Wall-clock point after which the token self-cancels with
+    /// [`CancelReason::Deadline`]. `None` for manually-cancellable tokens.
+    deadline: Option<Instant>,
+    /// The latched reason code (0 = not cancelled). First write wins.
+    reason: AtomicU8,
+}
+
+/// A shared, cloneable cancellation handle.
+///
+/// The default token ([`CancelToken::none`]) carries no state and never
+/// cancels — the zero-overhead path every existing caller gets for free.
+/// Armed tokens are created with a deadline ([`CancelToken::with_timeout`] /
+/// [`CancelToken::with_deadline`]) or for manual cancellation
+/// ([`CancelToken::manual`]), and every clone observes the same latch.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    inner: Option<Arc<CancelInner>>,
+}
+
+impl CancelToken {
+    /// The inert token: never cancels, costs one `None` test per check.
+    pub fn none() -> CancelToken {
+        CancelToken { inner: None }
+    }
+
+    /// A token that self-cancels once `timeout` has elapsed from now.
+    pub fn with_timeout(timeout: Duration) -> CancelToken {
+        CancelToken::with_deadline(Instant::now() + timeout)
+    }
+
+    /// A token that self-cancels at `deadline`.
+    pub fn with_deadline(deadline: Instant) -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                deadline: Some(deadline),
+                reason: AtomicU8::new(0),
+            })),
+        }
+    }
+
+    /// A token with no deadline that only cancels via [`CancelToken::cancel`]
+    /// — what a server drain or an explicit kill switch holds.
+    pub fn manual() -> CancelToken {
+        CancelToken {
+            inner: Some(Arc::new(CancelInner {
+                deadline: None,
+                reason: AtomicU8::new(0),
+            })),
+        }
+    }
+
+    /// `true` when the token can ever cancel (i.e. is not the inert token).
+    pub fn is_armed(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The deadline this token self-cancels at, if it carries one.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.as_ref().and_then(|inner| inner.deadline)
+    }
+
+    /// Latches `reason` onto the token. The first reason wins; cancelling an
+    /// already-cancelled or inert token is a no-op.
+    pub fn cancel(&self, reason: CancelReason) {
+        if let Some(inner) = &self.inner {
+            let _ = inner.reason.compare_exchange(
+                0,
+                reason.code(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    /// Performs the full check: the latched flag first, then the deadline
+    /// (latching [`CancelReason::Deadline`] when it has passed).
+    pub fn is_cancelled(&self) -> bool {
+        let Some(inner) = &self.inner else {
+            return false;
+        };
+        if inner.reason.load(Ordering::Relaxed) != 0 {
+            return true;
+        }
+        match inner.deadline {
+            Some(deadline) if Instant::now() >= deadline => {
+                self.cancel(CancelReason::Deadline);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The latched reason, performing the deadline check as a side effect.
+    pub fn reason(&self) -> Option<CancelReason> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        self.inner
+            .as_ref()
+            .and_then(|inner| CancelReason::from_code(inner.reason.load(Ordering::Relaxed)))
+    }
+
+    /// The Result-layer checkpoint: `Err(Error::Cancelled(reason))` once the
+    /// token has cancelled, `Ok(())` otherwise (always for inert tokens).
+    pub fn check(&self) -> trial_core::Result<()> {
+        match self.reason() {
+            Some(reason) => Err(trial_core::Error::Cancelled(reason.as_str().to_owned())),
+            None => Ok(()),
+        }
+    }
+
+    /// A stride-amortised checker for per-row hot loops.
+    pub fn checker(&self) -> CancelChecker {
+        CancelChecker {
+            token: self.clone(),
+            countdown: CANCEL_CHECK_STRIDE,
+        }
+    }
+
+    /// `true` when this handle is the only live clone of an armed token —
+    /// how the server's in-flight registry prunes finished requests.
+    pub fn is_unique(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| Arc::strong_count(inner) == 1)
+    }
+
+    /// `true` when two tokens share the same latch (or are both inert).
+    pub fn same_token(&self, other: &CancelToken) -> bool {
+        match (&self.inner, &other.inner) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Tokens compare by identity: two armed tokens are equal only when they
+/// share the same latch. This keeps `EvalOptions: PartialEq` meaningful —
+/// options differing only in their (shared) token still compare equal.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        self.same_token(other)
+    }
+}
+
+impl Eq for CancelToken {}
+
+/// Amortises [`CancelToken::is_cancelled`] over a hot loop: only one call in
+/// [`CANCEL_CHECK_STRIDE`] performs the real (clock-reading) check. For
+/// inert tokens every call is a single branch.
+#[derive(Debug, Clone)]
+pub struct CancelChecker {
+    token: CancelToken,
+    countdown: u32,
+}
+
+impl CancelChecker {
+    /// `true` once the underlying token has cancelled. Checked for real only
+    /// every [`CANCEL_CHECK_STRIDE`] calls; once the token latches, every
+    /// subsequent call returns `true` immediately.
+    #[inline]
+    pub fn should_stop(&mut self) -> bool {
+        if self.token.inner.is_none() {
+            return false;
+        }
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = CANCEL_CHECK_STRIDE;
+            return self.token.is_cancelled();
+        }
+        false
+    }
+
+    /// The underlying token.
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_token_never_cancels() {
+        let token = CancelToken::none();
+        assert!(!token.is_armed());
+        assert!(!token.is_cancelled());
+        assert_eq!(token.reason(), None);
+        assert!(token.check().is_ok());
+        token.cancel(CancelReason::Shutdown); // no-op
+        assert!(!token.is_cancelled());
+        let mut checker = token.checker();
+        for _ in 0..10 * CANCEL_CHECK_STRIDE {
+            assert!(!checker.should_stop());
+        }
+    }
+
+    #[test]
+    fn manual_cancel_latches_first_reason() {
+        let token = CancelToken::manual();
+        assert!(token.is_armed());
+        assert!(!token.is_cancelled());
+        token.cancel(CancelReason::Shutdown);
+        token.cancel(CancelReason::Disconnected); // first reason wins
+        assert_eq!(token.reason(), Some(CancelReason::Shutdown));
+        match token.check() {
+            Err(trial_core::Error::Cancelled(reason)) => assert_eq!(reason, "shutdown"),
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn clones_share_the_latch() {
+        let token = CancelToken::manual();
+        let clone = token.clone();
+        assert!(token.same_token(&clone));
+        assert_eq!(token, clone);
+        clone.cancel(CancelReason::Disconnected);
+        assert!(token.is_cancelled());
+        // Distinct armed tokens are never equal.
+        assert_ne!(CancelToken::manual(), CancelToken::manual());
+        assert_eq!(CancelToken::none(), CancelToken::none());
+    }
+
+    #[test]
+    fn deadline_self_cancels_with_deadline_reason() {
+        let token = CancelToken::with_timeout(Duration::from_millis(0));
+        assert!(token.is_cancelled());
+        assert_eq!(token.reason(), Some(CancelReason::Deadline));
+        assert_eq!(
+            token.check().unwrap_err().to_string(),
+            "query cancelled: deadline_exceeded"
+        );
+        // A generous deadline does not fire.
+        let token = CancelToken::with_timeout(Duration::from_secs(3600));
+        assert!(!token.is_cancelled());
+        assert!(token.deadline().is_some());
+    }
+
+    #[test]
+    fn checker_reacts_within_one_stride() {
+        let token = CancelToken::manual();
+        let mut checker = token.checker();
+        assert!(!checker.should_stop());
+        token.cancel(CancelReason::Deadline);
+        let mut stopped_after = None;
+        for i in 0..2 * CANCEL_CHECK_STRIDE {
+            if checker.should_stop() {
+                stopped_after = Some(i);
+                break;
+            }
+        }
+        assert!(stopped_after.is_some_and(|i| i < CANCEL_CHECK_STRIDE));
+    }
+
+    #[test]
+    fn uniqueness_tracks_live_clones() {
+        let token = CancelToken::manual();
+        assert!(token.is_unique());
+        let clone = token.clone();
+        assert!(!token.is_unique());
+        drop(clone);
+        assert!(token.is_unique());
+        // Inert tokens are never "unique" (there is nothing to prune).
+        assert!(!CancelToken::none().is_unique());
+    }
+}

@@ -69,6 +69,35 @@ impl Cursor for EmptyCursor {
     }
 }
 
+/// The cancellation shim the planner wraps around exchange morsel-producer
+/// cursors when the evaluation carries an armed
+/// [`CancelToken`](crate::CancelToken): each pull first consults a
+/// stride-amortised [`CancelChecker`](crate::CancelChecker) and reports
+/// exhaustion the moment the token latches. (The root pipeline is not
+/// wrapped — [`QueryStream::next_triple`] carries the same checker without
+/// the extra dispatch layer, which keeps the per-row cost of an armed token
+/// at a counter decrement.)
+///
+/// Cursors are infallible, so cancellation surfaces here as an early `None`
+/// — exactly like a satisfied limit. The owning `Result` layer (the planner
+/// entry points, the server's drain loops) re-checks the shared token after
+/// the stream ends and converts the latch into
+/// [`trial_core::Error::Cancelled`], so a truncated stream is never mistaken
+/// for a complete result.
+pub(crate) struct CancelCursor<'a> {
+    pub(crate) input: BoxCursor<'a>,
+    pub(crate) checker: crate::cancel::CancelChecker,
+}
+
+impl Cursor for CancelCursor<'_> {
+    fn next(&mut self, stats: &mut EvalStats) -> Option<Triple> {
+        if self.checker.should_stop() {
+            return None;
+        }
+        self.input.next(stats)
+    }
+}
+
 /// The profiling shim wrapped around every compiled cursor when the
 /// per-node profiler is active: counts rows pulled through the node and
 /// times one in `stride` pulls (see [`crate::profile`]).
@@ -693,6 +722,10 @@ pub(crate) struct TopKCursor<'a> {
     pub(crate) out: Vec<Triple>,
     pub(crate) pos: usize,
     pub(crate) drained: bool,
+    /// The drain below happens inside one `next` call, so a root-level
+    /// cancellation wrapper could not interrupt it: the heap build carries
+    /// its own checker and abandons the drain when the token latches.
+    pub(crate) cancel: crate::cancel::CancelChecker,
 }
 
 impl Cursor for TopKCursor<'_> {
@@ -701,6 +734,9 @@ impl Cursor for TopKCursor<'_> {
             self.drained = true;
             let mut heap: BTreeSet<[ObjectId; 3]> = BTreeSet::new();
             while let Some(t) = self.input.next(stats) {
+                if self.cancel.should_stop() {
+                    return None;
+                }
                 stats.triples_scanned += 1;
                 let key = self.order.key(&t);
                 if heap.len() == self.k {
@@ -806,6 +842,14 @@ pub struct QueryStream<'a> {
     /// Read handle onto the per-node profiler, when active (see
     /// [`QueryStream::profile`]).
     profile: Option<crate::profile::QueryProfile>,
+    /// Cancellation token consulted every [`crate::CANCEL_CHECK_STRIDE`]
+    /// pulls — directly in [`QueryStream::next_triple`] rather than through
+    /// a wrapper cursor. The countdown is paid unconditionally (one u32
+    /// decrement per row, identical for inert and armed tokens), so arming
+    /// a deadline adds only the strided atomic load.
+    cancel: crate::cancel::CancelToken,
+    /// Rows until the next real [`CancelToken::is_cancelled`] consult.
+    until_check: u32,
 }
 
 impl<'a> QueryStream<'a> {
@@ -823,7 +867,20 @@ impl<'a> QueryStream<'a> {
             stats,
             morsels: None,
             profile: None,
+            cancel: crate::cancel::CancelToken::none(),
+            until_check: crate::cancel::CANCEL_CHECK_STRIDE,
         }
+    }
+
+    /// Installs the cancellation checkpoint the stream consults as it is
+    /// pulled (see the `cancel` field). Cursors are infallible, so
+    /// cancellation surfaces as an early `None` — exactly like a satisfied
+    /// limit; the owning `Result` layer re-checks the shared token after
+    /// the stream ends and converts the latch into
+    /// [`trial_core::Error::Cancelled`].
+    pub(crate) fn with_cancel(mut self, token: crate::cancel::CancelToken) -> Self {
+        self.cancel = token;
+        self
     }
 
     /// Attaches exchange morsel pipelines (see the `morsels` field).
@@ -873,6 +930,13 @@ impl<'a> QueryStream<'a> {
     /// The next distinct result triple, or `None` once the query is
     /// exhausted (or its limit reached).
     pub fn next_triple(&mut self) -> Option<Triple> {
+        self.until_check -= 1;
+        if self.until_check == 0 {
+            self.until_check = crate::cancel::CANCEL_CHECK_STRIDE;
+            if self.cancel.is_cancelled() {
+                return None;
+            }
+        }
         loop {
             let t = self.root.next(&mut self.stats)?;
             if let Some(seen) = &mut self.seen {
@@ -968,6 +1032,8 @@ impl<'a> QueryStream<'a> {
                     mut root,
                     stats,
                     mut seen,
+                    cancel,
+                    mut until_check,
                     ..
                 } = self;
                 std::thread::scope(|scope| {
@@ -976,6 +1042,13 @@ impl<'a> QueryStream<'a> {
                         let mut local = stats;
                         crate::parallel::pump(
                             |s| loop {
+                                until_check -= 1;
+                                if until_check == 0 {
+                                    until_check = crate::cancel::CANCEL_CHECK_STRIDE;
+                                    if cancel.is_cancelled() {
+                                        return None;
+                                    }
+                                }
                                 let t = root.next(s)?;
                                 if let Some(seen) = &mut seen {
                                     if !seen.insert(t) {

@@ -1,5 +1,6 @@
 //! The [`Engine`] trait, evaluation options and instrumentation counters.
 
+use crate::cancel::CancelToken;
 use trial_core::{Expr, Result, TripleSet, Triplestore};
 
 /// Counters describing *how much work* an evaluation performed.
@@ -83,7 +84,10 @@ pub struct Evaluation {
 }
 
 /// Tunable limits and switches for evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Not `Copy`: the embedded [`CancelToken`] is reference-counted, so options
+/// propagate through the engine by (cheap) `clone()`.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvalOptions {
     /// Maximum number of triples the universal relation `U` (and therefore a
     /// complement) may materialise before evaluation aborts with
@@ -172,6 +176,14 @@ pub struct EvalOptions {
     /// (read once per process), which is how CI reruns the whole suite with
     /// the profiling shims active.
     pub profile_sample: u32,
+    /// Cooperative cancellation/deadline handle (see [`crate::cancel`]).
+    /// The default is the inert token — no deadline, no cancellation, and a
+    /// single-branch fast path at every checkpoint. When armed, the token is
+    /// honored at cursor pull boundaries, morsel worker loops, exchange
+    /// pumps, fixpoint rounds, BFS frontiers, and hash/sort/top-k builds:
+    /// Result-returning layers fail with [`trial_core::Error::Cancelled`]
+    /// and infallible cursor pulls end their stream early.
+    pub cancel: CancelToken,
 }
 
 /// The process-wide default for [`EvalOptions::threads`]: the
@@ -215,6 +227,7 @@ impl Default for EvalOptions {
             parallel_min_rows: 2048,
             collect_node_stats: false,
             profile_sample: default_profile_sample(),
+            cancel: CancelToken::none(),
         }
     }
 }
@@ -297,5 +310,7 @@ mod tests {
         // The default stride comes from TRIAL_PROFILE_SAMPLE (or 0), so CI
         // can rerun the suite with the profiling shims active.
         assert_eq!(opts.profile_sample, default_profile_sample());
+        // The default token is inert: no deadline, nothing to cancel.
+        assert!(!opts.cancel.is_armed());
     }
 }

@@ -120,7 +120,7 @@ impl<'a> Executor<'a> {
     fn child(&self) -> Executor<'a> {
         Executor {
             store: self.store,
-            options: self.options,
+            options: self.options.clone(),
             memo: Arc::clone(&self.memo),
             profiler: self.profiler.clone(),
         }
@@ -272,7 +272,13 @@ impl<'a> Executor<'a> {
                 let build = self.materialize(right, stats)?;
                 let degree = self.degree(build.len());
                 let table = if degree > 1 {
-                    ops::JoinTable::build_parallel(&build, keys, degree, stats)
+                    ops::JoinTable::build_parallel(
+                        &build,
+                        keys,
+                        degree,
+                        &self.options.cancel,
+                        stats,
+                    )
                 } else {
                     ops::JoinTable::build(&build, keys, stats)
                 };
@@ -487,6 +493,7 @@ impl<'a> Executor<'a> {
                     out: Vec::new(),
                     pos: 0,
                     drained: false,
+                    cancel: self.options.cancel.checker(),
                 })
             }
         })
@@ -712,9 +719,19 @@ impl<'a> Executor<'a> {
             // Seed capacity from the estimate, capped so a wild estimate
             // cannot over-allocate.
             let mut out = Vec::with_capacity(node.est().min(1 << 16));
+            // The drain is a cancellation checkpoint: the limit/top-k subtree
+            // can be long-running and this loop is its only pull site.
+            let mut checker = self.options.cancel.checker();
             while let Some(t) = cursor.next(stats) {
+                if checker.should_stop() {
+                    self.options.cancel.check()?;
+                }
                 out.push(t);
             }
+            // A cancelled pipeline ends its stream early (cursors are
+            // infallible); convert the latch into the structured error
+            // before the truncated drain can pass for a complete result.
+            self.options.cancel.check()?;
             let result = if ordered {
                 TripleSet::from_sorted_vec(out)
             } else {
@@ -745,8 +762,18 @@ impl<'a> Executor<'a> {
         stats: &mut EvalStats,
         stream_limits: bool,
     ) -> Result<TripleSet> {
+        // Per-node checkpoint of the set-at-a-time interpreter: every
+        // operator (and every fixpoint base, breaker input, memo fill)
+        // passes through here, so a latched token stops the evaluation at
+        // the next node boundary — and discards any partial morsel output a
+        // cancelled `run_tasks` fan-out may have produced.
+        self.options.cancel.check()?;
         let start = self.profiler.is_some().then(Instant::now);
         let result = self.eval_set_inner(node, stats, stream_limits)?;
+        // Re-check on the way out: a morsel fan-out cancelled mid-node
+        // delivers a truncated set, which must surface as the error, not as
+        // this node's result.
+        self.options.cancel.check()?;
         if let (Some(profiler), Some(start)) = (&self.profiler, start) {
             // Inclusive wall time: a parent's measurement covers its
             // children (mirroring the cursor shim's semantics).
@@ -830,7 +857,14 @@ impl<'a> Executor<'a> {
                 let cond = CompiledConditions::compile(cond, self.store);
                 let degree = self.degree(input.len());
                 Ok(if degree > 1 {
-                    ops::select_parallel(&input, &cond, self.store, degree, stats)
+                    ops::select_parallel(
+                        &input,
+                        &cond,
+                        self.store,
+                        degree,
+                        &self.options.cancel,
+                        stats,
+                    )
                 } else {
                     ops::select(&input, &cond, self.store, stats)
                 })
@@ -852,7 +886,13 @@ impl<'a> Executor<'a> {
                 let build_degree = self.degree(r.len());
                 let build_start = self.profiler.is_some().then(Instant::now);
                 let table = if build_degree > 1 {
-                    ops::JoinTable::build_parallel(&r, keys, build_degree, stats)
+                    ops::JoinTable::build_parallel(
+                        &r,
+                        keys,
+                        build_degree,
+                        &self.options.cancel,
+                        stats,
+                    )
                 } else {
                     ops::JoinTable::build(&r, keys, stats)
                 };
@@ -870,6 +910,7 @@ impl<'a> Executor<'a> {
                         &cond,
                         self.store,
                         probe_degree,
+                        &self.options.cancel,
                         stats,
                     )
                 } else {
@@ -896,7 +937,16 @@ impl<'a> Executor<'a> {
                 let degree = self.degree(l.len().max(r.len()));
                 Ok(if degree > 1 {
                     ops::merge_join_parallel(
-                        &l_sorted, &r_sorted, lc, rc, output, &cond, self.store, degree, stats,
+                        &l_sorted,
+                        &r_sorted,
+                        lc,
+                        rc,
+                        output,
+                        &cond,
+                        self.store,
+                        degree,
+                        &self.options.cancel,
+                        stats,
                     )
                 } else {
                     ops::merge_join(
@@ -921,7 +971,16 @@ impl<'a> Executor<'a> {
                 let degree = self.degree(outer.len());
                 Ok(if degree > 1 {
                     ops::index_nested_loop_join_parallel(
-                        &outer, base, index, *probe, output, &cond, self.store, degree, stats,
+                        &outer,
+                        base,
+                        index,
+                        *probe,
+                        output,
+                        &cond,
+                        self.store,
+                        degree,
+                        &self.options.cancel,
+                        stats,
                     )
                 } else {
                     ops::index_nested_loop_join(
@@ -940,7 +999,16 @@ impl<'a> Executor<'a> {
                 let cond = CompiledConditions::compile(cond, self.store);
                 let degree = self.degree(l.len());
                 Ok(if degree > 1 {
-                    ops::nested_loop_join_parallel(&l, &r, output, &cond, self.store, degree, stats)
+                    ops::nested_loop_join_parallel(
+                        &l,
+                        &r,
+                        output,
+                        &cond,
+                        self.store,
+                        degree,
+                        &self.options.cancel,
+                        stats,
+                    )
                 } else {
                     ops::nested_loop_join(&l, &r, output, &cond, self.store, stats)
                 })
@@ -1195,7 +1263,7 @@ impl<'a> Executor<'a> {
                 }
             })
             .collect();
-        parallel::run_tasks(degree, tasks, stats).concat()
+        parallel::run_tasks(degree, tasks, &self.options.cancel, stats).concat()
     }
 
     /// Runs a Proposition 5 reachability star, borrowing the store's cached
@@ -1210,40 +1278,54 @@ impl<'a> Executor<'a> {
         // One BFS per distinct endpoint: the base size bounds the number of
         // roots, which is what the morsel fan-out partitions.
         let degree = self.degree(base.len());
-        if let Some((rel_base, index)) =
+        let cancel = &self.options.cancel;
+        let result = if let Some((rel_base, index)) =
             relation.and_then(|name| self.store.relation_with_index(name))
         {
             debug_assert_eq!(rel_base, base, "relation hint must match the executed base");
-            return Ok(match (same_label, degree > 1) {
+            match (same_label, degree > 1) {
                 (true, true) => reach::reach_star_same_label_parallel(
                     base,
                     index.adjacency_by_label(rel_base),
                     degree,
+                    cancel,
                     stats,
                 ),
-                (true, false) => {
-                    reach::reach_star_same_label(base, index.adjacency_by_label(rel_base), stats)
+                (true, false) => reach::reach_star_same_label(
+                    base,
+                    index.adjacency_by_label(rel_base),
+                    cancel,
+                    stats,
+                ),
+                (false, true) => reach::reach_star_plain_parallel(
+                    base,
+                    index.adjacency(rel_base),
+                    degree,
+                    cancel,
+                    stats,
+                ),
+                (false, false) => {
+                    reach::reach_star_plain(base, index.adjacency(rel_base), cancel, stats)
                 }
-                (false, true) => {
-                    reach::reach_star_plain_parallel(base, index.adjacency(rel_base), degree, stats)
-                }
-                (false, false) => reach::reach_star_plain(base, index.adjacency(rel_base), stats),
-            });
-        }
-        Ok(if same_label {
+            }
+        } else if same_label {
             let by_label = reach::label_adjacency(base);
             if degree > 1 {
-                reach::reach_star_same_label_parallel(base, &by_label, degree, stats)
+                reach::reach_star_same_label_parallel(base, &by_label, degree, cancel, stats)
             } else {
-                reach::reach_star_same_label(base, &by_label, stats)
+                reach::reach_star_same_label(base, &by_label, cancel, stats)
             }
         } else {
             let adjacency = Adjacency::from_triples(base.iter());
             if degree > 1 {
-                reach::reach_star_plain_parallel(base, &adjacency, degree, stats)
+                reach::reach_star_plain_parallel(base, &adjacency, degree, cancel, stats)
             } else {
-                reach::reach_star_plain(base, &adjacency, stats)
+                reach::reach_star_plain(base, &adjacency, cancel, stats)
             }
-        })
+        };
+        // A closure cut short by cancellation is a partial set: surface the
+        // error here so it never reaches downstream operators or caches.
+        cancel.check()?;
+        Ok(result)
     }
 }

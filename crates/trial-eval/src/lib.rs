@@ -243,6 +243,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod compile;
 pub mod cursor;
 pub mod engine;
@@ -257,6 +258,7 @@ pub mod reach;
 pub mod seminaive;
 pub mod stats;
 
+pub use cancel::{CancelChecker, CancelReason, CancelToken, CANCEL_CHECK_STRIDE};
 pub use cursor::{Cursor, QueryStream};
 pub use engine::{
     default_profile_sample, default_threads, Engine, EvalOptions, EvalStats, Evaluation,

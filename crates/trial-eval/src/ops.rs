@@ -7,6 +7,7 @@
 //! fixpoint iterations can hash their invariant side **once** and probe it
 //! every round.
 
+use crate::cancel::CancelToken;
 use crate::compile::{project, CompiledConditions};
 use crate::engine::{EvalOptions, EvalStats};
 use crate::parallel;
@@ -56,6 +57,7 @@ pub fn select_parallel(
     cond: &CompiledConditions,
     store: &Triplestore,
     threads: usize,
+    cancel: &CancelToken,
     stats: &mut EvalStats,
 ) -> TripleSet {
     let tasks: Vec<_> = parallel::chunk(input.as_slice(), threads)
@@ -68,7 +70,7 @@ pub fn select_parallel(
             }
         })
         .collect();
-    let parts = parallel::run_tasks(threads, tasks, stats);
+    let parts = parallel::run_tasks(threads, tasks, cancel, stats);
     TripleSet::from_sorted_vec(parts.concat())
 }
 
@@ -112,6 +114,7 @@ pub fn nested_loop_join(
 /// Morsel-parallel [`nested_loop_join`]: partitions the **left** side; every
 /// worker inspects its morsel against the whole right side. Same quadratic
 /// pair count as the sequential join, divided across workers.
+#[allow(clippy::too_many_arguments)]
 pub fn nested_loop_join_parallel(
     left: &TripleSet,
     right: &TripleSet,
@@ -119,6 +122,7 @@ pub fn nested_loop_join_parallel(
     cond: &CompiledConditions,
     store: &Triplestore,
     threads: usize,
+    cancel: &CancelToken,
     stats: &mut EvalStats,
 ) -> TripleSet {
     stats.joins_executed += 1;
@@ -132,7 +136,7 @@ pub fn nested_loop_join_parallel(
             }
         })
         .collect();
-    let parts = parallel::run_tasks(threads, tasks, stats);
+    let parts = parallel::run_tasks(threads, tasks, cancel, stats);
     TripleSet::from_vec(parts.concat())
 }
 
@@ -210,6 +214,7 @@ impl JoinTable {
         right: &TripleSet,
         keys: &[(Pos, Pos)],
         threads: usize,
+        cancel: &CancelToken,
         stats: &mut EvalStats,
     ) -> JoinTable {
         assert!(!keys.is_empty(), "hash join requires at least one key");
@@ -231,7 +236,7 @@ impl JoinTable {
                 }
             })
             .collect();
-        let shards = parallel::run_tasks(threads, tasks, stats);
+        let shards = parallel::run_tasks(threads, tasks, cancel, stats);
         let mut table: HashMap<JoinKey, Vec<Triple>> = HashMap::with_capacity(right.len());
         for shard in shards {
             for (key, mut bucket) in shard {
@@ -315,6 +320,7 @@ pub fn hash_join_probe(
 /// over one contiguous morsel of the probe side against the shared read-only
 /// [`JoinTable`]; morsel outputs are concatenated in input order, so the
 /// pre-deduplication row sequence matches the sequential probe exactly.
+#[allow(clippy::too_many_arguments)]
 pub fn hash_join_probe_parallel(
     left: &TripleSet,
     table: &JoinTable,
@@ -322,6 +328,7 @@ pub fn hash_join_probe_parallel(
     cond: &CompiledConditions,
     store: &Triplestore,
     threads: usize,
+    cancel: &CancelToken,
     stats: &mut EvalStats,
 ) -> TripleSet {
     stats.joins_executed += 1;
@@ -335,7 +342,7 @@ pub fn hash_join_probe_parallel(
             }
         })
         .collect();
-    let parts = parallel::run_tasks(threads, tasks, stats);
+    let parts = parallel::run_tasks(threads, tasks, cancel, stats);
     TripleSet::from_vec(parts.concat())
 }
 
@@ -435,6 +442,7 @@ pub fn index_nested_loop_join_parallel(
     cond: &CompiledConditions,
     store: &Triplestore,
     threads: usize,
+    cancel: &CancelToken,
     stats: &mut EvalStats,
 ) -> TripleSet {
     stats.joins_executed += 1;
@@ -454,7 +462,7 @@ pub fn index_nested_loop_join_parallel(
             }
         })
         .collect();
-    let parts = parallel::run_tasks(threads, tasks, stats);
+    let parts = parallel::run_tasks(threads, tasks, cancel, stats);
     TripleSet::from_vec(parts.concat())
 }
 
@@ -570,6 +578,7 @@ pub fn merge_join_parallel(
     cond: &CompiledConditions,
     store: &Triplestore,
     threads: usize,
+    cancel: &CancelToken,
     stats: &mut EvalStats,
 ) -> TripleSet {
     stats.joins_executed += 1;
@@ -599,7 +608,7 @@ pub fn merge_join_parallel(
             }
         })
         .collect();
-    let parts = parallel::run_tasks(threads, tasks, stats);
+    let parts = parallel::run_tasks(threads, tasks, cancel, stats);
     TripleSet::from_vec(parts.concat())
 }
 
@@ -869,7 +878,7 @@ mod tests {
             let mut s1 = EvalStats::new();
             let mut s2 = EvalStats::new();
             let seq = JoinTable::build(&e, &keys, &mut s1);
-            let par = JoinTable::build_parallel(&e, &keys, threads, &mut s2);
+            let par = JoinTable::build_parallel(&e, &keys, threads, &CancelToken::none(), &mut s2);
             assert_eq!(seq.len(), par.len());
             // Every probe answers with the same bucket in the same order.
             for t in e.iter() {
@@ -897,14 +906,23 @@ mod tests {
             // Selection.
             assert_eq!(
                 select(&e, &sel, &store, &mut seq),
-                select_parallel(&e, &sel, &store, threads, &mut par)
+                select_parallel(&e, &sel, &store, threads, &CancelToken::none(), &mut par)
             );
             // Hash probe (the shared table is built outside both arms).
             let keys = eq.cross_equalities();
             let table = JoinTable::build(&e, &keys, &mut EvalStats::new());
             assert_eq!(
                 hash_join_probe(&e, &table, &out_spec, &eq, &store, &mut seq),
-                hash_join_probe_parallel(&e, &table, &out_spec, &eq, &store, threads, &mut par)
+                hash_join_probe_parallel(
+                    &e,
+                    &table,
+                    &out_spec,
+                    &eq,
+                    &store,
+                    threads,
+                    &CancelToken::none(),
+                    &mut par
+                )
             );
             // Index nested-loop join.
             assert_eq!(
@@ -927,13 +945,23 @@ mod tests {
                     &eq,
                     &store,
                     threads,
+                    &CancelToken::none(),
                     &mut par
                 )
             );
             // Plain nested loop (no hashable key).
             assert_eq!(
                 nested_loop_join(&e, &e, &out_spec, &neq, &store, &mut seq),
-                nested_loop_join_parallel(&e, &e, &out_spec, &neq, &store, threads, &mut par)
+                nested_loop_join_parallel(
+                    &e,
+                    &e,
+                    &out_spec,
+                    &neq,
+                    &store,
+                    threads,
+                    &CancelToken::none(),
+                    &mut par
+                )
             );
             // Work counters are exact sums: identical to the sequential run,
             // except for the morsel count.

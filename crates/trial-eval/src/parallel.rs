@@ -30,6 +30,7 @@
 //! `triples_scanned`/… as the single-threaded reference, plus a non-zero
 //! [`EvalStats::parallel_morsels`].
 
+use crate::cancel::CancelToken;
 use crate::engine::EvalStats;
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Mutex;
@@ -78,13 +79,32 @@ pub(crate) fn chunk<T>(slice: &[T], parts: usize) -> Vec<&[T]> {
 /// most one task everything runs inline on the current thread and
 /// [`EvalStats::parallel_morsels`] stays untouched; otherwise it grows by
 /// the number of tasks. A panicking task propagates to the caller.
-pub(crate) fn run_tasks<T, F>(threads: usize, tasks: Vec<F>, stats: &mut EvalStats) -> Vec<T>
+///
+/// The morsel loop is a cancellation checkpoint: workers stop popping tasks
+/// once `cancel` latches, so a cancelled evaluation abandons its remaining
+/// morsels instead of finishing them. The result vector is then **partial**
+/// (the completed prefix of each worker, still in task order) — every caller
+/// re-checks the token at its own `Result` boundary before the truncated
+/// output can be observed as a real answer.
+pub(crate) fn run_tasks<T, F>(
+    threads: usize,
+    tasks: Vec<F>,
+    cancel: &CancelToken,
+    stats: &mut EvalStats,
+) -> Vec<T>
 where
     F: FnOnce(&mut EvalStats) -> T + Send,
     T: Send,
 {
     if threads <= 1 || tasks.len() <= 1 {
-        return tasks.into_iter().map(|task| task(stats)).collect();
+        let mut out = Vec::with_capacity(tasks.len());
+        for task in tasks {
+            if cancel.is_cancelled() {
+                break;
+            }
+            out.push(task(stats));
+        }
+        return out;
     }
     let count = tasks.len();
     let workers = threads.min(count);
@@ -97,6 +117,11 @@ where
                     let mut local = EvalStats::new();
                     let mut out: Vec<(usize, T)> = Vec::new();
                     loop {
+                        // Morsel-loop checkpoint: give up before popping
+                        // another task once the token has latched.
+                        if cancel.is_cancelled() {
+                            break;
+                        }
                         // Hold the queue lock only to pop; the task body runs
                         // unlocked. A poisoned queue means a sibling worker
                         // panicked mid-pop, which the join below propagates.
@@ -124,6 +149,12 @@ where
         }
     });
     stats.parallel_morsels += count as u64;
+    if cancel.is_cancelled() {
+        // Partial delivery: keep completed results in task order; the caller
+        // converts the latched token into `Error::Cancelled` before anything
+        // downstream can read the truncation as a genuine answer.
+        return results.into_iter().flatten().collect();
+    }
     results
         .into_iter()
         .map(|slot| slot.expect("every morsel task produces a result"))
@@ -286,7 +317,7 @@ mod tests {
                 })
                 .collect();
             let mut stats = EvalStats::new();
-            let results = run_tasks(threads, tasks, &mut stats);
+            let results = run_tasks(threads, tasks, &CancelToken::none(), &mut stats);
             assert_eq!(results, (0u64..8).map(|i| i * 10).collect::<Vec<_>>());
             assert_eq!(stats.triples_scanned, (0..8).sum::<u64>());
             if threads > 1 {
@@ -307,6 +338,7 @@ mod tests {
                 s.triples_emitted += 1;
                 42
             }],
+            &CancelToken::none(),
             &mut stats,
         );
         assert_eq!(results, vec![42]);
@@ -314,7 +346,7 @@ mod tests {
         assert_eq!(stats.triples_emitted, 1);
         // No tasks at all is fine.
         let none: Vec<fn(&mut EvalStats) -> u32> = Vec::new();
-        assert!(run_tasks(4, none, &mut stats).is_empty());
+        assert!(run_tasks(4, none, &CancelToken::none(), &mut stats).is_empty());
     }
 
     #[test]
@@ -436,8 +468,43 @@ mod tests {
         ];
         let mut stats = EvalStats::new();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_tasks(2, tasks, &mut stats)
+            run_tasks(2, tasks, &CancelToken::none(), &mut stats)
         }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn cancelled_run_tasks_abandons_remaining_morsels() {
+        use crate::cancel::CancelReason;
+        // The first task cancels the shared token; whichever tasks have not
+        // been popped yet must never run. With 1 worker the schedule is
+        // deterministic: task 0 runs, the rest are abandoned.
+        for threads in [1usize, 2, 4] {
+            let token = CancelToken::manual();
+            let ran = std::sync::atomic::AtomicU64::new(0);
+            let tasks: Vec<_> = (0..64)
+                .map(|_| {
+                    let token = token.clone();
+                    let ran = &ran;
+                    move |_s: &mut EvalStats| {
+                        ran.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        token.cancel(CancelReason::Deadline);
+                    }
+                })
+                .collect();
+            let mut stats = EvalStats::new();
+            let results = run_tasks(threads, tasks, &token, &mut stats);
+            let ran = ran.load(std::sync::atomic::Ordering::Relaxed);
+            // At most one pop per worker can slip in before the latch is
+            // observed, so almost all of the 64 tasks are abandoned.
+            assert!(ran <= threads as u64, "ran={ran} at threads={threads}");
+            assert_eq!(results.len() as u64, ran);
+        }
+        // Inline path with an already-cancelled token runs nothing at all.
+        let dead = CancelToken::manual();
+        dead.cancel(CancelReason::Shutdown);
+        let mut stats = EvalStats::new();
+        let tasks: Vec<fn(&mut EvalStats) -> u32> = vec![|_| 1, |_| 2];
+        assert!(run_tasks(1, tasks, &dead, &mut stats).is_empty());
     }
 }

@@ -32,7 +32,7 @@
 //! points used by examples, tests and downstream crates; [`explain`] renders
 //! the chosen plan without running it.
 
-use crate::cursor::QueryStream;
+use crate::cursor::{CancelCursor, QueryStream};
 use crate::engine::{Engine, EvalOptions, EvalStats, Evaluation};
 use crate::exec::Executor;
 use crate::plan::{Plan, PlanNode};
@@ -154,7 +154,7 @@ impl SmartEngine {
     ) -> Result<Evaluation> {
         let plan = self.plan_query(expr, store, limit, order, topk)?;
         let mut stats = EvalStats::new();
-        let mut executor = Executor::new(store, self.options, &plan);
+        let mut executor = Executor::new(store, self.options.clone(), &plan);
         let result = if self.options.streaming {
             executor.materialize(&plan.root, &mut stats)?
         } else {
@@ -179,7 +179,7 @@ impl SmartEngine {
     ) -> Result<QueryStream<'s>> {
         let plan = self.plan_query(expr, store, limit, order, topk)?;
         let mut stats = EvalStats::new();
-        let mut executor = Executor::new(store, self.options, &plan);
+        let mut executor = Executor::new(store, self.options.clone(), &plan);
         let root = executor.cursor(&plan.root, &mut stats)?;
         // Exchange fan-out for `QueryStream::channel`: when parallelism is
         // on and the root (beneath any peeled limit) is an ordered,
@@ -208,9 +208,15 @@ impl SmartEngine {
                         .div_ceil(self.options.parallel_min_rows)
                         .clamp(2, self.options.threads)
                 };
-                executor
-                    .morsel_cursors(inner, parts)?
-                    .map(|cursors| (cursors, peeled))
+                executor.morsel_cursors(inner, parts)?.map(|cursors| {
+                    // Every exchange producer checks the shared token, so a
+                    // deadline or consumer hang-up unwinds all lanes.
+                    let cursors = cursors
+                        .into_iter()
+                        .map(|cursor| wrap_cancel(cursor, &self.options))
+                        .collect();
+                    (cursors, peeled)
+                })
             } else {
                 None
             }
@@ -218,7 +224,9 @@ impl SmartEngine {
             None
         };
         let profile = executor.query_profile(&plan);
-        let stream = QueryStream::new(plan, root, stats).with_profile(profile);
+        let stream = QueryStream::new(plan, root, stats)
+            .with_profile(profile)
+            .with_cancel(self.options.cancel.clone());
         Ok(match morsels {
             Some((cursors, peeled)) => stream.with_morsels(cursors, peeled),
             None => stream,
@@ -244,10 +252,12 @@ impl SmartEngine {
     ) -> Result<QueryStream<'s>> {
         let plan = self.plan_query(expr, store, limit, Some(order), None)?;
         let mut stats = EvalStats::new();
-        let mut executor = Executor::new(store, self.options, &plan);
+        let mut executor = Executor::new(store, self.options.clone(), &plan);
         let root = executor.cursor_seek(&plan.root, order, after, &mut stats)?;
         let profile = executor.query_profile(&plan);
-        Ok(QueryStream::new(plan, root, stats).with_profile(profile))
+        Ok(QueryStream::new(plan, root, stats)
+            .with_profile(profile)
+            .with_cancel(self.options.cancel.clone()))
     }
 
     /// Evaluates `expr` with a limit pushed into the physical plan: at most
@@ -270,7 +280,7 @@ impl SmartEngine {
     ) -> Result<Evaluation> {
         let plan = self.plan_limited(expr, store, limit)?;
         let mut stats = EvalStats::new();
-        let mut executor = Executor::new(store, self.options, &plan);
+        let mut executor = Executor::new(store, self.options.clone(), &plan);
         let result = if self.options.streaming {
             // `materialize` runs the streaming pipeline but lets operators
             // whose output is naturally a set (scans, set ops, stars) build
@@ -317,7 +327,7 @@ impl SmartEngine {
     ) -> Result<AnalyzedEvaluation> {
         let options = EvalOptions {
             collect_node_stats: true,
-            ..self.options
+            ..self.options.clone()
         };
         let plan = plan_query_with(expr, store, &options, self.stats(), limit, order, topk)?;
         // Captured before execution: ingesting this run's actuals below
@@ -325,7 +335,7 @@ impl SmartEngine {
         // stats-sourced.
         let est_sources = self.estimate_sources(&plan);
         let mut stats = EvalStats::new();
-        let mut executor = Executor::new(store, options, &plan);
+        let mut executor = Executor::new(store, options.clone(), &plan);
         let result = if options.streaming {
             executor.materialize(&plan.root, &mut stats)?
         } else {
@@ -370,6 +380,24 @@ impl SmartEngine {
     ) -> Result<QueryStream<'s>> {
         self.stream_query(expr, store, limit, None, None)
     }
+}
+
+/// Installs the cancellation checkpoint on an exchange producer pipeline:
+/// with an armed [`crate::CancelToken`] every pull first consults the
+/// stride-amortised checker and the lane ends early once the token latches;
+/// the inert token wraps nothing and costs nothing. (The root pipeline is
+/// not wrapped — [`QueryStream::next_triple`] carries its own checker.)
+fn wrap_cancel<'s>(
+    cursor: crate::cursor::BoxCursor<'s>,
+    options: &EvalOptions,
+) -> crate::cursor::BoxCursor<'s> {
+    if !options.cancel.is_armed() {
+        return cursor;
+    }
+    Box::new(CancelCursor {
+        input: cursor,
+        checker: options.cancel.checker(),
+    })
 }
 
 /// The outcome of [`SmartEngine::evaluate_analyzed`]: the executed plan, the
@@ -2108,7 +2136,7 @@ mod tests {
                 // The non-streaming reference interpreter parallelises too.
                 let par_mat = SmartEngine::with_options(EvalOptions {
                     streaming: false,
-                    ..parallel.options
+                    ..parallel.options.clone()
                 })
                 .evaluate(&expr, &store)
                 .unwrap();

@@ -21,6 +21,7 @@
 //! [`trial_core::RelationIndex::adjacency`] lists, so repeated reachability
 //! queries over the same relation never rebuild the graph.
 
+use crate::cancel::CancelToken;
 use crate::engine::EvalStats;
 use crate::parallel;
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -68,7 +69,16 @@ fn reachable_from(start: ObjectId, adj: &Adjacency, stats: &mut EvalStats) -> Ve
 /// Every result triple is either an original triple `(x, ℓ, z)` or a triple
 /// `(x, ℓ, w)` such that `(x, ℓ, z) ∈ base` and `w` is reachable from `z`
 /// (in one or more steps) in the edge graph of `base`.
-pub fn reach_star_plain(base: &TripleSet, adj: &Adjacency, stats: &mut EvalStats) -> TripleSet {
+///
+/// Checks `cancel` between BFS roots; on cancellation the partial set is
+/// returned and the caller is expected to surface the error (the executor
+/// re-checks the token after every closure).
+pub fn reach_star_plain(
+    base: &TripleSet,
+    adj: &Adjacency,
+    cancel: &CancelToken,
+    stats: &mut EvalStats,
+) -> TripleSet {
     // Group the base triples by their endpoint so each BFS is run once per
     // distinct endpoint rather than once per triple.
     let mut by_endpoint: HashMap<ObjectId, Vec<(ObjectId, ObjectId)>> = HashMap::new();
@@ -78,6 +88,12 @@ pub fn reach_star_plain(base: &TripleSet, adj: &Adjacency, stats: &mut EvalStats
     let mut out: Vec<Triple> = Vec::with_capacity(base.len());
     out.extend(base.iter().copied());
     for (endpoint, prefixes) in by_endpoint {
+        // Discard the accumulation outright on cancellation: sorting a
+        // partial set the caller is about to throw away only delays the
+        // error.
+        if cancel.is_cancelled() {
+            return TripleSet::new();
+        }
         let reach = reachable_from(endpoint, adj, stats);
         for &(s, p) in &prefixes {
             for &w in &reach {
@@ -97,6 +113,7 @@ pub fn reach_star_plain_parallel(
     base: &TripleSet,
     adj: &Adjacency,
     threads: usize,
+    cancel: &CancelToken,
     stats: &mut EvalStats,
 ) -> TripleSet {
     let mut by_endpoint: HashMap<ObjectId, Vec<(ObjectId, ObjectId)>> = HashMap::new();
@@ -110,6 +127,11 @@ pub fn reach_star_plain_parallel(
             move |stats: &mut EvalStats| {
                 let mut out: Vec<Triple> = Vec::new();
                 for (endpoint, prefixes) in morsel {
+                    // One BFS per root: check between roots so a cancelled
+                    // closure stops mid-morsel instead of finishing it.
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     let reach = reachable_from(*endpoint, adj, stats);
                     for &(s, p) in prefixes {
                         for &w in &reach {
@@ -122,7 +144,10 @@ pub fn reach_star_plain_parallel(
             }
         })
         .collect();
-    let parts = parallel::run_tasks(threads, tasks, stats);
+    let parts = parallel::run_tasks(threads, tasks, cancel, stats);
+    if cancel.is_cancelled() {
+        return TripleSet::new();
+    }
     let mut out: Vec<Triple> = Vec::with_capacity(base.len());
     out.extend(base.iter().copied());
     for part in parts {
@@ -137,9 +162,12 @@ pub fn reach_star_plain_parallel(
 /// Like [`reach_star_plain`], but reachability is computed separately within
 /// each "label" `ℓ` (the middle element): only edges whose middle element
 /// equals the original triple's middle element may be followed.
+///
+/// Checks `cancel` between BFS roots, like [`reach_star_plain`].
 pub fn reach_star_same_label(
     base: &TripleSet,
     adj_by_label: &HashMap<ObjectId, Adjacency>,
+    cancel: &CancelToken,
     stats: &mut EvalStats,
 ) -> TripleSet {
     // Group base triples by (label, endpoint).
@@ -154,6 +182,9 @@ pub fn reach_star_same_label(
     let mut out: Vec<Triple> = Vec::with_capacity(base.len());
     out.extend(base.iter().copied());
     for ((label, endpoint), sources) in by_label_endpoint {
+        if cancel.is_cancelled() {
+            return TripleSet::new();
+        }
         let adj = adj_by_label.get(&label).unwrap_or(&empty);
         let reach = reachable_from(endpoint, adj, stats);
         for &s in &sources {
@@ -173,6 +204,7 @@ pub fn reach_star_same_label_parallel(
     base: &TripleSet,
     adj_by_label: &HashMap<ObjectId, Adjacency>,
     threads: usize,
+    cancel: &CancelToken,
     stats: &mut EvalStats,
 ) -> TripleSet {
     let mut by_label_endpoint: HashMap<(ObjectId, ObjectId), Vec<ObjectId>> = HashMap::new();
@@ -192,6 +224,9 @@ pub fn reach_star_same_label_parallel(
             move |stats: &mut EvalStats| {
                 let mut out: Vec<Triple> = Vec::new();
                 for ((label, endpoint), sources) in morsel {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
                     let adj = adj_by_label.get(label).unwrap_or(empty);
                     let reach = reachable_from(*endpoint, adj, stats);
                     for &s in sources {
@@ -205,7 +240,10 @@ pub fn reach_star_same_label_parallel(
             }
         })
         .collect();
-    let parts = parallel::run_tasks(threads, tasks, stats);
+    let parts = parallel::run_tasks(threads, tasks, cancel, stats);
+    if cancel.is_cancelled() {
+        return TripleSet::new();
+    }
     let mut out: Vec<Triple> = Vec::with_capacity(base.len());
     out.extend(base.iter().copied());
     for part in parts {
@@ -228,12 +266,12 @@ mod tests {
 
     fn plain(base: &TripleSet, stats: &mut EvalStats) -> TripleSet {
         let adj = Adjacency::from_triples(base.iter());
-        reach_star_plain(base, &adj, stats)
+        reach_star_plain(base, &adj, &CancelToken::none(), stats)
     }
 
     fn same_label(base: &TripleSet, stats: &mut EvalStats) -> TripleSet {
         let by_label = label_adjacency(base);
-        reach_star_same_label(base, &by_label, stats)
+        reach_star_same_label(base, &by_label, &CancelToken::none(), stats)
     }
 
     fn labelled_chain() -> Triplestore {
@@ -277,11 +315,16 @@ mod tests {
         let mut s1 = EvalStats::new();
         let mut s2 = EvalStats::new();
         assert_eq!(
-            reach_star_plain(rel, index.adjacency(rel), &mut s1),
+            reach_star_plain(rel, index.adjacency(rel), &CancelToken::none(), &mut s1),
             plain(&base(&store), &mut s2),
         );
         assert_eq!(
-            reach_star_same_label(rel, index.adjacency_by_label(rel), &mut s1),
+            reach_star_same_label(
+                rel,
+                index.adjacency_by_label(rel),
+                &CancelToken::none(),
+                &mut s1
+            ),
             same_label(&base(&store), &mut s2),
         );
         assert_eq!(s1.reach_edges_traversed, s2.reach_edges_traversed);
@@ -323,17 +366,23 @@ mod tests {
         let adj = Adjacency::from_triples(b.iter());
         let by_label = label_adjacency(&b);
         let mut seq = EvalStats::new();
-        let plain_seq = reach_star_plain(&b, &adj, &mut seq);
-        let same_seq = reach_star_same_label(&b, &by_label, &mut seq);
+        let plain_seq = reach_star_plain(&b, &adj, &CancelToken::none(), &mut seq);
+        let same_seq = reach_star_same_label(&b, &by_label, &CancelToken::none(), &mut seq);
         for threads in [1usize, 2, 4] {
             let mut par = EvalStats::new();
             assert_eq!(
                 plain_seq,
-                reach_star_plain_parallel(&b, &adj, threads, &mut par)
+                reach_star_plain_parallel(&b, &adj, threads, &CancelToken::none(), &mut par)
             );
             assert_eq!(
                 same_seq,
-                reach_star_same_label_parallel(&b, &by_label, threads, &mut par)
+                reach_star_same_label_parallel(
+                    &b,
+                    &by_label,
+                    threads,
+                    &CancelToken::none(),
+                    &mut par
+                )
             );
             // BFS partitioning changes nothing about the work performed.
             assert_eq!(seq.reach_edges_traversed, par.reach_edges_traversed);
@@ -345,14 +394,21 @@ mod tests {
         // Empty and singleton bases survive partitioning.
         let empty = TripleSet::new();
         let mut s = EvalStats::new();
-        assert!(reach_star_plain_parallel(&empty, &Adjacency::default(), 4, &mut s).is_empty());
+        assert!(reach_star_plain_parallel(
+            &empty,
+            &Adjacency::default(),
+            4,
+            &CancelToken::none(),
+            &mut s
+        )
+        .is_empty());
         let single: TripleSet = [b.as_slice()[0]].into_iter().collect();
         let adj1 = Adjacency::from_triples(single.iter());
         let mut s1 = EvalStats::new();
         let mut s2 = EvalStats::new();
         assert_eq!(
-            reach_star_plain(&single, &adj1, &mut s1),
-            reach_star_plain_parallel(&single, &adj1, 4, &mut s2)
+            reach_star_plain(&single, &adj1, &CancelToken::none(), &mut s1),
+            reach_star_plain_parallel(&single, &adj1, 4, &CancelToken::none(), &mut s2)
         );
     }
 

@@ -62,6 +62,10 @@ pub fn semi_naive_star(
     let mut delta = base.clone();
     let mut rounds: u64 = 0;
     while !delta.is_empty() {
+        // Fixpoint-round checkpoint: a cancelled or expired token stops the
+        // iteration between rounds with the structured error, the same
+        // boundary the round limit is enforced at.
+        options.cancel.check()?;
         if rounds >= options.max_fixpoint_rounds {
             return Err(Error::LimitExceeded(format!(
                 "Kleene star exceeded {} fixpoint rounds",
@@ -77,7 +81,14 @@ pub fn semi_naive_star(
         };
         let joined = match &table {
             Some(table) if threads > 1 => ops::hash_join_probe_parallel(
-                &delta, table, &output, &compiled, store, threads, stats,
+                &delta,
+                table,
+                &output,
+                &compiled,
+                store,
+                threads,
+                &options.cancel,
+                stats,
             ),
             Some(table) => ops::hash_join_probe(&delta, table, &output, &compiled, store, stats),
             None => ops::join_auto(&delta, base, &output, &compiled, store, stats),

@@ -6,8 +6,34 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 use trial_server::{preload_workload, Server, ServerConfig, WORKLOAD_NAMES};
+
+/// Set from the signal handler; the main loop polls it and drains.
+static TERMINATE: AtomicBool = AtomicBool::new(false);
+
+/// Installs SIGTERM/SIGINT handlers that flip [`TERMINATE`]. Storing to a
+/// static atomic is async-signal-safe; everything else (draining, printing)
+/// happens on the main thread after the poll loop observes the flag.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_term(_signum: i32) {
+        TERMINATE.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_term);
+        signal(SIGTERM, on_term);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
 
 const USAGE: &str = "\
 trial-serve — serve TriAL queries over HTTP
@@ -36,7 +62,22 @@ OPTIONS:
                          each; 0 disables /debug/slow)       [default: 16]
     --no-obs             disable request tracing and latency histograms
                          (service counters and /metrics itself stay live)
+    --default-timeout-ms <MS>
+                         evaluation deadline applied to every query that
+                         doesn't set its own ?timeout_ms= (0 = none; also
+                         settable via TRIAL_DEFAULT_TIMEOUT_MS) [default: 0]
+    --drain-grace-ms <MS>
+                         how long SIGTERM lets in-flight requests finish
+                         before cancelling them              [default: 2000]
+    --chaos <SPEC>       arm fault injection, e.g. \"eval=panic@3,
+                         stream.chunk=ioerror@2\" (also settable via
+                         TRIAL_CHAOS; see the chaos module docs)
     -h, --help           print this help
+
+SIGNALS:
+    SIGTERM/SIGINT    graceful drain: stop accepting (late requests get a
+                      structured 503), let in-flight work finish within the
+                      grace window, cancel stragglers, flush /debug/slow
 
 ENDPOINTS:
     POST /query       TriAL expression (plain text) -> JSON triples + stats
@@ -114,6 +155,15 @@ fn run() -> Result<ExitCode, String> {
                 config.flight_slots = parse_num(&take_value(&args, &mut i)?, "--flight-slots")?
             }
             "--no-obs" => config.observe = false,
+            "--default-timeout-ms" => {
+                let ms: u64 = parse_num(&take_value(&args, &mut i)?, "--default-timeout-ms")?;
+                config.default_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--drain-grace-ms" => {
+                let ms: u64 = parse_num(&take_value(&args, &mut i)?, "--drain-grace-ms")?;
+                config.drain_grace = Duration::from_millis(ms);
+            }
+            "--chaos" => config.chaos = Some(take_value(&args, &mut i)?),
             other => return Err(format!("unknown flag `{other}` (try --help)")),
         }
         i += 1;
@@ -131,6 +181,7 @@ fn run() -> Result<ExitCode, String> {
         stores.push((name.clone(), store));
     }
 
+    let drain_grace = config.drain_grace;
     let server = Server::spawn(config).map_err(|e| format!("failed to bind: {e}"))?;
     for (name, store) in stores {
         let triples = store.triple_count();
@@ -140,10 +191,35 @@ fn run() -> Result<ExitCode, String> {
     println!("trial-serve listening on http://{}", server.addr());
     println!("try: curl -s http://{}/healthz", server.addr());
 
-    // Serve until killed.
-    loop {
-        std::thread::sleep(Duration::from_secs(3600));
+    // Serve until asked to stop, then drain: refuse new work, let in-flight
+    // requests finish within the grace window, cancel stragglers with
+    // reason `shutdown`, and flush the flight recorder so the final spans
+    // aren't lost with the process.
+    install_signal_handlers();
+    while !TERMINATE.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
     }
+    println!(
+        "trial-serve: draining (grace {} ms)",
+        drain_grace.as_millis()
+    );
+    let spans = server.drain();
+    for span in &spans {
+        println!(
+            "trial-serve: flushed span {} {} {} -> {} ({} us{})",
+            span.request_id,
+            span.method,
+            span.path,
+            span.status,
+            span.total_us,
+            span.error_kind
+                .as_deref()
+                .map(|k| format!(", {k}"))
+                .unwrap_or_default()
+        );
+    }
+    println!("trial-serve: drained, exiting");
+    Ok(ExitCode::SUCCESS)
 }
 
 /// Consumes the value of the flag at `args[*i]`, advancing the cursor.

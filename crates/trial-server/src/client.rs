@@ -103,6 +103,12 @@ pub struct HttpClient {
     addr: SocketAddr,
     read_timeout: Duration,
     conn: Option<BufReader<TcpStream>>,
+    /// How many times a `429 saturated` response is retried (0 = never,
+    /// the default — the saturation harness *counts* 429s, so shed load
+    /// must stay visible unless a caller explicitly opts in).
+    retry_attempts: u32,
+    /// Ceiling on any single retry backoff sleep.
+    retry_cap: Duration,
 }
 
 impl HttpClient {
@@ -113,7 +119,21 @@ impl HttpClient {
             addr,
             read_timeout: Duration::from_secs(30),
             conn: None,
+            retry_attempts: 0,
+            retry_cap: Duration::from_secs(5),
         }
+    }
+
+    /// Opts into bounded retry of `429 saturated` responses: up to
+    /// `attempts` retries, sleeping the server's `Retry-After` hint (capped
+    /// at `cap`) plus up to 25% jitter between tries — the jitter keeps a
+    /// fleet of shed clients from re-arriving in lockstep. Retries are
+    /// **off by default**: a 429 is a deliberate, complete answer, and
+    /// harnesses that measure shedding must see every one.
+    pub fn retry_saturated(mut self, attempts: u32, cap: Duration) -> Self {
+        self.retry_attempts = attempts;
+        self.retry_cap = cap;
+        self
     }
 
     /// Issues `GET path` over the kept-alive connection.
@@ -134,6 +154,49 @@ impl HttpClient {
 
     /// [`HttpClient::request`] with extra request headers.
     pub fn request_with(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        headers: &[(&str, &str)],
+    ) -> io::Result<HttpResponse> {
+        let mut attempt = 0;
+        loop {
+            let response = self.request_reconnecting(method, path, body, headers)?;
+            if response.status != 429 || attempt >= self.retry_attempts {
+                return Ok(response);
+            }
+            attempt += 1;
+            std::thread::sleep(self.saturated_backoff(&response));
+        }
+    }
+
+    /// The sleep before retrying a shed request: the server's `Retry-After`
+    /// hint (whole seconds, default 1) capped at `retry_cap`, plus up to
+    /// 25% jitter so retries from many clients spread out.
+    fn saturated_backoff(&self, response: &HttpResponse) -> Duration {
+        let hinted_secs = response
+            .header("Retry-After")
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(1);
+        let base = Duration::from_secs(hinted_secs).min(self.retry_cap);
+        // std-only jitter source: the clock's current subsecond nanos are
+        // uncorrelated across clients, which is all the spreading needs.
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.subsec_nanos() as u64)
+            .unwrap_or(0);
+        let quarter_ns = base.as_nanos() as u64 / 4;
+        let jitter = if quarter_ns == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(nanos % quarter_ns)
+        };
+        base + jitter
+    }
+
+    /// One request with the keep-alive reconnect discipline (no 429 retry).
+    fn request_reconnecting(
         &mut self,
         method: &str,
         path: &str,

@@ -218,6 +218,57 @@
 //! tracing and latency histograms entirely for overhead-sensitive
 //! deployments; service counters and `/metrics` itself stay live.
 //!
+//! ## Robustness
+//!
+//! Every fresh evaluation runs under a **cancel token** — a deadline plus
+//! an explicit-cancel flag checked cooperatively at every cursor pull,
+//! morsel loop, fixpoint round and blocking build (see the *Cancellation*
+//! section of the `trial-eval` docs). `?timeout_ms=` arms a per-request
+//! deadline; `trial-serve --default-timeout-ms` (or
+//! `TRIAL_DEFAULT_TIMEOUT_MS`) sets a server-wide default that individual
+//! requests override, with `?timeout_ms=0` as the explicit opt-out:
+//!
+//! ```bash
+//! # Give this query 250 ms; past that the evaluation stops where it is
+//! # and the response is a structured 408.
+//! curl -s "localhost:7878/query?timeout_ms=250" -d "STAR(E JOIN[1,2,3' | 3=1'])"
+//! # → 408 {"error":{"kind":"deadline_exceeded",...}}
+//!
+//! # Every request gets 2 s unless it says otherwise.
+//! trial-serve --preload transport --default-timeout-ms 2000
+//! ```
+//!
+//! Cancellation semantics: a cancelled query releases its admission permit
+//! and worker threads promptly (the in-tree harness asserts within 50 ms of
+//! the deadline), never seeds the query or prefix caches, and shows up in
+//! `trial_queries_timeout_total` / `trial_queries_cancelled_total` on
+//! `/metrics`. A **buffered** response that hits its deadline is a complete
+//! `408`; a **chunked** response that has already streamed its head cannot
+//! change status, so it ends early and names the reason in an
+//! `X-Trial-Error` trailer instead (`deadline_exceeded`, `shutdown`, or
+//! `internal` after a mid-stream fault) — a stream that aborts mid-flight
+//! always tells you why before the connection closes.
+//!
+//! **Graceful shutdown.** [`Server::drain`] (and SIGTERM in `trial-serve`)
+//! stops accepting new work (late requests get a complete
+//! `503 {"error":{"kind":"shutdown",...}}`), lets in-flight requests finish
+//! within a grace window (`--drain-grace-ms`), cancels stragglers with
+//! reason `shutdown`, then joins the workers and flushes the slow-query
+//! flight recorder so the final spans are not lost with the process.
+//!
+//! **Fault injection.** `trial-serve --chaos "<spec>"` (or `TRIAL_CHAOS`)
+//! arms the [`chaos`] layer: deterministic injected panics, socket errors
+//! and stalls at named serving sites — see the [`chaos`] module docs for
+//! the grammar and site table. The chaos test suite drives these rules to
+//! prove the invariants the rest of this section claims: no leaked
+//! admission permits, no poisoned locks, no partial cache entries, accurate
+//! error counters.
+//!
+//! ```bash
+//! # Panic every 3rd evaluation, kill every 2nd stream mid-flight.
+//! trial-serve --preload transport --chaos "eval=panic@3,stream.chunk=ioerror@2"
+//! ```
+//!
 //! ## Architecture
 //!
 //! * **[`registry`]** — named stores as epoch-versioned immutable snapshots
@@ -243,6 +294,9 @@
 //!   per-phase latency histograms.
 //! * **[`trace`]** — request IDs, phase-timed spans and the bounded
 //!   flight recorder behind `GET /debug/slow`.
+//! * **[`chaos`]** — the gated fault-injection layer: deterministic
+//!   injected panics, socket errors and stalls at named serving sites,
+//!   inert (one `is_empty()` test per site) unless armed.
 //! * **[`server`]** — listener + fixed worker pool with keep-alive
 //!   connections and graceful shutdown; [`Server::spawn_ephemeral`] gives
 //!   tests and benches an in-process instance on a free port.
@@ -278,6 +332,7 @@
 
 pub mod admission;
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod json;
@@ -291,11 +346,12 @@ pub mod trace;
 
 pub use admission::{Admission, AdmissionPermit};
 pub use cache::{CacheKey, PrefixCache, PrefixEntry, PrefixKey, QueryCache, QueryKind};
+pub use chaos::Chaos;
 pub use metrics::Metrics;
 pub use preload::{preload_workload, WORKLOAD_NAMES};
 pub use registry::{StoreRegistry, StoreSnapshot};
 pub use routes::MAX_EVAL_THREADS;
-pub use server::{Server, ServerConfig};
+pub use server::{default_timeout_ms, Server, ServerConfig};
 pub use token::CursorToken;
 pub use trace::{next_request_id, FlightRecorder, Span};
 

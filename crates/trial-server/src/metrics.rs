@@ -60,6 +60,11 @@ pub struct Metrics {
     pub(crate) queries_streamed: Arc<Counter>,
     /// Requests shed with `429` by admission control.
     pub(crate) queries_shed: Arc<Counter>,
+    /// Queries cancelled by their deadline (`408 deadline_exceeded`).
+    pub(crate) queries_timeout: Arc<Counter>,
+    /// Queries cancelled for any other reason (shutdown drain, client
+    /// disconnect).
+    pub(crate) queries_cancelled: Arc<Counter>,
     /// Sum of [`EvalStats::hash_tables_built`] over fresh evaluations.
     pub(crate) hash_tables_built: Arc<Counter>,
     /// Sum of [`EvalStats::parallel_morsels`] over fresh evaluations.
@@ -115,6 +120,16 @@ impl Metrics {
         let queries_shed = r.counter(
             "trial_queries_shed_total",
             "Requests shed with 429 by per-store admission control.",
+            &[],
+        );
+        let queries_timeout = r.counter(
+            "trial_queries_timeout_total",
+            "Queries cancelled by their deadline (408 deadline_exceeded).",
+            &[],
+        );
+        let queries_cancelled = r.counter(
+            "trial_queries_cancelled_total",
+            "Queries cancelled by shutdown drain or client disconnect.",
             &[],
         );
         let hash_tables_built = r.counter(
@@ -278,6 +293,8 @@ impl Metrics {
             queries_sequential,
             queries_streamed,
             queries_shed,
+            queries_timeout,
+            queries_cancelled,
             hash_tables_built,
             parallel_morsels,
             topk_buffered_peak,
@@ -335,6 +352,19 @@ impl Metrics {
                 LATENCY_BUCKETS_US,
             )
             .observe(duration_us);
+    }
+
+    /// Counts one cancelled query by its reason kind: `deadline_exceeded`
+    /// lands on the timeout counter, shutdown/disconnect on the cancelled
+    /// counter. Both the buffered 408/503 path and the mid-stream trailer
+    /// path report through here, so the counters see every cancellation
+    /// regardless of response framing.
+    pub(crate) fn observe_cancel(&self, kind: &str) {
+        if kind == "deadline_exceeded" {
+            self.queries_timeout.inc();
+        } else {
+            self.queries_cancelled.inc();
+        }
     }
 
     /// Records one structured error (`trial_errors_total{kind=...}`); kinds

@@ -62,10 +62,11 @@ use crate::server::ServerState;
 use crate::token::CursorToken;
 use crate::trace::{self, Span, Trace};
 use std::io::{self, Write};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use trial_core::{Error, Expr, Permutation, Triplestore, TriplestoreBuilder, Value};
-use trial_eval::{EvalStats, NodeProfile, SmartEngine};
+use trial_eval::{CancelToken, EvalStats, NodeProfile, SmartEngine};
 use trial_rdf::{parse_ntriples_iter, Term};
 
 /// Default cap on the number of triples included in a `/query` response
@@ -128,6 +129,25 @@ pub(crate) fn route(state: &ServerState, req: &Request) -> Routed {
         .clone()
         .unwrap_or_else(trace::next_request_id);
     let mut trace = Trace::begin(request_id, &req.method, &req.path, state.observe);
+    // Fault-injection checkpoint: a `route=panic` chaos rule unwinds here,
+    // inside the connection worker's catch_unwind, exercising the 500 path.
+    state.chaos.trigger("route");
+    // A draining server refuses new work with a complete structured 503
+    // (observability endpoints keep answering — useful while watching a
+    // drain); requests already past this gate run to completion or get
+    // cancelled with reason `shutdown` when the grace window expires.
+    if state.draining.load(Ordering::SeqCst)
+        && matches!(req.path.as_str(), "/query" | "/explain" | "/load")
+    {
+        let response = error_response(
+            503,
+            "shutdown",
+            "server is draining; no new work is accepted",
+            None,
+        );
+        let endpoint = endpoint_label(&req.path);
+        return Routed::Buffered(finalize(state, trace, response, endpoint));
+    }
     if req.method == "POST" && req.path == "/query" && wants_stream(req) {
         trace.set_streamed();
         return match streaming_query(state, req, &mut trace) {
@@ -248,7 +268,15 @@ fn error_response(status: u16, kind: &str, message: &str, offset: Option<usize>)
 }
 
 /// Maps evaluation-time [`Error`]s onto HTTP statuses and error kinds.
-fn eval_error_response(error: &Error) -> Response {
+///
+/// Cancellation carries its reason slug as the kind: a query that hit its
+/// deadline is a `408 deadline_exceeded`; one cancelled by a draining
+/// server (or a vanished client) is a `503`. Cancelled evaluations also
+/// count on the `trial_queries_{timeout,cancelled}_total` metrics here —
+/// this is the one funnel every cancelled buffered evaluation exits
+/// through, and refusals that never ran anything (the draining 503) don't
+/// pass this way, so the counters measure cancelled *work*, not shed load.
+fn eval_error_response(state: &ServerState, error: &Error) -> Response {
     let (status, kind) = match error {
         Error::Parse { .. } => (400, "parse"),
         Error::UnknownRelation(_) => (400, "unknown_relation"),
@@ -257,6 +285,15 @@ fn eval_error_response(error: &Error) -> Response {
         Error::Unsupported(_) => (422, "unsupported"),
         Error::InvalidExpression(_) | Error::SelectionUsesRightPosition { .. } => {
             (400, "invalid_expression")
+        }
+        Error::Cancelled(reason) => {
+            state.metrics.observe_cancel(reason);
+            let status = if reason == "deadline_exceeded" {
+                408
+            } else {
+                503
+            };
+            (status, reason.as_str())
         }
     };
     error_response(status, kind, &error.to_string(), error.parse_offset())
@@ -482,6 +519,9 @@ struct QueryParams {
     /// comparing adaptive and static plans (and for pinning down a
     /// regression to the feedback loop).
     nostats: bool,
+    /// The effective evaluation deadline: a positive `?timeout_ms=`, else
+    /// the server default; `?timeout_ms=0` is the explicit opt-out.
+    timeout: Option<Duration>,
 }
 
 /// Parses and validates the query-string knobs shared by every query path.
@@ -538,6 +578,17 @@ fn parse_query_params(
     };
     // `?nostats=1` opts the request out of feedback-driven planning.
     let nostats = matches!(req.param("nostats"), Some("1" | "true" | "yes"));
+    // `?timeout_ms=` arms a per-request evaluation deadline (admission wait
+    // counts against it); without it the server default applies, and an
+    // explicit `0` opts this request out of any deadline.
+    let timeout = match req.param("timeout_ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(0) => None,
+            Ok(ms) => Some(Duration::from_millis(ms)),
+            Err(_) => return Err(bad(format!("unparsable ?timeout_ms= value `{raw}`"))),
+        },
+        None => state.default_timeout,
+    };
     Ok(QueryParams {
         requested_limit,
         limit: requested_limit.unwrap_or(DEFAULT_RESULT_LIMIT),
@@ -546,6 +597,7 @@ fn parse_query_params(
         order,
         topk,
         nostats,
+        timeout,
     })
 }
 
@@ -608,6 +660,7 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
         order,
         topk,
         nostats,
+        timeout,
     } = params;
 
     let snapshot = match resolve_store(state, req) {
@@ -684,9 +737,19 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
     let parse_started = trace.now();
     let expr = match trial_parser::parse(text) {
         Ok(expr) => expr,
-        Err(e) => return eval_error_response(&e),
+        Err(e) => return eval_error_response(state, &e),
     };
     trace.phase("parse", parse_started);
+
+    // Every fresh evaluation runs under an armed cancel token — the request
+    // deadline when one applies, a manual token otherwise — registered with
+    // the in-flight set so a draining server can cancel it. Created before
+    // admission: the wait for a permit counts against the deadline.
+    let token = match timeout {
+        Some(t) => CancelToken::with_timeout(t),
+        None => CancelToken::manual(),
+    };
+    state.inflight.register(&token);
 
     // Admission: every fresh evaluation (cache hits never get here) takes a
     // per-store permit; saturated stores shed load with a structured 429.
@@ -698,9 +761,15 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
     };
     trace.phase("admission", admission_started);
 
+    // Fault-injection checkpoint: an `eval=panic` rule unwinds here, after
+    // the permit is held — the chaos suite's probe that unwinding releases
+    // admission slots and poisons no locks.
+    state.chaos.trigger("eval");
+
     let options = trial_eval::EvalOptions {
         threads,
-        ..state.eval
+        cancel: token.clone(),
+        ..state.eval.clone()
     };
     let engine = match &stats {
         Some(stats) => SmartEngine::with_stats(options, Arc::clone(stats)),
@@ -711,7 +780,15 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
             // Ordered path: render per-row fragments so the prefix cache can
             // keep them for slicing under any smaller limit.
             let order = order.expect("ordered_prefix implies an order");
-            match render_ordered_rows(&engine, &expr, snapshot.store(), limit, order, trace) {
+            match render_ordered_rows(
+                &engine,
+                &expr,
+                snapshot.store(),
+                limit,
+                order,
+                &token,
+                trace,
+            ) {
                 Ok((rows, truncated, stats_rendered, stats)) => {
                     observe_fresh_eval(state, &stats);
                     state.metrics.observe_rows(rows.len() as u64);
@@ -729,12 +806,20 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                     }
                     fragment
                 }
-                Err(e) => return eval_error_response(&e),
+                Err(e) => return eval_error_response(state, &e),
             }
         }
         QueryKind::Query => {
-            match render_query_fragment(&engine, &expr, snapshot.store(), limit, order, topk, trace)
-            {
+            match render_query_fragment(
+                &engine,
+                &expr,
+                snapshot.store(),
+                limit,
+                order,
+                topk,
+                &token,
+                trace,
+            ) {
                 Ok((fragment, rows, stats)) => {
                     // Count the execution shape of fresh evaluations (cache hits
                     // run nothing, so they count as neither).
@@ -742,7 +827,7 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                     state.metrics.observe_rows(rows);
                     fragment
                 }
-                Err(e) => return eval_error_response(&e),
+                Err(e) => return eval_error_response(state, &e),
             }
         }
         QueryKind::Explain => {
@@ -790,14 +875,14 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                             .raw("stats", &stats_json(&analyzed.evaluation.stats))
                             .finish()
                     }
-                    Err(e) => return eval_error_response(&e),
+                    Err(e) => return eval_error_response(state, &e),
                 }
             } else {
                 let plan_started = trace.now();
                 let plan = match engine.plan_query(&expr, snapshot.store(), plan_limit, order, topk)
                 {
                     Ok(p) => p,
-                    Err(e) => return eval_error_response(&e),
+                    Err(e) => return eval_error_response(state, &e),
                 };
                 trace.phase("plan", plan_started);
                 trace.set_plan(|| plan.explain().trim_end().to_owned());
@@ -871,6 +956,7 @@ fn wrap(snapshot: &StoreSnapshot, cached: bool, fragment: &str, start: Instant) 
 /// parallel/sequential counters and the eval-stat aggregates). `trace`
 /// records the plan/eval phase boundaries, the chosen plan and — when the
 /// profiling stride is on — the per-operator timer handle.
+#[allow(clippy::too_many_arguments)] // the buffered /query knobs, one call site
 fn render_query_fragment(
     engine: &SmartEngine,
     expr: &trial_core::Expr,
@@ -878,6 +964,7 @@ fn render_query_fragment(
     limit: usize,
     order: Option<Permutation>,
     topk: Option<usize>,
+    cancel: &CancelToken,
     trace: &mut Trace,
 ) -> trial_core::Result<(String, u64, EvalStats)> {
     // With ?order= or ?topk= the fragment echoes the effective knobs so
@@ -904,6 +991,9 @@ fn render_query_fragment(
         let eval_started = trace.now();
         let (count, stats) = stream.count();
         trace.phase("eval", eval_started);
+        // A cancelled counting drain stops early with a meaningless partial
+        // count; surface the cancellation instead of a wrong answer.
+        cancel.check()?;
         return Ok((
             annotate(
                 JsonObject::new()
@@ -945,6 +1035,10 @@ fn render_query_fragment(
     }
     triples.push(']');
     trace.phase("eval", eval_started);
+    // Cancelled cursors stop yielding rather than erroring (the drain above
+    // cannot tell "done" from "deadline"); this check converts a cancelled
+    // partial result into the structured error before anything is cached.
+    cancel.check()?;
     let stats = *stream.stats();
     Ok((
         annotate(
@@ -979,6 +1073,7 @@ fn render_ordered_rows(
     store: &Triplestore,
     limit: usize,
     order: Permutation,
+    cancel: &CancelToken,
     trace: &mut Trace,
 ) -> trial_core::Result<(Vec<String>, bool, String, EvalStats)> {
     let plan_started = trace.now();
@@ -1003,6 +1098,9 @@ fn render_ordered_rows(
         rows.push(render_row(store, &t));
     }
     trace.phase("eval", eval_started);
+    // A cancelled drain must not become a cached "complete" prefix: error
+    // out before the caller offers these rows to the prefix cache.
+    cancel.check()?;
     let stats = *stream.stats();
     let rendered = stats_json(&stats);
     Ok((rows, truncated, rendered, stats))
@@ -1044,6 +1142,10 @@ pub(crate) struct StreamingQuery {
     /// strictly past this permutation key instead of replaying from row 0.
     resume: Option<[trial_core::ObjectId; 3]>,
     close: bool,
+    /// The armed cancel token this stream evaluates under (request deadline
+    /// or manual); registered with the server's in-flight set so drain can
+    /// fire it mid-stream.
+    cancel: CancelToken,
     /// Held for the whole response; dropping it (with the job) releases the
     /// store's admission slot.
     _permit: Option<AdmissionPermit>,
@@ -1127,15 +1229,24 @@ fn streaming_query(
     let parse_started = trace.now();
     let expr = match trial_parser::parse(text) {
         Ok(expr) => expr,
-        Err(e) => return Err(Box::new(eval_error_response(&e))),
+        Err(e) => return Err(Box::new(eval_error_response(state, &e))),
     };
     trace.phase("parse", parse_started);
+    // Same token discipline as the buffered path: armed before admission so
+    // the permit wait counts against the deadline, registered so drain can
+    // cancel the stream mid-flight.
+    let cancel = match params.timeout {
+        Some(t) => CancelToken::with_timeout(t),
+        None => CancelToken::manual(),
+    };
+    state.inflight.register(&cancel);
     let admission_started = trace.now();
     let permit = match state.admission.acquire(snapshot.name()) {
         Ok(permit) => Some(permit),
         Err(retry_after) => return Err(Box::new(rejected_response(snapshot.name(), retry_after))),
     };
     trace.phase("admission", admission_started);
+    state.chaos.trigger("eval");
     Ok(StreamingQuery {
         snapshot,
         expr,
@@ -1146,6 +1257,7 @@ fn streaming_query(
         nostats: params.nostats,
         resume,
         close: req.close,
+        cancel,
         _permit: permit,
         trace: None,
     })
@@ -1169,7 +1281,8 @@ impl StreamingQuery {
             .unwrap_or_else(|| Trace::begin(trace::next_request_id(), "POST", "/query", false));
         let options = trial_eval::EvalOptions {
             threads: self.threads,
-            ..state.eval
+            cancel: self.cancel.clone(),
+            ..state.eval.clone()
         };
         let engine = if self.nostats {
             SmartEngine::with_options(options)
@@ -1192,8 +1305,11 @@ impl StreamingQuery {
             Ok(stream) => stream,
             Err(e) => {
                 // Nothing is on the wire yet: plan-time failures still get
-                // an ordinary buffered error and keep-alive survives.
-                let response = finalize(state, trace, eval_error_response(&e), "query");
+                // an ordinary buffered error and keep-alive survives. The
+                // permit is released before the response bytes so a client
+                // that can read the error never observes it still held.
+                let response = finalize(state, trace, eval_error_response(state, &e), "query");
+                drop(self._permit.take());
                 http::write_response(writer, &response, self.close)?;
                 return Ok(!self.close);
             }
@@ -1216,6 +1332,7 @@ impl StreamingQuery {
                 "X-Trial-Truncated",
                 "X-Trial-Elapsed-Us",
                 "X-Trial-Cursor",
+                "X-Trial-Error",
             ],
             Some(trace.request_id()),
         )?;
@@ -1243,27 +1360,95 @@ impl StreamingQuery {
         let mut count: u64 = 0;
         let mut truncated = false;
         let mut last = None;
-        let (rows_written, stats) =
-            stream.channel(EXCHANGE_DEPTH_BATCHES, |rows| -> io::Result<()> {
-                let mut array = ArrayStream::begin(|s: &str| chunked.write_text(s))?;
-                while let Some(t) = rows.next_triple() {
-                    if count as usize == limit {
-                        // The probe row past the cap proves the stream was
-                        // cut short; returning drops the exchange and
-                        // terminates the producers.
-                        truncated = true;
-                        break;
-                    }
-                    array.element(&render_row(store, &t))?;
-                    count += 1;
-                    last = Some(t);
-                }
-                array.finish()?;
-                Ok(())
-            });
-        rows_written?;
-        chunked.write_text("}")?;
+        // The pump runs under its own catch_unwind: once the 200 head is on
+        // the wire the status can't change, so a worker panic (fault
+        // injection or a real bug) must still reach `finish` below — the
+        // terminal chunk plus an `X-Trial-Error` trailer naming the reason
+        // is the only abort signal a chunked response has left.
+        let chaos = &state.chaos;
+        let cancel = self.cancel.clone();
+        let pumped =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| -> io::Result<EvalStats> {
+                let (rows_written, stats) =
+                    stream.channel(EXCHANGE_DEPTH_BATCHES, |rows| -> io::Result<()> {
+                        chaos.trigger("stream.pump");
+                        let mut array = ArrayStream::begin(|s: &str| chunked.write_text(s))?;
+                        while let Some(t) = rows.next_triple() {
+                            if count as usize == limit {
+                                // The probe row past the cap proves the stream
+                                // was cut short; returning drops the exchange
+                                // and terminates the producers.
+                                truncated = true;
+                                break;
+                            }
+                            // The producers check the token between batches,
+                            // but batches already queued in the exchange
+                            // would still drain to the socket; checking per
+                            // row keeps a slow client from stretching a dead
+                            // deadline. The break terminates the producers
+                            // exactly like the row cap.
+                            if cancel.is_cancelled() {
+                                break;
+                            }
+                            chaos.io("stream.chunk")?;
+                            chaos.trigger("stream.slow");
+                            array.element(&render_row(store, &t))?;
+                            count += 1;
+                            last = Some(t);
+                        }
+                        array.finish()?;
+                        Ok(())
+                    });
+                rows_written?;
+                chunked.write_text("}")?;
+                Ok(stats)
+            }));
         trace.phase("eval", eval_started);
+
+        let elapsed_us = (start.elapsed().as_micros() as u64).to_string();
+        let stats = match pumped {
+            Ok(Ok(stats)) => stats,
+            Ok(Err(e)) => {
+                // Socket-level death (including an injected `stream.chunk`
+                // error): nothing more can be written, so there is no
+                // trailer to emit — propagate and let the connection drop.
+                // The missing terminal chunk is the client's signal.
+                state.metrics.observe_error("stream_io");
+                if let Some(span) = trace.finish(200, Some("stream_io".to_owned())) {
+                    state.recorder.record(span);
+                }
+                drop(self._permit.take());
+                return Err(e);
+            }
+            Err(_) => {
+                // A panic mid-stream: the body is unfinishable (possibly
+                // truncated mid-row), but the chunk framing is still intact
+                // at `write_text` boundaries. Terminate the stream properly
+                // and name the failure, then close the connection — the
+                // body JSON cannot be trusted for reuse.
+                state.metrics.observe_error("internal");
+                let trailers: Vec<(&str, String)> = vec![
+                    ("X-Trial-Error", "internal".to_owned()),
+                    ("X-Trial-Elapsed-Us", elapsed_us),
+                ];
+                drop(self._permit.take());
+                chunked.finish(&trailers)?;
+                if let Some(span) = trace.finish(200, Some("internal".to_owned())) {
+                    state.recorder.record(span);
+                }
+                return Ok(false);
+            }
+        };
+
+        // Cancellation mid-stream: cursors stopped yielding, so the body is
+        // well-formed but incomplete. Name the reason in the error trailer,
+        // count it, and never mint a resume cursor from a cancelled position.
+        let cancel_kind = self.cancel.reason().map(|r| r.as_str());
+        if let Some(kind) = cancel_kind {
+            truncated = true;
+            state.metrics.observe_cancel(kind);
+            state.metrics.observe_error(kind);
+        }
 
         state.metrics.queries_served.inc();
         state.metrics.queries_streamed.inc();
@@ -1273,16 +1458,14 @@ impl StreamingQuery {
         let mut trailers: Vec<(&str, String)> = vec![
             ("X-Trial-Count", count.to_string()),
             ("X-Trial-Truncated", truncated.to_string()),
-            (
-                "X-Trial-Elapsed-Us",
-                (start.elapsed().as_micros() as u64).to_string(),
-            ),
+            ("X-Trial-Elapsed-Us", elapsed_us),
         ];
         // A truncated *ordered* stream is resumable: the next page picks up
         // strictly after the last row we delivered. Top-k results are
-        // complete sets, and unordered streams have no stable position —
-        // neither gets a cursor.
-        if truncated && self.topk.is_none() {
+        // complete sets, unordered streams have no stable position, and a
+        // cancelled stream's last row is not a trustworthy position —
+        // none of those get a cursor.
+        if truncated && self.topk.is_none() && cancel_kind.is_none() {
             if let (Some(order), Some(t)) = (self.order, last) {
                 let token = CursorToken {
                     store: self.snapshot.name().to_owned(),
@@ -1293,12 +1476,15 @@ impl StreamingQuery {
                 trailers.push(("X-Trial-Cursor", token.encode()));
             }
         }
-        chunked.finish(&trailers)?;
+        if let Some(kind) = cancel_kind {
+            trailers.push(("X-Trial-Error", kind.to_owned()));
+        }
 
-        // The stream flushed its cursors (the exchange joined its producers
-        // before `channel` returned), so the profile snapshot inside
-        // `finish` sees complete per-node timings.
-        if let Some(span) = trace.finish(200, None) {
+        // Record the span and its metrics BEFORE the terminal chunk goes on
+        // the wire: a client that has read the trailers must find this
+        // request already counted on /metrics (the cursors were flushed when
+        // `channel` returned, so the profile snapshot is already complete).
+        if let Some(span) = trace.finish(200, cancel_kind.map(str::to_owned)) {
             state
                 .metrics
                 .observe_request("query", span.status, span.total_us);
@@ -1307,6 +1493,11 @@ impl StreamingQuery {
             }
             state.recorder.record(span);
         }
+        // Like the metrics above, the permit goes BEFORE the terminal
+        // chunk: "the client has the trailers" must imply "the worker and
+        // its admission slot are already free".
+        drop(self._permit.take());
+        chunked.finish(&trailers)?;
         Ok(!self.close)
     }
 }
@@ -1475,7 +1666,7 @@ fn load(state: &ServerState, req: &Request) -> Response {
         }
         let triple = match item {
             Ok(t) => t,
-            Err(e) => return eval_error_response(&e),
+            Err(e) => return eval_error_response(state, &e),
         };
         for term in triple.terms() {
             if let Term::Literal(lexical) = term {

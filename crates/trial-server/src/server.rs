@@ -10,18 +10,19 @@
 
 use crate::admission::Admission;
 use crate::cache::{PrefixCache, QueryCache};
+use crate::chaos::Chaos;
 use crate::http::{self, ReadOutcome, Response};
 use crate::metrics::Metrics;
 use crate::registry::StoreRegistry;
 use crate::routes::{self, Routed};
-use crate::trace::FlightRecorder;
+use crate::trace::{FlightRecorder, Span};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
-use trial_eval::EvalOptions;
+use trial_eval::{CancelReason, CancelToken, EvalOptions};
 
 /// Configuration for [`Server::spawn`].
 #[derive(Debug, Clone)]
@@ -77,6 +78,38 @@ pub struct ServerConfig {
     /// plus this many most-recent errored/shed spans (0 disables the
     /// recorder; `/debug/slow` then serves empty lists).
     pub flight_slots: usize,
+    /// Default deadline applied to every fresh `/query` evaluation that does
+    /// not choose its own with `?timeout_ms=` (`None` = no default; a
+    /// per-request `?timeout_ms=0` opts out of the default explicitly).
+    /// Expired queries get a structured `408 deadline_exceeded` on buffered
+    /// responses and an `X-Trial-Error` trailer on chunked ones, and always
+    /// release their admission permit, worker threads and exchange lanes.
+    /// The `TRIAL_DEFAULT_TIMEOUT_MS` environment variable seeds the
+    /// default (read once per process; 0 or unset = none).
+    pub default_timeout: Option<Duration>,
+    /// How long [`Server::drain`] waits for in-flight requests to finish on
+    /// their own before cancelling the stragglers with
+    /// [`trial_eval::CancelReason::Shutdown`].
+    pub drain_grace: Duration,
+    /// Fault-injection spec (see [`crate::chaos`]); `None` disables
+    /// injection entirely. Seeded from the `TRIAL_CHAOS` environment
+    /// variable, settable with `trial-serve --chaos`.
+    pub chaos: Option<String>,
+}
+
+/// The process-wide default for [`ServerConfig::default_timeout`]: the
+/// `TRIAL_DEFAULT_TIMEOUT_MS` environment variable if set to a positive
+/// integer (read once), otherwise `None` (no server-side deadline). CI runs
+/// the whole suite a second time with a low value to prove every test
+/// finishes under an armed deadline without spurious 408s.
+pub fn default_timeout_ms() -> Option<u64> {
+    static DEFAULT: std::sync::OnceLock<Option<u64>> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("TRIAL_DEFAULT_TIMEOUT_MS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+    })
 }
 
 impl Default for ServerConfig {
@@ -102,7 +135,63 @@ impl Default for ServerConfig {
             admission_wait: Duration::from_millis(500),
             observe: true,
             flight_slots: 16,
+            default_timeout: default_timeout_ms().map(Duration::from_millis),
+            drain_grace: Duration::from_secs(2),
+            chaos: std::env::var("TRIAL_CHAOS").ok().filter(|s| !s.is_empty()),
         }
+    }
+}
+
+/// The in-flight request registry: one armed [`CancelToken`] per fresh
+/// evaluation, registered before admission and pruned lazily — a token whose
+/// every other clone has been dropped ([`CancelToken::is_unique`]) belongs
+/// to a finished request. [`Server::drain`] cancels whatever is left after
+/// the grace window with [`CancelReason::Shutdown`].
+#[derive(Debug, Default)]
+pub(crate) struct Inflight {
+    tokens: Mutex<Vec<CancelToken>>,
+}
+
+impl Inflight {
+    /// Registers an armed token (inert tokens have nothing to cancel),
+    /// pruning tokens whose requests have finished.
+    pub(crate) fn register(&self, token: &CancelToken) {
+        if !token.is_armed() {
+            return;
+        }
+        let mut tokens = self
+            .tokens
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        tokens.retain(|t| !t.is_unique());
+        tokens.push(token.clone());
+    }
+
+    /// The number of registered tokens whose requests are still live.
+    pub(crate) fn live(&self) -> usize {
+        let mut tokens = self
+            .tokens
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        tokens.retain(|t| !t.is_unique());
+        tokens.len()
+    }
+
+    /// Cancels every live token with `reason` and empties the registry
+    /// (latches are sticky — the running queries keep their clones).
+    /// Returns how many were still live.
+    pub(crate) fn cancel_all(&self, reason: CancelReason) -> usize {
+        let mut tokens = self
+            .tokens
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        tokens.retain(|t| !t.is_unique());
+        for token in tokens.iter() {
+            token.cancel(reason);
+        }
+        let live = tokens.len();
+        tokens.clear();
+        live
     }
 }
 
@@ -135,10 +224,20 @@ pub struct ServerState {
     /// [`ServerConfig::observe`]).
     pub(crate) observe: bool,
     pub(crate) started: Instant,
+    /// The server-wide default deadline for fresh evaluations.
+    pub(crate) default_timeout: Option<Duration>,
+    /// Armed cancel tokens of in-flight requests, for the drain path.
+    pub(crate) inflight: Inflight,
+    /// The fault-injection plan (inert unless configured).
+    pub(crate) chaos: Chaos,
+    /// Set by [`Server::drain`]: new work is refused with a structured
+    /// `503 shutdown` and keep-alive connections close after the response
+    /// in flight.
+    pub(crate) draining: AtomicBool,
 }
 
 impl ServerState {
-    fn new(config: &ServerConfig) -> Self {
+    fn new(config: &ServerConfig) -> io::Result<Self> {
         let started = Instant::now();
         let registry = Arc::new(StoreRegistry::new());
         let cache = Arc::new(QueryCache::new(config.cache_capacity));
@@ -149,19 +248,28 @@ impl ServerState {
             config.admission_wait,
         ));
         let metrics = Metrics::new(&registry, &cache, &prefix, &admission, started);
-        ServerState {
+        let chaos = match &config.chaos {
+            Some(spec) => Chaos::parse(spec)
+                .map_err(|message| io::Error::new(io::ErrorKind::InvalidInput, message))?,
+            None => Chaos::none(),
+        };
+        Ok(ServerState {
             registry,
             cache,
             prefix,
             admission,
-            eval: config.eval,
+            eval: config.eval.clone(),
             max_stores: config.max_stores,
             max_store_triples: config.max_store_triples,
             metrics,
             recorder: FlightRecorder::new(config.flight_slots),
             observe: config.observe,
             started,
-        }
+            default_timeout: config.default_timeout,
+            inflight: Inflight::default(),
+            chaos,
+            draining: AtomicBool::new(false),
+        })
     }
 }
 
@@ -176,6 +284,7 @@ pub struct Server {
     state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
+    drain_grace: Duration,
 }
 
 impl Server {
@@ -183,7 +292,7 @@ impl Server {
     pub fn spawn(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind((config.host.as_str(), config.port))?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServerState::new(&config));
+        let state = Arc::new(ServerState::new(&config)?);
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = mpsc::channel::<TcpStream>();
         let rx = Arc::new(Mutex::new(rx));
@@ -227,6 +336,7 @@ impl Server {
             state,
             shutdown,
             threads,
+            drain_grace: config.drain_grace,
         })
     }
 
@@ -271,6 +381,38 @@ impl Server {
     /// Stops accepting, drains the workers and joins all threads.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
+    }
+
+    /// Graceful shutdown with the configured grace window (see
+    /// [`Server::drain_within`]).
+    pub fn drain(self) -> Vec<Arc<Span>> {
+        let grace = self.drain_grace;
+        self.drain_within(grace)
+    }
+
+    /// Graceful shutdown: stop accepting new connections, refuse new work
+    /// with a structured `503 shutdown`, give in-flight requests up to
+    /// `grace` to finish on their own, then cancel the stragglers with
+    /// [`CancelReason::Shutdown`] — cancelled evaluations unwind at their
+    /// next checkpoint, release their admission permits and close their
+    /// streams with an `X-Trial-Error: shutdown` trailer. Finally joins
+    /// every thread and flushes the flight recorder, returning the retained
+    /// spans so the process can log them before exiting.
+    pub fn drain_within(mut self, grace: Duration) -> Vec<Arc<Span>> {
+        // Refuse new work first, then stop accepting: a connection that
+        // slips past the acceptor check still gets a clean 503.
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        let deadline = Instant::now() + grace;
+        while self.state.inflight.live() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.state.inflight.cancel_all(CancelReason::Shutdown);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+        self.state.recorder.flush()
     }
 
     fn shutdown_inner(&mut self) {
@@ -347,6 +489,12 @@ fn handle_connection(
                             _ => return,
                         }
                     }
+                }
+                // A draining server finishes the response in flight, then
+                // closes: keep-alive must not pin a worker past the grace
+                // window.
+                if state.draining.load(Ordering::SeqCst) {
+                    return;
                 }
             }
             Ok(ReadOutcome::Closed) => return,

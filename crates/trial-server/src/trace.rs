@@ -301,6 +301,27 @@ impl FlightRecorder {
             .cloned()
             .collect()
     }
+
+    /// Flushes the recorder: takes every retained span (slowest successes
+    /// first, then errors most recent first) and leaves it empty. A draining
+    /// server flushes so the final diagnostics survive the process —
+    /// `trial-serve` prints them on SIGTERM before exiting.
+    pub fn flush(&self) -> Vec<Arc<Span>> {
+        let mut out: Vec<Arc<Span>> = std::mem::take(
+            &mut *self
+                .slow
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        let errors = std::mem::take(
+            &mut *self
+                .errors
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        out.extend(errors.into_iter().rev());
+        out
+    }
 }
 
 #[cfg(test)]

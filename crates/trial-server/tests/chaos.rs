@@ -1,0 +1,192 @@
+//! Fault-injection suite: drives the server through the `chaos` layer
+//! (`ServerConfig::chaos`, same grammar as `trial-serve --chaos` /
+//! `TRIAL_CHAOS`) and proves the crash-containment invariants — an injected
+//! worker panic is a structured 500 that releases its admission permit,
+//! poisons no lock, and leaves no partial cache entry; a panic or socket
+//! death mid-stream still terminates the chunk framing (or visibly kills
+//! the connection) without wedging the server.
+
+use trial_server::client::{self};
+use trial_server::{Server, ServerConfig};
+
+/// An N-Triples chain `<n0> <next> <n1> . … <n{n-1}> <next> <n{n}> .`.
+fn chain_doc(n: usize) -> String {
+    let mut doc = String::new();
+    for i in 0..n {
+        doc.push_str(&format!("<n{i}> <next> <n{}> .\n", i + 1));
+    }
+    doc
+}
+
+/// Extracts the integer value of `"field":N` from a flat JSON rendering.
+fn json_u64(body: &str, field: &str) -> u64 {
+    let needle = format!("\"{field}\":");
+    let at = body
+        .find(&needle)
+        .unwrap_or_else(|| panic!("no `{needle}` in `{body}`"));
+    body[at + needle.len()..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("non-numeric `{needle}` in `{body}`"))
+}
+
+fn spawn_with_chaos(spec: &str, cache_capacity: usize) -> Server {
+    Server::spawn(ServerConfig {
+        port: 0,
+        chaos: Some(spec.to_owned()),
+        cache_capacity,
+        ..ServerConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn injected_worker_panics_release_permits_and_poison_no_locks() {
+    // Every 2nd evaluation panics. The cache is disabled so every query
+    // actually reaches the `eval` site and the hit sequence below is exact:
+    // ok, panic, ok, panic, ok, panic, ok.
+    let server = spawn_with_chaos("eval=panic@2", 0);
+    let addr = server.addr();
+    client::post(addr, "/load?store=chain", &chain_doc(100)).unwrap();
+
+    for threads in [1usize, 2, 4] {
+        let path = format!("/query?store=chain&limit=5&threads={threads}");
+        let ok = client::post(addr, &path, "E").unwrap();
+        assert_eq!(ok.status, 200, "threads={threads}: {}", ok.body);
+
+        let crashed = client::post(addr, &path, "E").unwrap();
+        assert_eq!(crashed.status, 500, "threads={threads}: {}", crashed.body);
+        assert!(
+            crashed.body.contains("\"kind\":\"internal\""),
+            "threads={threads}: {}",
+            crashed.body
+        );
+
+        // The unwound worker dropped its permit on the way out.
+        let healthz = client::get(addr, "/healthz").unwrap().body;
+        assert_eq!(json_u64(&healthz, "in_flight"), 0, "{healthz}");
+    }
+
+    // Registry, metrics and admission locks all survived three panics: a
+    // final query runs normally (hit 7 is odd, so no injection).
+    let after = client::post(addr, "/query?store=chain&limit=5", "E").unwrap();
+    assert_eq!(after.status, 200, "{}", after.body);
+    server.shutdown();
+}
+
+#[test]
+fn a_panicked_query_never_leaves_a_partial_cache_entry() {
+    // Caching on; every 2nd evaluation panics. Cache hits never reach the
+    // `eval` site, so the hit sequence is: seed (1, ok), panic (2), retry
+    // (3, ok).
+    let server = spawn_with_chaos("eval=panic@2", 128);
+    let addr = server.addr();
+    client::post(addr, "/load?store=chain", &chain_doc(100)).unwrap();
+
+    // Seed the cache with one query and prove hits are served from it.
+    let seeded = client::post(addr, "/query?store=chain&limit=5", "E").unwrap();
+    assert_eq!(seeded.status, 200, "{}", seeded.body);
+    assert!(seeded.body.contains("\"cached\":false"), "{}", seeded.body);
+    let hit = client::post(addr, "/query?store=chain&limit=5", "E").unwrap();
+    assert_eq!(hit.status, 200, "{}", hit.body);
+    assert!(hit.body.contains("\"cached\":true"), "{}", hit.body);
+
+    // A different query panics mid-evaluation …
+    let crashed = client::post(
+        addr,
+        "/query?store=chain&limit=5",
+        "E JOIN[1,2,3' | 3=1'] E",
+    )
+    .unwrap();
+    assert_eq!(crashed.status, 500, "{}", crashed.body);
+
+    // … and its rerun is a fresh evaluation: the crashed attempt stored
+    // nothing under the key it would have used.
+    let retried = client::post(
+        addr,
+        "/query?store=chain&limit=5",
+        "E JOIN[1,2,3' | 3=1'] E",
+    )
+    .unwrap();
+    assert_eq!(retried.status, 200, "{}", retried.body);
+    assert!(
+        retried.body.contains("\"cached\":false"),
+        "{}",
+        retried.body
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stream_pump_panic_names_internal_in_the_error_trailer() {
+    // The pump panics on its first batch: the 200 head is already on the
+    // wire, so the only honest signal left is a terminal chunk plus an
+    // `X-Trial-Error: internal` trailer — which is exactly what a client
+    // must check before trusting a chunked body.
+    let server = spawn_with_chaos("stream.pump=panic", 128);
+    let addr = server.addr();
+    client::post(addr, "/load?store=chain", &chain_doc(50)).unwrap();
+
+    let response = client::post(addr, "/query?store=chain&stream=1", "E").unwrap();
+    assert_eq!(response.status, 200);
+    assert!(response.chunked);
+    assert_eq!(
+        response.trailer("X-Trial-Error"),
+        Some("internal"),
+        "trailers: {:?}",
+        response.trailers
+    );
+
+    // The stream's permit was released before the terminal chunk.
+    let healthz = client::get(addr, "/healthz").unwrap().body;
+    assert_eq!(json_u64(&healthz, "in_flight"), 0, "{healthz}");
+    server.shutdown();
+}
+
+#[test]
+fn stream_chunk_io_error_kills_the_connection_visibly() {
+    // A socket death mid-chunk cannot be repaired or signalled in-band: the
+    // server drops the connection and the missing terminal chunk is the
+    // client's signal. The server itself must shrug it off.
+    let server = spawn_with_chaos("stream.chunk=ioerror", 128);
+    let addr = server.addr();
+    client::post(addr, "/load?store=chain", &chain_doc(50)).unwrap();
+
+    let result = client::post(addr, "/query?store=chain&stream=1", "E");
+    assert!(
+        result.is_err(),
+        "a mid-chunk socket error must not produce a readable response: {result:?}"
+    );
+
+    // The failed stream released its permit and was counted as stream_io.
+    let healthz = client::get(addr, "/healthz").unwrap().body;
+    assert_eq!(json_u64(&healthz, "in_flight"), 0, "{healthz}");
+    let metrics = client::get(addr, "/metrics").unwrap().body;
+    assert!(metrics.contains("stream_io"), "{metrics}");
+    server.shutdown();
+}
+
+#[test]
+fn a_panicked_route_is_a_500_and_the_server_survives() {
+    // The `route` site counts every request. With period 2 the sequence
+    // is: healthz (ok), healthz (panic → 500), healthz (ok).
+    let server = spawn_with_chaos("route=panic@2", 128);
+    let addr = server.addr();
+
+    let first = client::get(addr, "/healthz").unwrap();
+    assert_eq!(first.status, 200, "{}", first.body);
+
+    let crashed = client::get(addr, "/healthz").unwrap();
+    assert_eq!(crashed.status, 500, "{}", crashed.body);
+    assert!(
+        crashed.body.contains("\"kind\":\"internal\""),
+        "{}",
+        crashed.body
+    );
+
+    let after = client::get(addr, "/healthz").unwrap();
+    assert_eq!(after.status, 200, "{}", after.body);
+    server.shutdown();
+}

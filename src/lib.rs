@@ -69,6 +69,32 @@
 //! service counters and `/metrics` live. The full metric reference is in
 //! the [`server`] crate's *Observability* section.
 //!
+//! # Robustness
+//!
+//! Evaluation is cooperatively cancellable end to end: every fresh query
+//! runs under a cancel token (deadline + explicit cancel) consulted at
+//! each cursor pull, morsel loop, fixpoint round and blocking build, so a
+//! deadline surfaces as a structured error within milliseconds instead of
+//! after the evaluation would have finished anyway:
+//!
+//! ```bash
+//! curl -s "localhost:7878/query?timeout_ms=250" -d "STAR(E JOIN[1,2,3' | 3=1'])"
+//! # → 408 {"error":{"kind":"deadline_exceeded",...}}
+//! trial-serve --preload transport --default-timeout-ms 2000  # server-wide default
+//! trial-serve --chaos "eval=panic@2"                         # fault injection
+//! ```
+//!
+//! A cancelled query frees its admission permit and workers promptly and
+//! never seeds the caches; a chunked response that dies mid-stream names
+//! the reason in an `X-Trial-Error` trailer. SIGTERM (or
+//! `Server::drain()`) drains gracefully: in-flight requests finish within
+//! a grace window, stragglers are cancelled with reason `shutdown`. The
+//! `--chaos` fault-injection layer deterministically panics, errors or
+//! stalls named serving sites so the crash-containment invariants stay
+//! testable (`crates/trial-server/tests/chaos.rs`). Details and the full
+//! grammar are in the [`server`] crate's *Robustness* section; measured
+//! check overhead and release latency land in `BENCH_robustness.json`.
+//!
 //! `examples/server_demo.rs` runs the same round trip in-process; the full
 //! endpoint reference is in the [`server`] crate docs.
 
