@@ -1,0 +1,164 @@
+//! Regular path queries: the Thompson-NFA product walk against the TriAL
+//! star lowering, over chain / cycle / grid workloads.
+//!
+//! Every closure-free case is evaluated **both** ways and the result sets
+//! are asserted equal before anything is timed — the benchmark doubles as a
+//! coarse differential check on real workload shapes. Bounded cases
+//! (`max_hops`) run NFA-only: the TriAL lowering evaluates full fixpoints
+//! and cannot express a hop budget, which is exactly why the NFA strategy
+//! exists.
+//!
+//! Besides the printed report, medians land in `BENCH_rpq.json` at the
+//! repository root so results ride along with the code.
+//! `TRIAL_BENCH_SMOKE=1` shrinks the stores for CI.
+
+use criterion::black_box;
+use std::time::{Duration, Instant};
+use trial_core::Triplestore;
+use trial_eval::rpq::{self, PathStrategy};
+use trial_eval::{CancelToken, Engine, EvalStats, SmartEngine};
+use trial_parser::parse_path;
+use trial_workloads::{
+    chain_path_suite, cycle_path_suite, grid_path_suite, grid_store, labeled_chain_store,
+    labeled_cycle_store, PathCase,
+};
+
+/// One warm-up call, then `samples` timed runs; returns sorted durations.
+fn time_runs(samples: usize, mut f: impl FnMut() -> usize) -> (Vec<Duration>, usize) {
+    let rows = f();
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        black_box(f());
+        times.push(start.elapsed());
+    }
+    times.sort_unstable();
+    (times, rows)
+}
+
+fn median(times: &[Duration]) -> Duration {
+    times[times.len() / 2]
+}
+
+fn nfa_eval(store: &Triplestore, case: &PathCase) -> trial_core::TripleSet {
+    let path = parse_path(case.path).unwrap();
+    let mut stats = EvalStats::new();
+    rpq::eval_on_store(
+        store,
+        "E",
+        &path,
+        case.max_hops,
+        1,
+        &CancelToken::none(),
+        &mut stats,
+    )
+    .unwrap()
+}
+
+fn lowered_eval(store: &Triplestore, case: &PathCase) -> trial_core::TripleSet {
+    let path = parse_path(case.path).unwrap();
+    let lowered = rpq::lower(&path, "E");
+    SmartEngine::new().run(&lowered, store).unwrap()
+}
+
+fn main() {
+    let smoke = std::env::var("TRIAL_BENCH_SMOKE").is_ok();
+    let (chain_len, cycle_len, grid_n, samples) = if smoke {
+        (24, 12, 5, 3)
+    } else {
+        (200, 64, 12, 10)
+    };
+
+    let workloads: Vec<(&str, Triplestore, Vec<PathCase>)> = vec![
+        (
+            "chain",
+            labeled_chain_store(chain_len, &["a", "b"]),
+            chain_path_suite(),
+        ),
+        (
+            "cycle",
+            labeled_cycle_store(cycle_len, &["next"]),
+            cycle_path_suite(),
+        ),
+        ("grid", grid_store(grid_n), grid_path_suite()),
+    ];
+
+    let mut entries = Vec::new();
+    for (shape, store, suite) in &workloads {
+        println!(
+            "{shape}: {} objects, {} triples",
+            store.object_count(),
+            store.triple_count()
+        );
+        for case in suite {
+            let path = parse_path(case.path).unwrap();
+            let resolved = PathStrategy::Auto.resolves_to_nfa(&path, case.max_hops);
+            let (nfa_times, rows) = time_runs(samples, || nfa_eval(store, case).len());
+            let lower_median_ns = if case.max_hops.is_none() {
+                // Cross-check before timing: the two strategies must agree
+                // byte-for-byte on the pair set.
+                let nfa_set = nfa_eval(store, case);
+                let lowered_set = lowered_eval(store, case);
+                assert_eq!(
+                    nfa_set, lowered_set,
+                    "NFA and lowering disagree on {}",
+                    case.name
+                );
+                let (lower_times, lower_rows) =
+                    time_runs(samples, || lowered_eval(store, case).len());
+                assert_eq!(rows, lower_rows);
+                Some(median(&lower_times).as_nanos())
+            } else {
+                None
+            };
+            let nfa_median = median(&nfa_times);
+            match lower_median_ns {
+                Some(lower_ns) => println!(
+                    "{:<26} {:<16} nfa: {:>12.3?}  lower: {:>9}ns  ({} rows, auto→{})",
+                    case.name,
+                    case.path,
+                    nfa_median,
+                    lower_ns,
+                    rows,
+                    if resolved { "nfa" } else { "lower" },
+                ),
+                None => println!(
+                    "{:<26} {:<16} nfa: {:>12.3?}  (bounded to {} hops, {} rows)",
+                    case.name,
+                    case.path,
+                    nfa_median,
+                    case.max_hops.unwrap(),
+                    rows,
+                ),
+            }
+            entries.push(format!(
+                concat!(
+                    "    {{\"shape\":\"{}\",\"name\":\"{}\",\"path\":{:?},",
+                    "\"max_hops\":{},\"auto_strategy\":\"{}\",\"rows\":{},",
+                    "\"nfa_median_ns\":{},\"lower_median_ns\":{}}}"
+                ),
+                shape,
+                case.name,
+                case.path,
+                case.max_hops
+                    .map_or_else(|| "null".to_owned(), |h| h.to_string()),
+                if resolved { "nfa" } else { "lower" },
+                rows,
+                nfa_median.as_nanos(),
+                lower_median_ns.map_or_else(|| "null".to_owned(), |ns| ns.to_string()),
+            ));
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"sizes\": {{\"chain\": {chain_len}, \"cycle\": {cycle_len}, \"grid\": {grid_n}}},\n  \
+         \"smoke\": {smoke},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_rpq.json");
+    if let Err(e) = std::fs::write(path, &json) {
+        eprintln!("could not write {path}: {e}");
+    } else {
+        println!("recorded results in BENCH_rpq.json");
+    }
+}

@@ -66,6 +66,7 @@ fn records_build_time(node: &PlanNode) -> bool {
             | PlanNode::Complement { .. }
             | PlanNode::StarSemiNaive { .. }
             | PlanNode::StarReach { .. }
+            | PlanNode::PathNfa { .. }
             | PlanNode::Memo { .. }
             | PlanNode::Sort { .. }
             | PlanNode::Universe { .. }
@@ -441,6 +442,15 @@ impl<'a> Executor<'a> {
             } => {
                 let base = self.materialize(input, stats)?;
                 let result = self.star_reach(&base, *same_label, relation.as_deref(), stats)?;
+                Box::new(SetCursor::new(result))
+            }
+            PlanNode::PathNfa {
+                relation,
+                path,
+                max_hops,
+                ..
+            } => {
+                let result = self.path_nfa(relation, path, *max_hops, stats)?;
                 Box::new(SetCursor::new(result))
             }
             PlanNode::Memo { slot, input } => {
@@ -1077,6 +1087,12 @@ impl<'a> Executor<'a> {
                 let base = recurse(self, input, stats)?;
                 self.star_reach(&base, *same_label, relation.as_deref(), stats)
             }
+            PlanNode::PathNfa {
+                relation,
+                path,
+                max_hops,
+                ..
+            } => self.path_nfa(relation, path, *max_hops, stats),
             PlanNode::Memo { slot, input } => {
                 let set =
                     self.memo_slot(*slot, stats, |this, stats| recurse(this, input, stats))?;
@@ -1327,5 +1343,30 @@ impl<'a> Executor<'a> {
         // error here so it never reaches downstream operators or caches.
         cancel.check()?;
         Ok(result)
+    }
+
+    /// Evaluates a [`PlanNode::PathNfa`] leaf: a product-graph BFS over the
+    /// stored relation's cached per-label adjacency lists, with the roots
+    /// fanned out across workers like [`Self::star_reach`]'s.
+    fn path_nfa(
+        &self,
+        relation: &str,
+        path: &trial_parser::PathExpr,
+        max_hops: Option<usize>,
+        stats: &mut EvalStats,
+    ) -> Result<TripleSet> {
+        let base = self.store.require_relation(relation)?;
+        // One product BFS per graph node: that is the unit the fan-out
+        // partitions, so size the degree on the node count's proxy.
+        let degree = self.degree(base.len());
+        crate::rpq::eval_on_store(
+            self.store,
+            relation,
+            path,
+            max_hops,
+            degree,
+            &self.options.cancel,
+            stats,
+        )
     }
 }

@@ -172,6 +172,37 @@
 //! `/explain` node, a `?nostats=1` escape hatch, and planner counters on
 //! `/metrics`.
 //!
+//! # Path queries
+//!
+//! [`rpq`] evaluates **regular path queries** — [`trial_parser::PathExpr`]
+//! expressions built from label atoms, `/` concatenation, `|` alternation
+//! and the `*`/`+`/`?` closures — over one edge relation, returning the
+//! reachable node pairs `(x, y)` encoded as triples `(x, x, y)`. Two
+//! strategies share that contract, selected by [`PathStrategy`]:
+//!
+//! * **Lowering** ([`rpq::lower`]) — a total translation into the TriAL
+//!   algebra: atoms become label-bound selections self-joined to the
+//!   `(x, x, y)` shape, concatenation becomes composition joins, closures
+//!   become right-star fixpoints. The result is an ordinary
+//!   [`Expr`](trial_core::Expr), so concatenation chains inherit the whole
+//!   planner — merge/hash/index join selection, memoisation of repeated
+//!   label scans, adaptive statistics, limit and order pushdown.
+//! * **NFA product walk** ([`rpq::eval_on_store`]) — the expression compiles
+//!   to a Thompson NFA ([`rpq::Nfa`]) and a BFS explores the product of the
+//!   graph with the automaton over the store's cached adjacency, with
+//!   optional per-walk hop bounds (`max_hops`, which the lowering cannot
+//!   express), root-partitioned parallelism and cancellation checkpoints.
+//!
+//! `PathStrategy::Auto` (the `/path` endpoint default) lowers closure-free
+//! expressions — those plans are exactly as optimisable as hand-written
+//! TriAL — and walks the product for closures or bounded queries, where the
+//! planner's plan is a [`PlanNode::PathNfa`] breaker leaf. The two
+//! strategies are held to byte-identical result sets by
+//! `tests/rpq_differential.rs` (against an independent reachability
+//! reference) and the planner-level entry points are
+//! [`SmartEngine::plan_path_query`] / [`SmartEngine::stream_path_query`]
+//! (and [`plan_path`]).
+//!
 //! # Parallel execution
 //!
 //! [`EvalOptions::threads`]` = n` enables **morsel-driven intra-query
@@ -255,6 +286,7 @@ pub mod plan;
 pub mod planner;
 pub mod profile;
 pub mod reach;
+pub mod rpq;
 pub mod seminaive;
 pub mod stats;
 
@@ -267,9 +299,11 @@ pub use naive::NaiveEngine;
 pub use parallel::{available_threads, Exchange};
 pub use plan::{Plan, PlanNode};
 pub use planner::{
-    evaluate, evaluate_with, explain, plan_limited, plan_query, AnalyzedEvaluation, SmartEngine,
+    evaluate, evaluate_with, explain, plan_limited, plan_path, plan_query, AnalyzedEvaluation,
+    SmartEngine,
 };
 pub use profile::{NodeProfile, QueryProfile};
+pub use rpq::PathStrategy;
 pub use stats::{ObserveSummary, StatsStore};
 
 // Compile-time thread-safety contract: `trial-server` evaluates queries with

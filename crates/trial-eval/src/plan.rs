@@ -207,6 +207,21 @@ pub enum PlanNode {
         /// Estimated output rows.
         est: usize,
     },
+    /// Regular path query evaluated as a BFS over the product of a stored
+    /// relation's edge graph with a Thompson NFA of the path expression
+    /// ([`crate::rpq::eval_product`]). A leaf: the executor walks the
+    /// store's cached per-label adjacency lists directly. Emits the pair
+    /// encoding `(x, x, y)` for every pair the path matches.
+    PathNfa {
+        /// The stored relation whose triples are the edge graph.
+        relation: String,
+        /// The path expression (its `Display` form is the query text).
+        path: trial_parser::PathExpr,
+        /// Bound on graph edges per matched path (`None` = unbounded).
+        max_hops: Option<usize>,
+        /// Estimated output rows.
+        est: usize,
+    },
     /// Materialisation point for a repeated sub-expression: the first
     /// execution stores the result in the slot, later executions reuse it.
     Memo {
@@ -281,6 +296,7 @@ impl PlanNode {
             | PlanNode::Complement { est, .. }
             | PlanNode::StarSemiNaive { est, .. }
             | PlanNode::StarReach { est, .. }
+            | PlanNode::PathNfa { est, .. }
             | PlanNode::Limit { est, .. }
             | PlanNode::Sort { est, .. }
             | PlanNode::TopK { est, .. } => *est,
@@ -310,6 +326,7 @@ impl PlanNode {
             | PlanNode::Complement { est, .. }
             | PlanNode::StarSemiNaive { est, .. }
             | PlanNode::StarReach { est, .. }
+            | PlanNode::PathNfa { est, .. }
             | PlanNode::Limit { est, .. }
             | PlanNode::Sort { est, .. }
             | PlanNode::TopK { est, .. } => *est = new_est,
@@ -388,10 +405,12 @@ impl PlanNode {
             | PlanNode::MergeJoin { .. }
             | PlanNode::IndexNestedLoopJoin { .. }
             | PlanNode::NestedLoopJoin { .. } => None,
-            // Fixpoints and memo slots materialise into sorted `TripleSet`s.
-            PlanNode::StarSemiNaive { .. } | PlanNode::StarReach { .. } | PlanNode::Memo { .. } => {
-                Some(Permutation::Spo)
-            }
+            // Fixpoints, NFA walks and memo slots materialise into sorted
+            // `TripleSet`s.
+            PlanNode::StarSemiNaive { .. }
+            | PlanNode::StarReach { .. }
+            | PlanNode::PathNfa { .. }
+            | PlanNode::Memo { .. } => Some(Permutation::Spo),
             // Sort and top-k exist to impose their order.
             PlanNode::Sort { order, .. } | PlanNode::TopK { order, .. } => Some(*order),
         }
@@ -433,7 +452,8 @@ impl PlanNode {
             | PlanNode::Intersect { .. }
             | PlanNode::Complement { .. }
             | PlanNode::StarSemiNaive { .. }
-            | PlanNode::StarReach { .. } => true,
+            | PlanNode::StarReach { .. }
+            | PlanNode::PathNfa { .. } => true,
             // Sort and top-k drain sequentially like limits (the heap and
             // the sorted emit are inherently serial); breakers beneath them
             // still parallelise inside their own materialisation.
@@ -484,6 +504,7 @@ impl PlanNode {
             | PlanNode::Complement { .. }
             | PlanNode::StarSemiNaive { .. }
             | PlanNode::StarReach { .. }
+            | PlanNode::PathNfa { .. }
             | PlanNode::Memo { .. }
             // A sort materialises its whole input; a top-k heap must see
             // every row before the smallest k are known (but buffers at most
@@ -496,7 +517,10 @@ impl PlanNode {
     /// Child plans, left to right.
     pub fn children(&self) -> Vec<&PlanNode> {
         match self {
-            PlanNode::IndexScan { .. } | PlanNode::Universe { .. } | PlanNode::Empty => vec![],
+            PlanNode::IndexScan { .. }
+            | PlanNode::Universe { .. }
+            | PlanNode::Empty
+            | PlanNode::PathNfa { .. } => vec![],
             PlanNode::Filter { input, .. }
             | PlanNode::Complement { input, .. }
             | PlanNode::StarSemiNaive { input, .. }
@@ -651,6 +675,15 @@ impl PlanNode {
                     None => format!("StarReach {shape}  (~{est} rows)"),
                 }
             }
+            PlanNode::PathNfa {
+                relation,
+                path,
+                max_hops,
+                est,
+            } => match max_hops {
+                Some(h) => format!("PathNfa {path} on {relation} max_hops={h}  (~{est} rows)"),
+                None => format!("PathNfa {path} on {relation}  (~{est} rows)"),
+            },
             PlanNode::Memo { slot, .. } => format!("Memo #{slot}"),
             PlanNode::Limit { limit, est, .. } => format!("Limit {limit}  (~{est} rows)"),
             PlanNode::Sort { order, est, .. } => format!("Sort  (~{est} rows) [sort {order}]"),

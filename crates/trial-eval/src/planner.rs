@@ -42,6 +42,7 @@ use std::sync::Arc;
 use trial_core::condition::{Cmp, ObjAtom, ObjOperand};
 use trial_core::fragment::is_reachability_star;
 use trial_core::{Conditions, Expr, ObjectId, Permutation, Pos, Result, Triplestore};
+use trial_parser::PathExpr;
 
 /// The default, optimisation-enabled evaluation engine: plans every query
 /// with [`plan`] and executes the physical plan against the store's
@@ -178,6 +179,13 @@ impl SmartEngine {
         topk: Option<usize>,
     ) -> Result<QueryStream<'s>> {
         let plan = self.plan_query(expr, store, limit, order, topk)?;
+        self.stream_plan(plan, store)
+    }
+
+    /// Compiles an already-built plan into a streaming [`QueryStream`] —
+    /// the shared tail of [`SmartEngine::stream_query`] and
+    /// [`SmartEngine::stream_path_query`].
+    fn stream_plan<'s>(&self, plan: Plan, store: &'s Triplestore) -> Result<QueryStream<'s>> {
         let mut stats = EvalStats::new();
         let mut executor = Executor::new(store, self.options.clone(), &plan);
         let root = executor.cursor(&plan.root, &mut stats)?;
@@ -251,6 +259,19 @@ impl SmartEngine {
         after: [trial_core::ObjectId; 3],
     ) -> Result<QueryStream<'s>> {
         let plan = self.plan_query(expr, store, limit, Some(order), None)?;
+        self.stream_plan_after(plan, store, order, after)
+    }
+
+    /// Seeks an already-built ordered plan strictly past `after` and wraps
+    /// it in a [`QueryStream`] — the shared tail of the two `…_after` resume
+    /// entry points.
+    fn stream_plan_after<'s>(
+        &self,
+        plan: Plan,
+        store: &'s Triplestore,
+        order: Permutation,
+        after: [trial_core::ObjectId; 3],
+    ) -> Result<QueryStream<'s>> {
         let mut stats = EvalStats::new();
         let mut executor = Executor::new(store, self.options.clone(), &plan);
         let root = executor.cursor_seek(&plan.root, order, after, &mut stats)?;
@@ -330,6 +351,18 @@ impl SmartEngine {
             ..self.options.clone()
         };
         let plan = plan_query_with(expr, store, &options, self.stats(), limit, order, topk)?;
+        self.analyzed_run(plan, store, options)
+    }
+
+    /// Executes an already-built plan with per-node actuals, profiles and
+    /// feedback ingestion — the shared tail of the `EXPLAIN ANALYZE` entry
+    /// points.
+    fn analyzed_run(
+        &self,
+        plan: Plan,
+        store: &Triplestore,
+        options: EvalOptions,
+    ) -> Result<AnalyzedEvaluation> {
         // Captured before execution: ingesting this run's actuals below
         // would otherwise make a cold (heuristic) plan report itself as
         // stats-sourced.
@@ -379,6 +412,98 @@ impl SmartEngine {
         limit: Option<usize>,
     ) -> Result<QueryStream<'s>> {
         self.stream_query(expr, store, limit, None, None)
+    }
+
+    /// Plans a path query executed as a [`PlanNode::PathNfa`] product walk
+    /// over `relation`, with the same limit/order/top-k machinery as
+    /// [`SmartEngine::plan_query`] applied on top (see [`plan_path`]).
+    ///
+    /// This is the **NFA strategy** entry point. Path queries whose strategy
+    /// resolves to the TriAL lowering instead go through the ordinary
+    /// expression entry points with [`crate::rpq::lower`]'s output — that is
+    /// the whole point of the lowering.
+    #[allow(clippy::too_many_arguments)]
+    pub fn plan_path_query(
+        &self,
+        path: &PathExpr,
+        relation: &str,
+        store: &Triplestore,
+        max_hops: Option<usize>,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> Result<Plan> {
+        plan_path(
+            path,
+            relation,
+            store,
+            &self.options,
+            max_hops,
+            limit,
+            order,
+            topk,
+        )
+    }
+
+    /// [`SmartEngine::stream_query`] for the NFA path strategy: compiles the
+    /// [`PlanNode::PathNfa`] plan and streams it with the same
+    /// ordered/top-k/limit semantics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_path_query<'s>(
+        &self,
+        path: &PathExpr,
+        relation: &str,
+        store: &'s Triplestore,
+        max_hops: Option<usize>,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> Result<QueryStream<'s>> {
+        let plan = self.plan_path_query(path, relation, store, max_hops, limit, order, topk)?;
+        self.stream_plan(plan, store)
+    }
+
+    /// [`SmartEngine::stream_query_after`] for the NFA path strategy — the
+    /// engine half of cursor pagination over `POST /path` responses.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stream_path_query_after<'s>(
+        &self,
+        path: &PathExpr,
+        relation: &str,
+        store: &'s Triplestore,
+        max_hops: Option<usize>,
+        limit: Option<usize>,
+        order: Permutation,
+        after: [trial_core::ObjectId; 3],
+    ) -> Result<QueryStream<'s>> {
+        let plan =
+            self.plan_path_query(path, relation, store, max_hops, limit, Some(order), None)?;
+        self.stream_plan_after(plan, store, order, after)
+    }
+
+    /// [`SmartEngine::evaluate_analyzed_query`] for the NFA path strategy:
+    /// `EXPLAIN ANALYZE` over a [`PlanNode::PathNfa`] plan. The feedback
+    /// ingestion is a no-op (NFA walks carry no reusable plan-shape
+    /// fingerprint) but actuals and profiles report like any other plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_analyzed_path_query(
+        &self,
+        path: &PathExpr,
+        relation: &str,
+        store: &Triplestore,
+        max_hops: Option<usize>,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> Result<AnalyzedEvaluation> {
+        let options = EvalOptions {
+            collect_node_stats: true,
+            ..self.options.clone()
+        };
+        let plan = plan_path(
+            path, relation, store, &options, max_hops, limit, order, topk,
+        )?;
+        self.analyzed_run(plan, store, options)
     }
 }
 
@@ -492,6 +617,51 @@ fn plan_with(
     Ok(Plan {
         root,
         memo_slots: planner.slots.len(),
+        threads: options.threads.max(1),
+    })
+}
+
+/// Builds the physical plan for a path query executed as an NFA product
+/// walk: a [`PlanNode::PathNfa`] leaf over `relation`, with the ordinary
+/// order / top-k / limit rewrites applied on top. The leaf materialises in
+/// canonical SPO order, so `?order=spo` and SPO top-k bounds collapse to
+/// plain streaming limits; other orders insert the usual sort breaker.
+///
+/// Fails fast when `relation` is not stored — the walk has nothing to
+/// traverse, and the server wants the 404-equivalent before streaming.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_path(
+    path: &PathExpr,
+    relation: &str,
+    store: &Triplestore,
+    options: &EvalOptions,
+    max_hops: Option<usize>,
+    limit: Option<usize>,
+    order: Option<Permutation>,
+    topk: Option<usize>,
+) -> Result<Plan> {
+    let base = store.require_relation(relation)?;
+    // Stats-free estimate: one pair per (root, reachable node) is bounded by
+    // nodes², but on sparse graphs the edge count is the better proxy — and
+    // the leaf has no join above it that the number could mislead.
+    let est = base.len().max(1);
+    let mut root = PlanNode::PathNfa {
+        relation: relation.to_owned(),
+        path: path.clone(),
+        max_hops,
+        est,
+    };
+    if let Some(k) = topk {
+        root = push_topk(root, k, order.unwrap_or(Permutation::Spo));
+    } else if let Some(perm) = order {
+        root = ensure_order(root, perm);
+    }
+    if let Some(k) = limit {
+        root = push_limit(root, k);
+    }
+    Ok(Plan {
+        root,
+        memo_slots: 0,
         threads: options.threads.max(1),
     })
 }

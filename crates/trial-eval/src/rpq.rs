@@ -1,0 +1,741 @@
+//! Regular path queries over the triplestore (Section 6 of the paper).
+//!
+//! The paper's central theorem is that TriAL* captures regular path
+//! queries. This module makes the claim executable in both directions:
+//!
+//! * [`lower`] compiles every [`PathExpr`] into a plain TriAL\*
+//!   [`Expr`](trial_core::Expr) — pairs `(x, y)` are encoded as triples
+//!   `(x, x, y)`, concatenation becomes a triple join
+//!   `✶^{1,1,3'}_{3=1'}`, alternation a union, and Kleene closures a right
+//!   Kleene star of the same join shape. The lowering is **total**: the
+//!   resulting expression goes through the ordinary cost-based planner, so
+//!   star-free chains pick up merge/hash joins, statistics feedback and
+//!   `explain()` for free.
+//! * [`eval_product`] evaluates the same semantics directly, as a BFS over
+//!   the product of the edge graph with a Thompson [`Nfa`] of the
+//!   expression — the classic PTIME RPQ procedure. It reuses the
+//!   store-cached per-label adjacency lists and the morsel fan-out of
+//!   [`crate::reach`], checks the [`CancelToken`] between BFS roots, and is
+//!   the only strategy that supports a `max_hops` bound (the product BFS is
+//!   level-synchronous, so bounding path length is free).
+//!
+//! Both strategies return the identical [`TripleSet`] — the differential
+//! suite (`tests/rpq_differential.rs`) proves it against an independent
+//! reference on generated graphs.
+//!
+//! ## Pair encoding
+//!
+//! An RPQ answer is a set of node pairs, but every TriAL relation is
+//! ternary. A pair `(x, y)` is stored as the triple `(x, x, y)`: the
+//! duplicated subject keeps the encoding deterministic (no join artefacts in
+//! the middle position), makes the subject/object components carry exactly
+//! the pair, and keeps SPO/OSP orderings meaningful for `?order=`/top-k.
+//! Identity pairs (matched by `p*` and `p?`) range over the **nodes of the
+//! queried relation** — every object that occurs as a subject or object of
+//! one of its triples.
+
+use crate::cancel::CancelToken;
+use crate::engine::EvalStats;
+use crate::parallel;
+use crate::reach::label_adjacency;
+use std::collections::{HashMap, HashSet, VecDeque};
+use trial_core::{
+    Adjacency, Conditions, Expr, ObjectId, OutputSpec, Pos, Result, Triple, TripleSet, Triplestore,
+};
+use trial_parser::PathExpr;
+
+/// Which execution strategy a path query runs under — the server's
+/// `?algo=` knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathStrategy {
+    /// Pick per query: star-free expressions take the [`lower`]ing (the
+    /// planner then gets to choose merge/hash joins and apply statistics
+    /// feedback), Kleene closures and `max_hops` bounds take the NFA walk.
+    Auto,
+    /// Always the product-NFA traversal.
+    Nfa,
+    /// Always the TriAL lowering. Incompatible with `max_hops` (a join
+    /// plan has no hop counter); callers reject that combination up front.
+    Lower,
+}
+
+impl PathStrategy {
+    /// Parses the `?algo=` parameter value (case-insensitive).
+    pub fn parse(name: &str) -> Option<PathStrategy> {
+        match name.to_ascii_lowercase().as_str() {
+            "auto" => Some(PathStrategy::Auto),
+            "nfa" => Some(PathStrategy::Nfa),
+            "lower" | "star" => Some(PathStrategy::Lower),
+            _ => None,
+        }
+    }
+
+    /// The strategy's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PathStrategy::Auto => "auto",
+            PathStrategy::Nfa => "nfa",
+            PathStrategy::Lower => "lower",
+        }
+    }
+
+    /// Resolves `Auto` for a concrete query: `true` means the NFA walk runs,
+    /// `false` means the query lowers onto TriAL.
+    pub fn resolves_to_nfa(self, path: &PathExpr, max_hops: Option<usize>) -> bool {
+        match self {
+            PathStrategy::Nfa => true,
+            PathStrategy::Lower => false,
+            PathStrategy::Auto => path.has_closure() || max_hops.is_some(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering onto TriAL*
+// ---------------------------------------------------------------------------
+
+/// The join condition equating all three components — used to pair each
+/// triple of a relation with itself.
+fn full_eq() -> Conditions {
+    Conditions::new()
+        .obj_eq(Pos::L1, Pos::R1)
+        .obj_eq(Pos::L2, Pos::R2)
+        .obj_eq(Pos::L3, Pos::R3)
+}
+
+/// Output spec for the pair encoding: `(x, x, y)` from a left row carrying
+/// `x` and a right row carrying `y`.
+fn pair_output() -> OutputSpec {
+    OutputSpec::new(Pos::L1, Pos::L1, Pos::R3)
+}
+
+/// Composition of two pair relations: `(x,x,m) ✶^{1,1,3'}_{3=1'} (m,m,y)`
+/// yields `(x,x,y)`.
+fn compose(left: Expr, right: Expr) -> Expr {
+    left.join(
+        right,
+        pair_output(),
+        Conditions::new().obj_eq(Pos::L3, Pos::R1),
+    )
+}
+
+/// The identity pair relation over the nodes of `relation`: `(n, n, n)` for
+/// every object occurring as a subject or as an object of one of its
+/// triples. Each side is a self-join pairing every triple with itself and
+/// projecting one endpoint onto all three output positions.
+fn ident(relation: &str) -> Expr {
+    let subjects = Expr::rel(relation).join(
+        Expr::rel(relation),
+        OutputSpec::new(Pos::L1, Pos::L1, Pos::L1),
+        full_eq(),
+    );
+    let objects = Expr::rel(relation).join(
+        Expr::rel(relation),
+        OutputSpec::new(Pos::L3, Pos::L3, Pos::L3),
+        full_eq(),
+    );
+    subjects.union(objects)
+}
+
+/// One-or-more repetitions of a pair relation: the right Kleene star of the
+/// composition join. The TriAL star includes its base, so this is exactly
+/// the transitive closure `P⁺`.
+fn plus(pairs: Expr) -> Expr {
+    pairs.right_star(pair_output(), Conditions::new().obj_eq(Pos::L3, Pos::R1))
+}
+
+/// Compiles a path expression into a TriAL\* expression over `relation`,
+/// producing the pair encoding `(x, x, y)` for every matching pair.
+///
+/// The lowering is total — every [`PathExpr`] shape has a TriAL\* image:
+///
+/// | path        | TriAL\* |
+/// |-------------|---------|
+/// | atom `a`    | `σ_{2=a}(E)` self-joined into pair form |
+/// | `p/q`       | `P ✶^{1,1,3'}_{3=1'} Q` |
+/// | `p\|q`      | `P ∪ Q` |
+/// | `p+`        | `STAR(P ✶^{1,1,3'}_{3=1'})` (right star) |
+/// | `p*`        | `ident ∪ p+` |
+/// | `p?`        | `ident ∪ P` |
+pub fn lower(path: &PathExpr, relation: &str) -> Expr {
+    match path {
+        PathExpr::Atom(label) => {
+            let edges =
+                Expr::rel(relation).select(Conditions::new().obj_eq_const(Pos::L2, label.clone()));
+            edges.clone().join(edges, pair_output(), full_eq())
+        }
+        PathExpr::Seq(parts) => parts
+            .iter()
+            .map(|p| lower(p, relation))
+            .reduce(compose)
+            .expect("Seq has at least one part"),
+        PathExpr::Alt(parts) => parts
+            .iter()
+            .map(|p| lower(p, relation))
+            .reduce(Expr::union)
+            .expect("Alt has at least one part"),
+        PathExpr::Star(inner) => ident(relation).union(plus(lower(inner, relation))),
+        PathExpr::Plus(inner) => plus(lower(inner, relation)),
+        PathExpr::Opt(inner) => ident(relation).union(lower(inner, relation)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thompson NFA
+// ---------------------------------------------------------------------------
+
+/// A Thompson NFA over edge labels, with a single start and accept state.
+///
+/// States are dense indices; label transitions refer into [`Nfa::labels`]
+/// (the distinct atom labels of the source expression). Epsilon closures are
+/// precomputed per state — path expressions are tiny, the graphs are not.
+#[derive(Debug)]
+pub struct Nfa {
+    labels: Vec<String>,
+    /// Per state: `(label index, target state)` transitions.
+    trans: Vec<Vec<(usize, usize)>>,
+    /// Per state: its epsilon closure (always contains the state itself).
+    closure: Vec<Vec<usize>>,
+    start: usize,
+    accept: usize,
+}
+
+/// NFA under construction: raw epsilon edges, closures not yet computed.
+#[derive(Default)]
+struct NfaBuilder {
+    labels: Vec<String>,
+    trans: Vec<Vec<(usize, usize)>>,
+    eps: Vec<Vec<usize>>,
+}
+
+impl NfaBuilder {
+    fn state(&mut self) -> usize {
+        self.trans.push(Vec::new());
+        self.eps.push(Vec::new());
+        self.trans.len() - 1
+    }
+
+    fn label_index(&mut self, label: &str) -> usize {
+        match self.labels.iter().position(|l| l == label) {
+            Some(i) => i,
+            None => {
+                self.labels.push(label.to_owned());
+                self.labels.len() - 1
+            }
+        }
+    }
+
+    /// Thompson construction: returns `(start, accept)` for the fragment.
+    fn fragment(&mut self, path: &PathExpr) -> (usize, usize) {
+        match path {
+            PathExpr::Atom(label) => {
+                let (s, t) = (self.state(), self.state());
+                let l = self.label_index(label);
+                self.trans[s].push((l, t));
+                (s, t)
+            }
+            PathExpr::Seq(parts) => {
+                let mut iter = parts.iter();
+                let (s, mut t) = self.fragment(iter.next().expect("Seq has parts"));
+                for p in iter {
+                    let (ns, nt) = self.fragment(p);
+                    self.eps[t].push(ns);
+                    t = nt;
+                }
+                (s, t)
+            }
+            PathExpr::Alt(parts) => {
+                let (s, t) = (self.state(), self.state());
+                for p in parts {
+                    let (ps, pt) = self.fragment(p);
+                    self.eps[s].push(ps);
+                    self.eps[pt].push(t);
+                }
+                (s, t)
+            }
+            PathExpr::Star(inner) => {
+                let (s, t) = (self.state(), self.state());
+                let (is, it) = self.fragment(inner);
+                self.eps[s].push(is);
+                self.eps[s].push(t);
+                self.eps[it].push(is);
+                self.eps[it].push(t);
+                (s, t)
+            }
+            PathExpr::Plus(inner) => {
+                let (is, it) = self.fragment(inner);
+                let t = self.state();
+                self.eps[it].push(is);
+                self.eps[it].push(t);
+                (is, t)
+            }
+            PathExpr::Opt(inner) => {
+                let (s, t) = (self.state(), self.state());
+                let (is, it) = self.fragment(inner);
+                self.eps[s].push(is);
+                self.eps[s].push(t);
+                self.eps[it].push(t);
+                (s, t)
+            }
+        }
+    }
+}
+
+impl Nfa {
+    /// Compiles a path expression via the Thompson construction.
+    pub fn compile(path: &PathExpr) -> Nfa {
+        let mut b = NfaBuilder::default();
+        let (start, accept) = b.fragment(path);
+        let n = b.trans.len();
+        let mut closure = Vec::with_capacity(n);
+        for state in 0..n {
+            let mut seen = vec![false; n];
+            let mut queue = VecDeque::from([state]);
+            seen[state] = true;
+            let mut out = Vec::new();
+            while let Some(q) = queue.pop_front() {
+                out.push(q);
+                for &next in &b.eps[q] {
+                    if !seen[next] {
+                        seen[next] = true;
+                        queue.push_back(next);
+                    }
+                }
+            }
+            out.sort_unstable();
+            closure.push(out);
+        }
+        Nfa {
+            labels: b.labels,
+            trans: b.trans,
+            closure,
+            start,
+            accept,
+        }
+    }
+
+    /// Number of states (for explain labels and tests).
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// The distinct atom labels, in first-use order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// `true` if the empty word is accepted (start's closure reaches accept).
+    pub fn accepts_empty(&self) -> bool {
+        self.closure[self.start].contains(&self.accept)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Product-graph BFS evaluation
+// ---------------------------------------------------------------------------
+
+/// The distinct nodes of a relation — every object occurring as a subject or
+/// object of one of its triples, sorted. These are the BFS roots and the
+/// range of identity pairs, matching [`lower`]'s `ident` semantics.
+pub fn node_universe(base: &TripleSet) -> Vec<ObjectId> {
+    let mut nodes: Vec<ObjectId> = Vec::with_capacity(base.len() * 2);
+    for t in base.iter() {
+        nodes.push(t.s());
+        nodes.push(t.o());
+    }
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+/// BFS over the product of the edge graph with the NFA, from a single root.
+/// Appends `(root, root, y)` to `out` for every node `y` reachable in an
+/// accepting product state within `max_hops` graph edges (unbounded when
+/// `None`). BFS explores by edge count, so the first visit to a product
+/// state is at its minimum hop depth — a plain visited set implements the
+/// bound exactly.
+fn product_bfs(
+    root: ObjectId,
+    nfa: &Nfa,
+    adj: &[Option<&Adjacency>],
+    max_hops: Option<usize>,
+    stats: &mut EvalStats,
+    out: &mut Vec<Triple>,
+) {
+    let mut visited: HashSet<(ObjectId, usize)> = HashSet::new();
+    let mut accepted: Vec<ObjectId> = Vec::new();
+    // `frontier` holds the product states first reached after `depth` edges,
+    // already expanded through epsilon closures.
+    let mut frontier: Vec<(ObjectId, usize)> = Vec::new();
+    for &q in &nfa.closure[nfa.start] {
+        if visited.insert((root, q)) {
+            if q == nfa.accept {
+                accepted.push(root);
+            }
+            frontier.push((root, q));
+        }
+    }
+    let mut depth = 0;
+    while !frontier.is_empty() && max_hops.is_none_or(|h| depth < h) {
+        let mut next: Vec<(ObjectId, usize)> = Vec::new();
+        for (node, q) in frontier {
+            for &(label, q2) in &nfa.trans[q] {
+                let Some(adj) = adj[label] else { continue };
+                for succ in adj.successor_cursor(node) {
+                    stats.reach_edges_traversed += 1;
+                    for &q3 in &nfa.closure[q2] {
+                        if visited.insert((succ, q3)) {
+                            if q3 == nfa.accept {
+                                accepted.push(succ);
+                            }
+                            next.push((succ, q3));
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    accepted.sort_unstable();
+    accepted.dedup();
+    for y in accepted {
+        out.push(Triple::new(root, root, y));
+        stats.triples_emitted += 1;
+    }
+}
+
+/// Evaluates a path expression as a product-graph BFS over per-label
+/// adjacency lists, fanning the roots out across `threads` workers exactly
+/// like [`crate::reach::reach_star_plain_parallel`].
+///
+/// `label_ids` resolves atom labels to object ids; labels absent from the
+/// map (or without adjacency lists) simply have no transitions. Checks
+/// `cancel` between BFS roots; on cancellation the empty set is returned and
+/// the caller is expected to surface the error.
+#[allow(clippy::too_many_arguments)] // the product walk's full knob set, one internal call site
+pub fn eval_product(
+    base: &TripleSet,
+    adj_by_label: &HashMap<ObjectId, Adjacency>,
+    label_ids: &HashMap<String, ObjectId>,
+    path: &PathExpr,
+    max_hops: Option<usize>,
+    threads: usize,
+    cancel: &CancelToken,
+    stats: &mut EvalStats,
+) -> TripleSet {
+    let nfa = Nfa::compile(path);
+    let adj: Vec<Option<&Adjacency>> = nfa
+        .labels
+        .iter()
+        .map(|l| label_ids.get(l).and_then(|id| adj_by_label.get(id)))
+        .collect();
+    let roots = node_universe(base);
+    let nfa = &nfa;
+    let adj = &adj;
+    let tasks: Vec<_> = parallel::chunk(&roots, threads)
+        .into_iter()
+        .map(|morsel| {
+            move |stats: &mut EvalStats| {
+                let mut out: Vec<Triple> = Vec::new();
+                for &root in morsel {
+                    // One product BFS per root: check between roots so a
+                    // cancelled query stops mid-morsel.
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    product_bfs(root, nfa, adj, max_hops, stats, &mut out);
+                }
+                out
+            }
+        })
+        .collect();
+    let parts = parallel::run_tasks(threads, tasks, cancel, stats);
+    if cancel.is_cancelled() {
+        return TripleSet::new();
+    }
+    let mut out: Vec<Triple> = Vec::new();
+    for part in parts {
+        out.extend(part);
+    }
+    TripleSet::from_vec(out)
+}
+
+/// Evaluates a path expression against a stored relation, borrowing the
+/// store's cached per-label adjacency lists (so repeated path queries over
+/// the same relation never rebuild the graph) and falling back to an ad-hoc
+/// build only if the relation has no index entry.
+pub fn eval_on_store(
+    store: &Triplestore,
+    relation: &str,
+    path: &PathExpr,
+    max_hops: Option<usize>,
+    threads: usize,
+    cancel: &CancelToken,
+    stats: &mut EvalStats,
+) -> Result<TripleSet> {
+    let base = store.require_relation(relation)?;
+    let label_ids: HashMap<String, ObjectId> = path
+        .labels()
+        .into_iter()
+        .filter_map(|l| store.object_id(l).map(|id| (l.to_owned(), id)))
+        .collect();
+    let result = match store.relation_with_index(relation) {
+        Some((rel, index)) => eval_product(
+            rel,
+            index.adjacency_by_label(rel),
+            &label_ids,
+            path,
+            max_hops,
+            threads,
+            cancel,
+            stats,
+        ),
+        None => eval_product(
+            base,
+            &label_adjacency(base),
+            &label_ids,
+            path,
+            max_hops,
+            threads,
+            cancel,
+            stats,
+        ),
+    };
+    cancel.check()?;
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::NaiveEngine;
+    use crate::Engine;
+    use trial_core::TriplestoreBuilder;
+    use trial_parser::parse_path;
+
+    fn store() -> Triplestore {
+        let mut b = TriplestoreBuilder::new();
+        // red chain a→b→c, blue edge c→d, blue back-edge d→a (a cycle),
+        // green shortcut a→c, plus an isolated red self-loop.
+        b.add_triple("E", "a", "red", "b");
+        b.add_triple("E", "b", "red", "c");
+        b.add_triple("E", "c", "blue", "d");
+        b.add_triple("E", "d", "blue", "a");
+        b.add_triple("E", "a", "green", "c");
+        b.add_triple("E", "x", "red", "x");
+        b.finish()
+    }
+
+    fn nfa_pairs(
+        store: &Triplestore,
+        text: &str,
+        max_hops: Option<usize>,
+    ) -> Vec<(String, String)> {
+        let path = parse_path(text).unwrap();
+        let mut stats = EvalStats::new();
+        let result = eval_on_store(
+            store,
+            "E",
+            &path,
+            max_hops,
+            1,
+            &CancelToken::none(),
+            &mut stats,
+        )
+        .unwrap();
+        pair_names(store, &result)
+    }
+
+    fn lowered_pairs(store: &Triplestore, text: &str) -> Vec<(String, String)> {
+        let path = parse_path(text).unwrap();
+        let expr = lower(&path, "E");
+        let result = NaiveEngine::new().run(&expr, store).unwrap();
+        pair_names(store, &result)
+    }
+
+    fn pair_names(store: &Triplestore, result: &TripleSet) -> Vec<(String, String)> {
+        result
+            .iter()
+            .map(|t| {
+                assert_eq!(t.s(), t.p(), "pair encoding must duplicate the subject");
+                (
+                    store.object_name(t.s()).to_owned(),
+                    store.object_name(t.o()).to_owned(),
+                )
+            })
+            .collect()
+    }
+
+    fn pairs(entries: &[(&str, &str)]) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = entries
+            .iter()
+            .map(|&(a, b)| (a.to_owned(), b.to_owned()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    #[test]
+    fn atom_matches_single_edges() {
+        let s = store();
+        let mut got = nfa_pairs(&s, "green", None);
+        got.sort();
+        assert_eq!(got, pairs(&[("a", "c")]));
+    }
+
+    #[test]
+    fn concatenation_composes() {
+        let s = store();
+        let mut got = nfa_pairs(&s, "red/red", None);
+        got.sort();
+        assert_eq!(got, pairs(&[("a", "c"), ("x", "x")]));
+    }
+
+    #[test]
+    fn alternation_unions() {
+        let s = store();
+        let mut got = nfa_pairs(&s, "green|blue", None);
+        got.sort();
+        assert_eq!(got, pairs(&[("a", "c"), ("c", "d"), ("d", "a")]));
+    }
+
+    #[test]
+    fn star_includes_identity() {
+        let s = store();
+        let got = nfa_pairs(&s, "green*", None);
+        // Identity on all five nodes, plus the green edge.
+        assert_eq!(got.len(), 6);
+        assert!(got.contains(&("d".to_owned(), "d".to_owned())));
+        assert!(got.contains(&("a".to_owned(), "c".to_owned())));
+    }
+
+    #[test]
+    fn max_hops_bounds_path_length() {
+        let s = store();
+        // (red|blue|green)+ within 1 hop = exactly the edge set.
+        let got = nfa_pairs(&s, "(red|blue|green)+", Some(1));
+        assert_eq!(got.len(), 6);
+        // Unbounded closure on the a→b→c→d→a cycle reaches everywhere.
+        let unbounded = nfa_pairs(&s, "(red|blue|green)+", None);
+        assert!(unbounded.contains(&("a".to_owned(), "a".to_owned())));
+        assert!(unbounded.len() > got.len());
+        // A bound at least as long as any simple path is the same as none.
+        let wide = nfa_pairs(&s, "(red|blue|green)+", Some(64));
+        assert_eq!(wide, unbounded);
+        // Zero hops: only the empty word can match, and `+` rejects it.
+        assert!(nfa_pairs(&s, "(red|blue|green)+", Some(0)).is_empty());
+        assert_eq!(nfa_pairs(&s, "red*", Some(0)).len(), 5);
+    }
+
+    #[test]
+    fn unknown_labels_match_nothing() {
+        let s = store();
+        assert!(nfa_pairs(&s, "purple", None).is_empty());
+        // ...but closures over them still produce identity pairs.
+        assert_eq!(nfa_pairs(&s, "purple*", None).len(), 5);
+    }
+
+    #[test]
+    fn lowering_agrees_with_nfa() {
+        let s = store();
+        for text in [
+            "red",
+            "red/red",
+            "red/blue",
+            "green|blue",
+            "red*",
+            "red+",
+            "blue?",
+            "(red|blue)+",
+            "green/(red|blue)*",
+            "(red/red)?",
+            "red+/blue",
+        ] {
+            let mut nfa = nfa_pairs(&s, text, None);
+            let mut lowered = lowered_pairs(&s, text);
+            nfa.sort();
+            lowered.sort();
+            assert_eq!(nfa, lowered, "strategies disagree on `{text}`");
+        }
+    }
+
+    #[test]
+    fn parallel_roots_match_sequential() {
+        let s = store();
+        let path = parse_path("(red|blue)+/green?").unwrap();
+        let mut seq_stats = EvalStats::new();
+        let seq = eval_on_store(
+            &s,
+            "E",
+            &path,
+            None,
+            1,
+            &CancelToken::none(),
+            &mut seq_stats,
+        )
+        .unwrap();
+        for threads in [2usize, 4] {
+            let mut par_stats = EvalStats::new();
+            let par = eval_on_store(
+                &s,
+                "E",
+                &path,
+                None,
+                threads,
+                &CancelToken::none(),
+                &mut par_stats,
+            )
+            .unwrap();
+            assert_eq!(seq, par);
+            assert_eq!(
+                seq_stats.reach_edges_traversed,
+                par_stats.reach_edges_traversed
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_token_surfaces_error() {
+        let s = store();
+        let cancel = CancelToken::manual();
+        cancel.cancel(crate::cancel::CancelReason::Shutdown);
+        let mut stats = EvalStats::new();
+        let err = eval_on_store(
+            &s,
+            "E",
+            &parse_path("red*").unwrap(),
+            None,
+            1,
+            &cancel,
+            &mut stats,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn unknown_relation_errors() {
+        let s = store();
+        let mut stats = EvalStats::new();
+        assert!(eval_on_store(
+            &s,
+            "nope",
+            &parse_path("red").unwrap(),
+            None,
+            1,
+            &CancelToken::none(),
+            &mut stats
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn nfa_shape_sanity() {
+        let nfa = Nfa::compile(&parse_path("a/(b|c)*").unwrap());
+        assert_eq!(nfa.labels(), &["a", "b", "c"]);
+        assert!(!nfa.accepts_empty());
+        assert!(Nfa::compile(&parse_path("a*").unwrap()).accepts_empty());
+        assert!(Nfa::compile(&parse_path("a?").unwrap()).accepts_empty());
+        assert!(!Nfa::compile(&parse_path("a+").unwrap()).accepts_empty());
+    }
+}

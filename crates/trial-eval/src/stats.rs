@@ -311,8 +311,11 @@ pub fn fingerprint(node: &PlanNode) -> Option<u64> {
         PlanNode::Memo { input, .. } => return fingerprint(input),
         // Structural or exact cardinalities — nothing to learn, and a
         // limit's "actual" measures the bound, not the operator beneath it.
+        // An NFA walk's cardinality is dominated by the graph, not by a
+        // reusable plan shape, so it stays out of the feedback loop too.
         PlanNode::Universe { .. }
         | PlanNode::Empty
+        | PlanNode::PathNfa { .. }
         | PlanNode::Limit { .. }
         | PlanNode::Sort { .. }
         | PlanNode::TopK { .. } => return None,

@@ -28,7 +28,9 @@
 
 pub mod lexer;
 pub mod parser;
+pub mod path;
 pub mod pretty;
 
 pub use parser::parse;
+pub use path::{parse_path, PathExpr};
 pub use pretty::pretty;

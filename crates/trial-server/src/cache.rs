@@ -28,13 +28,20 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// What the cached text answers — `/query` results and `/explain` plans are
-/// cached independently even for identical query text.
+/// cached independently even for identical query text. Path expressions get
+/// their own kinds: a path text like `a/b` lives in a different grammar than
+/// TriAL text, so the two namespaces must never share an entry even when the
+/// bytes coincide.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryKind {
     /// An evaluated result set (`/query`).
     Query,
     /// A rendered physical plan (`/explain`).
     Explain,
+    /// An evaluated path-query result set (`/path`).
+    Path,
+    /// A rendered path-query plan (`/explain?path=1`).
+    PathExplain,
 }
 
 /// Cache key: store name + store epoch + endpoint kind + exact query text +
@@ -256,6 +263,10 @@ pub struct PrefixKey {
     pub store: String,
     /// Epoch of the snapshot the rows were computed against.
     pub epoch: u64,
+    /// The query grammar the text belongs to ([`QueryKind::Query`] or
+    /// [`QueryKind::Path`]) — probed before parsing, so without it a path
+    /// text could slice a TriAL prefix whose bytes happen to match.
+    pub kind: QueryKind,
     /// The query text, byte-for-byte.
     pub text: String,
     /// Evaluation parallelism (stats embedded in served fragments differ).
@@ -513,6 +524,7 @@ mod tests {
         PrefixKey {
             store: "s".into(),
             epoch,
+            kind: QueryKind::Query,
             text: text.into(),
             threads: 1,
             order: "pos",

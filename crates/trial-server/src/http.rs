@@ -4,7 +4,8 @@
 //!
 //! * request line + headers + `Content-Length` body (request bodies are
 //!   never chunked);
-//! * URL query-string parameters with `%XX` / `+` decoding;
+//! * URL query-string parameters with `%XX` / `+` decoding (the path is
+//!   `%XX`-decoded too, but keeps `+` literal — see [`percent_decode_path`]);
 //! * keep-alive by default, honouring `Connection: close`;
 //! * hard limits on header-section and body size, enforced *before* the
 //!   bytes are buffered, so an untrusted client cannot balloon memory;
@@ -250,18 +251,31 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
                 .collect()
         })
         .unwrap_or_default();
-    (percent_decode(path), params)
+    (percent_decode_path(path), params)
 }
 
-/// Decodes `%XX` escapes and `+`-as-space. Invalid escapes pass through
-/// verbatim (lenient, like most servers).
+/// Decodes `%XX` escapes and `+`-as-space — the decoding for **query-string
+/// components**. Invalid escapes pass through verbatim (lenient, like most
+/// servers).
 pub fn percent_decode(s: &str) -> String {
+    decode_inner(s, true)
+}
+
+/// Decodes `%XX` escapes in a URL **path**. Per RFC 3986, `+` is an ordinary
+/// path character — only `application/x-www-form-urlencoded` query
+/// components spell space as `+` — so a path segment like `/stores/a+b`
+/// keeps its plus sign (spaces in paths arrive as `%20`).
+pub fn percent_decode_path(s: &str) -> String {
+    decode_inner(s, false)
+}
+
+fn decode_inner(s: &str, plus_is_space: bool) -> String {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
     while i < bytes.len() {
         match bytes[i] {
-            b'+' => {
+            b'+' if plus_is_space => {
                 out.push(b' ');
                 i += 1;
             }
@@ -605,6 +619,28 @@ mod tests {
         assert_eq!(percent_decode("bad%2"), "bad%2");
         assert_eq!(percent_decode("bad%zz"), "bad%zz");
         assert_eq!(percent_decode("%E2%9C%B6"), "✶");
+    }
+
+    #[test]
+    fn path_decoding_keeps_plus_literal() {
+        // `+` only means space in form-encoded query components; in the
+        // path it is an ordinary character (RFC 3986).
+        assert_eq!(percent_decode_path("/stores/a+b"), "/stores/a+b");
+        assert_eq!(percent_decode_path("/stores/a%20b"), "/stores/a b");
+        assert_eq!(percent_decode_path("/stores/a%2Bb"), "/stores/a+b");
+        assert_eq!(percent_decode_path("bad%2"), "bad%2");
+    }
+
+    #[test]
+    fn request_path_with_plus_survives_while_query_plus_decodes() {
+        let out = read("GET /stores/a+b?x=a+b HTTP/1.1\r\nHost: x\r\n\r\n");
+        match out {
+            ReadOutcome::Request(req) => {
+                assert_eq!(req.path, "/stores/a+b");
+                assert_eq!(req.param("x"), Some("a b"));
+            }
+            other => panic!("expected request, got {other:?}"),
+        }
     }
 
     #[test]

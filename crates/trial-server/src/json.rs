@@ -11,7 +11,12 @@ use std::fmt::Write;
 /// Escapes `s` as the contents of a JSON string (without the quotes).
 ///
 /// Handles the two mandatory classes: `"` / `\` and the C0 control range
-/// (emitted as `\uXXXX`, with the usual short forms for `\n`, `\r`, `\t`).
+/// (emitted as `\uXXXX`, with the usual short forms for `\n`, `\r`, `\t`),
+/// plus three characters that are legal raw JSON but hostile downstream:
+/// DEL (U+007F, a control character many terminals mangle) and the line
+/// separators U+2028 / U+2029, which are valid JSON but *not* valid
+/// JavaScript string content — a raw pass-through breaks any consumer that
+/// feeds the response to `eval`/JSONP or embeds it in a `<script>` block.
 /// Everything else — including non-ASCII — passes through verbatim, which is
 /// valid JSON as long as the transport is UTF-8 (ours is).
 pub fn escape(s: &str) -> String {
@@ -23,7 +28,7 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            c if (c as u32) < 0x20 || c == '\u{7f}' || c == '\u{2028}' || c == '\u{2029}' => {
                 write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
             }
             c => out.push(c),
@@ -205,6 +210,17 @@ mod tests {
         assert_eq!(escape("line1\nline2\ttab\r"), "line1\\nline2\\ttab\\r");
         assert_eq!(escape("\u{01}"), "\\u0001");
         assert_eq!(escape("héllo✶"), "héllo✶"); // non-ASCII passes through
+    }
+
+    #[test]
+    fn escaping_covers_del_and_unicode_line_separators() {
+        // U+2028/U+2029 are valid JSON but not valid JavaScript string
+        // content; DEL is a control character. All three must be escaped.
+        assert_eq!(escape("a\u{2028}b"), "a\\u2028b");
+        assert_eq!(escape("a\u{2029}b"), "a\\u2029b");
+        assert_eq!(escape("a\u{7f}b"), "a\\u007fb");
+        // The neighbouring characters are untouched.
+        assert_eq!(escape("\u{2027}\u{202a}\u{7e}"), "\u{2027}\u{202a}\u{7e}");
     }
 
     #[test]

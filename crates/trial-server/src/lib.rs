@@ -71,6 +71,32 @@
 //! curl -s "localhost:7878/explain?order=pos&topk=3" -d "E"
 //! ```
 //!
+//! ## Path queries
+//!
+//! `POST /path` evaluates a **regular path query** — label atoms, `/`
+//! concatenation, `|` alternation, `*`/`+`/`?` closures — over one edge
+//! relation (`?relation=`, default `E`) and returns the reachable pairs
+//! `(x, y)` encoded as triples `(x, x, y)`. Closure-free expressions are
+//! lowered to TriAL algebra and inherit the whole planner; closures (or a
+//! `?max_hops=` walk bound, which the lowering cannot express) run the
+//! Thompson-NFA product walk. `?algo=auto|nfa|lower` pins the strategy,
+//! and every `/query` delivery knob — `?limit=`, `?order=`, `?topk=`,
+//! `?stream=1`, cursors, caching, `?timeout_ms=` — works identically:
+//!
+//! ```bash
+//! # Two-step connections: lowers to a join plan the planner optimises.
+//! curl -s localhost:7878/path -d "a/b"
+//!
+//! # Reachability over either label, bounded to walks of at most 4 edges.
+//! curl -s "localhost:7878/path?max_hops=4" -d "(a|b)+"
+//!
+//! # Which strategy `auto` resolved to, and the plan it produced.
+//! curl -s "localhost:7878/explain?path=1" -d "(a/b)*"
+//!
+//! # Ordered, paginated path results — same cursor protocol as /query.
+//! curl -sN --raw "localhost:7878/path?order=spo&limit=1000&stream=1" -d "next+"
+//! ```
+//!
 //! ## Streaming and pagination
 //!
 //! `?stream=1` switches `/query` from a buffered `Content-Length` body to

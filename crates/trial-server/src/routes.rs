@@ -3,6 +3,7 @@
 //! | Endpoint        | Method | Body        | Purpose                                  |
 //! |-----------------|--------|-------------|------------------------------------------|
 //! | `/query`        | POST   | TriAL text  | evaluate a query, JSON triples + stats   |
+//! | `/path`         | POST   | path expr   | evaluate a regular path query            |
 //! | `/explain`      | POST   | TriAL text  | render the physical plan, don't execute  |
 //! | `/load`         | POST   | N-Triples   | (re)build a named store copy-on-write    |
 //! | `/stores`       | GET    | —           | per-store name/epoch/size statistics     |
@@ -52,6 +53,17 @@
 //! shows the chosen scan permutations and `[merge]`/`[sort]`/`[topk]`
 //! tags), are echoed in the result fragment, and are part of the cache key;
 //! epoch bumps invalidate ordered fragments like any other.
+//!
+//! **Path queries**: `POST /path` takes a regular path expression (atoms,
+//! `/` concatenation, `|` alternation, `*`, `+`, `?`) over one relation
+//! (`?relation=`, default `E`) and returns the reachable pairs encoded as
+//! `(x, x, y)` triples. `?algo=auto|nfa|lower` picks the strategy —
+//! closure-free paths **lower to TriAL joins** the adaptive planner
+//! optimises like any hand-written query, while starred paths (or a
+//! `?max_hops=` bound) run as a Thompson-NFA product walk — and
+//! `/explain?path=1` renders whichever plan the same request would run.
+//! Every `/query` knob (limit, threads, order, topk, streaming, cursors,
+//! timeouts, caching) applies unchanged.
 
 use crate::admission::AdmissionPermit;
 use crate::cache::{CacheKey, PrefixEntry, PrefixKey, QueryKind};
@@ -66,7 +78,10 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use trial_core::{Error, Expr, Permutation, Triplestore, TriplestoreBuilder, Value};
-use trial_eval::{CancelToken, EvalStats, NodeProfile, SmartEngine};
+use trial_eval::{
+    AnalyzedEvaluation, CancelToken, EvalStats, NodeProfile, PathStrategy, QueryStream, SmartEngine,
+};
+use trial_parser::PathExpr;
 use trial_rdf::{parse_ntriples_iter, Term};
 
 /// Default cap on the number of triples included in a `/query` response
@@ -137,7 +152,7 @@ pub(crate) fn route(state: &ServerState, req: &Request) -> Routed {
     // drain); requests already past this gate run to completion or get
     // cancelled with reason `shutdown` when the grace window expires.
     if state.draining.load(Ordering::SeqCst)
-        && matches!(req.path.as_str(), "/query" | "/explain" | "/load")
+        && matches!(req.path.as_str(), "/query" | "/path" | "/explain" | "/load")
     {
         let response = error_response(
             503,
@@ -148,14 +163,21 @@ pub(crate) fn route(state: &ServerState, req: &Request) -> Routed {
         let endpoint = endpoint_label(&req.path);
         return Routed::Buffered(finalize(state, trace, response, endpoint));
     }
-    if req.method == "POST" && req.path == "/query" && wants_stream(req) {
+    if req.method == "POST" && matches!(req.path.as_str(), "/query" | "/path") && wants_stream(req)
+    {
+        let kind = if req.path == "/path" {
+            QueryKind::Path
+        } else {
+            QueryKind::Query
+        };
+        let endpoint = endpoint_label(&req.path);
         trace.set_streamed();
-        return match streaming_query(state, req, &mut trace) {
+        return match streaming_query(state, req, kind, &mut trace) {
             Ok(mut job) => {
                 job.trace = Some(trace);
                 Routed::Stream(Box::new(job))
             }
-            Err(response) => Routed::Buffered(finalize(state, trace, *response, "query")),
+            Err(response) => Routed::Buffered(finalize(state, trace, *response, endpoint)),
         };
     }
     let endpoint = endpoint_label(&req.path);
@@ -167,6 +189,7 @@ pub(crate) fn route(state: &ServerState, req: &Request) -> Routed {
 fn endpoint_label(path: &str) -> &'static str {
     match path {
         "/query" => "query",
+        "/path" => "path",
         "/explain" => "explain",
         "/load" => "load",
         "/stores" => "stores",
@@ -231,11 +254,22 @@ fn route_buffered(state: &ServerState, req: &Request, trace: &mut Trace) -> Resp
         ("GET", "/metrics") => metrics_text(state),
         ("GET", "/debug/slow") => debug_slow(state),
         ("POST", "/query") => query(state, req, QueryKind::Query, trace),
-        ("POST", "/explain") => query(state, req, QueryKind::Explain, trace),
+        ("POST", "/path") => query(state, req, QueryKind::Path, trace),
+        // `?path=1` switches /explain to the path-expression grammar — the
+        // plan rendered is exactly what the equivalent POST /path would run.
+        ("POST", "/explain") => {
+            let kind = if matches!(req.param("path"), Some("1" | "true" | "yes")) {
+                QueryKind::PathExplain
+            } else {
+                QueryKind::Explain
+            };
+            query(state, req, kind, trace)
+        }
         ("POST", "/load") => load(state, req),
         (
             _,
-            "/healthz" | "/stores" | "/metrics" | "/debug/slow" | "/query" | "/explain" | "/load",
+            "/healthz" | "/stores" | "/metrics" | "/debug/slow" | "/query" | "/path" | "/explain"
+            | "/load",
         ) => error_response(
             405,
             "method_not_allowed",
@@ -246,7 +280,7 @@ fn route_buffered(state: &ServerState, req: &Request, trace: &mut Trace) -> Resp
             404,
             "not_found",
             &format!(
-                "no route for `{}`; endpoints: /query /explain /load /stores /healthz /metrics /debug/slow",
+                "no route for `{}`; endpoints: /query /path /explain /load /stores /healthz /metrics /debug/slow",
                 req.path
             ),
             None,
@@ -550,8 +584,8 @@ fn parse_query_params(
     };
     // `/explain?analyze=1` executes the (bounded) query and reports actual
     // per-node row counts next to the estimates.
-    let analyze =
-        kind == QueryKind::Explain && matches!(req.param("analyze"), Some("1" | "true" | "yes"));
+    let analyze = matches!(kind, QueryKind::Explain | QueryKind::PathExplain)
+        && matches!(req.param("analyze"), Some("1" | "true" | "yes"));
     // `?order=spo|pos|osp` asks for rows in that permutation's key order
     // (delivered from the matching index permutation when possible, an
     // explicit sort breaker otherwise); `?topk=k` asks for the k smallest
@@ -562,9 +596,19 @@ fn parse_query_params(
         Some(raw) => match Permutation::parse(raw) {
             Some(p) => Some(p),
             None => {
-                return Err(bad(format!(
-                    "unparsable ?order= value `{raw}` (expected spo, pos or osp)"
-                )))
+                // The 400 body enumerates the accepted values machine-readably
+                // (kind stays the first field — error_kind_of prefix-matches).
+                let err = JsonObject::new()
+                    .str("kind", "bad_request")
+                    .str(
+                        "message",
+                        &format!("unparsable ?order= value `{raw}` (expected spo, pos or osp)"),
+                    )
+                    .raw("accepted", &json::string_array(["spo", "pos", "osp"]));
+                return Err(Box::new(Response::new(
+                    400,
+                    JsonObject::new().raw("error", &err.finish()).finish(),
+                )));
             }
         },
         None => None,
@@ -623,6 +667,211 @@ fn query_text(req: &Request) -> Result<&str, Box<Response>> {
     Ok(text)
 }
 
+/// The path-specific request knobs: `?relation=` names the edge relation
+/// the expression walks (default `E`), `?algo=` picks the execution
+/// strategy and `?max_hops=` bounds the walk length in graph edges.
+struct PathParams {
+    relation: String,
+    strategy: PathStrategy,
+    max_hops: Option<usize>,
+}
+
+/// Parses and validates the `/path`-only query-string knobs.
+fn parse_path_params(req: &Request) -> Result<PathParams, Box<Response>> {
+    let bad = |message: String| Box::new(error_response(400, "bad_request", &message, None));
+    let relation = req.param("relation").unwrap_or("E").to_owned();
+    let strategy = match req.param("algo") {
+        Some(raw) => match PathStrategy::parse(raw) {
+            Some(s) => s,
+            None => {
+                return Err(bad(format!(
+                    "unparsable ?algo= value `{raw}` (expected auto, nfa or lower)"
+                )))
+            }
+        },
+        None => PathStrategy::Auto,
+    };
+    let max_hops = match req.param("max_hops") {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(h) => Some(h),
+            Err(_) => return Err(bad(format!("unparsable ?max_hops= value `{raw}`"))),
+        },
+        None => None,
+    };
+    // The TriAL lowering evaluates full fixpoints; it has no notion of a
+    // hop budget, so forcing it alongside one would silently drop the bound.
+    if strategy == PathStrategy::Lower && max_hops.is_some() {
+        return Err(bad(
+            "?algo=lower cannot honour ?max_hops= (the TriAL lowering runs full closures); \
+             use ?algo=auto or ?algo=nfa"
+                .to_owned(),
+        ));
+    }
+    Ok(PathParams {
+        relation,
+        strategy,
+        max_hops,
+    })
+}
+
+/// The cache-key text for a path request. The path kinds already separate
+/// the grammar namespaces; within them, the knobs that change the result
+/// ride in front of the expression text (the JSON-quoted relation cannot
+/// collide with the space-delimited fields after it).
+fn path_key_text(pp: &PathParams, text: &str) -> String {
+    let hops = pp
+        .max_hops
+        .map_or_else(|| "-".to_owned(), |h| h.to_string());
+    format!(
+        "{} {} {hops} {text}",
+        json::string(&pp.relation),
+        pp.strategy.name()
+    )
+}
+
+/// A compiled request body, ready to plan: ordinary TriAL algebra —
+/// including the **TriAL lowering** of a path expression, which from here
+/// on is indistinguishable from a hand-written query and gets the adaptive
+/// planner's full treatment — or a path expression kept whole for the
+/// Thompson-NFA product walk.
+enum Compiled {
+    Trial(Expr),
+    Path {
+        path: PathExpr,
+        relation: String,
+        max_hops: Option<usize>,
+    },
+}
+
+impl Compiled {
+    /// Canonical rendering for the explain `query` field.
+    fn display(&self) -> String {
+        match self {
+            Compiled::Trial(expr) => expr.to_string(),
+            Compiled::Path { path, .. } => path.to_string(),
+        }
+    }
+
+    fn stream<'s>(
+        &self,
+        engine: &SmartEngine,
+        store: &'s Triplestore,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> trial_core::Result<QueryStream<'s>> {
+        match self {
+            Compiled::Trial(expr) => engine.stream_query(expr, store, limit, order, topk),
+            Compiled::Path {
+                path,
+                relation,
+                max_hops,
+            } => engine.stream_path_query(path, relation, store, *max_hops, limit, order, topk),
+        }
+    }
+
+    fn stream_after<'s>(
+        &self,
+        engine: &SmartEngine,
+        store: &'s Triplestore,
+        limit: Option<usize>,
+        order: Permutation,
+        after: [trial_core::ObjectId; 3],
+    ) -> trial_core::Result<QueryStream<'s>> {
+        match self {
+            Compiled::Trial(expr) => engine.stream_query_after(expr, store, limit, order, after),
+            Compiled::Path {
+                path,
+                relation,
+                max_hops,
+            } => engine
+                .stream_path_query_after(path, relation, store, *max_hops, limit, order, after),
+        }
+    }
+
+    fn plan(
+        &self,
+        engine: &SmartEngine,
+        store: &Triplestore,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> trial_core::Result<trial_eval::Plan> {
+        match self {
+            Compiled::Trial(expr) => engine.plan_query(expr, store, limit, order, topk),
+            Compiled::Path {
+                path,
+                relation,
+                max_hops,
+            } => engine.plan_path_query(path, relation, store, *max_hops, limit, order, topk),
+        }
+    }
+
+    fn analyzed(
+        &self,
+        engine: &SmartEngine,
+        store: &Triplestore,
+        limit: Option<usize>,
+        order: Option<Permutation>,
+        topk: Option<usize>,
+    ) -> trial_core::Result<AnalyzedEvaluation> {
+        match self {
+            Compiled::Trial(expr) => {
+                engine.evaluate_analyzed_query(expr, store, limit, order, topk)
+            }
+            Compiled::Path {
+                path,
+                relation,
+                max_hops,
+            } => engine
+                .evaluate_analyzed_path_query(path, relation, store, *max_hops, limit, order, topk),
+        }
+    }
+}
+
+/// Parses the request body under the endpoint's grammar and resolves the
+/// path execution strategy. Path expressions whose strategy resolves to the
+/// TriAL lowering come back as [`Compiled::Trial`].
+fn compile_body(text: &str, path_params: Option<&PathParams>) -> trial_core::Result<Compiled> {
+    match path_params {
+        Some(pp) => {
+            let path = trial_parser::parse_path(text)?;
+            Ok(if pp.strategy.resolves_to_nfa(&path, pp.max_hops) {
+                Compiled::Path {
+                    path,
+                    relation: pp.relation.clone(),
+                    max_hops: pp.max_hops,
+                }
+            } else {
+                Compiled::Trial(trial_eval::rpq::lower(&path, &pp.relation))
+            })
+        }
+        None => Ok(Compiled::Trial(trial_parser::parse(text)?)),
+    }
+}
+
+/// The shared head of an explain fragment: the canonical query text plus,
+/// for path explains, the knobs and the **resolved** strategy (what `auto`
+/// actually picked) — the observable answer to "did this path lower to
+/// joins or run as an NFA walk".
+fn explain_head(compiled: &Compiled, path_params: Option<&PathParams>) -> JsonObject {
+    let mut obj = JsonObject::new().str("query", &compiled.display());
+    if let Some(pp) = path_params {
+        obj = obj.str("relation", &pp.relation).str(
+            "algo",
+            if matches!(compiled, Compiled::Path { .. }) {
+                "nfa"
+            } else {
+                "lower"
+            },
+        );
+        if let Some(h) = pp.max_hops {
+            obj = obj.num("max_hops", h as u64);
+        }
+    }
+    obj
+}
+
 /// The structured `429 Too Many Requests` an admission rejection turns
 /// into: a complete, parseable body plus a `Retry-After` hint — saturated
 /// stores shed load visibly instead of hanging sockets.
@@ -662,6 +911,21 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
         nostats,
         timeout,
     } = params;
+    let is_explain = matches!(kind, QueryKind::Explain | QueryKind::PathExplain);
+    let path_params = if matches!(kind, QueryKind::Path | QueryKind::PathExplain) {
+        match parse_path_params(req) {
+            Ok(pp) => Some(pp),
+            Err(response) => return *response,
+        }
+    } else {
+        None
+    };
+    // Cache-key text: TriAL requests key on the body verbatim; path requests
+    // fold the path-only knobs in (they change the result).
+    let key_text = match &path_params {
+        Some(pp) => path_key_text(pp, text),
+        None => text.to_owned(),
+    };
 
     let snapshot = match resolve_store(state, req) {
         Ok(s) => s,
@@ -679,13 +943,14 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
         store: snapshot.name().to_owned(),
         epoch: snapshot.epoch(),
         kind,
-        text: text.to_owned(),
+        text: key_text.clone(),
         // The rendered fragment depends on the effective limit, so requests
         // with different limits must not share an entry. Explain plans also
         // change shape under an explicit limit (the pushed-down Limit nodes).
-        limit: match kind {
-            QueryKind::Query => limit as u64,
-            QueryKind::Explain => requested_limit.filter(|&k| k > 0).unwrap_or(0) as u64,
+        limit: if is_explain {
+            requested_limit.filter(|&k| k > 0).unwrap_or(0) as u64
+        } else {
+            limit as u64
         },
         threads: threads as u64,
         analyze,
@@ -705,10 +970,11 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
     // for every limit, so a cached prefix of ≥ limit rows answers this
     // request by slicing — no parse, no plan, no evaluation, no admission.
     let ordered_prefix = match (kind, order, topk) {
-        (QueryKind::Query, Some(order), None) if limit > 0 => Some(PrefixKey {
+        (QueryKind::Query | QueryKind::Path, Some(order), None) if limit > 0 => Some(PrefixKey {
             store: snapshot.name().to_owned(),
             epoch: snapshot.epoch(),
-            text: text.to_owned(),
+            kind,
+            text: key_text.clone(),
             threads: threads as u64,
             order: order.name(),
         }),
@@ -735,8 +1001,8 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
     }
 
     let parse_started = trace.now();
-    let expr = match trial_parser::parse(text) {
-        Ok(expr) => expr,
+    let compiled = match compile_body(text, path_params.as_ref()) {
+        Ok(compiled) => compiled,
         Err(e) => return eval_error_response(state, &e),
     };
     trace.phase("parse", parse_started);
@@ -776,13 +1042,13 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
         None => SmartEngine::with_options(options),
     };
     let fragment = match kind {
-        QueryKind::Query if ordered_prefix.is_some() => {
+        QueryKind::Query | QueryKind::Path if ordered_prefix.is_some() => {
             // Ordered path: render per-row fragments so the prefix cache can
             // keep them for slicing under any smaller limit.
             let order = order.expect("ordered_prefix implies an order");
             match render_ordered_rows(
                 &engine,
-                &expr,
+                &compiled,
                 snapshot.store(),
                 limit,
                 order,
@@ -809,10 +1075,10 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                 Err(e) => return eval_error_response(state, &e),
             }
         }
-        QueryKind::Query => {
+        QueryKind::Query | QueryKind::Path => {
             match render_query_fragment(
                 &engine,
-                &expr,
+                &compiled,
                 snapshot.store(),
                 limit,
                 order,
@@ -830,20 +1096,14 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                 Err(e) => return eval_error_response(state, &e),
             }
         }
-        QueryKind::Explain => {
+        QueryKind::Explain | QueryKind::PathExplain => {
             // An explicit positive ?limit= shows the limit-pushed plan the
             // equivalent /query would run; ?order=/?topk= likewise show the
             // ordered plan (scan permutations, sort breakers, top-k heaps).
             let plan_limit = requested_limit.filter(|&k| k > 0);
             if analyze {
                 let eval_started = trace.now();
-                match engine.evaluate_analyzed_query(
-                    &expr,
-                    snapshot.store(),
-                    plan_limit,
-                    order,
-                    topk,
-                ) {
+                match compiled.analyzed(&engine, snapshot.store(), plan_limit, order, topk) {
                     Ok(analyzed) => {
                         // Analyze runs plan + evaluation in one call; the
                         // combined wall time lands in the `eval` phase.
@@ -866,8 +1126,7 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                             Some(&analyzed.profiles),
                             &mut index,
                         );
-                        JsonObject::new()
-                            .str("query", &expr.to_string())
+                        explain_head(&compiled, path_params.as_ref())
                             .num("threads", threads as u64)
                             .str("plan", analyzed.plan.explain().trim_end())
                             .num("rows", analyzed.evaluation.result.len() as u64)
@@ -879,8 +1138,7 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                 }
             } else {
                 let plan_started = trace.now();
-                let plan = match engine.plan_query(&expr, snapshot.store(), plan_limit, order, topk)
-                {
+                let plan = match compiled.plan(&engine, snapshot.store(), plan_limit, order, topk) {
                     Ok(p) => p,
                     Err(e) => return eval_error_response(state, &e),
                 };
@@ -896,8 +1154,7 @@ fn query(state: &ServerState, req: &Request, kind: QueryKind, trace: &mut Trace)
                     None,
                     &mut index,
                 );
-                JsonObject::new()
-                    .str("query", &expr.to_string())
+                explain_head(&compiled, path_params.as_ref())
                     .num("threads", threads as u64)
                     .str("plan", plan.explain().trim_end())
                     .raw("tree", &tree)
@@ -959,7 +1216,7 @@ fn wrap(snapshot: &StoreSnapshot, cached: bool, fragment: &str, start: Instant) 
 #[allow(clippy::too_many_arguments)] // the buffered /query knobs, one call site
 fn render_query_fragment(
     engine: &SmartEngine,
-    expr: &trial_core::Expr,
+    compiled: &Compiled,
     store: &trial_core::Triplestore,
     limit: usize,
     order: Option<Permutation>,
@@ -984,7 +1241,7 @@ fn render_query_fragment(
         // still changes the count and keeps its order).
         let plan_order = if topk.is_some() { order } else { None };
         let plan_started = trace.now();
-        let stream = engine.stream_query(expr, store, None, plan_order, topk)?;
+        let stream = compiled.stream(engine, store, None, plan_order, topk)?;
         trace.phase("plan", plan_started);
         trace.set_plan(|| stream.plan().explain().trim_end().to_owned());
         trace.set_profile(stream.profile());
@@ -1013,8 +1270,7 @@ fn render_query_fragment(
     // delivers it from an index permutation or sits above an explicit
     // sort/top-k), so the response sequence is deterministic.
     let plan_started = trace.now();
-    let mut stream =
-        engine.stream_query(expr, store, Some(limit.saturating_add(1)), order, topk)?;
+    let mut stream = compiled.stream(engine, store, Some(limit.saturating_add(1)), order, topk)?;
     trace.phase("plan", plan_started);
     trace.set_plan(|| stream.plan().explain().trim_end().to_owned());
     trace.set_profile(stream.profile());
@@ -1069,7 +1325,7 @@ fn render_row(store: &Triplestore, t: &trial_core::Triple) -> String {
 /// `(rows, truncated, stats_json, stats)`.
 fn render_ordered_rows(
     engine: &SmartEngine,
-    expr: &Expr,
+    compiled: &Compiled,
     store: &Triplestore,
     limit: usize,
     order: Permutation,
@@ -1077,8 +1333,8 @@ fn render_ordered_rows(
     trace: &mut Trace,
 ) -> trial_core::Result<(Vec<String>, bool, String, EvalStats)> {
     let plan_started = trace.now();
-    let mut stream = engine.stream_query(
-        expr,
+    let mut stream = compiled.stream(
+        engine,
         store,
         Some(limit.saturating_add(1)),
         Some(order),
@@ -1131,7 +1387,9 @@ fn ordered_fragment(order: Permutation, rows: &[String], truncated: bool, stats:
 /// which the client detects as a chunk stream without a terminal chunk.
 pub(crate) struct StreamingQuery {
     snapshot: Arc<StoreSnapshot>,
-    expr: Expr,
+    compiled: Compiled,
+    /// `"query"` or `"path"` — the metrics label and trace path.
+    endpoint: &'static str,
     threads: usize,
     limit: usize,
     order: Option<Permutation>,
@@ -1162,11 +1420,17 @@ pub(crate) struct StreamingQuery {
 fn streaming_query(
     state: &ServerState,
     req: &Request,
+    kind: QueryKind,
     trace: &mut Trace,
 ) -> Result<StreamingQuery, Box<Response>> {
     let text = query_text(req)?;
     trace.set_query(text);
-    let params = parse_query_params(state, req, QueryKind::Query)?;
+    let params = parse_query_params(state, req, kind)?;
+    let path_params = if kind == QueryKind::Path {
+        Some(parse_path_params(req)?)
+    } else {
+        None
+    };
     if params.limit == 0 {
         return Err(Box::new(error_response(
             400,
@@ -1227,8 +1491,8 @@ fn streaming_query(
         resume = Some(token.last);
     }
     let parse_started = trace.now();
-    let expr = match trial_parser::parse(text) {
-        Ok(expr) => expr,
+    let compiled = match compile_body(text, path_params.as_ref()) {
+        Ok(compiled) => compiled,
         Err(e) => return Err(Box::new(eval_error_response(state, &e))),
     };
     trace.phase("parse", parse_started);
@@ -1249,7 +1513,12 @@ fn streaming_query(
     state.chaos.trigger("eval");
     Ok(StreamingQuery {
         snapshot,
-        expr,
+        compiled,
+        endpoint: if kind == QueryKind::Path {
+            "path"
+        } else {
+            "query"
+        },
         threads: params.threads,
         limit: params.limit,
         order,
@@ -1275,10 +1544,15 @@ impl StreamingQuery {
     /// the chunk stream is unfinishable and the caller must close.
     pub(crate) fn run<W: Write>(mut self, state: &ServerState, writer: &mut W) -> io::Result<bool> {
         let start = Instant::now();
+        let trace_path = if self.endpoint == "path" {
+            "/path"
+        } else {
+            "/query"
+        };
         let mut trace = self
             .trace
             .take()
-            .unwrap_or_else(|| Trace::begin(trace::next_request_id(), "POST", "/query", false));
+            .unwrap_or_else(|| Trace::begin(trace::next_request_id(), "POST", trace_path, false));
         let options = trial_eval::EvalOptions {
             threads: self.threads,
             cancel: self.cancel.clone(),
@@ -1297,9 +1571,12 @@ impl StreamingQuery {
         let stream = match self.resume {
             Some(after) => {
                 let order = self.order.expect("cursor tokens always carry an order");
-                engine.stream_query_after(&self.expr, store, probe_limit, order, after)
+                self.compiled
+                    .stream_after(&engine, store, probe_limit, order, after)
             }
-            None => engine.stream_query(&self.expr, store, probe_limit, self.order, self.topk),
+            None => self
+                .compiled
+                .stream(&engine, store, probe_limit, self.order, self.topk),
         };
         let stream = match stream {
             Ok(stream) => stream,
@@ -1308,7 +1585,8 @@ impl StreamingQuery {
                 // an ordinary buffered error and keep-alive survives. The
                 // permit is released before the response bytes so a client
                 // that can read the error never observes it still held.
-                let response = finalize(state, trace, eval_error_response(state, &e), "query");
+                let response =
+                    finalize(state, trace, eval_error_response(state, &e), self.endpoint);
                 drop(self._permit.take());
                 http::write_response(writer, &response, self.close)?;
                 return Ok(!self.close);
@@ -1487,7 +1765,7 @@ impl StreamingQuery {
         if let Some(span) = trace.finish(200, cancel_kind.map(str::to_owned)) {
             state
                 .metrics
-                .observe_request("query", span.status, span.total_us);
+                .observe_request(self.endpoint, span.status, span.total_us);
             for (phase, us) in &span.phases {
                 state.metrics.observe_phase(phase, *us);
             }

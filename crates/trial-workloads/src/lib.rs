@@ -8,7 +8,9 @@
 //! * [`social`] — the Section 2.3 social network with tuple-valued data;
 //! * [`random`] — Erdős–Rényi-style random triplestores and graphs;
 //! * [`chains`] — chains, cycles, grids and cliques used to probe the
-//!   complexity bounds of Theorem 3 and Propositions 4/5.
+//!   complexity bounds of Theorem 3 and Propositions 4/5;
+//! * [`rpq`] — labelled chains/cycles plus the regular-path-expression
+//!   suites the RPQ benchmarks and differential tests evaluate over them.
 //!
 //! All generators are deterministic given their seed, so every benchmark and
 //! experiment in EXPERIMENTS.md is reproducible.
@@ -18,10 +20,15 @@
 
 pub mod chains;
 pub mod random;
+pub mod rpq;
 pub mod social;
 pub mod transport;
 
 pub use chains::{chain_store, clique_store, cycle_store, grid_store};
 pub use random::{random_graph, random_store, RandomStoreConfig};
+pub use rpq::{
+    chain_path_suite, cycle_path_suite, grid_path_suite, labeled_chain_store, labeled_cycle_store,
+    PathCase,
+};
 pub use social::{social_network, SocialConfig};
 pub use transport::{figure1_store, transport_network, TransportConfig};

@@ -22,6 +22,9 @@
 //! curl -s localhost:7878/query   -d "(E JOIN[1,3',3 | 2=1'] E)"   # evaluate
 //! curl -s localhost:7878/explain -d "STAR(E JOIN[1,2,3' | 3=1'])" # plan only
 //! curl -s "localhost:7878/load?store=mydata" --data-binary @data.nt
+//! curl -s localhost:7878/path    -d "a/b"                         # path query
+//! curl -s "localhost:7878/path?max_hops=4" -d "(a|b)+"            # bounded walk
+//! curl -s "localhost:7878/explain?path=1" -d "(a/b)*"             # path plan
 //! curl -s "localhost:7878/query?order=pos" -d "E"                 # sorted rows
 //! curl -s "localhost:7878/query?order=osp&topk=10" -d "E"         # k smallest
 //! curl -sN "localhost:7878/query?stream=1" -d "E"                 # chunked rows
@@ -38,6 +41,14 @@
 //! `?nostats=1` opts a request back out, and `/load` invalidates the
 //! table with the epoch bump. See the [`eval`] crate's *Adaptive
 //! planning* section.
+//!
+//! `POST /path` evaluates regular path queries — label atoms, `/`
+//! concatenation, `|` alternation, `*`/`+`/`?` closures — over one edge
+//! relation, returning reachable pairs `(x, y)` as `(x, x, y)` triples.
+//! Closure-free expressions lower to TriAL join plans the adaptive planner
+//! optimises; closures and `?max_hops=` walk bounds run a Thompson-NFA
+//! product walk (`?algo=` pins the strategy). All `/query` delivery knobs
+//! apply. See the [`eval`] crate's *Path queries* section.
 //!
 //! `?stream=1` switches the response to chunked transfer encoding fed by a
 //! parallel exchange — rows hit the wire as evaluation produces them, and
